@@ -1,0 +1,52 @@
+// Command datasetgen runs the §2.2 dataset generator for one platform and
+// writes Datasets A and B to a JSON file consumed by cmd/trainer. The paper
+// generates 8000 networks (31,242 blocks); pass -networks 8000 to match.
+//
+// Usage:
+//
+//	datasetgen -platform TX2 -networks 2000 -seed 1 -out tx2_dataset.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"powerlens/internal/dataset"
+	"powerlens/internal/hw"
+)
+
+func main() {
+	var (
+		platform = flag.String("platform", "TX2", "platform: TX2 or AGX")
+		networks = flag.Int("networks", 2000, "number of random networks")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		out      = flag.String("out", "dataset.json", "output path")
+	)
+	flag.Parse()
+
+	var p *hw.Platform
+	switch strings.ToUpper(*platform) {
+	case "TX2":
+		p = hw.TX2()
+	case "AGX":
+		p = hw.AGX()
+	default:
+		fmt.Fprintf(os.Stderr, "datasetgen: unknown platform %q\n", *platform)
+		os.Exit(1)
+	}
+
+	fmt.Fprintf(os.Stderr, "generating %d random networks for %s (seed %d)...\n", *networks, p.Name, *seed)
+	start := time.Now()
+	a, b := dataset.Generate(p, dataset.DefaultConfig(*networks, *seed))
+	fmt.Fprintf(os.Stderr, "done in %v: %d network samples (dataset A), %d block samples (dataset B)\n",
+		time.Since(start).Round(time.Millisecond), len(a.Samples), len(b.Samples))
+
+	if err := dataset.Save(*out, p.Name, a, b); err != nil {
+		fmt.Fprintln(os.Stderr, "datasetgen:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}

@@ -1,0 +1,67 @@
+// Command experiments regenerates the paper's tables and figures on the
+// simulated platforms. See DESIGN.md §4 for the experiment index and
+// EXPERIMENTS.md for recorded paper-vs-measured results.
+//
+// Usage:
+//
+//	experiments all    [-networks N] [-seed S]   # everything, one deployment
+//	experiments table1 [-networks N] [-seed S]   # Table 1: per-model EE gains
+//	experiments table2 [-networks N] [-seed S]   # Table 2: P-R / P-N ablation
+//	experiments table3 [-networks N] [-seed S]   # Table 3: offline overhead
+//	experiments fig1   [-networks N] [-seed S]   # Figure 1: traces + ping-pong/lag
+//	experiments fig5   [-networks N] [-seed S] [tasks]  # Figure 5: task flow
+//	experiments report [-networks N] [-o report.html]  # self-contained HTML report
+//	experiments thermal [-networks N] [-seed S]  # sustained-load throttling study
+//	experiments ext    [-networks N] [-seed S]   # §5 extensions: CPU DVFS + batching
+//	experiments switch                            # §3.3 switch microbenchmark
+//	experiments calibrate                         # hw-model diagnostics
+//	experiments dispersion                        # per-stage oracle diagnostics
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		return
+	}
+	args := os.Args[2:]
+	switch os.Args[1] {
+	case "all":
+		runAll(args)
+	case "table1":
+		runTable1(args)
+	case "table2":
+		runTable2(args)
+	case "table3":
+		runTable3(args)
+	case "fig1":
+		runFig1(args)
+	case "fig5":
+		runFig5(args)
+	case "report":
+		runReport(args)
+	case "thermal":
+		runThermal(args)
+	case "ext":
+		runExt(args)
+	case "switch":
+		runSwitch()
+	case "calibrate":
+		runCalibrate()
+	case "calibrate-v":
+		verbose = true
+		runCalibrate()
+	case "dispersion":
+		runDispersion()
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Println("usage: experiments <all|report|table1|table2|table3|fig1|fig5|ext|thermal|switch|calibrate|dispersion> [-networks N] [-seed S]")
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"powerlens/internal/experiments"
+	"powerlens/internal/hw"
+)
+
+func TestExpFlags(t *testing.T) {
+	n, seed, rest := expFlags([]string{"-networks", "123", "-seed", "9", "77"})
+	if n != 123 || seed != 9 {
+		t.Fatalf("flags = %d/%d", n, seed)
+	}
+	if len(rest) != 1 || rest[0] != "77" {
+		t.Fatalf("rest = %v", rest)
+	}
+	n, seed, rest = expFlags(nil)
+	if n != 400 || seed != 1 || len(rest) != 0 {
+		t.Fatalf("defaults = %d/%d/%v", n, seed, rest)
+	}
+}
+
+func TestWriteFig1CSVs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("deploys a framework")
+	}
+	dir := t.TempDir()
+	env := testEnvForCmd(t)
+	writeFig1CSVs(env, dir)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("csv files = %d, want 3 (FPG-G, BiM, PowerLens)", len(entries))
+	}
+	data, err := os.ReadFile(filepath.Join(dir, entries[0].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "time_ms,power_w,freq_mhz\n") {
+		t.Fatalf("csv header wrong: %q", string(data[:40]))
+	}
+}
+
+// testEnvForCmd deploys a minimal env (kept tiny; this is a CLI plumbing
+// test, not a shape test).
+func testEnvForCmd(t *testing.T) *experiments.Env {
+	t.Helper()
+	env := buildTestEnv(t)
+	return env
+}
+
+var cachedEnv *experiments.Env
+
+func buildTestEnv(t *testing.T) *experiments.Env {
+	t.Helper()
+	if cachedEnv != nil {
+		return cachedEnv
+	}
+	cfg := testDeployConfig()
+	env, err := experiments.NewEnv(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cachedEnv = env
+	return env
+}
+
+func TestRunSwitchOutput(t *testing.T) {
+	// runSwitch prints to stdout; just verify the underlying call.
+	for _, p := range hw.Platforms() {
+		if got := experiments.SwitchOverhead(p, 100); got.Milliseconds() != 50 {
+			t.Fatalf("%s switch overhead = %v", p.Name, got)
+		}
+	}
+}

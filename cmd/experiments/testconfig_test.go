@@ -1,0 +1,12 @@
+package main
+
+import "powerlens/internal/core"
+
+// testDeployConfig is the minimal deployment used by CLI plumbing tests.
+func testDeployConfig() core.DeployConfig {
+	cfg := core.DefaultDeployConfig()
+	cfg.NumNetworks = 40
+	cfg.HyperTrain.Epochs = 20
+	cfg.DecisionTrain.Epochs = 20
+	return cfg
+}

@@ -1,0 +1,170 @@
+// Command powerlens runs the offline PowerLens workflow for one model on one
+// simulated platform: deploy (or load) the framework, analyze the model into
+// a power view, and print the frequency plan preset at each DVFS
+// instrumentation point, together with the predicted energy/EE improvement
+// over running at maximum frequency.
+//
+// Usage:
+//
+//	powerlens -model resnet152 -platform TX2 [-networks 400] [-seed 1]
+//	          [-load framework.json] [-save framework.json]
+//	powerlens -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"powerlens/internal/core"
+	"powerlens/internal/governor"
+	"powerlens/internal/graph"
+	"powerlens/internal/hw"
+	"powerlens/internal/models"
+	"powerlens/internal/sim"
+)
+
+func main() {
+	var (
+		modelName = flag.String("model", "resnet152", "model to analyze (see -list)")
+		platform  = flag.String("platform", "TX2", "platform: TX2 or AGX")
+		networks  = flag.Int("networks", 400, "random networks for deployment training")
+		seed      = flag.Int64("seed", 1, "master seed")
+		loadPath  = flag.String("load", "", "load a trained framework instead of deploying")
+		savePath  = flag.String("save", "", "save the trained framework to this path")
+		list      = flag.Bool("list", false, "list available models and exit")
+		images    = flag.Int("images", 50, "images per evaluation task")
+		modelFile = flag.String("model-file", "", "load the model graph from a JSON file (see graph.WriteJSON) instead of -model")
+		dotPath   = flag.String("dot", "", "write a Graphviz rendering of the power view to this path")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("available models:", strings.Join(models.Names(), ", "))
+		return
+	}
+
+	var g *graph.Graph
+	var err error
+	if *modelFile != "" {
+		f, ferr := os.Open(*modelFile)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		g, err = graph.ReadJSON(f)
+		f.Close()
+	} else {
+		g, err = models.Build(*modelName)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	var p *hw.Platform
+	switch strings.ToUpper(*platform) {
+	case "TX2":
+		p = hw.TX2()
+	case "AGX":
+		p = hw.AGX()
+	default:
+		fatal(fmt.Errorf("unknown platform %q (want TX2 or AGX)", *platform))
+	}
+
+	var fw *core.Framework
+	if *loadPath != "" {
+		fw, err = core.LoadFramework(*loadPath)
+		if err != nil {
+			fatal(err)
+		}
+		if fw.Platform.Name != p.Name {
+			fatal(fmt.Errorf("framework %s was trained for %s, not %s", *loadPath, fw.Platform.Name, p.Name))
+		}
+		fmt.Fprintf(os.Stderr, "loaded framework from %s\n", *loadPath)
+	} else {
+		cfg := core.DefaultDeployConfig()
+		cfg.NumNetworks = *networks
+		cfg.Seed = *seed
+		fmt.Fprintf(os.Stderr, "deploying PowerLens on %s (%d random networks)...\n", p.Name, *networks)
+		var report *core.DeployReport
+		fw, report, err = core.Deploy(p, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "  dataset: %v (%d blocks), hyper model: %v (acc %.1f%%), decision model: %v (acc %.1f%%)\n",
+			report.DatasetTime.Round(time.Millisecond), report.NumBlocks,
+			report.HyperTrainTime.Round(time.Millisecond), report.HyperAccuracy*100,
+			report.DecisionTrainTime.Round(time.Millisecond), report.DecisionAccuracy*100)
+	}
+	if *savePath != "" {
+		if err := fw.Save(*savePath); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "saved framework to %s\n", *savePath)
+	}
+
+	a, err := fw.Analyze(g)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("model %s on %s — %d layers, %.2f GFLOPs, %.1fM params\n",
+		g.Name, p.Name, len(g.Layers), float64(g.TotalFLOPs())/1e9, float64(g.TotalParams())/1e6)
+	fmt.Printf("clustering hyperparameters: eps=%.2f minPts=%d (predicted)\n", a.Hyper.Eps, a.Hyper.MinPts)
+	fmt.Print(a.View.Render(a.Levels))
+	for i, b := range a.View.Blocks {
+		f := p.GPUFreqsHz[a.Levels[i]]
+		var flops, bytes int64
+		for id := b.StartLayer; id <= b.EndLayer; id++ {
+			l := g.Layers[id]
+			flops += l.FLOPs()
+			bytes += l.MemBytes()
+		}
+		bd := p.GPUOpBreakdown(flops, bytes, f)
+		fmt.Printf("  block %d @ %.0f MHz (level %d): power %.2f W = idle %.2f + leak %.2f + dyn %.2f + dram %.2f\n",
+			i+1, f/1e6, a.Levels[i], bd.TotalW(), bd.IdleW, bd.LeakW, bd.DynamicW, bd.DRAMW)
+	}
+	if *dotPath != "" {
+		starts := make([]int, a.View.NumBlocks())
+		ends := make([]int, a.View.NumBlocks())
+		for i, b := range a.View.Blocks {
+			starts[i], ends[i] = b.StartLayer, b.EndLayer
+		}
+		f, ferr := os.Create(*dotPath)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		if err := g.WriteDOT(f, starts, ends); err != nil {
+			fatal(err)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "wrote power-view DOT to %s\n", *dotPath)
+	}
+	fmt.Printf("workflow timings: features %v, prediction %v, clustering %v, decisions %v\n",
+		a.Timings.FeatureExtraction.Round(time.Microsecond),
+		a.Timings.HyperPrediction.Round(time.Microsecond),
+		a.Timings.Clustering.Round(time.Microsecond),
+		a.Timings.Decision.Round(time.Microsecond))
+
+	// Evaluate against the built-in governor and the fmax baseline.
+	pl := sim.NewExecutor(p, governor.NewPowerLens(a.Plan)).RunTask(g, *images)
+	bim := sim.NewExecutor(p, governor.NewOndemand()).RunTask(g, *images)
+	fmax := sim.NewExecutor(p, governor.NewStatic(p.NumGPULevels()-1)).RunTask(g, *images)
+
+	fmt.Printf("\nevaluation (%d images):\n", *images)
+	printRun := func(name string, r sim.Result) {
+		fmt.Printf("  %-10s energy %8.3f J   time %12v   P̄ %6.2f W   EE %8.4f img/J\n",
+			name, r.EnergyJ, r.Time.Round(time.Millisecond), r.AvgPowerW(), r.EE())
+	}
+	printRun("PowerLens", pl)
+	printRun("BiM", bim)
+	printRun("fmax", fmax)
+	fmt.Printf("  EE gain vs BiM: %+.2f%%   vs fmax: %+.2f%%\n",
+		(pl.EE()/bim.EE()-1)*100, (pl.EE()/fmax.EE()-1)*100)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "powerlens:", err)
+	os.Exit(1)
+}

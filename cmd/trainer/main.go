@@ -1,0 +1,80 @@
+// Command trainer trains the two PowerLens prediction models from a dataset
+// file written by cmd/datasetgen, reports test-set accuracies (the paper's
+// Fig. 3/4 footnote: 92.6% for the clustering hyperparameter prediction
+// model and 94.2% for the decision model at full scale), and saves the
+// trained framework for cmd/powerlens -load.
+//
+// Usage:
+//
+//	trainer -dataset tx2_dataset.json -out tx2_framework.json [-epochs 120]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"powerlens/internal/core"
+	"powerlens/internal/dataset"
+	"powerlens/internal/hw"
+)
+
+func main() {
+	var (
+		dsPath = flag.String("dataset", "dataset.json", "dataset file from cmd/datasetgen")
+		out    = flag.String("out", "framework.json", "output path for the trained framework")
+		epochs = flag.Int("epochs", 120, "training epochs for both models")
+		seed   = flag.Int64("seed", 1, "training seed")
+	)
+	flag.Parse()
+
+	platform, dsA, dsB, err := dataset.Load(*dsPath)
+	if err != nil {
+		fatal(err)
+	}
+	var p *hw.Platform
+	switch platform {
+	case "TX2":
+		p = hw.TX2()
+	case "AGX":
+		p = hw.AGX()
+	default:
+		fatal(fmt.Errorf("dataset %s has unknown platform %q", *dsPath, platform))
+	}
+	fmt.Fprintf(os.Stderr, "training on %s: %d network samples, %d block samples\n",
+		p.Name, len(dsA.Samples), len(dsB.Samples))
+
+	cfg := core.DefaultDeployConfig()
+	cfg.Seed = *seed
+	cfg.HyperTrain.Epochs = *epochs
+	cfg.DecisionTrain.Epochs = *epochs
+
+	report := &core.DeployReport{}
+	start := time.Now()
+	fw, err := core.TrainFramework(p, dsA, dsB, cfg, report)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("clustering hyperparameter prediction model: accuracy %.1f%% (paper: 92.6%%), trained in %v\n",
+		report.HyperAccuracy*100, report.HyperTrainTime.Round(time.Millisecond))
+	fmt.Printf("target frequency decision model:            accuracy %.1f%% (paper: 94.2%%), trained in %v\n",
+		report.DecisionAccuracy*100, report.DecisionTrainTime.Round(time.Millisecond))
+	fmt.Printf("decision mean level error: %.2f (paper: misses land 1-2 levels from the optimum)\n",
+		report.DecisionMeanLevelError)
+	if report.DecisionConfusion != nil {
+		fmt.Print(report.DecisionConfusion)
+	}
+	fmt.Printf("total training time: %v\n", time.Since(start).Round(time.Millisecond))
+
+	if err := fw.Save(*out); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "saved framework to %s\n", *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "trainer:", err)
+	os.Exit(1)
+}

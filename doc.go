@@ -1,0 +1,21 @@
+// Package powerlens is a from-scratch Go reproduction of "PowerLens: An
+// Adaptive DVFS Framework for Optimizing Energy Efficiency in Deep Neural
+// Networks" (Geng et al., DAC 2024).
+//
+// The library implements the complete system: a DNN operator-graph IR with
+// builders for the 12 torchvision evaluation networks (internal/graph,
+// internal/models), the power-sensitive feature extractors
+// (internal/features), Algorithm 1's power behavior similarity clustering
+// (internal/cluster), the two learned prediction models with a from-scratch
+// neural network stack (internal/nn), the dataset generator
+// (internal/dataset), the analytic Jetson TX2/AGX platform simulator that
+// substitutes for the paper's hardware (internal/hw), an inference executor
+// with pluggable DVFS controllers (internal/sim, internal/governor), the
+// framework façade (internal/core), and the harness regenerating every table
+// and figure of the evaluation (internal/experiments, cmd/experiments).
+//
+// See README.md for a quickstart, DESIGN.md for the system inventory and
+// substitution record, and EXPERIMENTS.md for paper-vs-measured results.
+// The benchmarks in bench_test.go regenerate each table/figure under
+// `go test -bench`.
+package powerlens

@@ -1,0 +1,65 @@
+// Ablation: the paper's Table 2 study on a single model — compare full
+// PowerLens (power behavior similarity clustering) against P-R (random block
+// partitioning) and P-N (no clustering; one decision for the whole DNN).
+//
+// Run with: go run ./examples/ablation [-model vgg19]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"powerlens/internal/core"
+	"powerlens/internal/governor"
+	"powerlens/internal/hw"
+	"powerlens/internal/models"
+	"powerlens/internal/sim"
+)
+
+func main() {
+	modelName := flag.String("model", "vgg19", "model to ablate")
+	flag.Parse()
+
+	g, err := models.Build(*modelName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, platform := range hw.Platforms() {
+		cfg := core.DefaultDeployConfig()
+		cfg.NumNetworks = 200
+		fmt.Printf("deploying PowerLens on %s...\n", platform.Name)
+		fw, _, err := core.Deploy(platform, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		full, err := fw.Analyze(g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eeOf := func(plan *governor.FrequencyPlan) float64 {
+			return sim.NewExecutor(platform, governor.NewPowerLens(plan)).RunTask(g, 50).EE()
+		}
+		eeFull := eeOf(full.Plan)
+
+		// P-R averaged over several random partitionings.
+		const seeds = 5
+		prSum := 0.0
+		for s := int64(0); s < seeds; s++ {
+			pr := fw.AnalyzeRandomBlocks(g, rand.New(rand.NewSource(s*31+7)), 8)
+			prSum += eeOf(pr.Plan)
+		}
+		eePR := prSum / seeds
+
+		pn := fw.AnalyzeWholeNetwork(g)
+		eePN := eeOf(pn.Plan)
+
+		fmt.Printf("%s on %s (blocks=%d):\n", g.Name, platform.Name, full.View.NumBlocks())
+		fmt.Printf("  PowerLens EE: %.4f img/J\n", eeFull)
+		fmt.Printf("  P-R (random blocks):   %.4f img/J (%+.2f%%)\n", eePR, (eePR/eeFull-1)*100)
+		fmt.Printf("  P-N (no clustering):   %.4f img/J (%+.2f%%)\n\n", eePN, (eePN/eeFull-1)*100)
+	}
+}

@@ -1,0 +1,61 @@
+// Batchsweep: the paper's §5 future-work extension — coordinating batch
+// size with DVFS. Batching amortizes weight traffic across images, raising
+// arithmetic intensity; the energy-optimal (batch, frequency) point trades
+// per-image efficiency against batch completion latency.
+//
+// Run with: go run ./examples/batchsweep [-model vgg19] [-budget 500ms]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"powerlens/internal/governor"
+	"powerlens/internal/hw"
+	"powerlens/internal/models"
+	"powerlens/internal/sim"
+)
+
+func main() {
+	modelName := flag.String("model", "vgg19", "model to sweep")
+	budget := flag.Duration("budget", 0, "batch latency budget (0 = unconstrained)")
+	flag.Parse()
+
+	g, err := models.Build(*modelName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, p := range hw.Platforms() {
+		fmt.Printf("%s on %s — batch/frequency co-optimization", g.Name, p.Name)
+		if *budget > 0 {
+			fmt.Printf(" (latency budget %v)", *budget)
+		}
+		fmt.Println()
+
+		best, sweep := sim.OptimalBatch(p, g, 32, *budget)
+		fmt.Printf("%7s %7s %12s %14s\n", "batch", "level", "EE (img/J)", "batch latency")
+		for _, bp := range sweep {
+			marker := " "
+			if bp == best {
+				marker = "*"
+			}
+			fmt.Printf("%6d%s %7d %12.4f %14v\n",
+				bp.Batch, marker, bp.Level, bp.EE, bp.Latency.Round(time.Microsecond))
+		}
+		if best.Batch == 0 {
+			fmt.Println("no operating point satisfies the latency budget")
+			continue
+		}
+
+		// Validate the chosen point end-to-end in the executor.
+		e := sim.NewExecutor(p, governor.NewStatic(best.Level))
+		e.Batch = best.Batch
+		r := e.RunTask(g, 64)
+		base := sim.NewExecutor(p, governor.NewStatic(best.Level)).RunTask(g, 64)
+		fmt.Printf("executor check (64 images): batched EE %.4f vs unbatched %.4f (%+.1f%%)\n\n",
+			r.EE(), base.EE(), (r.EE()/base.EE()-1)*100)
+	}
+}

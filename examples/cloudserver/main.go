@@ -1,0 +1,76 @@
+// Cloudserver: the paper's §5 outlook — PowerLens in a cloud inference
+// fleet. A 4-node cluster of simulated AGX-class accelerators serves a
+// Poisson stream of mixed inference jobs; we compare the fleet's energy,
+// makespan, and energy efficiency under PowerLens plans, FPG-CG, and the
+// nodes' built-in ondemand governor.
+//
+// Run with: go run ./examples/cloudserver [-jobs 60] [-nodes 4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"powerlens/internal/cloud"
+	"powerlens/internal/core"
+	"powerlens/internal/governor"
+	"powerlens/internal/hw"
+	"powerlens/internal/models"
+	"powerlens/internal/sim"
+)
+
+func main() {
+	numJobs := flag.Int("jobs", 60, "jobs in the trace")
+	nodes := flag.Int("nodes", 4, "cluster nodes")
+	flag.Parse()
+
+	platform := hw.AGX()
+	cfg := core.DefaultDeployConfig()
+	cfg.NumNetworks = 200
+	fmt.Printf("deploying PowerLens on %s-class nodes...\n", platform.Name)
+	fw, _, err := core.Deploy(platform, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One frequency plan per model, shared by all nodes.
+	plans := map[string]*governor.FrequencyPlan{}
+	for _, name := range models.Names() {
+		g := models.MustBuild(name)
+		a, err := fw.Analyze(g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		plans[name] = a.Plan
+	}
+
+	jobs := cloud.RandomJobs(*numJobs, 300*time.Millisecond, 42)
+	fmt.Printf("trace: %d jobs over ~%v, %d nodes\n\n",
+		len(jobs), jobs[len(jobs)-1].Arrival.Round(time.Second), *nodes)
+
+	policies := []struct {
+		name string
+		ctl  cloud.ControllerFactory
+	}{
+		{"PowerLens", func() sim.Controller { return governor.NewMultiPlan(plans) }},
+		{"FPG-CG", func() sim.Controller { return governor.NewFPGCG() }},
+		{"BiM", func() sim.Controller { return governor.NewOndemand() }},
+	}
+	fmt.Printf("%-10s %12s %14s %14s %12s\n", "policy", "energy (J)", "makespan", "turnaround", "EE (img/J)")
+	var base cloud.Result
+	for i, pol := range policies {
+		res, err := cloud.Run(cloud.Config{Nodes: *nodes, Platform: platform, NewCtl: pol.ctl}, jobs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if i == 0 {
+			base = res
+		}
+		fmt.Printf("%-10s %12.1f %14v %14v %12.4f\n",
+			pol.name, res.TotalEnergyJ, res.Makespan.Round(time.Millisecond),
+			res.MeanTurnaround.Round(time.Millisecond), res.EE())
+	}
+	fmt.Printf("\nPowerLens served %d images fleet-wide at %.4f img/J.\n", base.TotalImages, base.EE())
+}

@@ -1,0 +1,68 @@
+// Taskflow: the paper's §3.2.2 scenario — a flow of inference tasks drawn
+// from the 12 evaluation models, processed back-to-back with idle gaps,
+// under four DVFS methods (PowerLens, FPG-G, FPG-CG, BiM). This is the
+// workload behind Figure 5.
+//
+// Run with: go run ./examples/taskflow [-tasks 30]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"powerlens/internal/core"
+	"powerlens/internal/experiments"
+	"powerlens/internal/governor"
+	"powerlens/internal/hw"
+	"powerlens/internal/sim"
+)
+
+func main() {
+	numTasks := flag.Int("tasks", 30, "number of tasks in the flow (paper: 100)")
+	flag.Parse()
+
+	for _, platform := range hw.Platforms() {
+		cfg := core.DefaultDeployConfig()
+		cfg.NumNetworks = 200
+		fmt.Printf("deploying PowerLens on %s...\n", platform.Name)
+		fw, _, err := core.Deploy(platform, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		tasks := experiments.RandomTasks(*numTasks, 42)
+		plans := map[string]*governor.FrequencyPlan{}
+		for _, t := range tasks {
+			if _, ok := plans[t.Graph.Name]; ok {
+				continue
+			}
+			a, err := fw.Analyze(t.Graph)
+			if err != nil {
+				log.Fatal(err)
+			}
+			plans[t.Graph.Name] = a.Plan
+		}
+
+		fmt.Printf("%s task flow: %d tasks x %d images, %v idle gap\n",
+			platform.Name, *numTasks, experiments.ImagesPerTask, experiments.TaskGap)
+		fmt.Printf("%-10s %12s %14s %12s\n", "method", "energy (J)", "makespan", "EE (img/J)")
+		controllers := []sim.Controller{
+			governor.NewMultiPlan(plans),
+			governor.NewFPGG(),
+			governor.NewFPGCG(),
+			governor.NewOndemand(),
+		}
+		var base sim.Result
+		for i, ctl := range controllers {
+			r := sim.NewExecutor(platform, ctl).RunTaskFlow(tasks, experiments.TaskGap)
+			if i == 0 {
+				base = r
+			}
+			fmt.Printf("%-10s %12.1f %14v %12.4f\n",
+				r.Controller, r.EnergyJ, r.Time.Round(time.Millisecond), r.EE())
+		}
+		fmt.Printf("PowerLens processed %d images at %.2f img/J\n\n", base.Images, base.EE())
+	}
+}

@@ -1,0 +1,3 @@
+module powerlens
+
+go 1.22

@@ -1,0 +1,153 @@
+// Package cloud implements the paper's §5 future-work deployment scenario:
+// "we plan to apply PowerLens in cloud servers, where more complex and
+// diverse tasks can yield greater benefits". A Cluster models a rack of
+// identical accelerator nodes fed by a stream of inference jobs; a
+// dispatcher assigns each job to the earliest-available node, and every node
+// is simulated with the same executor/governor machinery as the
+// single-board experiments. Cluster-level energy, makespan, and turnaround
+// compare DVFS policies at fleet scale.
+package cloud
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"powerlens/internal/graph"
+	"powerlens/internal/hw"
+	"powerlens/internal/sim"
+)
+
+// Job is one inference request: a model, an image count, and an arrival
+// time relative to the start of the trace.
+type Job struct {
+	Graph   *graph.Graph
+	Images  int
+	Arrival time.Duration
+}
+
+// ControllerFactory builds a fresh controller per node (controllers are
+// stateful, so nodes cannot share one).
+type ControllerFactory func() sim.Controller
+
+// Config describes the cluster.
+type Config struct {
+	Nodes    int
+	Platform *hw.Platform
+	NewCtl   ControllerFactory
+	// Batch applies the §5 batching extension on every node (0/1 = off).
+	Batch int
+}
+
+// NodeResult is one node's simulated outcome.
+type NodeResult struct {
+	Node    int
+	Jobs    int
+	Result  sim.Result
+	BusyEnd time.Duration // when the node finished its last job
+}
+
+// Result aggregates a cluster run.
+type Result struct {
+	Nodes []NodeResult
+
+	TotalEnergyJ   float64
+	TotalImages    int
+	Makespan       time.Duration // latest node completion
+	MeanTurnaround time.Duration // mean (completion - arrival) over jobs
+}
+
+// EE returns cluster-level images per joule.
+func (r Result) EE() float64 {
+	if r.TotalEnergyJ <= 0 {
+		return 0
+	}
+	return float64(r.TotalImages) / r.TotalEnergyJ
+}
+
+// Run dispatches jobs (sorted by arrival) to the earliest-available node
+// and simulates every node's task flow. Job service times are measured with
+// a per-job dry run at the node's policy, so dispatch decisions see the
+// same latency the simulation produces.
+func Run(cfg Config, jobs []Job) (Result, error) {
+	if cfg.Nodes < 1 {
+		return Result{}, fmt.Errorf("cloud: need at least one node, got %d", cfg.Nodes)
+	}
+	if cfg.Platform == nil || cfg.NewCtl == nil {
+		return Result{}, fmt.Errorf("cloud: platform and controller factory required")
+	}
+	sorted := make([]Job, len(jobs))
+	copy(sorted, jobs)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Arrival < sorted[j].Arrival })
+
+	// Per-model service-time cache (dry run on a fresh controller).
+	serviceTime := map[string]time.Duration{}
+	service := func(j Job) time.Duration {
+		key := fmt.Sprintf("%s/%d", j.Graph.Name, j.Images)
+		if t, ok := serviceTime[key]; ok {
+			return t
+		}
+		e := sim.NewExecutor(cfg.Platform, cfg.NewCtl())
+		e.Batch = cfg.Batch
+		t := e.RunTask(j.Graph, j.Images).Time
+		serviceTime[key] = t
+		return t
+	}
+
+	type nodeState struct {
+		free  time.Duration
+		tasks []sim.Task
+		gaps  []time.Duration
+		jobs  int
+	}
+	nodes := make([]nodeState, cfg.Nodes)
+	var turnaround time.Duration
+
+	for _, j := range sorted {
+		// Earliest-available node (FCFS dispatch).
+		best := 0
+		bestStart := maxDur(j.Arrival, nodes[0].free)
+		for n := 1; n < cfg.Nodes; n++ {
+			if s := maxDur(j.Arrival, nodes[n].free); s < bestStart {
+				best, bestStart = n, s
+			}
+		}
+		ns := &nodes[best]
+		if len(ns.tasks) > 0 {
+			ns.gaps = append(ns.gaps, bestStart-ns.free)
+		}
+		dur := service(j)
+		ns.tasks = append(ns.tasks, sim.Task{Graph: j.Graph, Images: j.Images})
+		ns.free = bestStart + dur
+		ns.jobs++
+		turnaround += ns.free - j.Arrival
+	}
+
+	res := Result{}
+	for n := range nodes {
+		if nodes[n].jobs == 0 {
+			continue
+		}
+		e := sim.NewExecutor(cfg.Platform, cfg.NewCtl())
+		e.Batch = cfg.Batch
+		r := e.RunTaskFlowArrivals(nodes[n].tasks, nodes[n].gaps)
+		nr := NodeResult{Node: n, Jobs: nodes[n].jobs, Result: r, BusyEnd: nodes[n].free}
+		res.Nodes = append(res.Nodes, nr)
+		res.TotalEnergyJ += r.EnergyJ
+		res.TotalImages += r.Images
+		if nodes[n].free > res.Makespan {
+			res.Makespan = nodes[n].free
+		}
+	}
+	if len(sorted) > 0 {
+		res.MeanTurnaround = turnaround / time.Duration(len(sorted))
+	}
+	return res, nil
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}

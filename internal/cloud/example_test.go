@@ -1,0 +1,33 @@
+package cloud_test
+
+import (
+	"fmt"
+	"time"
+
+	"powerlens/internal/cloud"
+	"powerlens/internal/governor"
+	"powerlens/internal/hw"
+	"powerlens/internal/sim"
+)
+
+// Dispatch a small Poisson job trace over a two-node fleet.
+func ExampleRun() {
+	p := hw.TX2()
+	jobs := cloud.RandomJobs(6, 400*time.Millisecond, 7)
+
+	res, err := cloud.Run(cloud.Config{
+		Nodes:    2,
+		Platform: p,
+		NewCtl:   func() sim.Controller { return governor.NewStatic(6) },
+	}, jobs)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("jobs dispatched:", len(jobs))
+	fmt.Println("fleet EE positive:", res.EE() > 0)
+	fmt.Println("makespan covers all nodes:", res.Makespan > 0)
+	// Output:
+	// jobs dispatched: 6
+	// fleet EE positive: true
+	// makespan covers all nodes: true
+}

@@ -1,0 +1,36 @@
+package cloud
+
+import (
+	"math/rand"
+	"time"
+
+	"powerlens/internal/models"
+	"powerlens/internal/sim"
+)
+
+// RandomJobs synthesizes a cloud inference trace: n jobs drawn uniformly
+// from the evaluation models, with Poisson arrivals at the given mean
+// inter-arrival time and image counts between 25 and 100 (the "more complex
+// and diverse tasks" of §5). Deterministic per seed.
+func RandomJobs(n int, meanGap time.Duration, seed int64) []Job {
+	rng := rand.New(rand.NewSource(seed))
+	names := models.Names()
+	built := map[string]*Job{}
+	gaps := sim.PoissonArrivals(n, meanGap, seed+1)
+
+	jobs := make([]Job, n)
+	at := time.Duration(0)
+	for i := range jobs {
+		name := names[rng.Intn(len(names))]
+		if _, ok := built[name]; !ok {
+			built[name] = &Job{Graph: models.MustBuild(name)}
+		}
+		jobs[i] = Job{
+			Graph:   built[name].Graph,
+			Images:  25 + rng.Intn(76),
+			Arrival: at,
+		}
+		at += gaps[i]
+	}
+	return jobs
+}

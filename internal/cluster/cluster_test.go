@@ -1,0 +1,307 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"powerlens/internal/models"
+	"powerlens/internal/tensor"
+)
+
+func defaultHP(eps float64, minPts int) Hyperparams {
+	a, l := DefaultDistanceParams()
+	return Hyperparams{Eps: eps, MinPts: minPts, Alpha: a, Lambda: l}
+}
+
+func TestHyperparamsValidate(t *testing.T) {
+	if err := defaultHP(0.3, 3).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Hyperparams{
+		{Eps: 0, MinPts: 3, Alpha: 0.5, Lambda: 0.1},
+		{Eps: 0.3, MinPts: 0, Alpha: 0.5, Lambda: 0.1},
+		{Eps: 0.3, MinPts: 3, Alpha: 1.5, Lambda: 0.1},
+		{Eps: 0.3, MinPts: 3, Alpha: 0.5, Lambda: -1},
+	}
+	for i, hp := range bad {
+		if err := hp.Validate(); err == nil {
+			t.Fatalf("case %d: expected validation error", i)
+		}
+	}
+}
+
+// twoRegimeFeatures builds a feature matrix with two obviously different
+// populations: rows 0..9 near (0,0), rows 10..19 near (10,10).
+func twoRegimeFeatures() *tensor.Matrix {
+	rng := rand.New(rand.NewSource(5))
+	rows := make([][]float64, 20)
+	for i := range rows {
+		base := 0.0
+		if i >= 10 {
+			base = 10
+		}
+		rows[i] = []float64{base + rng.NormFloat64()*0.1, base + rng.NormFloat64()*0.1}
+	}
+	return tensor.FromRows(rows)
+}
+
+func TestDBSCANSeparatesRegimes(t *testing.T) {
+	x := twoRegimeFeatures()
+	d := BlendedDistance(x, 1.0, 0) // pure Mahalanobis, no spacing term
+	labels := dbscan(d, 0.15, 3)
+	if labels[0] == labels[19] {
+		t.Fatal("distinct regimes must get distinct labels")
+	}
+	for i := 1; i < 10; i++ {
+		if labels[i] != labels[0] {
+			t.Fatalf("regime 1 split: labels=%v", labels)
+		}
+	}
+	for i := 11; i < 20; i++ {
+		if labels[i] != labels[10] {
+			t.Fatalf("regime 2 split: labels=%v", labels)
+		}
+	}
+}
+
+func TestDBSCANAllNoiseWithTinyEps(t *testing.T) {
+	x := twoRegimeFeatures()
+	d := BlendedDistance(x, 1.0, 0)
+	labels := dbscan(d, 1e-9, 3)
+	for _, l := range labels {
+		if l != -1 {
+			t.Fatalf("expected all noise, got %v", labels)
+		}
+	}
+}
+
+func TestClusterBlocksContiguousAndCovering(t *testing.T) {
+	x := twoRegimeFeatures()
+	blocks, err := Cluster(x, defaultHP(0.25, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPartition(t, blocks, x.Rows)
+	if len(blocks) != 2 {
+		t.Fatalf("blocks = %d, want 2 (two regimes)", len(blocks))
+	}
+	if blocks[0].End != 9 {
+		t.Fatalf("boundary = %d, want 9", blocks[0].End)
+	}
+}
+
+func checkPartition(t *testing.T, blocks []Block, n int) {
+	t.Helper()
+	if len(blocks) == 0 {
+		t.Fatal("no blocks")
+	}
+	if blocks[0].Start != 0 {
+		t.Fatalf("first block starts at %d", blocks[0].Start)
+	}
+	for i := 1; i < len(blocks); i++ {
+		if blocks[i].Start != blocks[i-1].End+1 {
+			t.Fatalf("gap/overlap between block %d and %d: %+v", i-1, i, blocks)
+		}
+	}
+	if blocks[len(blocks)-1].End != n-1 {
+		t.Fatalf("last block ends at %d, want %d", blocks[len(blocks)-1].End, n-1)
+	}
+}
+
+// The spacing regularization must prevent non-adjacent lookalike operators
+// from clustering together (DESIGN.md key design choice 2).
+func TestSpacingRegularizationSeparatesDistantTwins(t *testing.T) {
+	// Rows 0-4 and rows 15-19 are identical populations; rows 5-14 differ.
+	rng := rand.New(rand.NewSource(9))
+	rows := make([][]float64, 20)
+	for i := range rows {
+		base := 0.0
+		if i >= 5 && i < 15 {
+			base = 8
+		}
+		rows[i] = []float64{base + rng.NormFloat64()*0.05, base + rng.NormFloat64()*0.05}
+	}
+	x := tensor.FromRows(rows)
+
+	// Without spacing term, DBSCAN happily merges rows 0-4 with 15-19.
+	dNo := BlendedDistance(x, 1.0, 0)
+	labelsNo := dbscan(dNo, 0.15, 3)
+	if labelsNo[0] != labelsNo[19] {
+		t.Fatal("sanity: without spacing, twins should share a label")
+	}
+
+	// With spacing, twins 15 indices apart must not be eps-neighbors, so
+	// post-processed blocks stay contiguous and the view has 3 blocks.
+	blocks, err := Cluster(x, defaultHP(0.25, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPartition(t, blocks, 20)
+	if len(blocks) != 3 {
+		t.Fatalf("blocks = %v, want 3 contiguous segments", blocks)
+	}
+}
+
+func TestProcessClustersMergesNoise(t *testing.T) {
+	// labels: cluster 0 (rows 0-3), noise row 4, cluster 1 (rows 5-9).
+	labels := []int{0, 0, 0, 0, -1, 1, 1, 1, 1, 1}
+	d := tensor.NewMatrix(10, 10)
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 10; j++ {
+			if i != j {
+				d.Set(i, j, 1)
+			}
+		}
+	}
+	// Make row 4 closer to cluster 1.
+	for j := 5; j < 10; j++ {
+		d.Set(4, j, 0.1)
+		d.Set(j, 4, 0.1)
+	}
+	blocks := processClusters(labels, d, 3, 0.05)
+	checkPartition(t, blocks, 10)
+	if len(blocks) != 2 {
+		t.Fatalf("blocks = %v, want noise merged into 2 blocks", blocks)
+	}
+	if blocks[0].End != 3 || blocks[1].Start != 4 {
+		t.Fatalf("noise row merged the wrong way: %v", blocks)
+	}
+}
+
+func TestProcessClustersSplitsNonContiguous(t *testing.T) {
+	// Same label on both sides of a different middle — raw DBSCAN output on
+	// a residual network. Post-processing must keep blocks contiguous.
+	labels := []int{0, 0, 0, 1, 1, 1, 0, 0, 0}
+	d := tensor.NewMatrix(9, 9)
+	for i := 0; i < 9; i++ {
+		for j := 0; j < 9; j++ {
+			if i != j {
+				d.Set(i, j, 1)
+			}
+		}
+	}
+	blocks := processClusters(labels, d, 3, 0.05)
+	checkPartition(t, blocks, 9)
+	if len(blocks) != 3 {
+		t.Fatalf("blocks = %v, want 3 contiguous runs", blocks)
+	}
+}
+
+func TestClusterSingleRow(t *testing.T) {
+	x := tensor.FromRows([][]float64{{1, 2}})
+	blocks, err := Cluster(x, defaultHP(0.3, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 1 || blocks[0] != (Block{0, 0}) {
+		t.Fatalf("blocks = %v", blocks)
+	}
+}
+
+func TestClusterEmptyErrors(t *testing.T) {
+	if _, err := Cluster(tensor.NewMatrix(0, 3), defaultHP(0.3, 3)); err == nil {
+		t.Fatal("expected error for empty matrix")
+	}
+}
+
+// Property: for any random DNN and sane hyperparameters, the power view is a
+// contiguous partition of the graph's non-input layers.
+func TestPowerViewPartitionProperty(t *testing.T) {
+	cfg := models.DefaultGeneratorConfig()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := models.RandomDNN(rng, cfg, 0)
+		eps := 0.1 + rng.Float64()*0.5
+		minPts := 2 + rng.Intn(6)
+		pv, err := BuildPowerView(g, defaultHP(eps, minPts))
+		if err != nil {
+			return false
+		}
+		if pv.NumBlocks() == 0 || pv.Model != g.Name {
+			return false
+		}
+		if pv.Blocks[0].StartLayer != 0 {
+			return false
+		}
+		for i := 1; i < len(pv.Blocks); i++ {
+			if pv.Blocks[i].StartLayer != pv.Blocks[i-1].EndLayer+1 {
+				return false
+			}
+		}
+		return pv.Blocks[len(pv.Blocks)-1].EndLayer == len(g.Layers)-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomPowerViewPartition(t *testing.T) {
+	g := models.ResNet34()
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		pv := RandomPowerView(g, rng, 8)
+		if pv.Blocks[0].StartLayer != 0 {
+			t.Fatal("first block must start at 0")
+		}
+		for i := 1; i < len(pv.Blocks); i++ {
+			if pv.Blocks[i].StartLayer != pv.Blocks[i-1].EndLayer+1 {
+				t.Fatalf("random view not a partition: %+v", pv.Blocks)
+			}
+		}
+		if pv.Blocks[len(pv.Blocks)-1].EndLayer != len(g.Layers)-1 {
+			t.Fatal("random view must cover the graph")
+		}
+		if pv.NumBlocks() > 8 {
+			t.Fatalf("blocks = %d > max 8", pv.NumBlocks())
+		}
+	}
+}
+
+func TestWholeNetworkView(t *testing.T) {
+	g := models.AlexNet()
+	pv := WholeNetworkView(g)
+	if pv.NumBlocks() != 1 {
+		t.Fatalf("P-N view blocks = %d, want 1", pv.NumBlocks())
+	}
+	if pv.Blocks[0].StartLayer != 0 || pv.Blocks[0].EndLayer != len(g.Layers)-1 {
+		t.Fatalf("P-N view must span the whole graph: %+v", pv.Blocks[0])
+	}
+}
+
+func TestRepeatedComponentsFormOneBlock(t *testing.T) {
+	// Paper observation ③: continuous repeated components (ViT encoder
+	// stack) should be treated as one large power block.
+	g := models.ViTBase16()
+	pv, err := BuildPowerView(g, defaultHP(0.35, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pv.NumBlocks() > 3 {
+		t.Fatalf("ViT blocks = %d; repeated encoders should merge into few blocks", pv.NumBlocks())
+	}
+}
+
+func TestBlendedDistanceSymmetric(t *testing.T) {
+	x := twoRegimeFeatures()
+	d := BlendedDistance(x, 0.7, 0.15)
+	for i := 0; i < d.Rows; i++ {
+		if d.At(i, i) != 0 {
+			t.Fatal("diagonal must be zero")
+		}
+		for j := 0; j < d.Cols; j++ {
+			if d.At(i, j) != d.At(j, i) {
+				t.Fatal("blended distance must be symmetric")
+			}
+			if d.At(i, j) < 0 || d.At(i, j) > 1+1e-9 {
+				t.Fatalf("blended distance out of [0,1]: %v", d.At(i, j))
+			}
+		}
+	}
+}
+
+func TestBlockLen(t *testing.T) {
+	if (Block{3, 7}).Len() != 5 {
+		t.Fatal("Block.Len wrong")
+	}
+}

@@ -1,0 +1,161 @@
+package cluster
+
+import "powerlens/internal/tensor"
+
+// dbscan runs DBSCAN over a precomputed distance matrix. It returns one
+// label per row; -1 marks noise. A point is a core point when at least
+// minPts points (itself included) lie within eps.
+func dbscan(d *tensor.Matrix, eps float64, minPts int) []int {
+	n := d.Rows
+	const (
+		unvisited = -2
+		noise     = -1
+	)
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = unvisited
+	}
+
+	neighbors := func(p int) []int {
+		var out []int
+		for q := 0; q < n; q++ {
+			if d.At(p, q) <= eps {
+				out = append(out, q) // includes p itself (distance 0)
+			}
+		}
+		return out
+	}
+
+	cluster := 0
+	for p := 0; p < n; p++ {
+		if labels[p] != unvisited {
+			continue
+		}
+		nb := neighbors(p)
+		if len(nb) < minPts {
+			labels[p] = noise
+			continue
+		}
+		labels[p] = cluster
+		// Expand cluster with a work queue (seed set).
+		queue := append([]int(nil), nb...)
+		for len(queue) > 0 {
+			q := queue[0]
+			queue = queue[1:]
+			if labels[q] == noise {
+				labels[q] = cluster // border point
+			}
+			if labels[q] != unvisited {
+				continue
+			}
+			labels[q] = cluster
+			qnb := neighbors(q)
+			if len(qnb) >= minPts {
+				queue = append(queue, qnb...)
+			}
+		}
+		cluster++
+	}
+	return labels
+}
+
+// processClusters is Algorithm 1's post-processing: it converts raw DBSCAN
+// labels into contiguous, non-overlapping blocks covering every operator.
+// Non-contiguous runs of one label are split; noise points and runs shorter
+// than minPts are merged into the adjacent run with the smaller mean
+// inter-run distance, so every block is "continuous and practically
+// feasible within the network's hierarchical structure" (§2.1.3). A final
+// pass merges adjacent runs whose mean inter-run distance is within eps —
+// DBSCAN separates periodic patterns (e.g. DenseNet's concat cadence) into
+// many echo clusters that are power-equivalent, and the paper's
+// post-processing explicitly "adjusts size, shape, or membership of
+// clusters" to repair exactly that fragmentation.
+func processClusters(labels []int, d *tensor.Matrix, minPts int, eps float64) []Block {
+	n := len(labels)
+	if n == 0 {
+		return nil
+	}
+
+	// 1. Split into contiguous runs of equal labels.
+	type run struct {
+		start, end int
+		label      int
+	}
+	var runs []run
+	start := 0
+	for i := 1; i <= n; i++ {
+		if i == n || labels[i] != labels[start] {
+			runs = append(runs, run{start, i - 1, labels[start]})
+			start = i
+		}
+	}
+
+	// Mean distance between all cross pairs of two runs.
+	meanDist := func(a, b run) float64 {
+		sum, cnt := 0.0, 0
+		for i := a.start; i <= a.end; i++ {
+			for j := b.start; j <= b.end; j++ {
+				sum += d.At(i, j)
+				cnt++
+			}
+		}
+		if cnt == 0 {
+			return 0
+		}
+		return sum / float64(cnt)
+	}
+
+	// 2. Repeatedly merge the smallest offending run (noise or undersized)
+	// into its nearer neighbor until every run is a feasible block.
+	for len(runs) > 1 {
+		worst := -1
+		for i, r := range runs {
+			if r.label == -1 || r.end-r.start+1 < minPts {
+				if worst == -1 || (r.end-r.start) < (runs[worst].end-runs[worst].start) {
+					worst = i
+				}
+			}
+		}
+		if worst == -1 {
+			break
+		}
+		target := worst - 1
+		if worst == 0 {
+			target = 1
+		} else if worst < len(runs)-1 {
+			if meanDist(runs[worst], runs[worst+1]) < meanDist(runs[worst], runs[worst-1]) {
+				target = worst + 1
+			}
+		}
+		// Merge worst into target.
+		lo, hi := worst, target
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		merged := run{runs[lo].start, runs[hi].end, runs[target].label}
+		runs = append(runs[:lo], append([]run{merged}, runs[hi+1:]...)...)
+	}
+
+	// 3. Merge adjacent power-equivalent runs (mean distance within eps),
+	// nearest pair first.
+	for len(runs) > 1 {
+		best, bestD := -1, 0.0
+		for i := 0; i+1 < len(runs); i++ {
+			md := meanDist(runs[i], runs[i+1])
+			if md <= eps && (best == -1 || md < bestD) {
+				best, bestD = i, md
+			}
+		}
+		if best == -1 {
+			break
+		}
+		merged := run{runs[best].start, runs[best+1].end, runs[best].label}
+		runs = append(runs[:best], append([]run{merged}, runs[best+2:]...)...)
+	}
+
+	blocks := make([]Block, 0, len(runs))
+	for _, r := range runs {
+		blocks = append(blocks, Block{r.start, r.end})
+	}
+	return blocks
+}

@@ -1,0 +1,75 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"powerlens/internal/graph"
+	"powerlens/internal/tensor"
+)
+
+func TestClusterPrecomputedSingleRow(t *testing.T) {
+	d := tensor.NewMatrix(1, 1)
+	blocks := ClusterPrecomputed(d, defaultHP(0.3, 3))
+	if len(blocks) != 1 || blocks[0] != (Block{0, 0}) {
+		t.Fatalf("blocks = %v", blocks)
+	}
+}
+
+func TestRandomPowerViewMinBlocks(t *testing.T) {
+	g := twoLayerGraph()
+	rng := rand.New(rand.NewSource(1))
+	// maxBlocks below 2 clamps to 2 (P-R must differ from P-N).
+	pv := RandomPowerView(g, rng, 0)
+	if pv.NumBlocks() < 1 {
+		t.Fatal("empty view")
+	}
+}
+
+func TestRandomPowerViewTinyGraph(t *testing.T) {
+	// A graph with a single non-input op cannot be cut; the view must still
+	// be a valid partition.
+	g := oneOpGraph()
+	rng := rand.New(rand.NewSource(2))
+	pv := RandomPowerView(g, rng, 8)
+	if pv.NumBlocks() != 1 {
+		t.Fatalf("blocks = %d", pv.NumBlocks())
+	}
+	if pv.Blocks[0].StartLayer != 0 || pv.Blocks[0].EndLayer != len(g.Layers)-1 {
+		t.Fatalf("coverage wrong: %+v", pv.Blocks[0])
+	}
+}
+
+func TestDBSCANBorderPointAdoption(t *testing.T) {
+	// A point within eps of a core point but itself not core must join the
+	// cluster (classic DBSCAN border semantics).
+	rows := [][]float64{{0}, {0.1}, {0.2}, {0.9}}
+	x := tensor.FromRows(rows)
+	d := BlendedDistance(x, 1.0, 0)
+	labels := dbscan(d, 0.35, 3)
+	if labels[0] != labels[1] || labels[1] != labels[2] {
+		t.Fatalf("core cluster split: %v", labels)
+	}
+	if labels[3] == labels[0] && labels[3] != -1 {
+		// row 3 is far in normalized distance; either noise or own cluster,
+		// never the same cluster.
+		t.Fatalf("far point adopted: %v", labels)
+	}
+}
+
+// twoLayerGraph builds a minimal multi-op graph.
+func twoLayerGraph() *graph.Graph {
+	g := graph.New("two")
+	in := g.Input(3, 8, 8)
+	c := g.Conv(in, 4, 3, 1, 1, 1)
+	g.ReLU(c)
+	return g
+}
+
+// oneOpGraph builds a graph with a single non-input operator.
+func oneOpGraph() *graph.Graph {
+	g := graph.New("one")
+	in := g.Input(3, 8, 8)
+	g.Conv(in, 4, 3, 1, 1, 1)
+	return g
+}

@@ -1,0 +1,38 @@
+package cluster_test
+
+import (
+	"fmt"
+
+	"powerlens/internal/cluster"
+	"powerlens/internal/models"
+)
+
+// Cluster a network into power blocks with explicit hyperparameters
+// (deployments normally let the prediction model choose ε and minPts).
+func ExampleBuildPowerView() {
+	g := models.MustBuild("vgg19")
+	alpha, lambda := cluster.DefaultDistanceParams()
+	hp := cluster.Hyperparams{Eps: 0.30, MinPts: 2, Alpha: alpha, Lambda: lambda}
+
+	pv, err := cluster.BuildPowerView(g, hp)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("model:", pv.Model)
+	fmt.Println("blocks:", pv.NumBlocks())
+	fmt.Println("covers whole graph:",
+		pv.Blocks[0].StartLayer == 0 && pv.Blocks[pv.NumBlocks()-1].EndLayer == len(g.Layers)-1)
+	// Output:
+	// model: vgg19
+	// blocks: 3
+	// covers whole graph: true
+}
+
+// The P-N ablation view treats the whole network as one power block.
+func ExampleWholeNetworkView() {
+	g := models.MustBuild("alexnet")
+	pv := cluster.WholeNetworkView(g)
+	fmt.Println(pv.NumBlocks(), "block spanning", pv.Blocks[0].EndLayer+1, "layers")
+	// Output:
+	// 1 block spanning 23 layers
+}

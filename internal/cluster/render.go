@@ -1,0 +1,37 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render draws the power view as an ASCII block diagram with one bar per
+// power block, scaled by operator count — the "logical intermediate
+// representation that intuitively presents the main paths and areas where
+// power usage is concentrated" (§2.1.3). Levels (one per block, optional)
+// annotate the preset target frequencies.
+func (pv *PowerView) Render(levels []int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "power view of %s (%d blocks)\n", pv.Model, pv.NumBlocks())
+	totalOps := 0
+	for _, b := range pv.Blocks {
+		totalOps += b.NumOps
+	}
+	if totalOps == 0 {
+		return sb.String()
+	}
+	const width = 50
+	for i, b := range pv.Blocks {
+		bar := b.NumOps * width / totalOps
+		if bar < 1 {
+			bar = 1
+		}
+		lvl := ""
+		if levels != nil && i < len(levels) {
+			lvl = fmt.Sprintf(" -> L%d", levels[i])
+		}
+		fmt.Fprintf(&sb, "  [%3d..%3d] %-*s %3d ops%s\n",
+			b.StartLayer, b.EndLayer, width, strings.Repeat("█", bar), b.NumOps, lvl)
+	}
+	return sb.String()
+}

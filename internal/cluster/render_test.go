@@ -1,0 +1,42 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderPowerView(t *testing.T) {
+	pv := &PowerView{Model: "demo", Blocks: []PowerBlock{
+		{StartLayer: 0, EndLayer: 9, NumOps: 10},
+		{StartLayer: 10, EndLayer: 12, NumOps: 3},
+	}}
+	out := pv.Render([]int{6, 1})
+	for _, want := range []string{"demo", "2 blocks", "[  0..  9]", "10 ops", "-> L6", "-> L1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Bars scale with op count.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if strings.Count(lines[1], "█") <= strings.Count(lines[2], "█") {
+		t.Fatal("bigger block must render a longer bar")
+	}
+}
+
+func TestRenderWithoutLevels(t *testing.T) {
+	pv := &PowerView{Model: "x", Blocks: []PowerBlock{{0, 4, 5}}}
+	out := pv.Render(nil)
+	if strings.Contains(out, "-> L") {
+		t.Fatal("no level annotations expected")
+	}
+	if !strings.Contains(out, "1 blocks") {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestRenderEmptyView(t *testing.T) {
+	pv := &PowerView{Model: "empty"}
+	if out := pv.Render(nil); !strings.Contains(out, "0 blocks") {
+		t.Fatalf("got %q", out)
+	}
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"powerlens/internal/governor"
+	"powerlens/internal/hw"
+	"powerlens/internal/models"
+	"powerlens/internal/sim"
+)
+
+// deployTest caches one small deployment per platform for all tests.
+var deployCache = map[string]*Framework{}
+
+func testFramework(t *testing.T, p *hw.Platform) *Framework {
+	t.Helper()
+	if fw, ok := deployCache[p.Name]; ok {
+		return fw
+	}
+	cfg := DefaultDeployConfig()
+	cfg.NumNetworks = 80
+	cfg.HyperTrain.Epochs = 40
+	cfg.DecisionTrain.Epochs = 40
+	fw, report, err := Deploy(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.NumBlocks < cfg.NumNetworks {
+		t.Fatalf("dataset B too small: %d", report.NumBlocks)
+	}
+	deployCache[p.Name] = fw
+	return fw
+}
+
+func TestDeployProducesUsableModels(t *testing.T) {
+	p := hw.TX2()
+	cfg := DefaultDeployConfig()
+	cfg.NumNetworks = 80
+	cfg.HyperTrain.Epochs = 40
+	cfg.DecisionTrain.Epochs = 40
+	fw, report, err := Deploy(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deployCache[p.Name] = fw
+	// With a small training set we assert usefulness, not the paper's
+	// full-scale 92.6%/94.2% (see cmd/trainer for the full run).
+	if report.DecisionAccuracy < 0.55 {
+		t.Fatalf("decision accuracy = %.3f, model unusable", report.DecisionAccuracy)
+	}
+	if report.DecisionMeanLevelError > 2.0 {
+		t.Fatalf("decision mean level error = %.2f", report.DecisionMeanLevelError)
+	}
+	if report.HyperAccuracy < 0.3 {
+		t.Fatalf("hyper accuracy = %.3f, model unusable", report.HyperAccuracy)
+	}
+	if report.DatasetTime <= 0 || report.HyperTrainTime <= 0 || report.DecisionTrainTime <= 0 {
+		t.Fatal("report timings missing")
+	}
+}
+
+func TestDeployRejectsTinyConfig(t *testing.T) {
+	if _, _, err := Deploy(hw.TX2(), DeployConfig{NumNetworks: 3}); err == nil {
+		t.Fatal("expected error for tiny config")
+	}
+}
+
+func TestAnalyzeWorkflow(t *testing.T) {
+	fw := testFramework(t, hw.TX2())
+	for _, name := range []string{"resnet152", "vit_base_16", "alexnet"} {
+		g := models.MustBuild(name)
+		a, err := fw.Analyze(g)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if a.View.NumBlocks() < 1 {
+			t.Fatalf("%s: empty view", name)
+		}
+		if len(a.Levels) != a.View.NumBlocks() {
+			t.Fatalf("%s: levels/blocks mismatch", name)
+		}
+		if a.Plan.Model != name || a.Plan.NumPoints() != a.View.NumBlocks() {
+			t.Fatalf("%s: plan inconsistent", name)
+		}
+		for _, lvl := range a.Levels {
+			if lvl < 0 || lvl >= fw.Platform.NumGPULevels() {
+				t.Fatalf("%s: level %d out of ladder", name, lvl)
+			}
+		}
+		tm := a.Timings
+		if tm.FeatureExtraction < 0 || tm.Clustering <= 0 {
+			t.Fatalf("%s: timings not recorded: %+v", name, tm)
+		}
+	}
+}
+
+// The headline claim: a PowerLens plan must beat the BiM-style fmax strategy
+// on energy efficiency for a large model.
+func TestPowerLensPlanBeatsMaxFrequency(t *testing.T) {
+	for _, p := range hw.Platforms() {
+		fw := testFramework(t, p)
+		g := models.MustBuild("resnet152")
+		a, err := fw.Analyze(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl := sim.NewExecutor(p, governor.NewPowerLens(a.Plan)).RunTask(g, 10)
+		maxStatic := sim.NewExecutor(p, governor.NewStatic(p.NumGPULevels()-1)).RunTask(g, 10)
+		if pl.EE() <= maxStatic.EE() {
+			t.Fatalf("%s: PowerLens EE %.4f <= fmax EE %.4f", p.Name, pl.EE(), maxStatic.EE())
+		}
+	}
+}
+
+// The plan should land close to the oracle per-block plan.
+func TestPlanNearOracle(t *testing.T) {
+	p := hw.TX2()
+	fw := testFramework(t, p)
+	g := models.MustBuild("resnet152")
+	a, err := fw.Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := fw.OraclePlan(g, a)
+	plEE := sim.NewExecutor(p, governor.NewPowerLens(a.Plan)).RunTask(g, 10).EE()
+	orEE := sim.NewExecutor(p, governor.NewPowerLens(oracle)).RunTask(g, 10).EE()
+	if plEE < orEE*0.80 {
+		t.Fatalf("model plan EE %.4f < 80%% of oracle EE %.4f", plEE, orEE)
+	}
+}
+
+func TestAblationViews(t *testing.T) {
+	fw := testFramework(t, hw.TX2())
+	g := models.MustBuild("resnet34")
+	pn := fw.AnalyzeWholeNetwork(g)
+	if pn.View.NumBlocks() != 1 || pn.Plan.NumPoints() != 1 {
+		t.Fatal("P-N must be a single block")
+	}
+	pr := fw.AnalyzeRandomBlocks(g, rand.New(rand.NewSource(5)), 8)
+	if pr.View.NumBlocks() < 1 || pr.View.NumBlocks() > 8 {
+		t.Fatalf("P-R blocks = %d", pr.View.NumBlocks())
+	}
+	if len(pr.Levels) != pr.View.NumBlocks() {
+		t.Fatal("P-R levels mismatch")
+	}
+}
+
+func TestSaveLoadRoundtrip(t *testing.T) {
+	fw := testFramework(t, hw.TX2())
+	path := filepath.Join(t.TempDir(), "fw.json")
+	if err := fw.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	fw2, err := LoadFramework(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fw2.Platform.Name != "TX2" || len(fw2.Grid) != len(fw.Grid) {
+		t.Fatal("roundtrip lost platform/grid")
+	}
+	// Loaded model must produce identical plans.
+	g := models.MustBuild("googlenet")
+	a1, err := fw.Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := fw2.Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.View.NumBlocks() != a2.View.NumBlocks() {
+		t.Fatal("loaded framework clusters differently")
+	}
+	for i := range a1.Levels {
+		if a1.Levels[i] != a2.Levels[i] {
+			t.Fatal("loaded framework decides differently")
+		}
+	}
+}
+
+func TestLoadFrameworkErrors(t *testing.T) {
+	if _, err := LoadFramework(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestDeployReportConfusion(t *testing.T) {
+	fw := testFramework(t, hw.TX2())
+	_ = fw // framework cached; re-deploy small to get a fresh report
+	cfg := DefaultDeployConfig()
+	cfg.NumNetworks = 30
+	cfg.HyperTrain.Epochs = 15
+	cfg.DecisionTrain.Epochs = 15
+	_, report, err := Deploy(hw.AGX(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.DecisionConfusion == nil {
+		t.Fatal("confusion matrix missing from report")
+	}
+	if got := report.DecisionConfusion.Accuracy(); got != report.DecisionAccuracy {
+		t.Fatalf("confusion accuracy %.4f != reported %.4f", got, report.DecisionAccuracy)
+	}
+}

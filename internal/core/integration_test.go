@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+
+	"powerlens/internal/governor"
+	"powerlens/internal/hw"
+	"powerlens/internal/models"
+	"powerlens/internal/sim"
+)
+
+// TestAnalyzeEntireZoo pushes every registry model (the Table 1 set plus
+// the extra zoo members) through the full workflow on both platforms and
+// checks the structural invariants of the resulting plans.
+func TestAnalyzeEntireZoo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-zoo integration test")
+	}
+	for _, p := range hw.Platforms() {
+		fw := testFramework(t, p)
+		for _, name := range models.AllNames() {
+			g := models.MustBuild(name)
+			a, err := fw.Analyze(g)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", p.Name, name, err)
+			}
+			// The view must partition the graph.
+			if a.View.Blocks[0].StartLayer != 0 {
+				t.Fatalf("%s/%s: view does not start at layer 0", p.Name, name)
+			}
+			for i := 1; i < len(a.View.Blocks); i++ {
+				if a.View.Blocks[i].StartLayer != a.View.Blocks[i-1].EndLayer+1 {
+					t.Fatalf("%s/%s: view not contiguous", p.Name, name)
+				}
+			}
+			if last := a.View.Blocks[len(a.View.Blocks)-1].EndLayer; last != len(g.Layers)-1 {
+				t.Fatalf("%s/%s: view ends at %d of %d", p.Name, name, last, len(g.Layers)-1)
+			}
+			// Every preset level must be on the ladder.
+			for layer, lvl := range a.Plan.Points {
+				if layer < 0 || layer >= len(g.Layers) {
+					t.Fatalf("%s/%s: plan references layer %d", p.Name, name, layer)
+				}
+				if lvl < 0 || lvl >= p.NumGPULevels() {
+					t.Fatalf("%s/%s: plan level %d off ladder", p.Name, name, lvl)
+				}
+			}
+		}
+	}
+}
+
+// TestZooEEGainsOverFmax verifies the headline claim holds for every
+// registry model, not just the Table 1 set.
+func TestZooEEGainsOverFmax(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-zoo integration test")
+	}
+	p := hw.TX2()
+	fw := testFramework(t, p)
+	for _, name := range models.AllNames() {
+		g := models.MustBuild(name)
+		a, err := fw.Analyze(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl := sim.NewExecutor(p, governor.NewPowerLens(a.Plan)).RunTask(g, 10)
+		fmax := sim.NewExecutor(p, governor.NewStatic(p.NumGPULevels()-1)).RunTask(g, 10)
+		if pl.EE() <= fmax.EE() {
+			t.Errorf("%s: PowerLens EE %.4f <= fmax %.4f", name, pl.EE(), fmax.EE())
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"powerlens/internal/cluster"
+	"powerlens/internal/hw"
+	"powerlens/internal/nn"
+)
+
+// frameworkFile is the on-disk form of a trained deployment. Only inference
+// state is persisted (weights, scalers, grid); optimizer state is not needed
+// after training.
+type frameworkFile struct {
+	Platform string                `json:"platform"`
+	Grid     []cluster.Hyperparams `json:"grid"`
+
+	HyperModel     *nn.TwoStageNet `json:"hyper_model"`
+	HyperScaler    *nn.FacetScaler `json:"hyper_scaler"`
+	DecisionModel  *nn.TwoStageNet `json:"decision_model"`
+	DecisionScaler *nn.FacetScaler `json:"decision_scaler"`
+}
+
+// Save writes the trained framework to a JSON file.
+func (f *Framework) Save(path string) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("core: save: %w", err)
+	}
+	defer out.Close()
+	ff := frameworkFile{
+		Platform:       f.Platform.Name,
+		Grid:           f.Grid,
+		HyperModel:     f.HyperModel,
+		HyperScaler:    f.HyperScaler,
+		DecisionModel:  f.DecisionModel,
+		DecisionScaler: f.DecisionScaler,
+	}
+	if err := json.NewEncoder(out).Encode(ff); err != nil {
+		return fmt.Errorf("core: encode: %w", err)
+	}
+	return nil
+}
+
+// LoadFramework reads a deployment saved with Save. The platform is
+// reconstructed from its name (TX2 or AGX).
+func LoadFramework(path string) (*Framework, error) {
+	in, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: load: %w", err)
+	}
+	defer in.Close()
+	var ff frameworkFile
+	if err := json.NewDecoder(in).Decode(&ff); err != nil {
+		return nil, fmt.Errorf("core: decode: %w", err)
+	}
+	var p *hw.Platform
+	switch ff.Platform {
+	case "TX2":
+		p = hw.TX2()
+	case "AGX":
+		p = hw.AGX()
+	default:
+		return nil, fmt.Errorf("core: unknown platform %q", ff.Platform)
+	}
+	if ff.HyperModel == nil || ff.DecisionModel == nil || ff.HyperScaler == nil || ff.DecisionScaler == nil {
+		return nil, fmt.Errorf("core: %s missing model state", path)
+	}
+	return &Framework{
+		Platform:       p,
+		Grid:           ff.Grid,
+		HyperModel:     ff.HyperModel,
+		HyperScaler:    ff.HyperScaler,
+		DecisionModel:  ff.DecisionModel,
+		DecisionScaler: ff.DecisionScaler,
+	}, nil
+}

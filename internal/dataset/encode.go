@@ -1,0 +1,46 @@
+package dataset
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// fileFormat wraps both datasets for on-disk storage (cmd/datasetgen writes
+// it, cmd/trainer reads it).
+type fileFormat struct {
+	Platform string    `json:"platform"`
+	A        *DatasetA `json:"dataset_a"`
+	B        *DatasetB `json:"dataset_b"`
+}
+
+// Save writes both datasets to a JSON file.
+func Save(path, platform string, a *DatasetA, b *DatasetB) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataset: save: %w", err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	if err := enc.Encode(fileFormat{Platform: platform, A: a, B: b}); err != nil {
+		return fmt.Errorf("dataset: encode: %w", err)
+	}
+	return nil
+}
+
+// Load reads datasets written by Save.
+func Load(path string) (platform string, a *DatasetA, b *DatasetB, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", nil, nil, fmt.Errorf("dataset: load: %w", err)
+	}
+	defer f.Close()
+	var ff fileFormat
+	if err := json.NewDecoder(f).Decode(&ff); err != nil {
+		return "", nil, nil, fmt.Errorf("dataset: decode: %w", err)
+	}
+	if ff.A == nil || ff.B == nil {
+		return "", nil, nil, fmt.Errorf("dataset: file %s missing datasets", path)
+	}
+	return ff.Platform, ff.A, ff.B, nil
+}

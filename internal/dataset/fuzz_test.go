@@ -1,0 +1,37 @@
+package dataset
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzLoad guards the dataset file parser: arbitrary bytes must produce an
+// error or valid datasets, never a panic.
+func FuzzLoad(f *testing.F) {
+	f.Add([]byte(`{"platform":"TX2","dataset_a":{"Samples":[],"Grid":[]},"dataset_b":{"Samples":[],"NumLevels":13}}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"platform":"TX2"}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "ds.json")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		platform, a, b, err := Load(path)
+		if err != nil {
+			return
+		}
+		if a == nil || b == nil {
+			t.Fatal("nil datasets accepted")
+		}
+		_ = platform
+		// Accepted samples must be shape-consistent enough not to crash the
+		// training path guards.
+		for _, s := range a.Samples {
+			_ = len(s.Structural) + len(s.Stats)
+		}
+	})
+}

@@ -1,0 +1,133 @@
+package dataset
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"powerlens/internal/hw"
+	"powerlens/internal/models"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden.json from current behaviour")
+
+// goldenEntry pins the per-model quantities every experiment depends on:
+// cost accounting, the canonical clustering choice, and the oracle levels.
+// A diff here means the cost model or Algorithm 1 changed behaviour — which
+// must be a deliberate, reviewed decision (run with -update to accept).
+type goldenEntry struct {
+	FLOPs      int64 `json:"flops"`
+	Params     int64 `json:"params"`
+	MemBytes   int64 `json:"mem_bytes"`
+	LayerCount int   `json:"layers"`
+	TX2Cell    int   `json:"tx2_cell"`
+	TX2Blocks  int   `json:"tx2_blocks"`
+	TX2Levels  []int `json:"tx2_levels"`
+	AGXBlocks  int   `json:"agx_blocks"`
+	AGXLevels  []int `json:"agx_levels"`
+}
+
+func computeGolden() map[string]goldenEntry {
+	tx2, agx := hw.TX2(), hw.AGX()
+	grid := DefaultGrid()
+	out := map[string]goldenEntry{}
+	for _, name := range models.Names() {
+		g := models.MustBuild(name)
+		e := goldenEntry{
+			FLOPs:      g.TotalFLOPs(),
+			Params:     g.TotalParams(),
+			MemBytes:   g.TotalMemBytes(),
+			LayerCount: len(g.Layers),
+		}
+		cell, view, levels := BestClustering(tx2, g, grid)
+		e.TX2Cell, e.TX2Blocks, e.TX2Levels = cell, view.NumBlocks(), levels
+		_, viewA, levelsA := BestClustering(agx, g, grid)
+		e.AGXBlocks, e.AGXLevels = viewA.NumBlocks(), levelsA
+		out[name] = e
+	}
+	return out
+}
+
+func goldenPath(t *testing.T) string {
+	t.Helper()
+	if err := os.MkdirAll("testdata", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join("testdata", "golden.json")
+}
+
+func TestGoldenModelBehaviour(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden sweep")
+	}
+	path := goldenPath(t)
+	got := computeGolden()
+
+	if *updateGolden {
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(got); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s", path)
+		return
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update to create): %v", err)
+	}
+	var want map[string]goldenEntry
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	for name, w := range want {
+		g, ok := got[name]
+		if !ok {
+			t.Errorf("%s: missing from current models", name)
+			continue
+		}
+		if g.FLOPs != w.FLOPs || g.Params != w.Params || g.MemBytes != w.MemBytes {
+			t.Errorf("%s: cost accounting changed: flops %d->%d params %d->%d mem %d->%d",
+				name, w.FLOPs, g.FLOPs, w.Params, g.Params, w.MemBytes, g.MemBytes)
+		}
+		if g.LayerCount != w.LayerCount {
+			t.Errorf("%s: layer count %d->%d", name, w.LayerCount, g.LayerCount)
+		}
+		if g.TX2Cell != w.TX2Cell || g.TX2Blocks != w.TX2Blocks {
+			t.Errorf("%s: TX2 clustering changed: cell %d->%d blocks %d->%d",
+				name, w.TX2Cell, g.TX2Cell, w.TX2Blocks, g.TX2Blocks)
+		}
+		if !equalInts(g.TX2Levels, w.TX2Levels) {
+			t.Errorf("%s: TX2 oracle levels %v -> %v", name, w.TX2Levels, g.TX2Levels)
+		}
+		if g.AGXBlocks != w.AGXBlocks || !equalInts(g.AGXLevels, w.AGXLevels) {
+			t.Errorf("%s: AGX clustering changed: blocks %d->%d levels %v->%v",
+				name, w.AGXBlocks, g.AGXBlocks, w.AGXLevels, g.AGXLevels)
+		}
+	}
+	for name := range got {
+		if _, ok := want[name]; !ok {
+			t.Errorf("%s: new model missing from golden file (run -update)", name)
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

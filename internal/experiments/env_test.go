@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"testing"
+
+	"powerlens/internal/hw"
+)
+
+func TestEnvAnalysisCaching(t *testing.T) {
+	e := testEnv(t)
+	a1, err := e.analysis("TX2", "alexnet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := e.analysis("TX2", "alexnet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Fatal("analysis must be cached (same pointer)")
+	}
+	// Different platforms cache independently.
+	a3, err := e.analysis("AGX", "alexnet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a3 == a1 {
+		t.Fatal("platforms must not share cached analyses")
+	}
+}
+
+func TestEnvReportsPresent(t *testing.T) {
+	e := testEnv(t)
+	for _, p := range hw.Platforms() {
+		r, ok := e.Reports[p.Name]
+		if !ok || r == nil {
+			t.Fatalf("%s report missing", p.Name)
+		}
+		if r.DecisionAccuracy <= 0 || r.NumBlocks <= 0 {
+			t.Fatalf("%s report empty: %+v", p.Name, r)
+		}
+	}
+}

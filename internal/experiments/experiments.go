@@ -1,0 +1,214 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§3) on the simulated platforms: Table 1 (per-model EE gains vs
+// BiM / FPG-G / FPG-CG), Figure 5 (task-flow energy/time/EE), Table 2 (P-R
+// and P-N ablations), Table 3 (offline overhead), Figure 1 (reactive
+// ping-pong and lag vs preset instrumentation points), and the §3.3 DVFS
+// switch microbenchmark. See DESIGN.md §4 for the experiment index.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"powerlens/internal/core"
+	"powerlens/internal/governor"
+	"powerlens/internal/hw"
+	"powerlens/internal/models"
+	"powerlens/internal/sim"
+)
+
+// Env holds one trained framework per platform plus cached analyses.
+type Env struct {
+	Frameworks map[string]*core.Framework
+	Reports    map[string]*core.DeployReport
+
+	analyses map[string]map[string]*core.Analysis // platform → model → analysis
+}
+
+// NewEnv deploys PowerLens on both platforms with the given config.
+func NewEnv(cfg core.DeployConfig) (*Env, error) {
+	env := &Env{
+		Frameworks: map[string]*core.Framework{},
+		Reports:    map[string]*core.DeployReport{},
+		analyses:   map[string]map[string]*core.Analysis{},
+	}
+	for _, p := range hw.Platforms() {
+		fw, report, err := core.Deploy(p, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: deploy %s: %w", p.Name, err)
+		}
+		env.Frameworks[p.Name] = fw
+		env.Reports[p.Name] = report
+		env.analyses[p.Name] = map[string]*core.Analysis{}
+	}
+	return env, nil
+}
+
+// analysis returns (and caches) the PowerLens analysis of a model.
+func (e *Env) analysis(platform, model string) (*core.Analysis, error) {
+	if a, ok := e.analyses[platform][model]; ok {
+		return a, nil
+	}
+	g := models.MustBuild(model)
+	a, err := e.Frameworks[platform].Analyze(g)
+	if err != nil {
+		return nil, err
+	}
+	e.analyses[platform][model] = a
+	return a, nil
+}
+
+// ImagesPerTask is the paper's task size (§3.2.2: 50 images per task; §3.1:
+// each energy test runs 50 times).
+const ImagesPerTask = 50
+
+// Table1Row is one row of Table 1: the number of power blocks and the EE
+// gain of PowerLens relative to each baseline, (EE_pl − EE_x)/EE_x.
+type Table1Row struct {
+	Model  string
+	Blocks int
+
+	GainBiM   float64
+	GainFPGG  float64
+	GainFPGCG float64
+}
+
+// Table1 reproduces Table 1 for one platform.
+func Table1(env *Env, p *hw.Platform) ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, name := range models.Names() {
+		g := models.MustBuild(name)
+		a, err := env.analysis(p.Name, name)
+		if err != nil {
+			return nil, err
+		}
+		eePL := sim.NewExecutor(p, governor.NewPowerLens(a.Plan)).RunTask(g, ImagesPerTask).EE()
+		eeBiM := sim.NewExecutor(p, governor.NewOndemand()).RunTask(g, ImagesPerTask).EE()
+		eeG := sim.NewExecutor(p, governor.NewFPGG()).RunTask(g, ImagesPerTask).EE()
+		eeCG := sim.NewExecutor(p, governor.NewFPGCG()).RunTask(g, ImagesPerTask).EE()
+		rows = append(rows, Table1Row{
+			Model:     name,
+			Blocks:    a.View.NumBlocks(),
+			GainBiM:   eePL/eeBiM - 1,
+			GainFPGG:  eePL/eeG - 1,
+			GainFPGCG: eePL/eeCG - 1,
+		})
+	}
+	return rows, nil
+}
+
+// Averages returns the mean gains of a Table 1 row set (the Average row).
+func Averages(rows []Table1Row) (bim, fpgg, fpgcg float64) {
+	if len(rows) == 0 {
+		return 0, 0, 0
+	}
+	for _, r := range rows {
+		bim += r.GainBiM
+		fpgg += r.GainFPGG
+		fpgcg += r.GainFPGCG
+	}
+	n := float64(len(rows))
+	return bim / n, fpgg / n, fpgcg / n
+}
+
+// Table2Row is one row of Table 2: the EE loss (negative fraction) of the
+// P-R (random partitioning) and P-N (no clustering) variants relative to
+// PowerLens.
+type Table2Row struct {
+	Model  string
+	PRLoss float64
+	PNLoss float64
+}
+
+// Table2 reproduces the clustering ablation for one platform. P-R is
+// averaged over nSeeds random partitionings.
+func Table2(env *Env, p *hw.Platform, nSeeds int) ([]Table2Row, error) {
+	fw := env.Frameworks[p.Name]
+	var rows []Table2Row
+	for _, name := range models.Names() {
+		g := models.MustBuild(name)
+		a, err := env.analysis(p.Name, name)
+		if err != nil {
+			return nil, err
+		}
+		eePL := sim.NewExecutor(p, governor.NewPowerLens(a.Plan)).RunTask(g, ImagesPerTask).EE()
+
+		prSum := 0.0
+		for s := 0; s < nSeeds; s++ {
+			pr := fw.AnalyzeRandomBlocks(g, rand.New(rand.NewSource(int64(s)*977+41)), 8)
+			prSum += sim.NewExecutor(p, governor.NewPowerLens(pr.Plan)).RunTask(g, ImagesPerTask).EE()
+		}
+		eePR := prSum / float64(nSeeds)
+
+		pn := fw.AnalyzeWholeNetwork(g)
+		eePN := sim.NewExecutor(p, governor.NewPowerLens(pn.Plan)).RunTask(g, ImagesPerTask).EE()
+
+		rows = append(rows, Table2Row{
+			Model:  name,
+			PRLoss: eePR/eePL - 1,
+			PNLoss: eePN/eePL - 1,
+		})
+	}
+	return rows, nil
+}
+
+// Table2Averages returns the mean losses.
+func Table2Averages(rows []Table2Row) (pr, pn float64) {
+	if len(rows) == 0 {
+		return 0, 0
+	}
+	for _, r := range rows {
+		pr += r.PRLoss
+		pn += r.PNLoss
+	}
+	n := float64(len(rows))
+	return pr / n, pn / n
+}
+
+// Table3Data is the offline overhead breakdown of Table 3 for one platform:
+// model training times plus mean per-model workflow stage times.
+type Table3Data struct {
+	Platform string
+
+	HyperTrainTime    time.Duration
+	DecisionTrainTime time.Duration
+
+	FeatureExtraction time.Duration
+	HyperPrediction   time.Duration
+	Clustering        time.Duration
+	DecisionPerBlock  time.Duration
+}
+
+// Table3 measures the workflow stages over the 12 evaluation models and
+// combines them with the deployment report's training times.
+func Table3(env *Env, p *hw.Platform) (*Table3Data, error) {
+	fw := env.Frameworks[p.Name]
+	report := env.Reports[p.Name]
+	d := &Table3Data{
+		Platform:          p.Name,
+		HyperTrainTime:    report.HyperTrainTime,
+		DecisionTrainTime: report.DecisionTrainTime,
+	}
+	var blocks int
+	for _, name := range models.Names() {
+		g := models.MustBuild(name)
+		a, err := fw.Analyze(g) // fresh run: timing, not cache
+		if err != nil {
+			return nil, err
+		}
+		d.FeatureExtraction += a.Timings.FeatureExtraction
+		d.HyperPrediction += a.Timings.HyperPrediction
+		d.Clustering += a.Timings.Clustering
+		d.DecisionPerBlock += a.Timings.Decision
+		blocks += a.View.NumBlocks()
+	}
+	n := time.Duration(len(models.Names()))
+	d.FeatureExtraction /= n
+	d.HyperPrediction /= n
+	d.Clustering /= n
+	if blocks > 0 {
+		d.DecisionPerBlock /= time.Duration(blocks)
+	}
+	return d, nil
+}

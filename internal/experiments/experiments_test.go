@@ -1,0 +1,234 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"powerlens/internal/core"
+	"powerlens/internal/hw"
+)
+
+var (
+	envOnce sync.Once
+	env     *Env
+	envErr  error
+)
+
+// testEnv deploys a small-but-real environment shared by all tests.
+func testEnv(t *testing.T) *Env {
+	t.Helper()
+	envOnce.Do(func() {
+		cfg := core.DefaultDeployConfig()
+		cfg.NumNetworks = 120
+		cfg.HyperTrain.Epochs = 40
+		cfg.DecisionTrain.Epochs = 50
+		env, envErr = NewEnv(cfg)
+	})
+	if envErr != nil {
+		t.Fatal(envErr)
+	}
+	return env
+}
+
+func TestTable1Shapes(t *testing.T) {
+	e := testEnv(t)
+	gains := map[string][3]float64{}
+	for _, p := range hw.Platforms() {
+		rows, err := Table1(e, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 12 {
+			t.Fatalf("%s: %d rows, want 12", p.Name, len(rows))
+		}
+		bim, fpgg, fpgcg := Averages(rows)
+		t.Logf("%s averages: BiM %.1f%%  FPG-G %.1f%%  FPG-CG %.1f%%",
+			p.Name, bim*100, fpgg*100, fpgcg*100)
+		for _, r := range rows {
+			t.Logf("  %-15s blocks=%d BiM=%+.1f%% G=%+.1f%% CG=%+.1f%%",
+				r.Model, r.Blocks, r.GainBiM*100, r.GainFPGG*100, r.GainFPGCG*100)
+			if r.Blocks < 1 {
+				t.Errorf("%s/%s: no blocks", p.Name, r.Model)
+			}
+		}
+		// Shape 1: PowerLens wins on average against every baseline.
+		if bim <= 0 || fpgg <= 0 || fpgcg <= 0 {
+			t.Errorf("%s: average gains must be positive: %.3f %.3f %.3f", p.Name, bim, fpgg, fpgcg)
+		}
+		// Shape 2: baseline ordering — the BiM gap is the largest, FPG-CG the
+		// smallest (Table 1's averages: 57.85 > 18.39 > 13.53 on TX2).
+		if !(bim > fpgg && fpgg > fpgcg) {
+			t.Errorf("%s: gain ordering violated: BiM %.3f, FPG-G %.3f, FPG-CG %.3f",
+				p.Name, bim, fpgg, fpgcg)
+		}
+		// Shape 3: per-model wins against BiM everywhere.
+		for _, r := range rows {
+			if r.GainBiM <= 0 {
+				t.Errorf("%s/%s: PowerLens loses to BiM (%.3f)", p.Name, r.Model, r.GainBiM)
+			}
+		}
+		gains[p.Name] = [3]float64{bim, fpgg, fpgcg}
+	}
+	// Shape 4: AGX gains over BiM exceed TX2 gains (119.42% vs 57.85%).
+	if gains["AGX"][0] <= gains["TX2"][0] {
+		t.Errorf("AGX BiM gain %.3f must exceed TX2's %.3f", gains["AGX"][0], gains["TX2"][0])
+	}
+}
+
+func TestTable2Shapes(t *testing.T) {
+	e := testEnv(t)
+	for _, p := range hw.Platforms() {
+		rows, err := Table2(e, p, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr, pn := Table2Averages(rows)
+		t.Logf("%s ablation averages: P-R %.1f%%  P-N %.1f%%", p.Name, pr*100, pn*100)
+		for _, r := range rows {
+			t.Logf("  %-15s P-R %+.1f%%  P-N %+.1f%%", r.Model, r.PRLoss*100, r.PNLoss*100)
+		}
+		// Reproducible shape: neither ablation materially beats the full
+		// framework. The paper's magnitudes (-42.6%/-15.2% on TX2) depend on
+		// real-hardware effects the analytic substrate compresses — our
+		// decision model stays robust on arbitrary contiguous blocks, so the
+		// ablation losses here are small; see EXPERIMENTS.md for the
+		// deviation record.
+		if pr > 0.01 {
+			t.Errorf("%s: P-R materially beats PowerLens: %+.3f", p.Name, pr)
+		}
+		if pn > 0.01 {
+			t.Errorf("%s: P-N materially beats PowerLens: %+.3f", p.Name, pn)
+		}
+	}
+}
+
+func TestTable3Shapes(t *testing.T) {
+	e := testEnv(t)
+	for _, p := range hw.Platforms() {
+		d, err := Table3(e, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%s: train %v/%v, feat %v, hyper %v, cluster %v, decide/block %v",
+			p.Name, d.HyperTrainTime, d.DecisionTrainTime,
+			d.FeatureExtraction, d.HyperPrediction, d.Clustering, d.DecisionPerBlock)
+		if d.HyperTrainTime <= 0 || d.DecisionTrainTime <= 0 {
+			t.Error("training times missing")
+		}
+		if d.FeatureExtraction <= 0 || d.Clustering <= 0 {
+			t.Error("workflow times missing")
+		}
+		// The paper's workflow bounds: feature extraction ≤ 10 s, prediction
+		// ≤ 320 ms, clustering ≤ 60 s, per-block decision ≤ 220 ms. Our
+		// analytic substrate must be comfortably inside them.
+		if d.FeatureExtraction > 10*time.Second || d.Clustering > 60*time.Second {
+			t.Errorf("%s: workflow slower than the paper's on-device bounds: %+v", p.Name, d)
+		}
+		if d.HyperPrediction > 320*time.Millisecond || d.DecisionPerBlock > 220*time.Millisecond {
+			t.Errorf("%s: prediction stages too slow: %+v", p.Name, d)
+		}
+	}
+}
+
+func TestFig5Shapes(t *testing.T) {
+	e := testEnv(t)
+	for _, p := range hw.Platforms() {
+		results, err := Fig5(e, p, 20, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(results) != 4 {
+			t.Fatalf("%d methods, want 4", len(results))
+		}
+		byName := map[string]Fig5Result{}
+		for _, r := range results {
+			byName[r.Method] = r
+			t.Logf("%s %-10s E=%.1fJ t=%v EE=%.4f", p.Name, r.Method, r.EnergyJ, r.Time, r.EE)
+		}
+		pl := byName["PowerLens"]
+		// PowerLens: lowest energy and highest EE of the four methods.
+		for _, r := range results {
+			if r.Method == "PowerLens" {
+				continue
+			}
+			if pl.EnergyJ >= r.EnergyJ {
+				t.Errorf("%s: PowerLens energy %.1f >= %s %.1f", p.Name, pl.EnergyJ, r.Method, r.EnergyJ)
+			}
+			if pl.EE <= r.EE {
+				t.Errorf("%s: PowerLens EE %.4f <= %s %.4f", p.Name, pl.EE, r.Method, r.EE)
+			}
+		}
+		// Time: PowerLens trades some makespan for energy, but bounded
+		// (the paper reports between −2.3% and +16.8%; allow a loose band).
+		if pl.Time > byName["BiM"].Time*2 {
+			t.Errorf("%s: PowerLens makespan %v more than doubles BiM's %v", p.Name, pl.Time, byName["BiM"].Time)
+		}
+	}
+}
+
+func TestFig1Shapes(t *testing.T) {
+	e := testEnv(t)
+	p := hw.TX2()
+	traces, err := Fig1(e, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Fig1Trace{}
+	for _, tr := range traces {
+		byName[tr.Method] = tr
+		t.Logf("%s: switches=%d energy=%.1fJ time=%v samples=%d",
+			tr.Method, tr.Switches, tr.EnergyJ, tr.Time, len(tr.Samples))
+	}
+	// The reactive governor dithers during steady load (ping-pong); count
+	// its busy-phase frequency direction changes.
+	reversals := func(tr Fig1Trace) int {
+		n, dir := 0, 0
+		for i := 1; i < len(tr.Samples); i++ {
+			d := 0
+			if tr.Samples[i].FreqHz > tr.Samples[i-1].FreqHz {
+				d = 1
+			} else if tr.Samples[i].FreqHz < tr.Samples[i-1].FreqHz {
+				d = -1
+			}
+			if d != 0 && dir != 0 && d != dir {
+				n++
+			}
+			if d != 0 {
+				dir = d
+			}
+		}
+		return n
+	}
+	if rf := reversals(byName["FPG-G"]); rf < 3 {
+		t.Errorf("FPG-G reversals = %d; expected ping-pong", rf)
+	}
+	// PowerLens must be the most energy-efficient on the bursty flow.
+	pl := byName["PowerLens"]
+	if pl.EnergyJ >= byName["FPG-G"].EnergyJ || pl.EnergyJ >= byName["BiM"].EnergyJ {
+		t.Errorf("PowerLens energy %.1f not lowest (FPG-G %.1f, BiM %.1f)",
+			pl.EnergyJ, byName["FPG-G"].EnergyJ, byName["BiM"].EnergyJ)
+	}
+}
+
+func TestRandomTasksDeterministic(t *testing.T) {
+	a := RandomTasks(10, 3)
+	b := RandomTasks(10, 3)
+	for i := range a {
+		if a[i].Graph.Name != b[i].Graph.Name {
+			t.Fatal("task sampling must be deterministic")
+		}
+		if a[i].Images != ImagesPerTask {
+			t.Fatal("task size wrong")
+		}
+	}
+}
+
+func TestSwitchOverheadMicrobench(t *testing.T) {
+	p := hw.TX2()
+	total := SwitchOverhead(p, 100)
+	// §3.3: 100 level changes ≈ 50 ms total on the device.
+	if total != 50*time.Millisecond {
+		t.Fatalf("100 switches = %v, want 50ms", total)
+	}
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"powerlens/internal/governor"
+	"powerlens/internal/hw"
+	"powerlens/internal/models"
+	"powerlens/internal/sim"
+)
+
+// The paper's §5 future work — "we will incorporate more configurable
+// optimization options into PowerLens, such as CPU DVFS and batchsize" —
+// implemented as framework extensions and evaluated here:
+//
+//   - PowerLens-CG: the per-block GPU plan plus a preset host CPU level
+//     chosen so pre-processing stays hidden under the GPU pass.
+//   - PowerLens-B: the plan executed at the EE-optimal batch size (weight
+//     traffic amortizes across the batch).
+
+// ExtensionRow compares the extensions against baseline PowerLens for one
+// model.
+type ExtensionRow struct {
+	Model string
+
+	BaseEE  float64 // plain PowerLens
+	CGEE    float64 // + CPU DVFS
+	Batch   int     // chosen batch size
+	BatchEE float64 // + batching at that size
+}
+
+// Extensions evaluates both §5 extensions over the 12 models on one
+// platform. Batch sizes are chosen by sim.OptimalBatch with a 1-second
+// batch latency budget.
+func Extensions(env *Env, p *hw.Platform) ([]ExtensionRow, error) {
+	var rows []ExtensionRow
+	for _, name := range models.Names() {
+		g := models.MustBuild(name)
+		a, err := env.analysis(p.Name, name)
+		if err != nil {
+			return nil, err
+		}
+
+		base := sim.NewExecutor(p, governor.NewPowerLens(a.Plan)).RunTask(g, ImagesPerTask)
+		cg := sim.NewExecutor(p, governor.NewPowerLensCG(p, g, a.Plan)).RunTask(g, ImagesPerTask)
+
+		best, _ := sim.OptimalBatch(p, g, 32, time.Second)
+		row := ExtensionRow{Model: name, BaseEE: base.EE(), CGEE: cg.EE()}
+		if best.Batch > 0 {
+			be := sim.NewExecutor(p, governor.NewPowerLens(a.Plan))
+			be.Batch = best.Batch
+			row.Batch = best.Batch
+			row.BatchEE = be.RunTask(g, ImagesPerTask).EE()
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderExtensions formats the extension comparison.
+func RenderExtensions(platform string, rows []ExtensionRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "§5 extensions on %s: CPU DVFS (PowerLens-CG) and batching (PowerLens-B)\n", platform)
+	fmt.Fprintf(&sb, "%-15s %10s %10s %8s %6s %10s %8s\n",
+		"model name", "base EE", "CG EE", "gain", "batch", "batch EE", "gain")
+	var cgSum, bSum float64
+	n := 0
+	for _, r := range rows {
+		cgGain := r.CGEE/r.BaseEE - 1
+		bGain := 0.0
+		if r.Batch > 0 {
+			bGain = r.BatchEE/r.BaseEE - 1
+		}
+		fmt.Fprintf(&sb, "%-15s %10.4f %10.4f %+7.2f%% %6d %10.4f %+7.2f%%\n",
+			r.Model, r.BaseEE, r.CGEE, cgGain*100, r.Batch, r.BatchEE, bGain*100)
+		cgSum += cgGain
+		bSum += bGain
+		n++
+	}
+	if n > 0 {
+		fmt.Fprintf(&sb, "%-15s %10s %10s %+7.2f%% %6s %10s %+7.2f%%\n",
+			"Average", "", "", cgSum/float64(n)*100, "", "", bSum/float64(n)*100)
+	}
+	return sb.String()
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"powerlens/internal/hw"
+)
+
+func TestExtensionsShapes(t *testing.T) {
+	e := testEnv(t)
+	for _, p := range hw.Platforms() {
+		rows, err := Extensions(e, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 12 {
+			t.Fatalf("%s: %d rows", p.Name, len(rows))
+		}
+		var cgWins, batchWins int
+		for _, r := range rows {
+			t.Logf("%s %-15s base=%.4f cg=%.4f batch=%d batchEE=%.4f",
+				p.Name, r.Model, r.BaseEE, r.CGEE, r.Batch, r.BatchEE)
+			if r.BaseEE <= 0 {
+				t.Fatalf("%s/%s: non-positive base EE", p.Name, r.Model)
+			}
+			// CPU DVFS must never hurt materially (it only trims a hidden
+			// rail) and must help on at least most models.
+			if r.CGEE < r.BaseEE*0.995 {
+				t.Errorf("%s/%s: PowerLens-CG EE %.4f below base %.4f", p.Name, r.Model, r.CGEE, r.BaseEE)
+			}
+			if r.CGEE > r.BaseEE {
+				cgWins++
+			}
+			if r.Batch > 1 && r.BatchEE > r.BaseEE {
+				batchWins++
+			}
+		}
+		if cgWins < 9 {
+			t.Errorf("%s: CPU DVFS won on only %d/12 models", p.Name, cgWins)
+		}
+		if batchWins < 6 {
+			t.Errorf("%s: batching won on only %d/12 models", p.Name, batchWins)
+		}
+	}
+}
+
+func TestRenderExtensions(t *testing.T) {
+	rows := []ExtensionRow{
+		{Model: "vgg19", BaseEE: 1.0, CGEE: 1.02, Batch: 8, BatchEE: 1.1},
+	}
+	out := RenderExtensions("TX2", rows)
+	for _, want := range []string{"vgg19", "+2.00%", "+10.00%", "Average"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Renderers producing the paper-format text of each table/figure. They are
+// library code (tested) so cmd/experiments stays a thin shell.
+
+// RenderTable1 formats Table 1 for one platform.
+func RenderTable1(platform string, rows []Table1Row) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Table 1: energy efficiency improvement on %s\n", platform)
+	fmt.Fprintf(&sb, "%-15s %6s %9s %9s %9s\n", "model name", "Block", "BiM", "FPG-G", "FPG-CG")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-15s %6d %8.2f%% %8.2f%% %8.2f%%\n",
+			r.Model, r.Blocks, r.GainBiM*100, r.GainFPGG*100, r.GainFPGCG*100)
+	}
+	bim, g, cg := Averages(rows)
+	fmt.Fprintf(&sb, "%-15s %6s %8.2f%% %8.2f%% %8.2f%%\n", "Average", "", bim*100, g*100, cg*100)
+	return sb.String()
+}
+
+// RenderTable2 formats Table 2 for one platform.
+func RenderTable2(platform string, rows []Table2Row) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Table 2: EE loss for different clustering strategies on %s\n", platform)
+	fmt.Fprintf(&sb, "%-15s %9s %9s\n", "DNN Models", "P-R", "P-N")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-15s %8.2f%% %8.2f%%\n", r.Model, r.PRLoss*100, r.PNLoss*100)
+	}
+	pr, pn := Table2Averages(rows)
+	fmt.Fprintf(&sb, "%-15s %8.2f%% %8.2f%%\n", "Average", pr*100, pn*100)
+	return sb.String()
+}
+
+// RenderTable3 formats Table 3 from both platforms' data (paper layout:
+// one column per platform).
+func RenderTable3(tx2, agx *Table3Data) string {
+	var sb strings.Builder
+	sb.WriteString("Table 3: offline overhead of PowerLens\n")
+	fmt.Fprintf(&sb, "%-45s %12s %12s\n", "Phase", "TX2", "AGX")
+	row := func(name string, a, b time.Duration) {
+		fmt.Fprintf(&sb, "%-45s %12v %12v\n", name,
+			a.Round(time.Microsecond), b.Round(time.Microsecond))
+	}
+	row("Model Training / hyperparameter model", tx2.HyperTrainTime, agx.HyperTrainTime)
+	row("Model Training / decision model", tx2.DecisionTrainTime, agx.DecisionTrainTime)
+	row("Workflow / feature extraction", tx2.FeatureExtraction, agx.FeatureExtraction)
+	row("Workflow / hyperparameter prediction", tx2.HyperPrediction, agx.HyperPrediction)
+	row("Workflow / clustering", tx2.Clustering, agx.Clustering)
+	row("Workflow / decision of each block", tx2.DecisionPerBlock, agx.DecisionPerBlock)
+	return sb.String()
+}
+
+// RenderFig5 formats the task-flow comparison, including the relative
+// numbers the paper quotes in §3.2.2.
+func RenderFig5(platform string, numTasks int, results []Fig5Result) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 5: task flow processing on %s (%d tasks x %d images)\n",
+		platform, numTasks, ImagesPerTask)
+	fmt.Fprintf(&sb, "%-10s %12s %14s %12s\n", "method", "energy (J)", "time", "EE (img/J)")
+	var pl *Fig5Result
+	for i := range results {
+		r := results[i]
+		fmt.Fprintf(&sb, "%-10s %12.1f %14v %12.4f\n",
+			r.Method, r.EnergyJ, r.Time.Round(time.Millisecond), r.EE)
+		if r.Method == "PowerLens" {
+			pl = &results[i]
+		}
+	}
+	if pl != nil {
+		for _, r := range results {
+			if r.Method == "PowerLens" {
+				continue
+			}
+			fmt.Fprintf(&sb, "  vs %-7s energy %+6.2f%%  time %+6.2f%%  EE %+6.2f%%\n",
+				r.Method, (pl.EnergyJ/r.EnergyJ-1)*100,
+				(pl.Time.Seconds()/r.Time.Seconds()-1)*100, (pl.EE/r.EE-1)*100)
+		}
+	}
+	return sb.String()
+}
+
+// RenderFig1 formats the bursty-flow summary (traces are exported
+// separately via sim.WriteTraceCSV).
+func RenderFig1(traces []Fig1Trace) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 1: reactive DVFS (ping-pong, lag) vs PowerLens preset points — TX2, bursty 2-task flow\n")
+	for _, tr := range traces {
+		fmt.Fprintf(&sb, "%-10s switches=%3d energy=%6.1fJ time=%v\n",
+			tr.Method, tr.Switches, tr.EnergyJ, tr.Time.Round(time.Millisecond))
+	}
+	return sb.String()
+}

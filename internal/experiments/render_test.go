@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRenderTable1(t *testing.T) {
+	rows := []Table1Row{
+		{Model: "alexnet", Blocks: 1, GainBiM: 0.386, GainFPGG: 0.0294, GainFPGCG: 0.0131},
+		{Model: "vgg19", Blocks: 2, GainBiM: 0.434, GainFPGG: 0.23, GainFPGCG: 0.2076},
+	}
+	out := RenderTable1("TX2", rows)
+	for _, want := range []string{"Table 1", "TX2", "alexnet", "38.60%", "vgg19", "23.00%", "Average"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Average of the two BiM gains = 41%.
+	if !strings.Contains(out, "41.00%") {
+		t.Fatalf("average row wrong:\n%s", out)
+	}
+}
+
+func TestRenderTable2(t *testing.T) {
+	rows := []Table2Row{
+		{Model: "resnet34", PRLoss: -0.6684, PNLoss: -0.0625},
+	}
+	out := RenderTable2("AGX", rows)
+	for _, want := range []string{"Table 2", "AGX", "resnet34", "-66.84%", "-6.25%", "Average"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderTable3(t *testing.T) {
+	tx2 := &Table3Data{
+		Platform: "TX2", HyperTrainTime: 20 * time.Hour, DecisionTrainTime: 6 * time.Hour,
+		FeatureExtraction: 10 * time.Second, HyperPrediction: 320 * time.Millisecond,
+		Clustering: 60 * time.Second, DecisionPerBlock: 220 * time.Millisecond,
+	}
+	agx := &Table3Data{
+		Platform: "AGX", HyperTrainTime: 15 * time.Hour, DecisionTrainTime: 4*time.Hour + 30*time.Minute,
+		FeatureExtraction: 10 * time.Second, HyperPrediction: 150 * time.Millisecond,
+		Clustering: 60 * time.Second, DecisionPerBlock: 130 * time.Millisecond,
+	}
+	out := RenderTable3(tx2, agx)
+	for _, want := range []string{"20h0m0s", "4h30m0s", "320ms", "130ms", "clustering"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderFig5RelativeNumbers(t *testing.T) {
+	results := []Fig5Result{
+		{Method: "PowerLens", EnergyJ: 100, Time: 11 * time.Second, EE: 2.0},
+		{Method: "BiM", EnergyJ: 200, Time: 10 * time.Second, EE: 1.0},
+	}
+	out := RenderFig5("TX2", 100, results)
+	// Energy -50%, time +10%, EE +100%.
+	for _, want := range []string{"-50.00%", "+10.00%", "+100.00%", "PowerLens", "BiM"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderFig1(t *testing.T) {
+	traces := []Fig1Trace{
+		{Method: "FPG-G", Switches: 58, EnergyJ: 16.2, Time: 4 * time.Second},
+		{Method: "PowerLens", Switches: 0, EnergyJ: 14.9, Time: 4 * time.Second},
+	}
+	out := RenderFig1(traces)
+	for _, want := range []string{"Figure 1", "FPG-G", "switches= 58", "PowerLens"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderFig5NoPowerLens(t *testing.T) {
+	out := RenderFig5("TX2", 5, []Fig5Result{{Method: "BiM", EnergyJ: 1, Time: time.Second, EE: 1}})
+	if strings.Contains(out, "vs") {
+		t.Fatal("relative rows must be omitted without a PowerLens result")
+	}
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"math/rand"
+	"time"
+
+	"powerlens/internal/governor"
+	"powerlens/internal/hw"
+	"powerlens/internal/models"
+	"powerlens/internal/sim"
+)
+
+// Fig5Result is one bar group of Figure 5: a method's task-flow energy,
+// makespan, and energy efficiency.
+type Fig5Result struct {
+	Method  string
+	EnergyJ float64
+	Time    time.Duration
+	EE      float64
+}
+
+// TaskGap is the idle gap between consecutive tasks in the task flow —
+// long enough for reactive governors to scale down and then pay their
+// response lag on the next task.
+const TaskGap = 300 * time.Millisecond
+
+// RandomTasks assembles the §3.2.2 workload: numTasks tasks drawn uniformly
+// from the 12 evaluation models, each processing ImagesPerTask images.
+func RandomTasks(numTasks int, seed int64) []sim.Task {
+	rng := rand.New(rand.NewSource(seed))
+	names := models.Names()
+	built := map[string]*sim.Task{}
+	var tasks []sim.Task
+	for i := 0; i < numTasks; i++ {
+		name := names[rng.Intn(len(names))]
+		if _, ok := built[name]; !ok {
+			g := models.MustBuild(name)
+			built[name] = &sim.Task{Graph: g, Images: ImagesPerTask}
+		}
+		tasks = append(tasks, sim.Task{Graph: built[name].Graph, Images: ImagesPerTask})
+	}
+	return tasks
+}
+
+// Fig5 reproduces the task-flow comparison for one platform: the same task
+// sequence under PowerLens, FPG-G, FPG-CG and BiM.
+func Fig5(env *Env, p *hw.Platform, numTasks int, seed int64) ([]Fig5Result, error) {
+	tasks := RandomTasks(numTasks, seed)
+
+	// PowerLens: one plan per distinct model in the flow.
+	plans := map[string]*governor.FrequencyPlan{}
+	for _, t := range tasks {
+		if _, ok := plans[t.Graph.Name]; ok {
+			continue
+		}
+		a, err := env.analysis(p.Name, t.Graph.Name)
+		if err != nil {
+			return nil, err
+		}
+		plans[t.Graph.Name] = a.Plan
+	}
+
+	controllers := []sim.Controller{
+		governor.NewMultiPlan(plans),
+		governor.NewFPGG(),
+		governor.NewFPGCG(),
+		governor.NewOndemand(),
+	}
+	var out []Fig5Result
+	for _, ctl := range controllers {
+		r := sim.NewExecutor(p, ctl).RunTaskFlow(tasks, TaskGap)
+		out = append(out, Fig5Result{
+			Method:  ctl.Name(),
+			EnergyJ: r.EnergyJ,
+			Time:    r.Time,
+			EE:      r.EE(),
+		})
+	}
+	return out, nil
+}
+
+// Fig1Trace is the data behind Figure 1: frequency/power traces of a
+// reactive governor versus PowerLens over a bursty two-task flow, plus the
+// summary statistics that quantify ping-pong and lag.
+type Fig1Trace struct {
+	Method   string
+	Samples  []hw.PowerSample
+	Switches int
+	EnergyJ  float64
+	Time     time.Duration
+}
+
+// Fig1 runs a bursty workload (two tasks separated by an idle gap) under a
+// reactive baseline and under PowerLens, returning both traces.
+func Fig1(env *Env, p *hw.Platform) ([]Fig1Trace, error) {
+	g := models.MustBuild("resnet152")
+	tasks := []sim.Task{{Graph: g, Images: 10}, {Graph: g, Images: 10}}
+
+	a, err := env.analysis(p.Name, g.Name)
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig1Trace
+	for _, ctl := range []sim.Controller{governor.NewFPGG(), governor.NewOndemand(), governor.NewPowerLens(a.Plan)} {
+		e := sim.NewExecutor(p, ctl)
+		e.SensorPeriod = 5 * time.Millisecond
+		r := e.RunTaskFlow(tasks, 1500*time.Millisecond)
+		out = append(out, Fig1Trace{
+			Method:   ctl.Name(),
+			Samples:  r.Samples,
+			Switches: r.Switches,
+			EnergyJ:  r.EnergyJ,
+			Time:     r.Time,
+		})
+	}
+	return out, nil
+}
+
+// SwitchOverhead reproduces the §3.3 microbenchmark: the end-to-end
+// userspace time of n DVFS level changes (the paper measures 100 changes at
+// a 50 ms average total).
+func SwitchOverhead(p *hw.Platform, n int) time.Duration {
+	return time.Duration(n) * p.UserspaceSwitchCost
+}

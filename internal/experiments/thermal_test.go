@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"powerlens/internal/hw"
+)
+
+func TestThermalStudyShapes(t *testing.T) {
+	e := testEnv(t)
+	for _, p := range hw.Platforms() {
+		rows, err := ThermalStudy(e, p, 600)
+		if err != nil {
+			t.Fatal(err)
+		}
+		byName := map[string]ThermalRow{}
+		for _, r := range rows {
+			byName[r.Method] = r
+			t.Logf("%s %-10s peak=%.1f°C throttled=%v EE=%.4f",
+				p.Name, r.Method, r.PeakTempC, r.ThrottledTime, r.EE)
+		}
+		pl, bim := byName["PowerLens"], byName["BiM"]
+		// PowerLens runs cooler and never throttles.
+		if pl.PeakTempC >= bim.PeakTempC {
+			t.Errorf("%s: PowerLens peak %.1f >= BiM %.1f", p.Name, pl.PeakTempC, bim.PeakTempC)
+		}
+		if pl.ThrottledTime != 0 {
+			t.Errorf("%s: PowerLens throttled for %v", p.Name, pl.ThrottledTime)
+		}
+		// Sustained BiM at fmax must trip the throttle.
+		if bim.ThrottledTime == 0 {
+			t.Errorf("%s: BiM never throttled under sustained load", p.Name)
+		}
+		if pl.EE <= bim.EE {
+			t.Errorf("%s: PowerLens EE %.4f <= BiM %.4f", p.Name, pl.EE, bim.EE)
+		}
+	}
+}
+
+func TestRenderThermal(t *testing.T) {
+	rows := []ThermalRow{{Method: "PowerLens", PeakTempC: 60.2, EE: 1.8}}
+	out := RenderThermal("TX2", 600, rows)
+	for _, want := range []string{"Thermal study", "PowerLens", "60.2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}

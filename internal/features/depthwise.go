@@ -1,0 +1,83 @@
+// Package features implements the paper's §2.1.2 power-sensitive feature
+// extraction: the Depthwise Feature Extractor (fine-grained per-layer
+// features) and the Global Feature Extractor (macro structural features plus
+// aggregated statistics). The resulting vectors are the intermediate
+// representation consumed by the clustering stage and the two prediction
+// models.
+package features
+
+import (
+	"math"
+
+	"powerlens/internal/graph"
+	"powerlens/internal/tensor"
+)
+
+// Per-layer (depthwise) feature layout. Scalar block first, then a one-hot
+// operator-kind block — "operator type" is itself a power-sensitive feature.
+const (
+	dwFLOPs      = iota // log1p FLOPs — computational load
+	dwParams            // log1p parameter count
+	dwMemBytes          // log1p memory access volume
+	dwIntensity         // arithmetic intensity (FLOPs/byte)
+	dwInC               // log1p input channels
+	dwOutC              // log1p output channels
+	dwSpatial           // log1p output H·W (feature-map dimensions)
+	dwKernel            // kernel size (conv/pool)
+	dwStride            // stride
+	dwGroupRatio        // groups/inC (1 = depthwise, 0 = dense)
+	dwHeads             // attention heads
+	dwEmbed             // log1p attention embedding dim
+	dwIsCompute         // 1 if the op performs substantial arithmetic
+	dwScalarCount
+)
+
+// DepthwiseDim is the length of one per-layer feature vector.
+const DepthwiseDim = dwScalarCount + graph.NumOpKinds
+
+// LayerVector extracts the depthwise feature vector of a single layer.
+func LayerVector(l *graph.Layer) []float64 {
+	v := make([]float64, DepthwiseDim)
+	v[dwFLOPs] = math.Log1p(float64(l.FLOPs()))
+	v[dwParams] = math.Log1p(float64(l.Params()))
+	v[dwMemBytes] = math.Log1p(float64(l.MemBytes()))
+	v[dwIntensity] = l.ArithmeticIntensity()
+	v[dwInC] = math.Log1p(float64(l.InShape.C))
+	v[dwOutC] = math.Log1p(float64(l.OutShape.C))
+	v[dwSpatial] = math.Log1p(float64(l.OutShape.H * l.OutShape.W))
+	v[dwKernel] = float64(l.Attrs.KernelH)
+	v[dwStride] = float64(l.Attrs.StrideH)
+	if l.InShape.C > 0 && l.Attrs.Groups > 0 {
+		v[dwGroupRatio] = float64(l.Attrs.Groups) / float64(l.InShape.C)
+	}
+	v[dwHeads] = float64(l.Attrs.Heads)
+	v[dwEmbed] = math.Log1p(float64(l.Attrs.EmbedDim))
+	if l.Kind.IsCompute() {
+		v[dwIsCompute] = 1
+	}
+	v[dwScalarCount+int(l.Kind)] = 1
+	return v
+}
+
+// Depthwise extracts the per-layer feature matrix for all non-input layers
+// of g, in layer order. The returned IDs map matrix rows back to layer IDs.
+func Depthwise(g *graph.Graph) (x *tensor.Matrix, ids []int) {
+	rows := make([][]float64, 0, len(g.Layers))
+	for _, l := range g.Layers {
+		if l.Kind == graph.OpInput {
+			continue
+		}
+		rows = append(rows, LayerVector(l))
+		ids = append(ids, l.ID)
+	}
+	return tensor.FromRows(rows), ids
+}
+
+// ScaledDepthwise extracts the depthwise matrix and standardizes each column
+// (Algorithm 1 requires scaled features so no raw magnitude dominates before
+// the covariance-aware Mahalanobis distance is applied).
+func ScaledDepthwise(g *graph.Graph) (x *tensor.Matrix, ids []int) {
+	raw, ids := Depthwise(g)
+	scaler := tensor.FitZScore(raw)
+	return scaler.Transform(raw), ids
+}

@@ -1,0 +1,193 @@
+package features
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"powerlens/internal/graph"
+	"powerlens/internal/models"
+)
+
+func TestLayerVectorDim(t *testing.T) {
+	g := graph.New("t")
+	in := g.Input(3, 224, 224)
+	c := g.Conv(in, 64, 7, 2, 3, 1)
+	v := LayerVector(c)
+	if len(v) != DepthwiseDim {
+		t.Fatalf("dim = %d, want %d", len(v), DepthwiseDim)
+	}
+}
+
+func TestLayerVectorEncodesConvAttrs(t *testing.T) {
+	g := graph.New("t")
+	in := g.Input(3, 224, 224)
+	c := g.Conv(in, 64, 7, 2, 3, 1)
+	v := LayerVector(c)
+	if v[dwKernel] != 7 || v[dwStride] != 2 {
+		t.Fatalf("kernel/stride = %v/%v", v[dwKernel], v[dwStride])
+	}
+	if v[dwIsCompute] != 1 {
+		t.Fatal("conv must be marked compute")
+	}
+	if v[dwScalarCount+int(graph.OpConv2D)] != 1 {
+		t.Fatal("one-hot kind missing")
+	}
+	// Exactly one one-hot position set.
+	hot := 0
+	for i := dwScalarCount; i < DepthwiseDim; i++ {
+		if v[i] != 0 {
+			hot++
+		}
+	}
+	if hot != 1 {
+		t.Fatalf("one-hot count = %d", hot)
+	}
+}
+
+func TestLayerVectorEncodesAttention(t *testing.T) {
+	g := graph.New("t")
+	in := g.Input(768, 197, 1)
+	a := g.Attention(in, 12)
+	v := LayerVector(a)
+	if v[dwHeads] != 12 {
+		t.Fatalf("heads = %v", v[dwHeads])
+	}
+	if math.Abs(v[dwEmbed]-math.Log1p(768)) > 1e-12 {
+		t.Fatalf("embed = %v", v[dwEmbed])
+	}
+}
+
+func TestDepthwiseSkipsInput(t *testing.T) {
+	g := models.AlexNet()
+	x, ids := Depthwise(g)
+	if x.Rows != len(g.Layers)-1 {
+		t.Fatalf("rows = %d, want %d", x.Rows, len(g.Layers)-1)
+	}
+	for _, id := range ids {
+		if g.Layer(id).Kind == graph.OpInput {
+			t.Fatal("input layer included")
+		}
+	}
+	if len(ids) != x.Rows {
+		t.Fatal("ids/rows mismatch")
+	}
+}
+
+func TestScaledDepthwiseIsStandardized(t *testing.T) {
+	g := models.ResNet34()
+	x, _ := ScaledDepthwise(g)
+	// Every non-constant column should have ~zero mean.
+	for j := 0; j < x.Cols; j++ {
+		sum := 0.0
+		for i := 0; i < x.Rows; i++ {
+			sum += x.At(i, j)
+		}
+		if m := sum / float64(x.Rows); math.Abs(m) > 1e-9 {
+			t.Fatalf("col %d mean = %g", j, m)
+		}
+	}
+	for _, v := range x.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("scaled features contain NaN/Inf")
+		}
+	}
+}
+
+func TestGlobalDims(t *testing.T) {
+	g := models.GoogLeNet()
+	gl := ExtractGlobal(g)
+	if len(gl.Structural) != StructuralDim {
+		t.Fatalf("structural dim = %d, want %d", len(gl.Structural), StructuralDim)
+	}
+	if len(gl.Stats) != StatsDim {
+		t.Fatalf("stats dim = %d, want %d", len(gl.Stats), StatsDim)
+	}
+	if len(gl.Vector()) != GlobalDim {
+		t.Fatalf("vector dim = %d, want %d", len(gl.Vector()), GlobalDim)
+	}
+}
+
+func TestGlobalStructuralSignals(t *testing.T) {
+	r34 := ExtractGlobal(models.ResNet34())
+	vit := ExtractGlobal(models.ViTBase16())
+	// ResNet has residuals; both do (ViT uses Add too), but ViT must show
+	// attention mass and ResNet none.
+	if vit.Stats[stFracAttnF] <= 0 {
+		t.Fatal("ViT attention FLOP fraction must be positive")
+	}
+	if r34.Stats[stFracAttnF] != 0 {
+		t.Fatal("ResNet attention FLOP fraction must be zero")
+	}
+	if r34.Stats[stFracConvF] < 0.8 {
+		t.Fatalf("ResNet conv FLOP fraction = %v, want > 0.8", r34.Stats[stFracConvF])
+	}
+	if r34.Structural[gsResidual] <= 0 {
+		t.Fatal("ResNet must report residual joins")
+	}
+}
+
+func TestGlobalHistogramNormalized(t *testing.T) {
+	gl := ExtractGlobal(models.VGG19())
+	sum := 0.0
+	for i := gsStructScalar; i < StructuralDim; i++ {
+		sum += gl.Structural[i]
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("kind histogram sums to %v, want 1", sum)
+	}
+}
+
+func TestBlockGlobalSubsetsWhole(t *testing.T) {
+	g := models.ResNet34()
+	whole := ExtractGlobal(g)
+	half := ExtractBlockGlobal(g, 0, len(g.Layers)/2)
+	// A block's total FLOPs (log scale) must not exceed the whole network's.
+	if half.Stats[stFLOPs] > whole.Stats[stFLOPs] {
+		t.Fatal("block FLOPs exceed whole-network FLOPs")
+	}
+	if half.Structural[gsLayers] >= whole.Structural[gsLayers] {
+		t.Fatal("block layer count must be below whole-network count")
+	}
+}
+
+func TestFractionsSumBelowOne(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := models.RandomDNN(rng, models.DefaultGeneratorConfig(), 0)
+		gl := ExtractGlobal(g)
+		fr := gl.Stats[stFracConvF] + gl.Stats[stFracLinF] + gl.Stats[stFracAttnF]
+		if fr < 0 || fr > 1+1e-9 {
+			return false
+		}
+		if gl.Stats[stMaxShare] < 0 || gl.Stats[stMaxShare] > 1+1e-9 {
+			return false
+		}
+		for _, v := range gl.Vector() {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemoryHeavyVsComputeHeavyDiffer(t *testing.T) {
+	// Feature vectors must separate a compute-intense conv from a
+	// memory-bound elementwise op — the signal clustering relies on.
+	g := graph.New("t")
+	in := g.Input(256, 56, 56)
+	conv := g.Conv(in, 256, 3, 1, 1, 1)
+	add := g.Add(conv, in)
+	vc, va := LayerVector(conv), LayerVector(add)
+	if vc[dwIntensity] <= va[dwIntensity] {
+		t.Fatal("conv must have higher arithmetic intensity than add")
+	}
+	if vc[dwIsCompute] != 1 || va[dwIsCompute] != 0 {
+		t.Fatal("compute flags wrong")
+	}
+}

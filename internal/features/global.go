@@ -1,0 +1,201 @@
+package features
+
+import (
+	"math"
+
+	"powerlens/internal/graph"
+)
+
+// Global is the coarse-grained feature set of §2.1.2's Global Feature
+// Extractor, split into the two facets the clustering-hyperparameter model
+// consumes at different stages (Fig. 3): macro structural features and
+// aggregated statistics.
+type Global struct {
+	Structural []float64 // macro topology: scale, depth, residual/branching, type mix
+	Stats      []float64 // aggregated arithmetic: FLOPs, params, traffic, proportions
+}
+
+// Dimensions of the two facets.
+const (
+	gsLayers   = iota // log1p layer count
+	gsDepth           // log1p longest-path depth
+	gsResidual        // log1p residual joins
+	gsBranches        // log1p branching points
+	gsStructScalar
+)
+
+// StructuralDim is the length of the structural facet (scalars + normalized
+// operator-kind histogram).
+const StructuralDim = gsStructScalar + graph.NumOpKinds
+
+const (
+	stFLOPs = iota // log1p total FLOPs
+	stParams
+	stMemBytes
+	stMeanAI       // mean arithmetic intensity over layers
+	stWeightAI     // FLOPs-weighted arithmetic intensity
+	stFracConvF    // fraction of FLOPs in conv ops
+	stFracLinF     // fraction of FLOPs in linear ops
+	stFracAttnF    // fraction of FLOPs in attention ops
+	stFracMemHeavy // fraction of layers that are memory-bound (AI below 10)
+	stMaxShare     // largest single-layer FLOP share
+	stMeanLayerF   // log1p mean FLOPs per layer
+	stStdLayerF    // log1p stddev of FLOPs per layer
+	stTailMemFrac  // fraction of memory traffic in the last 15% of layers
+	stTailAI       // arithmetic intensity of that tail relative to the whole
+	// StatsDim is the length of the statistics facet.
+	StatsDim
+)
+
+// GlobalDim is the length of the concatenated global feature vector.
+const GlobalDim = StructuralDim + StatsDim
+
+// ExtractGlobal computes the global features of an entire graph.
+func ExtractGlobal(g *graph.Graph) Global {
+	return extractGlobal(g.Layers, g.Depth())
+}
+
+// ExtractBlockGlobal computes the global features of a block: the contiguous
+// slice of layers [startID, endID] of g (inclusive, in layer-ID order). The
+// decision model consumes these per-block vectors (Fig. 4).
+func ExtractBlockGlobal(g *graph.Graph, startID, endID int) Global {
+	layers := g.Layers[startID : endID+1]
+	// Depth within a contiguous slice is approximated by its length; block
+	// boundaries cut branch context, and what the decision model needs is
+	// the block's scale, not its exact internal critical path.
+	return extractGlobal(layers, len(layers))
+}
+
+func extractGlobal(layers []*graph.Layer, depth int) Global {
+	s := make([]float64, StructuralDim)
+	st := make([]float64, StatsDim)
+
+	nRes, nBranch := 0, 0
+	consumerCount := map[int]int{}
+	for _, l := range layers {
+		if l.Kind == graph.OpAdd {
+			nRes++
+		}
+		for _, in := range l.Inputs {
+			consumerCount[in]++
+		}
+	}
+	for _, c := range consumerCount {
+		if c > 1 {
+			nBranch++
+		}
+	}
+	s[gsLayers] = math.Log1p(float64(len(layers)))
+	s[gsDepth] = math.Log1p(float64(depth))
+	s[gsResidual] = math.Log1p(float64(nRes))
+	s[gsBranches] = math.Log1p(float64(nBranch))
+	if len(layers) > 0 {
+		inv := 1 / float64(len(layers))
+		for _, l := range layers {
+			s[gsStructScalar+int(l.Kind)] += inv
+		}
+	}
+
+	var totF, totP, totM float64
+	var convF, linF, attnF float64
+	var maxF float64
+	var sumAI, sumWAI float64
+	memHeavy := 0
+	perLayerF := make([]float64, 0, len(layers))
+	for _, l := range layers {
+		f := float64(l.FLOPs())
+		totF += f
+		totP += float64(l.Params())
+		totM += float64(l.MemBytes())
+		ai := l.ArithmeticIntensity()
+		sumAI += ai
+		sumWAI += ai * f
+		if ai < 10 {
+			memHeavy++
+		}
+		switch l.Kind {
+		case graph.OpConv2D, graph.OpPatchEmbed:
+			convF += f
+		case graph.OpLinear:
+			linF += f
+		case graph.OpAttention:
+			attnF += f
+		}
+		if f > maxF {
+			maxF = f
+		}
+		perLayerF = append(perLayerF, f)
+	}
+	st[stFLOPs] = math.Log1p(totF)
+	st[stParams] = math.Log1p(totP)
+	st[stMemBytes] = math.Log1p(totM)
+	if n := float64(len(layers)); n > 0 {
+		st[stMeanAI] = sumAI / n
+		st[stFracMemHeavy] = float64(memHeavy) / n
+	}
+	if totF > 0 {
+		st[stWeightAI] = sumWAI / totF
+		st[stFracConvF] = convF / totF
+		st[stFracLinF] = linF / totF
+		st[stFracAttnF] = attnF / totF
+		st[stMaxShare] = maxF / totF
+	}
+	st[stMeanLayerF] = math.Log1p(mean(perLayerF))
+	st[stStdLayerF] = math.Log1p(std(perLayerF))
+
+	// Positional aggregate: how much of the network's memory traffic (and
+	// how little of its compute) sits in the trailing layers. This is the
+	// signature of the heavy fully-connected tails (AlexNet, VGG) whose
+	// power behaviour diverges from the body — a key signal for choosing a
+	// clustering that splits them into their own power block.
+	tailStart := len(layers) - len(layers)*15/100
+	if tailStart >= len(layers) {
+		tailStart = len(layers) - 1
+	}
+	var tailM, tailF float64
+	for _, l := range layers[tailStart:] {
+		tailM += float64(l.MemBytes())
+		tailF += float64(l.FLOPs())
+	}
+	if totM > 0 {
+		st[stTailMemFrac] = tailM / totM
+	}
+	if tailM > 0 && totM > 0 && totF > 0 {
+		// Tail AI normalized by whole-network AI; < 1 means the tail is
+		// disproportionately memory-bound.
+		st[stTailAI] = (tailF / tailM) / (totF / totM)
+	}
+	return Global{Structural: s, Stats: st}
+}
+
+// Vector returns the concatenated [structural | stats] feature vector.
+func (g Global) Vector() []float64 {
+	v := make([]float64, 0, GlobalDim)
+	v = append(v, g.Structural...)
+	v = append(v, g.Stats...)
+	return v
+}
+
+func mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+func std(v []float64) float64 {
+	if len(v) < 2 {
+		return 0
+	}
+	mu := mean(v)
+	s := 0.0
+	for _, x := range v {
+		d := x - mu
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(v)))
+}

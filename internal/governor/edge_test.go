@@ -1,0 +1,101 @@
+package governor
+
+import (
+	"testing"
+
+	"powerlens/internal/graph"
+	"powerlens/internal/hw"
+	"powerlens/internal/sim"
+)
+
+func TestOndemandProportionalScaling(t *testing.T) {
+	p := hw.TX2()
+	o := NewOndemand()
+	o.Reset(p)
+	// Pin at a known level and feed a mid-utilization window: the next
+	// level must target cur·busy/0.7.
+	o.level = 10
+	o.OnWindow(sim.WindowStats{GPUBusy: 0.35})
+	want := p.NearestGPULevel(p.GPUFreqsHz[10] * 0.35 / 0.70)
+	if o.GPULevel() != want {
+		t.Fatalf("level = %d, want %d", o.GPULevel(), want)
+	}
+	// Above the up-threshold: jump to max.
+	o.OnWindow(sim.WindowStats{GPUBusy: 0.85})
+	if o.GPULevel() != p.NumGPULevels()-1 {
+		t.Fatal("must jump to fmax above the threshold")
+	}
+	// Idle window: fall to the bottom.
+	o.OnWindow(sim.WindowStats{GPUBusy: 0})
+	if o.GPULevel() != 0 {
+		t.Fatalf("idle level = %d, want 0", o.GPULevel())
+	}
+}
+
+func TestFPGGLowUtilStepsDown(t *testing.T) {
+	p := hw.TX2()
+	f := NewFPGG()
+	f.Reset(p)
+	start := f.GPULevel()
+	f.OnWindow(sim.WindowStats{GPUBusy: 0.2, AvgPowerW: 5})
+	if f.GPULevel() != start-1 {
+		t.Fatalf("low-util step: %d -> %d", start, f.GPULevel())
+	}
+	// Near-idle: falls two steps per window.
+	lvl := f.GPULevel()
+	f.OnWindow(sim.WindowStats{GPUBusy: 0.001, AvgPowerW: 3})
+	if f.GPULevel() != lvl-2 {
+		t.Fatalf("idle fall: %d -> %d", lvl, f.GPULevel())
+	}
+}
+
+func TestFPGGIgnoresDegenerateWindow(t *testing.T) {
+	p := hw.TX2()
+	f := NewFPGG()
+	f.Reset(p)
+	lvl := f.GPULevel()
+	f.OnWindow(sim.WindowStats{GPUBusy: 0.8, AvgPowerW: 0}) // zero power: no score
+	if f.GPULevel() != lvl {
+		t.Fatal("degenerate window must not move the level")
+	}
+}
+
+func TestFPGCGCPUBounds(t *testing.T) {
+	p := hw.TX2()
+	f := NewFPGCG()
+	f.Reset(p)
+	// Hammer the down path: must clamp at 0.
+	for i := 0; i < 100; i++ {
+		f.OnWindow(sim.WindowStats{GPUBusy: 0.8, AvgPowerW: 5, CPUBusy: 0})
+	}
+	if f.CPULevel() < 0 {
+		t.Fatal("CPU level below 0")
+	}
+	// Hammer the up path: must clamp at top.
+	for i := 0; i < 100; i++ {
+		f.OnWindow(sim.WindowStats{GPUBusy: 0.8, AvgPowerW: 5, CPUBusy: 1})
+	}
+	if f.CPULevel() != len(p.CPUFreqsHz)-1 {
+		t.Fatalf("CPU level = %d, want top", f.CPULevel())
+	}
+}
+
+func TestPowerLensClampsPlanLevels(t *testing.T) {
+	p := hw.TX2()
+	g := simpleGraphForTest()
+	plan := &FrequencyPlan{Model: g.Name, Points: map[int]int{0: 99}}
+	ctl := NewPowerLens(plan)
+	ctl.Reset(p)
+	ctl.BeforeLayer(g, 0)
+	if ctl.GPULevel() != p.NumGPULevels()-1 {
+		t.Fatalf("off-ladder plan level not clamped: %d", ctl.GPULevel())
+	}
+}
+
+// simpleGraphForTest builds a minimal graph without importing models.
+func simpleGraphForTest() *graph.Graph {
+	g := graph.New("edge")
+	in := g.Input(3, 8, 8)
+	g.Linear(g.Flatten(in), 10)
+	return g
+}

@@ -1,0 +1,127 @@
+package governor
+
+import (
+	"math"
+
+	"powerlens/internal/graph"
+	"powerlens/internal/hw"
+	"powerlens/internal/sim"
+)
+
+// FPGG is the FPG-G baseline: a reactive heuristic that adjusts the GPU
+// frequency one ladder step per window, hill-climbing on an energy/EDP-style
+// score estimated from the previous windows' power and utilization —
+// exactly the "historical information" strategy the paper contrasts with.
+//
+// The score is P/perf^β, a blend between energy-per-work (β=1) and EDP
+// (β=2); the default β=1.25 reproduces the cited method's performance bias,
+// settling one or two ladder steps above the pure energy optimum. Being
+// reactive, it dithers around its target (frequency ping-pong), responds one
+// window late (lag), and applies one network-wide compromise frequency
+// instead of per-block targets.
+type FPGG struct {
+	LowUtil  float64 // below this, step down to save energy (default 0.30)
+	PerfBias float64 // β exponent of the P/perf^β score (default 1.25)
+
+	platform  *hw.Platform
+	level     int
+	direction int // +1 or -1: current hill-climbing direction
+	prevScore float64
+	havePrev  bool
+}
+
+// NewFPGG returns an FPG-G governor with default bands.
+func NewFPGG() *FPGG {
+	return &FPGG{LowUtil: 0.30, PerfBias: 1.25, direction: -1}
+}
+
+func (f *FPGG) Name() string { return "FPG-G" }
+
+// Reset implements sim.Controller.
+func (f *FPGG) Reset(p *hw.Platform) {
+	f.platform = p
+	f.level = p.NumGPULevels() - 1 // starts from the ondemand-style busy state
+	f.direction = -1
+	f.prevScore = 0
+	f.havePrev = false
+}
+
+// GPULevel implements sim.Controller.
+func (f *FPGG) GPULevel() int { return f.level }
+
+// CPULevel implements sim.Controller: FPG-G leaves the CPU on ondemand.
+func (f *FPGG) CPULevel() int { return len(f.platform.CPUFreqsHz) - 1 }
+
+// BeforeLayer implements sim.Controller.
+func (f *FPGG) BeforeLayer(*graph.Graph, int) {}
+
+// OnWindow implements sim.Controller.
+func (f *FPGG) OnWindow(s sim.WindowStats) {
+	p := f.platform
+	if s.GPUBusy <= 0.01 {
+		// Idle: fall toward the bottom to save static power.
+		f.level = p.ClampGPULevel(f.level - 2)
+		f.havePrev = false
+		return
+	}
+	if s.GPUBusy < f.LowUtil {
+		f.level = p.ClampGPULevel(f.level - 1)
+		f.havePrev = false
+		return
+	}
+	// Hill-climb on the windowed score P/perf^β. Throughput is approximated
+	// from busy time × frequency (work ∝ cycles) — the same proxy the real
+	// governor builds from hardware counters.
+	perf := s.GPUBusy * p.GPUFreqsHz[f.level] / 1e9 // normalized to GHz
+	if perf <= 0 || s.AvgPowerW <= 0 {
+		return
+	}
+	score := s.AvgPowerW / math.Pow(perf, f.PerfBias)
+	if f.havePrev && score > f.prevScore {
+		f.direction = -f.direction // got worse: reverse
+	}
+	f.prevScore = score
+	f.havePrev = true
+	f.level = p.ClampGPULevel(f.level + f.direction)
+}
+
+var _ sim.Controller = (*FPGG)(nil)
+
+// FPGCG is FPG-C+G: FPGG for the GPU plus a CPU-side band controller that
+// lowers the CPU frequency when the host is mostly idle and raises it when
+// host work queues up.
+type FPGCG struct {
+	FPGG
+	CPUHighBusy float64 // raise CPU level above this host busy fraction
+	CPULowBusy  float64 // lower CPU level below it
+	cpuLevel    int
+}
+
+// NewFPGCG returns an FPG-C+G governor with default bands.
+func NewFPGCG() *FPGCG {
+	return &FPGCG{FPGG: *NewFPGG(), CPUHighBusy: 0.35, CPULowBusy: 0.15}
+}
+
+func (f *FPGCG) Name() string { return "FPG-CG" }
+
+// Reset implements sim.Controller.
+func (f *FPGCG) Reset(p *hw.Platform) {
+	f.FPGG.Reset(p)
+	f.cpuLevel = len(p.CPUFreqsHz) - 1
+}
+
+// CPULevel implements sim.Controller.
+func (f *FPGCG) CPULevel() int { return f.cpuLevel }
+
+// OnWindow implements sim.Controller.
+func (f *FPGCG) OnWindow(s sim.WindowStats) {
+	f.FPGG.OnWindow(s)
+	switch {
+	case s.CPUBusy > f.CPUHighBusy && f.cpuLevel < len(f.platform.CPUFreqsHz)-1:
+		f.cpuLevel++
+	case s.CPUBusy < f.CPULowBusy && f.cpuLevel > 0:
+		f.cpuLevel--
+	}
+}
+
+var _ sim.Controller = (*FPGCG)(nil)

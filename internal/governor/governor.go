@@ -1,0 +1,50 @@
+// Package governor implements the DVFS controllers compared in the paper:
+//
+//   - Static: a fixed frequency level (building block and sanity baseline).
+//   - Ondemand: the built-in method (BiM) — the utilization-driven governor
+//     shipped on both Jetson platforms.
+//   - FPGG: the FPG-G baseline [Karzhaubayeva et al.] — a reactive heuristic
+//     that hill-climbs GPU frequency on utilization/EDP history.
+//   - FPGCG: FPG-C+G — FPGG plus CPU frequency scaling.
+//   - PowerLens: the paper's controller — preset target frequencies applied
+//     at per-block instrumentation points, no runtime feedback needed.
+package governor
+
+import (
+	"powerlens/internal/graph"
+	"powerlens/internal/hw"
+	"powerlens/internal/sim"
+)
+
+// Static pins the GPU to one level and the CPU to its top level.
+type Static struct {
+	Level    int
+	platform *hw.Platform
+}
+
+// NewStatic returns a controller pinned at the given GPU level.
+func NewStatic(level int) *Static { return &Static{Level: level} }
+
+func (s *Static) Name() string { return "static" }
+
+// Reset implements sim.Controller.
+func (s *Static) Reset(p *hw.Platform) { s.platform = p }
+
+// GPULevel implements sim.Controller.
+func (s *Static) GPULevel() int { return s.Level }
+
+// CPULevel implements sim.Controller.
+func (s *Static) CPULevel() int {
+	if s.platform == nil {
+		return 0
+	}
+	return len(s.platform.CPUFreqsHz) - 1
+}
+
+// BeforeLayer implements sim.Controller.
+func (s *Static) BeforeLayer(*graph.Graph, int) {}
+
+// OnWindow implements sim.Controller.
+func (s *Static) OnWindow(sim.WindowStats) {}
+
+var _ sim.Controller = (*Static)(nil)

@@ -1,0 +1,61 @@
+package governor
+
+import (
+	"powerlens/internal/graph"
+	"powerlens/internal/hw"
+	"powerlens/internal/sim"
+)
+
+// Ondemand is the built-in method (BiM): the classic utilization-threshold
+// governor. When windowed GPU utilization crosses UpThreshold it jumps to
+// the maximum frequency; otherwise it scales the frequency proportionally to
+// utilization (targeting TargetUtil). This reproduces the behaviours the
+// paper criticizes: it pegs fmax whenever the GPU is busy — wasting energy
+// on memory-bound phases — and after idle gaps it responds one window late
+// (the lag of Fig. 1A).
+type Ondemand struct {
+	UpThreshold float64 // jump-to-max utilization threshold (default 0.80)
+	TargetUtil  float64 // proportional-scaling target (default 0.70)
+
+	platform *hw.Platform
+	level    int
+}
+
+// NewOndemand returns a BiM governor with the standard thresholds.
+func NewOndemand() *Ondemand {
+	return &Ondemand{UpThreshold: 0.80, TargetUtil: 0.70}
+}
+
+func (o *Ondemand) Name() string { return "BiM" }
+
+// Reset implements sim.Controller. The governor boots at a mid ladder level,
+// as devfreq does before its first sample.
+func (o *Ondemand) Reset(p *hw.Platform) {
+	o.platform = p
+	o.level = p.NumGPULevels() / 2
+}
+
+// GPULevel implements sim.Controller.
+func (o *Ondemand) GPULevel() int { return o.level }
+
+// CPULevel implements sim.Controller: the CPU runs its own ondemand, which
+// under load sits at the top level.
+func (o *Ondemand) CPULevel() int { return len(o.platform.CPUFreqsHz) - 1 }
+
+// BeforeLayer implements sim.Controller (reactive: no preset points).
+func (o *Ondemand) BeforeLayer(*graph.Graph, int) {}
+
+// OnWindow implements sim.Controller.
+func (o *Ondemand) OnWindow(s sim.WindowStats) {
+	p := o.platform
+	if s.GPUBusy >= o.UpThreshold {
+		o.level = p.NumGPULevels() - 1
+		return
+	}
+	// Scale current frequency toward the target utilization.
+	cur := p.GPUFreqsHz[o.level]
+	want := cur * s.GPUBusy / o.TargetUtil
+	o.level = p.NearestGPULevel(want)
+}
+
+var _ sim.Controller = (*Ondemand)(nil)

@@ -1,0 +1,110 @@
+package governor
+
+import (
+	"powerlens/internal/graph"
+	"powerlens/internal/hw"
+	"powerlens/internal/sim"
+)
+
+// FrequencyPlan maps instrumentation points — the first layer ID of each
+// power block — to preset GPU levels. It is the artifact the offline
+// PowerLens pipeline produces for one model on one platform.
+type FrequencyPlan struct {
+	Model  string
+	Points map[int]int // layer ID at block start → GPU ladder level
+}
+
+// NumPoints returns the number of instrumentation points.
+func (fp *FrequencyPlan) NumPoints() int { return len(fp.Points) }
+
+// PowerLens applies a FrequencyPlan at its preset instrumentation points.
+// It needs no runtime feedback: frequencies are decided offline per power
+// block, which is what eliminates the reactive baselines' ping-pong and lag.
+type PowerLens struct {
+	Plan *FrequencyPlan
+
+	platform *hw.Platform
+	level    int
+}
+
+// NewPowerLens returns a controller executing the given plan.
+func NewPowerLens(plan *FrequencyPlan) *PowerLens {
+	return &PowerLens{Plan: plan}
+}
+
+func (pl *PowerLens) Name() string { return "PowerLens" }
+
+// Reset implements sim.Controller.
+func (pl *PowerLens) Reset(p *hw.Platform) {
+	pl.platform = p
+	pl.level = p.NumGPULevels() / 2
+}
+
+// GPULevel implements sim.Controller.
+func (pl *PowerLens) GPULevel() int { return pl.level }
+
+// CPULevel implements sim.Controller: PowerLens only configures the GPU
+// (§3.2.1); the host CPU stays on its ondemand governor (busy → top level).
+func (pl *PowerLens) CPULevel() int { return len(pl.platform.CPUFreqsHz) - 1 }
+
+// BeforeLayer implements sim.Controller: at an instrumentation point, preset
+// the block's target frequency. Plans for other models are ignored, so one
+// controller instance can serve a mixed task flow given per-model plans via
+// SetPlan.
+func (pl *PowerLens) BeforeLayer(g *graph.Graph, layerID int) {
+	if pl.Plan == nil || pl.Plan.Model != g.Name {
+		return
+	}
+	if lvl, ok := pl.Plan.Points[layerID]; ok {
+		pl.level = pl.platform.ClampGPULevel(lvl)
+	}
+}
+
+// OnWindow implements sim.Controller (no reactive behaviour).
+func (pl *PowerLens) OnWindow(sim.WindowStats) {}
+
+var _ sim.Controller = (*PowerLens)(nil)
+
+// MultiPlan serves a task flow of different models: it dispatches
+// BeforeLayer to the plan matching the running graph.
+type MultiPlan struct {
+	Plans map[string]*FrequencyPlan // model name → plan
+
+	platform *hw.Platform
+	level    int
+}
+
+// NewMultiPlan returns a PowerLens controller holding one plan per model.
+func NewMultiPlan(plans map[string]*FrequencyPlan) *MultiPlan {
+	return &MultiPlan{Plans: plans}
+}
+
+func (m *MultiPlan) Name() string { return "PowerLens" }
+
+// Reset implements sim.Controller.
+func (m *MultiPlan) Reset(p *hw.Platform) {
+	m.platform = p
+	m.level = p.NumGPULevels() / 2
+}
+
+// GPULevel implements sim.Controller.
+func (m *MultiPlan) GPULevel() int { return m.level }
+
+// CPULevel implements sim.Controller.
+func (m *MultiPlan) CPULevel() int { return len(m.platform.CPUFreqsHz) - 1 }
+
+// BeforeLayer implements sim.Controller.
+func (m *MultiPlan) BeforeLayer(g *graph.Graph, layerID int) {
+	plan, ok := m.Plans[g.Name]
+	if !ok {
+		return
+	}
+	if lvl, ok := plan.Points[layerID]; ok {
+		m.level = m.platform.ClampGPULevel(lvl)
+	}
+}
+
+// OnWindow implements sim.Controller.
+func (m *MultiPlan) OnWindow(sim.WindowStats) {}
+
+var _ sim.Controller = (*MultiPlan)(nil)

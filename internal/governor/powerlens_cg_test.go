@@ -1,0 +1,89 @@
+package governor
+
+import (
+	"testing"
+
+	"powerlens/internal/hw"
+	"powerlens/internal/models"
+	"powerlens/internal/sim"
+)
+
+func TestOptimalCPULevelRespectsBudget(t *testing.T) {
+	p := hw.TX2()
+	// Generous GPU time: the cheapest feasible level should be well below top.
+	lvl := OptimalCPULevel(p, 0.1, 0.9)
+	if lvl >= len(p.CPUFreqsHz)-1 {
+		t.Fatalf("generous budget should allow a low CPU level, got %d", lvl)
+	}
+	// Feasibility: chosen level's host time must fit the budget.
+	if tHost := p.CPUWorkPerImage / p.CPUFreqsHz[lvl]; tHost > 0.09 {
+		t.Fatalf("host time %.3fs exceeds budget", tHost)
+	}
+	// Tiny GPU time: nothing fits, must fall back to the top level.
+	if lvl := OptimalCPULevel(p, 1e-9, 0.9); lvl != len(p.CPUFreqsHz)-1 {
+		t.Fatalf("impossible budget must return the top level, got %d", lvl)
+	}
+}
+
+func TestOptimalCPULevelMinimizesEnergy(t *testing.T) {
+	p := hw.TX2()
+	budget := 0.05 * 0.9
+	best := OptimalCPULevel(p, 0.05, 0.9)
+	bestE := p.CPUBusyPower(p.CPUFreqsHz[best]) * (p.CPUWorkPerImage / p.CPUFreqsHz[best])
+	for lvl, f := range p.CPUFreqsHz {
+		tHost := p.CPUWorkPerImage / f
+		if tHost > budget {
+			continue
+		}
+		if e := p.CPUBusyPower(f) * tHost; e < bestE-1e-12 {
+			t.Fatalf("level %d energy %.6f beats chosen %d (%.6f)", lvl, e, best, bestE)
+		}
+	}
+}
+
+func TestPowerLensCGBeatsPlainPowerLens(t *testing.T) {
+	p := hw.TX2()
+	g := models.MustBuild("resnet152")
+	plan := &FrequencyPlan{Model: g.Name, Points: map[int]int{0: 6}}
+
+	plain := sim.NewExecutor(p, NewPowerLens(plan)).RunTask(g, 20)
+	cg := sim.NewExecutor(p, NewPowerLensCG(p, g, plan)).RunTask(g, 20)
+
+	// Coordinated CPU DVFS saves host energy without stalling the pipeline:
+	// equal or lower energy at (nearly) unchanged makespan.
+	if cg.EnergyJ >= plain.EnergyJ {
+		t.Fatalf("PowerLens-CG energy %.3f >= plain %.3f", cg.EnergyJ, plain.EnergyJ)
+	}
+	if cg.Time.Seconds() > plain.Time.Seconds()*1.02 {
+		t.Fatalf("PowerLens-CG stalled the pipeline: %v vs %v", cg.Time, plain.Time)
+	}
+	if cg.EE() <= plain.EE() {
+		t.Fatalf("PowerLens-CG EE %.4f <= plain %.4f", cg.EE(), plain.EE())
+	}
+}
+
+func TestPowerLensCGName(t *testing.T) {
+	p := hw.TX2()
+	g := models.MustBuild("alexnet")
+	plan := &FrequencyPlan{Model: g.Name, Points: map[int]int{0: 5}}
+	ctl := NewPowerLensCG(p, g, plan)
+	if ctl.Name() != "PowerLens-CG" {
+		t.Fatalf("name = %q", ctl.Name())
+	}
+	ctl.Reset(p)
+	if ctl.CPULevel() < 0 || ctl.CPULevel() >= len(p.CPUFreqsHz) {
+		t.Fatalf("CPU level %d out of range", ctl.CPULevel())
+	}
+}
+
+func TestPlanCPULevelScalesWithModel(t *testing.T) {
+	p := hw.TX2()
+	big := models.MustBuild("resnet152")
+	small := models.MustBuild("alexnet")
+	planBig := &FrequencyPlan{Model: big.Name, Points: map[int]int{0: 6}}
+	planSmall := &FrequencyPlan{Model: small.Name, Points: map[int]int{0: 6}}
+	// A long GPU pass tolerates a slower (cheaper) CPU than a short one.
+	if PlanCPULevel(p, big, planBig) > PlanCPULevel(p, small, planSmall) {
+		t.Fatal("bigger model must allow an equal or lower CPU level")
+	}
+}

@@ -1,0 +1,63 @@
+package governor
+
+import (
+	"powerlens/internal/graph"
+	"powerlens/internal/hw"
+	"powerlens/internal/sim"
+)
+
+// The two remaining standard Linux cpufreq/devfreq policies, for baseline
+// completeness: performance pins fmax, powersave pins fmin. Together with
+// Ondemand they are the stock governor set the paper's BiM column samples
+// from ([7] surveys them).
+
+// Performance pins the GPU at the maximum frequency.
+type Performance struct{ platform *hw.Platform }
+
+// NewPerformance returns the performance governor.
+func NewPerformance() *Performance { return &Performance{} }
+
+func (p *Performance) Name() string { return "performance" }
+
+// Reset implements sim.Controller.
+func (p *Performance) Reset(pl *hw.Platform) { p.platform = pl }
+
+// GPULevel implements sim.Controller.
+func (p *Performance) GPULevel() int { return p.platform.NumGPULevels() - 1 }
+
+// CPULevel implements sim.Controller.
+func (p *Performance) CPULevel() int { return len(p.platform.CPUFreqsHz) - 1 }
+
+// BeforeLayer implements sim.Controller.
+func (p *Performance) BeforeLayer(*graph.Graph, int) {}
+
+// OnWindow implements sim.Controller.
+func (p *Performance) OnWindow(sim.WindowStats) {}
+
+// Powersave pins the GPU at the minimum frequency.
+type Powersave struct{ platform *hw.Platform }
+
+// NewPowersave returns the powersave governor.
+func NewPowersave() *Powersave { return &Powersave{} }
+
+func (p *Powersave) Name() string { return "powersave" }
+
+// Reset implements sim.Controller.
+func (p *Powersave) Reset(pl *hw.Platform) { p.platform = pl }
+
+// GPULevel implements sim.Controller.
+func (p *Powersave) GPULevel() int { return 0 }
+
+// CPULevel implements sim.Controller.
+func (p *Powersave) CPULevel() int { return len(p.platform.CPUFreqsHz) - 1 }
+
+// BeforeLayer implements sim.Controller.
+func (p *Powersave) BeforeLayer(*graph.Graph, int) {}
+
+// OnWindow implements sim.Controller.
+func (p *Powersave) OnWindow(sim.WindowStats) {}
+
+var (
+	_ sim.Controller = (*Performance)(nil)
+	_ sim.Controller = (*Powersave)(nil)
+)

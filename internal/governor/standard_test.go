@@ -1,0 +1,47 @@
+package governor
+
+import (
+	"testing"
+
+	"powerlens/internal/hw"
+	"powerlens/internal/models"
+	"powerlens/internal/sim"
+)
+
+func TestPerformanceAndPowersavePins(t *testing.T) {
+	p := hw.TX2()
+	g := models.MustBuild("alexnet")
+
+	perf := sim.NewExecutor(p, NewPerformance()).RunTask(g, 3)
+	save := sim.NewExecutor(p, NewPowersave()).RunTask(g, 3)
+
+	if perf.Switches != 0 || save.Switches != 0 {
+		t.Fatal("pinned governors must not switch")
+	}
+	for _, s := range perf.Samples {
+		if s.FreqHz != p.MaxGPUFreq() {
+			t.Fatal("performance must pin fmax")
+		}
+	}
+	for _, s := range save.Samples {
+		if s.FreqHz != p.MinGPUFreq() {
+			t.Fatal("powersave must pin fmin")
+		}
+	}
+	// Sanity ordering: performance is fastest; neither is EE-optimal for a
+	// compute workload (interior optimum).
+	if perf.Time >= save.Time {
+		t.Fatal("performance must be faster than powersave")
+	}
+	mid := sim.NewExecutor(p, NewStatic(6)).RunTask(g, 3)
+	if mid.EE() <= perf.EE() || mid.EE() <= save.EE() {
+		t.Fatalf("interior level must beat both extremes: mid %.4f perf %.4f save %.4f",
+			mid.EE(), perf.EE(), save.EE())
+	}
+}
+
+func TestStandardGovernorNames(t *testing.T) {
+	if NewPerformance().Name() != "performance" || NewPowersave().Name() != "powersave" {
+		t.Fatal("names wrong")
+	}
+}

@@ -1,0 +1,140 @@
+package governor
+
+import (
+	"math/rand"
+
+	"powerlens/internal/graph"
+	"powerlens/internal/hw"
+	"powerlens/internal/sim"
+)
+
+// ZTT is a zTT-style learning-based DVFS governor (Kim et al. [6] in the
+// paper's related work): an online Q-learning agent whose state is the
+// current (frequency level, utilization bucket) pair and whose actions move
+// one ladder step. The reward prefers meeting a throughput target at
+// minimal power — "quality of service" in zTT's terms. Like the other
+// reactive baselines it learns from historical windows, so it shares their
+// lag; unlike the fixed heuristics it eventually adapts its policy to the
+// workload.
+//
+// It is an *extra* baseline beyond the paper's three (the paper cites zTT
+// as related work but does not benchmark it); BenchmarkZTT and the governor
+// tests characterize it against the others.
+type ZTT struct {
+	// Epsilon is the exploration rate; Alpha the learning rate; Gamma the
+	// discount factor.
+	Epsilon, Alpha, Gamma float64
+	// TargetPerf is the fraction of the platform's peak windowed throughput
+	// the agent treats as QoS-satisfying (default 0.6).
+	TargetPerf float64
+	// PowerWeight scales the power penalty in the reward (default 0.1/W).
+	PowerWeight float64
+	// Seed drives exploration.
+	Seed int64
+
+	platform *hw.Platform
+	rng      *rand.Rand
+	level    int
+
+	// Q[state][action]: state = level*utilBuckets + utilBucket,
+	// action ∈ {down, stay, up}.
+	q          [][]float64
+	prevState  int
+	prevAction int
+	havePrev   bool
+}
+
+const zttUtilBuckets = 4
+
+// NewZTT returns a zTT-style governor with default hyperparameters.
+func NewZTT(seed int64) *ZTT {
+	return &ZTT{
+		Epsilon: 0.10, Alpha: 0.30, Gamma: 0.60,
+		TargetPerf: 0.6, PowerWeight: 0.1, Seed: seed,
+	}
+}
+
+func (z *ZTT) Name() string { return "zTT" }
+
+// Reset implements sim.Controller.
+func (z *ZTT) Reset(p *hw.Platform) {
+	z.platform = p
+	z.rng = rand.New(rand.NewSource(z.Seed))
+	z.level = p.NumGPULevels() / 2
+	states := p.NumGPULevels() * zttUtilBuckets
+	z.q = make([][]float64, states)
+	for i := range z.q {
+		z.q[i] = make([]float64, 3)
+	}
+	z.havePrev = false
+}
+
+// GPULevel implements sim.Controller.
+func (z *ZTT) GPULevel() int { return z.level }
+
+// CPULevel implements sim.Controller.
+func (z *ZTT) CPULevel() int { return len(z.platform.CPUFreqsHz) - 1 }
+
+// BeforeLayer implements sim.Controller.
+func (z *ZTT) BeforeLayer(*graph.Graph, int) {}
+
+// OnWindow implements sim.Controller: one Q-learning step per window.
+func (z *ZTT) OnWindow(s sim.WindowStats) {
+	p := z.platform
+	state := z.stateOf(s)
+
+	// Reward of the PREVIOUS action, observed in this window: QoS bonus for
+	// meeting the throughput target minus a power penalty.
+	if z.havePrev {
+		perf := s.GPUBusy * p.GPUFreqsHz[z.level] / p.MaxGPUFreq()
+		reward := -z.PowerWeight * s.AvgPowerW
+		if perf >= z.TargetPerf {
+			reward += 1
+		}
+		bestNext := maxOf(z.q[state])
+		old := z.q[z.prevState][z.prevAction]
+		z.q[z.prevState][z.prevAction] = old + z.Alpha*(reward+z.Gamma*bestNext-old)
+	}
+
+	// ε-greedy action selection for the next window.
+	action := z.bestAction(state)
+	if z.rng.Float64() < z.Epsilon {
+		action = z.rng.Intn(3)
+	}
+	z.prevState, z.prevAction, z.havePrev = state, action, true
+	z.level = p.ClampGPULevel(z.level + action - 1) // {0,1,2} → {-1,0,+1}
+}
+
+func (z *ZTT) stateOf(s sim.WindowStats) int {
+	b := int(s.GPUBusy * zttUtilBuckets)
+	if b >= zttUtilBuckets {
+		b = zttUtilBuckets - 1
+	}
+	if b < 0 {
+		b = 0
+	}
+	return z.level*zttUtilBuckets + b
+}
+
+func (z *ZTT) bestAction(state int) int {
+	best := 0
+	row := z.q[state]
+	for a := 1; a < len(row); a++ {
+		if row[a] > row[best] {
+			best = a
+		}
+	}
+	return best
+}
+
+func maxOf(v []float64) float64 {
+	m := v[0]
+	for _, x := range v[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+var _ sim.Controller = (*ZTT)(nil)

@@ -1,0 +1,54 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT emits a Graphviz rendering of the graph. When blocks is non-nil
+// (parallel slices of [start, end] layer-ID ranges), layers are grouped into
+// per-power-block clusters — the visual form of the paper's power view.
+func (g *Graph) WriteDOT(w io.Writer, blockStarts, blockEnds []int) error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n", g.Name)
+
+	inBlock := func(id int) int {
+		for i := range blockStarts {
+			if id >= blockStarts[i] && id <= blockEnds[i] {
+				return i
+			}
+		}
+		return -1
+	}
+
+	if len(blockStarts) > 0 {
+		for b := range blockStarts {
+			fmt.Fprintf(&sb, "  subgraph cluster_%d {\n    label=\"power block %d\";\n    style=filled; color=lightgrey;\n", b, b+1)
+			for _, l := range g.Layers {
+				if inBlock(l.ID) == b {
+					fmt.Fprintf(&sb, "    n%d [label=\"%d: %s\\n%s\"];\n", l.ID, l.ID, l.Kind, l.OutShape)
+				}
+			}
+			sb.WriteString("  }\n")
+		}
+		// Layers outside any block (e.g. the input).
+		for _, l := range g.Layers {
+			if inBlock(l.ID) == -1 {
+				fmt.Fprintf(&sb, "  n%d [label=\"%d: %s\\n%s\"];\n", l.ID, l.ID, l.Kind, l.OutShape)
+			}
+		}
+	} else {
+		for _, l := range g.Layers {
+			fmt.Fprintf(&sb, "  n%d [label=\"%d: %s\\n%s\"];\n", l.ID, l.ID, l.Kind, l.OutShape)
+		}
+	}
+	for _, l := range g.Layers {
+		for _, in := range l.Inputs {
+			fmt.Fprintf(&sb, "  n%d -> n%d;\n", in, l.ID)
+		}
+	}
+	sb.WriteString("}\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

@@ -1,0 +1,103 @@
+package graph
+
+import "testing"
+
+func TestLRNCosts(t *testing.T) {
+	g := New("t")
+	in := g.Input(64, 28, 28)
+	l := g.LRN(in)
+	if l.OutShape != in.OutShape {
+		t.Fatal("LRN must preserve shape")
+	}
+	if l.FLOPs() != 10*l.OutShape.Elems() {
+		t.Fatalf("LRN FLOPs = %d", l.FLOPs())
+	}
+	if l.Params() != 0 {
+		t.Fatal("LRN has no learned parameters")
+	}
+}
+
+func TestAvgPoolAndAdaptive(t *testing.T) {
+	g := New("t")
+	in := g.Input(16, 8, 8)
+	ap := g.AvgPool(in, 2, 2, 0)
+	if ap.OutShape != (Shape{16, 4, 4}) {
+		t.Fatalf("avgpool out = %v", ap.OutShape)
+	}
+	ad := g.AdaptiveAvgPool(in, 3, 3)
+	if ad.OutShape != (Shape{16, 3, 3}) {
+		t.Fatalf("adaptive out = %v", ad.OutShape)
+	}
+	if ad.FLOPs() != in.OutShape.Elems() {
+		t.Fatalf("adaptive FLOPs = %d", ad.FLOPs())
+	}
+}
+
+func TestAllActivationKinds(t *testing.T) {
+	g := New("t")
+	in := g.Input(4, 4, 4)
+	for _, k := range []OpKind{OpReLU, OpGELU, OpHardSwish, OpHardSigmoid, OpSiLU, OpSigmoid, OpSoftmax} {
+		a := g.Activation(in, k)
+		if a.Kind != k || a.OutShape != in.OutShape {
+			t.Fatalf("%v activation wrong", k)
+		}
+		if a.FLOPs() <= 0 {
+			t.Fatalf("%v has zero cost", k)
+		}
+	}
+}
+
+func TestIsCompute(t *testing.T) {
+	for _, k := range []OpKind{OpConv2D, OpLinear, OpAttention, OpPatchEmbed} {
+		if !k.IsCompute() {
+			t.Fatalf("%v must be compute", k)
+		}
+	}
+	for _, k := range []OpKind{OpReLU, OpAdd, OpConcat, OpBatchNorm, OpInput, OpMaxPool2D} {
+		if k.IsCompute() {
+			t.Fatalf("%v must not be compute", k)
+		}
+	}
+}
+
+func TestConcatSingleInput(t *testing.T) {
+	g := New("t")
+	in := g.Input(8, 4, 4)
+	c := g.Concat(in)
+	if c.OutShape != in.OutShape {
+		t.Fatal("single-input concat must be identity-shaped")
+	}
+}
+
+func TestConcatEmptyPanics(t *testing.T) {
+	g := New("t")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g.Concat()
+}
+
+func TestSelectTokenShape(t *testing.T) {
+	g := New("t")
+	in := g.Input(768, 197, 1)
+	s := g.SelectToken(in)
+	if s.OutShape != (Shape{768, 1, 1}) {
+		t.Fatalf("select token out = %v", s.OutShape)
+	}
+	if s.FLOPs() != 0 {
+		t.Fatal("token select is data movement")
+	}
+}
+
+func TestBatchCostClampsBatch(t *testing.T) {
+	g := New("t")
+	in := g.Input(3, 8, 8)
+	c := g.Conv(in, 4, 3, 1, 1, 1)
+	f0, b0 := c.BatchCost(0)
+	f1, b1 := c.BatchCost(1)
+	if f0 != f1 || b0 != b1 {
+		t.Fatal("batch 0 must clamp to 1")
+	}
+}

@@ -1,0 +1,59 @@
+package graph_test
+
+import (
+	"fmt"
+
+	"powerlens/internal/graph"
+)
+
+// Build a small convolutional network with the builder API and inspect its
+// cost accounting.
+func Example() {
+	g := graph.New("tiny")
+	in := g.Input(3, 32, 32)
+	x := g.ReLU(g.BatchNorm(g.Conv(in, 16, 3, 1, 1, 1)))
+	x = g.MaxPool(x, 2, 2, 0)
+	x = g.Flatten(g.AdaptiveAvgPool(x, 1, 1))
+	g.Linear(x, 10)
+
+	fmt.Println("layers:", len(g.Layers))
+	fmt.Println("output:", g.Output().OutShape)
+	fmt.Printf("MFLOPs: %.1f\n", float64(g.TotalFLOPs())/1e6)
+	// Output:
+	// layers: 8
+	// output: 10x1x1
+	// MFLOPs: 1.0
+}
+
+// Residual connections are expressed with Add; branch/residual structure is
+// visible in the macro features.
+func ExampleGraph_Add() {
+	g := graph.New("res")
+	in := g.Input(8, 8, 8)
+	c := g.ReLU(g.Conv(in, 8, 3, 1, 1, 1))
+	g.Add(c, in)
+
+	fmt.Println("residual joins:", g.NumResidual())
+	fmt.Println("branch points:", g.NumBranches())
+	// Output:
+	// residual joins: 1
+	// branch points: 1
+}
+
+// FuseElementwise folds BN/activation chains into their producing compute
+// op, conserving arithmetic while shedding intermediate traffic.
+func ExampleGraph_FuseElementwise() {
+	g := graph.New("eager")
+	in := g.Input(16, 16, 16)
+	c := g.Conv(in, 16, 3, 1, 1, 1)
+	g.ReLU(g.BatchNorm(c))
+
+	f := g.FuseElementwise()
+	fmt.Println("layers:", len(g.Layers), "->", len(f.Layers))
+	fmt.Println("flops conserved:", f.TotalFLOPs() == g.TotalFLOPs())
+	fmt.Println("traffic reduced:", f.TotalMemBytes() < g.TotalMemBytes())
+	// Output:
+	// layers: 4 -> 2
+	// flops conserved: true
+	// traffic reduced: true
+}

@@ -1,0 +1,90 @@
+package graph
+
+// Operator fusion pass. Deployment runtimes (TensorRT, torch.compile) fuse
+// elementwise/normalization operators into their producing convolution or
+// linear layer, eliminating the intermediate DRAM round-trips. Fusion
+// changes the power profile the paper instruments — fused networks have
+// fewer, more compute-intense operators — so the pass doubles as an
+// ablation axis: PowerLens's clustering must keep working on both eager and
+// fused graphs (BenchmarkAblationFusion).
+
+// fusable reports whether kind can fold into a preceding compute op.
+func fusable(kind OpKind) bool {
+	switch kind {
+	case OpBatchNorm, OpReLU, OpGELU, OpHardSwish, OpHardSigmoid, OpSiLU,
+		OpSigmoid, OpDropout:
+		return true
+	}
+	return false
+}
+
+// FuseElementwise returns a new graph in which chains of fusable operators
+// (BN, activations, dropout) are folded into their producing compute layer:
+// the producer keeps its arithmetic, absorbs the follower's FLOPs, and the
+// intermediate activation traffic disappears. Only single-consumer chains
+// fuse (a branch point needs its tensor materialized). The original graph
+// is not modified.
+func (g *Graph) FuseElementwise() *Graph {
+	consumers := g.consumers()
+
+	// absorbed[id] = true when layer id has been folded into a predecessor.
+	absorbed := make([]bool, len(g.Layers))
+	// target[id] = the surviving layer that produces id's output.
+	target := make([]int, len(g.Layers))
+	for i := range target {
+		target[i] = i
+	}
+	// extraFLOPs accumulated onto a surviving layer by its absorbed chain.
+	extraFLOPs := make([]int64, len(g.Layers))
+	extraParams := make([]int64, len(g.Layers))
+
+	for _, l := range g.Layers {
+		if !fusable(l.Kind) || len(l.Inputs) != 1 {
+			continue
+		}
+		producer := target[l.Inputs[0]]
+		p := g.Layers[producer]
+		// Fuse onto compute layers only (target resolves transitively, so
+		// chains always root at the compute op). The producer must have l as
+		// its only consumer, and shapes must match (elementwise).
+		if !p.Kind.IsCompute() {
+			continue
+		}
+		if len(consumers[l.Inputs[0]]) != 1 {
+			continue
+		}
+		if l.OutShape != g.Layers[l.Inputs[0]].OutShape {
+			continue
+		}
+		absorbed[l.ID] = true
+		target[l.ID] = producer
+		extraFLOPs[producer] += l.FLOPs()
+		extraParams[producer] += l.Params()
+	}
+
+	// Rebuild the graph without absorbed layers, remapping inputs.
+	out := New(g.Name + "_fused")
+	newID := make([]int, len(g.Layers))
+	for _, l := range g.Layers {
+		if absorbed[l.ID] {
+			newID[l.ID] = newID[target[l.ID]]
+			continue
+		}
+		nl := &Layer{
+			ID:          len(out.Layers),
+			Name:        l.Name,
+			Kind:        l.Kind,
+			Attrs:       l.Attrs,
+			InShape:     l.InShape,
+			OutShape:    l.OutShape,
+			fusedFLOPs:  l.fusedFLOPs + extraFLOPs[l.ID],
+			fusedParams: l.fusedParams + extraParams[l.ID],
+		}
+		for _, in := range l.Inputs {
+			nl.Inputs = append(nl.Inputs, newID[target[in]])
+		}
+		newID[l.ID] = nl.ID
+		out.Layers = append(out.Layers, nl)
+	}
+	return out
+}

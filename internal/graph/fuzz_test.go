@@ -1,0 +1,42 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadJSON guards the external-model parser: arbitrary input must
+// produce an error or a validated graph, never a panic, and accepted graphs
+// must have finite, non-negative cost accounting.
+func FuzzReadJSON(f *testing.F) {
+	var seed strings.Builder
+	g := New("seed")
+	in := g.Input(3, 8, 8)
+	g.Linear(g.Flatten(g.Conv(in, 4, 3, 1, 1, 1)), 10)
+	if err := g.WriteJSON(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add(`{"name":"x","layers":[]}`)
+	f.Add(`{"name":"x","layers":[{"id":0,"kind":"input","out_shape":{"C":1,"H":1,"W":1}}]}`)
+	f.Add(`{`)
+	f.Add(`{"name":"x","layers":[{"id":0,"kind":"conv2d","inputs":[0],"out_shape":{"C":-1,"H":0,"W":0}}]}`)
+
+	f.Fuzz(func(t *testing.T, data string) {
+		g, err := ReadJSON(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted graphs must behave.
+		if g.TotalFLOPs() < 0 || g.TotalMemBytes() < 0 || g.TotalParams() < 0 {
+			t.Fatalf("negative accounting on accepted graph")
+		}
+		g.Depth()
+		g.NumBranches()
+		g.KindHistogram()
+		for _, l := range g.Layers {
+			l.ArithmeticIntensity()
+			l.BatchCost(4)
+		}
+	})
+}

@@ -1,0 +1,210 @@
+package graph
+
+import "fmt"
+
+// Graph is a DAG of layers in topological order (builder methods only ever
+// reference already-added layers, so construction order is a valid
+// topological order).
+type Graph struct {
+	Name   string
+	Layers []*Layer
+}
+
+// New returns an empty graph with the given name.
+func New(name string) *Graph { return &Graph{Name: name} }
+
+// add appends a layer, assigning its ID, and returns it.
+func (g *Graph) add(l *Layer) *Layer {
+	l.ID = len(g.Layers)
+	g.Layers = append(g.Layers, l)
+	return l
+}
+
+// Layer returns the layer with the given ID.
+func (g *Graph) Layer(id int) *Layer { return g.Layers[id] }
+
+// Input adds the network input layer (e.g. 3x224x224 for the ImageNet nets).
+func (g *Graph) Input(c, h, w int) *Layer {
+	return g.add(&Layer{Name: "input", Kind: OpInput, OutShape: Shape{c, h, w}})
+}
+
+// Conv adds a 2-D convolution. groups==0 means 1; groups==inC is depthwise.
+func (g *Graph) Conv(in *Layer, outC, kernel, stride, pad, groups int) *Layer {
+	is := in.OutShape
+	if groups <= 0 {
+		groups = 1
+	}
+	if is.C%groups != 0 || outC%groups != 0 {
+		panic(fmt.Sprintf("graph %q: conv groups %d does not divide channels %d->%d", g.Name, groups, is.C, outC))
+	}
+	out := Shape{outC, convOut(is.H, kernel, stride, pad), convOut(is.W, kernel, stride, pad)}
+	return g.add(&Layer{
+		Name: fmt.Sprintf("conv%dx%d", kernel, kernel), Kind: OpConv2D,
+		Inputs: []int{in.ID}, InShape: is, OutShape: out,
+		Attrs: Attrs{KernelH: kernel, KernelW: kernel, StrideH: stride, StrideW: stride,
+			PadH: pad, PadW: pad, Groups: groups, OutChannels: outC},
+	})
+}
+
+// MaxPool adds a max-pooling layer.
+func (g *Graph) MaxPool(in *Layer, kernel, stride, pad int) *Layer {
+	is := in.OutShape
+	out := Shape{is.C, convOut(is.H, kernel, stride, pad), convOut(is.W, kernel, stride, pad)}
+	return g.add(&Layer{Name: "maxpool", Kind: OpMaxPool2D, Inputs: []int{in.ID},
+		InShape: is, OutShape: out,
+		Attrs: Attrs{KernelH: kernel, KernelW: kernel, StrideH: stride, StrideW: stride, PadH: pad, PadW: pad}})
+}
+
+// AvgPool adds an average-pooling layer.
+func (g *Graph) AvgPool(in *Layer, kernel, stride, pad int) *Layer {
+	is := in.OutShape
+	out := Shape{is.C, convOut(is.H, kernel, stride, pad), convOut(is.W, kernel, stride, pad)}
+	return g.add(&Layer{Name: "avgpool", Kind: OpAvgPool2D, Inputs: []int{in.ID},
+		InShape: is, OutShape: out,
+		Attrs: Attrs{KernelH: kernel, KernelW: kernel, StrideH: stride, StrideW: stride, PadH: pad, PadW: pad}})
+}
+
+// AdaptiveAvgPool adds a pooling layer with a fixed output spatial size.
+func (g *Graph) AdaptiveAvgPool(in *Layer, outH, outW int) *Layer {
+	is := in.OutShape
+	return g.add(&Layer{Name: "adaptiveavgpool", Kind: OpAdaptiveAvgPool2D, Inputs: []int{in.ID},
+		InShape: is, OutShape: Shape{is.C, outH, outW},
+		Attrs: Attrs{TargetH: outH, TargetW: outW}})
+}
+
+// BatchNorm adds an inference-mode batch normalization.
+func (g *Graph) BatchNorm(in *Layer) *Layer {
+	is := in.OutShape
+	return g.add(&Layer{Name: "bn", Kind: OpBatchNorm, Inputs: []int{in.ID},
+		InShape: is, OutShape: is, Attrs: Attrs{NormDim: is.C}})
+}
+
+// LayerNorm adds a layer normalization over the channel dimension.
+func (g *Graph) LayerNorm(in *Layer) *Layer {
+	is := in.OutShape
+	return g.add(&Layer{Name: "ln", Kind: OpLayerNorm, Inputs: []int{in.ID},
+		InShape: is, OutShape: is, Attrs: Attrs{NormDim: is.C}})
+}
+
+// LRN adds a local response normalization (AlexNet, GoogLeNet).
+func (g *Graph) LRN(in *Layer) *Layer {
+	is := in.OutShape
+	return g.add(&Layer{Name: "lrn", Kind: OpLocalResponseNorm, Inputs: []int{in.ID},
+		InShape: is, OutShape: is, Attrs: Attrs{NormDim: is.C}})
+}
+
+// Activation adds an element-wise activation of the given kind.
+func (g *Graph) Activation(in *Layer, kind OpKind) *Layer {
+	switch kind {
+	case OpReLU, OpGELU, OpHardSwish, OpHardSigmoid, OpSiLU, OpSigmoid, OpSoftmax:
+	default:
+		panic(fmt.Sprintf("graph %q: %v is not an activation", g.Name, kind))
+	}
+	is := in.OutShape
+	return g.add(&Layer{Name: kind.String(), Kind: kind, Inputs: []int{in.ID},
+		InShape: is, OutShape: is})
+}
+
+// ReLU is shorthand for Activation(in, OpReLU).
+func (g *Graph) ReLU(in *Layer) *Layer { return g.Activation(in, OpReLU) }
+
+// Add joins two branches with an element-wise residual add.
+func (g *Graph) Add(a, b *Layer) *Layer {
+	if a.OutShape != b.OutShape {
+		panic(fmt.Sprintf("graph %q: add shape mismatch %v vs %v", g.Name, a.OutShape, b.OutShape))
+	}
+	return g.add(&Layer{Name: "add", Kind: OpAdd, Inputs: []int{a.ID, b.ID},
+		InShape: a.OutShape, OutShape: a.OutShape})
+}
+
+// Mul joins two branches with an element-wise multiply (SE gating). The
+// second operand may be a per-channel vector (H=W=1) broadcast over space.
+func (g *Graph) Mul(a, b *Layer) *Layer {
+	if a.OutShape.C != b.OutShape.C {
+		panic(fmt.Sprintf("graph %q: mul channel mismatch %v vs %v", g.Name, a.OutShape, b.OutShape))
+	}
+	return g.add(&Layer{Name: "mul", Kind: OpMul, Inputs: []int{a.ID, b.ID},
+		InShape: a.OutShape, OutShape: a.OutShape})
+}
+
+// Concat concatenates branches along the channel dimension.
+func (g *Graph) Concat(ins ...*Layer) *Layer {
+	if len(ins) == 0 {
+		panic("graph: concat of nothing")
+	}
+	first := ins[0].OutShape
+	c := 0
+	ids := make([]int, len(ins))
+	for i, in := range ins {
+		if in.OutShape.H != first.H || in.OutShape.W != first.W {
+			panic(fmt.Sprintf("graph %q: concat spatial mismatch %v vs %v", g.Name, in.OutShape, first))
+		}
+		c += in.OutShape.C
+		ids[i] = in.ID
+	}
+	return g.add(&Layer{Name: "concat", Kind: OpConcat, Inputs: ids,
+		InShape: first, OutShape: Shape{c, first.H, first.W}})
+}
+
+// Flatten collapses spatial dimensions into the channel dimension.
+func (g *Graph) Flatten(in *Layer) *Layer {
+	is := in.OutShape
+	return g.add(&Layer{Name: "flatten", Kind: OpFlatten, Inputs: []int{in.ID},
+		InShape: is, OutShape: Shape{int(is.Elems()), 1, 1}})
+}
+
+// Dropout adds an inference-time no-op dropout (kept for structural
+// fidelity with the torchvision graphs).
+func (g *Graph) Dropout(in *Layer) *Layer {
+	is := in.OutShape
+	return g.add(&Layer{Name: "dropout", Kind: OpDropout, Inputs: []int{in.ID},
+		InShape: is, OutShape: is})
+}
+
+// Linear adds a fully connected layer. For token inputs (H>1) it applies per
+// token, preserving the sequence length.
+func (g *Graph) Linear(in *Layer, outFeatures int) *Layer {
+	is := in.OutShape
+	out := Shape{outFeatures, is.H, is.W}
+	return g.add(&Layer{Name: "linear", Kind: OpLinear, Inputs: []int{in.ID},
+		InShape: is, OutShape: out,
+		Attrs: Attrs{InFeatures: is.C, OutFeatures: outFeatures}})
+}
+
+// PatchEmbed adds the ViT patchify convolution: non-overlapping patchSize
+// convolution projecting to embedDim, then flattening to a token sequence of
+// shape {embedDim, numPatches, 1}.
+func (g *Graph) PatchEmbed(in *Layer, embedDim, patchSize int) *Layer {
+	is := in.OutShape
+	nH := is.H / patchSize
+	nW := is.W / patchSize
+	out := Shape{embedDim, nH * nW, 1}
+	return g.add(&Layer{Name: "patchembed", Kind: OpPatchEmbed, Inputs: []int{in.ID},
+		InShape: is, OutShape: out,
+		Attrs: Attrs{KernelH: patchSize, KernelW: patchSize, StrideH: patchSize, StrideW: patchSize,
+			Groups: 1, OutChannels: embedDim, EmbedDim: embedDim}})
+}
+
+// ClassToken prepends the class token and adds positional embeddings.
+func (g *Graph) ClassToken(in *Layer) *Layer {
+	is := in.OutShape
+	out := Shape{is.C, is.H + 1, 1}
+	return g.add(&Layer{Name: "clstoken", Kind: OpClassToken, Inputs: []int{in.ID},
+		InShape: is, OutShape: out, Attrs: Attrs{EmbedDim: is.C}})
+}
+
+// Attention adds a multi-head self-attention layer over a token sequence.
+func (g *Graph) Attention(in *Layer, heads int) *Layer {
+	is := in.OutShape
+	return g.add(&Layer{Name: "attention", Kind: OpAttention, Inputs: []int{in.ID},
+		InShape: is, OutShape: is,
+		Attrs: Attrs{Heads: heads, EmbedDim: is.C}})
+}
+
+// SelectToken keeps a single token (the class token) from a sequence,
+// modeled as a flatten-style cheap reshape.
+func (g *Graph) SelectToken(in *Layer) *Layer {
+	is := in.OutShape
+	return g.add(&Layer{Name: "selecttoken", Kind: OpFlatten, Inputs: []int{in.ID},
+		InShape: is, OutShape: Shape{is.C, 1, 1}})
+}

@@ -1,0 +1,284 @@
+package graph
+
+import (
+	"testing"
+)
+
+func simpleCNN() *Graph {
+	g := New("simple")
+	in := g.Input(3, 224, 224)
+	c1 := g.Conv(in, 64, 7, 2, 3, 1)
+	b1 := g.BatchNorm(c1)
+	r1 := g.ReLU(b1)
+	p1 := g.MaxPool(r1, 3, 2, 1)
+	c2 := g.Conv(p1, 128, 3, 1, 1, 1)
+	gp := g.AdaptiveAvgPool(c2, 1, 1)
+	fl := g.Flatten(gp)
+	g.Linear(fl, 1000)
+	return g
+}
+
+func TestBuilderShapes(t *testing.T) {
+	g := simpleCNN()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// conv7x7 s2 p3 on 224 -> 112
+	if got := g.Layer(1).OutShape; got != (Shape{64, 112, 112}) {
+		t.Fatalf("conv1 out = %v", got)
+	}
+	// maxpool 3 s2 p1 on 112 -> 56
+	if got := g.Layer(4).OutShape; got != (Shape{64, 56, 56}) {
+		t.Fatalf("pool out = %v", got)
+	}
+	if got := g.Output().OutShape; got != (Shape{1000, 1, 1}) {
+		t.Fatalf("final out = %v", got)
+	}
+}
+
+func TestConvCosts(t *testing.T) {
+	g := New("t")
+	in := g.Input(3, 224, 224)
+	c := g.Conv(in, 64, 7, 2, 3, 1)
+	// FLOPs = 2 * 64*112*112 * 3*7*7
+	want := int64(2) * 64 * 112 * 112 * 3 * 7 * 7
+	if c.FLOPs() != want {
+		t.Fatalf("conv FLOPs = %d, want %d", c.FLOPs(), want)
+	}
+	wantP := int64(64*3*7*7 + 64)
+	if c.Params() != wantP {
+		t.Fatalf("conv params = %d, want %d", c.Params(), wantP)
+	}
+	if c.MemBytes() <= 0 {
+		t.Fatal("conv mem bytes must be positive")
+	}
+}
+
+func TestDepthwiseConvCosts(t *testing.T) {
+	g := New("t")
+	in := g.Input(32, 56, 56)
+	dw := g.Conv(in, 32, 3, 1, 1, 32) // depthwise
+	// per-output-element MACs = (32/32)*3*3 = 9
+	want := int64(2) * 9 * dw.OutShape.Elems()
+	if dw.FLOPs() != want {
+		t.Fatalf("depthwise FLOPs = %d, want %d", dw.FLOPs(), want)
+	}
+	// Depthwise conv must be far less arithmetically intense than dense conv.
+	dense := g.Conv(in, 32, 3, 1, 1, 1)
+	if dw.ArithmeticIntensity() >= dense.ArithmeticIntensity() {
+		t.Fatalf("depthwise AI %.2f >= dense AI %.2f", dw.ArithmeticIntensity(), dense.ArithmeticIntensity())
+	}
+}
+
+func TestConvGroupMismatchPanics(t *testing.T) {
+	g := New("t")
+	in := g.Input(3, 8, 8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic: groups does not divide channels")
+		}
+	}()
+	g.Conv(in, 4, 3, 1, 1, 2)
+}
+
+func TestLinearCosts(t *testing.T) {
+	g := New("t")
+	in := g.Input(512, 1, 1)
+	l := g.Linear(in, 1000)
+	if l.FLOPs() != 2*512*1000 {
+		t.Fatalf("linear FLOPs = %d", l.FLOPs())
+	}
+	if l.Params() != 512*1000+1000 {
+		t.Fatalf("linear params = %d", l.Params())
+	}
+}
+
+func TestLinearPerToken(t *testing.T) {
+	g := New("t")
+	in := g.Input(768, 197, 1) // ViT token sequence
+	l := g.Linear(in, 3072)
+	if l.OutShape != (Shape{3072, 197, 1}) {
+		t.Fatalf("token linear out = %v", l.OutShape)
+	}
+	if l.FLOPs() != 2*197*768*3072 {
+		t.Fatalf("token linear FLOPs = %d", l.FLOPs())
+	}
+}
+
+func TestAttentionCosts(t *testing.T) {
+	g := New("t")
+	in := g.Input(768, 197, 1)
+	a := g.Attention(in, 12)
+	n, d := int64(197), int64(768)
+	want := 8*n*d*d + 4*n*n*d
+	if a.FLOPs() != want {
+		t.Fatalf("attention FLOPs = %d, want %d", a.FLOPs(), want)
+	}
+	if a.Params() != 4*d*d+4*d {
+		t.Fatalf("attention params = %d", a.Params())
+	}
+	if a.OutShape != in.OutShape {
+		t.Fatal("attention must preserve shape")
+	}
+}
+
+func TestResidualAddAndBranches(t *testing.T) {
+	g := New("t")
+	in := g.Input(64, 56, 56)
+	c1 := g.Conv(in, 64, 3, 1, 1, 1)
+	sum := g.Add(c1, in)
+	if sum.OutShape != in.OutShape {
+		t.Fatalf("add out = %v", sum.OutShape)
+	}
+	if g.NumResidual() != 1 {
+		t.Fatalf("NumResidual = %d", g.NumResidual())
+	}
+	// `in` feeds both c1 and sum -> one branching layer.
+	if g.NumBranches() != 1 {
+		t.Fatalf("NumBranches = %d", g.NumBranches())
+	}
+}
+
+func TestAddShapeMismatchPanics(t *testing.T) {
+	g := New("t")
+	a := g.Input(3, 8, 8)
+	b := g.Conv(a, 6, 3, 1, 1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g.Add(a, b)
+}
+
+func TestConcat(t *testing.T) {
+	g := New("t")
+	in := g.Input(16, 28, 28)
+	b1 := g.Conv(in, 32, 1, 1, 0, 1)
+	b2 := g.Conv(in, 48, 3, 1, 1, 1)
+	cat := g.Concat(b1, b2)
+	if cat.OutShape != (Shape{80, 28, 28}) {
+		t.Fatalf("concat out = %v", cat.OutShape)
+	}
+	if cat.FLOPs() != 0 {
+		t.Fatal("concat is data movement, not compute")
+	}
+}
+
+func TestDepthVsLayerCount(t *testing.T) {
+	g := New("t")
+	in := g.Input(8, 8, 8)
+	b1 := g.Conv(in, 8, 3, 1, 1, 1) // parallel branch 1
+	b2 := g.Conv(in, 8, 3, 1, 1, 1) // parallel branch 2
+	g.Add(b1, b2)
+	// 4 layers but depth 3 (input -> conv -> add).
+	if len(g.Layers) != 4 {
+		t.Fatalf("layer count = %d", len(g.Layers))
+	}
+	if g.Depth() != 3 {
+		t.Fatalf("Depth = %d, want 3", g.Depth())
+	}
+}
+
+func TestPatchEmbedAndClassToken(t *testing.T) {
+	g := New("t")
+	in := g.Input(3, 224, 224)
+	pe := g.PatchEmbed(in, 768, 16)
+	if pe.OutShape != (Shape{768, 196, 1}) {
+		t.Fatalf("patchembed out = %v", pe.OutShape)
+	}
+	ct := g.ClassToken(pe)
+	if ct.OutShape != (Shape{768, 197, 1}) {
+		t.Fatalf("classtoken out = %v", ct.OutShape)
+	}
+}
+
+func TestValidateCatchesBadGraph(t *testing.T) {
+	g := New("bad")
+	in := g.Input(3, 4, 4)
+	c := g.Conv(in, 8, 3, 1, 1, 1)
+	c.Inputs = []int{5} // forward reference
+	if err := g.Validate(); err == nil {
+		t.Fatal("Validate must reject forward references")
+	}
+	if err := New("empty").Validate(); err == nil {
+		t.Fatal("Validate must reject empty graphs")
+	}
+}
+
+func TestTotalsConsistency(t *testing.T) {
+	g := simpleCNN()
+	var f, p, m int64
+	for _, l := range g.Layers {
+		f += l.FLOPs()
+		p += l.Params()
+		m += l.MemBytes()
+	}
+	if g.TotalFLOPs() != f || g.TotalParams() != p || g.TotalMemBytes() != m {
+		t.Fatal("totals must equal the sum over layers")
+	}
+	if f <= 0 || p <= 0 || m <= 0 {
+		t.Fatal("totals must be positive for a real CNN")
+	}
+}
+
+func TestKindHistogram(t *testing.T) {
+	g := simpleCNN()
+	h := g.KindHistogram()
+	if h[OpConv2D] != 2 || h[OpLinear] != 1 || h[OpInput] != 1 {
+		t.Fatalf("histogram = %v", h)
+	}
+	if g.CountKind(OpConv2D) != 2 {
+		t.Fatalf("CountKind(conv) = %d", g.CountKind(OpConv2D))
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	if OpConv2D.String() != "conv2d" || OpAttention.String() != "attention" {
+		t.Fatal("OpKind names wrong")
+	}
+	if OpKind(-1).String() != "unknown" || OpKind(999).String() != "unknown" {
+		t.Fatal("out-of-range OpKind must stringify as unknown")
+	}
+}
+
+func TestActivationRejectsNonActivation(t *testing.T) {
+	g := New("t")
+	in := g.Input(3, 4, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g.Activation(in, OpConv2D)
+}
+
+func TestShapeHelpers(t *testing.T) {
+	s := Shape{3, 224, 224}
+	if s.Elems() != 3*224*224 {
+		t.Fatal("Elems wrong")
+	}
+	if s.Bytes() != 4*3*224*224 {
+		t.Fatal("Bytes wrong")
+	}
+	if s.String() != "3x224x224" {
+		t.Fatalf("String = %q", s.String())
+	}
+	if convOut(224, 7, 2, 3) != 112 {
+		t.Fatal("convOut wrong")
+	}
+	if convOut(1, 3, 1, 0) != 1 {
+		t.Fatal("convOut must clamp to 1")
+	}
+}
+
+func TestMulBroadcast(t *testing.T) {
+	g := New("t")
+	x := g.Input(64, 14, 14)
+	se := g.AdaptiveAvgPool(x, 1, 1)
+	gate := g.Activation(g.Linear(g.Flatten(se), 64), OpSigmoid)
+	out := g.Mul(x, gate)
+	if out.OutShape != x.OutShape {
+		t.Fatalf("mul out = %v", out.OutShape)
+	}
+}

@@ -1,0 +1,79 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSON serialization of operator graphs, so models can be defined outside Go
+// (cmd/powerlens -model-file) and power views can be archived alongside
+// their networks.
+
+// jsonLayer is the on-disk form of a Layer. Shapes are re-inferable but
+// stored anyway so files are self-describing and loadable without replaying
+// builder logic.
+type jsonLayer struct {
+	ID       int    `json:"id"`
+	Name     string `json:"name,omitempty"`
+	Kind     string `json:"kind"`
+	Inputs   []int  `json:"inputs,omitempty"`
+	Attrs    Attrs  `json:"attrs,omitempty"`
+	InShape  Shape  `json:"in_shape"`
+	OutShape Shape  `json:"out_shape"`
+}
+
+type jsonGraph struct {
+	Name   string      `json:"name"`
+	Layers []jsonLayer `json:"layers"`
+}
+
+// kindByName maps lowercase op names back to kinds.
+var kindByName = func() map[string]OpKind {
+	m := make(map[string]OpKind, NumOpKinds)
+	for k := 0; k < NumOpKinds; k++ {
+		m[OpKind(k).String()] = OpKind(k)
+	}
+	return m
+}()
+
+// WriteJSON serializes the graph.
+func (g *Graph) WriteJSON(w io.Writer) error {
+	jg := jsonGraph{Name: g.Name, Layers: make([]jsonLayer, len(g.Layers))}
+	for i, l := range g.Layers {
+		jg.Layers[i] = jsonLayer{
+			ID: l.ID, Name: l.Name, Kind: l.Kind.String(), Inputs: l.Inputs,
+			Attrs: l.Attrs, InShape: l.InShape, OutShape: l.OutShape,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(jg); err != nil {
+		return fmt.Errorf("graph: encode %s: %w", g.Name, err)
+	}
+	return nil
+}
+
+// ReadJSON deserializes a graph written by WriteJSON (or hand-authored in
+// the same format) and validates it.
+func ReadJSON(r io.Reader) (*Graph, error) {
+	var jg jsonGraph
+	if err := json.NewDecoder(r).Decode(&jg); err != nil {
+		return nil, fmt.Errorf("graph: decode: %w", err)
+	}
+	g := New(jg.Name)
+	for _, jl := range jg.Layers {
+		kind, ok := kindByName[jl.Kind]
+		if !ok {
+			return nil, fmt.Errorf("graph: unknown op kind %q in layer %d", jl.Kind, jl.ID)
+		}
+		g.Layers = append(g.Layers, &Layer{
+			ID: jl.ID, Name: jl.Name, Kind: kind, Inputs: jl.Inputs,
+			Attrs: jl.Attrs, InShape: jl.InShape, OutShape: jl.OutShape,
+		})
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

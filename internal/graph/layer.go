@@ -1,0 +1,159 @@
+package graph
+
+// Layer is a single operator node in the graph. Layers are created through
+// the Graph builder methods, which perform shape inference and assign IDs in
+// topological order.
+type Layer struct {
+	ID     int
+	Name   string
+	Kind   OpKind
+	Inputs []int // IDs of producer layers
+	Attrs  Attrs
+
+	InShape  Shape // shape of the (first) input
+	OutShape Shape
+
+	// Fusion residue (FuseElementwise): arithmetic and parameters of
+	// elementwise followers folded into this layer. Their intermediate
+	// activation traffic is gone; the math remains.
+	fusedFLOPs  int64
+	fusedParams int64
+}
+
+// FLOPs returns the floating-point operation count of the layer for one
+// inference (a multiply-accumulate counts as 2 FLOPs, the usual convention).
+func (l *Layer) FLOPs() int64 {
+	return l.baseFLOPs() + l.fusedFLOPs
+}
+
+func (l *Layer) baseFLOPs() int64 {
+	out := l.OutShape
+	switch l.Kind {
+	case OpConv2D, OpPatchEmbed:
+		groups := l.Attrs.Groups
+		if groups <= 0 {
+			groups = 1
+		}
+		cinPerGroup := int64(l.InShape.C) / int64(groups)
+		perOut := 2 * cinPerGroup * int64(l.Attrs.KernelH) * int64(l.Attrs.KernelW)
+		return perOut * out.Elems()
+	case OpLinear:
+		// Applied per token (H spatial positions when H>1, e.g. ViT MLPs).
+		tokens := int64(l.InShape.H) * int64(l.InShape.W)
+		if tokens < 1 {
+			tokens = 1
+		}
+		return 2 * tokens * int64(l.Attrs.InFeatures) * int64(l.Attrs.OutFeatures)
+	case OpAttention:
+		n := int64(l.InShape.H) // sequence length
+		d := int64(l.Attrs.EmbedDim)
+		// QKV projections (3·2nd²) + scores (2n²d) + context (2n²d) + output
+		// projection (2nd²).
+		return 8*n*d*d + 4*n*n*d
+	case OpMaxPool2D, OpAvgPool2D:
+		return out.Elems() * int64(l.Attrs.KernelH) * int64(l.Attrs.KernelW)
+	case OpAdaptiveAvgPool2D:
+		return l.InShape.Elems()
+	case OpBatchNorm:
+		return 2 * out.Elems() // fused scale+shift at inference
+	case OpLayerNorm:
+		return 8 * out.Elems() // mean, var, normalize, affine
+	case OpLocalResponseNorm:
+		return 10 * out.Elems()
+	case OpReLU, OpSigmoid, OpHardSigmoid, OpMul, OpAdd:
+		return out.Elems()
+	case OpGELU, OpSiLU, OpHardSwish:
+		return 4 * out.Elems()
+	case OpSoftmax:
+		return 5 * out.Elems()
+	case OpClassToken:
+		return out.Elems() // positional-embedding add
+	case OpInput, OpConcat, OpFlatten, OpDropout:
+		return 0
+	}
+	return 0
+}
+
+// Params returns the number of learned parameters held by the layer.
+func (l *Layer) Params() int64 {
+	return l.baseParams() + l.fusedParams
+}
+
+func (l *Layer) baseParams() int64 {
+	switch l.Kind {
+	case OpConv2D, OpPatchEmbed:
+		groups := l.Attrs.Groups
+		if groups <= 0 {
+			groups = 1
+		}
+		cinPerGroup := int64(l.InShape.C) / int64(groups)
+		w := int64(l.Attrs.OutChannels) * cinPerGroup * int64(l.Attrs.KernelH) * int64(l.Attrs.KernelW)
+		return w + int64(l.Attrs.OutChannels) // + bias
+	case OpLinear:
+		return int64(l.Attrs.InFeatures)*int64(l.Attrs.OutFeatures) + int64(l.Attrs.OutFeatures)
+	case OpAttention:
+		d := int64(l.Attrs.EmbedDim)
+		return 4*d*d + 4*d // QKV + out projections with biases
+	case OpBatchNorm:
+		return 4 * int64(l.Attrs.NormDim) // gamma, beta, running mean/var
+	case OpLayerNorm:
+		return 2 * int64(l.Attrs.NormDim)
+	case OpClassToken:
+		// Class token + positional embeddings.
+		return int64(l.OutShape.C) * int64(l.OutShape.H)
+	}
+	return 0
+}
+
+// ActBytes returns the per-inference activation traffic of the layer in
+// bytes: activations read, intermediates, activations written. Activation
+// traffic scales with batch size; weight traffic (WeightBytes) does not —
+// the distinction drives the batch-size co-optimization extension.
+func (l *Layer) ActBytes() int64 {
+	read := l.InShape.Bytes()
+	if l.Kind == OpAdd || l.Kind == OpMul {
+		read *= 2 // two operands
+	}
+	if l.Kind == OpConcat {
+		read = l.OutShape.Bytes() // all branch inputs stream through
+	}
+	if l.Kind == OpAttention {
+		// Q·K^T and attn·V intermediates traffic n²·heads scores.
+		n := int64(l.InShape.H)
+		read += 4 * n * n * int64(l.Attrs.Heads)
+	}
+	write := l.OutShape.Bytes()
+	return read + write
+}
+
+// WeightBytes returns the parameter traffic in bytes (each weight streams
+// from DRAM once per forward pass, regardless of batch size).
+func (l *Layer) WeightBytes() int64 { return 4 * l.Params() }
+
+// MemBytes returns the total DRAM traffic of the layer in bytes for a
+// single-image inference. This drives the roofline memory term and the
+// memory-access depthwise feature.
+func (l *Layer) MemBytes() int64 { return l.ActBytes() + l.WeightBytes() }
+
+// BatchCost returns the FLOPs and DRAM bytes of executing the layer at the
+// given batch size: arithmetic and activation traffic scale linearly, while
+// weight traffic amortizes across the batch. This is the effect the
+// coordinated batching + DVFS extension exploits (§5 / [15]).
+func (l *Layer) BatchCost(batch int) (flops, bytes int64) {
+	if batch < 1 {
+		batch = 1
+	}
+	b := int64(batch)
+	return b * l.FLOPs(), b*l.ActBytes() + l.WeightBytes()
+}
+
+// ArithmeticIntensity returns FLOPs per byte of memory traffic, the quantity
+// that separates compute-bound from memory-bound operators in the roofline
+// model (and hence high-frequency from low-frequency power blocks).
+func (l *Layer) ArithmeticIntensity() float64 {
+	mb := l.MemBytes()
+	if mb == 0 {
+		return 0
+	}
+	return float64(l.FLOPs()) / float64(mb)
+}

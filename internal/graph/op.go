@@ -1,0 +1,115 @@
+// Package graph defines the operator-graph intermediate representation of a
+// DNN that PowerLens analyzes. A Graph is a DAG of Layers; each Layer knows
+// its operator kind, structural attributes (channels, kernels, strides,
+// attention heads, ...), inferred output shape, and its arithmetic cost
+// (FLOPs, parameters, memory traffic). This is the Go equivalent of the
+// torchvision module graphs the paper instruments: feature extraction and
+// clustering consume only these structural attributes.
+package graph
+
+// OpKind enumerates the operator types the IR supports. The set covers every
+// layer appearing in the 12 evaluation networks (CNNs, RegNets, ViTs) plus
+// the pieces the random DNN generator composes.
+type OpKind int
+
+const (
+	OpInput OpKind = iota
+	OpConv2D
+	OpLinear
+	OpMaxPool2D
+	OpAvgPool2D
+	OpAdaptiveAvgPool2D
+	OpBatchNorm
+	OpLayerNorm
+	OpLocalResponseNorm
+	OpReLU
+	OpGELU
+	OpHardSwish
+	OpHardSigmoid
+	OpSiLU
+	OpSigmoid
+	OpSoftmax
+	OpAdd     // element-wise residual add
+	OpMul     // element-wise scale (squeeze-excitation gating)
+	OpConcat  // channel concatenation (GoogLeNet/DenseNet)
+	OpFlatten // NCHW -> vector
+	OpDropout // no-op at inference; kept for structural fidelity
+	OpAttention
+	OpPatchEmbed // ViT patchify convolution (kept distinct for feature typing)
+	OpClassToken // ViT class-token prepend + positional embedding
+	numOpKinds
+)
+
+var opKindNames = [...]string{
+	OpInput:             "input",
+	OpConv2D:            "conv2d",
+	OpLinear:            "linear",
+	OpMaxPool2D:         "maxpool2d",
+	OpAvgPool2D:         "avgpool2d",
+	OpAdaptiveAvgPool2D: "adaptiveavgpool2d",
+	OpBatchNorm:         "batchnorm",
+	OpLayerNorm:         "layernorm",
+	OpLocalResponseNorm: "lrn",
+	OpReLU:              "relu",
+	OpGELU:              "gelu",
+	OpHardSwish:         "hardswish",
+	OpHardSigmoid:       "hardsigmoid",
+	OpSiLU:              "silu",
+	OpSigmoid:           "sigmoid",
+	OpSoftmax:           "softmax",
+	OpAdd:               "add",
+	OpMul:               "mul",
+	OpConcat:            "concat",
+	OpFlatten:           "flatten",
+	OpDropout:           "dropout",
+	OpAttention:         "attention",
+	OpPatchEmbed:        "patchembed",
+	OpClassToken:        "classtoken",
+}
+
+// String returns the lowercase name of the operator kind.
+func (k OpKind) String() string {
+	if k < 0 || int(k) >= len(opKindNames) {
+		return "unknown"
+	}
+	return opKindNames[k]
+}
+
+// NumOpKinds is the number of distinct operator kinds, used to size one-hot
+// feature encodings.
+const NumOpKinds = int(numOpKinds)
+
+// IsCompute reports whether the operator performs substantial arithmetic
+// (as opposed to data movement, reshaping, or trivially cheap activation).
+func (k OpKind) IsCompute() bool {
+	switch k {
+	case OpConv2D, OpLinear, OpAttention, OpPatchEmbed:
+		return true
+	}
+	return false
+}
+
+// Attrs carries the structural attributes of a layer. Only the fields
+// relevant to the layer's kind are meaningful; the rest stay zero. A single
+// flat struct keeps the IR simple and makes feature extraction uniform.
+type Attrs struct {
+	// Convolution / pooling.
+	KernelH, KernelW int
+	StrideH, StrideW int
+	PadH, PadW       int
+	Groups           int // conv groups; Groups==InC means depthwise
+	OutChannels      int
+
+	// Linear.
+	InFeatures, OutFeatures int
+
+	// Attention / transformer.
+	Heads    int
+	EmbedDim int
+
+	// Normalization.
+	NormDim int
+
+	// Adaptive pooling target.
+	TargetH, TargetW int
+}

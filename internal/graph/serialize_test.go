@@ -1,0 +1,119 @@
+package graph
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestJSONRoundtrip(t *testing.T) {
+	g := simpleCNN()
+	var sb strings.Builder
+	if err := g.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadJSON(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Name != g.Name || len(g2.Layers) != len(g.Layers) {
+		t.Fatalf("roundtrip shape: %q/%d vs %q/%d", g2.Name, len(g2.Layers), g.Name, len(g.Layers))
+	}
+	if g2.TotalFLOPs() != g.TotalFLOPs() || g2.TotalParams() != g.TotalParams() {
+		t.Fatal("roundtrip changed cost accounting")
+	}
+	if g2.TotalMemBytes() != g.TotalMemBytes() {
+		t.Fatal("roundtrip changed memory accounting")
+	}
+	for i := range g.Layers {
+		if g.Layers[i].Kind != g2.Layers[i].Kind || g.Layers[i].OutShape != g2.Layers[i].OutShape {
+			t.Fatalf("layer %d mismatch", i)
+		}
+	}
+}
+
+func TestJSONRoundtripProperty(t *testing.T) {
+	// Any random builder-made graph must roundtrip with identical costs.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := New("prop")
+		x := g.Input(3, 32, 32)
+		for i := 0; i < 2+rng.Intn(5); i++ {
+			c := 8 << rng.Intn(3)
+			x = g.ReLU(g.BatchNorm(g.Conv(x, c, 3, 1, 1, 1)))
+		}
+		g.Linear(g.Flatten(g.AdaptiveAvgPool(x, 1, 1)), 10)
+
+		var sb strings.Builder
+		if g.WriteJSON(&sb) != nil {
+			return false
+		}
+		g2, err := ReadJSON(strings.NewReader(sb.String()))
+		if err != nil {
+			return false
+		}
+		return g2.TotalFLOPs() == g.TotalFLOPs() &&
+			g2.TotalMemBytes() == g.TotalMemBytes() &&
+			g2.Depth() == g.Depth()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadJSONRejectsBadInput(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{not json")); err == nil {
+		t.Fatal("expected decode error")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"name":"x","layers":[{"id":0,"kind":"warpdrive","out_shape":{"C":1,"H":1,"W":1}}]}`)); err == nil {
+		t.Fatal("expected unknown-kind error")
+	}
+	// Non-topological reference must fail validation.
+	bad := `{"name":"x","layers":[
+	  {"id":0,"kind":"input","out_shape":{"C":3,"H":4,"W":4}},
+	  {"id":1,"kind":"relu","inputs":[2],"in_shape":{"C":3,"H":4,"W":4},"out_shape":{"C":3,"H":4,"W":4}},
+	  {"id":2,"kind":"relu","inputs":[0],"in_shape":{"C":3,"H":4,"W":4},"out_shape":{"C":3,"H":4,"W":4}}]}`
+	if _, err := ReadJSON(strings.NewReader(bad)); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := New("dot")
+	in := g.Input(3, 8, 8)
+	c := g.Conv(in, 8, 3, 1, 1, 1)
+	r := g.ReLU(c)
+	g.Add(r, r)
+
+	var sb strings.Builder
+	if err := g.WriteDOT(&sb, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"digraph", "n0", "n1 [label=\"1: conv2d", "n0 -> n1", "n2 -> n3"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteDOTWithBlocks(t *testing.T) {
+	g := simpleCNN()
+	var sb strings.Builder
+	mid := len(g.Layers) / 2
+	if err := g.WriteDOT(&sb, []int{1, mid + 1}, []int{mid, len(g.Layers) - 1}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "cluster_0") || !strings.Contains(out, "cluster_1") {
+		t.Fatalf("missing block clusters:\n%s", out)
+	}
+	if !strings.Contains(out, "power block 1") {
+		t.Fatal("missing block label")
+	}
+	// The input layer (0) sits outside both blocks but must still be drawn.
+	if !strings.Contains(out, "n0 [label=\"0: input") {
+		t.Fatal("input layer missing")
+	}
+}

@@ -1,0 +1,33 @@
+package graph
+
+import "fmt"
+
+// Shape describes an activation tensor. Convolutional activations use
+// {C, H, W}. Token sequences (transformers) map the embedding dimension to C
+// and the sequence length to H with W == 1, so the same arithmetic applies.
+// Flattened vectors use {C, 1, 1}.
+type Shape struct {
+	C, H, W int
+}
+
+// Elems returns the number of scalar elements in the tensor.
+func (s Shape) Elems() int64 { return int64(s.C) * int64(s.H) * int64(s.W) }
+
+// Bytes returns the size in bytes at 4 bytes per element (FP32, matching the
+// paper's torchvision FP32 deployment).
+func (s Shape) Bytes() int64 { return 4 * s.Elems() }
+
+// String renders the shape as CxHxW.
+func (s Shape) String() string { return fmt.Sprintf("%dx%dx%d", s.C, s.H, s.W) }
+
+// convOut computes a convolution/pooling output spatial size.
+func convOut(in, kernel, stride, pad int) int {
+	if stride <= 0 {
+		stride = 1
+	}
+	out := (in+2*pad-kernel)/stride + 1
+	if out < 1 {
+		out = 1
+	}
+	return out
+}

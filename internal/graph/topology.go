@@ -1,0 +1,130 @@
+package graph
+
+import "fmt"
+
+// TotalFLOPs returns the inference FLOPs of the whole network.
+func (g *Graph) TotalFLOPs() int64 {
+	var s int64
+	for _, l := range g.Layers {
+		s += l.FLOPs()
+	}
+	return s
+}
+
+// TotalParams returns the total parameter count.
+func (g *Graph) TotalParams() int64 {
+	var s int64
+	for _, l := range g.Layers {
+		s += l.Params()
+	}
+	return s
+}
+
+// TotalMemBytes returns the total per-inference DRAM traffic.
+func (g *Graph) TotalMemBytes() int64 {
+	var s int64
+	for _, l := range g.Layers {
+		s += l.MemBytes()
+	}
+	return s
+}
+
+// CountKind returns how many layers of the given kind the graph contains.
+func (g *Graph) CountKind(k OpKind) int {
+	n := 0
+	for _, l := range g.Layers {
+		if l.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// KindHistogram returns the per-kind layer counts indexed by OpKind.
+func (g *Graph) KindHistogram() []int {
+	h := make([]int, NumOpKinds)
+	for _, l := range g.Layers {
+		h[l.Kind]++
+	}
+	return h
+}
+
+// consumers returns, for each layer ID, the IDs of layers consuming it.
+func (g *Graph) consumers() [][]int {
+	out := make([][]int, len(g.Layers))
+	for _, l := range g.Layers {
+		for _, in := range l.Inputs {
+			out[in] = append(out[in], l.ID)
+		}
+	}
+	return out
+}
+
+// NumBranches returns the number of layers whose output feeds more than one
+// consumer — the branching-structure macro feature of §2.1.2.
+func (g *Graph) NumBranches() int {
+	n := 0
+	for _, c := range g.consumers() {
+		if len(c) > 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// NumResidual returns the number of residual (element-wise add) joins.
+func (g *Graph) NumResidual() int { return g.CountKind(OpAdd) }
+
+// Depth returns the longest input→output path length in layers, the "depth"
+// macro feature (distinct from len(Layers) on branchy networks).
+func (g *Graph) Depth() int {
+	depth := make([]int, len(g.Layers))
+	maxDepth := 0
+	for _, l := range g.Layers { // construction order is topological
+		d := 0
+		for _, in := range l.Inputs {
+			if depth[in] > d {
+				d = depth[in]
+			}
+		}
+		depth[l.ID] = d + 1
+		if depth[l.ID] > maxDepth {
+			maxDepth = depth[l.ID]
+		}
+	}
+	return maxDepth
+}
+
+// Validate checks structural invariants: IDs are positional, inputs reference
+// earlier layers only (topological order), non-input layers have inputs, and
+// shapes are positive. Model builders are trusted code, but the random DNN
+// generator runs under property tests against exactly these invariants.
+func (g *Graph) Validate() error {
+	if len(g.Layers) == 0 {
+		return fmt.Errorf("graph %q: empty", g.Name)
+	}
+	for i, l := range g.Layers {
+		if l.ID != i {
+			return fmt.Errorf("graph %q: layer %d has ID %d", g.Name, i, l.ID)
+		}
+		if l.Kind == OpInput {
+			if len(l.Inputs) != 0 {
+				return fmt.Errorf("graph %q: input layer %d has inputs", g.Name, i)
+			}
+		} else if len(l.Inputs) == 0 {
+			return fmt.Errorf("graph %q: layer %d (%v) has no inputs", g.Name, i, l.Kind)
+		}
+		for _, in := range l.Inputs {
+			if in < 0 || in >= i {
+				return fmt.Errorf("graph %q: layer %d references layer %d (not topological)", g.Name, i, in)
+			}
+		}
+		if l.OutShape.C <= 0 || l.OutShape.H <= 0 || l.OutShape.W <= 0 {
+			return fmt.Errorf("graph %q: layer %d has non-positive shape %v", g.Name, i, l.OutShape)
+		}
+	}
+	return nil
+}
+
+// Output returns the final layer of the graph.
+func (g *Graph) Output() *Layer { return g.Layers[len(g.Layers)-1] }

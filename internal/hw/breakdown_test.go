@@ -1,0 +1,46 @@
+package hw
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBreakdownSumsToPower(t *testing.T) {
+	for _, p := range Platforms() {
+		for _, f := range p.GPUFreqsHz {
+			for _, work := range [][2]int64{{5e9, 5e7}, {1e5, 1e9}, {1e8, 1e8}} {
+				b := p.GPUOpBreakdown(work[0], work[1], f)
+				c := p.GPUOpCost(work[0], work[1], f)
+				if math.Abs(b.TotalW()-c.PowerW) > 1e-6*c.PowerW {
+					t.Fatalf("%s f=%g: breakdown %.4f != power %.4f", p.Name, f, b.TotalW(), c.PowerW)
+				}
+				if b.IdleW <= 0 || b.LeakW <= 0 || b.DynamicW <= 0 {
+					t.Fatalf("%s: non-positive component: %+v", p.Name, b)
+				}
+			}
+		}
+	}
+}
+
+func TestBreakdownShapes(t *testing.T) {
+	p := TX2()
+	// Compute-bound at fmax: dynamic power dominates leakage and DRAM.
+	compute := p.GPUOpBreakdown(5e9, 5e6, p.MaxGPUFreq())
+	if compute.DynamicW <= compute.LeakW || compute.DynamicW <= compute.DRAMW {
+		t.Fatalf("compute-bound fmax must be dynamic-dominated: %+v", compute)
+	}
+	// Memory-bound: DRAM power significant, dynamic reduced by the clock
+	// fraction.
+	mem := p.GPUOpBreakdown(1e5, 1e9, p.MaxGPUFreq())
+	if mem.DynamicW >= compute.DynamicW {
+		t.Fatalf("memory-bound dynamic power must be below compute-bound: %+v vs %+v", mem, compute)
+	}
+	if mem.DRAMW <= compute.DRAMW {
+		t.Fatal("memory-bound DRAM power must exceed compute-bound")
+	}
+	// At fmin the voltage floor makes leakage minimal.
+	lo := p.GPUOpBreakdown(5e9, 5e6, p.MinGPUFreq())
+	if lo.LeakW >= compute.LeakW {
+		t.Fatal("leakage at fmin must be below fmax")
+	}
+}

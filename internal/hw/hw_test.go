@@ -1,0 +1,236 @@
+package hw
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestLadderSizesMatchPaper(t *testing.T) {
+	tx2, agx := TX2(), AGX()
+	if n := tx2.NumGPULevels(); n != 13 {
+		t.Fatalf("TX2 GPU levels = %d, want 13 (paper §3.1)", n)
+	}
+	if n := agx.NumGPULevels(); n != 14 {
+		t.Fatalf("AGX GPU levels = %d, want 14 (paper §3.1)", n)
+	}
+	if tx2.MinGPUFreq() > 115e6 || tx2.MaxGPUFreq() < 1.29e9 {
+		t.Fatalf("TX2 range [%g, %g] outside paper's 114–1300 MHz", tx2.MinGPUFreq(), tx2.MaxGPUFreq())
+	}
+	if agx.MinGPUFreq() > 115e6 || agx.MaxGPUFreq() < 1.36e9 {
+		t.Fatalf("AGX range [%g, %g] outside paper's 114–1370 MHz", agx.MinGPUFreq(), agx.MaxGPUFreq())
+	}
+}
+
+func TestLaddersAscending(t *testing.T) {
+	for _, p := range Platforms() {
+		for i := 1; i < len(p.GPUFreqsHz); i++ {
+			if p.GPUFreqsHz[i] <= p.GPUFreqsHz[i-1] {
+				t.Fatalf("%s GPU ladder not ascending at %d", p.Name, i)
+			}
+		}
+		for i := 1; i < len(p.CPUFreqsHz); i++ {
+			if p.CPUFreqsHz[i] <= p.CPUFreqsHz[i-1] {
+				t.Fatalf("%s CPU ladder not ascending at %d", p.Name, i)
+			}
+		}
+	}
+}
+
+func TestVoltageMonotone(t *testing.T) {
+	for _, p := range Platforms() {
+		prev := 0.0
+		for _, f := range p.GPUFreqsHz {
+			v := p.GPUVoltage(f)
+			if v < prev {
+				t.Fatalf("%s voltage not monotone at %g Hz", p.Name, f)
+			}
+			if v < p.VMin-1e-9 || v > p.VMax+1e-9 {
+				t.Fatalf("%s voltage %g outside [%g, %g]", p.Name, v, p.VMin, p.VMax)
+			}
+			prev = v
+		}
+		if p.GPUVoltage(p.MinGPUFreq()) != p.VMin {
+			t.Fatalf("%s V(fmin) != VMin", p.Name)
+		}
+		if math.Abs(p.GPUVoltage(p.MaxGPUFreq())-p.VMax) > 1e-12 {
+			t.Fatalf("%s V(fmax) != VMax", p.Name)
+		}
+	}
+}
+
+func TestComputeBoundScalesWithFrequency(t *testing.T) {
+	p := TX2()
+	// Huge FLOPs, tiny bytes: compute-bound.
+	lo := p.GPUOpCost(1e10, 1e4, p.MinGPUFreq())
+	hi := p.GPUOpCost(1e10, 1e4, p.MaxGPUFreq())
+	ratio := lo.Time.Seconds() / hi.Time.Seconds()
+	fRatio := p.MaxGPUFreq() / p.MinGPUFreq()
+	if math.Abs(ratio-fRatio)/fRatio > 0.05 {
+		t.Fatalf("compute-bound time ratio %.2f, want ~frequency ratio %.2f", ratio, fRatio)
+	}
+	if hi.ComputeUt < 0.95 {
+		t.Fatalf("compute-bound utilization = %.2f", hi.ComputeUt)
+	}
+}
+
+func TestMemoryBoundInsensitiveToFrequency(t *testing.T) {
+	p := TX2()
+	// Tiny FLOPs, huge bytes: memory-bound.
+	lo := p.GPUOpCost(1e5, 1e9, p.MinGPUFreq())
+	hi := p.GPUOpCost(1e5, 1e9, p.MaxGPUFreq())
+	if math.Abs(lo.Time.Seconds()-hi.Time.Seconds())/hi.Time.Seconds() > 0.02 {
+		t.Fatalf("memory-bound time must not depend on GPU frequency: %v vs %v", lo.Time, hi.Time)
+	}
+	// ...but high frequency must cost more energy for the same memory-bound work.
+	if hi.EnergyJ <= lo.EnergyJ {
+		t.Fatalf("memory-bound energy at fmax (%g J) must exceed fmin (%g J)", hi.EnergyJ, lo.EnergyJ)
+	}
+}
+
+// The central mechanism: a compute-bound op has an interior energy-optimal
+// frequency — neither fmin (static power × long runtime) nor fmax (V²f).
+func TestOptimalFrequencyInterior(t *testing.T) {
+	for _, p := range Platforms() {
+		best, bestE := -1, math.Inf(1)
+		for i, f := range p.GPUFreqsHz {
+			c := p.GPUOpCost(5e9, 5e7, f)
+			if c.EnergyJ < bestE {
+				best, bestE = i, c.EnergyJ
+			}
+		}
+		if best == 0 || best == p.NumGPULevels()-1 {
+			t.Fatalf("%s: optimal level %d is at the ladder edge — no interior optimum", p.Name, best)
+		}
+	}
+}
+
+// AGX must be proportionally more wasteful at fmax than TX2 (the paper's BiM
+// gains are ~2x larger on AGX).
+func TestAGXMaxFreqPenaltyExceedsTX2(t *testing.T) {
+	penalty := func(p *Platform) float64 {
+		eMax := p.GPUOpCost(5e9, 5e7, p.MaxGPUFreq()).EnergyJ
+		best := math.Inf(1)
+		for _, f := range p.GPUFreqsHz {
+			if e := p.GPUOpCost(5e9, 5e7, f).EnergyJ; e < best {
+				best = e
+			}
+		}
+		return eMax / best
+	}
+	pTX2, pAGX := penalty(TX2()), penalty(AGX())
+	if pAGX <= pTX2 {
+		t.Fatalf("AGX fmax penalty %.2f must exceed TX2's %.2f", pAGX, pTX2)
+	}
+}
+
+func TestIdlePowerBelowBusyPower(t *testing.T) {
+	for _, p := range Platforms() {
+		f := p.MaxGPUFreq()
+		busy := p.GPUOpCost(1e9, 1e6, f).PowerW
+		idle := p.GPUIdlePower(f)
+		if idle >= busy {
+			t.Fatalf("%s idle %g W >= busy %g W", p.Name, idle, busy)
+		}
+		if idle <= 0 {
+			t.Fatalf("%s idle power must be positive", p.Name)
+		}
+	}
+}
+
+func TestCPUCost(t *testing.T) {
+	p := TX2()
+	fLo, fHi := p.CPUFreqsHz[0], p.CPUFreqsHz[len(p.CPUFreqsHz)-1]
+	tLo, _ := p.CPUImageCost(fLo)
+	tHi, eHi := p.CPUImageCost(fHi)
+	if tLo <= tHi {
+		t.Fatal("CPU work must be slower at low frequency")
+	}
+	if eHi <= 0 {
+		t.Fatal("CPU energy must be positive")
+	}
+	if p.CPUBusyPower(fHi) <= p.CPUBusyPower(fLo) {
+		t.Fatal("CPU power must grow with frequency")
+	}
+}
+
+func TestNearestAndClampLevel(t *testing.T) {
+	p := TX2()
+	if lvl := p.NearestGPULevel(p.GPUFreqsHz[3] + 1e6); lvl != 3 {
+		t.Fatalf("NearestGPULevel = %d, want 3", lvl)
+	}
+	if p.NearestGPULevel(0) != 0 {
+		t.Fatal("NearestGPULevel(0) must be 0")
+	}
+	if p.NearestGPULevel(1e12) != p.NumGPULevels()-1 {
+		t.Fatal("NearestGPULevel(huge) must be top level")
+	}
+	if p.ClampGPULevel(-3) != 0 || p.ClampGPULevel(99) != p.NumGPULevels()-1 {
+		t.Fatal("ClampGPULevel wrong")
+	}
+	if p.ClampGPULevel(5) != 5 {
+		t.Fatal("ClampGPULevel must pass through valid levels")
+	}
+}
+
+func TestSwitchCost(t *testing.T) {
+	p := TX2()
+	d, e := p.SwitchCost(p.MaxGPUFreq())
+	if d != p.SwitchLatency {
+		t.Fatalf("switch latency = %v", d)
+	}
+	if e <= 0 {
+		t.Fatal("switch energy must be positive")
+	}
+	// Paper §3.3: 100 level changes average to 50 ms total userspace
+	// overhead; only the shorter pipeline stall blocks the GPU.
+	total := time.Duration(100) * p.UserspaceSwitchCost
+	if total != 50*time.Millisecond {
+		t.Fatalf("100 switches = %v, want 50ms", total)
+	}
+	if p.SwitchLatency >= p.UserspaceSwitchCost {
+		t.Fatal("pipeline stall must be shorter than the userspace cost")
+	}
+}
+
+func TestPowerSensorIntegration(t *testing.T) {
+	s := NewPowerSensor(10 * time.Millisecond)
+	s.Advance(25*time.Millisecond, 4.0, 1e9) // 0.1 J
+	s.Advance(25*time.Millisecond, 8.0, 2e9) // 0.2 J
+	if math.Abs(s.EnergyJ()-0.3) > 1e-12 {
+		t.Fatalf("energy = %g, want 0.3", s.EnergyJ())
+	}
+	if math.Abs(s.AveragePowerW()-6.0) > 1e-9 {
+		t.Fatalf("avg power = %g, want 6", s.AveragePowerW())
+	}
+	samples := s.Samples()
+	if len(samples) != 5 { // ticks at 10,20,30,40,50 ms
+		t.Fatalf("samples = %d, want 5", len(samples))
+	}
+	if samples[0].PowerW != 4.0 || samples[3].PowerW != 8.0 {
+		t.Fatalf("sample powers wrong: %+v", samples)
+	}
+	if samples[4].FreqHz != 2e9 {
+		t.Fatalf("sample freq wrong: %+v", samples[4])
+	}
+}
+
+func TestPowerSensorNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewPowerSensor(time.Millisecond).Advance(-1, 1, 1)
+}
+
+func TestOpCostPositive(t *testing.T) {
+	p := AGX()
+	c := p.GPUOpCost(0, 0, p.MinGPUFreq())
+	if c.Time <= 0 {
+		t.Fatal("zero-work op still costs launch overhead")
+	}
+	if c.EnergyJ <= 0 {
+		t.Fatal("energy must be positive")
+	}
+}

@@ -1,0 +1,68 @@
+package hw
+
+import "time"
+
+// PowerSample is one reading of the simulated power rail, tegrastats-style.
+type PowerSample struct {
+	At     time.Duration // simulation time of the sample
+	PowerW float64
+	FreqHz float64 // GPU frequency at the sample instant
+}
+
+// PowerSensor integrates power over simulated time and records periodic
+// samples, mirroring how the paper monitors real-time power with tegrastats.
+// Energy accounting is exact (power × interval per event); the sample trace
+// exists for governor inputs and figure generation.
+type PowerSensor struct {
+	Period  time.Duration
+	now     time.Duration
+	energyJ float64
+	samples []PowerSample
+
+	// carry holds the currently-applied power level between events so
+	// sampling interpolates the piecewise-constant power signal.
+	lastPower float64
+	lastFreq  float64
+	nextTick  time.Duration
+}
+
+// NewPowerSensor returns a sensor sampling at the given period (tegrastats
+// defaults to 1 s; the experiments use a finer 10 ms period for traces).
+func NewPowerSensor(period time.Duration) *PowerSensor {
+	return &PowerSensor{Period: period, nextTick: period}
+}
+
+// Advance accounts for an interval of length d during which the rail drew
+// powerW at GPU frequency freqHz.
+func (s *PowerSensor) Advance(d time.Duration, powerW, freqHz float64) {
+	if d < 0 {
+		panic("hw: PowerSensor.Advance with negative duration")
+	}
+	end := s.now + d
+	s.energyJ += powerW * d.Seconds()
+	for s.nextTick <= end {
+		s.samples = append(s.samples, PowerSample{At: s.nextTick, PowerW: powerW, FreqHz: freqHz})
+		s.nextTick += s.Period
+	}
+	s.now = end
+	s.lastPower = powerW
+	s.lastFreq = freqHz
+}
+
+// Now returns the current simulation time.
+func (s *PowerSensor) Now() time.Duration { return s.now }
+
+// EnergyJ returns the exactly-integrated energy so far.
+func (s *PowerSensor) EnergyJ() float64 { return s.energyJ }
+
+// AveragePowerW returns energy/time, the P̄ of the paper's EE metric.
+func (s *PowerSensor) AveragePowerW() float64 {
+	t := s.now.Seconds()
+	if t == 0 {
+		return 0
+	}
+	return s.energyJ / t
+}
+
+// Samples returns the recorded trace.
+func (s *PowerSensor) Samples() []PowerSample { return s.samples }

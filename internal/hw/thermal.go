@@ -1,0 +1,90 @@
+package hw
+
+import (
+	"math"
+	"time"
+)
+
+// Thermal model (opt-in). Sustained high power heats the SoC through a
+// first-order thermal RC; crossing the throttle temperature forces the GPU
+// down the ladder, which is how MAXN behaves on real Jetson boards (and the
+// effect zTT [6] manages explicitly). The executor integrates temperature
+// alongside energy when a ThermalModel is attached, so energy-hungry
+// governors (BiM at fmax) additionally lose sustained throughput — an
+// emergent penalty PowerLens avoids by running cooler.
+
+// ThermalModel is a first-order (single RC) package model.
+type ThermalModel struct {
+	AmbientC    float64       // ambient temperature, °C
+	ResistanceC float64       // junction-to-ambient thermal resistance, °C/W
+	TimeConst   time.Duration // RC time constant
+	ThrottleC   float64       // throttling trip point, °C
+	ReleaseC    float64       // hysteresis release point, °C
+	MaxLevelHot int           // GPU level cap while throttled
+}
+
+// DefaultThermal returns a Jetson-class passive-heatsink model: steady-state
+// ΔT of R·P over ambient with a ~20 s time constant, sized per platform so
+// that sustained fmax operation (the BiM/MAXN regime, ~10 W on TX2 and
+// ~20 W on AGX) crosses the 85 °C trip point while mid-ladder operation
+// stays comfortably below it.
+func DefaultThermal(p *Platform) *ThermalModel {
+	resistance := 5.5 // °C/W — TX2-class heatsink
+	if p.Name == "AGX" {
+		resistance = 2.9 // larger AGX heatsink/fan-off budget
+	}
+	return &ThermalModel{
+		AmbientC:    35,
+		ResistanceC: resistance,
+		TimeConst:   20 * time.Second,
+		ThrottleC:   85,
+		ReleaseC:    78,
+		MaxLevelHot: p.NumGPULevels() / 2,
+	}
+}
+
+// ThermalState tracks the integrated junction temperature and throttle
+// latch.
+type ThermalState struct {
+	Model     *ThermalModel
+	TempC     float64
+	Throttled bool
+
+	ThrottledTime time.Duration // cumulative time spent throttled
+	PeakC         float64
+}
+
+// NewThermalState starts at ambient.
+func NewThermalState(m *ThermalModel) *ThermalState {
+	return &ThermalState{Model: m, TempC: m.AmbientC, PeakC: m.AmbientC}
+}
+
+// Advance integrates the RC model over an interval at the given power and
+// updates the throttle latch (with hysteresis).
+func (s *ThermalState) Advance(d time.Duration, powerW float64) {
+	m := s.Model
+	steady := m.AmbientC + m.ResistanceC*powerW
+	// First-order step response toward the steady-state temperature.
+	alpha := 1 - math.Exp(-d.Seconds()/m.TimeConst.Seconds())
+	s.TempC += (steady - s.TempC) * alpha
+	if s.TempC > s.PeakC {
+		s.PeakC = s.TempC
+	}
+	switch {
+	case !s.Throttled && s.TempC >= m.ThrottleC:
+		s.Throttled = true
+	case s.Throttled && s.TempC <= m.ReleaseC:
+		s.Throttled = false
+	}
+	if s.Throttled {
+		s.ThrottledTime += d
+	}
+}
+
+// CapLevel applies the throttle cap to a desired GPU level.
+func (s *ThermalState) CapLevel(level int) int {
+	if s.Throttled && level > s.Model.MaxLevelHot {
+		return s.Model.MaxLevelHot
+	}
+	return level
+}

@@ -1,0 +1,93 @@
+package hw
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestThermalSteadyState(t *testing.T) {
+	p := TX2()
+	m := DefaultThermal(p)
+	s := NewThermalState(m)
+	if s.TempC != m.AmbientC {
+		t.Fatalf("initial temp = %g, want ambient %g", s.TempC, m.AmbientC)
+	}
+	// Integrate long at constant power: temperature converges to
+	// ambient + R·P.
+	const power = 10.0
+	for i := 0; i < 1000; i++ {
+		s.Advance(time.Second, power)
+	}
+	want := m.AmbientC + m.ResistanceC*power
+	if math.Abs(s.TempC-want) > 0.1 {
+		t.Fatalf("steady temp = %.2f, want %.2f", s.TempC, want)
+	}
+	if s.PeakC < s.TempC-1e-9 {
+		t.Fatal("peak must track temperature")
+	}
+}
+
+func TestThermalTimeConstant(t *testing.T) {
+	p := TX2()
+	m := DefaultThermal(p)
+	s := NewThermalState(m)
+	const power = 10.0
+	// After exactly one time constant the step response covers ~63.2%.
+	s.Advance(m.TimeConst, power)
+	steady := m.AmbientC + m.ResistanceC*power
+	frac := (s.TempC - m.AmbientC) / (steady - m.AmbientC)
+	if math.Abs(frac-0.632) > 0.01 {
+		t.Fatalf("step response after tau = %.3f, want ~0.632", frac)
+	}
+}
+
+func TestThermalThrottleHysteresis(t *testing.T) {
+	p := TX2()
+	m := DefaultThermal(p)
+	s := NewThermalState(m)
+
+	// Heat past the trip point.
+	for i := 0; i < 500 && !s.Throttled; i++ {
+		s.Advance(time.Second, 14) // steady = 35 + 77 = 112 > 85
+	}
+	if !s.Throttled {
+		t.Fatal("never throttled at 14 W sustained")
+	}
+	top := p.NumGPULevels() - 1
+	if s.CapLevel(top) != m.MaxLevelHot {
+		t.Fatalf("cap = %d, want %d", s.CapLevel(top), m.MaxLevelHot)
+	}
+	if s.CapLevel(1) != 1 {
+		t.Fatal("levels below the cap must pass through")
+	}
+
+	// Cool between release and trip: must stay latched until ReleaseC.
+	for s.TempC > m.ReleaseC+1 {
+		s.Advance(time.Second, 2)
+		if s.TempC > m.ReleaseC+1 && !s.Throttled {
+			t.Fatal("throttle released above the hysteresis point")
+		}
+	}
+	for i := 0; i < 200 && s.Throttled; i++ {
+		s.Advance(time.Second, 2)
+	}
+	if s.Throttled {
+		t.Fatal("throttle never released after cooling")
+	}
+	if s.ThrottledTime <= 0 {
+		t.Fatal("throttled time not accumulated")
+	}
+}
+
+func TestThermalLowPowerNeverThrottles(t *testing.T) {
+	p := TX2()
+	m := DefaultThermal(p)
+	s := NewThermalState(m)
+	for i := 0; i < 1000; i++ {
+		s.Advance(time.Second, 5) // steady = 57.5 °C < 85
+	}
+	if s.Throttled || s.ThrottledTime > 0 {
+		t.Fatal("5 W sustained must not throttle")
+	}
+}

@@ -1,0 +1,95 @@
+package hw
+
+import "testing"
+
+// Validation against published Jetson measurements. The simulator is
+// analytic, so the bands are deliberately generous (roughly ±2x); the tests
+// exist to catch calibration drift that would silently change the regime
+// the experiments run in. Reference points:
+//
+//   - TX2 FP32 CNN inference throughput/power at MAXN: ResNet-50-class nets
+//     run at tens of FPS and draw roughly 9-15 W board power (Yao et al.
+//     [20], NVIDIA developer benchmarks).
+//   - AGX Xavier is roughly 2-4x TX2 on the same networks.
+//   - Idle board power: a few watts on both.
+//
+// Models live in internal/models, which imports hw — so the checks use raw
+// work quantities (FLOPs/bytes of ResNet-50-class and VGG-19-class
+// networks) instead of the builders.
+
+const (
+	resnet50FLOPs = 8.2e9
+	resnet50Bytes = 0.30e9 // ~par with our IR's accounting
+	vgg19FLOPs    = 39.3e9
+	vgg19Bytes    = 0.85e9
+)
+
+func TestTX2ThroughputBand(t *testing.T) {
+	p := TX2()
+	c := p.GPUOpCost(resnet50FLOPs, resnet50Bytes, p.MaxGPUFreq())
+	fps := 1 / c.Time.Seconds()
+	if fps < 15 || fps > 90 {
+		t.Fatalf("TX2 resnet50-class FPS = %.1f, published band ~25-50 (allowing 15-90)", fps)
+	}
+	cv := p.GPUOpCost(vgg19FLOPs, vgg19Bytes, p.MaxGPUFreq())
+	vfps := 1 / cv.Time.Seconds()
+	if vfps < 3 || vfps > 20 {
+		t.Fatalf("TX2 vgg19-class FPS = %.1f, published band ~5-10 (allowing 3-20)", vfps)
+	}
+}
+
+func TestTX2PowerBand(t *testing.T) {
+	p := TX2()
+	c := p.GPUOpCost(resnet50FLOPs, resnet50Bytes, p.MaxGPUFreq())
+	if c.PowerW < 6 || c.PowerW > 16 {
+		t.Fatalf("TX2 busy power = %.1f W, published band ~9-15", c.PowerW)
+	}
+	idle := p.GPUIdlePower(p.MinGPUFreq())
+	if idle < 1 || idle > 5 {
+		t.Fatalf("TX2 idle power = %.1f W, published band ~2-3", idle)
+	}
+}
+
+func TestAGXSpeedupOverTX2(t *testing.T) {
+	tx2, agx := TX2(), AGX()
+	tTX2 := tx2.GPUOpCost(resnet50FLOPs, resnet50Bytes, tx2.MaxGPUFreq()).Time.Seconds()
+	tAGX := agx.GPUOpCost(resnet50FLOPs, resnet50Bytes, agx.MaxGPUFreq()).Time.Seconds()
+	speedup := tTX2 / tAGX
+	if speedup < 1.5 || speedup > 5 {
+		t.Fatalf("AGX speedup over TX2 = %.2fx, published band ~2-4x", speedup)
+	}
+}
+
+func TestAGXPowerBand(t *testing.T) {
+	p := AGX()
+	c := p.GPUOpCost(resnet50FLOPs, resnet50Bytes, p.MaxGPUFreq())
+	if c.PowerW < 12 || c.PowerW > 35 {
+		t.Fatalf("AGX busy power = %.1f W, MAXN band ~15-30", c.PowerW)
+	}
+}
+
+// The EE-vs-frequency curve must peak at mid frequencies with fmax 30-60%
+// less efficient — the published TX2 CNN shape ([20]) that underpins every
+// Table 1 gain.
+func TestEECurveShapeMatchesPublished(t *testing.T) {
+	p := TX2()
+	bestEE, fmaxEE := 0.0, 0.0
+	bestLvl := 0
+	for lvl, f := range p.GPUFreqsHz {
+		c := p.GPUOpCost(resnet50FLOPs, resnet50Bytes, f)
+		ee := 1 / c.EnergyJ
+		if ee > bestEE {
+			bestEE, bestLvl = ee, lvl
+		}
+		if lvl == p.NumGPULevels()-1 {
+			fmaxEE = ee
+		}
+	}
+	if bestLvl < 3 || bestLvl > 10 {
+		t.Fatalf("EE peak at level %d, expected mid-ladder", bestLvl)
+	}
+	drop := 1 - fmaxEE/bestEE
+	if drop < 0.25 || drop > 0.70 {
+		t.Fatalf("EE drop at fmax = %.0f%%, published shape ~30-60%%", drop*100)
+	}
+}

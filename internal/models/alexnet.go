@@ -1,0 +1,32 @@
+// Package models builds the operator graphs of the 12 torchvision networks
+// evaluated in the PowerLens paper (Table 1), plus the random DNN generator
+// used to synthesize the training datasets (§2.2). Layer dimensions follow
+// the published torchvision architectures, so FLOP/parameter/traffic
+// accounting matches the networks the paper profiled.
+package models
+
+import "powerlens/internal/graph"
+
+// AlexNet builds torchvision's alexnet (input 3x224x224, 1000 classes).
+func AlexNet() *graph.Graph {
+	g := graph.New("alexnet")
+	x := g.Input(3, 224, 224)
+
+	x = g.ReLU(g.Conv(x, 64, 11, 4, 2, 1))
+	x = g.MaxPool(x, 3, 2, 0)
+	x = g.ReLU(g.Conv(x, 192, 5, 1, 2, 1))
+	x = g.MaxPool(x, 3, 2, 0)
+	x = g.ReLU(g.Conv(x, 384, 3, 1, 1, 1))
+	x = g.ReLU(g.Conv(x, 256, 3, 1, 1, 1))
+	x = g.ReLU(g.Conv(x, 256, 3, 1, 1, 1))
+	x = g.MaxPool(x, 3, 2, 0)
+
+	x = g.AdaptiveAvgPool(x, 6, 6)
+	x = g.Flatten(x)
+	x = g.Dropout(x)
+	x = g.ReLU(g.Linear(x, 4096))
+	x = g.Dropout(x)
+	x = g.ReLU(g.Linear(x, 4096))
+	g.Linear(x, 1000)
+	return g
+}

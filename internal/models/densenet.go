@@ -1,0 +1,46 @@
+package models
+
+import "powerlens/internal/graph"
+
+// denseLayer is one torchvision _DenseLayer: BN-ReLU-conv1x1(4k) ->
+// BN-ReLU-conv3x3(k), whose output is concatenated onto the running feature
+// map.
+func denseLayer(g *graph.Graph, in *graph.Layer, growth int) *graph.Layer {
+	x := g.ReLU(g.BatchNorm(in))
+	x = g.Conv(x, 4*growth, 1, 1, 0, 1)
+	x = g.ReLU(g.BatchNorm(x))
+	x = g.Conv(x, growth, 3, 1, 1, 1)
+	return g.Concat(in, x)
+}
+
+// transition halves channels with a 1x1 conv and downsamples 2x.
+func transition(g *graph.Graph, in *graph.Layer) *graph.Layer {
+	x := g.ReLU(g.BatchNorm(in))
+	x = g.Conv(x, in.OutShape.C/2, 1, 1, 0, 1)
+	return g.AvgPool(x, 2, 2, 0)
+}
+
+// DenseNet201 builds torchvision's densenet201: growth rate 32, block
+// configuration [6, 12, 48, 32].
+func DenseNet201() *graph.Graph {
+	g := graph.New("densenet201")
+	const growth = 32
+	x := g.Input(3, 224, 224)
+	x = g.ReLU(g.BatchNorm(g.Conv(x, 64, 7, 2, 3, 1)))
+	x = g.MaxPool(x, 3, 2, 1)
+
+	blocks := []int{6, 12, 48, 32}
+	for bi, n := range blocks {
+		for i := 0; i < n; i++ {
+			x = denseLayer(g, x, growth)
+		}
+		if bi != len(blocks)-1 {
+			x = transition(g, x)
+		}
+	}
+	x = g.ReLU(g.BatchNorm(x))
+	x = g.AdaptiveAvgPool(x, 1, 1)
+	x = g.Flatten(x)
+	g.Linear(x, 1000)
+	return g
+}

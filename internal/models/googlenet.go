@@ -1,0 +1,51 @@
+package models
+
+import "powerlens/internal/graph"
+
+// basicConv is torchvision's BasicConv2d: conv + batchnorm + relu.
+func basicConv(g *graph.Graph, in *graph.Layer, outC, kernel, stride, pad int) *graph.Layer {
+	return g.ReLU(g.BatchNorm(g.Conv(in, outC, kernel, stride, pad, 1)))
+}
+
+// inception builds one torchvision Inception module. torchvision replaces the
+// original 5x5 branch with a 3x3 convolution.
+func inception(g *graph.Graph, in *graph.Layer, ch1, ch3red, ch3, ch5red, ch5, poolProj int) *graph.Layer {
+	b1 := basicConv(g, in, ch1, 1, 1, 0)
+	b2 := basicConv(g, basicConv(g, in, ch3red, 1, 1, 0), ch3, 3, 1, 1)
+	b3 := basicConv(g, basicConv(g, in, ch5red, 1, 1, 0), ch5, 3, 1, 1)
+	b4 := basicConv(g, g.MaxPool(in, 3, 1, 1), poolProj, 1, 1, 0)
+	return g.Concat(b1, b2, b3, b4)
+}
+
+// GoogLeNet builds torchvision's googlenet (with batch normalization, no
+// auxiliary classifiers at inference).
+func GoogLeNet() *graph.Graph {
+	g := graph.New("googlenet")
+	x := g.Input(3, 224, 224)
+
+	x = basicConv(g, x, 64, 7, 2, 3)
+	x = g.MaxPool(x, 3, 2, 1)
+	x = basicConv(g, x, 64, 1, 1, 0)
+	x = basicConv(g, x, 192, 3, 1, 1)
+	x = g.MaxPool(x, 3, 2, 1)
+
+	x = inception(g, x, 64, 96, 128, 16, 32, 32)   // 3a
+	x = inception(g, x, 128, 128, 192, 32, 96, 64) // 3b
+	x = g.MaxPool(x, 3, 2, 1)
+
+	x = inception(g, x, 192, 96, 208, 16, 48, 64)    // 4a
+	x = inception(g, x, 160, 112, 224, 24, 64, 64)   // 4b
+	x = inception(g, x, 128, 128, 256, 24, 64, 64)   // 4c
+	x = inception(g, x, 112, 144, 288, 32, 64, 64)   // 4d
+	x = inception(g, x, 256, 160, 320, 32, 128, 128) // 4e
+	x = g.MaxPool(x, 2, 2, 0)
+
+	x = inception(g, x, 256, 160, 320, 32, 128, 128) // 5a
+	x = inception(g, x, 384, 192, 384, 48, 128, 128) // 5b
+
+	x = g.AdaptiveAvgPool(x, 1, 1)
+	x = g.Flatten(x)
+	x = g.Dropout(x)
+	g.Linear(x, 1000)
+	return g
+}

@@ -1,0 +1,88 @@
+package models
+
+import "powerlens/internal/graph"
+
+// seBlock builds a squeeze-excitation module gating x channel-wise.
+// squeezeC is the bottleneck width of the excitation MLP.
+func seBlock(g *graph.Graph, x *graph.Layer, squeezeC int) *graph.Layer {
+	s := g.AdaptiveAvgPool(x, 1, 1)
+	s = g.Flatten(s)
+	s = g.ReLU(g.Linear(s, squeezeC))
+	s = g.Activation(g.Linear(s, x.OutShape.C), graph.OpHardSigmoid)
+	return g.Mul(x, s)
+}
+
+// invertedResidual is one MobileNetV3 bneck block.
+func invertedResidual(g *graph.Graph, in *graph.Layer, kernel, expand, outC int, se bool, act graph.OpKind, stride int) *graph.Layer {
+	useRes := stride == 1 && in.OutShape.C == outC
+	x := in
+	if expand != in.OutShape.C {
+		x = g.Activation(g.BatchNorm(g.Conv(x, expand, 1, 1, 0, 1)), act)
+	}
+	// Depthwise.
+	x = g.Activation(g.BatchNorm(g.Conv(x, expand, kernel, stride, kernel/2, expand)), act)
+	if se {
+		// torchvision squeezes to ceil(expand/4) rounded to a multiple of 8.
+		sq := makeDivisible(expand/4, 8)
+		x = seBlock(g, x, sq)
+	}
+	// Project (linear bottleneck: no activation).
+	x = g.BatchNorm(g.Conv(x, outC, 1, 1, 0, 1))
+	if useRes {
+		x = g.Add(x, in)
+	}
+	return x
+}
+
+// makeDivisible mirrors torchvision's _make_divisible channel rounding.
+func makeDivisible(v, divisor int) int {
+	n := (v + divisor/2) / divisor * divisor
+	if n < divisor {
+		n = divisor
+	}
+	if float64(n) < 0.9*float64(v) {
+		n += divisor
+	}
+	return n
+}
+
+// MobileNetV3 builds torchvision's mobilenet_v3_large.
+func MobileNetV3() *graph.Graph {
+	g := graph.New("mobilenet_v3")
+	x := g.Input(3, 224, 224)
+	x = g.Activation(g.BatchNorm(g.Conv(x, 16, 3, 2, 1, 1)), graph.OpHardSwish)
+
+	type cfg struct {
+		k, exp, out int
+		se          bool
+		act         graph.OpKind
+		stride      int
+	}
+	cfgs := []cfg{
+		{3, 16, 16, false, graph.OpReLU, 1},
+		{3, 64, 24, false, graph.OpReLU, 2},
+		{3, 72, 24, false, graph.OpReLU, 1},
+		{5, 72, 40, true, graph.OpReLU, 2},
+		{5, 120, 40, true, graph.OpReLU, 1},
+		{5, 120, 40, true, graph.OpReLU, 1},
+		{3, 240, 80, false, graph.OpHardSwish, 2},
+		{3, 200, 80, false, graph.OpHardSwish, 1},
+		{3, 184, 80, false, graph.OpHardSwish, 1},
+		{3, 184, 80, false, graph.OpHardSwish, 1},
+		{3, 480, 112, true, graph.OpHardSwish, 1},
+		{3, 672, 112, true, graph.OpHardSwish, 1},
+		{5, 672, 160, true, graph.OpHardSwish, 2},
+		{5, 960, 160, true, graph.OpHardSwish, 1},
+		{5, 960, 160, true, graph.OpHardSwish, 1},
+	}
+	for _, c := range cfgs {
+		x = invertedResidual(g, x, c.k, c.exp, c.out, c.se, c.act, c.stride)
+	}
+	x = g.Activation(g.BatchNorm(g.Conv(x, 960, 1, 1, 0, 1)), graph.OpHardSwish)
+	x = g.AdaptiveAvgPool(x, 1, 1)
+	x = g.Flatten(x)
+	x = g.Activation(g.Linear(x, 1280), graph.OpHardSwish)
+	x = g.Dropout(x)
+	g.Linear(x, 1000)
+	return g
+}

@@ -1,0 +1,226 @@
+package models
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"powerlens/internal/graph"
+)
+
+// Published reference values (torchvision docs): GFLOPs are
+// multiply-accumulate×2, params in millions. Our IR counts biases and tiny
+// ops slightly differently than ptflops, so we allow a tolerance band.
+var reference = map[string]struct {
+	gflops float64
+	mparam float64
+}{
+	"alexnet":        {1.43, 61.1},
+	"googlenet":      {3.0, 6.6},
+	"vgg19":          {39.3, 143.7},
+	"mobilenet_v3":   {0.43, 5.5},
+	"densenet201":    {8.7, 20.0},
+	"resnext101":     {32.8, 88.8},
+	"resnet34":       {7.3, 21.8},
+	"resnet152":      {23.1, 60.2},
+	"regnet_x_32gf":  {63.5, 107.8},
+	"regnet_y_128gf": {254.7, 644.8},
+	"vit_base_16":    {35.2, 86.6},
+	"vit_base_32":    {8.8, 88.2},
+}
+
+func TestAllModelsBuildAndValidate(t *testing.T) {
+	for _, name := range Names() {
+		g := MustBuild(name)
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if g.Name != name {
+			t.Errorf("%s: graph name = %q", name, g.Name)
+		}
+	}
+}
+
+func TestModelFLOPsMatchPublished(t *testing.T) {
+	for name, ref := range reference {
+		g := MustBuild(name)
+		gflops := float64(g.TotalFLOPs()) / 1e9
+		lo, hi := ref.gflops*0.75, ref.gflops*1.35
+		if gflops < lo || gflops > hi {
+			t.Errorf("%s: %.2f GFLOPs, published %.2f (allowed [%.2f, %.2f])",
+				name, gflops, ref.gflops, lo, hi)
+		}
+	}
+}
+
+func TestModelParamsMatchPublished(t *testing.T) {
+	for name, ref := range reference {
+		g := MustBuild(name)
+		mp := float64(g.TotalParams()) / 1e6
+		lo, hi := ref.mparam*0.85, ref.mparam*1.2
+		if mp < lo || mp > hi {
+			t.Errorf("%s: %.1fM params, published %.1fM (allowed [%.1f, %.1f])",
+				name, mp, ref.mparam, lo, hi)
+		}
+	}
+}
+
+func TestModelOutputIsClassifier(t *testing.T) {
+	for _, name := range Names() {
+		g := MustBuild(name)
+		out := g.Output()
+		if out.Kind != graph.OpLinear {
+			t.Errorf("%s: output kind = %v, want linear", name, out.Kind)
+		}
+		if out.OutShape != (graph.Shape{C: 1000, H: 1, W: 1}) {
+			t.Errorf("%s: output shape = %v", name, out.OutShape)
+		}
+	}
+}
+
+func TestBuildUnknown(t *testing.T) {
+	if _, err := Build("nope"); err == nil {
+		t.Fatal("Build must reject unknown names")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBuild must panic on unknown names")
+		}
+	}()
+	MustBuild("nope")
+}
+
+func TestResNetFamilyOrdering(t *testing.T) {
+	r34 := ResNet34()
+	r152 := ResNet152()
+	if r152.TotalFLOPs() <= r34.TotalFLOPs() {
+		t.Fatal("resnet152 must cost more FLOPs than resnet34")
+	}
+	if len(r152.Layers) <= len(r34.Layers) {
+		t.Fatal("resnet152 must have more layers than resnet34")
+	}
+}
+
+func TestViTStructure(t *testing.T) {
+	v16 := ViTBase16()
+	if n := v16.CountKind(graph.OpAttention); n != 12 {
+		t.Fatalf("vit_b_16 attention layers = %d, want 12", n)
+	}
+	v32 := ViTBase32()
+	// Same parameter count family, ~4x fewer FLOPs (49 vs 196 patches).
+	ratio := float64(v16.TotalFLOPs()) / float64(v32.TotalFLOPs())
+	if ratio < 3 || ratio > 5 {
+		t.Fatalf("vit16/vit32 FLOP ratio = %.2f, want ~4", ratio)
+	}
+}
+
+func TestRegNetYHasSE(t *testing.T) {
+	y := RegNetY128GF()
+	if y.CountKind(graph.OpSigmoid) == 0 || y.CountKind(graph.OpMul) == 0 {
+		t.Fatal("regnet_y must contain squeeze-excitation gates")
+	}
+	x := RegNetX32GF()
+	if x.CountKind(graph.OpSigmoid) != 0 {
+		t.Fatal("regnet_x must not contain SE gates")
+	}
+}
+
+func TestDenseNetConcatStructure(t *testing.T) {
+	d := DenseNet201()
+	// 6+12+48+32 dense layers, each ending in a concat.
+	if n := d.CountKind(graph.OpConcat); n != 98 {
+		t.Fatalf("densenet201 concat count = %d, want 98", n)
+	}
+}
+
+func TestMobileNetDepthwise(t *testing.T) {
+	m := MobileNetV3()
+	found := false
+	for _, l := range m.Layers {
+		if l.Kind == graph.OpConv2D && l.Attrs.Groups > 1 && l.Attrs.Groups == l.InShape.C {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("mobilenet_v3 must contain depthwise convolutions")
+	}
+}
+
+func TestMakeDivisible(t *testing.T) {
+	cases := []struct{ v, div, want int }{
+		{16, 8, 16}, {17, 8, 16}, {20, 8, 24}, {3, 8, 8}, {60, 8, 64},
+	}
+	for _, c := range cases {
+		if got := makeDivisible(c.v, c.div); got != c.want {
+			t.Errorf("makeDivisible(%d,%d) = %d, want %d", c.v, c.div, got, c.want)
+		}
+	}
+}
+
+// Property: every random DNN validates and has plausible costs.
+func TestRandomDNNAlwaysValid(t *testing.T) {
+	cfg := DefaultGeneratorConfig()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := RandomDNN(rng, cfg, 0)
+		if err := g.Validate(); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return g.TotalFLOPs() > 0 && g.TotalParams() > 0 && len(g.Layers) >= 5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomDNNDeterministic(t *testing.T) {
+	cfg := DefaultGeneratorConfig()
+	a := RandomDNN(rand.New(rand.NewSource(42)), cfg, 1)
+	b := RandomDNN(rand.New(rand.NewSource(42)), cfg, 1)
+	if len(a.Layers) != len(b.Layers) || a.TotalFLOPs() != b.TotalFLOPs() {
+		t.Fatal("same seed must generate the same network")
+	}
+	c := RandomDNN(rand.New(rand.NewSource(43)), cfg, 2)
+	if len(a.Layers) == len(c.Layers) && a.TotalFLOPs() == c.TotalFLOPs() {
+		t.Fatal("different seeds should generate different networks")
+	}
+}
+
+func TestRandomDNNDiversity(t *testing.T) {
+	// Across many seeds the generator must produce a wide size range and at
+	// least occasionally each major component style.
+	cfg := DefaultGeneratorConfig()
+	minL, maxL := 1<<30, 0
+	sawAttention, sawSE, sawConcat, sawDepthwise := false, false, false, false
+	for seed := int64(0); seed < 100; seed++ {
+		g := RandomDNN(rand.New(rand.NewSource(seed)), cfg, int(seed))
+		if n := len(g.Layers); n < minL {
+			minL = n
+		} else if n > maxL {
+			maxL = n
+		}
+		if g.CountKind(graph.OpAttention) > 0 {
+			sawAttention = true
+		}
+		if g.CountKind(graph.OpMul) > 0 {
+			sawSE = true
+		}
+		if g.CountKind(graph.OpConcat) > 0 {
+			sawConcat = true
+		}
+		for _, l := range g.Layers {
+			if l.Kind == graph.OpConv2D && l.Attrs.Groups == l.InShape.C && l.InShape.C > 1 {
+				sawDepthwise = true
+			}
+		}
+	}
+	if maxL-minL < 30 {
+		t.Fatalf("size diversity too low: [%d, %d]", minL, maxL)
+	}
+	if !sawAttention || !sawSE || !sawConcat || !sawDepthwise {
+		t.Fatalf("style coverage: attn=%v se=%v concat=%v dw=%v",
+			sawAttention, sawSE, sawConcat, sawDepthwise)
+	}
+}

@@ -1,0 +1,260 @@
+package models
+
+import (
+	"fmt"
+	"math/rand"
+
+	"powerlens/internal/graph"
+)
+
+// GeneratorConfig bounds the random DNN generator (§2.2: "a DNN generator to
+// produce a large variety of neural networks by randomly combining features
+// mentioned in section 2.1.2").
+type GeneratorConfig struct {
+	MinSegments int // minimum number of architectural segments
+	MaxSegments int
+	MaxDepthPer int // maximum repeated components per segment
+}
+
+// DefaultGeneratorConfig matches the scale of the evaluation networks.
+func DefaultGeneratorConfig() GeneratorConfig {
+	return GeneratorConfig{MinSegments: 2, MaxSegments: 6, MaxDepthPer: 12}
+}
+
+// segment styles the generator composes.
+const (
+	segPlainConv = iota
+	segBasicRes
+	segBottleneck
+	segInvertedRes
+	segDenseConcat
+	segTransformer
+	numSegStyles
+)
+
+// RandomDNN generates a random network by composing random segments of the
+// component styles found in the evaluation networks (plain conv stacks,
+// residual blocks, bottlenecks, depthwise inverted residuals with optional
+// squeeze-excitation, dense concat blocks, transformer encoders). About one
+// net in seven is a "classic" CNN (plain conv stages + a heavy FC head, the
+// AlexNet/VGG family). All randomness comes from rng, so generation is
+// reproducible.
+func RandomDNN(rng *rand.Rand, cfg GeneratorConfig, id int) *graph.Graph {
+	if rng.Intn(7) == 0 {
+		return RandomClassicCNN(rng, id)
+	}
+	g := graph.New(fmt.Sprintf("random_%d", id))
+	x := g.Input(3, 224, 224)
+
+	// Stem: downsample 2-4x so segment feature maps stay tractable.
+	stemC := 16 << rng.Intn(3) // 16, 32, 64
+	x = g.ReLU(g.BatchNorm(g.Conv(x, stemC, 3+2*rng.Intn(3), 2, 1, 1)))
+	if rng.Intn(2) == 0 {
+		x = g.MaxPool(x, 3, 2, 1)
+	}
+
+	nSeg := cfg.MinSegments + rng.Intn(cfg.MaxSegments-cfg.MinSegments+1)
+	inTokenMode := false
+	for s := 0; s < nSeg; s++ {
+		style := rng.Intn(numSegStyles)
+		if inTokenMode {
+			style = segTransformer // once tokenized, stay tokenized
+		}
+		depth := 1 + rng.Intn(cfg.MaxDepthPer)
+		switch style {
+		case segPlainConv:
+			c := pickChannels(rng, x.OutShape.C)
+			for i := 0; i < depth; i++ {
+				x = g.ReLU(g.BatchNorm(g.Conv(x, c, 3, 1, 1, 1)))
+			}
+			x = maybeDownsample(g, rng, x)
+		case segBasicRes:
+			c := pickChannels(rng, x.OutShape.C)
+			stride := 1 + rng.Intn(2)
+			for i := 0; i < depth; i++ {
+				st := 1
+				if i == 0 {
+					st = stride
+				}
+				x = basicBlock(g, x, c, st)
+			}
+		case segBottleneck:
+			planes := pickChannels(rng, x.OutShape.C/2+1)
+			groups := 1
+			if rng.Intn(3) == 0 {
+				groups = 32
+				planes = (planes/32 + 1) * 32 / 4 * 4
+				if planes < 64 {
+					planes = 64
+				}
+			}
+			stride := 1 + rng.Intn(2)
+			for i := 0; i < depth; i++ {
+				st := 1
+				if i == 0 {
+					st = stride
+				}
+				x = bottleneck(g, x, planes, st, groups, 64/max(1, groups/8))
+			}
+		case segInvertedRes:
+			outC := makeDivisible(pickChannels(rng, x.OutShape.C), 8)
+			exp := outC * (2 + rng.Intn(5))
+			k := 3 + 2*rng.Intn(2)
+			se := rng.Intn(2) == 0
+			act := graph.OpReLU
+			if rng.Intn(2) == 0 {
+				act = graph.OpHardSwish
+			}
+			stride := 1 + rng.Intn(2)
+			for i := 0; i < depth; i++ {
+				st := 1
+				if i == 0 {
+					st = stride
+				}
+				x = invertedResidual(g, x, k, exp, outC, se, act, st)
+			}
+		case segDenseConcat:
+			growth := 8 << rng.Intn(3) // 8, 16, 32
+			for i := 0; i < depth && x.OutShape.C < 2048; i++ {
+				x = denseLayer(g, x, growth)
+			}
+			if x.OutShape.C >= 64 && rng.Intn(2) == 0 {
+				x = transition(g, x)
+			}
+		case segTransformer:
+			if !inTokenMode {
+				dim := 64 << rng.Intn(4) // 64..512
+				patch := x.OutShape.H / (4 + rng.Intn(4))
+				if patch < 1 {
+					patch = 1
+				}
+				x = g.PatchEmbed(x, dim, patch)
+				if rng.Intn(2) == 0 {
+					x = g.ClassToken(x)
+				}
+				inTokenMode = true
+			}
+			mlp := x.OutShape.C * (2 + rng.Intn(3))
+			heads := max(1, x.OutShape.C/64)
+			for i := 0; i < depth; i++ {
+				x = encoderBlock(g, x, heads, mlp)
+			}
+		}
+	}
+
+	// Head. Conv networks occasionally get a VGG/AlexNet-style heavy FC head
+	// (flattened spatial map into wide dense layers) — a strongly
+	// memory-bound tail whose power behaviour differs sharply from the conv
+	// body, mirroring the classical architectures in the evaluation set.
+	if inTokenMode {
+		x = g.LayerNorm(x)
+		x = g.SelectToken(x)
+	} else if rng.Intn(4) == 0 {
+		target := 3 + rng.Intn(5) // 3..7 spatial
+		if x.OutShape.H > target {
+			x = g.AdaptiveAvgPool(x, target, target)
+		}
+		x = g.Flatten(x)
+		width := 1024 << rng.Intn(3) // 1024..4096
+		x = g.ReLU(g.Linear(x, width))
+		x = g.Dropout(x)
+		x = g.ReLU(g.Linear(x, width))
+	} else {
+		x = g.AdaptiveAvgPool(x, 1, 1)
+		x = g.Flatten(x)
+	}
+	if rng.Intn(2) == 0 {
+		x = g.ReLU(g.Linear(x, 256<<rng.Intn(3)))
+		if rng.Intn(2) == 0 {
+			x = g.Dropout(x)
+		}
+	}
+	g.Linear(x, 10+rng.Intn(1990))
+	return g
+}
+
+// RandomClassicCNN generates an AlexNet/VGG-style network: a few plain conv
+// stages with pooling, then a flattened spatial map into wide fully
+// connected layers. The FC tail is strongly memory-bound, giving these nets
+// a sharply two-regime power profile.
+func RandomClassicCNN(rng *rand.Rand, id int) *graph.Graph {
+	g := graph.New(fmt.Sprintf("random_classic_%d", id))
+	x := g.Input(3, 224, 224)
+
+	useBN := rng.Intn(2) == 0
+	convBlock := func(x *graph.Layer, c int) *graph.Layer {
+		x = g.Conv(x, c, 3, 1, 1, 1)
+		if useBN {
+			x = g.BatchNorm(x)
+		}
+		return g.ReLU(x)
+	}
+
+	c := 32 << rng.Intn(2) // 32 or 64
+	if rng.Intn(2) == 0 {
+		// AlexNet-style large-kernel stem.
+		x = g.ReLU(g.Conv(x, c, 7+2*rng.Intn(3), 2+rng.Intn(3), 2, 1))
+	} else {
+		// VGG-style 3x3 stem.
+		x = convBlock(x, c)
+		x = convBlock(x, c)
+	}
+	x = g.MaxPool(x, 3, 2, 0)
+
+	stages := 2 + rng.Intn(4)
+	for s := 0; s < stages && x.OutShape.H > 6; s++ {
+		if c < 512 {
+			c *= 2
+		}
+		convs := 1 + rng.Intn(4)
+		for i := 0; i < convs; i++ {
+			x = convBlock(x, c)
+		}
+		x = g.MaxPool(x, 2, 2, 0)
+	}
+
+	// Heavy FC head: flatten a 5-7² spatial map straight into wide dense
+	// layers, as AlexNet (6²×256→4096) and VGG (7²×512→4096) do. The first
+	// FC's weight matrix alone is tens to hundreds of MB — a decisively
+	// memory-bound power block.
+	target := 5 + rng.Intn(3)
+	if x.OutShape.H > target {
+		x = g.AdaptiveAvgPool(x, target, target)
+	}
+	x = g.Flatten(x)
+	width := 2048 << rng.Intn(2)
+	for i := 0; i < 2; i++ {
+		x = g.Dropout(x)
+		x = g.ReLU(g.Linear(x, width))
+	}
+	g.Linear(x, 10+rng.Intn(1990))
+	return g
+}
+
+// pickChannels picks a plausible channel count near (or wider than) cur.
+func pickChannels(rng *rand.Rand, cur int) int {
+	factors := []int{1, 1, 2, 2, 4}
+	c := cur * factors[rng.Intn(len(factors))]
+	if c < 8 {
+		c = 8
+	}
+	if c > 4096 {
+		c = 4096
+	}
+	return c
+}
+
+// maybeDownsample randomly appends a pooling layer if the map is still big.
+func maybeDownsample(g *graph.Graph, rng *rand.Rand, x *graph.Layer) *graph.Layer {
+	if x.OutShape.H > 7 && rng.Intn(2) == 0 {
+		return g.MaxPool(x, 2, 2, 0)
+	}
+	return x
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

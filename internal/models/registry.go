@@ -1,0 +1,69 @@
+package models
+
+import (
+	"fmt"
+	"powerlens/internal/graph"
+	"sort"
+)
+
+// builders maps paper model names (Table 1 spelling) to constructors.
+var builders = map[string]func() *graph.Graph{
+	"alexnet":        AlexNet,
+	"googlenet":      GoogLeNet,
+	"vgg19":          VGG19,
+	"mobilenet_v3":   MobileNetV3,
+	"densenet201":    DenseNet201,
+	"resnext101":     ResNeXt101,
+	"resnet34":       ResNet34,
+	"resnet152":      ResNet152,
+	"regnet_x_32gf":  RegNetX32GF,
+	"regnet_y_128gf": RegNetY128GF,
+	"vit_base_16":    ViTBase16,
+	"vit_base_32":    ViTBase32,
+
+	// Additional zoo members beyond the paper's Table 1 set.
+	"resnet18":     ResNet18,
+	"resnet50":     ResNet50,
+	"resnet101":    ResNet101,
+	"vgg11":        VGG11,
+	"vgg16":        VGG16,
+	"vit_large_16": ViTLarge16,
+}
+
+// AllNames returns every model in the registry (the Table 1 set plus the
+// extra zoo members), sorted.
+func AllNames() []string {
+	names := make([]string, 0, len(builders))
+	for n := range builders {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Names returns the 12 evaluation model names in the paper's Table 1 order.
+func Names() []string {
+	return []string{
+		"alexnet", "googlenet", "vgg19", "mobilenet_v3", "densenet201",
+		"resnext101", "resnet34", "resnet152", "regnet_x_32gf",
+		"regnet_y_128gf", "vit_base_16", "vit_base_32",
+	}
+}
+
+// Build constructs the named model graph.
+func Build(name string) (*graph.Graph, error) {
+	b, ok := builders[name]
+	if !ok {
+		return nil, fmt.Errorf("models: unknown model %q", name)
+	}
+	return b(), nil
+}
+
+// MustBuild is Build for known-good names; it panics on error.
+func MustBuild(name string) *graph.Graph {
+	g, err := Build(name)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

@@ -1,0 +1,67 @@
+package models
+
+import "powerlens/internal/graph"
+
+// regnetBlock is the RegNet X/Y bottleneck block (bottleneck ratio 1):
+// conv1x1(w) -> grouped conv3x3(w, stride) -> [SE] -> conv1x1(w), residual.
+func regnetBlock(g *graph.Graph, in *graph.Layer, width, stride, groupWidth int, se bool) *graph.Layer {
+	groups := width / groupWidth
+	identity := in
+	x := g.ReLU(g.BatchNorm(g.Conv(in, width, 1, 1, 0, 1)))
+	x = g.ReLU(g.BatchNorm(g.Conv(x, width, 3, stride, 1, groups)))
+	if se {
+		// RegNetY squeezes to width/4 of the block INPUT width.
+		sq := in.OutShape.C / 4
+		if sq < 8 {
+			sq = 8
+		}
+		x = seYBlock(g, x, sq)
+	}
+	x = g.BatchNorm(g.Conv(x, width, 1, 1, 0, 1))
+	if stride != 1 || in.OutShape.C != width {
+		identity = g.BatchNorm(g.Conv(in, width, 1, stride, 0, 1))
+	}
+	return g.ReLU(g.Add(x, identity))
+}
+
+// seYBlock is the RegNetY squeeze-excitation (sigmoid gate).
+func seYBlock(g *graph.Graph, x *graph.Layer, squeezeC int) *graph.Layer {
+	s := g.AdaptiveAvgPool(x, 1, 1)
+	s = g.Flatten(s)
+	s = g.ReLU(g.Linear(s, squeezeC))
+	s = g.Activation(g.Linear(s, x.OutShape.C), graph.OpSigmoid)
+	return g.Mul(x, s)
+}
+
+// regnet assembles a RegNet from per-stage depths/widths.
+func regnet(name string, depths, widths []int, groupWidth int, se bool) *graph.Graph {
+	g := graph.New(name)
+	x := g.Input(3, 224, 224)
+	x = g.ReLU(g.BatchNorm(g.Conv(x, 32, 3, 2, 1, 1))) // stem
+
+	for s := range depths {
+		for b := 0; b < depths[s]; b++ {
+			stride := 1
+			if b == 0 {
+				stride = 2
+			}
+			x = regnetBlock(g, x, widths[s], stride, groupWidth, se)
+		}
+	}
+	x = g.AdaptiveAvgPool(x, 1, 1)
+	x = g.Flatten(x)
+	g.Linear(x, 1000)
+	return g
+}
+
+// RegNetX32GF builds torchvision's regnet_x_32gf: depths [2,7,13,1],
+// widths [336,672,1344,2520], group width 168.
+func RegNetX32GF() *graph.Graph {
+	return regnet("regnet_x_32gf", []int{2, 7, 13, 1}, []int{336, 672, 1344, 2520}, 168, false)
+}
+
+// RegNetY128GF builds torchvision's regnet_y_128gf: depths [2,7,17,1],
+// widths [528,1056,2904,7392], group width 264, with squeeze-excitation.
+func RegNetY128GF() *graph.Graph {
+	return regnet("regnet_y_128gf", []int{2, 7, 17, 1}, []int{528, 1056, 2904, 7392}, 264, true)
+}

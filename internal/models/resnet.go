@@ -1,0 +1,114 @@
+package models
+
+import "powerlens/internal/graph"
+
+// basicBlock is the two-conv ResNet block used by ResNet-18/34.
+func basicBlock(g *graph.Graph, in *graph.Layer, planes, stride int) *graph.Layer {
+	identity := in
+	x := g.ReLU(g.BatchNorm(g.Conv(in, planes, 3, stride, 1, 1)))
+	x = g.BatchNorm(g.Conv(x, planes, 3, 1, 1, 1))
+	if stride != 1 || in.OutShape.C != planes {
+		identity = g.BatchNorm(g.Conv(in, planes, 1, stride, 0, 1))
+	}
+	return g.ReLU(g.Add(x, identity))
+}
+
+// bottleneck is the three-conv block used by ResNet-50/101/152 and ResNeXt.
+// width is the middle conv channel count; expansion is 4.
+func bottleneck(g *graph.Graph, in *graph.Layer, planes, stride, groups, baseWidth int) *graph.Layer {
+	width := planes * baseWidth / 64 * groups
+	outC := planes * 4
+	identity := in
+	x := g.ReLU(g.BatchNorm(g.Conv(in, width, 1, 1, 0, 1)))
+	x = g.ReLU(g.BatchNorm(g.Conv(x, width, 3, stride, 1, groups)))
+	x = g.BatchNorm(g.Conv(x, outC, 1, 1, 0, 1))
+	if stride != 1 || in.OutShape.C != outC {
+		identity = g.BatchNorm(g.Conv(in, outC, 1, stride, 0, 1))
+	}
+	return g.ReLU(g.Add(x, identity))
+}
+
+// resnetStem builds the shared conv7x7 + maxpool stem.
+func resnetStem(g *graph.Graph) *graph.Layer {
+	x := g.Input(3, 224, 224)
+	x = g.ReLU(g.BatchNorm(g.Conv(x, 64, 7, 2, 3, 1)))
+	return g.MaxPool(x, 3, 2, 1)
+}
+
+// resnetHead builds the shared global-pool + classifier head.
+func resnetHead(g *graph.Graph, x *graph.Layer) {
+	x = g.AdaptiveAvgPool(x, 1, 1)
+	x = g.Flatten(x)
+	g.Linear(x, 1000)
+}
+
+// basicResNet assembles a BasicBlock ResNet from per-stage depths.
+func basicResNet(name string, depths []int) *graph.Graph {
+	g := graph.New(name)
+	x := resnetStem(g)
+	planes := []int{64, 128, 256, 512}
+	for s, d := range depths {
+		for b := 0; b < d; b++ {
+			stride := 1
+			if b == 0 && s > 0 {
+				stride = 2
+			}
+			x = basicBlock(g, x, planes[s], stride)
+		}
+	}
+	resnetHead(g, x)
+	return g
+}
+
+// bottleneckResNet assembles a Bottleneck ResNet from per-stage depths.
+func bottleneckResNet(name string, depths []int) *graph.Graph {
+	g := graph.New(name)
+	x := resnetStem(g)
+	planes := []int{64, 128, 256, 512}
+	for s, d := range depths {
+		for b := 0; b < d; b++ {
+			stride := 1
+			if b == 0 && s > 0 {
+				stride = 2
+			}
+			x = bottleneck(g, x, planes[s], stride, 1, 64)
+		}
+	}
+	resnetHead(g, x)
+	return g
+}
+
+// ResNet18 builds torchvision's resnet18: BasicBlock stages [2,2,2,2].
+func ResNet18() *graph.Graph { return basicResNet("resnet18", []int{2, 2, 2, 2}) }
+
+// ResNet34 builds torchvision's resnet34: BasicBlock stages [3,4,6,3].
+func ResNet34() *graph.Graph { return basicResNet("resnet34", []int{3, 4, 6, 3}) }
+
+// ResNet50 builds torchvision's resnet50: Bottleneck stages [3,4,6,3].
+func ResNet50() *graph.Graph { return bottleneckResNet("resnet50", []int{3, 4, 6, 3}) }
+
+// ResNet101 builds torchvision's resnet101: Bottleneck stages [3,4,23,3].
+func ResNet101() *graph.Graph { return bottleneckResNet("resnet101", []int{3, 4, 23, 3}) }
+
+// ResNet152 builds torchvision's resnet152: Bottleneck stages [3,8,36,3].
+func ResNet152() *graph.Graph { return bottleneckResNet("resnet152", []int{3, 8, 36, 3}) }
+
+// ResNeXt101 builds torchvision's resnext101_32x8d: grouped bottlenecks
+// (32 groups, base width 8), stages [3,4,23,3].
+func ResNeXt101() *graph.Graph {
+	g := graph.New("resnext101")
+	x := resnetStem(g)
+	planes := []int{64, 128, 256, 512}
+	depths := []int{3, 4, 23, 3}
+	for s, d := range depths {
+		for b := 0; b < d; b++ {
+			stride := 1
+			if b == 0 && s > 0 {
+				stride = 2
+			}
+			x = bottleneck(g, x, planes[s], stride, 32, 8)
+		}
+	}
+	resnetHead(g, x)
+	return g
+}

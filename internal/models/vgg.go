@@ -1,0 +1,40 @@
+package models
+
+import "powerlens/internal/graph"
+
+// vgg assembles a VGG from per-stage conv counts (config A=1,1,2,2,2;
+// D=2,2,3,3,3; E=2,2,4,4,4).
+func vgg(name string, convs [5]int) *graph.Graph {
+	g := graph.New(name)
+	x := g.Input(3, 224, 224)
+
+	stage := func(x *graph.Layer, outC, n int) *graph.Layer {
+		for i := 0; i < n; i++ {
+			x = g.ReLU(g.Conv(x, outC, 3, 1, 1, 1))
+		}
+		return g.MaxPool(x, 2, 2, 0)
+	}
+	widths := [5]int{64, 128, 256, 512, 512}
+	for s := range widths {
+		x = stage(x, widths[s], convs[s])
+	}
+
+	x = g.AdaptiveAvgPool(x, 7, 7)
+	x = g.Flatten(x)
+	x = g.ReLU(g.Linear(x, 4096))
+	x = g.Dropout(x)
+	x = g.ReLU(g.Linear(x, 4096))
+	x = g.Dropout(x)
+	g.Linear(x, 1000)
+	return g
+}
+
+// VGG11 builds torchvision's vgg11 (configuration A).
+func VGG11() *graph.Graph { return vgg("vgg11", [5]int{1, 1, 2, 2, 2}) }
+
+// VGG16 builds torchvision's vgg16 (configuration D).
+func VGG16() *graph.Graph { return vgg("vgg16", [5]int{2, 2, 3, 3, 3}) }
+
+// VGG19 builds torchvision's vgg19 (configuration E, 16 convolutional
+// layers in five stages plus three fully connected layers).
+func VGG19() *graph.Graph { return vgg("vgg19", [5]int{2, 2, 4, 4, 4}) }

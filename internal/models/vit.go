@@ -1,0 +1,42 @@
+package models
+
+import "powerlens/internal/graph"
+
+// encoderBlock is one ViT transformer encoder layer: pre-norm attention and
+// MLP sublayers, each with a residual connection.
+func encoderBlock(g *graph.Graph, in *graph.Layer, heads, mlpDim int) *graph.Layer {
+	x := g.LayerNorm(in)
+	x = g.Attention(x, heads)
+	x = g.Add(x, in)
+
+	y := g.LayerNorm(x)
+	y = g.Activation(g.Linear(y, mlpDim), graph.OpGELU)
+	y = g.Linear(y, x.OutShape.C)
+	return g.Add(y, x)
+}
+
+// vit assembles a Vision Transformer.
+func vit(name string, patch, dim, depth, heads, mlpDim int) *graph.Graph {
+	g := graph.New(name)
+	x := g.Input(3, 224, 224)
+	x = g.PatchEmbed(x, dim, patch)
+	x = g.ClassToken(x)
+	for i := 0; i < depth; i++ {
+		x = encoderBlock(g, x, heads, mlpDim)
+	}
+	x = g.LayerNorm(x)
+	x = g.SelectToken(x)
+	g.Linear(x, 1000)
+	return g
+}
+
+// ViTBase16 builds torchvision's vit_b_16: 16x16 patches, 12 layers,
+// 12 heads, hidden 768, MLP 3072 (197 tokens).
+func ViTBase16() *graph.Graph { return vit("vit_base_16", 16, 768, 12, 12, 3072) }
+
+// ViTBase32 builds torchvision's vit_b_32: 32x32 patches (50 tokens).
+func ViTBase32() *graph.Graph { return vit("vit_base_32", 32, 768, 12, 12, 3072) }
+
+// ViTLarge16 builds torchvision's vit_l_16: 16x16 patches, 24 layers,
+// 16 heads, hidden 1024, MLP 4096.
+func ViTLarge16() *graph.Graph { return vit("vit_large_16", 16, 1024, 24, 16, 4096) }

@@ -1,0 +1,98 @@
+package models
+
+import (
+	"testing"
+
+	"powerlens/internal/graph"
+)
+
+// Published reference values for the extra zoo members.
+var zooReference = map[string]struct {
+	gflops float64
+	mparam float64
+}{
+	"resnet18":     {3.6, 11.7},
+	"resnet50":     {8.2, 25.6},
+	"resnet101":    {15.7, 44.5},
+	"vgg11":        {15.2, 132.9},
+	"vgg16":        {31.0, 138.4},
+	"vit_large_16": {123.7, 304.3},
+}
+
+func TestZooModelsBuildAndValidate(t *testing.T) {
+	for name := range zooReference {
+		g := MustBuild(name)
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if g.Name != name {
+			t.Errorf("%s: graph name %q", name, g.Name)
+		}
+		out := g.Output()
+		if out.Kind != graph.OpLinear || out.OutShape.C != 1000 {
+			t.Errorf("%s: classifier head wrong", name)
+		}
+	}
+}
+
+func TestZooCostsMatchPublished(t *testing.T) {
+	for name, ref := range zooReference {
+		g := MustBuild(name)
+		gflops := float64(g.TotalFLOPs()) / 1e9
+		if gflops < ref.gflops*0.75 || gflops > ref.gflops*1.35 {
+			t.Errorf("%s: %.2f GFLOPs, published %.2f", name, gflops, ref.gflops)
+		}
+		mp := float64(g.TotalParams()) / 1e6
+		if mp < ref.mparam*0.85 || mp > ref.mparam*1.2 {
+			t.Errorf("%s: %.1fM params, published %.1fM", name, mp, ref.mparam)
+		}
+	}
+}
+
+func TestFamilyOrderings(t *testing.T) {
+	// FLOPs must be monotone within each family.
+	resnets := []string{"resnet18", "resnet34", "resnet50", "resnet101", "resnet152"}
+	var prev int64
+	for _, name := range resnets {
+		f := MustBuild(name).TotalFLOPs()
+		if f <= prev {
+			t.Fatalf("%s FLOPs %d not above predecessor %d", name, f, prev)
+		}
+		prev = f
+	}
+	vggs := []string{"vgg11", "vgg16", "vgg19"}
+	prev = 0
+	for _, name := range vggs {
+		f := MustBuild(name).TotalFLOPs()
+		if f <= prev {
+			t.Fatalf("%s FLOPs not monotone", name)
+		}
+		prev = f
+	}
+	if MustBuild("vit_large_16").TotalFLOPs() <= MustBuild("vit_base_16").TotalFLOPs() {
+		t.Fatal("vit_l must exceed vit_b")
+	}
+}
+
+func TestAllNamesSupersetOfNames(t *testing.T) {
+	all := map[string]bool{}
+	for _, n := range AllNames() {
+		all[n] = true
+	}
+	for _, n := range Names() {
+		if !all[n] {
+			t.Fatalf("AllNames missing Table-1 model %s", n)
+		}
+	}
+	if len(AllNames()) <= len(Names()) {
+		t.Fatal("AllNames must include the extra zoo members")
+	}
+	// AllNames must be sorted and duplicate-free.
+	prev := ""
+	for _, n := range AllNames() {
+		if n <= prev {
+			t.Fatalf("AllNames not sorted/unique at %q", n)
+		}
+		prev = n
+	}
+}

@@ -1,0 +1,80 @@
+package nn
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Confusion is a numClasses×numClasses confusion matrix: rows are true
+// labels, columns predictions.
+type Confusion struct {
+	N      int
+	Counts [][]int
+}
+
+// ConfusionMatrix evaluates n over samples and tallies the matrix.
+func ConfusionMatrix(n *TwoStageNet, samples []Sample, numClasses int) *Confusion {
+	c := &Confusion{N: numClasses, Counts: make([][]int, numClasses)}
+	for i := range c.Counts {
+		c.Counts[i] = make([]int, numClasses)
+	}
+	for _, s := range samples {
+		pred := n.Predict(s.Structural, s.Stats)
+		if s.Label >= 0 && s.Label < numClasses && pred >= 0 && pred < numClasses {
+			c.Counts[s.Label][pred]++
+		}
+	}
+	return c
+}
+
+// Accuracy returns the trace fraction.
+func (c *Confusion) Accuracy() float64 {
+	total, correct := 0, 0
+	for i := range c.Counts {
+		for j, v := range c.Counts[i] {
+			total += v
+			if i == j {
+				correct += v
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+// Recall returns the per-class recall (NaN-free: classes with no samples
+// report 0).
+func (c *Confusion) Recall(class int) float64 {
+	row := c.Counts[class]
+	total := 0
+	for _, v := range row {
+		total += v
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(row[class]) / float64(total)
+}
+
+// String renders the matrix with per-class recall, for trainer reports.
+func (c *Confusion) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "confusion matrix (%d classes, rows=true, cols=pred):\n", c.N)
+	for i, row := range c.Counts {
+		total := 0
+		for _, v := range row {
+			total += v
+		}
+		if total == 0 {
+			continue // omit empty classes to keep reports compact
+		}
+		fmt.Fprintf(&sb, "  class %2d:", i)
+		for _, v := range row {
+			fmt.Fprintf(&sb, " %4d", v)
+		}
+		fmt.Fprintf(&sb, "   recall %.2f\n", c.Recall(i))
+	}
+	return sb.String()
+}

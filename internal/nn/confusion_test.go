@@ -1,0 +1,54 @@
+package nn
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestConfusionMatrix(t *testing.T) {
+	samples := synthSamples(400, 17)
+	train, val, test := Split(samples, 2)
+	net := NewTwoStageNet(4, 3, []int{16}, []int{16}, 3, 5)
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 40
+	Train(net, train, val, cfg)
+
+	c := ConfusionMatrix(net, test, 3)
+	if got, want := c.Accuracy(), Accuracy(net, test); got != want {
+		t.Fatalf("confusion accuracy %.4f != Accuracy %.4f", got, want)
+	}
+	// Totals must equal the sample count.
+	total := 0
+	for i := range c.Counts {
+		for _, v := range c.Counts[i] {
+			total += v
+		}
+	}
+	if total != len(test) {
+		t.Fatalf("matrix total %d != %d samples", total, len(test))
+	}
+	// Separable task: every populated class should have high recall.
+	for cls := 0; cls < 3; cls++ {
+		if r := c.Recall(cls); r < 0.7 {
+			t.Fatalf("class %d recall = %.2f", cls, r)
+		}
+	}
+	s := c.String()
+	if !strings.Contains(s, "recall") || !strings.Contains(s, "class") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestConfusionEmptyClass(t *testing.T) {
+	net := NewTwoStageNet(2, 0, []int{4}, nil, 3, 1)
+	c := ConfusionMatrix(net, nil, 3)
+	if c.Accuracy() != 0 {
+		t.Fatal("empty matrix accuracy must be 0")
+	}
+	if c.Recall(1) != 0 {
+		t.Fatal("empty class recall must be 0")
+	}
+	if strings.Contains(c.String(), "class  1") {
+		t.Fatal("empty classes must be omitted from String()")
+	}
+}

@@ -1,0 +1,191 @@
+// Package nn implements the from-scratch neural networks behind PowerLens's
+// two prediction models: the clustering hyperparameter prediction model
+// (Fig. 3) and the target frequency decision model (Fig. 4). Both are
+// two-stage MLP classifiers — macro structural features enter at the first
+// stage, aggregated statistics are injected mid-network — trained with Adam
+// on softmax cross-entropy. Everything is deterministic given a seed.
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"powerlens/internal/tensor"
+)
+
+// DenseLayer is a fully connected layer with optional ReLU, holding its
+// Adam optimizer state. Weights use He initialization.
+type DenseLayer struct {
+	W    *tensor.Matrix // out×in
+	B    []float64
+	ReLU bool
+
+	// Gradient accumulators.
+	dW *tensor.Matrix
+	dB []float64
+
+	// Adam moments.
+	mW, vW *tensor.Matrix
+	mB, vB []float64
+
+	// Forward caches (single-sample training loop).
+	in     []float64
+	preact []float64
+}
+
+// NewDenseLayer returns an initialized in→out layer.
+func NewDenseLayer(in, out int, relu bool, rng *rand.Rand) *DenseLayer {
+	l := &DenseLayer{
+		W: tensor.NewMatrix(out, in), B: make([]float64, out), ReLU: relu,
+		dW: tensor.NewMatrix(out, in), dB: make([]float64, out),
+		mW: tensor.NewMatrix(out, in), vW: tensor.NewMatrix(out, in),
+		mB: make([]float64, out), vB: make([]float64, out),
+	}
+	scale := math.Sqrt(2.0 / float64(in))
+	for i := range l.W.Data {
+		l.W.Data[i] = rng.NormFloat64() * scale
+	}
+	return l
+}
+
+// Forward computes the layer output, caching activations for Backward.
+func (l *DenseLayer) Forward(x []float64) []float64 {
+	l.in = x
+	z := l.W.MulVec(x)
+	for i := range z {
+		z[i] += l.B[i]
+	}
+	l.preact = z
+	if !l.ReLU {
+		out := make([]float64, len(z))
+		copy(out, z)
+		return out
+	}
+	out := make([]float64, len(z))
+	for i, v := range z {
+		if v > 0 {
+			out[i] = v
+		}
+	}
+	return out
+}
+
+// Backward accumulates parameter gradients for the cached forward pass and
+// returns the gradient w.r.t. the layer input.
+func (l *DenseLayer) Backward(gradOut []float64) []float64 {
+	g := make([]float64, len(gradOut))
+	copy(g, gradOut)
+	if l.ReLU {
+		for i := range g {
+			if l.preact[i] <= 0 {
+				g[i] = 0
+			}
+		}
+	}
+	for o, gv := range g {
+		if gv == 0 {
+			continue
+		}
+		l.dB[o] += gv
+		row := l.dW.Row(o)
+		for i, xv := range l.in {
+			row[i] += gv * xv
+		}
+	}
+	gradIn := make([]float64, l.W.Cols)
+	for o, gv := range g {
+		if gv == 0 {
+			continue
+		}
+		row := l.W.Row(o)
+		for i, wv := range row {
+			gradIn[i] += gv * wv
+		}
+	}
+	return gradIn
+}
+
+// adamStep applies one Adam update with the accumulated gradients (divided
+// by batchSize) and zeroes the accumulators. step is the 1-based update
+// count used for bias correction. weightDecay applies decoupled L2 (AdamW).
+func (l *DenseLayer) adamStep(lr float64, batchSize, step int, weightDecay float64) {
+	const (
+		beta1 = 0.9
+		beta2 = 0.999
+		eps   = 1e-8
+	)
+	inv := 1 / float64(batchSize)
+	bc1 := 1 - math.Pow(beta1, float64(step))
+	bc2 := 1 - math.Pow(beta2, float64(step))
+	for i := range l.W.Data {
+		g := l.dW.Data[i] * inv
+		l.mW.Data[i] = beta1*l.mW.Data[i] + (1-beta1)*g
+		l.vW.Data[i] = beta2*l.vW.Data[i] + (1-beta2)*g*g
+		l.W.Data[i] -= lr * ((l.mW.Data[i]/bc1)/(math.Sqrt(l.vW.Data[i]/bc2)+eps) + weightDecay*l.W.Data[i])
+		l.dW.Data[i] = 0
+	}
+	for i := range l.B {
+		g := l.dB[i] * inv
+		l.mB[i] = beta1*l.mB[i] + (1-beta1)*g
+		l.vB[i] = beta2*l.vB[i] + (1-beta2)*g*g
+		l.B[i] -= lr * (l.mB[i] / bc1) / (math.Sqrt(l.vB[i]/bc2) + eps)
+		l.dB[i] = 0
+	}
+}
+
+// sgdStep applies one SGD-with-momentum update, reusing mW/mB as velocity
+// buffers. weightDecay applies classic L2 regularization.
+func (l *DenseLayer) sgdStep(lr, momentum float64, batchSize int, weightDecay float64) {
+	inv := 1 / float64(batchSize)
+	for i := range l.W.Data {
+		g := l.dW.Data[i]*inv + weightDecay*l.W.Data[i]
+		l.mW.Data[i] = momentum*l.mW.Data[i] + g
+		l.W.Data[i] -= lr * l.mW.Data[i]
+		l.dW.Data[i] = 0
+	}
+	for i := range l.B {
+		g := l.dB[i] * inv
+		l.mB[i] = momentum*l.mB[i] + g
+		l.B[i] -= lr * l.mB[i]
+		l.dB[i] = 0
+	}
+}
+
+// WeightNorm returns the L2 norm of the layer's weight matrix (used by
+// regularization tests and model summaries).
+func (l *DenseLayer) WeightNorm() float64 {
+	s := 0.0
+	for _, w := range l.W.Data {
+		s += w * w
+	}
+	return math.Sqrt(s)
+}
+
+// Softmax returns the softmax of logits (numerically stable).
+func Softmax(logits []float64) []float64 {
+	maxV := math.Inf(-1)
+	for _, v := range logits {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	out := make([]float64, len(logits))
+	sum := 0.0
+	for i, v := range logits {
+		out[i] = math.Exp(v - maxV)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// CrossEntropy returns -log p[label], clamped away from Inf.
+func CrossEntropy(probs []float64, label int) float64 {
+	p := probs[label]
+	if p < 1e-12 {
+		p = 1e-12
+	}
+	return -math.Log(p)
+}

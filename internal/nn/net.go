@@ -1,0 +1,130 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// TwoStageNet is the architecture of Figs. 3 and 4: a front stack consumes
+// the structural facet, its hidden representation is concatenated with the
+// statistics facet mid-network, and a back stack classifies. Setting
+// StatsDim to 0 degrades gracefully to a plain MLP.
+type TwoStageNet struct {
+	StructDim, StatsDim, NumClasses int
+
+	Front []*DenseLayer // structural → hidden
+	Back  []*DenseLayer // [hidden | stats] → logits
+}
+
+// NewTwoStageNet builds a network. frontHidden and backHidden list hidden
+// widths; the final Back layer (logits) is appended automatically.
+func NewTwoStageNet(structDim, statsDim int, frontHidden, backHidden []int, numClasses int, seed int64) *TwoStageNet {
+	if structDim <= 0 || numClasses < 2 || len(frontHidden) == 0 {
+		panic(fmt.Sprintf("nn: bad TwoStageNet dims struct=%d stats=%d classes=%d front=%v",
+			structDim, statsDim, numClasses, frontHidden))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := &TwoStageNet{StructDim: structDim, StatsDim: statsDim, NumClasses: numClasses}
+
+	in := structDim
+	for _, h := range frontHidden {
+		n.Front = append(n.Front, NewDenseLayer(in, h, true, rng))
+		in = h
+	}
+	in += statsDim // mid-network injection
+	for _, h := range backHidden {
+		n.Back = append(n.Back, NewDenseLayer(in, h, true, rng))
+		in = h
+	}
+	n.Back = append(n.Back, NewDenseLayer(in, numClasses, false, rng))
+	return n
+}
+
+// Forward returns class probabilities for one sample.
+func (n *TwoStageNet) Forward(structF, statsF []float64) []float64 {
+	return Softmax(n.logits(structF, statsF))
+}
+
+func (n *TwoStageNet) logits(structF, statsF []float64) []float64 {
+	if len(structF) != n.StructDim || len(statsF) != n.StatsDim {
+		panic(fmt.Sprintf("nn: input dims %d/%d, want %d/%d",
+			len(structF), len(statsF), n.StructDim, n.StatsDim))
+	}
+	h := structF
+	for _, l := range n.Front {
+		h = l.Forward(h)
+	}
+	z := make([]float64, 0, len(h)+len(statsF))
+	z = append(z, h...)
+	z = append(z, statsF...)
+	for _, l := range n.Back {
+		z = l.Forward(z)
+	}
+	return z
+}
+
+// Predict returns the argmax class for one sample.
+func (n *TwoStageNet) Predict(structF, statsF []float64) int {
+	probs := n.Forward(structF, statsF)
+	best := 0
+	for i, p := range probs {
+		if p > probs[best] {
+			best = i
+		}
+	}
+	_ = probs
+	return best
+}
+
+// backward accumulates gradients for one sample given its label, returning
+// the sample loss. Must follow a Forward-equivalent pass (it redoes the
+// forward internally to populate caches).
+func (n *TwoStageNet) backward(structF, statsF []float64, label int) float64 {
+	logits := n.logits(structF, statsF)
+	probs := Softmax(logits)
+	loss := CrossEntropy(probs, label)
+
+	// dL/dlogits for softmax + cross-entropy.
+	g := make([]float64, len(probs))
+	copy(g, probs)
+	g[label] -= 1
+
+	for i := len(n.Back) - 1; i >= 0; i-- {
+		g = n.Back[i].Backward(g)
+	}
+	// Split the concatenated gradient: the stats part terminates here.
+	frontWidth := len(g) - n.StatsDim
+	g = g[:frontWidth]
+	for i := len(n.Front) - 1; i >= 0; i-- {
+		g = n.Front[i].Backward(g)
+	}
+	return loss
+}
+
+// step applies one optimizer update over the accumulated batch gradients.
+func (n *TwoStageNet) step(cfg TrainConfig, lr float64, batchSize, stepNum int) {
+	for _, l := range n.layers() {
+		switch cfg.Optimizer {
+		case OptSGD:
+			l.sgdStep(lr, cfg.Momentum, batchSize, cfg.WeightDecay)
+		default:
+			l.adamStep(lr, batchSize, stepNum, cfg.WeightDecay)
+		}
+	}
+}
+
+// layers returns all layers, front stack first.
+func (n *TwoStageNet) layers() []*DenseLayer {
+	out := make([]*DenseLayer, 0, len(n.Front)+len(n.Back))
+	out = append(out, n.Front...)
+	return append(out, n.Back...)
+}
+
+// NumParams returns the total learnable parameter count.
+func (n *TwoStageNet) NumParams() int {
+	total := 0
+	for _, l := range n.layers() {
+		total += len(l.W.Data) + len(l.B)
+	}
+	return total
+}

@@ -1,0 +1,280 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSoftmaxProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		logits := make([]float64, 2+rng.Intn(10))
+		for i := range logits {
+			logits[i] = rng.NormFloat64() * 10
+		}
+		p := Softmax(logits)
+		sum := 0.0
+		for _, v := range p {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftmaxStableWithHugeLogits(t *testing.T) {
+	p := Softmax([]float64{1000, 1001, 999})
+	for _, v := range p {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("softmax overflowed")
+		}
+	}
+	if p[1] < p[0] || p[0] < p[2] {
+		t.Fatal("ordering wrong")
+	}
+}
+
+func TestCrossEntropyClamps(t *testing.T) {
+	if ce := CrossEntropy([]float64{0, 1}, 0); math.IsInf(ce, 1) {
+		t.Fatal("cross entropy must clamp zero probability")
+	}
+	if ce := CrossEntropy([]float64{1, 0}, 0); ce != -math.Log(1) {
+		t.Fatalf("CE of certain prediction = %v", ce)
+	}
+}
+
+// Numeric gradient check: backward() must match finite differences.
+func TestGradientCheck(t *testing.T) {
+	net := NewTwoStageNet(3, 2, []int{4}, []int{4}, 3, 7)
+	structF := []float64{0.5, -1.2, 0.3}
+	statsF := []float64{0.8, -0.4}
+	label := 1
+
+	// Analytic gradients.
+	net.backward(structF, statsF, label)
+	layer := net.Front[0]
+	analytic := make([]float64, len(layer.dW.Data))
+	copy(analytic, layer.dW.Data)
+
+	const eps = 1e-6
+	for i := 0; i < len(layer.W.Data); i += 3 { // spot-check every 3rd weight
+		orig := layer.W.Data[i]
+		layer.W.Data[i] = orig + eps
+		lossPlus := CrossEntropy(net.Forward(structF, statsF), label)
+		layer.W.Data[i] = orig - eps
+		lossMinus := CrossEntropy(net.Forward(structF, statsF), label)
+		layer.W.Data[i] = orig
+		numeric := (lossPlus - lossMinus) / (2 * eps)
+		if math.Abs(numeric-analytic[i]) > 1e-4*(1+math.Abs(numeric)) {
+			t.Fatalf("grad mismatch at %d: analytic %g vs numeric %g", i, analytic[i], numeric)
+		}
+	}
+}
+
+func TestGradientCheckBackStack(t *testing.T) {
+	net := NewTwoStageNet(3, 2, []int{4}, []int{5}, 4, 3)
+	structF := []float64{1, 0, -1}
+	statsF := []float64{0.2, 0.9}
+	label := 2
+	net.backward(structF, statsF, label)
+	layer := net.Back[0]
+	analytic := append([]float64(nil), layer.dW.Data...)
+	const eps = 1e-6
+	for i := 0; i < len(layer.W.Data); i += 4 {
+		orig := layer.W.Data[i]
+		layer.W.Data[i] = orig + eps
+		lp := CrossEntropy(net.Forward(structF, statsF), label)
+		layer.W.Data[i] = orig - eps
+		lm := CrossEntropy(net.Forward(structF, statsF), label)
+		layer.W.Data[i] = orig
+		numeric := (lp - lm) / (2 * eps)
+		if math.Abs(numeric-analytic[i]) > 1e-4*(1+math.Abs(numeric)) {
+			t.Fatalf("back grad mismatch at %d: %g vs %g", i, analytic[i], numeric)
+		}
+	}
+}
+
+// A separable synthetic task must train to high accuracy.
+func synthSamples(n int, seed int64) []Sample {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Sample, n)
+	for i := range out {
+		label := rng.Intn(3)
+		structF := make([]float64, 4)
+		statsF := make([]float64, 3)
+		for j := range structF {
+			structF[j] = rng.NormFloat64()*0.3 + float64(label)
+		}
+		for j := range statsF {
+			statsF[j] = rng.NormFloat64()*0.3 - float64(label)
+		}
+		out[i] = Sample{Structural: structF, Stats: statsF, Label: label}
+	}
+	return out
+}
+
+func TestTrainSeparable(t *testing.T) {
+	samples := synthSamples(600, 11)
+	train, val, test := Split(samples, 1)
+	net := NewTwoStageNet(4, 3, []int{16}, []int{16}, 3, 5)
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 30
+	h := Train(net, train, val, cfg)
+	if len(h.TrainLoss) == 0 {
+		t.Fatal("no training happened")
+	}
+	if acc := Accuracy(net, test); acc < 0.95 {
+		t.Fatalf("test accuracy = %.3f, want >= 0.95 on separable data", acc)
+	}
+	// Loss must have decreased substantially.
+	if h.TrainLoss[len(h.TrainLoss)-1] > h.TrainLoss[0]*0.5 {
+		t.Fatalf("loss barely moved: %v -> %v", h.TrainLoss[0], h.TrainLoss[len(h.TrainLoss)-1])
+	}
+}
+
+// The mid-network stats input must actually matter: a task whose label only
+// depends on stats cannot be solved without them.
+func TestStatsInputUsed(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	samples := make([]Sample, 400)
+	for i := range samples {
+		label := rng.Intn(2)
+		structF := []float64{rng.NormFloat64()} // pure noise
+		statsF := []float64{float64(label)*2 - 1 + rng.NormFloat64()*0.2}
+		samples[i] = Sample{Structural: structF, Stats: statsF, Label: label}
+	}
+	train, val, test := Split(samples, 2)
+	net := NewTwoStageNet(1, 1, []int{8}, []int{8}, 2, 9)
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 40
+	Train(net, train, val, cfg)
+	if acc := Accuracy(net, test); acc < 0.9 {
+		t.Fatalf("accuracy %.3f: stats facet apparently unused", acc)
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	samples := synthSamples(200, 21)
+	train, val, _ := Split(samples, 1)
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 5
+	a := NewTwoStageNet(4, 3, []int{8}, []int{8}, 3, 5)
+	b := NewTwoStageNet(4, 3, []int{8}, []int{8}, 3, 5)
+	ha := Train(a, train, val, cfg)
+	hb := Train(b, train, val, cfg)
+	for i := range ha.TrainLoss {
+		if ha.TrainLoss[i] != hb.TrainLoss[i] {
+			t.Fatal("same seed must reproduce identical training")
+		}
+	}
+	for i := range a.Front[0].W.Data {
+		if a.Front[0].W.Data[i] != b.Front[0].W.Data[i] {
+			t.Fatal("weights diverged despite same seed")
+		}
+	}
+}
+
+func TestSplitRatios(t *testing.T) {
+	samples := synthSamples(1000, 1)
+	train, val, test := Split(samples, 4)
+	if len(train) != 800 || len(val) != 100 || len(test) != 100 {
+		t.Fatalf("split = %d/%d/%d, want 800/100/100", len(train), len(val), len(test))
+	}
+	// Split must not lose or duplicate samples (check by total count and a
+	// checksum of labels).
+	sum := 0
+	for _, s := range samples {
+		sum += s.Label
+	}
+	sum2 := 0
+	for _, s := range append(append(append([]Sample{}, train...), val...), test...) {
+		sum2 += s.Label
+	}
+	if sum != sum2 {
+		t.Fatal("split lost samples")
+	}
+}
+
+func TestMeanLevelError(t *testing.T) {
+	samples := synthSamples(300, 31)
+	train, val, test := Split(samples, 1)
+	net := NewTwoStageNet(4, 3, []int{16}, []int{16}, 3, 5)
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 20
+	Train(net, train, val, cfg)
+	if mle := MeanLevelError(net, test); mle > 0.5 {
+		t.Fatalf("mean level error = %.2f, want small on separable data", mle)
+	}
+	if MeanLevelError(net, nil) != 0 {
+		t.Fatal("empty MLE must be 0")
+	}
+}
+
+func TestFacetScaler(t *testing.T) {
+	samples := synthSamples(100, 41)
+	fs := FitFacetScaler(samples)
+	scaled := fs.Apply(samples)
+	if len(scaled) != len(samples) {
+		t.Fatal("Apply changed sample count")
+	}
+	// Mean of each structural column must be ~0.
+	for j := 0; j < len(scaled[0].Structural); j++ {
+		sum := 0.0
+		for _, s := range scaled {
+			sum += s.Structural[j]
+		}
+		if m := sum / float64(len(scaled)); math.Abs(m) > 1e-9 {
+			t.Fatalf("structural col %d mean = %g", j, m)
+		}
+	}
+	// Original samples untouched.
+	if samples[0].Structural[0] == scaled[0].Structural[0] &&
+		samples[1].Structural[0] == scaled[1].Structural[0] {
+		t.Fatal("scaling appears to be a no-op (or mutated input)")
+	}
+}
+
+func TestNewTwoStageNetValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for bad dims")
+		}
+	}()
+	NewTwoStageNet(0, 2, []int{4}, nil, 3, 1)
+}
+
+func TestForwardDimMismatchPanics(t *testing.T) {
+	net := NewTwoStageNet(3, 2, []int{4}, nil, 2, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	net.Forward([]float64{1}, []float64{1, 2})
+}
+
+func TestNumParams(t *testing.T) {
+	net := NewTwoStageNet(3, 2, []int{4}, []int{5}, 2, 1)
+	// front: 3*4+4 = 16; back: (4+2)*5+5 = 35; head: 5*2+2 = 12.
+	if got := net.NumParams(); got != 16+35+12 {
+		t.Fatalf("NumParams = %d, want 63", got)
+	}
+}
+
+func TestAccuracyEmpty(t *testing.T) {
+	net := NewTwoStageNet(2, 0, []int{3}, nil, 2, 1)
+	if Accuracy(net, nil) != 0 {
+		t.Fatal("empty accuracy must be 0")
+	}
+	// Zero-dim stats facet must work (plain MLP degradation).
+	if p := net.Forward([]float64{1, 2}, nil); len(p) != 2 {
+		t.Fatal("zero-stats forward broken")
+	}
+}

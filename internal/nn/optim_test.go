@@ -1,0 +1,117 @@
+package nn
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSGDTrainsSeparable(t *testing.T) {
+	samples := synthSamples(600, 13)
+	train, val, test := Split(samples, 1)
+	net := NewTwoStageNet(4, 3, []int{16}, []int{16}, 3, 5)
+	cfg := DefaultTrainConfig()
+	cfg.Optimizer = OptSGD
+	cfg.LR = 0.05
+	cfg.Epochs = 40
+	Train(net, train, val, cfg)
+	if acc := Accuracy(net, test); acc < 0.9 {
+		t.Fatalf("SGD accuracy = %.3f", acc)
+	}
+}
+
+func TestSGDDefaultMomentum(t *testing.T) {
+	// A zero Momentum with OptSGD must default to 0.9 (the config is passed
+	// by value, so the caller's struct stays untouched — verify behaviour by
+	// convergence, not state).
+	samples := synthSamples(300, 23)
+	train, val, _ := Split(samples, 1)
+	net := NewTwoStageNet(4, 3, []int{8}, nil, 3, 5)
+	cfg := TrainConfig{Epochs: 20, BatchSize: 32, LR: 0.05, Seed: 1, Optimizer: OptSGD}
+	h := Train(net, train, val, cfg)
+	if h.TrainLoss[len(h.TrainLoss)-1] >= h.TrainLoss[0] {
+		t.Fatal("SGD with default momentum failed to reduce loss")
+	}
+}
+
+func TestWeightDecayShrinksNorms(t *testing.T) {
+	samples := synthSamples(300, 33)
+	train, val, _ := Split(samples, 1)
+
+	runWith := func(wd float64) float64 {
+		net := NewTwoStageNet(4, 3, []int{16}, []int{16}, 3, 5)
+		cfg := DefaultTrainConfig()
+		cfg.Epochs = 30
+		cfg.WeightDecay = wd
+		cfg.Patience = 0
+		Train(net, train, val, cfg)
+		total := 0.0
+		for _, l := range net.layers() {
+			total += l.WeightNorm()
+		}
+		return total
+	}
+	plain := runWith(0)
+	decayed := runWith(0.05)
+	if decayed >= plain {
+		t.Fatalf("weight decay did not shrink norms: %.3f vs %.3f", decayed, plain)
+	}
+}
+
+func TestLRSchedules(t *testing.T) {
+	cfg := TrainConfig{Epochs: 100, LR: 1.0}
+
+	cfg.Schedule = SchedConst
+	if cfg.lrAt(0) != 1 || cfg.lrAt(99) != 1 {
+		t.Fatal("const schedule must hold LR")
+	}
+
+	cfg.Schedule = SchedCosine
+	if cfg.lrAt(0) != 1 {
+		t.Fatalf("cosine start = %v", cfg.lrAt(0))
+	}
+	if last := cfg.lrAt(99); last > 1e-9 {
+		t.Fatalf("cosine end = %v, want ~0", last)
+	}
+	if mid := cfg.lrAt(49); math.Abs(mid-0.5) > 0.05 {
+		t.Fatalf("cosine midpoint = %v, want ~0.5", mid)
+	}
+	// Monotone decreasing.
+	for e := 1; e < 100; e++ {
+		if cfg.lrAt(e) > cfg.lrAt(e-1)+1e-12 {
+			t.Fatal("cosine schedule must decrease")
+		}
+	}
+
+	cfg.Schedule = SchedStep
+	if cfg.lrAt(0) != 1 || cfg.lrAt(59) != 1 {
+		t.Fatal("step schedule early phase wrong")
+	}
+	if cfg.lrAt(60) != 0.1 {
+		t.Fatalf("step at 60%% = %v, want 0.1", cfg.lrAt(60))
+	}
+	if math.Abs(cfg.lrAt(85)-0.01) > 1e-12 {
+		t.Fatalf("step at 85%% = %v, want 0.01", cfg.lrAt(85))
+	}
+}
+
+func TestCosineScheduleTrains(t *testing.T) {
+	samples := synthSamples(400, 43)
+	train, val, test := Split(samples, 1)
+	net := NewTwoStageNet(4, 3, []int{16}, []int{16}, 3, 5)
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 60
+	cfg.Patience = 0
+	cfg.LR = 3e-3
+	cfg.Schedule = SchedCosine
+	Train(net, train, val, cfg)
+	if acc := Accuracy(net, test); acc < 0.85 {
+		t.Fatalf("cosine-scheduled accuracy = %.3f", acc)
+	}
+}
+
+func TestSingleEpochCosineNoNaN(t *testing.T) {
+	cfg := TrainConfig{Epochs: 1, LR: 1, Schedule: SchedCosine}
+	if lr := cfg.lrAt(0); math.IsNaN(lr) || lr != 1 {
+		t.Fatalf("single-epoch cosine = %v", lr)
+	}
+}

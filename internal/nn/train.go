@@ -1,0 +1,226 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"powerlens/internal/tensor"
+)
+
+// Sample is one labeled training example with the two input facets.
+type Sample struct {
+	Structural []float64
+	Stats      []float64
+	Label      int
+}
+
+// Optimizer selects the update rule.
+type Optimizer int
+
+const (
+	// OptAdam is Adam with decoupled weight decay (AdamW); the default.
+	OptAdam Optimizer = iota
+	// OptSGD is SGD with momentum and classic L2 decay.
+	OptSGD
+)
+
+// Schedule selects the learning-rate schedule.
+type Schedule int
+
+const (
+	// SchedConst keeps LR fixed; the default.
+	SchedConst Schedule = iota
+	// SchedCosine anneals LR to zero over Epochs with a half cosine.
+	SchedCosine
+	// SchedStep divides LR by 10 at 60% and 85% of Epochs.
+	SchedStep
+)
+
+// TrainConfig controls the optimizer loop.
+type TrainConfig struct {
+	Epochs    int
+	BatchSize int
+	LR        float64
+	Seed      int64
+	Patience  int // early-stop after this many epochs without val improvement (0 = off)
+
+	Optimizer   Optimizer
+	Momentum    float64 // SGD momentum (default 0.9 when 0 and OptSGD)
+	WeightDecay float64
+	Schedule    Schedule
+}
+
+// DefaultTrainConfig matches the scale of the paper's models.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{Epochs: 60, BatchSize: 32, LR: 1e-3, Seed: 1, Patience: 10}
+}
+
+// lrAt returns the scheduled learning rate for a 0-based epoch.
+func (cfg TrainConfig) lrAt(epoch int) float64 {
+	switch cfg.Schedule {
+	case SchedCosine:
+		if cfg.Epochs <= 1 {
+			return cfg.LR
+		}
+		return cfg.LR * 0.5 * (1 + math.Cos(math.Pi*float64(epoch)/float64(cfg.Epochs-1)))
+	case SchedStep:
+		lr := cfg.LR
+		if epoch >= cfg.Epochs*60/100 {
+			lr /= 10
+		}
+		if epoch >= cfg.Epochs*85/100 {
+			lr /= 10
+		}
+		return lr
+	default:
+		return cfg.LR
+	}
+}
+
+// History records per-epoch training progress.
+type History struct {
+	TrainLoss []float64
+	ValAcc    []float64
+	BestEpoch int
+}
+
+// Train runs minibatch Adam over train, tracking accuracy on val. It returns
+// the history; the network is left with its final weights.
+func Train(n *TwoStageNet, train, val []Sample, cfg TrainConfig) History {
+	if cfg.Optimizer == OptSGD && cfg.Momentum == 0 {
+		cfg.Momentum = 0.9
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	idx := make([]int, len(train))
+	for i := range idx {
+		idx[i] = i
+	}
+	h := History{BestEpoch: -1}
+	bestVal := -1.0
+	stepNum := 0
+	sinceBest := 0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		totalLoss := 0.0
+		for start := 0; start < len(idx); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			for _, i := range idx[start:end] {
+				s := train[i]
+				totalLoss += n.backward(s.Structural, s.Stats, s.Label)
+			}
+			stepNum++
+			n.step(cfg, cfg.lrAt(epoch), end-start, stepNum)
+		}
+		h.TrainLoss = append(h.TrainLoss, totalLoss/float64(len(train)))
+
+		va := Accuracy(n, val)
+		h.ValAcc = append(h.ValAcc, va)
+		if va > bestVal {
+			bestVal = va
+			h.BestEpoch = epoch
+			sinceBest = 0
+		} else {
+			sinceBest++
+			if cfg.Patience > 0 && sinceBest >= cfg.Patience {
+				break
+			}
+		}
+	}
+	return h
+}
+
+// Accuracy returns the top-1 accuracy of n on samples (0 for empty input).
+func Accuracy(n *TwoStageNet, samples []Sample) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, s := range samples {
+		if n.Predict(s.Structural, s.Stats) == s.Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(samples))
+}
+
+// MeanLevelError returns the mean absolute class distance between
+// predictions and labels — the paper's observation that decision-model
+// misses land "only one or two levels away" from the optimum.
+func MeanLevelError(n *TwoStageNet, samples []Sample) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, s := range samples {
+		d := n.Predict(s.Structural, s.Stats) - s.Label
+		if d < 0 {
+			d = -d
+		}
+		total += float64(d)
+	}
+	return total / float64(len(samples))
+}
+
+// Split shuffles samples (seeded) and splits them into train/val/test with
+// the paper's 80/10/10 ratio.
+func Split(samples []Sample, seed int64) (train, val, test []Sample) {
+	rng := rand.New(rand.NewSource(seed))
+	shuffled := make([]Sample, len(samples))
+	copy(shuffled, samples)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	n := len(shuffled)
+	nTrain := n * 8 / 10
+	nVal := n / 10
+	return shuffled[:nTrain], shuffled[nTrain : nTrain+nVal], shuffled[nTrain+nVal:]
+}
+
+// FacetScaler standardizes both facets of a sample set; it is fitted on
+// training data and applied at deployment (stored alongside the model).
+type FacetScaler struct {
+	Structural *tensor.ZScoreScaler
+	Stats      *tensor.ZScoreScaler
+}
+
+// FitFacetScaler learns per-facet standardization from samples.
+func FitFacetScaler(samples []Sample) *FacetScaler {
+	sRows := make([][]float64, len(samples))
+	tRows := make([][]float64, len(samples))
+	for i, s := range samples {
+		sRows[i] = s.Structural
+		tRows[i] = s.Stats
+	}
+	return &FacetScaler{
+		Structural: tensor.FitZScore(tensor.FromRows(sRows)),
+		Stats:      tensor.FitZScore(tensor.FromRows(tRows)),
+	}
+}
+
+// Apply returns a standardized copy of the samples.
+func (fs *FacetScaler) Apply(samples []Sample) []Sample {
+	out := make([]Sample, len(samples))
+	for i, s := range samples {
+		out[i] = Sample{
+			Structural: fs.ApplyStructural(s.Structural),
+			Stats:      fs.ApplyStats(s.Stats),
+			Label:      s.Label,
+		}
+	}
+	return out
+}
+
+// ApplyStructural standardizes one structural vector (copy).
+func (fs *FacetScaler) ApplyStructural(v []float64) []float64 {
+	c := append([]float64(nil), v...)
+	fs.Structural.TransformRow(c)
+	return c
+}
+
+// ApplyStats standardizes one stats vector (copy).
+func (fs *FacetScaler) ApplyStats(v []float64) []float64 {
+	c := append([]float64(nil), v...)
+	fs.Stats.TransformRow(c)
+	return c
+}

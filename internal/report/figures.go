@@ -1,0 +1,139 @@
+package report
+
+import (
+	"fmt"
+
+	"powerlens/internal/experiments"
+)
+
+// Fig1SVG renders the Figure 1 frequency traces: GPU frequency (MHz) over
+// time per method, one colored line each — the reactive governors' ramps,
+// dithering and idle dips against PowerLens's preset steps.
+func Fig1SVG(traces []experiments.Fig1Trace) string {
+	const w, h = 720, 300
+	const mL, mR, mT, mB = 60, 120, 20, 40
+	c := newCanvas(w, h)
+	c.rect(0, 0, w, h, "#ffffff")
+
+	// Bounds.
+	var maxT, maxF float64
+	for _, tr := range traces {
+		for _, s := range tr.Samples {
+			if t := s.At.Seconds(); t > maxT {
+				maxT = t
+			}
+			if f := s.FreqHz / 1e6; f > maxF {
+				maxF = f
+			}
+		}
+	}
+	if maxT == 0 || maxF == 0 {
+		return c.String()
+	}
+	plotW, plotH := float64(w-mL-mR), float64(h-mT-mB)
+	xOf := func(t float64) float64 { return mL + t/maxT*plotW }
+	yOf := func(f float64) float64 { return mT + (1-f/maxF)*plotH }
+
+	// Axes.
+	c.line(mL, mT, mL, float64(h-mB), "#333333", 1)
+	c.line(mL, float64(h-mB), float64(w-mR), float64(h-mB), "#333333", 1)
+	c.text(mL-8, mT+8, 10, "end", fmt.Sprintf("%.0f MHz", maxF))
+	c.text(mL-8, float64(h-mB), 10, "end", "0")
+	c.text(float64(w-mR), float64(h-mB+16), 10, "end", fmt.Sprintf("%.1f s", maxT))
+	c.text(mL, float64(h-mB+16), 10, "start", "0")
+
+	// Traces.
+	for ti, tr := range traces {
+		pts := make([]struct{ X, Y float64 }, 0, len(tr.Samples))
+		for _, s := range tr.Samples {
+			pts = append(pts, struct{ X, Y float64 }{xOf(s.At.Seconds()), yOf(s.FreqHz / 1e6)})
+		}
+		c.polyline(pts, colorOf(tr.Method), 1.5)
+		// Legend.
+		ly := float64(mT + 14 + 16*ti)
+		c.line(float64(w-mR+8), ly-4, float64(w-mR+28), ly-4, colorOf(tr.Method), 3)
+		c.text(float64(w-mR+34), ly, 11, "start", tr.Method)
+	}
+	return c.String()
+}
+
+// Fig5SVG renders the Figure 5 bar groups: per-method energy, time and EE
+// normalized to the worst method in each metric (so all bars share a scale).
+func Fig5SVG(platform string, results []experiments.Fig5Result) string {
+	const w, h = 720, 280
+	const mL, mB, mT = 60, 50, 30
+	c := newCanvas(w, h)
+	c.rect(0, 0, w, h, "#ffffff")
+	c.text(w/2, 18, 13, "middle", "Task flow on "+platform+" (normalized, lower energy/time and higher EE are better)")
+	if len(results) == 0 {
+		return c.String()
+	}
+
+	metrics := []struct {
+		name string
+		of   func(experiments.Fig5Result) float64
+	}{
+		{"energy", func(r experiments.Fig5Result) float64 { return r.EnergyJ }},
+		{"time", func(r experiments.Fig5Result) float64 { return r.Time.Seconds() }},
+		{"EE", func(r experiments.Fig5Result) float64 { return r.EE }},
+	}
+	groupW := float64(w-mL-40) / float64(len(metrics))
+	barW := (groupW - 30) / float64(len(results))
+	plotH := float64(h - mB - mT)
+
+	for mi, m := range metrics {
+		maxV := 0.0
+		for _, r := range results {
+			if v := m.of(r); v > maxV {
+				maxV = v
+			}
+		}
+		if maxV == 0 {
+			continue
+		}
+		gx := float64(mL) + groupW*float64(mi)
+		for ri, r := range results {
+			v := m.of(r) / maxV
+			bh := v * plotH
+			x := gx + barW*float64(ri)
+			y := float64(mT) + plotH - bh
+			c.rect(x, y, barW-3, bh, colorOf(r.Method))
+		}
+		c.text(gx+groupW/2-15, float64(h-mB+18), 12, "middle", m.name)
+	}
+	// Legend.
+	lx := float64(mL)
+	for _, r := range results {
+		c.rect(lx, float64(h-22), 10, 10, colorOf(r.Method))
+		c.text(lx+14, float64(h-13), 11, "start", r.Method)
+		lx += 14 + 8*float64(len(r.Method)) + 18
+	}
+	return c.String()
+}
+
+// ThermalSVG renders the thermal study: peak temperatures against the trip
+// point.
+func ThermalSVG(platform string, rows []experiments.ThermalRow, trip float64) string {
+	const w, h = 480, 220
+	const mL, mB, mT = 60, 40, 30
+	c := newCanvas(w, h)
+	c.rect(0, 0, w, h, "#ffffff")
+	c.text(w/2, 18, 13, "middle", "Sustained-load peak temperature on "+platform)
+	if len(rows) == 0 {
+		return c.String()
+	}
+	maxV := trip * 1.15
+	plotH := float64(h - mB - mT)
+	barW := float64(w-mL-40) / float64(len(rows))
+	yOf := func(v float64) float64 { return float64(mT) + (1-v/maxV)*plotH }
+	for i, r := range rows {
+		x := float64(mL) + barW*float64(i)
+		c.rect(x, yOf(r.PeakTempC), barW-12, float64(h-mB)-yOf(r.PeakTempC), colorOf(r.Method))
+		c.text(x+barW/2-6, float64(h-mB+16), 11, "middle", r.Method)
+		c.text(x+barW/2-6, yOf(r.PeakTempC)-4, 10, "middle", fmt.Sprintf("%.0f°C", r.PeakTempC))
+	}
+	// Trip line.
+	c.line(mL, yOf(trip), float64(w-20), yOf(trip), "#b2182b", 1)
+	c.text(float64(w-20), yOf(trip)-4, 10, "end", fmt.Sprintf("throttle %.0f°C", trip))
+	return c.String()
+}

@@ -1,0 +1,128 @@
+package report
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+	"time"
+
+	"powerlens/internal/experiments"
+	"powerlens/internal/hw"
+)
+
+// wellFormed checks a fragment parses as XML (SVG is XML).
+func wellFormed(t *testing.T, s string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(s))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG not well-formed: %v\n%s", err, s)
+		}
+	}
+}
+
+func sampleTraces() []experiments.Fig1Trace {
+	traces := []experiments.Fig1Trace{}
+	for _, m := range []string{"FPG-G", "BiM", "PowerLens"} {
+		tr := experiments.Fig1Trace{Method: m}
+		for i := 0; i < 20; i++ {
+			tr.Samples = append(tr.Samples, hw.PowerSample{
+				At:     time.Duration(i) * 100 * time.Millisecond,
+				PowerW: 5,
+				FreqHz: float64(500+i*10) * 1e6,
+			})
+		}
+		traces = append(traces, tr)
+	}
+	return traces
+}
+
+func TestFig1SVG(t *testing.T) {
+	svg := Fig1SVG(sampleTraces())
+	wellFormed(t, svg)
+	for _, want := range []string{"polyline", "PowerLens", "FPG-G", "MHz"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestFig1SVGEmpty(t *testing.T) {
+	wellFormed(t, Fig1SVG(nil))
+}
+
+func TestFig5SVG(t *testing.T) {
+	results := []experiments.Fig5Result{
+		{Method: "PowerLens", EnergyJ: 100, Time: 10 * time.Second, EE: 2},
+		{Method: "BiM", EnergyJ: 200, Time: 8 * time.Second, EE: 1},
+	}
+	svg := Fig5SVG("TX2", results)
+	wellFormed(t, svg)
+	for _, want := range []string{"rect", "energy", "EE", "PowerLens", "BiM"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	wellFormed(t, Fig5SVG("TX2", nil))
+}
+
+func TestThermalSVG(t *testing.T) {
+	rows := []experiments.ThermalRow{
+		{Method: "PowerLens", PeakTempC: 55},
+		{Method: "BiM", PeakTempC: 85},
+	}
+	svg := ThermalSVG("TX2", rows, 85)
+	wellFormed(t, svg)
+	if !strings.Contains(svg, "throttle 85") {
+		t.Fatal("trip line missing")
+	}
+	wellFormed(t, ThermalSVG("TX2", nil, 85))
+}
+
+func TestWriteHTML(t *testing.T) {
+	d := &Data{
+		Networks: 42,
+		Reports:  map[string]string{"TX2": "hyper 95%"},
+		Table1: map[string][]experiments.Table1Row{
+			"TX2": {{Model: "resnet152", Blocks: 1, GainBiM: 0.8}},
+		},
+		Fig1: sampleTraces(),
+		Fig5: map[string][]experiments.Fig5Result{
+			"TX2": {{Method: "PowerLens", EnergyJ: 1, Time: time.Second, EE: 1}},
+		},
+	}
+	var sb strings.Builder
+	if err := WriteHTML(&sb, d); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"<!DOCTYPE html>", "PowerLens reproduction report",
+		"Table 1 — TX2", "resnet152", "Figure 1", "svg", "42 random networks"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("HTML missing %q", want)
+		}
+	}
+	// Sections with no data must be omitted.
+	if strings.Contains(out, "Table 3") {
+		t.Fatal("empty Table 3 section rendered")
+	}
+}
+
+func TestEscape(t *testing.T) {
+	if escape(`a<b>&"c"`) != "a&lt;b&gt;&amp;&quot;c&quot;" {
+		t.Fatalf("escape = %q", escape(`a<b>&"c"`))
+	}
+}
+
+func TestColorOf(t *testing.T) {
+	if colorOf("PowerLens") == colorOf("BiM") {
+		t.Fatal("methods must have distinct colors")
+	}
+	if colorOf("unknown-governor") == "" {
+		t.Fatal("unknown methods need a fallback color")
+	}
+}

@@ -1,0 +1,78 @@
+// Package report renders the experiment results as a self-contained HTML
+// report with inline SVG figures — the repository's equivalent of the
+// paper's Figure 1 (frequency traces) and Figure 5 (task-flow bars),
+// regenerated from simulation. Everything is stdlib string assembly; tests
+// validate the SVG with encoding/xml.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// svgCanvas accumulates SVG elements with a fixed viewport.
+type svgCanvas struct {
+	w, h int
+	b    strings.Builder
+}
+
+func newCanvas(w, h int) *svgCanvas {
+	c := &svgCanvas{w: w, h: h}
+	fmt.Fprintf(&c.b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif">`, w, h, w, h)
+	c.b.WriteByte('\n')
+	return c
+}
+
+func (c *svgCanvas) rect(x, y, w, h float64, fill string) {
+	fmt.Fprintf(&c.b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`, x, y, w, h, fill)
+	c.b.WriteByte('\n')
+}
+
+func (c *svgCanvas) line(x1, y1, x2, y2 float64, stroke string, width float64) {
+	fmt.Fprintf(&c.b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="%.1f"/>`, x1, y1, x2, y2, stroke, width)
+	c.b.WriteByte('\n')
+}
+
+func (c *svgCanvas) polyline(points [](struct{ X, Y float64 }), stroke string, width float64) {
+	var pts strings.Builder
+	for i, p := range points {
+		if i > 0 {
+			pts.WriteByte(' ')
+		}
+		fmt.Fprintf(&pts, "%.1f,%.1f", p.X, p.Y)
+	}
+	fmt.Fprintf(&c.b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="%.1f"/>`, pts.String(), stroke, width)
+	c.b.WriteByte('\n')
+}
+
+func (c *svgCanvas) text(x, y float64, size int, anchor, s string) {
+	fmt.Fprintf(&c.b, `<text x="%.1f" y="%.1f" font-size="%d" text-anchor="%s">%s</text>`, x, y, size, anchor, escape(s))
+	c.b.WriteByte('\n')
+}
+
+func (c *svgCanvas) String() string {
+	return c.b.String() + "</svg>\n"
+}
+
+// escape sanitizes text nodes.
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// palette provides consistent per-method colors.
+var palette = map[string]string{
+	"PowerLens":    "#2166ac",
+	"PowerLens-CG": "#4393c3",
+	"FPG-G":        "#d6604d",
+	"FPG-CG":       "#f4a582",
+	"BiM":          "#b2182b",
+	"zTT":          "#5aae61",
+}
+
+func colorOf(method string) string {
+	if c, ok := palette[method]; ok {
+		return c
+	}
+	return "#888888"
+}

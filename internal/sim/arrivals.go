@@ -1,0 +1,51 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Task-arrival processes for task-flow experiments. The paper's §3.2.2 flow
+// uses back-to-back tasks; real edge deployments see bursty arrivals, which
+// is where reactive governors pay their idle-then-lag penalty most.
+
+// PoissonArrivals draws n inter-arrival gaps from an exponential
+// distribution with the given mean (a Poisson arrival process), seeded for
+// reproducibility. The first gap applies before the second task (the flow
+// starts immediately).
+func PoissonArrivals(n int, mean time.Duration, seed int64) []time.Duration {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]time.Duration, n)
+	for i := range out {
+		out[i] = time.Duration(rng.ExpFloat64() * float64(mean))
+	}
+	return out
+}
+
+// RunTaskFlowArrivals simulates tasks with per-task idle gaps (gaps[i]
+// precedes tasks[i+1]; len(gaps) >= len(tasks)-1). Each task still waits for
+// the previous one to finish — gaps model think-time between submissions,
+// not a concurrent queue.
+func (e *Executor) RunTaskFlowArrivals(tasks []Task, gaps []time.Duration) Result {
+	e.reset()
+	for i, t := range tasks {
+		if i > 0 && i-1 < len(gaps) && gaps[i-1] > 0 {
+			e.idle(gaps[i-1])
+		}
+		e.runImages(t.Graph, t.Images)
+	}
+	return e.result()
+}
+
+// MeanGap returns the mean of a gap slice (0 for empty).
+func MeanGap(gaps []time.Duration) time.Duration {
+	if len(gaps) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, g := range gaps {
+		sum += g.Seconds()
+	}
+	return time.Duration(math.Round(sum / float64(len(gaps)) * 1e9))
+}

@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"powerlens/internal/hw"
+	"powerlens/internal/models"
+)
+
+func TestPoissonArrivalsStatistics(t *testing.T) {
+	mean := 200 * time.Millisecond
+	gaps := PoissonArrivals(5000, mean, 42)
+	if len(gaps) != 5000 {
+		t.Fatalf("n = %d", len(gaps))
+	}
+	got := MeanGap(gaps)
+	if math.Abs(got.Seconds()-mean.Seconds()) > 0.05*mean.Seconds() {
+		t.Fatalf("sample mean %v too far from %v", got, mean)
+	}
+	for _, g := range gaps {
+		if g < 0 {
+			t.Fatal("negative gap")
+		}
+	}
+}
+
+func TestPoissonArrivalsDeterministic(t *testing.T) {
+	a := PoissonArrivals(10, time.Second, 7)
+	b := PoissonArrivals(10, time.Second, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must reproduce the same gaps")
+		}
+	}
+	c := PoissonArrivals(10, time.Second, 8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestRunTaskFlowArrivals(t *testing.T) {
+	p := hw.TX2()
+	g := models.AlexNet()
+	tasks := []Task{{g, 2}, {g, 2}, {g, 2}}
+	gaps := []time.Duration{100 * time.Millisecond, 50 * time.Millisecond}
+
+	r := NewExecutor(p, &fixedCtl{level: 6}).RunTaskFlowArrivals(tasks, gaps)
+	noGaps := NewExecutor(p, &fixedCtl{level: 6}).RunTaskFlowArrivals(tasks, nil)
+
+	if r.Images != 6 || noGaps.Images != 6 {
+		t.Fatalf("images: %d / %d", r.Images, noGaps.Images)
+	}
+	wantDelta := 150 * time.Millisecond
+	gotDelta := r.Time - noGaps.Time
+	if gotDelta < wantDelta-time.Millisecond || gotDelta > wantDelta+time.Millisecond {
+		t.Fatalf("gap time delta = %v, want ~%v", gotDelta, wantDelta)
+	}
+}
+
+func TestMeanGapEmpty(t *testing.T) {
+	if MeanGap(nil) != 0 {
+		t.Fatal("empty mean must be 0")
+	}
+}
+
+func TestBurstyArrivalsPenalizeReactiveLess(t *testing.T) {
+	// Sanity: with long idle gaps, a fixed mid-level controller's total
+	// energy grows with gap time (idle power), holding images constant.
+	p := hw.TX2()
+	g := models.AlexNet()
+	tasks := []Task{{g, 3}, {g, 3}}
+	short := NewExecutor(p, &fixedCtl{level: 6}).RunTaskFlowArrivals(tasks, []time.Duration{10 * time.Millisecond})
+	long := NewExecutor(p, &fixedCtl{level: 6}).RunTaskFlowArrivals(tasks, []time.Duration{time.Second})
+	if long.EnergyJ <= short.EnergyJ {
+		t.Fatal("longer idle must cost more energy")
+	}
+	if long.EE() >= short.EE() {
+		t.Fatal("longer idle must hurt EE")
+	}
+}

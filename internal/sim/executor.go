@@ -1,0 +1,348 @@
+// Package sim executes DNN operator graphs on a simulated hw.Platform under
+// a pluggable DVFS controller, integrating time and energy exactly. It is
+// the substrate all experiments run on: the reactive baselines observe
+// windowed utilization samples (the "historical information" the paper
+// criticizes), while PowerLens applies preset per-block frequencies at its
+// instrumentation points.
+package sim
+
+import (
+	"time"
+
+	"powerlens/internal/graph"
+	"powerlens/internal/hw"
+)
+
+// WindowStats summarizes one governor sampling window — the hardware state /
+// historical information a reactive DVFS method sees.
+type WindowStats struct {
+	Period       time.Duration
+	GPUBusy      float64 // fraction of the window the GPU executed kernels
+	CPUBusy      float64 // fraction of the window the host CPU was busy
+	AvgComputeUt float64 // mean ALU-bound fraction while the GPU was busy
+	AvgPowerW    float64 // mean rail power over the window
+	GPULevel     int
+	CPULevel     int
+}
+
+// Controller is a DVFS policy. The executor consults GPULevel/CPULevel after
+// every hook and pays a switch cost whenever the GPU level changes.
+//
+// Reactive governors act in OnWindow; PowerLens acts in BeforeLayer (its
+// preset instrumentation points); Reset is called at the start of each run.
+type Controller interface {
+	Name() string
+	Reset(p *hw.Platform)
+	GPULevel() int
+	CPULevel() int
+	BeforeLayer(g *graph.Graph, layerID int)
+	OnWindow(s WindowStats)
+}
+
+// Result aggregates a simulated run.
+type Result struct {
+	Controller string
+	Platform   string
+	Images     int
+	Time       time.Duration
+	EnergyJ    float64
+	Switches   int
+	Samples    []hw.PowerSample
+
+	// Thermal results (zero unless Executor.Thermal was set).
+	PeakTempC     float64
+	ThrottledTime time.Duration
+}
+
+// AvgPowerW returns the run's mean power P̄.
+func (r Result) AvgPowerW() float64 {
+	if r.Time <= 0 {
+		return 0
+	}
+	return r.EnergyJ / r.Time.Seconds()
+}
+
+// EE returns the paper's energy-efficiency metric (eq. 1): images per joule.
+func (r Result) EE() float64 {
+	if r.EnergyJ <= 0 {
+		return 0
+	}
+	return float64(r.Images) / r.EnergyJ
+}
+
+// FPS returns inference throughput in images per second.
+func (r Result) FPS() float64 {
+	if r.Time <= 0 {
+		return 0
+	}
+	return float64(r.Images) / r.Time.Seconds()
+}
+
+// Task is one inference job: a model processing a number of images.
+type Task struct {
+	Graph  *graph.Graph
+	Images int
+}
+
+// Executor drives tasks through a platform under a controller.
+type Executor struct {
+	Platform *hw.Platform
+	Ctl      Controller
+
+	// WindowPeriod is the reactive-governor sampling period (default 50 ms,
+	// a typical devfreq polling interval).
+	WindowPeriod time.Duration
+	// SensorPeriod is the tegrastats-style trace sampling period (default
+	// 10 ms). Traces are optional; energy integration is always exact.
+	SensorPeriod time.Duration
+	// Batch is the inference batch size (default 1). Batching multiplies
+	// arithmetic and activation traffic per pass while weight traffic
+	// amortizes — the §5 batching extension.
+	Batch int
+	// Thermal, when non-nil, enables the opt-in thermal model: junction
+	// temperature is integrated alongside energy and a throttle latch caps
+	// the applied GPU level while hot (MAXN-style throttling).
+	Thermal *hw.ThermalModel
+
+	thermal *hw.ThermalState
+
+	sensor *hw.PowerSensor
+
+	// Window accumulation state.
+	winElapsed time.Duration
+	winGPUBusy time.Duration
+	winCPUBusy time.Duration
+	winCompute float64 // compute-utilization × busy-seconds
+	winEnergy  float64
+
+	gpuLevel int
+	switches int
+	images   int
+}
+
+// NewExecutor returns an executor with default periods.
+func NewExecutor(p *hw.Platform, ctl Controller) *Executor {
+	return &Executor{
+		Platform:     p,
+		Ctl:          ctl,
+		WindowPeriod: 50 * time.Millisecond,
+		SensorPeriod: 10 * time.Millisecond,
+	}
+}
+
+// reset prepares run state.
+func (e *Executor) reset() {
+	e.sensor = hw.NewPowerSensor(e.SensorPeriod)
+	e.Ctl.Reset(e.Platform)
+	e.gpuLevel = e.Platform.ClampGPULevel(e.Ctl.GPULevel())
+	e.switches = 0
+	e.images = 0
+	e.winElapsed, e.winGPUBusy, e.winCPUBusy = 0, 0, 0
+	e.winCompute, e.winEnergy = 0, 0
+	e.thermal = nil
+	if e.Thermal != nil {
+		e.thermal = hw.NewThermalState(e.Thermal)
+	}
+}
+
+// advance accounts an interval with given power, busy flags, and compute
+// utilization, ticking governor windows as they fill.
+func (e *Executor) advance(d time.Duration, powerW float64, gpuBusy, cpuBusy bool, computeUt float64) {
+	for d > 0 {
+		room := e.WindowPeriod - e.winElapsed
+		step := d
+		if step > room {
+			step = room
+		}
+		f := e.Platform.GPUFreqsHz[e.gpuLevel]
+		e.sensor.Advance(step, powerW, f)
+		if e.thermal != nil {
+			e.thermal.Advance(step, powerW)
+		}
+		e.winElapsed += step
+		if gpuBusy {
+			e.winGPUBusy += step
+			e.winCompute += computeUt * step.Seconds()
+		}
+		if cpuBusy {
+			e.winCPUBusy += step
+		}
+		e.winEnergy += powerW * step.Seconds()
+		d -= step
+		if e.winElapsed >= e.WindowPeriod {
+			e.tickWindow()
+		}
+	}
+}
+
+// tickWindow delivers a completed window to the controller and applies any
+// requested frequency change.
+func (e *Executor) tickWindow() {
+	period := e.winElapsed
+	stats := WindowStats{
+		Period:   period,
+		GPULevel: e.gpuLevel,
+		CPULevel: e.Ctl.CPULevel(),
+	}
+	if s := period.Seconds(); s > 0 {
+		stats.GPUBusy = e.winGPUBusy.Seconds() / s
+		stats.CPUBusy = e.winCPUBusy.Seconds() / s
+		stats.AvgPowerW = e.winEnergy / s
+	}
+	if b := e.winGPUBusy.Seconds(); b > 0 {
+		stats.AvgComputeUt = e.winCompute / b
+	}
+	e.winElapsed, e.winGPUBusy, e.winCPUBusy = 0, 0, 0
+	e.winCompute, e.winEnergy = 0, 0
+
+	e.Ctl.OnWindow(stats)
+	e.applyLevel()
+}
+
+// applyLevel pays the switch cost if the controller's desired level differs
+// from the currently applied one. With the thermal model enabled, the
+// throttle latch caps the applied level regardless of the controller.
+func (e *Executor) applyLevel() {
+	want := e.Platform.ClampGPULevel(e.Ctl.GPULevel())
+	if e.thermal != nil {
+		want = e.thermal.CapLevel(want)
+	}
+	if want == e.gpuLevel {
+		return
+	}
+	// During the transition the pipeline stalls at roughly idle power of the
+	// departing frequency.
+	d, energy := e.Platform.SwitchCost(e.Platform.GPUFreqsHz[e.gpuLevel])
+	power := energy / d.Seconds()
+	e.gpuLevel = want
+	e.switches++
+	e.advance(d, power, false, false, 0)
+}
+
+// runImage simulates one inference pass (Batch images). Host pre-processing
+// of the next pass is pipelined with the GPU pass (the standard
+// double-buffered inference loop), so the CPU rail burns energy concurrently
+// and only extends wall time when the host becomes the bottleneck. This is
+// what lets FPG-C+G save energy by down-scaling an underutilized CPU.
+func (e *Executor) runImage(g *graph.Graph) {
+	p := e.Platform
+	batch := e.Batch
+	if batch < 1 {
+		batch = 1
+	}
+
+	cpuLevel := clampCPU(p, e.Ctl.CPULevel())
+	fcpu := p.CPUFreqsHz[cpuLevel]
+	cpuT, cpuE := p.CPUImageCost(fcpu)
+	cpuT *= time.Duration(batch)
+	cpuE *= float64(batch)
+	cpuPower := 0.0
+	if cpuT > 0 {
+		cpuPower = cpuE / cpuT.Seconds()
+	}
+	cpuRemaining := cpuT
+
+	// GPU pass, layer by layer, with the host rail active for the first
+	// cpuRemaining of it.
+	for _, l := range g.Layers {
+		e.Ctl.BeforeLayer(g, l.ID)
+		e.applyLevel()
+		if l.Kind == graph.OpInput {
+			continue
+		}
+		f := p.GPUFreqsHz[e.gpuLevel]
+		flops, bytes := l.BatchCost(batch)
+		c := p.GPUOpCost(flops, bytes, f)
+		overlap := c.Time
+		if overlap > cpuRemaining {
+			overlap = cpuRemaining
+		}
+		if overlap > 0 {
+			e.advance(overlap, c.PowerW+cpuPower, true, true, c.ComputeUt)
+			cpuRemaining -= overlap
+		}
+		if rest := c.Time - overlap; rest > 0 {
+			e.advance(rest, c.PowerW, true, false, c.ComputeUt)
+		}
+	}
+	// Host-bound tail: the GPU waits for pre-processing to finish.
+	if cpuRemaining > 0 {
+		gpuIdleW := p.GPUIdlePower(p.GPUFreqsHz[e.gpuLevel])
+		e.advance(cpuRemaining, gpuIdleW+cpuPower, false, true, 0)
+	}
+	e.images += batch
+}
+
+func clampCPU(p *hw.Platform, level int) int {
+	if level < 0 {
+		return 0
+	}
+	if level >= len(p.CPUFreqsHz) {
+		return len(p.CPUFreqsHz) - 1
+	}
+	return level
+}
+
+// RunTask simulates one task (images × one model) from a cold start. With
+// Batch > 1, images are processed in batched passes (rounding the total up
+// to a batch multiple; Result.Images reports the actual count).
+func (e *Executor) RunTask(g *graph.Graph, images int) Result {
+	e.reset()
+	e.runImages(g, images)
+	return e.result()
+}
+
+// runImages processes at least the given number of images in batched passes.
+func (e *Executor) runImages(g *graph.Graph, images int) {
+	batch := e.Batch
+	if batch < 1 {
+		batch = 1
+	}
+	for done := 0; done < images; done += batch {
+		e.runImage(g)
+	}
+}
+
+// RunTaskFlow simulates a task flow (§3.2.2): tasks back to back with an
+// idle gap between them, during which reactive governors scale down — and
+// then pay their response lag when the next task arrives.
+func (e *Executor) RunTaskFlow(tasks []Task, gap time.Duration) Result {
+	e.reset()
+	for i, t := range tasks {
+		if i > 0 && gap > 0 {
+			e.idle(gap)
+		}
+		e.runImages(t.Graph, t.Images)
+	}
+	return e.result()
+}
+
+// idle advances time with no work queued.
+func (e *Executor) idle(d time.Duration) {
+	for d > 0 {
+		step := e.WindowPeriod - e.winElapsed
+		if step > d {
+			step = d
+		}
+		w := e.Platform.GPUIdlePower(e.Platform.GPUFreqsHz[e.gpuLevel])
+		e.advance(step, w, false, false, 0)
+		d -= step
+	}
+}
+
+func (e *Executor) result() Result {
+	r := Result{
+		Controller: e.Ctl.Name(),
+		Platform:   e.Platform.Name,
+		Images:     e.images,
+		Time:       e.sensor.Now(),
+		EnergyJ:    e.sensor.EnergyJ(),
+		Switches:   e.switches,
+		Samples:    e.sensor.Samples(),
+	}
+	if e.thermal != nil {
+		r.PeakTempC = e.thermal.PeakC
+		r.ThrottledTime = e.thermal.ThrottledTime
+	}
+	return r
+}

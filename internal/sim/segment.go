@@ -1,0 +1,59 @@
+package sim
+
+import (
+	"math"
+	"time"
+
+	"powerlens/internal/graph"
+	"powerlens/internal/hw"
+)
+
+// SegmentCost returns the time and energy of executing the contiguous layer
+// range [startID, endID] of g at a fixed GPU frequency. Because operator
+// costs are independent, this closed form is what the dataset generator
+// sweeps to find each block's oracle frequency, and what the decision stage
+// uses to reason about candidate plans without running the full executor.
+func SegmentCost(p *hw.Platform, g *graph.Graph, startID, endID int, f float64) (time.Duration, float64) {
+	var t time.Duration
+	var e float64
+	for id := startID; id <= endID; id++ {
+		l := g.Layers[id]
+		if l.Kind == graph.OpInput {
+			continue
+		}
+		c := p.GPUOpCost(l.FLOPs(), l.MemBytes(), f)
+		t += c.Time
+		e += c.EnergyJ
+	}
+	return t, e
+}
+
+// PerfWeight is the θ exponent of the per-block target objective E·t^θ.
+// θ=0 minimizes pure energy (equivalently maximizes the paper's EE metric,
+// matching §2.2's oracle: "select test data that achieves the optimal energy
+// efficiency"); θ=1 is the energy-delay product. The default is 0 so block
+// objectives compose consistently — the sum of per-block energy minima is
+// the plan-level energy minimum. BenchmarkAblationPerfWeight explores θ>0,
+// which trades energy for latency on compute-bound blocks (the §2.1.4
+// narrative of raising frequency for computation-intensive blocks).
+const PerfWeight = 0.0
+
+// OptimalSegmentLevel sweeps the whole GPU ladder and returns the level that
+// minimizes the segment's E·t^θ score, along with the per-level energies.
+// This is the oracle of §2.2's dataset generation: "each block in the power
+// view is deployed at all frequencies to select test data that achieves the
+// optimal energy efficiency".
+func OptimalSegmentLevel(p *hw.Platform, g *graph.Graph, startID, endID int) (best int, energies []float64) {
+	energies = make([]float64, p.NumGPULevels())
+	scores := make([]float64, p.NumGPULevels())
+	best = 0
+	for i, f := range p.GPUFreqsHz {
+		t, e := SegmentCost(p, g, startID, endID, f)
+		energies[i] = e
+		scores[i] = e * math.Pow(t.Seconds(), PerfWeight)
+		if scores[i] < scores[best] {
+			best = i
+		}
+	}
+	return best, energies
+}

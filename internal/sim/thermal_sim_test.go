@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"powerlens/internal/hw"
+	"powerlens/internal/models"
+)
+
+// maxCtl pins fmax (a BiM-under-load proxy) for thermal tests.
+type maxCtl struct{ fixedCtl }
+
+func (m *maxCtl) Reset(p *hw.Platform) {
+	m.p = p
+	m.level = p.NumGPULevels() - 1
+}
+
+func TestThermalThrottlingAtFmax(t *testing.T) {
+	p := hw.TX2()
+	g := models.MustBuild("resnet152")
+	e := NewExecutor(p, &maxCtl{})
+	e.Thermal = hw.DefaultThermal(p)
+	// Long sustained run: enough seconds of double-digit watts to trip.
+	r := e.RunTask(g, 600)
+	if r.PeakTempC <= e.Thermal.ThrottleC {
+		t.Fatalf("peak temp %.1f never crossed the trip point %.1f", r.PeakTempC, e.Thermal.ThrottleC)
+	}
+	if r.ThrottledTime == 0 {
+		t.Fatal("sustained fmax must throttle")
+	}
+	// While throttled the applied frequency must be capped.
+	capped := false
+	for _, s := range r.Samples {
+		if s.FreqHz <= p.GPUFreqsHz[e.Thermal.MaxLevelHot] {
+			capped = true
+			break
+		}
+	}
+	if !capped {
+		t.Fatal("no capped-frequency samples despite throttling")
+	}
+}
+
+func TestThermalPowerLensStaysCool(t *testing.T) {
+	p := hw.TX2()
+	g := models.MustBuild("resnet152")
+	// PowerLens-style mid-ladder operation draws far less power.
+	e := NewExecutor(p, &fixedCtl{level: 6})
+	e.Thermal = hw.DefaultThermal(p)
+	r := e.RunTask(g, 600)
+	if r.ThrottledTime != 0 {
+		t.Fatalf("mid-ladder run throttled for %v", r.ThrottledTime)
+	}
+	if r.PeakTempC >= e.Thermal.ThrottleC {
+		t.Fatalf("peak temp %.1f too hot", r.PeakTempC)
+	}
+	if r.PeakTempC <= e.Thermal.AmbientC {
+		t.Fatal("temperature never rose above ambient")
+	}
+}
+
+func TestThermalDisabledByDefault(t *testing.T) {
+	p := hw.TX2()
+	r := NewExecutor(p, &maxCtl{}).RunTask(models.AlexNet(), 5)
+	if r.PeakTempC != 0 || r.ThrottledTime != 0 {
+		t.Fatal("thermal results must be zero when the model is disabled")
+	}
+}
+
+func TestThermalThrottledRunSlowerButCooler(t *testing.T) {
+	p := hw.TX2()
+	g := models.MustBuild("resnet152")
+
+	plain := NewExecutor(p, &maxCtl{})
+	rPlain := plain.RunTask(g, 600)
+
+	hot := NewExecutor(p, &maxCtl{})
+	hot.Thermal = hw.DefaultThermal(p)
+	rHot := hot.RunTask(g, 600)
+
+	// Throttling extends the run but reduces average power.
+	if rHot.Time <= rPlain.Time {
+		t.Fatalf("throttled run %v not slower than unthrottled %v", rHot.Time, rPlain.Time)
+	}
+	if rHot.AvgPowerW() >= rPlain.AvgPowerW() {
+		t.Fatalf("throttled avg power %.2f not below unthrottled %.2f",
+			rHot.AvgPowerW(), rPlain.AvgPowerW())
+	}
+	_ = time.Second
+}

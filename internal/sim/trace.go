@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"powerlens/internal/hw"
+)
+
+// Trace utilities for the Fig. 1-style analyses: CSV export of tegrastats
+// samples and summary statistics quantifying frequency ping-pong and
+// residency.
+
+// WriteTraceCSV writes samples as "time_ms,power_w,freq_mhz" rows with a
+// header. It is the export path behind `cmd/experiments fig1`.
+func WriteTraceCSV(w io.Writer, samples []hw.PowerSample) error {
+	if _, err := fmt.Fprintln(w, "time_ms,power_w,freq_mhz"); err != nil {
+		return err
+	}
+	for _, s := range samples {
+		if _, err := fmt.Fprintf(w, "%.3f,%.4f,%.2f\n",
+			float64(s.At.Nanoseconds())/1e6, s.PowerW, s.FreqHz/1e6); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TraceStats summarizes a frequency trace.
+type TraceStats struct {
+	Samples    int
+	Changes    int           // samples where the frequency differs from the previous one
+	Reversals  int           // direction reversals (the ping-pong count)
+	MeanFreqHz float64       // time-weighted by the uniform sample spacing
+	TimeAtMax  time.Duration // residency at the maximum observed frequency
+	Span       time.Duration
+}
+
+// AnalyzeTrace computes TraceStats over uniformly-sampled samples.
+func AnalyzeTrace(samples []hw.PowerSample, period time.Duration) TraceStats {
+	st := TraceStats{Samples: len(samples)}
+	if len(samples) == 0 {
+		return st
+	}
+	maxF := 0.0
+	for _, s := range samples {
+		if s.FreqHz > maxF {
+			maxF = s.FreqHz
+		}
+		st.MeanFreqHz += s.FreqHz
+	}
+	st.MeanFreqHz /= float64(len(samples))
+	dir := 0
+	for i, s := range samples {
+		if s.FreqHz == maxF {
+			st.TimeAtMax += period
+		}
+		if i == 0 {
+			continue
+		}
+		d := 0
+		if s.FreqHz > samples[i-1].FreqHz {
+			d = 1
+		} else if s.FreqHz < samples[i-1].FreqHz {
+			d = -1
+		}
+		if d != 0 {
+			st.Changes++
+			if dir != 0 && d != dir {
+				st.Reversals++
+			}
+			dir = d
+		}
+	}
+	st.Span = samples[len(samples)-1].At
+	return st
+}

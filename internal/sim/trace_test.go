@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"powerlens/internal/hw"
+	"powerlens/internal/models"
+)
+
+func TestWriteTraceCSV(t *testing.T) {
+	samples := []hw.PowerSample{
+		{At: 10 * time.Millisecond, PowerW: 5.5, FreqHz: 1300.5e6},
+		{At: 20 * time.Millisecond, PowerW: 4.2, FreqHz: 114.75e6},
+	}
+	var sb strings.Builder
+	if err := WriteTraceCSV(&sb, samples); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d, want header + 2", len(lines))
+	}
+	if lines[0] != "time_ms,power_w,freq_mhz" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "10.000,5.5000,1300.50") {
+		t.Fatalf("row = %q", lines[1])
+	}
+}
+
+func TestAnalyzeTraceEmpty(t *testing.T) {
+	st := AnalyzeTrace(nil, time.Millisecond)
+	if st.Samples != 0 || st.Changes != 0 || st.MeanFreqHz != 0 {
+		t.Fatalf("empty trace stats = %+v", st)
+	}
+}
+
+func TestAnalyzeTracePingPong(t *testing.T) {
+	mk := func(freqs ...float64) []hw.PowerSample {
+		out := make([]hw.PowerSample, len(freqs))
+		for i, f := range freqs {
+			out[i] = hw.PowerSample{At: time.Duration(i+1) * time.Millisecond, FreqHz: f}
+		}
+		return out
+	}
+	// up, down, up, down: 4 changes, 3 reversals.
+	st := AnalyzeTrace(mk(1, 2, 1, 2, 1), time.Millisecond)
+	if st.Changes != 4 {
+		t.Fatalf("changes = %d, want 4", st.Changes)
+	}
+	if st.Reversals != 3 {
+		t.Fatalf("reversals = %d, want 3", st.Reversals)
+	}
+	// Monotone ramp: changes but no reversals.
+	st = AnalyzeTrace(mk(1, 2, 3, 4), time.Millisecond)
+	if st.Reversals != 0 || st.Changes != 3 {
+		t.Fatalf("ramp stats = %+v", st)
+	}
+	// Time at max: two samples at freq 2 in the ping-pong trace.
+	st = AnalyzeTrace(mk(1, 2, 1, 2, 1), time.Millisecond)
+	if st.TimeAtMax != 2*time.Millisecond {
+		t.Fatalf("TimeAtMax = %v", st.TimeAtMax)
+	}
+}
+
+func TestAnalyzeTraceOnRealRun(t *testing.T) {
+	p := hw.TX2()
+	e := NewExecutor(p, &fixedCtl{level: 7})
+	e.SensorPeriod = time.Millisecond
+	r := e.RunTask(models.GoogLeNet(), 5)
+	st := AnalyzeTrace(r.Samples, e.SensorPeriod)
+	if st.Samples == 0 {
+		t.Fatal("no samples")
+	}
+	if st.Changes != 0 || st.Reversals != 0 {
+		t.Fatalf("fixed-level run must have a flat trace: %+v", st)
+	}
+	if st.MeanFreqHz != p.GPUFreqsHz[7] {
+		t.Fatalf("mean freq = %g", st.MeanFreqHz)
+	}
+	if st.Span <= 0 {
+		t.Fatal("span must be positive")
+	}
+}

@@ -1,0 +1,187 @@
+// Package tensor provides the small dense linear-algebra kernel used by the
+// PowerLens clustering stage (covariance matrices, Mahalanobis distances,
+// Moore–Penrose pseudo-inverses) and by the from-scratch neural networks in
+// package nn. It is deliberately minimal: row-major float64 matrices and the
+// handful of operations the framework needs, with no external dependencies.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Matrix is a dense row-major matrix of float64 values.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, row-major
+}
+
+// NewMatrix returns a zero-initialized rows×cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: invalid dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from a slice of equal-length rows.
+// It copies the input.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0)
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic(fmt.Sprintf("tensor: ragged rows: row %d has %d cols, want %d", i, len(r), m.Cols))
+		}
+		copy(m.Data[i*m.Cols:(i+1)*m.Cols], r)
+	}
+	return m
+}
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view (not a copy) of row i.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// T returns the transpose of m as a new matrix.
+func (m *Matrix) T() *Matrix {
+	t := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// Mul returns the matrix product a·b.
+func Mul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: Mul dimension mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns the matrix-vector product m·v.
+func (m *Matrix) MulVec(v []float64) []float64 {
+	if m.Cols != len(v) {
+		panic(fmt.Sprintf("tensor: MulVec dimension mismatch %dx%d · %d", m.Rows, m.Cols, len(v)))
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		s := 0.0
+		for j, rv := range row {
+			s += rv * v[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Scale multiplies every element of m by s in place and returns m.
+func (m *Matrix) Scale(s float64) *Matrix {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+	return m
+}
+
+// Add adds b to m element-wise in place and returns m.
+func (m *Matrix) Add(b *Matrix) *Matrix {
+	if m.Rows != b.Rows || m.Cols != b.Cols {
+		panic("tensor: Add dimension mismatch")
+	}
+	for i := range m.Data {
+		m.Data[i] += b.Data[i]
+	}
+	return m
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// Equalish reports whether a and b have identical shape and all elements
+// within tol of each other.
+func Equalish(a, b *Matrix, tol float64) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i := range a.Data {
+		if math.Abs(a.Data[i]-b.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Matrix %dx%d\n", m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			fmt.Fprintf(&sb, "% .4g ", m.At(i, j))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("tensor: Dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Sub returns a-b as a new vector.
+func Sub(a, b []float64) []float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("tensor: Sub length mismatch %d vs %d", len(a), len(b)))
+	}
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] - b[i]
+	}
+	return out
+}

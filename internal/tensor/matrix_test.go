@@ -1,0 +1,213 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewMatrixZeroed(t *testing.T) {
+	m := NewMatrix(3, 4)
+	if m.Rows != 3 || m.Cols != 4 {
+		t.Fatalf("shape = %dx%d, want 3x4", m.Rows, m.Cols)
+	}
+	for i, v := range m.Data {
+		if v != 0 {
+			t.Fatalf("Data[%d] = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestFromRowsAndAt(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if m.Rows != 3 || m.Cols != 2 {
+		t.Fatalf("shape = %dx%d", m.Rows, m.Cols)
+	}
+	if m.At(1, 0) != 3 || m.At(2, 1) != 6 {
+		t.Fatalf("unexpected elements: %v", m.Data)
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on ragged rows")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestFromRowsCopies(t *testing.T) {
+	src := [][]float64{{1, 2}}
+	m := FromRows(src)
+	src[0][0] = 99
+	if m.At(0, 0) != 1 {
+		t.Fatal("FromRows must copy its input")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.T()
+	if tr.Rows != 3 || tr.Cols != 2 {
+		t.Fatalf("transpose shape = %dx%d", tr.Rows, tr.Cols)
+	}
+	if tr.At(2, 1) != 6 || tr.At(0, 1) != 4 {
+		t.Fatalf("transpose wrong: %v", tr.Data)
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	got := Mul(m, Identity(2))
+	if !Equalish(got, m, 0) {
+		t.Fatalf("m·I = %v, want %v", got.Data, m.Data)
+	}
+	got = Mul(Identity(2), m)
+	if !Equalish(got, m, 0) {
+		t.Fatalf("I·m = %v, want %v", got.Data, m.Data)
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	b := FromRows([][]float64{{7, 8}, {9, 10}, {11, 12}})
+	got := Mul(a, b)
+	want := FromRows([][]float64{{58, 64}, {139, 154}})
+	if !Equalish(got, want, 1e-12) {
+		t.Fatalf("a·b = %v, want %v", got.Data, want.Data)
+	}
+}
+
+func TestMulDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Mul(NewMatrix(2, 3), NewMatrix(2, 3))
+}
+
+func TestMulVec(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	got := m.MulVec([]float64{5, 6})
+	if got[0] != 17 || got[1] != 39 {
+		t.Fatalf("MulVec = %v, want [17 39]", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}})
+	c := m.Clone()
+	c.Set(0, 0, 42)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone must not alias the original")
+	}
+}
+
+func TestScaleAdd(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}})
+	m.Scale(3).Add(FromRows([][]float64{{1, 1}}))
+	if m.At(0, 0) != 4 || m.At(0, 1) != 7 {
+		t.Fatalf("got %v", m.Data)
+	}
+}
+
+func TestDotSub(t *testing.T) {
+	if Dot([]float64{1, 2, 3}, []float64{4, 5, 6}) != 32 {
+		t.Fatal("Dot wrong")
+	}
+	d := Sub([]float64{5, 5}, []float64{2, 3})
+	if d[0] != 3 || d[1] != 2 {
+		t.Fatalf("Sub = %v", d)
+	}
+}
+
+// Property: (A·B)^T == B^T · A^T for random matrices.
+func TestMulTransposeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n, k, m := 1+r.Intn(6), 1+r.Intn(6), 1+r.Intn(6)
+		a := randomMatrix(r, n, k)
+		b := randomMatrix(r, k, m)
+		left := Mul(a, b).T()
+		right := Mul(b.T(), a.T())
+		return Equalish(left, right, 1e-9)
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: matrix multiplication is associative: (AB)C == A(BC).
+func TestMulAssociativityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n, k, m, p := 1+r.Intn(5), 1+r.Intn(5), 1+r.Intn(5), 1+r.Intn(5)
+		a := randomMatrix(r, n, k)
+		b := randomMatrix(r, k, m)
+		c := randomMatrix(r, m, p)
+		return Equalish(Mul(Mul(a, b), c), Mul(a, Mul(b, c)), 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomMatrix(r *rand.Rand, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = r.NormFloat64()
+	}
+	return m
+}
+
+func TestStringContainsShape(t *testing.T) {
+	s := NewMatrix(2, 2).String()
+	if len(s) == 0 || s[:6] != "Matrix" {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestEqualishShapeMismatch(t *testing.T) {
+	if Equalish(NewMatrix(1, 2), NewMatrix(2, 1), 1) {
+		t.Fatal("different shapes must not be Equalish")
+	}
+}
+
+func TestIdentityValues(t *testing.T) {
+	m := Identity(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if m.At(i, j) != want {
+				t.Fatalf("I[%d][%d] = %v", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestMulVecMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMatrix(2, 3).MulVec([]float64{1})
+}
+
+func TestNaNFreeOps(t *testing.T) {
+	a := randomMatrix(rand.New(rand.NewSource(7)), 4, 4)
+	b := Mul(a, a.T())
+	for _, v := range b.Data {
+		if math.IsNaN(v) {
+			t.Fatal("NaN in product of finite matrices")
+		}
+	}
+}

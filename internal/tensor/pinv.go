@@ -1,0 +1,112 @@
+package tensor
+
+import "math"
+
+// JacobiEigen computes the eigendecomposition of a symmetric matrix a using
+// the cyclic Jacobi rotation method. It returns the eigenvalues and a matrix
+// whose COLUMNS are the corresponding orthonormal eigenvectors, so that
+// a = V · diag(vals) · V^T. The input is not modified.
+//
+// Jacobi is quadratic-per-sweep but our feature spaces are small (tens of
+// dimensions), where it is both robust and fast.
+func JacobiEigen(a *Matrix) (vals []float64, vecs *Matrix) {
+	if a.Rows != a.Cols {
+		panic("tensor: JacobiEigen requires a square matrix")
+	}
+	n := a.Rows
+	m := a.Clone()
+	v := Identity(n)
+
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += m.At(i, j) * m.At(i, j)
+			}
+		}
+		if off < 1e-22 {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := m.At(p, q)
+				if math.Abs(apq) < 1e-30 {
+					continue
+				}
+				app := m.At(p, p)
+				aqq := m.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				// Apply rotation to m: m = J^T m J.
+				for k := 0; k < n; k++ {
+					mkp := m.At(k, p)
+					mkq := m.At(k, q)
+					m.Set(k, p, c*mkp-s*mkq)
+					m.Set(k, q, s*mkp+c*mkq)
+				}
+				for k := 0; k < n; k++ {
+					mpk := m.At(p, k)
+					mqk := m.At(q, k)
+					m.Set(p, k, c*mpk-s*mqk)
+					m.Set(q, k, s*mpk+c*mqk)
+				}
+				// Accumulate eigenvectors.
+				for k := 0; k < n; k++ {
+					vkp := v.At(k, p)
+					vkq := v.At(k, q)
+					v.Set(k, p, c*vkp-s*vkq)
+					v.Set(k, q, s*vkp+c*vkq)
+				}
+			}
+		}
+	}
+	vals = make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = m.At(i, i)
+	}
+	return vals, v
+}
+
+// PseudoInverse returns the Moore–Penrose pseudo-inverse of a symmetric
+// positive-semidefinite matrix (such as a covariance matrix), computed via
+// the Jacobi eigendecomposition. Eigenvalues below rcond·max|λ| are treated
+// as zero, which is exactly the behaviour Algorithm 1 of the paper relies on
+// when the layer-feature covariance is rank-deficient (e.g., one-hot operator
+// type columns that never vary).
+func PseudoInverse(a *Matrix) *Matrix {
+	return PseudoInverseTol(a, 1e-10)
+}
+
+// PseudoInverseTol is PseudoInverse with an explicit relative tolerance.
+func PseudoInverseTol(a *Matrix, rcond float64) *Matrix {
+	vals, vecs := JacobiEigen(a)
+	n := a.Rows
+	maxAbs := 0.0
+	for _, v := range vals {
+		if av := math.Abs(v); av > maxAbs {
+			maxAbs = av
+		}
+	}
+	cut := rcond * maxAbs
+	// pinv = V · diag(1/λ where |λ|>cut else 0) · V^T
+	out := NewMatrix(n, n)
+	for k := 0; k < n; k++ {
+		if math.Abs(vals[k]) <= cut || vals[k] == 0 {
+			continue
+		}
+		inv := 1 / vals[k]
+		for i := 0; i < n; i++ {
+			vik := vecs.At(i, k)
+			if vik == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				out.Data[i*n+j] += inv * vik * vecs.At(j, k)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,114 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestJacobiEigenDiagonal(t *testing.T) {
+	a := FromRows([][]float64{{3, 0}, {0, 7}})
+	vals, vecs := JacobiEigen(a)
+	got := map[float64]bool{}
+	for _, v := range vals {
+		got[math.Round(v)] = true
+	}
+	if !got[3] || !got[7] {
+		t.Fatalf("eigenvalues = %v, want {3,7}", vals)
+	}
+	// Eigenvector matrix must be orthogonal: V^T V = I.
+	if !Equalish(Mul(vecs.T(), vecs), Identity(2), 1e-10) {
+		t.Fatal("eigenvectors not orthonormal")
+	}
+}
+
+func TestJacobiEigenReconstruction(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(6)
+		// Symmetric matrix: B + B^T.
+		b := randomMatrix(r, n, n)
+		a := Mul(b, Identity(n)).Add(b.T())
+		vals, vecs := JacobiEigen(a)
+		// Reconstruct V diag(vals) V^T.
+		d := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			d.Set(i, i, vals[i])
+		}
+		recon := Mul(Mul(vecs, d), vecs.T())
+		return Equalish(recon, a, 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPseudoInverseOfInvertible(t *testing.T) {
+	a := FromRows([][]float64{{4, 1}, {1, 3}})
+	p := PseudoInverse(a)
+	if !Equalish(Mul(a, p), Identity(2), 1e-9) {
+		t.Fatalf("A·A+ != I: %v", Mul(a, p).Data)
+	}
+}
+
+func TestPseudoInverseSingular(t *testing.T) {
+	// Rank-1 matrix: pinv must satisfy the Penrose conditions, not blow up.
+	a := FromRows([][]float64{{1, 1}, {1, 1}})
+	p := PseudoInverse(a)
+	// A A+ A = A
+	if !Equalish(Mul(Mul(a, p), a), a, 1e-9) {
+		t.Fatal("Penrose condition A·A+·A = A violated")
+	}
+	// A+ A A+ = A+
+	if !Equalish(Mul(Mul(p, a), p), p, 1e-9) {
+		t.Fatal("Penrose condition A+·A·A+ = A+ violated")
+	}
+	for _, v := range p.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("pinv of singular matrix produced %v", v)
+		}
+	}
+}
+
+func TestPseudoInversePenroseProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(5)
+		// Random PSD (possibly rank-deficient) matrix: X^T X with few rows.
+		rows := 1 + r.Intn(n+2)
+		x := randomMatrix(r, rows, n)
+		a := Mul(x.T(), x)
+		p := PseudoInverse(a)
+		if !Equalish(Mul(Mul(a, p), a), a, 1e-6) {
+			return false
+		}
+		if !Equalish(Mul(Mul(p, a), p), p, 1e-6) {
+			return false
+		}
+		// Symmetry of A·A+ (third Penrose condition for symmetric A).
+		ap := Mul(a, p)
+		return Equalish(ap, ap.T(), 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPseudoInverseZeroMatrix(t *testing.T) {
+	p := PseudoInverse(NewMatrix(3, 3))
+	for _, v := range p.Data {
+		if v != 0 {
+			t.Fatal("pinv(0) must be 0")
+		}
+	}
+}
+
+func TestJacobiEigenNonSquarePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	JacobiEigen(NewMatrix(2, 3))
+}

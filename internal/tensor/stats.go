@@ -1,0 +1,192 @@
+package tensor
+
+import "math"
+
+// Mean returns the arithmetic mean of v, or 0 for an empty slice.
+func Mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+// Variance returns the population variance of v, or 0 for fewer than two
+// samples.
+func Variance(v []float64) float64 {
+	if len(v) < 2 {
+		return 0
+	}
+	mu := Mean(v)
+	s := 0.0
+	for _, x := range v {
+		d := x - mu
+		s += d * d
+	}
+	return s / float64(len(v))
+}
+
+// StdDev returns the population standard deviation of v.
+func StdDev(v []float64) float64 { return math.Sqrt(Variance(v)) }
+
+// ColumnMeans returns the per-column mean of the rows of m.
+func ColumnMeans(m *Matrix) []float64 {
+	means := make([]float64, m.Cols)
+	if m.Rows == 0 {
+		return means
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			means[j] += v
+		}
+	}
+	inv := 1 / float64(m.Rows)
+	for j := range means {
+		means[j] *= inv
+	}
+	return means
+}
+
+// Covariance returns the (population) covariance matrix of the rows of m,
+// treating each row as one observation of a m.Cols-dimensional variable.
+func Covariance(m *Matrix) *Matrix {
+	c := NewMatrix(m.Cols, m.Cols)
+	if m.Rows < 2 {
+		return c
+	}
+	means := ColumnMeans(m)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for a := 0; a < m.Cols; a++ {
+			da := row[a] - means[a]
+			if da == 0 {
+				continue
+			}
+			crow := c.Row(a)
+			for b := 0; b < m.Cols; b++ {
+				crow[b] += da * (row[b] - means[b])
+			}
+		}
+	}
+	return c.Scale(1 / float64(m.Rows))
+}
+
+// ShrunkCovariance returns the covariance of the rows of m shrunk toward a
+// scaled identity: C' = C + λ·mean(diag(C))·I. Shrinkage bounds the
+// amplification a (pseudo-)inverse applies along near-zero-variance
+// directions, which matters whenever rows contain near-duplicates (repeated
+// DNN operators make the raw layer-feature covariance nearly singular).
+func ShrunkCovariance(m *Matrix, lambda float64) *Matrix {
+	cov := Covariance(m)
+	meanVar := 0.0
+	for i := 0; i < cov.Rows; i++ {
+		meanVar += cov.At(i, i)
+	}
+	if cov.Rows > 0 {
+		meanVar /= float64(cov.Rows)
+	}
+	if meanVar <= 0 {
+		meanVar = 1
+	}
+	for i := 0; i < cov.Rows; i++ {
+		cov.Set(i, i, cov.At(i, i)+lambda*meanVar)
+	}
+	return cov
+}
+
+// ZScoreScaler standardizes feature columns to zero mean and unit variance.
+// Columns with (near-)zero variance are left centered but unscaled so that
+// constant features cannot produce NaNs.
+type ZScoreScaler struct {
+	Means []float64
+	Stds  []float64
+}
+
+// FitZScore learns per-column means and standard deviations from m.
+func FitZScore(m *Matrix) *ZScoreScaler {
+	s := &ZScoreScaler{Means: ColumnMeans(m), Stds: make([]float64, m.Cols)}
+	for j := 0; j < m.Cols; j++ {
+		col := make([]float64, m.Rows)
+		for i := 0; i < m.Rows; i++ {
+			col[i] = m.At(i, j)
+		}
+		s.Stds[j] = StdDev(col)
+	}
+	return s
+}
+
+// Transform returns a standardized copy of m using the fitted parameters.
+func (s *ZScoreScaler) Transform(m *Matrix) *Matrix {
+	out := m.Clone()
+	for i := 0; i < out.Rows; i++ {
+		row := out.Row(i)
+		s.TransformRow(row)
+	}
+	return out
+}
+
+// TransformRow standardizes a single feature vector in place.
+func (s *ZScoreScaler) TransformRow(row []float64) {
+	for j := range row {
+		row[j] -= s.Means[j]
+		if s.Stds[j] > 1e-12 {
+			row[j] /= s.Stds[j]
+		}
+	}
+}
+
+// MahalanobisAll computes the pairwise Mahalanobis distance matrix between
+// the rows of x using precision matrix p (the pseudo-inverse of the
+// covariance of x): D[i][j] = sqrt((x_i-x_j)^T P (x_i-x_j)).
+// Tiny negative quadratic forms from floating-point noise are clamped to 0.
+func MahalanobisAll(x, p *Matrix) *Matrix {
+	n := x.Rows
+	d := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			diff := Sub(x.Row(i), x.Row(j))
+			q := Dot(diff, p.MulVec(diff))
+			if q < 0 {
+				q = 0
+			}
+			v := math.Sqrt(q)
+			d.Set(i, j, v)
+			d.Set(j, i, v)
+		}
+	}
+	return d
+}
+
+// Argmax returns the index of the largest element of v (first on ties),
+// or -1 for an empty slice.
+func Argmax(v []float64) int {
+	if len(v) == 0 {
+		return -1
+	}
+	best := 0
+	for i := 1; i < len(v); i++ {
+		if v[i] > v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Argmin returns the index of the smallest element of v (first on ties),
+// or -1 for an empty slice.
+func Argmin(v []float64) int {
+	if len(v) == 0 {
+		return -1
+	}
+	best := 0
+	for i := 1; i < len(v); i++ {
+		if v[i] < v[best] {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,224 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	v := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(v); got != 5 {
+		t.Fatalf("Mean = %v, want 5", got)
+	}
+	if got := Variance(v); got != 4 {
+		t.Fatalf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(v); got != 2 {
+		t.Fatalf("StdDev = %v, want 2", got)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if Mean(nil) != 0 || Variance(nil) != 0 {
+		t.Fatal("empty stats must be 0")
+	}
+	if Variance([]float64{3}) != 0 {
+		t.Fatal("single-sample variance must be 0")
+	}
+}
+
+func TestColumnMeans(t *testing.T) {
+	m := FromRows([][]float64{{1, 10}, {3, 20}})
+	mu := ColumnMeans(m)
+	if mu[0] != 2 || mu[1] != 15 {
+		t.Fatalf("ColumnMeans = %v", mu)
+	}
+}
+
+func TestCovarianceKnown(t *testing.T) {
+	// Two perfectly correlated columns.
+	m := FromRows([][]float64{{1, 2}, {2, 4}, {3, 6}})
+	c := Covariance(m)
+	// var(col0) = 2/3, var(col1) = 8/3, cov = 4/3.
+	if math.Abs(c.At(0, 0)-2.0/3) > 1e-12 {
+		t.Fatalf("var0 = %v", c.At(0, 0))
+	}
+	if math.Abs(c.At(1, 1)-8.0/3) > 1e-12 {
+		t.Fatalf("var1 = %v", c.At(1, 1))
+	}
+	if math.Abs(c.At(0, 1)-4.0/3) > 1e-12 || c.At(0, 1) != c.At(1, 0) {
+		t.Fatalf("cov = %v / %v", c.At(0, 1), c.At(1, 0))
+	}
+}
+
+func TestCovarianceSymmetricPSDProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := randomMatrix(r, 3+r.Intn(10), 2+r.Intn(5))
+		c := Covariance(m)
+		// Symmetry.
+		for i := 0; i < c.Rows; i++ {
+			for j := 0; j < c.Cols; j++ {
+				if math.Abs(c.At(i, j)-c.At(j, i)) > 1e-10 {
+					return false
+				}
+			}
+		}
+		// PSD: x^T C x >= 0 for random x.
+		for trial := 0; trial < 5; trial++ {
+			x := make([]float64, c.Cols)
+			for i := range x {
+				x[i] = r.NormFloat64()
+			}
+			if Dot(x, c.MulVec(x)) < -1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZScoreScaler(t *testing.T) {
+	m := FromRows([][]float64{{1, 100}, {2, 200}, {3, 300}})
+	s := FitZScore(m)
+	out := s.Transform(m)
+	for j := 0; j < 2; j++ {
+		col := []float64{out.At(0, j), out.At(1, j), out.At(2, j)}
+		if math.Abs(Mean(col)) > 1e-12 {
+			t.Fatalf("col %d mean = %v", j, Mean(col))
+		}
+		if math.Abs(StdDev(col)-1) > 1e-12 {
+			t.Fatalf("col %d std = %v", j, StdDev(col))
+		}
+	}
+}
+
+func TestZScoreConstantColumnNoNaN(t *testing.T) {
+	m := FromRows([][]float64{{5, 1}, {5, 2}, {5, 3}})
+	s := FitZScore(m)
+	out := s.Transform(m)
+	for _, v := range out.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("constant column produced %v", v)
+		}
+	}
+	if out.At(0, 0) != 0 {
+		t.Fatal("constant column should be centered to 0")
+	}
+}
+
+func TestMahalanobisIdentityIsEuclidean(t *testing.T) {
+	x := FromRows([][]float64{{0, 0}, {3, 4}})
+	d := MahalanobisAll(x, Identity(2))
+	if math.Abs(d.At(0, 1)-5) > 1e-12 {
+		t.Fatalf("distance = %v, want 5", d.At(0, 1))
+	}
+	if d.At(0, 0) != 0 || d.At(1, 1) != 0 {
+		t.Fatal("diagonal must be 0")
+	}
+}
+
+func TestMahalanobisScaleInvariance(t *testing.T) {
+	// Mahalanobis distance with the true precision matrix is invariant to
+	// linear rescaling of a feature column.
+	r := rand.New(rand.NewSource(3))
+	x := randomMatrix(r, 30, 3)
+	p1 := PseudoInverse(Covariance(x))
+	d1 := MahalanobisAll(x, p1)
+
+	scaled := x.Clone()
+	for i := 0; i < scaled.Rows; i++ {
+		scaled.Set(i, 0, scaled.At(i, 0)*1000)
+	}
+	p2 := PseudoInverse(Covariance(scaled))
+	d2 := MahalanobisAll(scaled, p2)
+	if !Equalish(d1, d2, 1e-6) {
+		t.Fatal("Mahalanobis distance must be invariant to column rescaling")
+	}
+}
+
+func TestMahalanobisSymmetricNonNegativeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x := randomMatrix(r, 4+r.Intn(10), 2+r.Intn(4))
+		p := PseudoInverse(Covariance(x))
+		d := MahalanobisAll(x, p)
+		for i := 0; i < d.Rows; i++ {
+			if d.At(i, i) != 0 {
+				return false
+			}
+			for j := 0; j < d.Cols; j++ {
+				if d.At(i, j) < 0 || math.IsNaN(d.At(i, j)) {
+					return false
+				}
+				if math.Abs(d.At(i, j)-d.At(j, i)) > 1e-10 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArgmaxArgmin(t *testing.T) {
+	v := []float64{3, 9, 2, 9, 1}
+	if Argmax(v) != 1 {
+		t.Fatalf("Argmax = %d", Argmax(v))
+	}
+	if Argmin(v) != 4 {
+		t.Fatalf("Argmin = %d", Argmin(v))
+	}
+	if Argmax(nil) != -1 || Argmin(nil) != -1 {
+		t.Fatal("empty slices must return -1")
+	}
+}
+
+func TestShrunkCovariance(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	m := randomMatrix(r, 20, 4)
+	plain := Covariance(m)
+	shrunk := ShrunkCovariance(m, 0.1)
+	// Off-diagonals unchanged; diagonals raised by 0.1 * mean diag.
+	meanVar := 0.0
+	for i := 0; i < 4; i++ {
+		meanVar += plain.At(i, i)
+	}
+	meanVar /= 4
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			want := plain.At(i, j)
+			if i == j {
+				want += 0.1 * meanVar
+			}
+			if math.Abs(shrunk.At(i, j)-want) > 1e-12 {
+				t.Fatalf("[%d][%d] = %v, want %v", i, j, shrunk.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestShrunkCovarianceDegenerate(t *testing.T) {
+	// All-identical rows: raw covariance is zero; shrinkage must produce a
+	// usable (invertible) matrix anyway.
+	m := FromRows([][]float64{{1, 2}, {1, 2}, {1, 2}})
+	s := ShrunkCovariance(m, 0.05)
+	for i := 0; i < 2; i++ {
+		if s.At(i, i) <= 0 {
+			t.Fatal("degenerate shrunk covariance must have positive diagonal")
+		}
+	}
+	p := PseudoInverse(s)
+	for _, v := range p.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("pinv of shrunk degenerate covariance must be finite")
+		}
+	}
+}
