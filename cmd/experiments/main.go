@@ -13,6 +13,8 @@
 //	experiments report [-networks N] [-o report.html]  # self-contained HTML report
 //	experiments thermal [-networks N] [-seed S]  # sustained-load throttling study
 //	experiments ext    [-networks N] [-seed S]   # §5 extensions: CPU DVFS + batching
+//	experiments resilience [-networks N] [-seed S] [-tasks T] [-nodes K] [-jobs J]
+//	                                              # fault injection: guarded governors + cluster failover
 //	experiments switch                            # §3.3 switch microbenchmark
 //	experiments calibrate                         # hw-model diagnostics
 //	experiments dispersion                        # per-stage oracle diagnostics
@@ -48,6 +50,8 @@ func main() {
 		runThermal(args)
 	case "ext":
 		runExt(args)
+	case "resilience":
+		runResilience(args)
 	case "switch":
 		runSwitch()
 	case "calibrate":
@@ -63,5 +67,5 @@ func main() {
 }
 
 func usage() {
-	fmt.Println("usage: experiments <all|report|table1|table2|table3|fig1|fig5|ext|thermal|switch|calibrate|dispersion> [-networks N] [-seed S]")
+	fmt.Println("usage: experiments <all|report|table1|table2|table3|fig1|fig5|ext|thermal|resilience|switch|calibrate|dispersion> [-networks N] [-seed S]")
 }

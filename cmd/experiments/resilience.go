@@ -1,0 +1,42 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"powerlens/internal/experiments"
+	"powerlens/internal/hw"
+)
+
+// runResilience executes the fault-injection scenario: every governor runs
+// an identical task flow (and job trace, for the cluster variant) fault-free
+// and under the same seeded fault schedule, reporting per-policy fault and
+// recovery counters.
+func runResilience(args []string) {
+	fs := flag.NewFlagSet("resilience", flag.ExitOnError)
+	n := fs.Int("networks", 400, "random networks per platform for deployment")
+	s := fs.Int64("seed", 1, "master seed (also seeds the fault schedule)")
+	tasks := fs.Int("tasks", 40, "task-flow length for the single-node scenario")
+	nodes := fs.Int("nodes", 4, "cluster size for the failover scenario")
+	jobs := fs.Int("jobs", 40, "job-trace length for the failover scenario")
+	fs.Parse(args)
+
+	env := buildEnv(*n, *s)
+	runResilienceWithEnv(env, *tasks, *nodes, *jobs, *s)
+}
+
+func runResilienceWithEnv(env *experiments.Env, tasks, nodes, jobs int, seed int64) {
+	for _, p := range hw.Platforms() {
+		rows, err := experiments.Resilience(env, p, tasks, seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.RenderResilience(p.Name, tasks, rows))
+
+		crows, err := experiments.ClusterResilience(env, p, nodes, jobs, seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.RenderClusterResilience(p.Name, nodes, jobs, crows))
+	}
+}

@@ -61,6 +61,7 @@ func runAll(args []string) {
 	runFig1WithEnv(env, false)
 	runExtWithEnv(env)
 	runThermalWithEnv(env)
+	runResilienceWithEnv(env, 40, 4, 40, seed)
 	runSwitch()
 }
 

@@ -6,11 +6,19 @@
 // is simulated with the same executor/governor machinery as the
 // single-board experiments. Cluster-level energy, makespan, and turnaround
 // compare DVFS policies at fleet scale.
+//
+// With a nonzero fault schedule (Config.Faults) the cluster additionally
+// models node loss: nodes crash at seeded, deterministic times, jobs caught
+// mid-flight fail over to surviving nodes (their partial work's energy is
+// attributed to the run as lost work), and per-node executors inject the
+// sensor/actuation faults of internal/hw. Zero-schedule runs are
+// bit-identical to the fault-free dispatcher.
 package cloud
 
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"powerlens/internal/graph"
@@ -37,6 +45,10 @@ type Config struct {
 	NewCtl   ControllerFactory
 	// Batch applies the §5 batching extension on every node (0/1 = off).
 	Batch int
+	// Faults is the deterministic fault schedule: per-node executor faults
+	// (sensor noise/dropout, actuation faults) plus scheduled node crashes.
+	// The zero value reproduces the fault-free dispatcher bit-for-bit.
+	Faults hw.FaultConfig
 }
 
 // NodeResult is one node's simulated outcome.
@@ -45,6 +57,10 @@ type NodeResult struct {
 	Jobs    int
 	Result  sim.Result
 	BusyEnd time.Duration // when the node finished its last job
+
+	// Crash accounting (zero unless the fault schedule lost this node).
+	Crashed bool
+	CrashAt time.Duration
 }
 
 // Result aggregates a cluster run.
@@ -54,10 +70,19 @@ type Result struct {
 	TotalEnergyJ   float64
 	TotalImages    int
 	Makespan       time.Duration // latest node completion
-	MeanTurnaround time.Duration // mean (completion - arrival) over jobs
+	MeanTurnaround time.Duration // mean (completion - arrival) over completed jobs
+
+	// Degraded-mode accounting (all zero on a fault-free run).
+	NodesLost   int           // nodes that crashed during the trace
+	Failovers   int           // jobs requeued to surviving nodes after a crash
+	DroppedJobs int           // jobs lost because no node could take them
+	LostEnergyJ float64       // energy burned on work destroyed by crashes
+	LostImages  int           // images whose processing was destroyed by crashes
+	Faults      hw.FaultStats // executor-level fault counters, summed over nodes
 }
 
-// EE returns cluster-level images per joule.
+// EE returns cluster-level images per joule. Energy spent on lost work
+// counts toward the denominator — degraded runs pay for what they burned.
 func (r Result) EE() float64 {
 	if r.TotalEnergyJ <= 0 {
 		return 0
@@ -65,10 +90,23 @@ func (r Result) EE() float64 {
 	return float64(r.TotalImages) / r.TotalEnergyJ
 }
 
+// queuedJob tracks a job through dispatch, preserving its original arrival
+// for turnaround accounting across failovers.
+type queuedJob struct {
+	Job
+	orig time.Duration // original arrival (Job.Arrival moves on requeue)
+}
+
 // Run dispatches jobs (sorted by arrival) to the earliest-available node
 // and simulates every node's task flow. Job service times are measured with
 // a per-job dry run at the node's policy, so dispatch decisions see the
 // same latency the simulation produces.
+//
+// Under a fault schedule, a node that crashes mid-job loses that job's
+// partial work (accounted via the dry run's energy) and the job fails over
+// to the earliest surviving node; a crashed node takes no further work. If
+// every node is lost, remaining jobs are dropped and counted, never
+// panicking the run.
 func Run(cfg Config, jobs []Job) (Result, error) {
 	if cfg.Nodes < 1 {
 		return Result{}, fmt.Errorf("cloud: need at least one node, got %d", cfg.Nodes)
@@ -76,23 +114,28 @@ func Run(cfg Config, jobs []Job) (Result, error) {
 	if cfg.Platform == nil || cfg.NewCtl == nil {
 		return Result{}, fmt.Errorf("cloud: platform and controller factory required")
 	}
-	sorted := make([]Job, len(jobs))
-	copy(sorted, jobs)
-	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Arrival < sorted[j].Arrival })
+	queue := make([]queuedJob, len(jobs))
+	for i, j := range jobs {
+		queue[i] = queuedJob{Job: j, orig: j.Arrival}
+	}
+	sort.SliceStable(queue, func(i, j int) bool { return queue[i].Arrival < queue[j].Arrival })
 
-	// Per-model service-time cache (dry run on a fresh controller).
-	serviceTime := map[string]time.Duration{}
-	service := func(j Job) time.Duration {
+	// Per-model service cache (dry run on a fresh, fault-free controller:
+	// dispatch plans with nominal latencies; faults hit the real run).
+	serviceCache := map[string]sim.Result{}
+	service := func(j Job) sim.Result {
 		key := fmt.Sprintf("%s/%d", j.Graph.Name, j.Images)
-		if t, ok := serviceTime[key]; ok {
-			return t
+		if r, ok := serviceCache[key]; ok {
+			return r
 		}
 		e := sim.NewExecutor(cfg.Platform, cfg.NewCtl())
 		e.Batch = cfg.Batch
-		t := e.RunTask(j.Graph, j.Images).Time
-		serviceTime[key] = t
-		return t
+		r := e.RunTask(j.Graph, j.Images)
+		serviceCache[key] = r
+		return r
 	}
+
+	crashAt := cfg.Faults.CrashTimes(cfg.Nodes)
 
 	type nodeState struct {
 		free  time.Duration
@@ -101,48 +144,120 @@ func Run(cfg Config, jobs []Job) (Result, error) {
 		jobs  int
 	}
 	nodes := make([]nodeState, cfg.Nodes)
+	res := Result{}
 	var turnaround time.Duration
+	completed := 0
 
-	for _, j := range sorted {
-		// Earliest-available node (FCFS dispatch).
-		best := 0
-		bestStart := maxDur(j.Arrival, nodes[0].free)
-		for n := 1; n < cfg.Nodes; n++ {
-			if s := maxDur(j.Arrival, nodes[n].free); s < bestStart {
+	for len(queue) > 0 {
+		j := queue[0]
+		queue = queue[1:]
+
+		// Earliest-available surviving node (FCFS dispatch). A node whose
+		// crash precedes the job's possible start can never take it.
+		best, bestStart := -1, time.Duration(0)
+		for n := 0; n < cfg.Nodes; n++ {
+			s := maxDur(j.Arrival, nodes[n].free)
+			if s >= crashAt[n] {
+				continue
+			}
+			if best < 0 || s < bestStart {
 				best, bestStart = n, s
 			}
 		}
+		if best < 0 {
+			// No node can ever take this job: the degraded cluster drops it.
+			res.DroppedJobs++
+			continue
+		}
 		ns := &nodes[best]
+		dry := service(j.Job)
+		end := bestStart + dry.Time
+		if end > crashAt[best] {
+			// The node dies mid-job: its partial work is destroyed. Energy
+			// already burned on it is attributed to the run (pro-rated from
+			// the dry run) and the job fails over to a surviving node,
+			// re-entering the queue at the crash instant.
+			ran := crashAt[best] - bestStart
+			frac := ran.Seconds() / dry.Time.Seconds()
+			res.LostEnergyJ += dry.EnergyJ * frac
+			res.LostImages += int(float64(j.Images)*frac + 0.5)
+			res.Failovers++
+			ns.free = crashAt[best]
+			j.Arrival = crashAt[best]
+			requeue(&queue, j)
+			continue
+		}
 		if len(ns.tasks) > 0 {
 			ns.gaps = append(ns.gaps, bestStart-ns.free)
 		}
-		dur := service(j)
 		ns.tasks = append(ns.tasks, sim.Task{Graph: j.Graph, Images: j.Images})
-		ns.free = bestStart + dur
+		ns.free = end
 		ns.jobs++
-		turnaround += ns.free - j.Arrival
+		completed++
+		turnaround += end - j.orig
 	}
 
-	res := Result{}
+	// Simulate every loaded node concurrently — nodes are independent
+	// boards, and per-node fault streams are seeded per node index, so the
+	// outcome is deterministic regardless of goroutine scheduling.
+	nodeResults := make([]*NodeResult, cfg.Nodes)
+	var wg sync.WaitGroup
 	for n := range nodes {
 		if nodes[n].jobs == 0 {
 			continue
 		}
-		e := sim.NewExecutor(cfg.Platform, cfg.NewCtl())
-		e.Batch = cfg.Batch
-		r := e.RunTaskFlowArrivals(nodes[n].tasks, nodes[n].gaps)
-		nr := NodeResult{Node: n, Jobs: nodes[n].jobs, Result: r, BusyEnd: nodes[n].free}
-		res.Nodes = append(res.Nodes, nr)
-		res.TotalEnergyJ += r.EnergyJ
-		res.TotalImages += r.Images
-		if nodes[n].free > res.Makespan {
-			res.Makespan = nodes[n].free
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			e := sim.NewExecutor(cfg.Platform, cfg.NewCtl())
+			e.Batch = cfg.Batch
+			e.Faults = hw.NewInjector(cfg.Faults.ForNode(n))
+			r := e.RunTaskFlowArrivals(nodes[n].tasks, nodes[n].gaps)
+			nodeResults[n] = &NodeResult{Node: n, Jobs: nodes[n].jobs, Result: r, BusyEnd: nodes[n].free}
+		}(n)
+	}
+	wg.Wait()
+
+	for n, nr := range nodeResults {
+		if nr == nil {
+			continue
+		}
+		if crashAt[n] != hw.NeverCrash && crashAt[n] <= nr.BusyEnd {
+			nr.Crashed = true
+			nr.CrashAt = crashAt[n]
+		}
+		res.Nodes = append(res.Nodes, *nr)
+		res.TotalEnergyJ += nr.Result.EnergyJ
+		res.TotalImages += nr.Result.Images
+		res.Faults.Add(nr.Result.Faults)
+		if nr.BusyEnd > res.Makespan {
+			res.Makespan = nr.BusyEnd
 		}
 	}
-	if len(sorted) > 0 {
-		res.MeanTurnaround = turnaround / time.Duration(len(sorted))
+	// A node is lost if its scheduled crash fell inside the trace (whether
+	// or not it was holding a job at that instant).
+	for n := range crashAt {
+		if crashAt[n] != hw.NeverCrash && crashAt[n] <= res.Makespan {
+			res.NodesLost++
+		}
+	}
+	res.TotalEnergyJ += res.LostEnergyJ
+	if completed > 0 {
+		res.MeanTurnaround = turnaround / time.Duration(completed)
 	}
 	return res, nil
+}
+
+// requeue inserts a failed-over job back into the arrival-ordered queue,
+// after every job with an earlier-or-equal arrival (FCFS among ties keeps
+// dispatch deterministic).
+func requeue(queue *[]queuedJob, j queuedJob) {
+	q := *queue
+	i := sort.Search(len(q), func(k int) bool { return q[k].Arrival > j.Arrival })
+	q = append(q, queuedJob{})
+	copy(q[i+1:], q[i:])
+	q[i] = j
+	*queue = q
 }
 
 func maxDur(a, b time.Duration) time.Duration {

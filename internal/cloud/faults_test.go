@@ -1,0 +1,130 @@
+package cloud
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"powerlens/internal/governor"
+	"powerlens/internal/hw"
+	"powerlens/internal/sim"
+)
+
+// crashyFaults is a schedule aggressive enough to lose nodes during the
+// short test traces.
+func crashyFaults(seed int64) hw.FaultConfig {
+	return hw.FaultConfig{
+		Seed:              seed,
+		SensorDropoutProb: 0.05,
+		SensorNoiseFrac:   0.10,
+		StuckProb:         0.10,
+		DelayProb:         0.20,
+		DelayLatency:      2 * time.Millisecond,
+		NodeCrashProb:     0.9,
+		NodeCrashMTBF:     10 * time.Second,
+	}
+}
+
+func TestFailoverRequeuesToSurvivors(t *testing.T) {
+	p := hw.TX2()
+	jobs := testJobs(20)
+	cfg := Config{Nodes: 4, Platform: p, NewCtl: staticFactory(7), Faults: crashyFaults(5)}
+	res, err := Run(cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NodesLost == 0 {
+		t.Fatalf("schedule p=0.9 mtbf=10s lost no nodes: %+v", res)
+	}
+	if res.Failovers == 0 {
+		t.Fatalf("no failovers despite %d lost nodes", res.NodesLost)
+	}
+	if res.LostEnergyJ <= 0 {
+		t.Fatal("failovers must attribute lost-work energy")
+	}
+	// Every non-dropped job still completes somewhere.
+	totalJobs := 0
+	for _, nr := range res.Nodes {
+		totalJobs += nr.Jobs
+	}
+	if totalJobs+res.DroppedJobs != len(jobs) {
+		t.Fatalf("completed %d + dropped %d != %d jobs", totalJobs, res.DroppedJobs, len(jobs))
+	}
+	if res.Faults.Total() == 0 {
+		t.Fatal("per-node executor faults not aggregated")
+	}
+	// Degraded EE still well-defined.
+	if res.EE() <= 0 {
+		t.Fatalf("bad degraded EE: %+v", res)
+	}
+}
+
+func TestAllNodesLostDropsJobsWithoutPanic(t *testing.T) {
+	p := hw.TX2()
+	jobs := testJobs(10)
+	cfg := Config{Nodes: 2, Platform: p, NewCtl: staticFactory(7), Faults: hw.FaultConfig{
+		Seed: 3, NodeCrashProb: 1, NodeCrashMTBF: time.Millisecond,
+	}}
+	res, err := Run(cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DroppedJobs == 0 {
+		t.Fatalf("instant crashes should drop jobs: %+v", res)
+	}
+	completed := 0
+	for _, nr := range res.Nodes {
+		completed += nr.Jobs
+	}
+	if completed+res.DroppedJobs != len(jobs) {
+		t.Fatalf("job conservation violated: %d + %d != %d", completed, res.DroppedJobs, len(jobs))
+	}
+}
+
+func TestZeroScheduleKeepsLegacyBehaviour(t *testing.T) {
+	p := hw.TX2()
+	jobs := testJobs(12)
+	clean, err := Run(Config{Nodes: 3, Platform: p, NewCtl: staticFactory(7)}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.NodesLost != 0 || clean.Failovers != 0 || clean.DroppedJobs != 0 ||
+		clean.LostEnergyJ != 0 || clean.LostImages != 0 || clean.Faults != (hw.FaultStats{}) {
+		t.Fatalf("fault-free run reported degradation: %+v", clean)
+	}
+	for _, nr := range clean.Nodes {
+		if nr.Crashed || nr.Result.Faults != (hw.FaultStats{}) {
+			t.Fatalf("fault-free node reported faults: %+v", nr)
+		}
+	}
+}
+
+// TestClusterRunSeedDeterminism guards against math/rand ordering
+// regressions (e.g. in workload generation or the concurrent per-node
+// simulation): two runs with the same fault-schedule seed must produce
+// byte-identical results.
+func TestClusterRunSeedDeterminism(t *testing.T) {
+	p := hw.TX2()
+	run := func() []byte {
+		jobs := RandomJobs(15, 300*time.Millisecond, 77)
+		res, err := Run(Config{
+			Nodes:    3,
+			Platform: p,
+			NewCtl:   func() sim.Controller { return governor.NewOndemand() },
+			Faults:   crashyFaults(13),
+		}, jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same seed must produce byte-identical cluster results\nlen %d vs %d", len(a), len(b))
+	}
+}

@@ -45,16 +45,23 @@ func (f *Framework) Save(path string) error {
 }
 
 // LoadFramework reads a deployment saved with Save. The platform is
-// reconstructed from its name (TX2 or AGX).
+// reconstructed from its name (TX2 or AGX). Truncated or corrupt files,
+// trailing garbage, and weight matrices whose shapes do not chain into a
+// valid network are all rejected with descriptive errors rather than being
+// allowed to panic at first inference.
 func LoadFramework(path string) (*Framework, error) {
 	in, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("core: load: %w", err)
 	}
 	defer in.Close()
+	dec := json.NewDecoder(in)
 	var ff frameworkFile
-	if err := json.NewDecoder(in).Decode(&ff); err != nil {
-		return nil, fmt.Errorf("core: decode: %w", err)
+	if err := dec.Decode(&ff); err != nil {
+		return nil, fmt.Errorf("core: decode %s: %w", path, err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("core: decode %s: trailing data after framework object", path)
 	}
 	var p *hw.Platform
 	switch ff.Platform {
@@ -68,6 +75,21 @@ func LoadFramework(path string) (*Framework, error) {
 	if ff.HyperModel == nil || ff.DecisionModel == nil || ff.HyperScaler == nil || ff.DecisionScaler == nil {
 		return nil, fmt.Errorf("core: %s missing model state", path)
 	}
+	if len(ff.Grid) == 0 {
+		return nil, fmt.Errorf("core: %s: empty hyperparameter grid", path)
+	}
+	if err := validateNet("hyper_model", ff.HyperModel); err != nil {
+		return nil, fmt.Errorf("core: %s: %w", path, err)
+	}
+	if err := validateNet("decision_model", ff.DecisionModel); err != nil {
+		return nil, fmt.Errorf("core: %s: %w", path, err)
+	}
+	if err := validateScaler("hyper_scaler", ff.HyperScaler, ff.HyperModel); err != nil {
+		return nil, fmt.Errorf("core: %s: %w", path, err)
+	}
+	if err := validateScaler("decision_scaler", ff.DecisionScaler, ff.DecisionModel); err != nil {
+		return nil, fmt.Errorf("core: %s: %w", path, err)
+	}
 	return &Framework{
 		Platform:       p,
 		Grid:           ff.Grid,
@@ -76,4 +98,86 @@ func LoadFramework(path string) (*Framework, error) {
 		DecisionModel:  ff.DecisionModel,
 		DecisionScaler: ff.DecisionScaler,
 	}, nil
+}
+
+// validateNet checks that a deserialized TwoStageNet is structurally sound:
+// every layer carries a weight matrix whose declared shape matches its
+// backing slice, biases match the output width, and layer widths chain from
+// the structural facet through the mid-network stats injection to the
+// logits. A file that fails any of these would panic (or silently read out
+// of bounds) on the first Forward call.
+func validateNet(name string, n *nn.TwoStageNet) error {
+	if n.StructDim <= 0 || n.NumClasses < 2 || n.StatsDim < 0 {
+		return fmt.Errorf("%s: bad dims struct=%d stats=%d classes=%d",
+			name, n.StructDim, n.StatsDim, n.NumClasses)
+	}
+	if len(n.Front) == 0 || len(n.Back) == 0 {
+		return fmt.Errorf("%s: missing layers (front=%d back=%d)", name, len(n.Front), len(n.Back))
+	}
+	in := n.StructDim
+	var err error
+	for i, l := range n.Front {
+		if in, err = validateLayer(fmt.Sprintf("%s front[%d]", name, i), l, in); err != nil {
+			return err
+		}
+	}
+	in += n.StatsDim // mid-network stats injection widens the hidden vector
+	for i, l := range n.Back {
+		if in, err = validateLayer(fmt.Sprintf("%s back[%d]", name, i), l, in); err != nil {
+			return err
+		}
+	}
+	if in != n.NumClasses {
+		return fmt.Errorf("%s: final layer emits %d logits, want %d classes", name, in, n.NumClasses)
+	}
+	return nil
+}
+
+// validateLayer checks one dense layer against its expected input width and
+// returns its output width.
+func validateLayer(name string, l *nn.DenseLayer, in int) (int, error) {
+	if l == nil || l.W == nil {
+		return 0, fmt.Errorf("%s: missing weights", name)
+	}
+	if l.W.Rows <= 0 || l.W.Cols <= 0 {
+		return 0, fmt.Errorf("%s: degenerate weight shape %dx%d", name, l.W.Rows, l.W.Cols)
+	}
+	if len(l.W.Data) != l.W.Rows*l.W.Cols {
+		return 0, fmt.Errorf("%s: weight matrix %dx%d backed by %d values, want %d",
+			name, l.W.Rows, l.W.Cols, len(l.W.Data), l.W.Rows*l.W.Cols)
+	}
+	if l.W.Cols != in {
+		return 0, fmt.Errorf("%s: expects %d inputs, previous layer provides %d", name, l.W.Cols, in)
+	}
+	if len(l.B) != l.W.Rows {
+		return 0, fmt.Errorf("%s: %d biases for %d outputs", name, len(l.B), l.W.Rows)
+	}
+	return l.W.Rows, nil
+}
+
+// validateScaler checks a deserialized FacetScaler against the facet widths
+// of the network it normalizes inputs for.
+func validateScaler(name string, s *nn.FacetScaler, n *nn.TwoStageNet) error {
+	if s.Structural == nil || s.Stats == nil {
+		return fmt.Errorf("%s: missing per-facet scalers", name)
+	}
+	facets := []struct {
+		facet       string
+		means, stds []float64
+		want        int
+	}{
+		{"structural", s.Structural.Means, s.Structural.Stds, n.StructDim},
+		{"stats", s.Stats.Means, s.Stats.Stds, n.StatsDim},
+	}
+	for _, sc := range facets {
+		facet := sc.facet
+		if len(sc.means) != len(sc.stds) {
+			return fmt.Errorf("%s %s: %d means vs %d stds", name, facet, len(sc.means), len(sc.stds))
+		}
+		if len(sc.means) != sc.want {
+			return fmt.Errorf("%s %s: scales %d features, model expects %d",
+				name, facet, len(sc.means), sc.want)
+		}
+	}
+	return nil
 }

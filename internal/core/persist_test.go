@@ -1,0 +1,135 @@
+package core
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"powerlens/internal/hw"
+)
+
+// savedFramework writes one trained TX2 framework to disk and returns both
+// the path and the raw bytes so corruption tests can mutate a known-good
+// file.
+func savedFramework(t *testing.T) (string, []byte) {
+	t.Helper()
+	fw := testFramework(t, hw.TX2())
+	path := filepath.Join(t.TempDir(), "fw.json")
+	if err := fw.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path, raw
+}
+
+// writeCorrupt writes mutated framework bytes and asserts LoadFramework
+// rejects them with an error mentioning want.
+func loadCorrupt(t *testing.T, dir, name string, data []byte, want string) {
+	t.Helper()
+	path := filepath.Join(dir, name+".json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadFramework(path)
+	if err == nil {
+		t.Fatalf("%s: LoadFramework accepted corrupt file", name)
+	}
+	if want != "" && !strings.Contains(err.Error(), want) {
+		t.Fatalf("%s: error %q does not mention %q", name, err, want)
+	}
+}
+
+func TestLoadFrameworkRejectsTruncatedJSON(t *testing.T) {
+	_, raw := savedFramework(t)
+	dir := t.TempDir()
+	// Chop the file mid-object: a partial JSON document must not decode.
+	loadCorrupt(t, dir, "truncated", raw[:len(raw)/2], "decode")
+	// Empty file.
+	loadCorrupt(t, dir, "empty", nil, "decode")
+	// Non-JSON noise.
+	loadCorrupt(t, dir, "noise", []byte("not a framework at all\n"), "decode")
+	// Valid JSON followed by trailing garbage must also be rejected.
+	loadCorrupt(t, dir, "trailing", append(append([]byte{}, raw...), []byte(`{"oops":1}`)...), "trailing data")
+}
+
+func TestLoadFrameworkRejectsWrongShapeWeights(t *testing.T) {
+	_, raw := savedFramework(t)
+	dir := t.TempDir()
+
+	// Decode into a generic tree so individual fields can be corrupted
+	// without depending on struct layout.
+	corrupt := func(name, want string, mutate func(ff map[string]any)) {
+		t.Helper()
+		var ff map[string]any
+		if err := json.Unmarshal(raw, &ff); err != nil {
+			t.Fatal(err)
+		}
+		mutate(ff)
+		out, err := json.Marshal(ff)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loadCorrupt(t, dir, name, out, want)
+	}
+
+	layer0 := func(ff map[string]any, model string) map[string]any {
+		front := ff[model].(map[string]any)["Front"].([]any)
+		return front[0].(map[string]any)
+	}
+
+	// Weight matrix whose declared shape disagrees with its backing data.
+	corrupt("short-data", "backed by", func(ff map[string]any) {
+		w := layer0(ff, "hyper_model")["W"].(map[string]any)
+		data := w["Data"].([]any)
+		w["Data"] = data[:len(data)-1]
+	})
+	// Declared shape inflated past the data.
+	corrupt("bad-rows", "", func(ff map[string]any) {
+		w := layer0(ff, "decision_model")["W"].(map[string]any)
+		w["Rows"] = w["Rows"].(float64) + 3
+	})
+	// Layer widths that do not chain.
+	corrupt("bad-cols", "inputs", func(ff map[string]any) {
+		w := layer0(ff, "hyper_model")["W"].(map[string]any)
+		rows := int(w["Rows"].(float64))
+		cols := int(w["Cols"].(float64)) + 1
+		w["Cols"] = cols
+		data := make([]any, rows*cols)
+		for i := range data {
+			data[i] = 0.1
+		}
+		w["Data"] = data
+	})
+	// Bias vector length mismatch.
+	corrupt("bad-bias", "biases", func(ff map[string]any) {
+		l := layer0(ff, "hyper_model")
+		b := l["B"].([]any)
+		l["B"] = b[:len(b)-1]
+	})
+	// Degenerate empty matrix.
+	corrupt("zero-shape", "degenerate", func(ff map[string]any) {
+		w := layer0(ff, "hyper_model")["W"].(map[string]any)
+		w["Rows"], w["Cols"], w["Data"] = 0, 0, []any{}
+	})
+	// Missing model entirely.
+	corrupt("nil-model", "missing model state", func(ff map[string]any) {
+		ff["decision_model"] = nil
+	})
+	// Scaler whose feature count disagrees with the model facet width.
+	corrupt("bad-scaler", "features", func(ff map[string]any) {
+		sc := ff["hyper_scaler"].(map[string]any)["Structural"].(map[string]any)
+		means := sc["Means"].([]any)
+		sc["Means"] = means[:len(means)-1]
+		stds := sc["Stds"].([]any)
+		sc["Stds"] = stds[:len(stds)-1]
+	})
+	// Empty hyperparameter grid.
+	corrupt("empty-grid", "grid", func(ff map[string]any) {
+		ff["grid"] = []any{}
+	})
+}

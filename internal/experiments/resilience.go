@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"powerlens/internal/cloud"
+	"powerlens/internal/governor"
+	"powerlens/internal/hw"
+	"powerlens/internal/sim"
+)
+
+// Resilience scenario: every governor runs the same task flow twice — once
+// fault-free and once under an identical seeded fault schedule (tegrastats
+// dropouts and noise, stuck/clamped/late DVFS transitions) — and the cluster
+// variant adds scheduled node crashes with job failover. The comparison
+// answers the question the paper's clean-board evaluation cannot: which
+// policy keeps its energy efficiency when the platform misbehaves, and what
+// does recovery cost?
+
+// DefaultFaultSchedule is the standard nonzero schedule used by the
+// resilience experiment: Jetson-class nuisance rates, deterministic per
+// seed.
+func DefaultFaultSchedule(seed int64) hw.FaultConfig {
+	return hw.FaultConfig{
+		Seed:              seed,
+		SensorDropoutProb: 0.05,
+		SensorNoiseFrac:   0.10,
+		StuckProb:         0.10,
+		ClampProb:         0.03,
+		DelayProb:         0.20,
+		DelayLatency:      2 * time.Millisecond,
+		NodeCrashProb:     0.5,
+		NodeCrashMTBF:     60 * time.Second,
+	}
+}
+
+// ResilienceRow compares one policy's fault-free and faulted runs of the
+// same task flow, with its fault/recovery counters.
+type ResilienceRow struct {
+	Method    string
+	CleanEE   float64
+	FaultEE   float64
+	CleanTime time.Duration
+	FaultTime time.Duration
+
+	Faults hw.FaultStats
+	Guard  *governor.GuardStats // non-nil for guard-wrapped policies
+}
+
+// DeltaEE returns the relative EE change under faults (negative = loss).
+func (r ResilienceRow) DeltaEE() float64 {
+	if r.CleanEE == 0 {
+		return 0
+	}
+	return r.FaultEE/r.CleanEE - 1
+}
+
+// resilienceControllers builds the policy lineup: the guarded PowerLens
+// deployment (the resilient runtime under test), raw PowerLens, and the
+// reactive baselines.
+func resilienceControllers(env *Env, p *hw.Platform, tasks []sim.Task) ([]func() sim.Controller, error) {
+	plans := map[string]*governor.FrequencyPlan{}
+	for _, t := range tasks {
+		if _, ok := plans[t.Graph.Name]; ok {
+			continue
+		}
+		a, err := env.analysis(p.Name, t.Graph.Name)
+		if err != nil {
+			return nil, err
+		}
+		plans[t.Graph.Name] = a.Plan
+	}
+	return []func() sim.Controller{
+		func() sim.Controller { return governor.NewGuard(governor.NewMultiPlan(plans)) },
+		func() sim.Controller { return governor.NewMultiPlan(plans) },
+		func() sim.Controller { return governor.NewFPGG() },
+		func() sim.Controller { return governor.NewFPGCG() },
+		func() sim.Controller { return governor.NewOndemand() },
+	}, nil
+}
+
+// Resilience runs the single-node scenario for one platform: an identical
+// task flow per policy, fault-free versus the given fault schedule.
+func Resilience(env *Env, p *hw.Platform, numTasks int, seed int64) ([]ResilienceRow, error) {
+	tasks := RandomTasks(numTasks, seed)
+	factories, err := resilienceControllers(env, p, tasks)
+	if err != nil {
+		return nil, err
+	}
+	cfg := DefaultFaultSchedule(seed)
+
+	var rows []ResilienceRow
+	for _, mk := range factories {
+		clean := sim.NewExecutor(p, mk()).RunTaskFlow(tasks, TaskGap)
+
+		ctl := mk()
+		e := sim.NewExecutor(p, ctl)
+		e.Faults = hw.NewInjector(cfg)
+		faulty := e.RunTaskFlow(tasks, TaskGap)
+
+		row := ResilienceRow{
+			Method:    ctl.Name(),
+			CleanEE:   clean.EE(),
+			FaultEE:   faulty.EE(),
+			CleanTime: clean.Time,
+			FaultTime: faulty.Time,
+			Faults:    faulty.Faults,
+		}
+		if g, ok := ctl.(*governor.Guard); ok {
+			stats := g.Stats
+			row.Guard = &stats
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// ClusterResilienceRow compares one policy's fault-free and degraded
+// cluster runs over the same job trace.
+type ClusterResilienceRow struct {
+	Method string
+	Clean  cloud.Result
+	Faulty cloud.Result
+}
+
+// DeltaEE returns the relative cluster EE change under faults.
+func (r ClusterResilienceRow) DeltaEE() float64 {
+	if ee := r.Clean.EE(); ee > 0 {
+		return r.Faulty.EE()/ee - 1
+	}
+	return 0
+}
+
+// ClusterResilience runs the fleet scenario: the same Poisson job trace on
+// the same rack, fault-free versus a schedule that additionally crashes
+// nodes mid-trace and forces failover.
+func ClusterResilience(env *Env, p *hw.Platform, nodes, numJobs int, seed int64) ([]ClusterResilienceRow, error) {
+	jobs := cloud.RandomJobs(numJobs, 300*time.Millisecond, seed)
+	tasks := make([]sim.Task, len(jobs))
+	for i, j := range jobs {
+		tasks[i] = sim.Task{Graph: j.Graph, Images: j.Images}
+	}
+	factories, err := resilienceControllers(env, p, tasks)
+	if err != nil {
+		return nil, err
+	}
+	cfg := DefaultFaultSchedule(seed)
+
+	var rows []ClusterResilienceRow
+	for _, mk := range factories {
+		clean, err := cloud.Run(cloud.Config{Nodes: nodes, Platform: p, NewCtl: mk}, jobs)
+		if err != nil {
+			return nil, err
+		}
+		faulty, err := cloud.Run(cloud.Config{Nodes: nodes, Platform: p, NewCtl: mk, Faults: cfg}, jobs)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ClusterResilienceRow{Method: mk().Name(), Clean: clean, Faulty: faulty})
+	}
+	return rows, nil
+}
+
+// RenderResilience formats the single-node comparison with per-policy
+// fault and recovery counters.
+func RenderResilience(platform string, numTasks int, rows []ResilienceRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Resilience: %d-task flow on %s, fault-free vs injected faults (identical schedule per policy)\n",
+		numTasks, platform)
+	fmt.Fprintf(&sb, "%-18s %10s %10s %8s %6s %6s %6s %6s %6s %6s\n",
+		"method", "clean EE", "fault EE", "ΔEE", "stuck", "clamp", "late", "retry", "wdog", "drop")
+	for _, r := range rows {
+		f := r.Faults
+		fmt.Fprintf(&sb, "%-18s %10.4f %10.4f %+7.2f%% %6d %6d %6d %6d %6d %6d\n",
+			r.Method, r.CleanEE, r.FaultEE, r.DeltaEE()*100,
+			f.StuckTransitions, f.ClampedTransitions, f.DelayedTransitions,
+			f.ActuationRetries, f.WatchdogReasserts, f.SensorDropouts)
+	}
+	for _, r := range rows {
+		if r.Guard == nil {
+			continue
+		}
+		g := r.Guard
+		fmt.Fprintf(&sb, "  %s guard: invalid=%d nan=%d osc=%d fallbacks=%d fallback-windows=%d recoveries=%d\n",
+			r.Method, g.InvalidLevels, g.NaNWindows, g.Oscillations,
+			g.FallbackActivations, g.FallbackWindows, g.Recoveries)
+	}
+	return sb.String()
+}
+
+// RenderClusterResilience formats the fleet comparison with failover
+// accounting.
+func RenderClusterResilience(platform string, nodes, numJobs int, rows []ClusterResilienceRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Cluster resilience: %d jobs on %d %s nodes, fault-free vs node-crash schedule\n",
+		numJobs, nodes, platform)
+	fmt.Fprintf(&sb, "%-18s %10s %10s %8s %6s %6s %6s %8s %10s %12s\n",
+		"method", "clean EE", "fault EE", "ΔEE", "lost", "failov", "drop", "lost im", "lost J", "makespan")
+	for _, r := range rows {
+		f := r.Faulty
+		fmt.Fprintf(&sb, "%-18s %10.4f %10.4f %+7.2f%% %6d %6d %6d %8d %10.1f %12v\n",
+			r.Method, r.Clean.EE(), f.EE(), r.DeltaEE()*100,
+			f.NodesLost, f.Failovers, f.DroppedJobs, f.LostImages, f.LostEnergyJ,
+			f.Makespan.Round(time.Millisecond))
+	}
+	return sb.String()
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"powerlens/internal/hw"
+)
+
+func TestResilienceScenario(t *testing.T) {
+	e := testEnv(t)
+	p := hw.TX2()
+	rows, err := Resilience(e, p, 10, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("want 5 policies, got %d", len(rows))
+	}
+	var guarded *ResilienceRow
+	for i := range rows {
+		r := &rows[i]
+		if r.CleanEE <= 0 || r.FaultEE <= 0 {
+			t.Fatalf("%s: EE missing: %+v", r.Method, r)
+		}
+		// Every policy must have seen the nonzero fault schedule.
+		if r.Faults.Total() == 0 {
+			t.Fatalf("%s: no faults injected: %+v", r.Method, r.Faults)
+		}
+		if r.Guard != nil {
+			guarded = r
+		}
+	}
+	if guarded == nil {
+		t.Fatal("lineup must include a guard-wrapped PowerLens")
+	}
+	if !strings.HasPrefix(guarded.Method, "guard(") {
+		t.Fatalf("guarded method name = %q", guarded.Method)
+	}
+	// Acceptance criterion: the guarded PowerLens deployment under faults
+	// stays within 10% of its fault-free energy efficiency.
+	if d := guarded.DeltaEE(); d < -0.10 || d > 0.10 {
+		t.Fatalf("guarded PowerLens ΔEE %.2f%% outside ±10%% (faults %+v)", d*100, guarded.Faults)
+	}
+
+	out := RenderResilience(p.Name, 10, rows)
+	for _, want := range []string{"Resilience", "guard(PowerLens)", "BiM", "wdog", "fallbacks="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestClusterResilienceScenario(t *testing.T) {
+	e := testEnv(t)
+	p := hw.TX2()
+	rows, err := ClusterResilience(e, p, 3, 12, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("want 5 policies, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Clean.EE() <= 0 || r.Faulty.EE() <= 0 {
+			t.Fatalf("%s: cluster EE missing", r.Method)
+		}
+		if r.Clean.NodesLost != 0 || r.Clean.Failovers != 0 {
+			t.Fatalf("%s: clean run degraded: %+v", r.Method, r.Clean)
+		}
+		if r.Faulty.Faults.Total() == 0 {
+			t.Fatalf("%s: no executor faults on degraded run", r.Method)
+		}
+	}
+	out := RenderClusterResilience(p.Name, 3, 12, rows)
+	for _, want := range []string{"Cluster resilience", "failov", "lost J", "guard(PowerLens)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDefaultFaultScheduleSeeded(t *testing.T) {
+	a, b := DefaultFaultSchedule(7), DefaultFaultSchedule(7)
+	if a != b {
+		t.Fatal("schedule must be deterministic in its seed")
+	}
+	if !a.Enabled() {
+		t.Fatal("default schedule must be nonzero")
+	}
+	if DefaultFaultSchedule(8).Seed == a.Seed {
+		t.Fatal("seed must thread through")
+	}
+}

@@ -1,0 +1,155 @@
+package hw
+
+import (
+	"testing"
+	"time"
+)
+
+// Edge-case coverage for the thermal throttle cap and the power sensor,
+// exercising the boundaries the resilience runtime leans on: level 0, the
+// top of the ladder, temperatures exactly at the trip/release points, and
+// zero-duration accounting windows.
+
+func edgeModel() *ThermalModel {
+	return &ThermalModel{
+		AmbientC:    35,
+		ResistanceC: 5,
+		TimeConst:   20 * time.Second,
+		ThrottleC:   85,
+		ReleaseC:    78,
+		MaxLevelHot: 3,
+	}
+}
+
+func TestCapLevelEdges(t *testing.T) {
+	m := edgeModel()
+	s := NewThermalState(m)
+
+	// Cool: every level passes through untouched, including the extremes.
+	for _, lvl := range []int{0, 1, m.MaxLevelHot, m.MaxLevelHot + 1, 99} {
+		if got := s.CapLevel(lvl); got != lvl {
+			t.Fatalf("cool CapLevel(%d) = %d, want passthrough", lvl, got)
+		}
+	}
+
+	s.Throttled = true
+	// Level 0 must never be raised by the cap.
+	if got := s.CapLevel(0); got != 0 {
+		t.Fatalf("hot CapLevel(0) = %d, want 0", got)
+	}
+	// Exactly at the cap: allowed.
+	if got := s.CapLevel(m.MaxLevelHot); got != m.MaxLevelHot {
+		t.Fatalf("hot CapLevel(cap) = %d, want %d", got, m.MaxLevelHot)
+	}
+	// One past the cap and the ladder top: clamped to the cap.
+	for _, lvl := range []int{m.MaxLevelHot + 1, 1 << 20} {
+		if got := s.CapLevel(lvl); got != m.MaxLevelHot {
+			t.Fatalf("hot CapLevel(%d) = %d, want %d", lvl, got, m.MaxLevelHot)
+		}
+	}
+}
+
+func TestThrottleLatchExactThresholds(t *testing.T) {
+	m := edgeModel()
+
+	// Temperature exactly at the trip point must engage the throttle
+	// (the latch condition is >=, not >).
+	s := NewThermalState(m)
+	s.TempC = m.ThrottleC
+	s.Advance(0, 0) // zero-duration step: latch update only, no integration
+	if !s.Throttled {
+		t.Fatal("temp == ThrottleC must throttle")
+	}
+	if s.ThrottledTime != 0 {
+		t.Fatalf("zero-duration step accumulated %v throttled time", s.ThrottledTime)
+	}
+
+	// Just below the trip point: stays free.
+	s = NewThermalState(m)
+	s.TempC = m.ThrottleC - 1e-9
+	s.Advance(0, 0)
+	if s.Throttled {
+		t.Fatal("temp just below ThrottleC must not throttle")
+	}
+
+	// Hysteresis: a throttled part at exactly the release point unlatches...
+	s = NewThermalState(m)
+	s.Throttled = true
+	s.TempC = m.ReleaseC
+	s.Advance(0, 0)
+	if s.Throttled {
+		t.Fatal("temp == ReleaseC must release the throttle")
+	}
+	// ...but anywhere inside the hysteresis band it stays latched.
+	s = NewThermalState(m)
+	s.Throttled = true
+	s.TempC = (m.ReleaseC + m.ThrottleC) / 2
+	s.Advance(time.Millisecond, 0)
+	if !s.Throttled {
+		t.Fatal("temp inside hysteresis band must stay throttled")
+	}
+	if s.ThrottledTime != time.Millisecond {
+		t.Fatalf("throttled time = %v, want 1ms", s.ThrottledTime)
+	}
+}
+
+func TestThermalZeroDurationIsIdentity(t *testing.T) {
+	s := NewThermalState(edgeModel())
+	s.TempC = 60
+	s.PeakC = 60
+	before := *s
+	s.Advance(0, 50) // even at huge power, dt=0 integrates nothing
+	if s.TempC != before.TempC || s.PeakC != before.PeakC {
+		t.Fatalf("zero-duration Advance changed temp: %+v -> %+v", before, *s)
+	}
+}
+
+func TestPowerSensorZeroDurationWindows(t *testing.T) {
+	s := NewPowerSensor(10 * time.Millisecond)
+
+	// A zero-duration window adds no energy, no time, and no samples.
+	s.Advance(0, 123, 456e6)
+	if s.EnergyJ() != 0 || s.Now() != 0 || len(s.Samples()) != 0 {
+		t.Fatalf("zero window: E=%v t=%v samples=%d", s.EnergyJ(), s.Now(), len(s.Samples()))
+	}
+	if s.AveragePowerW() != 0 {
+		t.Fatalf("average power at t=0 = %v, want 0 (no divide-by-zero)", s.AveragePowerW())
+	}
+
+	// Zero-duration windows interleaved with real ones must not disturb
+	// the exact integral or the sample clock.
+	s.Advance(15*time.Millisecond, 2, 100e6)
+	mid := s.EnergyJ()
+	for i := 0; i < 5; i++ {
+		s.Advance(0, 999, 999e6)
+	}
+	if s.EnergyJ() != mid {
+		t.Fatalf("zero windows changed energy: %v -> %v", mid, s.EnergyJ())
+	}
+	if n := len(s.Samples()); n != 1 {
+		t.Fatalf("samples = %d, want 1 (tick at 10ms only)", n)
+	}
+	s.Advance(15*time.Millisecond, 4, 200e6)
+	wantE := 2*0.015 + 4*0.015
+	if diff := s.EnergyJ() - wantE; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("energy = %v, want %v", s.EnergyJ(), wantE)
+	}
+	// Ticks at 10, 20, 30 ms → 3 samples; the second window's power is
+	// attributed to the 20 ms and 30 ms ticks.
+	samples := s.Samples()
+	if len(samples) != 3 {
+		t.Fatalf("samples = %d, want 3", len(samples))
+	}
+	if samples[1].PowerW != 4 || samples[2].PowerW != 4 {
+		t.Fatalf("later ticks must carry the active window's power: %+v", samples[1:])
+	}
+
+	// A sample tick landing exactly on a window boundary belongs to the
+	// window that ends there (nextTick <= end is inclusive).
+	s2 := NewPowerSensor(10 * time.Millisecond)
+	s2.Advance(10*time.Millisecond, 7, 1e6)
+	got := s2.Samples()
+	if len(got) != 1 || got[0].At != 10*time.Millisecond || got[0].PowerW != 7 {
+		t.Fatalf("boundary tick: %+v", got)
+	}
+}

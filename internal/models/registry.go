@@ -2,8 +2,10 @@ package models
 
 import (
 	"fmt"
-	"powerlens/internal/graph"
 	"sort"
+	"strings"
+
+	"powerlens/internal/graph"
 )
 
 // builders maps paper model names (Table 1 spelling) to constructors.
@@ -50,20 +52,30 @@ func Names() []string {
 	}
 }
 
-// Build constructs the named model graph.
+// Build constructs the named model graph, validating the builder's output
+// so a malformed model spec surfaces as an error instead of a downstream
+// panic.
 func Build(name string) (*graph.Graph, error) {
 	b, ok := builders[name]
 	if !ok {
-		return nil, fmt.Errorf("models: unknown model %q", name)
+		return nil, fmt.Errorf("models: unknown model %q (known models: %s)",
+			name, strings.Join(AllNames(), ", "))
 	}
-	return b(), nil
+	g := b()
+	if g == nil || len(g.Layers) == 0 {
+		return nil, fmt.Errorf("models: builder for %q produced an empty graph", name)
+	}
+	return g, nil
 }
 
-// MustBuild is Build for known-good names; it panics on error.
+// MustBuild is Build for known-good names. Instead of re-panicking a bare
+// error it fails with a message that names the offending model and the
+// valid registry, so a typo in an experiment config is immediately
+// diagnosable; callers that can return errors should prefer Build.
 func MustBuild(name string) *graph.Graph {
 	g, err := Build(name)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("models.MustBuild(%q): %v", name, err))
 	}
 	return g
 }

@@ -52,6 +52,10 @@ type Result struct {
 	// Thermal results (zero unless Executor.Thermal was set).
 	PeakTempC     float64
 	ThrottledTime time.Duration
+
+	// Faults counts injected faults and recovery actions (all zero unless
+	// Executor.Faults was set).
+	Faults hw.FaultStats
 }
 
 // AvgPowerW returns the run's mean power P̄.
@@ -103,6 +107,19 @@ type Executor struct {
 	// temperature is integrated alongside energy and a throttle latch caps
 	// the applied GPU level while hot (MAXN-style throttling).
 	Thermal *hw.ThermalModel
+	// Faults, when non-nil, injects sensor and DVFS actuation faults drawn
+	// from its seeded stream. The executor then runs its resilience
+	// machinery: bounded-backoff retry of stuck transitions and a watchdog
+	// that re-asserts a frequency the hardware never reached. Nil (the
+	// default) keeps the exact fault-free code path.
+	Faults *hw.Injector
+	// MaxActuationRetries bounds the immediate retries of a stuck
+	// transition before the executor gives up and leaves re-assertion to
+	// the watchdog (default 2).
+	MaxActuationRetries int
+	// RetryBackoff is the initial idle backoff between actuation retries;
+	// it doubles per retry, capped at 8× (default 1 ms).
+	RetryBackoff time.Duration
 
 	thermal *hw.ThermalState
 
@@ -118,6 +135,13 @@ type Executor struct {
 	gpuLevel int
 	switches int
 	images   int
+
+	// Resilience state (only used when Faults != nil).
+	wantLevel  int           // last level the controller asked for (post clamps)
+	switching  bool          // re-entrancy guard for the faulted switch path
+	faultStats hw.FaultStats // counters surfaced in Result.Faults
+	lastStats  WindowStats   // last delivered window (stale data on dropout)
+	haveStats  bool
 }
 
 // NewExecutor returns an executor with default periods.
@@ -143,6 +167,11 @@ func (e *Executor) reset() {
 	if e.Thermal != nil {
 		e.thermal = hw.NewThermalState(e.Thermal)
 	}
+	e.wantLevel = e.gpuLevel
+	e.switching = false
+	e.faultStats = hw.FaultStats{}
+	e.lastStats = WindowStats{}
+	e.haveStats = false
 }
 
 // advance accounts an interval with given power, busy flags, and compute
@@ -195,8 +224,48 @@ func (e *Executor) tickWindow() {
 	e.winElapsed, e.winGPUBusy, e.winCPUBusy = 0, 0, 0
 	e.winCompute, e.winEnergy = 0, 0
 
+	if e.Faults != nil {
+		stats = e.observeWindow(stats)
+	}
 	e.Ctl.OnWindow(stats)
 	e.applyLevel()
+}
+
+// observeWindow passes ground-truth window stats through the fault
+// injector's sensor model: a dropped window delivers the previous reading
+// (tegrastats-style stale data), a noisy one perturbs the observed power and
+// busy fractions. Energy accounting stays exact — only what the governor
+// *sees* is corrupted.
+func (e *Executor) observeWindow(stats WindowStats) WindowStats {
+	r := e.Faults.SensorWindow()
+	switch {
+	case r.Dropped:
+		e.faultStats.SensorDropouts++
+		if e.haveStats {
+			return e.lastStats
+		}
+		// Nothing delivered yet: the governor sees an empty first window.
+		stats = WindowStats{Period: stats.Period, GPULevel: stats.GPULevel, CPULevel: stats.CPULevel}
+	case r.Noisy:
+		e.faultStats.SensorNoisy++
+		stats.AvgPowerW *= r.PowerScale
+		stats.GPUBusy = clamp01(stats.GPUBusy * r.BusyScale)
+		stats.CPUBusy = clamp01(stats.CPUBusy * r.BusyScale)
+		stats.AvgComputeUt = clamp01(stats.AvgComputeUt * r.BusyScale)
+	}
+	e.lastStats = stats
+	e.haveStats = true
+	return stats
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
 }
 
 // applyLevel pays the switch cost if the controller's desired level differs
@@ -206,6 +275,10 @@ func (e *Executor) applyLevel() {
 	want := e.Platform.ClampGPULevel(e.Ctl.GPULevel())
 	if e.thermal != nil {
 		want = e.thermal.CapLevel(want)
+	}
+	if e.Faults != nil {
+		e.applyLevelFaulty(want)
+		return
 	}
 	if want == e.gpuLevel {
 		return
@@ -217,6 +290,72 @@ func (e *Executor) applyLevel() {
 	e.gpuLevel = want
 	e.switches++
 	e.advance(d, power, false, false, 0)
+}
+
+// applyLevelFaulty actuates a level change through the fault injector. A
+// stuck transition is retried immediately with bounded exponential backoff;
+// if the hardware still refuses, the mismatch persists and the watchdog —
+// the want==wantLevel check below — detects and re-asserts it the next time
+// the controller state is applied (every window tick and instrumentation
+// point). Clamped transitions are accepted as-is for this attempt: a
+// thermal/nvpmodel clamp will not yield to an immediate retry.
+func (e *Executor) applyLevelFaulty(want int) {
+	if e.switching {
+		// A window tick fired during a transition's own stall interval;
+		// the outer call finishes the actuation.
+		return
+	}
+	if want == e.gpuLevel {
+		e.wantLevel = want
+		return
+	}
+	if want == e.wantLevel {
+		// The controller already asked for this level and the hardware
+		// never got there: a stuck frequency caught by the watchdog.
+		e.faultStats.WatchdogReasserts++
+	}
+	e.wantLevel = want
+	e.switching = true
+	defer func() { e.switching = false }()
+
+	maxRetries := e.MaxActuationRetries
+	if maxRetries <= 0 {
+		maxRetries = 2
+	}
+	backoff := e.RetryBackoff
+	if backoff <= 0 {
+		backoff = time.Millisecond
+	}
+	maxBackoff := 8 * backoff
+	for attempt := 0; ; attempt++ {
+		tr := e.Faults.Transition(e.gpuLevel, want)
+		d, energy := e.Platform.SwitchCost(e.Platform.GPUFreqsHz[e.gpuLevel])
+		if tr.ExtraLatency > 0 {
+			d += tr.ExtraLatency
+			e.faultStats.DelayedTransitions++
+		}
+		power := energy / d.Seconds()
+		e.gpuLevel = e.Platform.ClampGPULevel(tr.Applied)
+		e.switches++
+		e.advance(d, power, false, false, 0)
+		if tr.Stuck {
+			e.faultStats.StuckTransitions++
+		}
+		if tr.Clamped {
+			e.faultStats.ClampedTransitions++
+		}
+		if e.gpuLevel == want || tr.Clamped || attempt >= maxRetries {
+			return
+		}
+		// Stuck: back off briefly (GPU idles at the unchanged frequency),
+		// then retry.
+		e.faultStats.ActuationRetries++
+		idleW := e.Platform.GPUIdlePower(e.Platform.GPUFreqsHz[e.gpuLevel])
+		e.advance(backoff, idleW, false, false, 0)
+		if backoff < maxBackoff {
+			backoff *= 2
+		}
+	}
 }
 
 // runImage simulates one inference pass (Batch images). Host pre-processing
@@ -344,5 +483,6 @@ func (e *Executor) result() Result {
 		r.PeakTempC = e.thermal.PeakC
 		r.ThrottledTime = e.thermal.ThrottledTime
 	}
+	r.Faults = e.faultStats
 	return r
 }

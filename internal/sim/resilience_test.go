@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"powerlens/internal/graph"
+	"powerlens/internal/hw"
+	"powerlens/internal/models"
+)
+
+func testGraph() *graph.Graph { return models.AlexNet() }
+
+// testFaults is a moderately hostile schedule used across resilience tests.
+func testFaults(seed int64) hw.FaultConfig {
+	return hw.FaultConfig{
+		Seed:              seed,
+		SensorDropoutProb: 0.10,
+		SensorNoiseFrac:   0.15,
+		StuckProb:         0.15,
+		ClampProb:         0.05,
+		DelayProb:         0.25,
+		DelayLatency:      2 * time.Millisecond,
+	}
+}
+
+// switcher forces a level change on every window so actuation faults get
+// plenty of chances to fire.
+type switcher struct {
+	platform *hw.Platform
+	level    int
+}
+
+func (s *switcher) Name() string { return "switcher" }
+func (s *switcher) Reset(p *hw.Platform) {
+	s.platform = p
+	s.level = 0
+}
+func (s *switcher) GPULevel() int                 { return s.level }
+func (s *switcher) CPULevel() int                 { return len(s.platform.CPUFreqsHz) - 1 }
+func (s *switcher) BeforeLayer(*graph.Graph, int) {}
+func (s *switcher) OnWindow(WindowStats) {
+	if s.level == 0 {
+		s.level = s.platform.NumGPULevels() - 1
+	} else {
+		s.level = 0
+	}
+}
+
+func TestFaultedRunCompletesAndCounts(t *testing.T) {
+	p := hw.TX2()
+	g := testGraph()
+	e := NewExecutor(p, &switcher{})
+	e.Faults = hw.NewInjector(testFaults(11))
+	r := e.RunTask(g, 60)
+	if r.Images != 60 {
+		t.Fatalf("images = %d, want 60", r.Images)
+	}
+	if r.EnergyJ <= 0 || r.Time <= 0 {
+		t.Fatalf("bad aggregates: %+v", r)
+	}
+	if r.Faults.Total() == 0 {
+		t.Fatalf("expected injected faults, got %+v", r.Faults)
+	}
+	if r.Faults.StuckTransitions == 0 {
+		t.Fatalf("expected stuck transitions under StuckProb=0.15: %+v", r.Faults)
+	}
+	if r.Faults.ActuationRetries == 0 {
+		t.Fatalf("expected bounded-backoff retries: %+v", r.Faults)
+	}
+}
+
+func TestWatchdogReassertsStuckFrequency(t *testing.T) {
+	p := hw.TX2()
+	g := testGraph()
+	e := NewExecutor(p, &switcher{})
+	// Every transition sticks and retries are bounded, so the watchdog must
+	// repeatedly detect the mismatch and re-assert.
+	e.Faults = hw.NewInjector(hw.FaultConfig{Seed: 5, StuckProb: 1})
+	e.MaxActuationRetries = 1
+	r := e.RunTask(g, 40)
+	if r.Faults.WatchdogReasserts == 0 {
+		t.Fatalf("watchdog never fired: %+v", r.Faults)
+	}
+	if r.Faults.StuckTransitions == 0 {
+		t.Fatalf("no stuck transitions recorded: %+v", r.Faults)
+	}
+}
+
+func TestRetryRecoversTransientSticks(t *testing.T) {
+	p := hw.TX2()
+	g := testGraph()
+	e := NewExecutor(p, &switcher{})
+	e.Faults = hw.NewInjector(hw.FaultConfig{Seed: 6, StuckProb: 0.5})
+	r := e.RunTask(g, 40)
+	// With p=0.5 and 2 retries, the vast majority of requested switches must
+	// eventually land; retries must be doing work.
+	if r.Faults.ActuationRetries == 0 {
+		t.Fatalf("no retries at StuckProb=0.5: %+v", r.Faults)
+	}
+	if r.Switches <= r.Faults.StuckTransitions {
+		t.Fatalf("switch attempts %d should exceed stuck count %d", r.Switches, r.Faults.StuckTransitions)
+	}
+}
+
+func TestFaultedRunDeterministic(t *testing.T) {
+	p := hw.AGX()
+	g := testGraph()
+	run := func() Result {
+		e := NewExecutor(p, &switcher{})
+		e.Faults = hw.NewInjector(testFaults(21))
+		return e.RunTask(g, 50)
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same fault seed must reproduce byte-identical results:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestNilFaultsMatchesZeroSchedule(t *testing.T) {
+	// hw.NewInjector on a zero config returns nil, so a zero fault schedule
+	// provably runs the legacy executor path.
+	if hw.NewInjector(hw.FaultConfig{}) != nil {
+		t.Fatal("zero schedule must map to a nil injector")
+	}
+	p := hw.TX2()
+	g := testGraph()
+	e1 := NewExecutor(p, &switcher{})
+	r1 := e1.RunTask(g, 30)
+	e2 := NewExecutor(p, &switcher{})
+	e2.Faults = hw.NewInjector(hw.FaultConfig{})
+	r2 := e2.RunTask(g, 30)
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatal("zero fault schedule must be bit-identical to fault-free run")
+	}
+	if r1.Faults != (hw.FaultStats{}) {
+		t.Fatalf("fault-free run reported faults: %+v", r1.Faults)
+	}
+}
+
+func TestFaultedEnergyStaysClose(t *testing.T) {
+	// Faults corrupt observations and actuation, not physics: a static
+	// governor's energy efficiency under the standard schedule must stay
+	// within 10% of its fault-free run (the acceptance bound the guarded
+	// PowerLens run is also held to, checked end-to-end in experiments).
+	p := hw.TX2()
+	g := testGraph()
+	clean := NewExecutor(p, &switcher{}).RunTask(g, 60)
+	e := NewExecutor(p, &switcher{})
+	e.Faults = hw.NewInjector(testFaults(31))
+	faulty := e.RunTask(g, 60)
+	ratio := faulty.EE() / clean.EE()
+	if ratio < 0.90 || ratio > 1.10 {
+		t.Fatalf("faulted EE ratio %.3f outside ±10%% (clean %.4f, faulty %.4f)",
+			ratio, clean.EE(), faulty.EE())
+	}
+}
