@@ -30,6 +30,7 @@ import (
 	"powerlens/internal/hw"
 	"powerlens/internal/models"
 	"powerlens/internal/nn"
+	"powerlens/internal/obs"
 	"powerlens/internal/sim"
 	"powerlens/internal/tensor"
 )
@@ -417,6 +418,75 @@ func BenchmarkExtensions(b *testing.B) {
 		cg += r.CGEE/r.BaseEE - 1
 	}
 	b.ReportMetric(cg/float64(len(rows))*100, "CGgain_%")
+}
+
+// --- Observability benches (DESIGN.md §9) ---
+
+// BenchmarkObsCounter measures the metrics registry's hot path: the
+// zero-label fast path is a single atomic CAS loop; the labelled path adds
+// one map lookup under RLock.
+func BenchmarkObsCounter(b *testing.B) {
+	r := obs.NewRegistry()
+	b.Run("no-labels", func(b *testing.B) {
+		c := r.Counter("bench_plain_total", "bench")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+		}
+	})
+	b.Run("labelled", func(b *testing.B) {
+		c := r.Counter("bench_labelled_total", "bench", "controller")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Inc("PowerLens")
+		}
+	})
+}
+
+// BenchmarkObsHistogram measures a labelled histogram observation (bucket
+// scan + series lookup).
+func BenchmarkObsHistogram(b *testing.B) {
+	r := obs.NewRegistry()
+	h := r.Histogram("bench_watts", "bench", []float64{1, 2, 4, 8, 16}, "controller")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%20), "PowerLens")
+	}
+}
+
+// BenchmarkObsSpan measures one trace span emission (lock + append).
+func BenchmarkObsSpan(b *testing.B) {
+	o := obs.New()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.Span("block", "bench", 0, 1, nil)
+	}
+}
+
+// BenchmarkExecutorObserved measures the executor with the full
+// observability layer attached, against BenchmarkExecutor's bare runs: the
+// sub-bench delta is the per-task instrumentation cost (metrics, block and
+// actuation spans, decision instants).
+func BenchmarkExecutorObserved(b *testing.B) {
+	p := hw.TX2()
+	g := models.MustBuild("resnet152")
+	ctl := governor.NewStatic(8)
+	b.Run("bare", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sim.NewExecutor(p, ctl).RunTask(g, 1)
+		}
+	})
+	b.Run("observed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e := sim.NewExecutor(p, ctl)
+			e.Obs = obs.New()
+			e.RunTask(g, 1)
+		}
+	})
 }
 
 // BenchmarkAblationFusion compares PowerLens's end-to-end EE on eager vs

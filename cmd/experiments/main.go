@@ -14,7 +14,11 @@
 //	experiments thermal [-networks N] [-seed S]  # sustained-load throttling study
 //	experiments ext    [-networks N] [-seed S]   # §5 extensions: CPU DVFS + batching
 //	experiments resilience [-networks N] [-seed S] [-tasks T] [-nodes K] [-jobs J]
+//	                       [-trace-out F] [-metrics-out F]
 //	                                              # fault injection: guarded governors + cluster failover
+//	experiments observe [-networks N] [-seed S] [-tasks T] [-nodes K] [-jobs J]
+//	                    [-trace-out observe_trace.json] [-metrics-out observe_metrics.prom]
+//	                                              # instrumented run: Chrome trace + Prometheus metrics
 //	experiments switch                            # §3.3 switch microbenchmark
 //	experiments calibrate                         # hw-model diagnostics
 //	experiments dispersion                        # per-stage oracle diagnostics
@@ -52,6 +56,8 @@ func main() {
 		runExt(args)
 	case "resilience":
 		runResilience(args)
+	case "observe":
+		runObserve(args)
 	case "switch":
 		runSwitch()
 	case "calibrate":
@@ -67,5 +73,5 @@ func main() {
 }
 
 func usage() {
-	fmt.Println("usage: experiments <all|report|table1|table2|table3|fig1|fig5|ext|thermal|resilience|switch|calibrate|dispersion> [-networks N] [-seed S]")
+	fmt.Println("usage: experiments <all|report|table1|table2|table3|fig1|fig5|ext|thermal|resilience|observe|switch|calibrate|dispersion> [-networks N] [-seed S]")
 }

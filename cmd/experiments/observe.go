@@ -1,0 +1,71 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"powerlens/internal/experiments"
+	"powerlens/internal/hw"
+	"powerlens/internal/obs"
+)
+
+// runObserve executes the fully instrumented scenario on TX2 and exports the
+// observability snapshot: a Prometheus text page and a Chrome trace_event
+// JSON file loadable in Perfetto / chrome://tracing.
+func runObserve(args []string) {
+	fs := flag.NewFlagSet("observe", flag.ExitOnError)
+	n := fs.Int("networks", 400, "random networks per platform for deployment")
+	s := fs.Int64("seed", 1, "master seed (also seeds the fault schedule)")
+	tasks := fs.Int("tasks", 20, "single-node task-flow length")
+	nodes := fs.Int("nodes", 3, "cluster size")
+	jobs := fs.Int("jobs", 20, "cluster job-trace length")
+	traceOut := fs.String("trace-out", "observe_trace.json", "Chrome trace_event JSON output path (empty = skip)")
+	metricsOut := fs.String("metrics-out", "observe_metrics.prom", "Prometheus text output path (empty = skip)")
+	fs.Parse(args)
+
+	env := buildEnv(*n, *s)
+	d, err := experiments.Observe(env, hw.TX2(), experiments.ObserveOptions{
+		Tasks: *tasks, Nodes: *nodes, Jobs: *jobs, Seed: *s,
+	})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println(experiments.RenderObserve(d))
+	exportObs(d.Obs, d.Events, *traceOut, *metricsOut)
+}
+
+// exportObs writes the trace and metrics artifacts, skipping empty paths.
+func exportObs(o *obs.Observer, events []obs.Event, traceOut, metricsOut string) {
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := obs.WriteChromeTrace(f, events); err != nil {
+			fail(err)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "wrote %s (%d events)\n", traceOut, len(events))
+	}
+	if metricsOut != "" {
+		f, err := os.Create(metricsOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := o.Metrics.WritePrometheus(f); err != nil {
+			fail(err)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "wrote %s\n", metricsOut)
+	}
+}
+
+// withSuffix inserts a suffix before the path's extension
+// ("trace.json", "_TX2" → "trace_TX2.json") for per-platform artifacts.
+func withSuffix(path, suffix string) string {
+	ext := filepath.Ext(path)
+	return strings.TrimSuffix(path, ext) + suffix + ext
+}

@@ -6,12 +6,14 @@ import (
 
 	"powerlens/internal/experiments"
 	"powerlens/internal/hw"
+	"powerlens/internal/obs"
 )
 
 // runResilience executes the fault-injection scenario: every governor runs
 // an identical task flow (and job trace, for the cluster variant) fault-free
 // and under the same seeded fault schedule, reporting per-policy fault and
-// recovery counters.
+// recovery counters. With -trace-out / -metrics-out the faulted runs stream
+// into the observability layer and the artifacts are written per platform.
 func runResilience(args []string) {
 	fs := flag.NewFlagSet("resilience", flag.ExitOnError)
 	n := fs.Int("networks", 400, "random networks per platform for deployment")
@@ -19,10 +21,38 @@ func runResilience(args []string) {
 	tasks := fs.Int("tasks", 40, "task-flow length for the single-node scenario")
 	nodes := fs.Int("nodes", 4, "cluster size for the failover scenario")
 	jobs := fs.Int("jobs", 40, "job-trace length for the failover scenario")
+	traceOut := fs.String("trace-out", "", "write faulted-run Chrome trace JSON per platform (empty = off)")
+	metricsOut := fs.String("metrics-out", "", "write faulted-run Prometheus text per platform (empty = off)")
 	fs.Parse(args)
 
 	env := buildEnv(*n, *s)
-	runResilienceWithEnv(env, *tasks, *nodes, *jobs, *s)
+	if *traceOut == "" && *metricsOut == "" {
+		runResilienceWithEnv(env, *tasks, *nodes, *jobs, *s)
+		return
+	}
+	for _, p := range hw.Platforms() {
+		o := obs.New()
+		rows, err := experiments.ResilienceObserved(env, p, *tasks, *s, o)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.RenderResilience(p.Name, *tasks, rows))
+
+		crows, err := experiments.ClusterResilienceObserved(env, p, *nodes, *jobs, *s, o)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.RenderClusterResilience(p.Name, *nodes, *jobs, crows))
+
+		tOut, mOut := *traceOut, *metricsOut
+		if tOut != "" {
+			tOut = withSuffix(tOut, "_"+p.Name)
+		}
+		if mOut != "" {
+			mOut = withSuffix(mOut, "_"+p.Name)
+		}
+		exportObs(o, o.Tracer.Events(), tOut, mOut)
+	}
 }
 
 func runResilienceWithEnv(env *experiments.Env, tasks, nodes, jobs int, seed int64) {

@@ -11,6 +11,7 @@ import (
 	"powerlens/internal/core"
 	"powerlens/internal/experiments"
 	"powerlens/internal/hw"
+	"powerlens/internal/obs"
 	"powerlens/internal/report"
 	"powerlens/internal/sim"
 )
@@ -167,10 +168,22 @@ func runFig1(args []string) {
 	n := fs.Int("networks", 400, "random networks per platform for deployment")
 	s := fs.Int64("seed", 1, "master seed")
 	csvDir := fs.String("csv", "", "write per-method tegrastats CSV traces into this directory")
+	traceOut := fs.String("trace-out", "", "write per-method Chrome trace JSON (empty = off)")
+	metricsOut := fs.String("metrics-out", "", "write per-method Prometheus text (empty = off)")
 	fs.Parse(args)
 	env := buildEnv(*n, *s)
 	if *csvDir != "" {
 		writeFig1CSVs(env, *csvDir)
+		return
+	}
+	if *traceOut != "" || *metricsOut != "" {
+		o := obs.New()
+		traces, err := experiments.Fig1Observed(env, hw.TX2(), o)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.RenderFig1(traces))
+		exportObs(o, o.Tracer.Events(), *traceOut, *metricsOut)
 		return
 	}
 	runFig1WithEnv(env, true)

@@ -23,6 +23,7 @@ import (
 
 	"powerlens/internal/graph"
 	"powerlens/internal/hw"
+	"powerlens/internal/obs"
 	"powerlens/internal/sim"
 )
 
@@ -49,7 +50,22 @@ type Config struct {
 	// (sensor noise/dropout, actuation faults) plus scheduled node crashes.
 	// The zero value reproduces the fault-free dispatcher bit-for-bit.
 	Faults hw.FaultConfig
+	// Obs, when non-nil, streams the job lifecycle (dispatch spans, crash /
+	// failover / drop instants on per-node tracks) and fleet counters into
+	// the observability layer. Each node's executor emits on its own derived
+	// track, so the trace is deterministic for a fixed seed despite nodes
+	// simulating concurrently.
+	Obs *obs.Observer
 }
+
+// Trace track-ID scheme: job lifecycle events for node n go on track
+// jobTrackBase+n, the node's executor internals on nodeTrackBase+n, and
+// dropped jobs on track 0 — all clear of track 1, which single-node
+// experiments use, so a shared observer never interleaves tracks.
+const (
+	jobTrackBase  = 10
+	nodeTrackBase = 100
+)
 
 // NodeResult is one node's simulated outcome.
 type NodeResult struct {
@@ -137,6 +153,17 @@ func Run(cfg Config, jobs []Job) (Result, error) {
 
 	crashAt := cfg.Faults.CrashTimes(cfg.Nodes)
 
+	var mJobs, mNodesLost, mLostEnergy obs.Counter
+	if cfg.Obs != nil {
+		m := cfg.Obs.Metrics
+		mJobs = m.Counter("cloud_jobs_total",
+			"Dispatched jobs by outcome (completed, failover, dropped).", "outcome")
+		mNodesLost = m.Counter("cloud_nodes_lost_total",
+			"Nodes whose scheduled crash fell inside the trace.")
+		mLostEnergy = m.Counter("cloud_lost_energy_joules_total",
+			"Energy burned on work destroyed by node crashes.")
+	}
+
 	type nodeState struct {
 		free  time.Duration
 		tasks []sim.Task
@@ -167,6 +194,11 @@ func Run(cfg Config, jobs []Job) (Result, error) {
 		if best < 0 {
 			// No node can ever take this job: the degraded cluster drops it.
 			res.DroppedJobs++
+			if cfg.Obs != nil {
+				mJobs.Inc("dropped")
+				cfg.Obs.Tracer.Instant("job", "dropped", 0, j.Arrival,
+					map[string]any{"model": j.Graph.Name, "images": j.Images})
+			}
 			continue
 		}
 		ns := &nodes[best]
@@ -182,6 +214,14 @@ func Run(cfg Config, jobs []Job) (Result, error) {
 			res.LostEnergyJ += dry.EnergyJ * frac
 			res.LostImages += int(float64(j.Images)*frac + 0.5)
 			res.Failovers++
+			if cfg.Obs != nil {
+				mJobs.Inc("failover")
+				mLostEnergy.Add(dry.EnergyJ * frac)
+				cfg.Obs.Tracer.Complete("job", j.Graph.Name+" (lost)", jobTrackBase+best,
+					bestStart, ran, map[string]any{"node": best, "aborted": true})
+				cfg.Obs.Tracer.Instant("job", "failover", jobTrackBase+best, crashAt[best],
+					map[string]any{"model": j.Graph.Name, "node": best})
+			}
 			ns.free = crashAt[best]
 			j.Arrival = crashAt[best]
 			requeue(&queue, j)
@@ -195,12 +235,23 @@ func Run(cfg Config, jobs []Job) (Result, error) {
 		ns.jobs++
 		completed++
 		turnaround += end - j.orig
+		if cfg.Obs != nil {
+			mJobs.Inc("completed")
+			cfg.Obs.Tracer.Complete("job", j.Graph.Name, jobTrackBase+best, bestStart, dry.Time,
+				map[string]any{"node": best, "images": j.Images,
+					"queued_ms": float64((bestStart - j.orig).Milliseconds())})
+		}
 	}
 
 	// Simulate every loaded node concurrently — nodes are independent
 	// boards, and per-node fault streams are seeded per node index, so the
-	// outcome is deterministic regardless of goroutine scheduling.
+	// outcome is deterministic regardless of goroutine scheduling. Each node
+	// emits metrics into a private registry merged back in node order below:
+	// folding into the shared registry directly would make float sums depend
+	// on how the nodes' writes interleaved. (The shared tracer needs no such
+	// treatment — Events() sorts by track/timestamp/sequence.)
 	nodeResults := make([]*NodeResult, cfg.Nodes)
+	nodeObs := make([]*obs.Observer, cfg.Nodes)
 	var wg sync.WaitGroup
 	for n := range nodes {
 		if nodes[n].jobs == 0 {
@@ -212,11 +263,23 @@ func Run(cfg Config, jobs []Job) (Result, error) {
 			e := sim.NewExecutor(cfg.Platform, cfg.NewCtl())
 			e.Batch = cfg.Batch
 			e.Faults = hw.NewInjector(cfg.Faults.ForNode(n))
+			if no := cfg.Obs.ForTrack(nodeTrackBase + n); no != nil {
+				no.Metrics = obs.NewRegistry()
+				nodeObs[n] = no
+				e.Obs = no
+			}
 			r := e.RunTaskFlowArrivals(nodes[n].tasks, nodes[n].gaps)
 			nodeResults[n] = &NodeResult{Node: n, Jobs: nodes[n].jobs, Result: r, BusyEnd: nodes[n].free}
 		}(n)
 	}
 	wg.Wait()
+	if cfg.Obs != nil {
+		for _, no := range nodeObs {
+			if no != nil {
+				cfg.Obs.Metrics.Merge(no.Metrics)
+			}
+		}
+	}
 
 	for n, nr := range nodeResults {
 		if nr == nil {
@@ -239,6 +302,11 @@ func Run(cfg Config, jobs []Job) (Result, error) {
 	for n := range crashAt {
 		if crashAt[n] != hw.NeverCrash && crashAt[n] <= res.Makespan {
 			res.NodesLost++
+			if cfg.Obs != nil {
+				mNodesLost.Inc()
+				cfg.Obs.Tracer.Instant("node", "crash", jobTrackBase+n, crashAt[n],
+					map[string]any{"node": n})
+			}
 		}
 	}
 	res.TotalEnergyJ += res.LostEnergyJ

@@ -1,0 +1,137 @@
+package cloud
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"powerlens/internal/hw"
+	"powerlens/internal/obs"
+)
+
+// obsTestFaults is a nonzero schedule with node crashes, deterministic per
+// run, matching the resilience experiment's nuisance rates.
+func obsTestFaults() hw.FaultConfig {
+	return hw.FaultConfig{
+		Seed:              23,
+		SensorDropoutProb: 0.05, SensorNoiseFrac: 0.10,
+		StuckProb: 0.10, ClampProb: 0.03,
+		DelayProb: 0.20, DelayLatency: 2 * time.Millisecond,
+		NodeCrashProb: 0.5, NodeCrashMTBF: 60 * time.Second,
+	}
+}
+
+// TestObservedClusterRunIsIdentical is the cluster-level determinism check:
+// attaching an observer to a faulty seeded run must not change any result
+// field, even though nodes simulate on concurrent goroutines.
+func TestObservedClusterRunIsIdentical(t *testing.T) {
+	p := hw.TX2()
+	jobs := testJobs(16)
+	run := func(o *obs.Observer) Result {
+		res, err := Run(Config{
+			Nodes:    3,
+			Platform: p,
+			NewCtl:   staticFactory(7),
+			Faults:   obsTestFaults(),
+			Obs:      o,
+		}, jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	bare, observed := run(nil), run(obs.New())
+	if !reflect.DeepEqual(bare, observed) {
+		t.Fatalf("observation changed the cluster result:\nbare     %+v\nobserved %+v",
+			bare, observed)
+	}
+}
+
+// TestClusterTrace checks the dispatcher's emission: fleet counters agree
+// with the result, job spans land on per-node job tracks, executor events on
+// per-node executor tracks, and every trace is deterministic across runs.
+func TestClusterTrace(t *testing.T) {
+	p := hw.TX2()
+	jobs := testJobs(16)
+	run := func() (Result, []obs.Event, []obs.FamilySnapshot) {
+		o := obs.New()
+		res, err := Run(Config{
+			Nodes:    3,
+			Platform: p,
+			NewCtl:   staticFactory(7),
+			Faults:   obsTestFaults(),
+			Obs:      o,
+		}, jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, o.Tracer.Events(), o.Metrics.Snapshot()
+	}
+	res, evs, snap := run()
+	vals := map[string]float64{}
+	for _, f := range snap {
+		vals[f.Name] = f.Total()
+	}
+
+	completed := 0
+	for _, n := range res.Nodes {
+		completed += n.Jobs
+	}
+	if vals["cloud_jobs_total"] != float64(completed+res.Failovers+res.DroppedJobs) {
+		t.Fatalf("cloud_jobs_total = %g, want %d completed + %d failover + %d dropped",
+			vals["cloud_jobs_total"], completed, res.Failovers, res.DroppedJobs)
+	}
+	if vals["cloud_nodes_lost_total"] != float64(res.NodesLost) {
+		t.Fatalf("cloud_nodes_lost_total = %g, want %d", vals["cloud_nodes_lost_total"], res.NodesLost)
+	}
+	if vals["cloud_lost_energy_joules_total"] != res.LostEnergyJ {
+		t.Fatalf("cloud_lost_energy_joules_total = %g, want %g",
+			vals["cloud_lost_energy_joules_total"], res.LostEnergyJ)
+	}
+
+	jobSpans, crashMarks := 0, 0
+	for _, ev := range evs {
+		switch ev.Cat {
+		case "job":
+			if ev.Phase == obs.PhaseComplete {
+				jobSpans++
+				n := int(ev.TID) - jobTrackBase
+				if n < 0 || n >= 3 {
+					t.Fatalf("job span on unexpected track %d: %+v", ev.TID, ev)
+				}
+			}
+		case "node":
+			crashMarks++
+		case "block", "actuation", "decision":
+			if int(ev.TID) < nodeTrackBase || int(ev.TID) >= nodeTrackBase+3 {
+				t.Fatalf("executor event on unexpected track %d: %+v", ev.TID, ev)
+			}
+		}
+	}
+	if jobSpans != completed+res.Failovers {
+		t.Fatalf("job spans = %d, want %d completed + %d lost-to-failover",
+			jobSpans, completed, res.Failovers)
+	}
+	if crashMarks != res.NodesLost {
+		t.Fatalf("crash marks = %d, want %d", crashMarks, res.NodesLost)
+	}
+
+	// The event stream (order, timestamps, args) and the full metric state —
+	// including float histogram sums, which node registries accumulate
+	// privately and merge in node order — must be reproducible bit for bit
+	// even though node executors run concurrently.
+	_, evs2, snap2 := run()
+	if len(evs) != len(evs2) {
+		t.Fatalf("trace lengths differ across runs: %d vs %d", len(evs), len(evs2))
+	}
+	for i := range evs {
+		a, b := evs[i], evs2[i]
+		if a.Name != b.Name || a.Cat != b.Cat || a.TID != b.TID ||
+			a.TsUS != b.TsUS || a.DurUS != b.DurUS {
+			t.Fatalf("trace diverges at event %d:\n%+v\n%+v", i, a, b)
+		}
+	}
+	if !reflect.DeepEqual(snap, snap2) {
+		t.Fatalf("metric snapshots diverge across runs:\n%+v\n%+v", snap, snap2)
+	}
+}

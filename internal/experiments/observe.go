@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"powerlens/internal/cloud"
+	"powerlens/internal/cluster"
+	"powerlens/internal/features"
+	"powerlens/internal/governor"
+	"powerlens/internal/hw"
+	"powerlens/internal/obs"
+	"powerlens/internal/sim"
+)
+
+// Observe scenario: one fully instrumented pass through the runtime. A
+// guarded MultiPlan deployment runs a faulted task flow on a single node,
+// then the same fault schedule drives a small cluster with node crashes, all
+// streaming into one obs.Observer — metrics registry, decision/actuation/
+// block span trace, and profiling regions around the offline pipeline's hot
+// paths. The collected snapshot is what `cmd/experiments observe` exports as
+// a Prometheus text page and a Chrome trace_event JSON file.
+
+// ObserveOptions sizes the scenario; zero fields take defaults.
+type ObserveOptions struct {
+	Tasks int   // single-node task-flow length (default 20)
+	Nodes int   // cluster size (default 3)
+	Jobs  int   // cluster job-trace length (default 20)
+	Seed  int64 // master seed, also seeds the fault schedule (default 1)
+}
+
+func (o ObserveOptions) withDefaults() ObserveOptions {
+	if o.Tasks <= 0 {
+		o.Tasks = 20
+	}
+	if o.Nodes <= 0 {
+		o.Nodes = 3
+	}
+	if o.Jobs <= 0 {
+		o.Jobs = 20
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// ObserveData is the scenario outcome plus the observability snapshot.
+type ObserveData struct {
+	Platform string
+	Opt      ObserveOptions
+
+	Flow    sim.Result          // single-node guarded flow under faults
+	Guard   governor.GuardStats // the flow guard's interventions
+	Cluster cloud.Result        // degraded-cluster run
+
+	Obs     *obs.Observer // the live sinks, for callers that export directly
+	Metrics []obs.FamilySnapshot
+	Events  []obs.Event
+	Profile []obs.RegionStats
+}
+
+// Observe runs the instrumented scenario for one platform.
+func Observe(env *Env, p *hw.Platform, opt ObserveOptions) (*ObserveData, error) {
+	opt = opt.withDefaults()
+	o := obs.New()
+	o.Profiler.SampleAllocs = true
+	cfg := DefaultFaultSchedule(opt.Seed)
+
+	tasks := RandomTasks(opt.Tasks, opt.Seed)
+	jobs := cloud.RandomJobs(opt.Jobs, TaskGap, opt.Seed)
+	all := make([]sim.Task, 0, len(tasks)+len(jobs))
+	all = append(all, tasks...)
+	for _, j := range jobs {
+		all = append(all, sim.Task{Graph: j.Graph, Images: j.Images})
+	}
+	plans, err := taskPlans(env, p, all)
+	if err != nil {
+		return nil, err
+	}
+
+	// Profile the offline pipeline's hot paths on the flow's first model:
+	// feature extraction, the Mahalanobis-blended distance matrix, and a full
+	// uncached analysis.
+	g := tasks[0].Graph
+	stop := o.Profiler.Region("features.ScaledDepthwise")
+	x, _ := features.ScaledDepthwise(g)
+	stop()
+	alpha, lambda := cluster.DefaultDistanceParams()
+	stop = o.Profiler.Region("cluster.BlendedDistance")
+	_ = cluster.BlendedDistance(x, alpha, lambda)
+	stop()
+	stop = o.Profiler.Region("core.Framework.Analyze")
+	_, err = env.Frameworks[p.Name].Analyze(g)
+	stop()
+	if err != nil {
+		return nil, err
+	}
+
+	// Single-node guarded flow under the fault schedule (trace track 1).
+	guard := governor.NewGuard(governor.NewMultiPlan(plans))
+	guard.Obs = o
+	e := sim.NewExecutor(p, guard)
+	e.Faults = hw.NewInjector(cfg)
+	e.Obs = o
+	stop = o.Profiler.Region("sim.Executor.RunTaskFlow")
+	flow := e.RunTaskFlow(tasks, TaskGap)
+	stop()
+
+	// Degraded cluster over the same schedule: job lifecycle spans on tracks
+	// node+1, per-node executor internals on their own derived tracks.
+	cres, err := cloud.Run(cloud.Config{
+		Nodes:    opt.Nodes,
+		Platform: p,
+		NewCtl:   func() sim.Controller { return governor.NewGuard(governor.NewMultiPlan(plans)) },
+		Faults:   cfg,
+		Obs:      o,
+	}, jobs)
+	if err != nil {
+		return nil, err
+	}
+
+	return &ObserveData{
+		Platform: p.Name,
+		Opt:      opt,
+		Flow:     flow,
+		Guard:    guard.Stats,
+		Cluster:  cres,
+		Obs:      o,
+		Metrics:  o.Metrics.Snapshot(),
+		Events:   o.Tracer.Events(),
+		Profile:  o.Profiler.Snapshot(),
+	}, nil
+}
+
+// RenderObserve formats the scenario outcome, the metric families, and the
+// profiling regions as a terminal table.
+func RenderObserve(d *ObserveData) string {
+	var sb strings.Builder
+	o := d.Opt
+	fmt.Fprintf(&sb, "Observability: guarded %d-task flow + %d-node/%d-job cluster on %s under the default fault schedule (seed %d)\n",
+		o.Tasks, o.Nodes, o.Jobs, d.Platform, o.Seed)
+	fmt.Fprintf(&sb, "  flow:    EE %.4f img/J, energy %.1f J, time %v, faults %d, guard fallbacks %d\n",
+		d.Flow.EE(), d.Flow.EnergyJ, d.Flow.Time.Round(time.Millisecond),
+		d.Flow.Faults.Total(), d.Guard.FallbackActivations)
+	fmt.Fprintf(&sb, "  cluster: EE %.4f img/J, makespan %v, nodes lost %d, failovers %d, dropped %d\n",
+		d.Cluster.EE(), d.Cluster.Makespan.Round(time.Millisecond),
+		d.Cluster.NodesLost, d.Cluster.Failovers, d.Cluster.DroppedJobs)
+
+	spans, instants := 0, 0
+	cats := map[string]int{}
+	for _, ev := range d.Events {
+		if ev.Phase == obs.PhaseComplete {
+			spans++
+		} else {
+			instants++
+		}
+		cats[ev.Cat]++
+	}
+	names := make([]string, 0, len(cats))
+	for c := range cats {
+		names = append(names, c)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(&sb, "  trace:   %d events (%d spans, %d instants):", len(d.Events), spans, instants)
+	for _, c := range names {
+		fmt.Fprintf(&sb, " %s=%d", c, cats[c])
+	}
+	sb.WriteString("\n\n")
+
+	fmt.Fprintf(&sb, "metrics (%d families):\n", len(d.Metrics))
+	fmt.Fprintf(&sb, "  %-34s %-9s %6s %14s\n", "name", "kind", "series", "total")
+	for _, f := range d.Metrics {
+		fmt.Fprintf(&sb, "  %-34s %-9s %6d %14.2f\n", f.Name, f.Kind, len(f.Series), f.Total())
+	}
+
+	sb.WriteString("\nprofile (wall time is host time, not simulated time):\n")
+	fmt.Fprintf(&sb, "  %-28s %6s %12s %12s %12s\n", "region", "calls", "total", "mean", "alloc")
+	for _, r := range d.Profile {
+		fmt.Fprintf(&sb, "  %-28s %6d %12v %12v %9.1f KB\n",
+			r.Name, r.Count, r.Wall.Round(time.Microsecond), r.Mean().Round(time.Microsecond),
+			float64(r.AllocBytes)/1024)
+	}
+	return sb.String()
+}

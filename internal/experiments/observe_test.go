@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"powerlens/internal/hw"
+	"powerlens/internal/obs"
+)
+
+// TestObserveScenario is the acceptance check for the observability layer:
+// one instrumented pass must produce ≥10 distinct metric families spanning
+// every runtime layer (sim_, governor_, hw_, cloud_), a Chrome trace that
+// round-trips through the decoder, a valid Prometheus exposition, and
+// profiling coverage of the offline pipeline's hot paths.
+func TestObserveScenario(t *testing.T) {
+	env := testEnv(t)
+	d, err := Observe(env, hw.TX2(), ObserveOptions{Tasks: 6, Nodes: 3, Jobs: 6, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Metric coverage across layers.
+	prefixes := map[string]bool{}
+	for _, f := range d.Metrics {
+		for _, p := range []string{"sim_", "governor_", "hw_", "cloud_"} {
+			if strings.HasPrefix(f.Name, p) {
+				prefixes[p] = true
+			}
+		}
+	}
+	if len(d.Metrics) < 10 {
+		t.Fatalf("only %d metric families, want >= 10", len(d.Metrics))
+	}
+	for _, p := range []string{"sim_", "governor_", "hw_", "cloud_"} {
+		if !prefixes[p] {
+			t.Fatalf("no metric family with prefix %q", p)
+		}
+	}
+
+	// Chrome trace round-trip.
+	if len(d.Events) == 0 {
+		t.Fatal("no trace events")
+	}
+	var buf bytes.Buffer
+	if err := obs.WriteChromeTrace(&buf, d.Events); err != nil {
+		t.Fatal(err)
+	}
+	back, err := obs.ReadChromeTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("trace does not round-trip: %v", err)
+	}
+	if len(back) != len(d.Events) {
+		t.Fatalf("round-trip lost events: %d -> %d", len(d.Events), len(back))
+	}
+	for i := range back {
+		a, b := d.Events[i], back[i]
+		if a.Name != b.Name || a.Cat != b.Cat || a.Phase != b.Phase ||
+			a.TsUS != b.TsUS || a.DurUS != b.DurUS || a.TID != b.TID {
+			t.Fatalf("event %d changed in round-trip:\nwrote %+v\nread  %+v", i, a, b)
+		}
+	}
+
+	// Prometheus exposition parses under the format checker.
+	buf.Reset()
+	if err := d.Obs.Metrics.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := obs.CheckPrometheusText(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("prometheus export invalid: %v", err)
+	}
+	if fams != len(d.Metrics) {
+		t.Fatalf("exposition has %d families, snapshot has %d", fams, len(d.Metrics))
+	}
+
+	// Profiling regions cover the offline hot paths and the executor.
+	want := map[string]bool{
+		"features.ScaledDepthwise": false,
+		"cluster.BlendedDistance":  false,
+		"core.Framework.Analyze":   false,
+		"sim.Executor.RunTaskFlow": false,
+	}
+	for _, r := range d.Profile {
+		if _, ok := want[r.Name]; ok {
+			want[r.Name] = true
+			if r.Count == 0 || r.Wall <= 0 {
+				t.Fatalf("region %q has no samples: %+v", r.Name, r)
+			}
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Fatalf("profiling region %q missing from snapshot", name)
+		}
+	}
+
+	// The rendered summary carries the load-bearing lines.
+	out := RenderObserve(d)
+	for _, frag := range []string{"flow:", "cluster:", "trace:", "metrics (", "profile ("} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("RenderObserve output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+// TestObserveDeterministic re-runs the scenario and checks the simulated
+// outcome and the trace agree event for event — the sinks never perturb the
+// run, and concurrent node simulation never reorders the exported trace.
+func TestObserveDeterministic(t *testing.T) {
+	env := testEnv(t)
+	opt := ObserveOptions{Tasks: 5, Nodes: 2, Jobs: 5, Seed: 7}
+	a, err := Observe(env, hw.TX2(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Observe(env, hw.TX2(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Flow.EnergyJ != b.Flow.EnergyJ || a.Flow.Images != b.Flow.Images ||
+		a.Cluster.TotalEnergyJ != b.Cluster.TotalEnergyJ ||
+		a.Cluster.Makespan != b.Cluster.Makespan {
+		t.Fatalf("scenario outcome not deterministic:\n%+v\n%+v", a.Flow, b.Flow)
+	}
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a.Events), len(b.Events))
+	}
+	for i := range a.Events {
+		x, y := a.Events[i], b.Events[i]
+		if x.Name != y.Name || x.Cat != y.Cat || x.TID != y.TID ||
+			x.TsUS != y.TsUS || x.DurUS != y.DurUS {
+			t.Fatalf("trace diverges at event %d:\n%+v\n%+v", i, x, y)
+		}
+	}
+}

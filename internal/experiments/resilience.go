@@ -8,6 +8,7 @@ import (
 	"powerlens/internal/cloud"
 	"powerlens/internal/governor"
 	"powerlens/internal/hw"
+	"powerlens/internal/obs"
 	"powerlens/internal/sim"
 )
 
@@ -57,10 +58,9 @@ func (r ResilienceRow) DeltaEE() float64 {
 	return r.FaultEE/r.CleanEE - 1
 }
 
-// resilienceControllers builds the policy lineup: the guarded PowerLens
-// deployment (the resilient runtime under test), raw PowerLens, and the
-// reactive baselines.
-func resilienceControllers(env *Env, p *hw.Platform, tasks []sim.Task) ([]func() sim.Controller, error) {
+// taskPlans analyzes every distinct model in a task flow and returns the
+// per-model frequency plans a MultiPlan governor needs.
+func taskPlans(env *Env, p *hw.Platform, tasks []sim.Task) (map[string]*governor.FrequencyPlan, error) {
 	plans := map[string]*governor.FrequencyPlan{}
 	for _, t := range tasks {
 		if _, ok := plans[t.Graph.Name]; ok {
@@ -71,6 +71,17 @@ func resilienceControllers(env *Env, p *hw.Platform, tasks []sim.Task) ([]func()
 			return nil, err
 		}
 		plans[t.Graph.Name] = a.Plan
+	}
+	return plans, nil
+}
+
+// resilienceControllers builds the policy lineup: the guarded PowerLens
+// deployment (the resilient runtime under test), raw PowerLens, and the
+// reactive baselines.
+func resilienceControllers(env *Env, p *hw.Platform, tasks []sim.Task) ([]func() sim.Controller, error) {
+	plans, err := taskPlans(env, p, tasks)
+	if err != nil {
+		return nil, err
 	}
 	return []func() sim.Controller{
 		func() sim.Controller { return governor.NewGuard(governor.NewMultiPlan(plans)) },
@@ -84,6 +95,14 @@ func resilienceControllers(env *Env, p *hw.Platform, tasks []sim.Task) ([]func()
 // Resilience runs the single-node scenario for one platform: an identical
 // task flow per policy, fault-free versus the given fault schedule.
 func Resilience(env *Env, p *hw.Platform, numTasks int, seed int64) ([]ResilienceRow, error) {
+	return ResilienceObserved(env, p, numTasks, seed, nil)
+}
+
+// ResilienceObserved is Resilience with an optional observability sink: when
+// o is non-nil, every policy's faulted run streams its metrics and spans into
+// it, each policy on its own trace track (tid = lineup index + 1). A nil o
+// reproduces the bare scenario bit for bit.
+func ResilienceObserved(env *Env, p *hw.Platform, numTasks int, seed int64, o *obs.Observer) ([]ResilienceRow, error) {
 	tasks := RandomTasks(numTasks, seed)
 	factories, err := resilienceControllers(env, p, tasks)
 	if err != nil {
@@ -92,12 +111,19 @@ func Resilience(env *Env, p *hw.Platform, numTasks int, seed int64) ([]Resilienc
 	cfg := DefaultFaultSchedule(seed)
 
 	var rows []ResilienceRow
-	for _, mk := range factories {
+	for i, mk := range factories {
 		clean := sim.NewExecutor(p, mk()).RunTaskFlow(tasks, TaskGap)
 
 		ctl := mk()
 		e := sim.NewExecutor(p, ctl)
 		e.Faults = hw.NewInjector(cfg)
+		if o != nil {
+			eo := o.ForTrack(i + 1)
+			e.Obs = eo
+			if g, ok := ctl.(*governor.Guard); ok {
+				g.Obs = eo
+			}
+		}
 		faulty := e.RunTaskFlow(tasks, TaskGap)
 
 		row := ResilienceRow{
@@ -137,6 +163,14 @@ func (r ClusterResilienceRow) DeltaEE() float64 {
 // the same rack, fault-free versus a schedule that additionally crashes
 // nodes mid-trace and forces failover.
 func ClusterResilience(env *Env, p *hw.Platform, nodes, numJobs int, seed int64) ([]ClusterResilienceRow, error) {
+	return ClusterResilienceObserved(env, p, nodes, numJobs, seed, nil)
+}
+
+// ClusterResilienceObserved is ClusterResilience with an optional
+// observability sink. Only the guarded deployment (the resilient runtime
+// under test, lineup index 0) streams into it — cluster traces use per-node
+// track IDs, which would collide if every policy's fleet shared the sink.
+func ClusterResilienceObserved(env *Env, p *hw.Platform, nodes, numJobs int, seed int64, o *obs.Observer) ([]ClusterResilienceRow, error) {
 	jobs := cloud.RandomJobs(numJobs, 300*time.Millisecond, seed)
 	tasks := make([]sim.Task, len(jobs))
 	for i, j := range jobs {
@@ -149,12 +183,16 @@ func ClusterResilience(env *Env, p *hw.Platform, nodes, numJobs int, seed int64)
 	cfg := DefaultFaultSchedule(seed)
 
 	var rows []ClusterResilienceRow
-	for _, mk := range factories {
+	for i, mk := range factories {
 		clean, err := cloud.Run(cloud.Config{Nodes: nodes, Platform: p, NewCtl: mk}, jobs)
 		if err != nil {
 			return nil, err
 		}
-		faulty, err := cloud.Run(cloud.Config{Nodes: nodes, Platform: p, NewCtl: mk, Faults: cfg}, jobs)
+		fcfg := cloud.Config{Nodes: nodes, Platform: p, NewCtl: mk, Faults: cfg}
+		if i == 0 {
+			fcfg.Obs = o
+		}
+		faulty, err := cloud.Run(fcfg, jobs)
 		if err != nil {
 			return nil, err
 		}

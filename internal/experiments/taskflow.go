@@ -7,6 +7,7 @@ import (
 	"powerlens/internal/governor"
 	"powerlens/internal/hw"
 	"powerlens/internal/models"
+	"powerlens/internal/obs"
 	"powerlens/internal/sim"
 )
 
@@ -93,6 +94,13 @@ type Fig1Trace struct {
 // Fig1 runs a bursty workload (two tasks separated by an idle gap) under a
 // reactive baseline and under PowerLens, returning both traces.
 func Fig1(env *Env, p *hw.Platform) ([]Fig1Trace, error) {
+	return Fig1Observed(env, p, nil)
+}
+
+// Fig1Observed is Fig1 with an optional observability sink: when o is
+// non-nil each method's run streams metrics and spans into it on its own
+// trace track. A nil o reproduces the bare figure bit for bit.
+func Fig1Observed(env *Env, p *hw.Platform, o *obs.Observer) ([]Fig1Trace, error) {
 	g := models.MustBuild("resnet152")
 	tasks := []sim.Task{{Graph: g, Images: 10}, {Graph: g, Images: 10}}
 
@@ -101,9 +109,12 @@ func Fig1(env *Env, p *hw.Platform) ([]Fig1Trace, error) {
 		return nil, err
 	}
 	var out []Fig1Trace
-	for _, ctl := range []sim.Controller{governor.NewFPGG(), governor.NewOndemand(), governor.NewPowerLens(a.Plan)} {
+	for i, ctl := range []sim.Controller{governor.NewFPGG(), governor.NewOndemand(), governor.NewPowerLens(a.Plan)} {
 		e := sim.NewExecutor(p, ctl)
 		e.SensorPeriod = 5 * time.Millisecond
+		if o != nil {
+			e.Obs = o.ForTrack(i + 1)
+		}
 		r := e.RunTaskFlow(tasks, 1500*time.Millisecond)
 		out = append(out, Fig1Trace{
 			Method:   ctl.Name(),

@@ -6,6 +6,7 @@ import (
 
 	"powerlens/internal/graph"
 	"powerlens/internal/hw"
+	"powerlens/internal/obs"
 	"powerlens/internal/sim"
 )
 
@@ -39,6 +40,12 @@ type Guard struct {
 	// Stats counts guard interventions; read it after a run.
 	Stats GuardStats
 
+	// Obs, when non-nil, emits the guard lifecycle onto the span trace
+	// (cat "guard": decision → violation → fallback → recovery instants,
+	// timestamped by the executor-installed simulated clock) and counts
+	// decisions, strikes, failovers and recoveries in the metrics registry.
+	Obs *obs.Observer
+
 	platform  *hw.Platform
 	strikes   int
 	fallback  bool
@@ -47,6 +54,13 @@ type Guard struct {
 	lastWin   sim.WindowStats
 	haveWin   bool
 	history   []int
+
+	// Observability handles (inert unless Obs is set at Reset time).
+	mDecisions  obs.Counter
+	mStrikes    obs.Counter
+	mFallbacks  obs.Counter
+	mRecoveries obs.Counter
+	innerName   string
 }
 
 // GuardStats counts the guard's observations and interventions.
@@ -92,6 +106,18 @@ func (g *Guard) Reset(p *hw.Platform) {
 	g.lastGood = p.NumGPULevels() / 2
 	g.lastWin, g.haveWin = sim.WindowStats{}, false
 	g.history = g.history[:0]
+	if g.Obs != nil {
+		m := g.Obs.Metrics
+		g.innerName = g.Inner.Name()
+		g.mDecisions = m.Counter("governor_decisions_total",
+			"Window decisions served, by wrapped controller and source.", "controller", "source")
+		g.mStrikes = m.Counter("governor_guard_strikes_total",
+			"Invalid decisions observed by the guard, by reason.", "controller", "reason")
+		g.mFallbacks = m.Counter("governor_guard_fallbacks_total",
+			"Guard failovers to the fallback governor.", "controller")
+		g.mRecoveries = m.Counter("governor_guard_recoveries_total",
+			"Wrapped policies restored after a fallback episode.", "controller")
+	}
 }
 
 // OnFallback reports whether the guard is currently serving decisions from
@@ -145,7 +171,7 @@ func (g *Guard) innerLevel() (int, bool) {
 	lvl := g.Inner.GPULevel()
 	if lvl < 0 || lvl >= g.platform.NumGPULevels() {
 		g.Stats.InvalidLevels++
-		g.strike()
+		g.strike("invalid-level")
 		return g.lastGood, false
 	}
 	g.lastGood = lvl
@@ -177,12 +203,22 @@ func (g *Guard) OnWindow(s sim.WindowStats) {
 	g.Inner.OnWindow(s)
 	g.Fallback.OnWindow(s)
 
+	if g.Obs != nil {
+		source := "inner"
+		if g.fallback {
+			source = "fallback"
+		}
+		g.mDecisions.Inc(g.innerName, source)
+		g.Obs.MarkNow("guard", "decision", map[string]any{
+			"level": g.Inner.GPULevel(), "source": source})
+	}
+
 	lvl, ok := g.innerLevel()
 	if ok {
 		g.pushHistory(lvl)
 		if g.oscillating() {
 			g.Stats.Oscillations++
-			g.strike()
+			g.strike("oscillation")
 			ok = false
 		}
 	}
@@ -199,6 +235,10 @@ func (g *Guard) OnWindow(s sim.WindowStats) {
 				g.fallback = false
 				g.strikes = 0
 				g.Stats.Recoveries++
+				if g.Obs != nil {
+					g.mRecoveries.Inc(g.innerName)
+					g.Obs.MarkNow("guard", "recovery", map[string]any{"level": lvl})
+				}
 			} else {
 				g.recoverIn = g.recoveryWindows()
 			}
@@ -231,12 +271,22 @@ func finiteStats(s sim.WindowStats) bool {
 
 // strike records one invalid decision; enough consecutive strikes trip the
 // failover.
-func (g *Guard) strike() {
+func (g *Guard) strike(reason string) {
 	g.strikes++
+	if g.Obs != nil {
+		g.mStrikes.Inc(g.innerName, reason)
+		g.Obs.MarkNow("guard", "violation", map[string]any{
+			"reason": reason, "strikes": g.strikes})
+	}
 	if !g.fallback && g.strikes >= g.maxStrikes() {
 		g.fallback = true
 		g.recoverIn = g.recoveryWindows()
 		g.Stats.FallbackActivations++
+		if g.Obs != nil {
+			g.mFallbacks.Inc(g.innerName)
+			g.Obs.MarkNow("guard", "fallback", map[string]any{
+				"strikes": g.strikes, "fallback": g.Fallback.Name()})
+		}
 	}
 }
 

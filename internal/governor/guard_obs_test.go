@@ -1,0 +1,160 @@
+package governor
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"powerlens/internal/hw"
+	"powerlens/internal/models"
+	"powerlens/internal/obs"
+	"powerlens/internal/sim"
+)
+
+// guardSeq extracts the names of cat="guard" events in trace order,
+// optionally dropping the per-window "decision" marks.
+func guardSeq(o *obs.Observer, withDecisions bool) []string {
+	var names []string
+	for _, ev := range o.Tracer.Events() {
+		if ev.Cat != "guard" {
+			continue
+		}
+		if !withDecisions && ev.Name == "decision" {
+			continue
+		}
+		names = append(names, ev.Name)
+	}
+	return names
+}
+
+// TestGuardTraceExactSequence drives the guard window-by-window with a
+// deterministic clock and asserts the exact decision → violation → fallback
+// → recovery span sequence of one failover episode.
+func TestGuardTraceExactSequence(t *testing.T) {
+	p := hw.TX2()
+	o := obs.New()
+	var now time.Duration
+	o.SetClock(func() time.Duration { now += time.Millisecond; return now })
+
+	// Invalid levels for 5 windows, healthy from window 6 on. With
+	// MaxStrikes=3 the guard trips on window 3 (whose own fallback pass
+	// already counts toward recovery); with RecoveryWindows=2 it probes on
+	// window 4 (fails — still invalid) and window 6 (succeeds — healed).
+	inner := &brokenCtl{outOfRange: true, healAfter: 6}
+	guard := NewGuard(inner)
+	guard.MaxStrikes = 3
+	guard.RecoveryWindows = 2
+	guard.Obs = o
+	guard.Reset(p)
+	for i := 0; i < 7; i++ {
+		guard.OnWindow(sim.WindowStats{GPUBusy: 0.5, AvgPowerW: 4})
+	}
+
+	want := []string{
+		"decision", "violation", // window 1: strike 1
+		"decision", "violation", // window 2: strike 2
+		"decision", "violation", "fallback", // window 3: strike 3 trips failover
+		"decision", "violation", // window 4: probe fails (still invalid), re-arm
+		"decision", "violation", // window 5: still invalid, waiting out recovery
+		"decision", "recovery", // window 6: probe succeeds, policy restored
+		"decision", // window 7: healthy, back on the wrapped policy
+	}
+	got := guardSeq(o, true)
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("guard trace sequence:\n got %v\nwant %v", got, want)
+	}
+	if guard.Stats.FallbackActivations != 1 || guard.Stats.Recoveries != 1 {
+		t.Fatalf("stats = %+v", guard.Stats)
+	}
+}
+
+// TestGuardTraceOrderingUnderFaults runs a full executor task under a seeded
+// fault schedule and checks the trace invariants: the first violation
+// precedes the first fallback, which precedes the first recovery; event
+// counts match GuardStats; timestamps never decrease; and the guard's
+// decision metric agrees with the executor's window metric.
+func TestGuardTraceOrderingUnderFaults(t *testing.T) {
+	p := hw.TX2()
+	g := models.AlexNet()
+	o := obs.New()
+	inner := &brokenCtl{outOfRange: true, healAfter: 12}
+	guard := NewGuard(inner)
+	guard.RecoveryWindows = 4
+	guard.Obs = o
+
+	e := sim.NewExecutor(p, guard)
+	e.Faults = hw.NewInjector(hw.FaultConfig{
+		Seed:              17,
+		SensorDropoutProb: 0.10, SensorNoiseFrac: 0.15,
+		StuckProb: 0.15, ClampProb: 0.05,
+		DelayProb: 0.25, DelayLatency: 2 * time.Millisecond,
+	})
+	e.Obs = o
+	e.RunTask(g, 200)
+
+	if guard.Stats.FallbackActivations == 0 || guard.Stats.Recoveries == 0 {
+		t.Fatalf("scenario did not exercise a failover episode: %+v", guard.Stats)
+	}
+
+	seq := guardSeq(o, false)
+	first := func(name string) int {
+		for i, n := range seq {
+			if n == name {
+				return i
+			}
+		}
+		return -1
+	}
+	v, f, r := first("violation"), first("fallback"), first("recovery")
+	if v < 0 || f < 0 || r < 0 {
+		t.Fatalf("missing lifecycle events in %v", seq)
+	}
+	if !(v < f && f < r) {
+		t.Fatalf("lifecycle order violated: violation@%d fallback@%d recovery@%d", v, f, r)
+	}
+	count := func(name string) int {
+		n := 0
+		for _, s := range seq {
+			if s == name {
+				n++
+			}
+		}
+		return n
+	}
+	if count("fallback") != guard.Stats.FallbackActivations {
+		t.Fatalf("fallback events %d != stats %d", count("fallback"), guard.Stats.FallbackActivations)
+	}
+	if count("recovery") != guard.Stats.Recoveries {
+		t.Fatalf("recovery events %d != stats %d", count("recovery"), guard.Stats.Recoveries)
+	}
+	if count("violation") != guard.Stats.InvalidLevels+guard.Stats.Oscillations {
+		t.Fatalf("violation events %d != stats %d+%d",
+			count("violation"), guard.Stats.InvalidLevels, guard.Stats.Oscillations)
+	}
+
+	// Timestamps on the guard track never decrease (simulated time).
+	last := -1.0
+	for _, ev := range o.Tracer.Events() {
+		if ev.Cat != "guard" {
+			continue
+		}
+		if ev.TsUS < last {
+			t.Fatalf("guard timestamps regress: %v after %v", ev.TsUS, last)
+		}
+		last = ev.TsUS
+	}
+
+	// Cross-layer agreement: one guard decision per delivered window.
+	var decisions, windows float64
+	for _, fam := range o.Metrics.Snapshot() {
+		switch fam.Name {
+		case "governor_decisions_total":
+			decisions = fam.Total()
+		case "sim_windows_total":
+			windows = fam.Total()
+		}
+	}
+	if decisions == 0 || decisions != windows {
+		t.Fatalf("governor_decisions_total %.0f != sim_windows_total %.0f", decisions, windows)
+	}
+}

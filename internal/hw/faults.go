@@ -3,6 +3,8 @@ package hw
 import (
 	"math/rand"
 	"time"
+
+	"powerlens/internal/obs"
 )
 
 // Fault-injection layer. Real Jetson-class boards break the clean-sensor /
@@ -116,6 +118,10 @@ func (s FaultStats) Total() int {
 type Injector struct {
 	cfg FaultConfig
 	rng *rand.Rand
+
+	// Observability handles (zero-valued and inert until SetObserver).
+	mWindows obs.Counter // hw_sensor_windows_total{outcome}
+	mFaults  obs.Counter // hw_dvfs_faults_total{kind}
 }
 
 // NewInjector builds an injector for the config, or nil if the config
@@ -130,6 +136,19 @@ func NewInjector(cfg FaultConfig) *Injector {
 // Config returns the schedule this injector draws from.
 func (in *Injector) Config() FaultConfig { return in.cfg }
 
+// SetObserver points the injector's fault counters at an observer's metrics
+// registry. Observation never alters the draw stream, so instrumented and
+// bare runs stay bit-identical.
+func (in *Injector) SetObserver(o *obs.Observer) {
+	if in == nil || o == nil || o.Metrics == nil {
+		return
+	}
+	in.mWindows = o.Metrics.Counter("hw_sensor_windows_total",
+		"Governor sampling windows observed through the fault layer, by outcome.", "outcome")
+	in.mFaults = o.Metrics.Counter("hw_dvfs_faults_total",
+		"DVFS actuation fault outcomes drawn by the injector, by kind.", "kind")
+}
+
 // SensorReading is the fault outcome for one governor window observation.
 type SensorReading struct {
 	Dropped    bool    // reading lost entirely
@@ -143,13 +162,17 @@ func (in *Injector) SensorWindow() SensorReading {
 	r := SensorReading{PowerScale: 1, BusyScale: 1}
 	if in.cfg.SensorDropoutProb > 0 && in.rng.Float64() < in.cfg.SensorDropoutProb {
 		r.Dropped = true
+		in.mWindows.Inc("dropped")
 		return r
 	}
 	if in.cfg.SensorNoiseFrac > 0 {
 		r.Noisy = true
 		r.PowerScale = clampScale(1 + in.rng.NormFloat64()*in.cfg.SensorNoiseFrac)
 		r.BusyScale = clampScale(1 + in.rng.NormFloat64()*in.cfg.SensorNoiseFrac)
+		in.mWindows.Inc("noisy")
+		return r
 	}
+	in.mWindows.Inc("clean")
 	return r
 }
 
@@ -182,6 +205,7 @@ func (in *Injector) Transition(from, to int) Transition {
 	case roll < in.cfg.StuckProb:
 		tr.Stuck = true
 		tr.Applied = from
+		in.mFaults.Inc("stuck")
 	case roll < in.cfg.StuckProb+in.cfg.ClampProb:
 		tr.Clamped = true
 		tr.Applied = (from + to) / 2
@@ -190,9 +214,13 @@ func (in *Injector) Transition(from, to int) Transition {
 			// full block, still reported as clamped.
 			tr.Applied = from
 		}
+		in.mFaults.Inc("clamped")
+	default:
+		in.mFaults.Inc("clean")
 	}
 	if in.cfg.DelayProb > 0 && in.rng.Float64() < in.cfg.DelayProb {
 		tr.ExtraLatency = time.Duration(in.rng.Float64() * float64(in.cfg.DelayLatency))
+		in.mFaults.Inc("delayed")
 	}
 	return tr
 }

@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds a fixed registry covering every exporter feature:
+// zero-label counter, labelled counter, gauge, and a labelled histogram.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("sim_energy_joules_total", "Exactly-integrated rail energy.").Add(123.456)
+	jobs := r.Counter("cloud_jobs_total", "Jobs by outcome.", "outcome")
+	jobs.Add(40, "completed")
+	jobs.Add(2, "failover")
+	r.Gauge("hw_gpu_level", "Current GPU ladder level.").Set(7)
+	h := r.Histogram("sim_window_power_watts", "Window power.", []float64{1, 4, 16}, "controller")
+	for _, v := range []float64{0.5, 2, 8, 32} {
+		h.Observe(v, "PowerLens")
+	}
+	return r
+}
+
+// TestPrometheusGolden pins the exact text-exposition bytes the exporter
+// produces and checks they satisfy the format checker. A diff here means the
+// export format drifted — update deliberately with `go test -update`.
+func TestPrometheusGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := goldenRegistry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	path := filepath.Join("testdata", "metrics.golden.prom")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden: %v (run `go test -update ./internal/obs` to create it)", err)
+	}
+	if got != string(want) {
+		t.Fatalf("prometheus output drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+	fams, err := CheckPrometheusText(strings.NewReader(got))
+	if err != nil {
+		t.Fatalf("golden output fails the format checker: %v", err)
+	}
+	if fams != 4 {
+		t.Fatalf("families = %d, want 4", fams)
+	}
+}

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Lightweight profiling hooks for the hot offline paths (feature extraction,
+// Mahalanobis clustering, executor stepping). A region records wall time per
+// invocation and, when alloc sampling is on, heap allocation deltas read from
+// runtime.MemStats. Alloc numbers are approximate under concurrency — the
+// counters are process-wide — which is the documented trade for staying
+// dependency-free and cheap.
+
+// RegionStats is the aggregate for one named region.
+type RegionStats struct {
+	Name        string        `json:"name"`
+	Count       int64         `json:"count"`
+	Wall        time.Duration `json:"wallNs"`
+	AllocBytes  uint64        `json:"allocBytes,omitempty"`
+	AllocObjs   uint64        `json:"allocObjects,omitempty"`
+	MaxInterval time.Duration `json:"maxNs,omitempty"`
+}
+
+// Mean returns the mean wall time per invocation.
+func (r RegionStats) Mean() time.Duration {
+	if r.Count == 0 {
+		return 0
+	}
+	return r.Wall / time.Duration(r.Count)
+}
+
+// Profiler aggregates named regions. Safe for concurrent use; a nil
+// *Profiler is valid and records nothing.
+type Profiler struct {
+	// SampleAllocs turns on allocation sampling via runtime.ReadMemStats.
+	// The read costs tens of microseconds, so leave it off around anything
+	// hotter than the offline analysis stages.
+	SampleAllocs bool
+
+	mu      sync.Mutex
+	regions map[string]*RegionStats
+}
+
+// NewProfiler returns an empty profiler.
+func NewProfiler() *Profiler { return &Profiler{regions: map[string]*RegionStats{}} }
+
+// Region starts timing a named region and returns the stop function:
+//
+//	defer prof.Region("cluster.BuildPowerView")()
+func (p *Profiler) Region(name string) func() {
+	if p == nil {
+		return func() {}
+	}
+	var m0 runtime.MemStats
+	sample := p.SampleAllocs
+	if sample {
+		runtime.ReadMemStats(&m0)
+	}
+	start := time.Now()
+	return func() {
+		wall := time.Since(start)
+		var db, do uint64
+		if sample {
+			var m1 runtime.MemStats
+			runtime.ReadMemStats(&m1)
+			db = m1.TotalAlloc - m0.TotalAlloc
+			do = m1.Mallocs - m0.Mallocs
+		}
+		p.mu.Lock()
+		r, ok := p.regions[name]
+		if !ok {
+			r = &RegionStats{Name: name}
+			p.regions[name] = r
+		}
+		r.Count++
+		r.Wall += wall
+		r.AllocBytes += db
+		r.AllocObjs += do
+		if wall > r.MaxInterval {
+			r.MaxInterval = wall
+		}
+		p.mu.Unlock()
+	}
+}
+
+// Snapshot returns the regions sorted by name.
+func (p *Profiler) Snapshot() []RegionStats {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	out := make([]RegionStats, 0, len(p.regions))
+	for _, r := range p.regions {
+		out = append(out, *r)
+	}
+	p.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

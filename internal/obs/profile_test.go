@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestProfilerRegions(t *testing.T) {
+	p := NewProfiler()
+	for i := 0; i < 3; i++ {
+		stop := p.Region("work")
+		time.Sleep(time.Millisecond)
+		stop()
+	}
+	snap := p.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("regions = %d, want 1", len(snap))
+	}
+	r := snap[0]
+	if r.Name != "work" || r.Count != 3 {
+		t.Fatalf("region = %+v", r)
+	}
+	if r.Wall < 3*time.Millisecond {
+		t.Fatalf("wall = %v, want >= 3ms", r.Wall)
+	}
+	if r.Mean() < time.Millisecond || r.MaxInterval < time.Millisecond {
+		t.Fatalf("mean = %v, max = %v", r.Mean(), r.MaxInterval)
+	}
+}
+
+func TestProfilerAllocSampling(t *testing.T) {
+	p := NewProfiler()
+	p.SampleAllocs = true
+	stop := p.Region("alloc")
+	buf := make([]byte, 1<<20)
+	_ = buf[0]
+	stop()
+	r := p.Snapshot()[0]
+	if r.AllocBytes < 1<<20 {
+		t.Fatalf("alloc bytes = %d, want >= 1MiB", r.AllocBytes)
+	}
+	if r.AllocObjs == 0 {
+		t.Fatal("alloc objects not counted")
+	}
+}
+
+func TestProfilerSnapshotSorted(t *testing.T) {
+	p := NewProfiler()
+	p.Region("zeta")()
+	p.Region("alpha")()
+	snap := p.Snapshot()
+	if snap[0].Name != "alpha" || snap[1].Name != "zeta" {
+		t.Fatalf("not sorted: %+v", snap)
+	}
+}
+
+func TestNilProfiler(t *testing.T) {
+	var p *Profiler
+	p.Region("x")() // must not panic
+	if p.Snapshot() != nil {
+		t.Fatal("nil profiler snapshot must be nil")
+	}
+}
+
+func TestZeroRegionMean(t *testing.T) {
+	if (RegionStats{}).Mean() != 0 {
+		t.Fatal("zero-count mean must be 0")
+	}
+}

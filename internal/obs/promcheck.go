@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// CheckPrometheusText validates a Prometheus text-exposition document (the
+// output of Registry.WritePrometheus): every non-comment line must parse as
+// `name{labels} value`, every TYPE comment must name a known metric type, and
+// every sample must belong to a declared family. It returns the number of
+// declared families. CI uses this (via the golden-file test) to guarantee
+// the exporter never drifts out of the format scrapers accept.
+func CheckPrometheusText(r io.Reader) (families int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	declared := map[string]bool{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return families, fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return families, fmt.Errorf("line %d: TYPE wants `# TYPE name kind`", lineNo)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return families, fmt.Errorf("line %d: unknown metric type %q", lineNo, fields[3])
+				}
+				declared[fields[2]] = true
+				families++
+			}
+			continue
+		}
+		name, rest, perr := parseSampleName(line)
+		if perr != nil {
+			return families, fmt.Errorf("line %d: %v", lineNo, perr)
+		}
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name,
+			"_bucket"), "_sum"), "_count")
+		if !declared[name] && !declared[base] {
+			return families, fmt.Errorf("line %d: sample %q has no TYPE declaration", lineNo, name)
+		}
+		if _, perr := strconv.ParseFloat(strings.TrimSpace(rest), 64); perr != nil {
+			return families, fmt.Errorf("line %d: bad sample value %q", lineNo, rest)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return families, err
+	}
+	return families, nil
+}
+
+// parseSampleName splits a sample line into metric name (validating the
+// label block if present) and the value text.
+func parseSampleName(line string) (name, value string, err error) {
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return "", "", fmt.Errorf("malformed sample %q", line)
+	}
+	name = line[:i]
+	if !validMetricName(name) {
+		return "", "", fmt.Errorf("invalid metric name %q", name)
+	}
+	if line[i] == ' ' {
+		return name, line[i+1:], nil
+	}
+	// Label block: scan to the closing brace, respecting quoted values.
+	rest := line[i+1:]
+	inQuote, escaped := false, false
+	for j := 0; j < len(rest); j++ {
+		c := rest[j]
+		switch {
+		case escaped:
+			escaped = false
+		case c == '\\' && inQuote:
+			escaped = true
+		case c == '"':
+			inQuote = !inQuote
+		case c == '}' && !inQuote:
+			return name, rest[j+1:], nil
+		}
+	}
+	return "", "", fmt.Errorf("unterminated label block in %q", line)
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

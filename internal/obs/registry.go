@@ -1,0 +1,478 @@
+// Package obs is the runtime observability layer: a concurrency-safe metrics
+// registry (counters, gauges, fixed-bucket histograms with labels) exportable
+// in Prometheus text format and JSON, span-based decision tracing exportable
+// as Chrome trace_event JSON (loadable in Perfetto / chrome://tracing), and
+// lightweight wall-time/allocation profiling hooks.
+//
+// The package is stdlib-only and imports nothing from the rest of the module,
+// so every layer (hw, sim, governor, cloud, experiments) can emit into it
+// without cycles. Everything is nil-safe: a nil *Registry, *Tracer, *Profiler
+// or *Observer accepts the full API and does nothing, so instrumented code
+// pays only a nil check when observability is disabled.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind distinguishes the metric families a Registry holds.
+type Kind int
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// String returns the Prometheus TYPE keyword.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// DefBuckets are the default histogram bucket upper bounds (seconds-flavored,
+// matching the Prometheus client default).
+var DefBuckets = []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// Registry is a concurrency-safe collection of metric families. The zero
+// value is not usable; construct with NewRegistry. A nil *Registry is valid
+// and hands out no-op metric handles.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// family is one named metric with a fixed label schema.
+type family struct {
+	name    string
+	help    string
+	kind    Kind
+	labels  []string
+	buckets []float64 // histogram upper bounds, sorted, no +Inf
+
+	mu     sync.Mutex
+	series map[string]*series
+	def    *series // fast path for the zero-label series
+}
+
+// series is one label combination of a family.
+type series struct {
+	values []string
+
+	bits uint64 // atomic float64 for counters and gauges
+
+	hmu    sync.Mutex // histogram state
+	counts []uint64
+	sum    float64
+	n      uint64
+}
+
+func (s *series) add(v float64) {
+	for {
+		old := atomic.LoadUint64(&s.bits)
+		newBits := math.Float64bits(math.Float64frombits(old) + v)
+		if atomic.CompareAndSwapUint64(&s.bits, old, newBits) {
+			return
+		}
+	}
+}
+
+func (s *series) set(v float64) { atomic.StoreUint64(&s.bits, math.Float64bits(v)) }
+
+func (s *series) load() float64 { return math.Float64frombits(atomic.LoadUint64(&s.bits)) }
+
+// register returns the named family, creating it on first use. Re-registering
+// with a different kind or label arity panics: that is a programming error
+// that would silently corrupt the export otherwise.
+func (r *Registry) register(name, help string, kind Kind, buckets []float64, labels []string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind || len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("obs: metric %q re-registered with different schema", name))
+		}
+		return f
+	}
+	f := &family{
+		name:    name,
+		help:    help,
+		kind:    kind,
+		labels:  append([]string(nil), labels...),
+		buckets: append([]float64(nil), buckets...),
+		series:  map[string]*series{},
+	}
+	if len(labels) == 0 {
+		f.def = f.newSeries(nil)
+		f.series[""] = f.def
+	}
+	r.families[name] = f
+	return f
+}
+
+func (f *family) newSeries(values []string) *series {
+	s := &series{values: append([]string(nil), values...)}
+	if f.kind == KindHistogram {
+		s.counts = make([]uint64, len(f.buckets)+1) // +1 for the +Inf bucket
+	}
+	return s
+}
+
+// get resolves the series for the given label values, creating it on demand.
+func (f *family) get(values []string) *series {
+	if len(values) == 0 && f.def != nil {
+		return f.def
+	}
+	key := strings.Join(values, "\x1f")
+	f.mu.Lock()
+	s, ok := f.series[key]
+	if !ok {
+		if len(values) != len(f.labels) {
+			f.mu.Unlock()
+			panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d",
+				f.name, len(f.labels), len(values)))
+		}
+		s = f.newSeries(values)
+		f.series[key] = s
+	}
+	f.mu.Unlock()
+	return s
+}
+
+// Counter is a handle to a monotonically-increasing metric family. The zero
+// Counter (from a nil registry) is valid and no-ops.
+type Counter struct{ f *family }
+
+// Counter registers (or looks up) a counter family.
+func (r *Registry) Counter(name, help string, labels ...string) Counter {
+	if r == nil {
+		return Counter{}
+	}
+	return Counter{r.register(name, help, KindCounter, nil, labels)}
+}
+
+// Add increments the series selected by the label values.
+func (c Counter) Add(v float64, labelValues ...string) {
+	if c.f == nil {
+		return
+	}
+	c.f.get(labelValues).add(v)
+}
+
+// Inc adds one.
+func (c Counter) Inc(labelValues ...string) { c.Add(1, labelValues...) }
+
+// Gauge is a handle to a set-to-current-value metric family.
+type Gauge struct{ f *family }
+
+// Gauge registers (or looks up) a gauge family.
+func (r *Registry) Gauge(name, help string, labels ...string) Gauge {
+	if r == nil {
+		return Gauge{}
+	}
+	return Gauge{r.register(name, help, KindGauge, nil, labels)}
+}
+
+// Set records the current value for the series selected by the label values.
+func (g Gauge) Set(v float64, labelValues ...string) {
+	if g.f == nil {
+		return
+	}
+	g.f.get(labelValues).set(v)
+}
+
+// Add shifts the gauge (negative deltas allowed).
+func (g Gauge) Add(v float64, labelValues ...string) {
+	if g.f == nil {
+		return
+	}
+	g.f.get(labelValues).add(v)
+}
+
+// Histogram is a handle to a fixed-bucket distribution family.
+type Histogram struct{ f *family }
+
+// Histogram registers (or looks up) a histogram family with the given bucket
+// upper bounds (DefBuckets when nil). Bounds are sorted; +Inf is implicit.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) Histogram {
+	if r == nil {
+		return Histogram{}
+	}
+	if len(buckets) == 0 {
+		buckets = DefBuckets
+	}
+	b := append([]float64(nil), buckets...)
+	sort.Float64s(b)
+	return Histogram{r.register(name, help, KindHistogram, b, labels)}
+}
+
+// Observe records one value.
+func (h Histogram) Observe(v float64, labelValues ...string) {
+	if h.f == nil {
+		return
+	}
+	s := h.f.get(labelValues)
+	s.hmu.Lock()
+	placed := false
+	for i, ub := range h.f.buckets {
+		if v <= ub {
+			s.counts[i]++
+			placed = true
+			break
+		}
+	}
+	if !placed {
+		s.counts[len(s.counts)-1]++ // +Inf bucket
+	}
+	s.sum += v
+	s.n++
+	s.hmu.Unlock()
+}
+
+// SeriesSnapshot is one label combination's state at snapshot time.
+type SeriesSnapshot struct {
+	LabelValues []string `json:"labels,omitempty"`
+	Value       float64  `json:"value"`           // counter / gauge
+	Sum         float64  `json:"sum,omitempty"`   // histogram
+	Count       uint64   `json:"count,omitempty"` // histogram
+	// BucketCounts are per-bucket (non-cumulative) counts parallel to the
+	// family's Buckets, with one extra trailing +Inf bucket.
+	BucketCounts []uint64 `json:"bucketCounts,omitempty"`
+}
+
+// FamilySnapshot is one metric family's state at snapshot time.
+type FamilySnapshot struct {
+	Name       string           `json:"name"`
+	Help       string           `json:"help,omitempty"`
+	Kind       string           `json:"kind"`
+	LabelNames []string         `json:"labelNames,omitempty"`
+	Buckets    []float64        `json:"buckets,omitempty"`
+	Series     []SeriesSnapshot `json:"series"`
+}
+
+// Total sums the snapshot's series values (histograms sum their counts).
+func (f FamilySnapshot) Total() float64 {
+	t := 0.0
+	for _, s := range f.Series {
+		if f.Kind == KindHistogram.String() {
+			t += float64(s.Count)
+		} else {
+			t += s.Value
+		}
+	}
+	return t
+}
+
+// Snapshot returns a deterministic copy of the registry: families sorted by
+// name, series sorted by label values. Safe to call concurrently with writes.
+func (r *Registry) Snapshot() []FamilySnapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	out := make([]FamilySnapshot, 0, len(fams))
+	for _, f := range fams {
+		fs := FamilySnapshot{
+			Name:       f.name,
+			Help:       f.help,
+			Kind:       f.kind.String(),
+			LabelNames: append([]string(nil), f.labels...),
+			Buckets:    append([]float64(nil), f.buckets...),
+		}
+		f.mu.Lock()
+		sers := make([]*series, 0, len(f.series))
+		for _, s := range f.series {
+			sers = append(sers, s)
+		}
+		f.mu.Unlock()
+		sort.Slice(sers, func(i, j int) bool {
+			return strings.Join(sers[i].values, "\x1f") < strings.Join(sers[j].values, "\x1f")
+		})
+		for _, s := range sers {
+			ss := SeriesSnapshot{LabelValues: append([]string(nil), s.values...)}
+			if f.kind == KindHistogram {
+				s.hmu.Lock()
+				ss.Sum = s.sum
+				ss.Count = s.n
+				ss.BucketCounts = append([]uint64(nil), s.counts...)
+				s.hmu.Unlock()
+			} else {
+				ss.Value = s.load()
+			}
+			fs.Series = append(fs.Series, ss)
+		}
+		out = append(out, fs)
+	}
+	return out
+}
+
+// Merge folds src's state into r: counters and histograms accumulate, gauges
+// take src's value. Families are matched by name; a schema conflict (kind,
+// label arity or histogram buckets) panics, like re-registration. Merge walks
+// src in sorted order, so folding per-worker registries in a fixed order
+// yields a deterministic result — float accumulation order no longer depends
+// on how the workers' writes interleaved. This is how the cluster keeps its
+// exported metrics bit-identical across runs despite concurrent node
+// simulation.
+func (r *Registry) Merge(src *Registry) {
+	if r == nil || src == nil {
+		return
+	}
+	src.mu.Lock()
+	fams := make([]*family, 0, len(src.families))
+	for _, f := range src.families {
+		fams = append(fams, f)
+	}
+	src.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	for _, sf := range fams {
+		df := r.register(sf.name, sf.help, sf.kind, sf.buckets, sf.labels)
+		if len(df.buckets) != len(sf.buckets) {
+			panic(fmt.Sprintf("obs: metric %q merged with different buckets", sf.name))
+		}
+		sf.mu.Lock()
+		sers := make([]*series, 0, len(sf.series))
+		for _, s := range sf.series {
+			sers = append(sers, s)
+		}
+		sf.mu.Unlock()
+		sort.Slice(sers, func(i, j int) bool {
+			return strings.Join(sers[i].values, "\x1f") < strings.Join(sers[j].values, "\x1f")
+		})
+		for _, ss := range sers {
+			ds := df.get(ss.values)
+			switch sf.kind {
+			case KindCounter:
+				ds.add(ss.load())
+			case KindGauge:
+				ds.set(ss.load())
+			case KindHistogram:
+				ss.hmu.Lock()
+				counts := append([]uint64(nil), ss.counts...)
+				sum, n := ss.sum, ss.n
+				ss.hmu.Unlock()
+				ds.hmu.Lock()
+				for i := range counts {
+					ds.counts[i] += counts[i]
+				}
+				ds.sum += sum
+				ds.n += n
+				ds.hmu.Unlock()
+			}
+		}
+	}
+}
+
+// WriteJSON exports the registry as a JSON array of family snapshots.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// WritePrometheus exports the registry in the Prometheus text exposition
+// format (version 0.0.4). Output is deterministic for a deterministic run.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.Snapshot() {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
+			f.Name, escapeHelp(f.Help), f.Name, f.Kind); err != nil {
+			return err
+		}
+		for _, s := range f.Series {
+			if err := writeSeries(w, f, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, f FamilySnapshot, s SeriesSnapshot) error {
+	if f.Kind != KindHistogram.String() {
+		_, err := fmt.Fprintf(w, "%s%s %s\n",
+			f.Name, labelString(f.LabelNames, s.LabelValues, "", ""), formatValue(s.Value))
+		return err
+	}
+	cum := uint64(0)
+	for i, c := range s.BucketCounts {
+		cum += c
+		le := "+Inf"
+		if i < len(f.Buckets) {
+			le = formatValue(f.Buckets[i])
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			f.Name, labelString(f.LabelNames, s.LabelValues, "le", le), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n",
+		f.Name, labelString(f.LabelNames, s.LabelValues, "", ""), formatValue(s.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n",
+		f.Name, labelString(f.LabelNames, s.LabelValues, "", ""), s.Count)
+	return err
+}
+
+// labelString renders {k="v",...} with an optional extra pair, or "" when
+// there are no labels at all.
+func labelString(names, values []string, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		v := ""
+		if i < len(values) {
+			v = values[i]
+		}
+		// %q escapes \, " and newlines exactly as the exposition format wants.
+		fmt.Fprintf(&sb, "%s=%q", n, v)
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%q", extraName, extraValue)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func formatValue(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,285 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "Requests served.")
+	c.Inc()
+	c.Add(2.5)
+	snap := r.Snapshot()
+	if len(snap) != 1 || snap[0].Name != "requests_total" {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if got := snap[0].Series[0].Value; got != 3.5 {
+		t.Fatalf("value = %g, want 3.5", got)
+	}
+	if snap[0].Kind != "counter" {
+		t.Fatalf("kind = %q", snap[0].Kind)
+	}
+}
+
+func TestCounterLabels(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "Jobs.", "outcome")
+	c.Inc("completed")
+	c.Inc("completed")
+	c.Inc("dropped")
+	snap := r.Snapshot()
+	s := snap[0].Series
+	if len(s) != 2 {
+		t.Fatalf("series = %d, want 2", len(s))
+	}
+	// Sorted by label value: completed before dropped.
+	if s[0].LabelValues[0] != "completed" || s[0].Value != 2 {
+		t.Fatalf("series[0] = %+v", s[0])
+	}
+	if s[1].LabelValues[0] != "dropped" || s[1].Value != 1 {
+		t.Fatalf("series[1] = %+v", s[1])
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("temp_c", "Temperature.")
+	g.Set(42)
+	g.Add(-2)
+	if v := r.Snapshot()[0].Series[0].Value; v != 40 {
+		t.Fatalf("gauge = %g, want 40", v)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_s", "Latency.", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	s := r.Snapshot()[0].Series[0]
+	if s.Count != 4 {
+		t.Fatalf("count = %d, want 4", s.Count)
+	}
+	if s.Sum != 55.55 {
+		t.Fatalf("sum = %g, want 55.55", s.Sum)
+	}
+	want := []uint64{1, 1, 1, 1} // one per bucket incl +Inf
+	for i, c := range s.BucketCounts {
+		if c != want[i] {
+			t.Fatalf("bucket[%d] = %d, want %d", i, c, want[i])
+		}
+	}
+}
+
+func TestHistogramDefaultBuckets(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("d", "Default buckets.", nil)
+	if got := len(r.Snapshot()[0].Buckets); got != len(DefBuckets) {
+		t.Fatalf("buckets = %d, want %d", got, len(DefBuckets))
+	}
+}
+
+func TestNilRegistryAndZeroHandles(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x", "")
+	g := r.Gauge("y", "")
+	h := r.Histogram("z", "", nil)
+	// All must no-op without panicking.
+	c.Inc()
+	c.Add(1, "extra")
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	if snap := r.Snapshot(); snap != nil {
+		t.Fatalf("nil registry snapshot = %+v", snap)
+	}
+}
+
+func TestSchemaConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "as counter")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering with a different kind must panic")
+		}
+	}()
+	r.Gauge("m", "as gauge")
+}
+
+func TestLabelArityPanics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("m", "", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong label arity must panic")
+		}
+	}()
+	c.Inc("only-one")
+}
+
+func TestConcurrentCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n", "", "worker")
+	h := r.Histogram("hist", "", []float64{10, 20})
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lbl := string(rune('a' + w%2))
+			for i := 0; i < per; i++ {
+				c.Inc(lbl)
+				h.Observe(float64(i % 30))
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0.0
+	for _, s := range r.Snapshot() {
+		if s.Name == "n" {
+			total = s.Total()
+		}
+		if s.Name == "hist" && s.Series[0].Count != workers*per {
+			t.Fatalf("histogram count = %d, want %d", s.Series[0].Count, workers*per)
+		}
+	}
+	if total != workers*per {
+		t.Fatalf("counter total = %g, want %d", total, workers*per)
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	mk := func() *Registry {
+		r := NewRegistry()
+		// Registration and label-touch order deliberately scrambled.
+		r.Counter("b_total", "").Inc()
+		c := r.Counter("a_total", "", "k")
+		c.Inc("z")
+		c.Inc("a")
+		return r
+	}
+	s1, s2 := mk().Snapshot(), mk().Snapshot()
+	if s1[0].Name != "a_total" || s2[0].Name != "a_total" {
+		t.Fatalf("families not sorted: %q / %q", s1[0].Name, s2[0].Name)
+	}
+	if s1[0].Series[0].LabelValues[0] != "a" {
+		t.Fatalf("series not sorted: %+v", s1[0].Series)
+	}
+}
+
+func TestWritePrometheusParses(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sim_windows_total", "Windows.", "controller").Inc(`quo"ted\label`)
+	r.Gauge("temp_c", "Temp.").Set(41.5)
+	h := r.Histogram("power_w", "Power.", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(99)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE sim_windows_total counter",
+		`sim_windows_total{controller="quo\"ted\\label"} 1`,
+		"temp_c 41.5",
+		`power_w_bucket{le="+Inf"} 2`,
+		"power_w_sum 99.5",
+		"power_w_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	fams, err := CheckPrometheusText(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("exporter output fails its own checker: %v\n%s", err, out)
+	}
+	if fams != 3 {
+		t.Fatalf("families = %d, want 3", fams)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	mk := func(energy float64, obsv []float64) *Registry {
+		r := NewRegistry()
+		r.Counter("sim_energy_joules_total", "e", "controller").Add(energy, "PL")
+		r.Gauge("hw_gpu_level", "g").Set(energy)
+		h := r.Histogram("sim_window_power_watts", "p", []float64{1, 4}, "controller")
+		for _, v := range obsv {
+			h.Observe(v, "PL")
+		}
+		return r
+	}
+	dst := mk(10, []float64{0.5})
+	dst.Merge(mk(2, []float64{2, 8}))
+	dst.Merge(nil) // no-op
+
+	snap := dst.Snapshot()
+	byName := map[string]FamilySnapshot{}
+	for _, f := range snap {
+		byName[f.Name] = f
+	}
+	if v := byName["sim_energy_joules_total"].Series[0].Value; v != 12 {
+		t.Fatalf("merged counter = %g, want 12", v)
+	}
+	if v := byName["hw_gpu_level"].Series[0].Value; v != 2 {
+		t.Fatalf("merged gauge = %g, want src value 2", v)
+	}
+	h := byName["sim_window_power_watts"].Series[0]
+	if h.Count != 3 || h.Sum != 10.5 {
+		t.Fatalf("merged histogram count=%d sum=%g, want 3/10.5", h.Count, h.Sum)
+	}
+	wantBuckets := []uint64{1, 1, 1} // 0.5 -> le=1, 2 -> le=4, 8 -> +Inf
+	for i, c := range h.BucketCounts {
+		if c != wantBuckets[i] {
+			t.Fatalf("merged buckets = %v, want %v", h.BucketCounts, wantBuckets)
+		}
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merging conflicting schemas must panic")
+		}
+	}()
+	bad := NewRegistry()
+	bad.Gauge("sim_energy_joules_total", "now a gauge", "controller")
+	dst.Merge(bad)
+}
+
+func TestWriteJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "help").Add(7)
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var snaps []FamilySnapshot
+	if err := json.Unmarshal([]byte(sb.String()), &snaps); err != nil {
+		t.Fatalf("JSON round-trip: %v", err)
+	}
+	if len(snaps) != 1 || snaps[0].Series[0].Value != 7 {
+		t.Fatalf("decoded = %+v", snaps)
+	}
+}
+
+func TestCheckPrometheusTextRejects(t *testing.T) {
+	cases := map[string]string{
+		"undeclared sample": "foo_total 1\n",
+		"bad type":          "# TYPE x zebra\nx 1\n",
+		"bad value":         "# TYPE x counter\nx banana\n",
+		"bad name":          "# TYPE x counter\n1x 2\n",
+		"unterminated":      "# TYPE x counter\nx{a=\"b\" 1\n",
+		"malformed comment": "# NOPE x\n",
+	}
+	for name, doc := range cases {
+		if _, err := CheckPrometheusText(strings.NewReader(doc)); err == nil {
+			t.Fatalf("%s: accepted %q", name, doc)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Span-based decision tracing. Every governor decision, DVFS actuation,
+// power-block residency, fault injection, guard intervention and cluster job
+// lifecycle event is recorded as a timestamped event on a track (tid) and
+// exported in the Chrome trace_event JSON format, so a run can be inspected
+// in Perfetto or chrome://tracing. Timestamps are *simulated* time — the
+// trace shows what happened on the simulated board, not host wall time.
+
+// Trace event phases (the trace_event "ph" field).
+const (
+	PhaseComplete = "X" // a span with a duration
+	PhaseInstant  = "i" // a point event
+)
+
+// Event is one trace_event entry. TsUS/DurUS are microseconds, the unit the
+// Chrome trace format mandates.
+type Event struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Phase string         `json:"ph"`
+	TsUS  float64        `json:"ts"`
+	DurUS float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"` // instant scope ("t" = thread)
+	Args  map[string]any `json:"args,omitempty"`
+
+	seq int // emission order, for stable sorting
+}
+
+// Start returns the event timestamp as a duration since trace start.
+func (e Event) Start() time.Duration { return time.Duration(e.TsUS * float64(time.Microsecond)) }
+
+// Duration returns the span length (zero for instants).
+func (e Event) Duration() time.Duration { return time.Duration(e.DurUS * float64(time.Microsecond)) }
+
+// Tracer collects events. Safe for concurrent use (cluster nodes trace from
+// their own goroutines); a nil *Tracer is valid and records nothing.
+type Tracer struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+func usOf(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+func (t *Tracer) append(e Event) {
+	t.mu.Lock()
+	e.seq = len(t.events)
+	t.events = append(t.events, e)
+	t.mu.Unlock()
+}
+
+// Complete records a span of the given duration starting at start.
+func (t *Tracer) Complete(cat, name string, tid int, start, dur time.Duration, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.append(Event{Name: name, Cat: cat, Phase: PhaseComplete,
+		TsUS: usOf(start), DurUS: usOf(dur), PID: 1, TID: tid, Args: args})
+}
+
+// Instant records a point event at the given time.
+func (t *Tracer) Instant(cat, name string, tid int, at time.Duration, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.append(Event{Name: name, Cat: cat, Phase: PhaseInstant,
+		TsUS: usOf(at), PID: 1, TID: tid, Scope: "t", Args: args})
+}
+
+// Len returns the number of recorded events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Events returns a deterministic copy of the recorded events: sorted by
+// track, then timestamp, with emission order breaking ties. Concurrent
+// tracks (cluster nodes) append in scheduler order, so sorting is what makes
+// the export reproducible for a fixed seed.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := append([]Event(nil), t.events...)
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TID != out[j].TID {
+			return out[i].TID < out[j].TID
+		}
+		if out[i].TsUS != out[j].TsUS {
+			return out[i].TsUS < out[j].TsUS
+		}
+		return out[i].seq < out[j].seq
+	})
+	return out
+}
+
+// chromeTrace is the JSON object trace format (the one Perfetto's legacy
+// importer and chrome://tracing load directly).
+type chromeTrace struct {
+	TraceEvents     []Event `json:"traceEvents"`
+	DisplayTimeUnit string  `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace writes events as a Chrome trace_event JSON document.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	if events == nil {
+		events = []Event{}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// WriteTrace writes the tracer's events as Chrome trace_event JSON.
+func (t *Tracer) WriteTrace(w io.Writer) error { return WriteChromeTrace(w, t.Events()) }
+
+// ReadChromeTrace decodes a Chrome trace_event JSON document written by
+// WriteChromeTrace (the round-trip decoder the export tests rely on).
+func ReadChromeTrace(r io.Reader) ([]Event, error) {
+	var ct chromeTrace
+	if err := json.NewDecoder(r).Decode(&ct); err != nil {
+		return nil, fmt.Errorf("obs: decode chrome trace: %w", err)
+	}
+	for i, e := range ct.TraceEvents {
+		if e.Phase == "" {
+			return nil, fmt.Errorf("obs: event %d (%q) has no phase", i, e.Name)
+		}
+	}
+	return ct.TraceEvents, nil
+}

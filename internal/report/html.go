@@ -23,6 +23,10 @@ type Data struct {
 	Therm  map[string][]experiments.ThermalRow
 	Ext    map[string][]experiments.ExtensionRow
 	Resil  map[string][]experiments.ResilienceRow
+
+	// Observe is the instrumented-run snapshot behind the report's
+	// observability section (metrics summary + span timeline).
+	Observe *experiments.ObserveData
 }
 
 // ResilienceTasks is the task-flow length of the report's resilience
@@ -88,6 +92,13 @@ func Collect(env *experiments.Env, numTasks int) (*Data, error) {
 		return nil, err
 	}
 	d.Fig1 = f1
+	ob, err := experiments.Observe(env, hw.TX2(), experiments.ObserveOptions{
+		Tasks: ObserveTasks, Nodes: ObserveNodes, Jobs: ObserveJobs, Seed: 42,
+	})
+	if err != nil {
+		return nil, err
+	}
+	d.Observe = ob
 	return d, nil
 }
 
@@ -102,6 +113,8 @@ func WriteHTML(w io.Writer, d *Data) error {
  h1 { border-bottom: 2px solid #2166ac; padding-bottom: 6px; }
  h2 { margin-top: 2em; color: #2166ac; }
  .meta { color: #666; font-size: 14px; }
+ table.metrics { border-collapse: collapse; font-size: 13px; margin: 1em 0; }
+ table.metrics th, table.metrics td { border: 1px solid #ccc; padding: 3px 8px; text-align: left; }
 </style></head><body>
 `)
 	fmt.Fprintf(&b, "<h1>PowerLens reproduction report</h1>\n")
@@ -157,6 +170,14 @@ func WriteHTML(w io.Writer, d *Data) error {
 			fmt.Fprintf(&b, "<h2>Resilience — %s</h2>\n<pre>%s</pre>\n", p,
 				escape(experiments.RenderResilience(p, ResilienceTasks, rs)))
 		}
+	}
+	if ob := d.Observe; ob != nil {
+		fmt.Fprintf(&b, "<h2>Observability — %s</h2>\n", ob.Platform)
+		fmt.Fprintf(&b, "<p class=\"meta\">Instrumented run: guarded %d-task flow plus %d-node/%d-job cluster under the default fault schedule (seed %d). Regenerate with <code>experiments observe</code>.</p>\n",
+			ob.Opt.Tasks, ob.Opt.Nodes, ob.Opt.Jobs, ob.Opt.Seed)
+		b.WriteString(TimelineSVG(ob.Events))
+		b.WriteString(ObsMetricsTable(ob.Metrics))
+		fmt.Fprintf(&b, "<pre>%s</pre>\n", escape(experiments.RenderObserve(ob)))
 	}
 	fmt.Fprintf(&b, "<p class=\"meta\">Generated by cmd/experiments report. Runtime substrate: analytic Jetson simulator (DESIGN.md §3).</p>\n")
 	b.WriteString("</body></html>\n")

@@ -1,0 +1,176 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"powerlens/internal/obs"
+)
+
+// Observability section of the HTML report: a metrics summary table built
+// from the registry snapshot and a span-timeline SVG built from the Chrome
+// trace events of the instrumented observe scenario.
+
+// catPalette colors the span timeline by event category.
+var catPalette = map[string]string{
+	"block":     "#4393c3",
+	"actuation": "#d6604d",
+	"job":       "#5aae61",
+	"guard":     "#b2182b",
+	"fault":     "#f4a582",
+	"node":      "#762a83",
+}
+
+func catColor(cat string) string {
+	if c, ok := catPalette[cat]; ok {
+		return c
+	}
+	return "#888888"
+}
+
+// timelineMaxElems caps the number of drawn elements: very long traces are
+// thinned deterministically (every k-th event per kind) so the report stays
+// loadable.
+const timelineMaxElems = 3000
+
+// trackLabel names the observe scenario's trace tracks (see cloud.Config.Obs
+// and experiments.Observe for the track-ID scheme: 1 = single-node flow,
+// 10+n = node n job lifecycle, 100+n = node n executor internals).
+func trackLabel(tid int) string {
+	switch {
+	case tid == 0:
+		return "dropped"
+	case tid == 1:
+		return "flow"
+	case tid >= 100:
+		return fmt.Sprintf("node %d exec", tid-100)
+	case tid >= 10:
+		return fmt.Sprintf("node %d jobs", tid-10)
+	default:
+		return fmt.Sprintf("track %d", tid)
+	}
+}
+
+// TimelineSVG renders the decision-span timeline: one row per trace track,
+// complete spans as bars and guard/fault/node instants as ticks, colored by
+// category. Dense "decision" instants are omitted — they mirror the window
+// metrics and would swamp the drawing.
+func TimelineSVG(events []obs.Event) string {
+	var spans, marks []obs.Event
+	for _, ev := range events {
+		switch ev.Phase {
+		case obs.PhaseComplete:
+			spans = append(spans, ev)
+		case obs.PhaseInstant:
+			if ev.Cat != "decision" {
+				marks = append(marks, ev)
+			}
+		}
+	}
+	spans = thinEvents(spans, timelineMaxElems*2/3)
+	marks = thinEvents(marks, timelineMaxElems/3)
+
+	// Tracks and time bounds.
+	tidSet := map[int]bool{}
+	var maxT float64
+	for _, ev := range append(append([]obs.Event{}, spans...), marks...) {
+		tidSet[ev.TID] = true
+		if end := ev.TsUS + ev.DurUS; end > maxT {
+			maxT = end
+		}
+	}
+	tids := make([]int, 0, len(tidSet))
+	for tid := range tidSet {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+
+	const w = 860
+	const mL, mR, mT, mB, rowH = 110, 20, 28, 34, 20
+	h := mT + mB + rowH*len(tids)
+	if len(tids) == 0 {
+		h = mT + mB + rowH
+	}
+	c := newCanvas(w, h)
+	c.rect(0, 0, w, float64(h), "#ffffff")
+	c.text(w/2, 18, 13, "middle", "Decision-span timeline (simulated time)")
+	if len(tids) == 0 || maxT <= 0 {
+		return c.String()
+	}
+	plotW := float64(w - mL - mR)
+	xOf := func(us float64) float64 { return mL + us/maxT*plotW }
+	rowOf := map[int]float64{}
+	for i, tid := range tids {
+		y := float64(mT + rowH*i)
+		rowOf[tid] = y
+		c.text(mL-6, y+rowH-7, 10, "end", trackLabel(tid))
+		c.line(mL, y+rowH-1.5, float64(w-mR), y+rowH-1.5, "#dddddd", 0.5)
+	}
+
+	for _, ev := range spans {
+		y := rowOf[ev.TID]
+		bw := ev.DurUS / maxT * plotW
+		if bw < 0.5 {
+			bw = 0.5
+		}
+		c.rect(xOf(ev.TsUS), y+3, bw, rowH-8, catColor(ev.Cat))
+	}
+	for _, ev := range marks {
+		y := rowOf[ev.TID]
+		x := xOf(ev.TsUS)
+		c.line(x, y+1, x, y+rowH-3, catColor(ev.Cat), 1.2)
+	}
+
+	// Time axis and category legend.
+	c.line(mL, float64(h-mB+2), float64(w-mR), float64(h-mB+2), "#333333", 1)
+	c.text(mL, float64(h-mB+16), 10, "start", "0")
+	c.text(float64(w-mR), float64(h-mB+16), 10, "end", fmt.Sprintf("%.2f s", maxT/1e6))
+	cats := make([]string, 0, len(catPalette))
+	for cat := range catPalette {
+		cats = append(cats, cat)
+	}
+	sort.Strings(cats)
+	lx := float64(mL)
+	for _, cat := range cats {
+		c.rect(lx, float64(h-14), 9, 9, catColor(cat))
+		c.text(lx+12, float64(h-6), 10, "start", cat)
+		lx += 12 + 7*float64(len(cat)) + 14
+	}
+	return c.String()
+}
+
+// thinEvents deterministically drops events to at most max, keeping every
+// k-th in timeline order.
+func thinEvents(evs []obs.Event, max int) []obs.Event {
+	if len(evs) <= max || max <= 0 {
+		return evs
+	}
+	k := (len(evs) + max - 1) / max
+	out := evs[:0:0]
+	for i := 0; i < len(evs); i += k {
+		out = append(out, evs[i])
+	}
+	return out
+}
+
+// ObsMetricsTable renders the registry snapshot as an HTML summary table.
+func ObsMetricsTable(fams []obs.FamilySnapshot) string {
+	var b strings.Builder
+	b.WriteString("<table class=\"metrics\"><tr><th>metric</th><th>kind</th><th>labels</th><th>series</th><th>total</th></tr>\n")
+	for _, f := range fams {
+		fmt.Fprintf(&b, "<tr><td><code>%s</code></td><td>%s</td><td>%s</td><td>%d</td><td>%.2f</td></tr>\n",
+			escape(f.Name), escape(f.Kind), escape(strings.Join(f.LabelNames, ", ")),
+			len(f.Series), f.Total())
+	}
+	b.WriteString("</table>\n")
+	return b.String()
+}
+
+// ObserveTasks/ObserveJobs/ObserveNodes size the report's observe section
+// (kept small — the full scenario is `experiments observe`).
+const (
+	ObserveTasks = 10
+	ObserveJobs  = 10
+	ObserveNodes = 3
+)

@@ -11,6 +11,7 @@ import (
 
 	"powerlens/internal/graph"
 	"powerlens/internal/hw"
+	"powerlens/internal/obs"
 )
 
 // WindowStats summarizes one governor sampling window — the hardware state /
@@ -120,6 +121,11 @@ type Executor struct {
 	// RetryBackoff is the initial idle backoff between actuation retries;
 	// it doubles per retry, capped at 8× (default 1 ms).
 	RetryBackoff time.Duration
+	// Obs, when non-nil, streams metrics and decision/actuation/block spans
+	// into the observability layer (see observe.go). Nil — the default —
+	// keeps the exact uninstrumented code path; observation never feeds back
+	// into the simulation, so results are identical either way.
+	Obs *obs.Observer
 
 	thermal *hw.ThermalState
 
@@ -142,6 +148,12 @@ type Executor struct {
 	faultStats hw.FaultStats // counters surfaced in Result.Faults
 	lastStats  WindowStats   // last delivered window (stale data on dropout)
 	haveStats  bool
+
+	// Observability state (only used when Obs != nil).
+	mx       execMetrics
+	ctlName  string
+	segStart time.Duration // start of the current frequency-residency block
+	segLevel int           // level of the current residency block
 }
 
 // NewExecutor returns an executor with default periods.
@@ -172,6 +184,7 @@ func (e *Executor) reset() {
 	e.faultStats = hw.FaultStats{}
 	e.lastStats = WindowStats{}
 	e.haveStats = false
+	e.obsReset()
 }
 
 // advance accounts an interval with given power, busy flags, and compute
@@ -229,6 +242,9 @@ func (e *Executor) tickWindow() {
 	}
 	e.Ctl.OnWindow(stats)
 	e.applyLevel()
+	if e.Obs != nil {
+		e.noteWindow(stats)
+	}
 }
 
 // observeWindow passes ground-truth window stats through the fault
@@ -241,6 +257,9 @@ func (e *Executor) observeWindow(stats WindowStats) WindowStats {
 	switch {
 	case r.Dropped:
 		e.faultStats.SensorDropouts++
+		if e.Obs != nil {
+			e.noteFault("sensor-dropout", nil)
+		}
 		if e.haveStats {
 			return e.lastStats
 		}
@@ -252,6 +271,10 @@ func (e *Executor) observeWindow(stats WindowStats) WindowStats {
 		stats.GPUBusy = clamp01(stats.GPUBusy * r.BusyScale)
 		stats.CPUBusy = clamp01(stats.CPUBusy * r.BusyScale)
 		stats.AvgComputeUt = clamp01(stats.AvgComputeUt * r.BusyScale)
+		if e.Obs != nil {
+			e.noteFault("sensor-noise", map[string]any{
+				"power_scale": r.PowerScale, "busy_scale": r.BusyScale})
+		}
 	}
 	e.lastStats = stats
 	e.haveStats = true
@@ -285,11 +308,16 @@ func (e *Executor) applyLevel() {
 	}
 	// During the transition the pipeline stalls at roughly idle power of the
 	// departing frequency.
+	from := e.gpuLevel
+	start := e.sensor.Now()
 	d, energy := e.Platform.SwitchCost(e.Platform.GPUFreqsHz[e.gpuLevel])
 	power := energy / d.Seconds()
 	e.gpuLevel = want
 	e.switches++
 	e.advance(d, power, false, false, 0)
+	if e.Obs != nil {
+		e.noteSwitch(from, want, start, 1, 0, 0)
+	}
 }
 
 // applyLevelFaulty actuates a level change through the fault injector. A
@@ -313,10 +341,22 @@ func (e *Executor) applyLevelFaulty(want int) {
 		// The controller already asked for this level and the hardware
 		// never got there: a stuck frequency caught by the watchdog.
 		e.faultStats.WatchdogReasserts++
+		if e.Obs != nil {
+			e.mx.reasserts.Inc(e.ctlName)
+			e.noteFault("watchdog-reassert", map[string]any{"want": want, "at": e.gpuLevel})
+		}
 	}
 	e.wantLevel = want
 	e.switching = true
-	defer func() { e.switching = false }()
+	from := e.gpuLevel
+	start := e.sensor.Now()
+	attempts, stuckN, clampedN := 0, 0, 0
+	defer func() {
+		e.switching = false
+		if e.Obs != nil {
+			e.noteSwitch(from, want, start, attempts, stuckN, clampedN)
+		}
+	}()
 
 	maxRetries := e.MaxActuationRetries
 	if maxRetries <= 0 {
@@ -337,19 +377,34 @@ func (e *Executor) applyLevelFaulty(want int) {
 		power := energy / d.Seconds()
 		e.gpuLevel = e.Platform.ClampGPULevel(tr.Applied)
 		e.switches++
-		e.advance(d, power, false, false, 0)
+		attempts++
 		if tr.Stuck {
 			e.faultStats.StuckTransitions++
+			stuckN++
 		}
 		if tr.Clamped {
 			e.faultStats.ClampedTransitions++
+			clampedN++
 		}
+		if e.Obs != nil && (tr.Stuck || tr.Clamped || tr.ExtraLatency > 0) {
+			name := "dvfs-delayed"
+			if tr.Stuck {
+				name = "dvfs-stuck"
+			} else if tr.Clamped {
+				name = "dvfs-clamped"
+			}
+			e.noteFault(name, map[string]any{"want": want, "applied": e.gpuLevel})
+		}
+		e.advance(d, power, false, false, 0)
 		if e.gpuLevel == want || tr.Clamped || attempt >= maxRetries {
 			return
 		}
 		// Stuck: back off briefly (GPU idles at the unchanged frequency),
 		// then retry.
 		e.faultStats.ActuationRetries++
+		if e.Obs != nil {
+			e.mx.retries.Inc(e.ctlName)
+		}
 		idleW := e.Platform.GPUIdlePower(e.Platform.GPUFreqsHz[e.gpuLevel])
 		e.advance(backoff, idleW, false, false, 0)
 		if backoff < maxBackoff {
@@ -484,5 +539,6 @@ func (e *Executor) result() Result {
 		r.ThrottledTime = e.thermal.ThrottledTime
 	}
 	r.Faults = e.faultStats
+	e.obsResult(r)
 	return r
 }

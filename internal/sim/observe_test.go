@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"powerlens/internal/graph"
+	"powerlens/internal/hw"
+	"powerlens/internal/models"
+	"powerlens/internal/obs"
+)
+
+// faultCfg is a nonzero schedule exercising every executor fault path.
+func faultCfg() hw.FaultConfig {
+	return hw.FaultConfig{
+		Seed:              7,
+		SensorDropoutProb: 0.10, SensorNoiseFrac: 0.15,
+		StuckProb: 0.20, ClampProb: 0.05,
+		DelayProb: 0.25, DelayLatency: 2 * time.Millisecond,
+	}
+}
+
+// TestObservedRunIsIdentical is the determinism acceptance check at the
+// executor level: attaching an observer must not change a single field of
+// the result, faulted or not.
+func TestObservedRunIsIdentical(t *testing.T) {
+	p := hw.TX2()
+	g := models.AlexNet()
+	run := func(obsOn, faults bool) Result {
+		e := NewExecutor(p, &rampCtl{})
+		if faults {
+			e.Faults = hw.NewInjector(faultCfg())
+		}
+		if obsOn {
+			e.Obs = obs.New()
+		}
+		return e.RunTask(g, 40)
+	}
+	for _, faults := range []bool{false, true} {
+		bare, observed := run(false, faults), run(true, faults)
+		// Samples are a slice; compare scalars and lengths field by field.
+		if bare.EnergyJ != observed.EnergyJ || bare.Time != observed.Time ||
+			bare.Images != observed.Images || bare.Switches != observed.Switches ||
+			bare.Faults != observed.Faults || len(bare.Samples) != len(observed.Samples) {
+			t.Fatalf("faults=%v: observation changed the run:\nbare     %+v\nobserved %+v",
+				faults, bare, observed)
+		}
+	}
+}
+
+// TestExecutorEmitsMetricsAndSpans checks the executor's instrumentation
+// surface: the sim_* families exist with plausible values and the trace
+// carries block/actuation spans plus decision and fault instants.
+func TestExecutorEmitsMetricsAndSpans(t *testing.T) {
+	p := hw.TX2()
+	g := models.AlexNet()
+	o := obs.New()
+	e := NewExecutor(p, &rampCtl{})
+	e.Faults = hw.NewInjector(faultCfg())
+	e.Obs = o
+	r := e.RunTask(g, 40)
+
+	vals := map[string]float64{}
+	for _, f := range o.Metrics.Snapshot() {
+		vals[f.Name] = f.Total()
+	}
+	if vals["sim_windows_total"] == 0 {
+		t.Fatalf("no windows counted: %v", vals)
+	}
+	if vals["sim_images_total"] != float64(r.Images) {
+		t.Fatalf("sim_images_total = %g, want %d", vals["sim_images_total"], r.Images)
+	}
+	if vals["sim_energy_joules_total"] != r.EnergyJ {
+		t.Fatalf("sim_energy_joules_total = %g, want %g", vals["sim_energy_joules_total"], r.EnergyJ)
+	}
+	if vals["sim_dvfs_switches_total"] == 0 {
+		t.Fatal("ramp controller produced no switch metrics")
+	}
+	if vals["hw_sensor_windows_total"] != vals["sim_windows_total"] {
+		t.Fatalf("sensor windows %g != delivered windows %g",
+			vals["hw_sensor_windows_total"], vals["sim_windows_total"])
+	}
+	if r.Faults.ActuationRetries > 0 &&
+		vals["sim_actuation_retries_total"] != float64(r.Faults.ActuationRetries) {
+		t.Fatalf("retries metric %g != result %d",
+			vals["sim_actuation_retries_total"], r.Faults.ActuationRetries)
+	}
+
+	byCat := map[string]int{}
+	var lastBlockEnd float64
+	for _, ev := range o.Tracer.Events() {
+		byCat[ev.Cat]++
+		if ev.Cat == "block" {
+			if ev.TsUS < lastBlockEnd {
+				t.Fatalf("block spans overlap: start %v < previous end %v", ev.TsUS, lastBlockEnd)
+			}
+			lastBlockEnd = ev.TsUS + ev.DurUS
+		}
+	}
+	for _, cat := range []string{"block", "actuation", "decision", "fault"} {
+		if byCat[cat] == 0 {
+			t.Fatalf("no %q events in trace: %v", cat, byCat)
+		}
+	}
+	if byCat["decision"] != int(vals["sim_windows_total"]) {
+		t.Fatalf("decision instants %d != windows %g", byCat["decision"], vals["sim_windows_total"])
+	}
+}
+
+// rampCtl sweeps the ladder so runs produce switches and residency blocks.
+type rampCtl struct {
+	platform *hw.Platform
+	windows  int
+}
+
+func (r *rampCtl) Name() string                  { return "ramp" }
+func (r *rampCtl) Reset(p *hw.Platform)          { r.platform, r.windows = p, 0 }
+func (r *rampCtl) GPULevel() int                 { return (r.windows / 4) % r.platform.NumGPULevels() }
+func (r *rampCtl) CPULevel() int                 { return len(r.platform.CPUFreqsHz) - 1 }
+func (r *rampCtl) OnWindow(WindowStats)          { r.windows++ }
+func (r *rampCtl) BeforeLayer(*graph.Graph, int) {}

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"io"
+	"math"
 	"time"
 
 	"powerlens/internal/hw"
@@ -13,18 +14,29 @@ import (
 // residency.
 
 // WriteTraceCSV writes samples as "time_ms,power_w,freq_mhz" rows with a
-// header. It is the export path behind `cmd/experiments fig1`.
+// header. It is the export path behind `cmd/experiments fig1`. Non-finite
+// readings (a corrupted sensor window) are written as 0 so the CSV always
+// loads in spreadsheet/plotting tools.
 func WriteTraceCSV(w io.Writer, samples []hw.PowerSample) error {
 	if _, err := fmt.Fprintln(w, "time_ms,power_w,freq_mhz"); err != nil {
 		return err
 	}
 	for _, s := range samples {
 		if _, err := fmt.Fprintf(w, "%.3f,%.4f,%.2f\n",
-			float64(s.At.Nanoseconds())/1e6, s.PowerW, s.FreqHz/1e6); err != nil {
+			float64(s.At.Nanoseconds())/1e6, finiteOrZero(s.PowerW),
+			finiteOrZero(s.FreqHz)/1e6); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// finiteOrZero maps NaN/±Inf to 0 for export paths.
+func finiteOrZero(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
 }
 
 // TraceStats summarizes a frequency trace.
@@ -37,41 +49,56 @@ type TraceStats struct {
 	Span       time.Duration
 }
 
-// AnalyzeTrace computes TraceStats over uniformly-sampled samples.
+// AnalyzeTrace computes TraceStats over uniformly-sampled samples. Empty
+// traces yield zero-valued stats, and non-finite frequency readings are
+// excluded from every aggregate (mean, max residency, change detection) so a
+// corrupted window cannot poison the summary with NaN.
 func AnalyzeTrace(samples []hw.PowerSample, period time.Duration) TraceStats {
 	st := TraceStats{Samples: len(samples)}
 	if len(samples) == 0 {
 		return st
 	}
-	maxF := 0.0
+	maxF, finite := 0.0, 0
 	for _, s := range samples {
+		if math.IsNaN(s.FreqHz) || math.IsInf(s.FreqHz, 0) {
+			continue
+		}
+		finite++
 		if s.FreqHz > maxF {
 			maxF = s.FreqHz
 		}
 		st.MeanFreqHz += s.FreqHz
 	}
-	st.MeanFreqHz /= float64(len(samples))
+	if finite > 0 {
+		st.MeanFreqHz /= float64(finite)
+	} else {
+		st.MeanFreqHz = 0
+	}
 	dir := 0
-	for i, s := range samples {
+	last := math.NaN()
+	for _, s := range samples {
+		if math.IsNaN(s.FreqHz) || math.IsInf(s.FreqHz, 0) {
+			continue
+		}
 		if s.FreqHz == maxF {
 			st.TimeAtMax += period
 		}
-		if i == 0 {
-			continue
-		}
-		d := 0
-		if s.FreqHz > samples[i-1].FreqHz {
-			d = 1
-		} else if s.FreqHz < samples[i-1].FreqHz {
-			d = -1
-		}
-		if d != 0 {
-			st.Changes++
-			if dir != 0 && d != dir {
-				st.Reversals++
+		if !math.IsNaN(last) {
+			d := 0
+			if s.FreqHz > last {
+				d = 1
+			} else if s.FreqHz < last {
+				d = -1
 			}
-			dir = d
+			if d != 0 {
+				st.Changes++
+				if dir != 0 && d != dir {
+					st.Reversals++
+				}
+				dir = d
+			}
 		}
+		last = s.FreqHz
 	}
 	st.Span = samples[len(samples)-1].At
 	return st

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"math"
 	"strings"
 	"testing"
 	"time"
@@ -31,9 +32,68 @@ func TestWriteTraceCSV(t *testing.T) {
 }
 
 func TestAnalyzeTraceEmpty(t *testing.T) {
-	st := AnalyzeTrace(nil, time.Millisecond)
-	if st.Samples != 0 || st.Changes != 0 || st.MeanFreqHz != 0 {
-		t.Fatalf("empty trace stats = %+v", st)
+	for _, samples := range [][]hw.PowerSample{nil, {}} {
+		st := AnalyzeTrace(samples, time.Millisecond)
+		if st != (TraceStats{}) {
+			t.Fatalf("empty trace stats = %+v, want all zero", st)
+		}
+		if math.IsNaN(st.MeanFreqHz) {
+			t.Fatal("empty trace must not produce NaN mean")
+		}
+	}
+}
+
+func TestAnalyzeTraceNonFinite(t *testing.T) {
+	mk := func(freqs ...float64) []hw.PowerSample {
+		out := make([]hw.PowerSample, len(freqs))
+		for i, f := range freqs {
+			out[i] = hw.PowerSample{At: time.Duration(i+1) * time.Millisecond, FreqHz: f}
+		}
+		return out
+	}
+	// A NaN reading in the middle must not poison the mean or the
+	// change/reversal detection across the gap.
+	st := AnalyzeTrace(mk(100, math.NaN(), 200), time.Millisecond)
+	if st.MeanFreqHz != 150 {
+		t.Fatalf("mean = %g, want 150 (NaN excluded)", st.MeanFreqHz)
+	}
+	if st.Changes != 1 || st.Reversals != 0 {
+		t.Fatalf("changes/reversals = %d/%d, want 1/0", st.Changes, st.Reversals)
+	}
+	if st.TimeAtMax != time.Millisecond {
+		t.Fatalf("TimeAtMax = %v, want 1ms", st.TimeAtMax)
+	}
+	// +Inf must not become the max frequency.
+	st = AnalyzeTrace(mk(100, math.Inf(1), 100), time.Millisecond)
+	if st.TimeAtMax != 2*time.Millisecond {
+		t.Fatalf("TimeAtMax = %v, want 2ms at the finite max", st.TimeAtMax)
+	}
+	if st.MeanFreqHz != 100 {
+		t.Fatalf("mean = %g, want 100", st.MeanFreqHz)
+	}
+	// An all-garbage trace yields zero-valued aggregates, never NaN.
+	st = AnalyzeTrace(mk(math.NaN(), math.Inf(-1)), time.Millisecond)
+	if st.MeanFreqHz != 0 || st.Changes != 0 || st.TimeAtMax != 0 {
+		t.Fatalf("all-NaN stats = %+v, want zeros", st)
+	}
+	if st.Samples != 2 {
+		t.Fatalf("Samples = %d, want raw length 2", st.Samples)
+	}
+}
+
+func TestWriteTraceCSVNonFinite(t *testing.T) {
+	samples := []hw.PowerSample{
+		{At: 10 * time.Millisecond, PowerW: math.NaN(), FreqHz: math.Inf(1)},
+	}
+	var sb strings.Builder
+	if err := WriteTraceCSV(&sb, samples); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "NaN") || strings.Contains(sb.String(), "Inf") {
+		t.Fatalf("CSV leaked non-finite values:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "10.000,0.0000,0.00") {
+		t.Fatalf("non-finite row not zeroed:\n%s", sb.String())
 	}
 }
 
