@@ -1,0 +1,106 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"powerlens/internal/experiments"
+)
+
+// runBench drives the seeded benchmark harness:
+//
+//	experiments bench [-name N] [-seed S] [-smoke] [-repeats R] [-o F]
+//	experiments bench compare [-slack X] OLD.json NEW.json
+//	experiments bench validate FILE...
+//
+// A plain run measures the hot paths and writes a schema-versioned
+// BENCH_<name>.json; compare diffs two reports against their recorded
+// per-metric tolerances and exits nonzero on regression; validate checks
+// report files against the schema.
+func runBench(args []string) {
+	if len(args) > 0 {
+		switch args[0] {
+		case "compare":
+			runBenchCompare(args[1:])
+			return
+		case "validate":
+			runBenchValidate(args[1:])
+			return
+		}
+	}
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	name := fs.String("name", "local", "report name (also names the default output file)")
+	seed := fs.Int64("seed", 1, "workload seed")
+	smoke := fs.Bool("smoke", false, "CI-smoke sizes: same metrics, seconds not minutes")
+	repeats := fs.Int("repeats", 0, "timed repetitions per measurement, fastest kept (0 = default)")
+	out := fs.String("o", "", `output path (default BENCH_<name>.json; "-" = print only)`)
+	fs.Parse(args)
+
+	r, err := experiments.RunBench(experiments.BenchOptions{
+		Name: *name, Seed: *seed, Smoke: *smoke, Repeats: *repeats,
+	})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Print(experiments.RenderBenchReport(r))
+
+	path := *out
+	if path == "" {
+		path = "BENCH_" + r.Name + ".json"
+	}
+	if path == "-" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fail(err)
+	}
+	if err := experiments.WriteBenchReport(f, r); err != nil {
+		f.Close()
+		fail(err)
+	}
+	if err := f.Close(); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+}
+
+func runBenchCompare(args []string) {
+	fs := flag.NewFlagSet("bench compare", flag.ExitOnError)
+	slack := fs.Float64("slack", 1, "tolerance multiplier (2 = twice as lenient, for cross-machine diffs)")
+	fs.Parse(args)
+	rest := fs.Args()
+	if len(rest) != 2 {
+		fail(errors.New("usage: experiments bench compare [-slack X] OLD.json NEW.json"))
+	}
+	old, err := experiments.LoadBenchReport(rest[0])
+	if err != nil {
+		fail(err)
+	}
+	cur, err := experiments.LoadBenchReport(rest[1])
+	if err != nil {
+		fail(err)
+	}
+	ds, regressed := experiments.CompareBench(old, cur, *slack)
+	fmt.Printf("bench compare %s (%q) -> %s (%q), slack %.1fx:\n", rest[0], old.Name, rest[1], cur.Name, *slack)
+	fmt.Print(experiments.RenderBenchDeltas(ds))
+	if regressed {
+		fail(errors.New("bench: regression detected"))
+	}
+	fmt.Println("no regressions")
+}
+
+func runBenchValidate(args []string) {
+	if len(args) == 0 {
+		fail(errors.New("usage: experiments bench validate FILE..."))
+	}
+	for _, path := range args {
+		r, err := experiments.LoadBenchReport(path)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%s: ok (report %q, schema %d, %d metrics)\n", path, r.Name, r.Schema, len(r.Metrics))
+	}
+}

@@ -14,11 +14,16 @@
 //	experiments thermal [-networks N] [-seed S]  # sustained-load throttling study
 //	experiments ext    [-networks N] [-seed S]   # §5 extensions: CPU DVFS + batching
 //	experiments resilience [-networks N] [-seed S] [-tasks T] [-nodes K] [-jobs J]
-//	                       [-trace-out F] [-metrics-out F]
+//	                       [-trace-out F] [-metrics-out F] [-serve :8080] [-serve-for D] [-run-dir runs]
 //	                                              # fault injection: guarded governors + cluster failover
 //	experiments observe [-networks N] [-seed S] [-tasks T] [-nodes K] [-jobs J]
 //	                    [-trace-out observe_trace.json] [-metrics-out observe_metrics.prom]
-//	                                              # instrumented run: Chrome trace + Prometheus metrics
+//	                    [-serve :8080] [-serve-for D] [-run-dir runs]
+//	                                              # instrumented run: Chrome trace + Prometheus metrics,
+//	                                              # live HTTP telemetry, run-provenance recording
+//	experiments bench  [-name N] [-seed S] [-smoke] [-repeats R] [-o F]  # perf baseline -> BENCH_<name>.json
+//	experiments bench compare [-slack X] OLD.json NEW.json  # exit nonzero on regression
+//	experiments bench validate FILE...            # schema-check bench reports
 //	experiments switch                            # §3.3 switch microbenchmark
 //	experiments calibrate                         # hw-model diagnostics
 //	experiments dispersion                        # per-stage oracle diagnostics
@@ -58,6 +63,8 @@ func main() {
 		runResilience(args)
 	case "observe":
 		runObserve(args)
+	case "bench":
+		runBench(args)
 	case "switch":
 		runSwitch()
 	case "calibrate":
@@ -73,5 +80,5 @@ func main() {
 }
 
 func usage() {
-	fmt.Println("usage: experiments <all|report|table1|table2|table3|fig1|fig5|ext|thermal|resilience|observe|switch|calibrate|dispersion> [-networks N] [-seed S]")
+	fmt.Println("usage: experiments <all|report|table1|table2|table3|fig1|fig5|ext|thermal|resilience|observe|bench|switch|calibrate|dispersion> [-networks N] [-seed S]")
 }

@@ -183,7 +183,9 @@ func runFig1(args []string) {
 			fail(err)
 		}
 		fmt.Println(experiments.RenderFig1(traces))
-		exportObs(o, o.Tracer.Events(), *traceOut, *metricsOut)
+		if err := exportObs(o, o.Tracer.Events(), *traceOut, *metricsOut); err != nil {
+			fail(err)
+		}
 		return
 	}
 	runFig1WithEnv(env, true)

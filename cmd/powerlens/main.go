@@ -9,6 +9,10 @@
 //	powerlens -model resnet152 -platform TX2 [-networks 400] [-seed 1]
 //	          [-load framework.json] [-save framework.json]
 //	powerlens -list
+//	powerlens runs <list | show ID | diff ID1 ID2> [-dir runs]
+//
+// The runs subcommand browses the run-provenance store written by
+// `experiments observe/resilience -run-dir` (see internal/obs/runlog).
 package main
 
 import (
@@ -27,6 +31,12 @@ import (
 )
 
 func main() {
+	// Subcommands dispatch before flag parsing; everything else is the
+	// classic single-model workflow driven by flags alone.
+	if len(os.Args) > 1 && os.Args[1] == "runs" {
+		runRuns(os.Args[2:])
+		return
+	}
 	var (
 		modelName = flag.String("model", "resnet152", "model to analyze (see -list)")
 		platform  = flag.String("platform", "TX2", "platform: TX2 or AGX")

@@ -1,0 +1,155 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"powerlens/internal/obs/runlog"
+)
+
+// runRuns is the `powerlens runs` subcommand family over the run-provenance
+// store that `experiments observe/resilience -run-dir` writes:
+//
+//	powerlens runs list [-dir runs]           # index every recorded run
+//	powerlens runs show [-dir runs] ID        # one run's manifest
+//	powerlens runs diff [-dir runs] ID1 ID2   # headline-metric deltas
+func runRuns(args []string) {
+	if len(args) == 0 {
+		runsUsage()
+	}
+	sub := args[0]
+	fs := flag.NewFlagSet("runs "+sub, flag.ExitOnError)
+	dir := fs.String("dir", "runs", "run-provenance store directory")
+	fs.Parse(args[1:])
+	// stdlib flag parsing stops at the first positional arg; peel run ids off
+	// and re-parse so `runs show ID -dir runs` works as naturally as
+	// `runs show -dir runs ID`.
+	var rest []string
+	for leftover := fs.Args(); len(leftover) > 0; leftover = fs.Args() {
+		if len(leftover[0]) > 1 && strings.HasPrefix(leftover[0], "-") {
+			fs.Parse(leftover)
+			continue
+		}
+		rest = append(rest, leftover[0])
+		fs.Parse(leftover[1:])
+	}
+
+	store, err := runlog.Open(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	switch sub {
+	case "list":
+		runsList(store)
+	case "show":
+		if len(rest) != 1 {
+			runsUsage()
+		}
+		runsShow(store, rest[0])
+	case "diff":
+		if len(rest) != 2 {
+			runsUsage()
+		}
+		runsDiff(store, rest[0], rest[1])
+	default:
+		runsUsage()
+	}
+}
+
+func runsUsage() {
+	fmt.Fprintln(os.Stderr, "usage: powerlens runs <list | show ID | diff ID1 ID2> [-dir runs]")
+	os.Exit(2)
+}
+
+func runsList(store *runlog.Store) {
+	ms, err := store.List()
+	if err != nil {
+		fatal(err)
+	}
+	if len(ms) == 0 {
+		fmt.Printf("no runs recorded under %s\n", store.Root())
+		return
+	}
+	fmt.Printf("%d runs under %s:\n", len(ms), store.Root())
+	fmt.Printf("  %-24s %-12s %-8s %6s %12s %20s  %s\n",
+		"run", "scenario", "platform", "seed", "wall", "start (UTC)", "artifacts")
+	for _, m := range ms {
+		wall := "running"
+		if m.WallMS > 0 {
+			wall = (time.Duration(m.WallMS * float64(time.Millisecond))).Round(time.Millisecond).String()
+		}
+		arts := make([]string, 0, len(m.Artifacts))
+		for a := range m.Artifacts {
+			arts = append(arts, a)
+		}
+		sort.Strings(arts)
+		fmt.Printf("  %-24s %-12s %-8s %6d %12s %20s  %s\n",
+			m.RunID, m.Scenario, m.Platform, m.Seed, wall,
+			m.Start.UTC().Format("2006-01-02 15:04:05"), strings.Join(arts, ","))
+	}
+}
+
+func runsShow(store *runlog.Store, id string) {
+	m, err := store.Get(id)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("run %s (schema %d)\n", m.RunID, m.Schema)
+	fmt.Printf("  scenario  %s on %s, seed %d, config digest %s\n", m.Scenario, m.Platform, m.Seed, m.ConfigDigest)
+	fmt.Printf("  built by  %s (%s/%s)\n", m.GoVersion, m.HostOS, m.HostArch)
+	fmt.Printf("  started   %s, wall %.1f ms\n", m.Start.UTC().Format(time.RFC3339), m.WallMS)
+	if len(m.Artifacts) > 0 {
+		arts := make([]string, 0, len(m.Artifacts))
+		for a := range m.Artifacts {
+			arts = append(arts, a)
+		}
+		sort.Strings(arts)
+		fmt.Printf("  artifacts %s\n", strings.Join(arts, ", "))
+	}
+	if len(m.Metrics) > 0 {
+		names := make([]string, 0, len(m.Metrics))
+		for n := range m.Metrics {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Println("  metrics:")
+		for _, n := range names {
+			fmt.Printf("    %-28s %14.4f\n", n, m.Metrics[n])
+		}
+	}
+}
+
+func runsDiff(store *runlog.Store, idA, idB string) {
+	a, err := store.Get(idA)
+	if err != nil {
+		fatal(err)
+	}
+	b, err := store.Get(idB)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("runs diff %s -> %s\n", a.RunID, b.RunID)
+	if a.ConfigDigest != b.ConfigDigest {
+		fmt.Printf("  config digests differ: %s -> %s\n", a.ConfigDigest, b.ConfigDigest)
+	}
+	ds := runlog.Diff(a, b)
+	if len(ds) == 0 {
+		fmt.Println("  no headline metrics recorded")
+		return
+	}
+	fmt.Printf("  %-28s %14s %14s %9s\n", "metric", "a", "b", "change")
+	for _, d := range ds {
+		switch {
+		case d.OnlyA:
+			fmt.Printf("  %-28s %14.4f %14s %9s\n", d.Name, d.A, "-", "only a")
+		case d.OnlyB:
+			fmt.Printf("  %-28s %14s %14.4f %9s\n", d.Name, "-", d.B, "only b")
+		default:
+			fmt.Printf("  %-28s %14.4f %14.4f %+8.1f%%\n", d.Name, d.A, d.B, d.Pct)
+		}
+	}
+}

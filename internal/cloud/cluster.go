@@ -106,6 +106,24 @@ func (r Result) EE() float64 {
 	return float64(r.TotalImages) / r.TotalEnergyJ
 }
 
+// Headline returns the cluster run's headline metrics as a flat name→value
+// map, the snapshot a run manifest (obs/runlog) records alongside the
+// single-node flow's sim.Result.Headline.
+func (r Result) Headline() map[string]float64 {
+	return map[string]float64{
+		"nodes":         float64(len(r.Nodes)),
+		"images":        float64(r.TotalImages),
+		"energy_j":      r.TotalEnergyJ,
+		"ee_img_per_j":  r.EE(),
+		"makespan_s":    r.Makespan.Seconds(),
+		"turnaround_s":  r.MeanTurnaround.Seconds(),
+		"nodes_lost":    float64(r.NodesLost),
+		"failovers":     float64(r.Failovers),
+		"dropped_jobs":  float64(r.DroppedJobs),
+		"lost_energy_j": r.LostEnergyJ,
+	}
+}
+
 // queuedJob tracks a job through dispatch, preserving its original arrival
 // for turnaround accounting across failovers.
 type queuedJob struct {

@@ -1,0 +1,40 @@
+package cloud
+
+import (
+	"testing"
+	"time"
+)
+
+// TestClusterHeadline checks the manifest snapshot mirrors the degraded-mode
+// accounting fields.
+func TestClusterHeadline(t *testing.T) {
+	r := Result{
+		Nodes:          make([]NodeResult, 3),
+		TotalEnergyJ:   20,
+		TotalImages:    40,
+		Makespan:       4 * time.Second,
+		MeanTurnaround: 500 * time.Millisecond,
+		NodesLost:      1,
+		Failovers:      2,
+		DroppedJobs:    1,
+		LostEnergyJ:    1.5,
+	}
+	h := r.Headline()
+	want := map[string]float64{
+		"nodes": 3, "images": 40, "energy_j": 20, "ee_img_per_j": 2,
+		"makespan_s": 4, "turnaround_s": 0.5,
+		"nodes_lost": 1, "failovers": 2, "dropped_jobs": 1, "lost_energy_j": 1.5,
+	}
+	for name, v := range want {
+		if h[name] != v {
+			t.Fatalf("headline[%s] = %v, want %v (full: %v)", name, h[name], v, h)
+		}
+	}
+	if len(h) != len(want) {
+		t.Fatalf("headline has %d fields, want %d: %v", len(h), len(want), h)
+	}
+
+	if z := (Result{}).Headline(); z["ee_img_per_j"] != 0 {
+		t.Fatalf("zero result EE = %v", z["ee_img_per_j"])
+	}
+}

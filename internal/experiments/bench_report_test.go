@@ -1,0 +1,238 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// smokeReport runs the harness once per test binary; every subtest reads it.
+var smokeReportCache *BenchReport
+
+func smokeReport(t *testing.T) *BenchReport {
+	t.Helper()
+	if smokeReportCache == nil {
+		r, err := RunBench(BenchOptions{Name: "test", Seed: 7, Smoke: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		smokeReportCache = r
+	}
+	return smokeReportCache
+}
+
+// TestRunBenchSmoke is the harness acceptance check: a smoke run validates,
+// covers every hot path, and accepts a comparison against itself.
+func TestRunBenchSmoke(t *testing.T) {
+	r := smokeReport(t)
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Smoke || r.Seed != 7 || r.Name != "test" {
+		t.Fatalf("report header wrong: %+v", r)
+	}
+	want := []string{
+		"executor_layer_steps_per_sec",
+		"clustering_views_per_sec",
+		"feature_extracts_per_sec",
+		"registry_counter_ops_per_sec",
+		"tracer_span_ops_per_sec",
+		"metrics_scrapes_per_sec",
+	}
+	if len(r.Metrics) != len(want) {
+		t.Fatalf("got %d metrics, want %d: %+v", len(r.Metrics), len(want), r.Metrics)
+	}
+	for i, name := range want {
+		m := r.Metrics[i]
+		if m.Name != name {
+			t.Fatalf("metric %d is %q, want %q", i, m.Name, name)
+		}
+		if m.Value <= 0 || !m.HigherIsBetter || m.Tolerance <= 0 || m.Unit == "" {
+			t.Fatalf("metric %q not measured sanely: %+v", name, m)
+		}
+	}
+
+	// A report must accept itself: zero deltas, zero regressions.
+	ds, regressed := CompareBench(r, r, 1)
+	if regressed {
+		t.Fatalf("self-compare regressed: %+v", ds)
+	}
+	for _, d := range ds {
+		if d.Pct != 0 || d.Regressed || d.Missing || d.Added {
+			t.Fatalf("self-compare delta not clean: %+v", d)
+		}
+	}
+}
+
+func TestBenchReportRoundTrip(t *testing.T) {
+	r := smokeReport(t)
+	var buf bytes.Buffer
+	if err := WriteBenchReport(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBenchReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != r.Name || back.Seed != r.Seed || len(back.Metrics) != len(r.Metrics) {
+		t.Fatalf("round-trip changed the report: %+v vs %+v", back, r)
+	}
+	for i := range r.Metrics {
+		if back.Metrics[i] != r.Metrics[i] {
+			t.Fatalf("metric %d changed: %+v vs %+v", i, back.Metrics[i], r.Metrics[i])
+		}
+	}
+}
+
+func TestBenchReportValidate(t *testing.T) {
+	good := func() *BenchReport {
+		return &BenchReport{
+			Schema: BenchSchemaVersion, Name: "x",
+			Metrics: []BenchMetric{{Name: "a", Value: 1, Unit: "ops/s", Tolerance: 0.1}},
+		}
+	}
+	if err := good().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]func(*BenchReport){
+		"future schema": func(r *BenchReport) { r.Schema = BenchSchemaVersion + 1 },
+		"zero schema":   func(r *BenchReport) { r.Schema = 0 },
+		"no name":       func(r *BenchReport) { r.Name = "" },
+		"no metrics":    func(r *BenchReport) { r.Metrics = nil },
+		"unnamed":       func(r *BenchReport) { r.Metrics[0].Name = "" },
+		"no unit":       func(r *BenchReport) { r.Metrics[0].Unit = "" },
+		"duplicate":     func(r *BenchReport) { r.Metrics = append(r.Metrics, r.Metrics[0]) },
+		"NaN value":     func(r *BenchReport) { r.Metrics[0].Value = math.NaN() },
+		"Inf value":     func(r *BenchReport) { r.Metrics[0].Value = math.Inf(1) },
+		"negative":      func(r *BenchReport) { r.Metrics[0].Value = -1 },
+		"bad tolerance": func(r *BenchReport) { r.Metrics[0].Tolerance = -0.1 },
+	}
+	for name, mutate := range cases {
+		r := good()
+		mutate(r)
+		if err := r.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", name, r)
+		}
+	}
+}
+
+func TestCompareBench(t *testing.T) {
+	base := &BenchReport{
+		Schema: 1, Name: "old",
+		Metrics: []BenchMetric{
+			{Name: "fast", Value: 100, Unit: "ops/s", HigherIsBetter: true, Tolerance: 0.10},
+			{Name: "slow", Value: 10, Unit: "ms", HigherIsBetter: false, Tolerance: 0.10},
+			{Name: "gone", Value: 5, Unit: "ops/s", HigherIsBetter: true, Tolerance: 0.10},
+		},
+	}
+	cur := &BenchReport{
+		Schema: 1, Name: "new",
+		Metrics: []BenchMetric{
+			{Name: "fast", Value: 80, Unit: "ops/s", HigherIsBetter: true, Tolerance: 0.10},
+			{Name: "slow", Value: 10.5, Unit: "ms", HigherIsBetter: false, Tolerance: 0.10},
+			{Name: "fresh", Value: 1, Unit: "ops/s", HigherIsBetter: true, Tolerance: 0.10},
+		},
+	}
+	ds, regressed := CompareBench(base, cur, 1)
+	if !regressed {
+		t.Fatal("20% throughput drop against 10% tolerance must regress")
+	}
+	by := map[string]BenchDelta{}
+	for _, d := range ds {
+		by[d.Name] = d
+	}
+	if d := by["fast"]; !d.Regressed || d.Pct != -20 {
+		t.Fatalf("fast: %+v", d)
+	}
+	// Lower-is-better: 10 -> 10.5 is a 5% worsening, within 10% tolerance,
+	// and the sign convention keeps negative == worse.
+	if d := by["slow"]; d.Regressed || math.Abs(d.Pct - -5) > 1e-9 {
+		t.Fatalf("slow: %+v", d)
+	}
+	if d := by["gone"]; !d.Missing || !d.Regressed {
+		t.Fatalf("missing metric must regress: %+v", d)
+	}
+	if d := by["fresh"]; !d.Added || d.Regressed {
+		t.Fatalf("new metric must be benign: %+v", d)
+	}
+
+	// Slack widens every tolerance: 3x turns the 20% drop into a pass, but a
+	// missing metric can never be slacked away.
+	ds, regressed = CompareBench(base, cur, 3)
+	by = map[string]BenchDelta{}
+	for _, d := range ds {
+		by[d.Name] = d
+	}
+	if by["fast"].Regressed {
+		t.Fatalf("slack 3 should absorb a 20%% drop: %+v", by["fast"])
+	}
+	if !by["gone"].Regressed || !regressed {
+		t.Fatal("slack must not forgive a missing metric")
+	}
+
+	// Zero-old-value improvements report +100% and never regress.
+	zero := &BenchReport{Schema: 1, Name: "z",
+		Metrics: []BenchMetric{{Name: "m", Value: 0, Unit: "u", HigherIsBetter: true, Tolerance: 0.1}}}
+	some := &BenchReport{Schema: 1, Name: "z",
+		Metrics: []BenchMetric{{Name: "m", Value: 4, Unit: "u", HigherIsBetter: true, Tolerance: 0.1}}}
+	if ds, reg := CompareBench(zero, some, 1); reg || ds[0].Pct != 100 {
+		t.Fatalf("zero-base delta: %+v", ds)
+	}
+}
+
+func TestBenchOptionsDefaults(t *testing.T) {
+	d := BenchOptions{}.withDefaults()
+	if d.Name != "local" || d.Seed != 1 || d.Repeats != 3 || d.Smoke {
+		t.Fatalf("defaults = %+v", d)
+	}
+	if s := (BenchOptions{Smoke: true}).withDefaults(); s.Repeats != 1 {
+		t.Fatalf("smoke repeats = %d, want 1", s.Repeats)
+	}
+	keep := BenchOptions{Name: "ci", Seed: 9, Repeats: 5, Smoke: true}.withDefaults()
+	if keep != (BenchOptions{Name: "ci", Seed: 9, Repeats: 5, Smoke: true}) {
+		t.Fatalf("explicit options changed: %+v", keep)
+	}
+}
+
+// TestObserveOptionsDefaults pins the sibling scenario's defaulting, including
+// that an injected observer survives defaulting untouched.
+func TestObserveOptionsDefaults(t *testing.T) {
+	d := ObserveOptions{}.withDefaults()
+	if d.Tasks != 20 || d.Nodes != 3 || d.Jobs != 20 || d.Seed != 1 {
+		t.Fatalf("defaults = %+v", d)
+	}
+	if d.Obs != nil {
+		t.Fatal("defaulting invented an observer")
+	}
+	neg := ObserveOptions{Tasks: -1, Nodes: -1, Jobs: -1}.withDefaults()
+	if neg.Tasks != 20 || neg.Nodes != 3 || neg.Jobs != 20 {
+		t.Fatalf("negative sizes not clamped: %+v", neg)
+	}
+	keep := ObserveOptions{Tasks: 2, Nodes: 1, Jobs: 4, Seed: -3}.withDefaults()
+	if keep.Tasks != 2 || keep.Nodes != 1 || keep.Jobs != 4 || keep.Seed != -3 {
+		t.Fatalf("explicit options changed: %+v", keep)
+	}
+}
+
+func TestRenderBench(t *testing.T) {
+	r := smokeReport(t)
+	out := RenderBenchReport(r)
+	for _, frag := range []string{"bench \"test\"", "metric", "executor_layer_steps_per_sec", "scrapes/s"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("RenderBenchReport missing %q:\n%s", frag, out)
+		}
+	}
+	ds, _ := CompareBench(r, r, 1)
+	ds = append(ds,
+		BenchDelta{Name: "lost", Old: 1, Missing: true, Regressed: true},
+		BenchDelta{Name: "worse", Old: 10, New: 5, Pct: -50, Tolerance: 10, Regressed: true},
+		BenchDelta{Name: "fresh", New: 2, Added: true},
+	)
+	out = RenderBenchDeltas(ds)
+	for _, frag := range []string{"REGRESSED (metric missing)", "REGRESSED", "new metric", "verdict", "ok"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("RenderBenchDeltas missing %q:\n%s", frag, out)
+		}
+	}
+}

@@ -29,6 +29,11 @@ type ObserveOptions struct {
 	Nodes int   // cluster size (default 3)
 	Jobs  int   // cluster job-trace length (default 20)
 	Seed  int64 // master seed, also seeds the fault schedule (default 1)
+	// Obs, when non-nil, is the observer the scenario streams into — callers
+	// that mount the sinks on a live telemetry server pass theirs so scrapes
+	// see the run as it happens. Nil gets a fresh private observer; either
+	// way the simulated outcome is identical (sinks never perturb the run).
+	Obs *obs.Observer
 }
 
 func (o ObserveOptions) withDefaults() ObserveOptions {
@@ -65,7 +70,10 @@ type ObserveData struct {
 // Observe runs the instrumented scenario for one platform.
 func Observe(env *Env, p *hw.Platform, opt ObserveOptions) (*ObserveData, error) {
 	opt = opt.withDefaults()
-	o := obs.New()
+	o := opt.Obs
+	if o == nil {
+		o = obs.New()
+	}
 	o.Profiler.SampleAllocs = true
 	cfg := DefaultFaultSchedule(opt.Seed)
 

@@ -55,6 +55,9 @@ var DefBuckets = []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
 type Registry struct {
 	mu       sync.Mutex
 	families map[string]*family
+	// sorted holds the families ordered by name, maintained at registration
+	// time so snapshots never re-sort on the scrape path.
+	sorted []*family
 }
 
 // NewRegistry returns an empty registry.
@@ -72,11 +75,15 @@ type family struct {
 
 	mu     sync.Mutex
 	series map[string]*series
-	def    *series // fast path for the zero-label series
+	// ordered holds the series sorted by label key, maintained at creation
+	// time (series are never removed) so snapshots never re-sort.
+	ordered []*series
+	def     *series // fast path for the zero-label series
 }
 
 // series is one label combination of a family.
 type series struct {
+	key    string // label values joined with \x1f, the sort key
 	values []string
 
 	bits uint64 // atomic float64 for counters and gauges
@@ -122,15 +129,20 @@ func (r *Registry) register(name, help string, kind Kind, buckets []float64, lab
 		series:  map[string]*series{},
 	}
 	if len(labels) == 0 {
-		f.def = f.newSeries(nil)
+		f.def = f.newSeries("", nil)
 		f.series[""] = f.def
+		f.ordered = append(f.ordered, f.def)
 	}
 	r.families[name] = f
+	i := sort.Search(len(r.sorted), func(i int) bool { return r.sorted[i].name >= name })
+	r.sorted = append(r.sorted, nil)
+	copy(r.sorted[i+1:], r.sorted[i:])
+	r.sorted[i] = f
 	return f
 }
 
-func (f *family) newSeries(values []string) *series {
-	s := &series{values: append([]string(nil), values...)}
+func (f *family) newSeries(key string, values []string) *series {
+	s := &series{key: key, values: append([]string(nil), values...)}
 	if f.kind == KindHistogram {
 		s.counts = make([]uint64, len(f.buckets)+1) // +1 for the +Inf bucket
 	}
@@ -151,8 +163,12 @@ func (f *family) get(values []string) *series {
 			panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d",
 				f.name, len(f.labels), len(values)))
 		}
-		s = f.newSeries(values)
+		s = f.newSeries(key, values)
 		f.series[key] = s
+		i := sort.Search(len(f.ordered), func(i int) bool { return f.ordered[i].key >= key })
+		f.ordered = append(f.ordered, nil)
+		copy(f.ordered[i+1:], f.ordered[i:])
+		f.ordered[i] = s
 	}
 	f.mu.Unlock()
 	return s
@@ -283,18 +299,17 @@ func (f FamilySnapshot) Total() float64 {
 }
 
 // Snapshot returns a deterministic copy of the registry: families sorted by
-// name, series sorted by label values. Safe to call concurrently with writes.
+// name, series sorted by label values (both orders are maintained at
+// registration time, so no sorting happens here). Safe to call concurrently
+// with writes. The snapshot owns all of its memory; for an allocation-free
+// scrape path use SnapshotInto.
 func (r *Registry) Snapshot() []FamilySnapshot {
 	if r == nil {
 		return nil
 	}
 	r.mu.Lock()
-	fams := make([]*family, 0, len(r.families))
-	for _, f := range r.families {
-		fams = append(fams, f)
-	}
+	fams := append([]*family(nil), r.sorted...)
 	r.mu.Unlock()
-	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
 
 	out := make([]FamilySnapshot, 0, len(fams))
 	for _, f := range fams {
@@ -306,14 +321,8 @@ func (r *Registry) Snapshot() []FamilySnapshot {
 			Buckets:    append([]float64(nil), f.buckets...),
 		}
 		f.mu.Lock()
-		sers := make([]*series, 0, len(f.series))
-		for _, s := range f.series {
-			sers = append(sers, s)
-		}
+		sers := append([]*series(nil), f.ordered...)
 		f.mu.Unlock()
-		sort.Slice(sers, func(i, j int) bool {
-			return strings.Join(sers[i].values, "\x1f") < strings.Join(sers[j].values, "\x1f")
-		})
 		for _, s := range sers {
 			ss := SeriesSnapshot{LabelValues: append([]string(nil), s.values...)}
 			if f.kind == KindHistogram {
@@ -332,6 +341,60 @@ func (r *Registry) Snapshot() []FamilySnapshot {
 	return out
 }
 
+// SnapshotInto fills buf with the registry's current state and returns it,
+// reusing buf's backing arrays (the family slice, each family's series slice
+// and each histogram series' bucket-count buffer) so a steady-state scrape
+// loop allocates nothing. Unlike Snapshot, the returned snapshots *share*
+// the registry's immutable schema slices (label names, bucket bounds, series
+// label values) — treat the result as read-only, valid until the next
+// SnapshotInto call with the same buffer. Family and series order is the
+// same registration-time sorted order Snapshot uses; no sorting happens per
+// scrape.
+func (r *Registry) SnapshotInto(buf []FamilySnapshot) []FamilySnapshot {
+	out := buf[:0]
+	if r == nil {
+		return out
+	}
+	// Holding r.mu for the whole walk keeps the family list stable without
+	// copying it; registration is cold, and value updates never take r.mu.
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, f := range r.sorted {
+		if len(out) < cap(out) {
+			out = out[:len(out)+1]
+		} else {
+			out = append(out, FamilySnapshot{})
+		}
+		fs := &out[len(out)-1]
+		fs.Name, fs.Help, fs.Kind = f.name, f.help, f.kind.String()
+		fs.LabelNames, fs.Buckets = f.labels, f.buckets
+		series := fs.Series[:0]
+		f.mu.Lock()
+		for _, s := range f.ordered {
+			if len(series) < cap(series) {
+				series = series[:len(series)+1]
+			} else {
+				series = append(series, SeriesSnapshot{})
+			}
+			ss := &series[len(series)-1]
+			ss.LabelValues = s.values
+			if f.kind == KindHistogram {
+				ss.Value = 0
+				s.hmu.Lock()
+				ss.Sum, ss.Count = s.sum, s.n
+				ss.BucketCounts = append(ss.BucketCounts[:0], s.counts...)
+				s.hmu.Unlock()
+			} else {
+				ss.Value = s.load()
+				ss.Sum, ss.Count, ss.BucketCounts = 0, 0, ss.BucketCounts[:0]
+			}
+		}
+		f.mu.Unlock()
+		fs.Series = series
+	}
+	return out
+}
+
 // Merge folds src's state into r: counters and histograms accumulate, gauges
 // take src's value. Families are matched by name; a schema conflict (kind,
 // label arity or histogram buckets) panics, like re-registration. Merge walks
@@ -345,12 +408,8 @@ func (r *Registry) Merge(src *Registry) {
 		return
 	}
 	src.mu.Lock()
-	fams := make([]*family, 0, len(src.families))
-	for _, f := range src.families {
-		fams = append(fams, f)
-	}
+	fams := append([]*family(nil), src.sorted...)
 	src.mu.Unlock()
-	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
 
 	for _, sf := range fams {
 		df := r.register(sf.name, sf.help, sf.kind, sf.buckets, sf.labels)
@@ -358,14 +417,8 @@ func (r *Registry) Merge(src *Registry) {
 			panic(fmt.Sprintf("obs: metric %q merged with different buckets", sf.name))
 		}
 		sf.mu.Lock()
-		sers := make([]*series, 0, len(sf.series))
-		for _, s := range sf.series {
-			sers = append(sers, s)
-		}
+		sers := append([]*series(nil), sf.ordered...)
 		sf.mu.Unlock()
-		sort.Slice(sers, func(i, j int) bool {
-			return strings.Join(sers[i].values, "\x1f") < strings.Join(sers[j].values, "\x1f")
-		})
 		for _, ss := range sers {
 			ds := df.get(ss.values)
 			switch sf.kind {
@@ -400,7 +453,14 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 // WritePrometheus exports the registry in the Prometheus text exposition
 // format (version 0.0.4). Output is deterministic for a deterministic run.
 func (r *Registry) WritePrometheus(w io.Writer) error {
-	for _, f := range r.Snapshot() {
+	return WriteSnapshotPrometheus(w, r.Snapshot())
+}
+
+// WriteSnapshotPrometheus renders an already-taken snapshot (Snapshot or
+// SnapshotInto) in the Prometheus text exposition format. The telemetry
+// server's scrape handler uses this with a pooled SnapshotInto buffer.
+func WriteSnapshotPrometheus(w io.Writer, fams []FamilySnapshot) error {
+	for _, f := range fams {
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
 			f.Name, escapeHelp(f.Help), f.Name, f.Kind); err != nil {
 			return err

@@ -1,0 +1,346 @@
+// Package runlog is the run-provenance store: every experiment run writes a
+// schema-versioned manifest (run id, scenario, seed, config digest, Go
+// version, platform, wall time, headline metrics) plus its exported
+// artifacts (Chrome trace, Prometheus snapshot, ...) into a per-run
+// directory under a common root. The telemetry server indexes the root for
+// /runs and /runs/{id}, and `powerlens runs list|show|diff` reads it back,
+// so a result can always be correlated with the exact configuration that
+// produced it.
+//
+// Run ids are deterministic and human-readable — `<scenario>-s<seed>-NNN`
+// with NNN a per-root sequence number — so re-running the same scenario
+// never clobbers an earlier run and ids carry their provenance in the name.
+package runlog
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+)
+
+// ManifestSchemaVersion is bumped whenever the manifest layout changes
+// incompatibly; readers reject manifests from a future schema.
+const ManifestSchemaVersion = 1
+
+// ManifestName is the manifest file inside each run directory.
+const ManifestName = "manifest.json"
+
+// Manifest is one run's provenance record.
+type Manifest struct {
+	Schema   int    `json:"schema"`
+	RunID    string `json:"runId"`
+	Scenario string `json:"scenario"`
+	Platform string `json:"platform,omitempty"` // simulated platform (TX2/AGX), not the host
+	Seed     int64  `json:"seed"`
+
+	// ConfigDigest fingerprints the full option set (Digest of the options
+	// struct), so two runs with the same scenario+seed but different shapes
+	// are distinguishable.
+	ConfigDigest string `json:"configDigest,omitempty"`
+
+	GoVersion string    `json:"goVersion"`
+	HostOS    string    `json:"hostOs"`
+	HostArch  string    `json:"hostArch"`
+	Start     time.Time `json:"start"`
+	WallMS    float64   `json:"wallMs"`
+
+	// Metrics is the headline snapshot recorded at Finish (e.g.
+	// sim.Result.Headline / cloud.Result.Headline / registry family totals).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+
+	// Artifacts maps logical artifact names ("trace.json", "metrics.prom")
+	// to file names inside the run directory.
+	Artifacts map[string]string `json:"artifacts,omitempty"`
+}
+
+// Validate checks the invariants readers rely on.
+func (m *Manifest) Validate() error {
+	if m.Schema <= 0 || m.Schema > ManifestSchemaVersion {
+		return fmt.Errorf("runlog: manifest %q has schema %d, this build reads <= %d",
+			m.RunID, m.Schema, ManifestSchemaVersion)
+	}
+	if m.RunID == "" {
+		return errors.New("runlog: manifest has no run id")
+	}
+	if m.Scenario == "" {
+		return fmt.Errorf("runlog: manifest %q has no scenario", m.RunID)
+	}
+	return nil
+}
+
+// Store is a directory of run directories.
+type Store struct {
+	root string
+}
+
+// Open opens (creating if needed) a store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("runlog: empty store root")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runlog: open store: %w", err)
+	}
+	return &Store{root: dir}, nil
+}
+
+// Root returns the store's root directory.
+func (s *Store) Root() string { return s.root }
+
+// Run is an in-progress run: a directory plus its manifest. Begin writes the
+// manifest immediately (WallMS zero, no metrics) so the run is visible in
+// the index while it executes; Finish rewrites it with the final numbers.
+type Run struct {
+	store    *Store
+	dir      string
+	Manifest Manifest
+}
+
+// Begin creates the next run directory for the scenario and writes the
+// initial manifest. The caller fills Scenario, Platform, Seed and
+// ConfigDigest; Begin stamps schema, run id, Go version and host platform.
+func (s *Store) Begin(m Manifest) (*Run, error) {
+	if m.Scenario == "" {
+		return nil, errors.New("runlog: Begin without a scenario")
+	}
+	if !validComponent(m.Scenario) {
+		return nil, fmt.Errorf("runlog: scenario %q may only contain [a-z0-9-]", m.Scenario)
+	}
+	m.Schema = ManifestSchemaVersion
+	m.GoVersion = runtime.Version()
+	m.HostOS, m.HostArch = runtime.GOOS, runtime.GOARCH
+	if m.Start.IsZero() {
+		m.Start = time.Now().UTC()
+	}
+
+	prefix := fmt.Sprintf("%s-s%d-", m.Scenario, m.Seed)
+	seq := 1
+	entries, err := os.ReadDir(s.root)
+	if err != nil {
+		return nil, fmt.Errorf("runlog: scan store: %w", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() || !strings.HasPrefix(e.Name(), prefix) {
+			continue
+		}
+		var n int
+		if _, err := fmt.Sscanf(strings.TrimPrefix(e.Name(), prefix), "%d", &n); err == nil && n >= seq {
+			seq = n + 1
+		}
+	}
+	m.RunID = fmt.Sprintf("%s%03d", prefix, seq)
+
+	r := &Run{store: s, dir: filepath.Join(s.root, m.RunID), Manifest: m}
+	if err := os.Mkdir(r.dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runlog: create run dir: %w", err)
+	}
+	if err := r.writeManifest(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// ID returns the run's id.
+func (r *Run) ID() string { return r.Manifest.RunID }
+
+// Dir returns the run's directory.
+func (r *Run) Dir() string { return r.dir }
+
+// WriteArtifact streams an artifact into the run directory and records it in
+// the manifest. The name must be a bare file name (no path separators).
+func (r *Run) WriteArtifact(name string, write func(io.Writer) error) error {
+	if name == "" || name != filepath.Base(name) || name == ManifestName {
+		return fmt.Errorf("runlog: invalid artifact name %q", name)
+	}
+	f, err := os.Create(filepath.Join(r.dir, name))
+	if err != nil {
+		return fmt.Errorf("runlog: create artifact: %w", err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return fmt.Errorf("runlog: write artifact %s: %w", name, err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if r.Manifest.Artifacts == nil {
+		r.Manifest.Artifacts = map[string]string{}
+	}
+	r.Manifest.Artifacts[name] = name
+	return r.writeManifest()
+}
+
+// Finish records the wall time and headline metrics and rewrites the
+// manifest.
+func (r *Run) Finish(wall time.Duration, metrics map[string]float64) error {
+	r.Manifest.WallMS = float64(wall.Nanoseconds()) / 1e6
+	r.Manifest.Metrics = metrics
+	return r.writeManifest()
+}
+
+func (r *Run) writeManifest() error {
+	tmp := filepath.Join(r.dir, ManifestName+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("runlog: write manifest: %w", err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r.Manifest); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	// Rename so a concurrent index read never sees a half-written manifest.
+	return os.Rename(tmp, filepath.Join(r.dir, ManifestName))
+}
+
+// List returns every readable manifest under the root, sorted by run id. Run
+// directories without a (valid) manifest are skipped, not fatal: the store
+// stays usable while a run is mid-Begin or a directory is foreign.
+func (s *Store) List() ([]Manifest, error) {
+	entries, err := os.ReadDir(s.root)
+	if err != nil {
+		return nil, fmt.Errorf("runlog: list store: %w", err)
+	}
+	var out []Manifest
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		m, err := s.Get(e.Name())
+		if err != nil {
+			continue
+		}
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].RunID < out[j].RunID })
+	return out, nil
+}
+
+// Get reads one run's manifest by id.
+func (s *Store) Get(id string) (Manifest, error) {
+	if err := checkID(id); err != nil {
+		return Manifest{}, err
+	}
+	data, err := os.ReadFile(filepath.Join(s.root, id, ManifestName))
+	if err != nil {
+		return Manifest{}, fmt.Errorf("runlog: run %q: %w", id, err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return Manifest{}, fmt.Errorf("runlog: run %q: bad manifest: %w", id, err)
+	}
+	if err := m.Validate(); err != nil {
+		return Manifest{}, err
+	}
+	return m, nil
+}
+
+// ArtifactPath resolves a recorded artifact to its on-disk path.
+func (s *Store) ArtifactPath(id, name string) (string, error) {
+	m, err := s.Get(id)
+	if err != nil {
+		return "", err
+	}
+	file, ok := m.Artifacts[name]
+	if !ok {
+		return "", fmt.Errorf("runlog: run %q has no artifact %q", id, name)
+	}
+	if file != filepath.Base(file) {
+		return "", fmt.Errorf("runlog: run %q artifact %q escapes the run dir", id, name)
+	}
+	return filepath.Join(s.root, id, file), nil
+}
+
+// checkID rejects ids that could escape the store root.
+func checkID(id string) error {
+	if id == "" || id != filepath.Base(id) || id == "." || id == ".." {
+		return fmt.Errorf("runlog: invalid run id %q", id)
+	}
+	return nil
+}
+
+func validComponent(s string) bool {
+	for _, c := range s {
+		if !(c == '-' || (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')) {
+			return false
+		}
+	}
+	return s != ""
+}
+
+// MetricDelta is one metric's change between two manifests.
+type MetricDelta struct {
+	Name string
+	A, B float64
+	// Pct is (B-A)/A in percent; NaN-free: zero A with nonzero B reports
+	// +100%, equal values 0%.
+	Pct          float64
+	OnlyA, OnlyB bool
+}
+
+// Diff compares the headline metrics of two manifests, sorted by name.
+func Diff(a, b Manifest) []MetricDelta {
+	names := map[string]bool{}
+	for n := range a.Metrics {
+		names[n] = true
+	}
+	for n := range b.Metrics {
+		names[n] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+
+	out := make([]MetricDelta, 0, len(sorted))
+	for _, n := range sorted {
+		va, inA := a.Metrics[n]
+		vb, inB := b.Metrics[n]
+		d := MetricDelta{Name: n, A: va, B: vb, OnlyA: !inB, OnlyB: !inA}
+		switch {
+		case va == vb:
+			d.Pct = 0
+		case va == 0:
+			d.Pct = 100
+		default:
+			d.Pct = (vb - va) / va * 100
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// Digest fingerprints any JSON-encodable configuration value as a short
+// stable hex string (FNV-1a over the canonical JSON encoding). Map keys are
+// sorted by encoding/json, so the digest is deterministic for a given value.
+func Digest(v any) (string, error) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return "", fmt.Errorf("runlog: digest: %w", err)
+	}
+	h := fnv.New64a()
+	h.Write(data)
+	return fmt.Sprintf("%016x", h.Sum64()), nil
+}
+
+// MustDigest is Digest for values known to encode (option structs).
+func MustDigest(v any) string {
+	d, err := Digest(v)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}

@@ -1,0 +1,195 @@
+package runlog
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(filepath.Join(t.TempDir(), "runs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestBeginFinishRoundTrip(t *testing.T) {
+	s := testStore(t)
+	r, err := s.Begin(Manifest{Scenario: "observe", Platform: "TX2", Seed: 42, ConfigDigest: "abc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ID() != "observe-s42-001" {
+		t.Fatalf("run id = %q", r.ID())
+	}
+
+	// Begin already indexed the run (mid-run visibility).
+	ms, err := s.List()
+	if err != nil || len(ms) != 1 {
+		t.Fatalf("mid-run List = %v, %v", ms, err)
+	}
+	if ms[0].WallMS != 0 || ms[0].GoVersion == "" || ms[0].HostOS == "" {
+		t.Fatalf("initial manifest = %+v", ms[0])
+	}
+
+	if err := r.WriteArtifact("trace.json", func(w io.Writer) error {
+		_, err := io.WriteString(w, `{"traceEvents":[]}`)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Finish(1500*time.Millisecond, map[string]float64{"flow_energy_j": 12.5}); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := s.Get(r.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.WallMS != 1500 || m.Metrics["flow_energy_j"] != 12.5 || m.Schema != ManifestSchemaVersion {
+		t.Fatalf("final manifest = %+v", m)
+	}
+	p, err := s.ArtifactPath(r.ID(), "trace.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data, err := os.ReadFile(p); err != nil || !strings.Contains(string(data), "traceEvents") {
+		t.Fatalf("artifact read = %q, %v", data, err)
+	}
+}
+
+func TestSequenceNumbersAdvance(t *testing.T) {
+	s := testStore(t)
+	for i, want := range []string{"bench-s1-001", "bench-s1-002", "bench-s1-003"} {
+		r, err := s.Begin(Manifest{Scenario: "bench", Seed: 1})
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if r.ID() != want {
+			t.Fatalf("run %d id = %q, want %q", i, r.ID(), want)
+		}
+	}
+	// A different seed gets its own sequence.
+	r, err := s.Begin(Manifest{Scenario: "bench", Seed: 2})
+	if err != nil || r.ID() != "bench-s2-001" {
+		t.Fatalf("seed-2 id = %q, %v", r.ID(), err)
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Fatal("empty root accepted")
+	}
+	// A path under a regular file cannot be created — the unwritable-root
+	// error path (robust even as root, unlike permission bits).
+	f := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(filepath.Join(f, "runs")); err == nil {
+		t.Fatal("root under a file accepted")
+	}
+}
+
+func TestBeginRejectsBadScenario(t *testing.T) {
+	s := testStore(t)
+	for _, bad := range []string{"", "Observe", "a/b", "a..b", "x y"} {
+		if _, err := s.Begin(Manifest{Scenario: bad}); err == nil {
+			t.Fatalf("scenario %q accepted", bad)
+		}
+	}
+}
+
+func TestGetRejectsTraversal(t *testing.T) {
+	s := testStore(t)
+	for _, bad := range []string{"", ".", "..", "../x", "a/b"} {
+		if _, err := s.Get(bad); err == nil {
+			t.Fatalf("id %q accepted", bad)
+		}
+	}
+}
+
+func TestWriteArtifactRejectsBadNames(t *testing.T) {
+	s := testStore(t)
+	r, err := s.Begin(Manifest{Scenario: "observe", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"", "a/b", ManifestName} {
+		if err := r.WriteArtifact(bad, func(io.Writer) error { return nil }); err == nil {
+			t.Fatalf("artifact name %q accepted", bad)
+		}
+	}
+}
+
+func TestListSkipsForeignDirs(t *testing.T) {
+	s := testStore(t)
+	if _, err := s.Begin(Manifest{Scenario: "observe", Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(filepath.Join(s.Root(), "not-a-run"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	ms, err := s.List()
+	if err != nil || len(ms) != 1 {
+		t.Fatalf("List = %d manifests, %v; want 1", len(ms), err)
+	}
+}
+
+func TestValidateRejectsFutureSchema(t *testing.T) {
+	m := Manifest{Schema: ManifestSchemaVersion + 1, RunID: "x", Scenario: "observe"}
+	if err := m.Validate(); err == nil {
+		t.Fatal("future schema accepted")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	a := Manifest{Metrics: map[string]float64{"ee": 2.0, "energy": 10, "gone": 1}}
+	b := Manifest{Metrics: map[string]float64{"ee": 2.5, "energy": 10, "new": 3}}
+	ds := Diff(a, b)
+	byName := map[string]MetricDelta{}
+	for _, d := range ds {
+		byName[d.Name] = d
+	}
+	if d := byName["ee"]; d.Pct != 25 {
+		t.Fatalf("ee delta = %+v", d)
+	}
+	if d := byName["energy"]; d.Pct != 0 {
+		t.Fatalf("energy delta = %+v", d)
+	}
+	if !byName["gone"].OnlyA || !byName["new"].OnlyB {
+		t.Fatalf("one-sided metrics not flagged: %+v", byName)
+	}
+	// Sorted by name.
+	for i := 1; i < len(ds); i++ {
+		if ds[i-1].Name >= ds[i].Name {
+			t.Fatalf("deltas not sorted: %v", ds)
+		}
+	}
+}
+
+func TestDigestDeterministic(t *testing.T) {
+	type opt struct {
+		Tasks int
+		Seed  int64
+	}
+	a, err := Digest(opt{Tasks: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := MustDigest(opt{Tasks: 5, Seed: 1})
+	if a != b || len(a) != 16 {
+		t.Fatalf("digests %q vs %q", a, b)
+	}
+	if c := MustDigest(opt{Tasks: 6, Seed: 1}); c == a {
+		t.Fatal("different configs collide")
+	}
+	if _, err := Digest(func() {}); err == nil {
+		t.Fatal("unencodable value accepted")
+	}
+}

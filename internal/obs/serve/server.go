@@ -1,0 +1,245 @@
+// Package serve is the live telemetry plane: a stdlib-only net/http server
+// over the obs observability core. It exposes the metrics registry as a
+// Prometheus scrape target and as JSON, the decision-span tracer as a
+// mid-run Chrome trace download, the runlog provenance store as a browsable
+// run index, and the standard net/http/pprof profiling endpoints — so a
+// running fleet can be watched while it executes instead of only inspected
+// from end-of-run file exports.
+//
+// Endpoints:
+//
+//	GET /metrics          Prometheus text exposition (version 0.0.4)
+//	GET /metrics.json     registry snapshot as JSON family array
+//	GET /healthz          liveness + coarse telemetry counts
+//	GET /runs             run-manifest index (runlog store)
+//	GET /runs/{id}        one run's manifest
+//	GET /runs/{id}/trace  Chrome trace_event JSON; the live tracer when the
+//	                      run is still executing, the recorded artifact after
+//	GET /debug/pprof/...  standard pprof handlers
+//
+// The observer source is swappable at runtime (SetObserver), so a scenario
+// that builds a fresh observer per platform can keep one server running and
+// point it at the currently-executing run.
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"powerlens/internal/obs"
+	"powerlens/internal/obs/runlog"
+)
+
+// ContentTypePrometheus is the scrape content type for /metrics.
+const ContentTypePrometheus = "text/plain; version=0.0.4; charset=utf-8"
+
+// Health is the /healthz payload.
+type Health struct {
+	Status         string  `json:"status"`
+	UptimeSeconds  float64 `json:"uptimeSeconds"`
+	MetricFamilies int     `json:"metricFamilies"`
+	TraceEvents    int     `json:"traceEvents"`
+	Runs           int     `json:"runs,omitempty"`
+	LiveRun        string  `json:"liveRun,omitempty"`
+}
+
+// Server serves live telemetry for one observer (swappable) and one
+// optional run store. Construct with New; the zero value is not usable.
+type Server struct {
+	src     atomic.Pointer[obs.Observer]
+	liveRun atomic.Pointer[string]
+	runs    *runlog.Store
+	started time.Time
+
+	// The scrape path reuses one snapshot buffer and one render buffer so a
+	// high-frequency scraper does not churn allocations; scrapeMu serializes
+	// concurrent scrapes over them.
+	scrapeMu  sync.Mutex
+	scrapeBuf []obs.FamilySnapshot
+	renderBuf bytes.Buffer
+}
+
+// New returns a server reading from o (may be nil until SetObserver) and
+// indexing runs from store (may be nil: /runs then answers 404).
+func New(o *obs.Observer, store *runlog.Store) *Server {
+	s := &Server{runs: store, started: time.Now()}
+	s.src.Store(o)
+	return s
+}
+
+// SetObserver atomically swaps the observer the telemetry endpoints read.
+func (s *Server) SetObserver(o *obs.Observer) { s.src.Store(o) }
+
+// SetLiveRun names the run id currently executing against the observer;
+// /runs/{id}/trace serves the live tracer for it until the trace artifact
+// is recorded.
+func (s *Server) SetLiveRun(id string) { s.liveRun.Store(&id) }
+
+func (s *Server) observer() *obs.Observer { return s.src.Load() }
+
+func (s *Server) liveRunID() string {
+	if p := s.liveRun.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// Handler returns the telemetry mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /metrics.json", s.handleMetricsJSON)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /runs", s.handleRuns)
+	mux.HandleFunc("GET /runs/{id}", s.handleRun)
+	mux.HandleFunc("GET /runs/{id}/trace", s.handleRunTrace)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// handleMetrics renders the live registry in the Prometheus text format
+// using the pooled SnapshotInto buffer: a steady-state scrape re-sorts
+// nothing and allocates (almost) nothing.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	o := s.observer()
+	s.scrapeMu.Lock()
+	defer s.scrapeMu.Unlock()
+	var reg *obs.Registry
+	if o != nil {
+		reg = o.Metrics
+	}
+	s.scrapeBuf = reg.SnapshotInto(s.scrapeBuf)
+	s.renderBuf.Reset()
+	if err := obs.WriteSnapshotPrometheus(&s.renderBuf, s.scrapeBuf); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", ContentTypePrometheus)
+	w.Header().Set("Content-Length", fmt.Sprint(s.renderBuf.Len()))
+	w.Write(s.renderBuf.Bytes())
+}
+
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
+	var reg *obs.Registry
+	if o := s.observer(); o != nil {
+		reg = o.Metrics
+	}
+	writeJSON(w, reg.Snapshot())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := Health{Status: "ok", UptimeSeconds: time.Since(s.started).Seconds(), LiveRun: s.liveRunID()}
+	if o := s.observer(); o != nil {
+		h.MetricFamilies = len(o.Metrics.Snapshot())
+		h.TraceEvents = o.Tracer.Len()
+	}
+	if s.runs != nil {
+		if ms, err := s.runs.List(); err == nil {
+			h.Runs = len(ms)
+		}
+	}
+	writeJSON(w, h)
+}
+
+func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
+	if s.runs == nil {
+		http.Error(w, "no run store configured", http.StatusNotFound)
+		return
+	}
+	ms, err := s.runs.List()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if ms == nil {
+		ms = []runlog.Manifest{}
+	}
+	writeJSON(w, ms)
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if s.runs == nil {
+		http.Error(w, "no run store configured", http.StatusNotFound)
+		return
+	}
+	m, err := s.runs.Get(r.PathValue("id"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	writeJSON(w, m)
+}
+
+// handleRunTrace serves a run's Chrome trace: the recorded artifact when the
+// run has exported one, otherwise — for the currently-live run — a
+// copy-on-read snapshot of the live tracer, so a run can be inspected in
+// Perfetto while it is still executing.
+func (s *Server) handleRunTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if s.runs != nil {
+		if path, err := s.runs.ArtifactPath(id, "trace.json"); err == nil {
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", id+"_trace.json"))
+			http.ServeFile(w, r, path)
+			return
+		}
+	}
+	o := s.observer()
+	if o == nil || id == "" || id != s.liveRunID() {
+		http.Error(w, fmt.Sprintf("run %q has no recorded trace and is not live", id), http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", id+"_trace.json"))
+	if err := obs.WriteChromeTrace(w, o.Tracer.Events()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// Running is a started server; Close shuts it down.
+type Running struct {
+	srv  *http.Server
+	addr net.Addr
+}
+
+// Start listens on addr (":0" picks a free port) and serves the telemetry
+// mux in a background goroutine.
+func (s *Server) Start(addr string) (*Running, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	go srv.Serve(ln)
+	return &Running{srv: srv, addr: ln.Addr()}, nil
+}
+
+// Addr returns the bound address.
+func (r *Running) Addr() net.Addr { return r.addr }
+
+// URL returns the server's base URL.
+func (r *Running) URL() string { return "http://" + r.addr.String() }
+
+// Close stops the server immediately (in-flight scrapes are abandoned —
+// telemetry readers retry, they do not need draining).
+func (r *Running) Close() error { return r.srv.Close() }

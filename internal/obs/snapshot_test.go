@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestSortedOrderMaintainedAtInsert registers families and series in a
+// shuffled order and checks snapshots come out sorted — the order is built
+// at registration time, not re-derived per scrape.
+func TestSortedOrderMaintainedAtInsert(t *testing.T) {
+	r := NewRegistry()
+	names := []string{"m_delta", "m_alpha", "m_echo", "m_charlie", "m_bravo"}
+	rng := rand.New(rand.NewSource(3))
+	rng.Shuffle(len(names), func(i, j int) { names[i], names[j] = names[j], names[i] })
+	for _, n := range names {
+		c := r.Counter(n, "x", "who")
+		values := []string{"zed", "ann", "mid"}
+		rng.Shuffle(len(values), func(i, j int) { values[i], values[j] = values[j], values[i] })
+		for _, v := range values {
+			c.Inc(v)
+		}
+	}
+	snap := r.Snapshot()
+	if !sort.SliceIsSorted(snap, func(i, j int) bool { return snap[i].Name < snap[j].Name }) {
+		t.Fatalf("families not sorted: %v", familyNames(snap))
+	}
+	for _, f := range snap {
+		if !sort.SliceIsSorted(f.Series, func(i, j int) bool {
+			return strings.Join(f.Series[i].LabelValues, "\x1f") < strings.Join(f.Series[j].LabelValues, "\x1f")
+		}) {
+			t.Fatalf("series of %s not sorted", f.Name)
+		}
+	}
+}
+
+func familyNames(fams []FamilySnapshot) []string {
+	out := make([]string, len(fams))
+	for i, f := range fams {
+		out[i] = f.Name
+	}
+	return out
+}
+
+// TestSnapshotIntoMatchesSnapshot checks the pooled scrape path produces the
+// same logical content as the deep-copying Snapshot, across kinds, and that
+// buffer reuse does not leak state between scrapes of changing registries.
+func TestSnapshotIntoMatchesSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "a").Add(3)
+	h := r.Histogram("b_watts", "b", []float64{1, 2}, "ctl")
+	h.Observe(0.5, "x")
+	h.Observe(5, "x")
+	r.Gauge("c_level", "c").Set(7)
+
+	buf := r.SnapshotInto(nil)
+	if !snapshotsEqual(buf, r.Snapshot()) {
+		t.Fatalf("SnapshotInto != Snapshot:\n%v\nvs\n%v", buf, r.Snapshot())
+	}
+
+	// Mutate + grow the registry, then reuse the same buffer: the histogram
+	// entry previously at index 1 is now a counter and must not keep stale
+	// bucket counts.
+	h.Observe(1.5, "x")
+	r.Counter("b2_total", "between").Add(9)
+	buf = r.SnapshotInto(buf)
+	if !snapshotsEqual(buf, r.Snapshot()) {
+		t.Fatalf("reused SnapshotInto != Snapshot:\n%v\nvs\n%v", buf, r.Snapshot())
+	}
+}
+
+// snapshotsEqual compares logical content, normalizing nil vs empty slices
+// (SnapshotInto reuses buffers, so empties may be non-nil).
+func snapshotsEqual(a, b []FamilySnapshot) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	norm := func(f FamilySnapshot) FamilySnapshot {
+		if len(f.LabelNames) == 0 {
+			f.LabelNames = nil
+		}
+		if len(f.Buckets) == 0 {
+			f.Buckets = nil
+		}
+		ser := make([]SeriesSnapshot, len(f.Series))
+		copy(ser, f.Series)
+		for i := range ser {
+			if len(ser[i].LabelValues) == 0 {
+				ser[i].LabelValues = nil
+			}
+			if len(ser[i].BucketCounts) == 0 {
+				ser[i].BucketCounts = nil
+			}
+		}
+		f.Series = ser
+		return f
+	}
+	for i := range a {
+		if !reflect.DeepEqual(norm(a[i]), norm(b[i])) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSnapshotIntoNil covers the nil-registry and nil-buffer corners.
+func TestSnapshotIntoNil(t *testing.T) {
+	var r *Registry
+	if got := r.SnapshotInto(nil); len(got) != 0 {
+		t.Fatalf("nil registry snapshot = %v", got)
+	}
+	if got := NewRegistry().SnapshotInto(nil); len(got) != 0 {
+		t.Fatalf("empty registry snapshot = %v", got)
+	}
+}
+
+// BenchmarkSnapshotInto is the scrape-path benchmark backing the /metrics
+// handler: with a warm buffer a steady-state scrape performs no family or
+// series re-sort and no per-family allocations (allocs/op stays flat as the
+// family count grows, unlike Snapshot's O(families+series) allocations).
+func BenchmarkSnapshotInto(b *testing.B) {
+	r := scrapeRegistry()
+	b.Run("Snapshot", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r.Snapshot()
+		}
+	})
+	b.Run("SnapshotInto", func(b *testing.B) {
+		buf := r.SnapshotInto(nil) // warm the buffer
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf = r.SnapshotInto(buf)
+		}
+	})
+}
+
+// TestSnapshotIntoSteadyStateAllocs pins the satellite's claim: a warm
+// scrape neither re-sorts nor allocates.
+func TestSnapshotIntoSteadyStateAllocs(t *testing.T) {
+	r := scrapeRegistry()
+	buf := r.SnapshotInto(nil)
+	allocs := testing.AllocsPerRun(50, func() {
+		buf = r.SnapshotInto(buf)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state SnapshotInto allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// scrapeRegistry models the observe scenario's family mix at scrape time.
+func scrapeRegistry() *Registry {
+	r := NewRegistry()
+	for _, n := range []string{"sim_windows_total", "sim_images_total", "sim_energy_joules_total",
+		"governor_decisions_total", "hw_sensor_windows_total", "cloud_jobs_total"} {
+		c := r.Counter(n, "bench", "label")
+		for _, v := range []string{"PowerLens", "BiM", "Ondemand"} {
+			c.Add(12, v)
+		}
+	}
+	h := r.Histogram("sim_window_power_watts", "bench", []float64{1, 2, 4, 8}, "controller")
+	for i := 0; i < 32; i++ {
+		h.Observe(float64(i%10), "PowerLens")
+	}
+	return r
+}

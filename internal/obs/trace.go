@@ -57,6 +57,17 @@ func NewTracer() *Tracer { return &Tracer{} }
 func usOf(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
 
 func (t *Tracer) append(e Event) {
+	// Copy the args map so the tracer owns every event outright: emitters may
+	// reuse or mutate their args maps after the call, and the HTTP server
+	// snapshots the event list mid-run (copy-on-read in Events), so shared
+	// references would race.
+	if len(e.Args) > 0 {
+		args := make(map[string]any, len(e.Args))
+		for k, v := range e.Args {
+			args[k] = v
+		}
+		e.Args = args
+	}
 	t.mu.Lock()
 	e.seq = len(t.events)
 	t.events = append(t.events, e)
@@ -95,6 +106,13 @@ func (t *Tracer) Len() int {
 // track, then timestamp, with emission order breaking ties. Concurrent
 // tracks (cluster nodes) append in scheduler order, so sorting is what makes
 // the export reproducible for a fixed seed.
+//
+// Events is a copy-on-read snapshot: it can be called at any point during a
+// run, concurrently with emitters, and the returned slice is independent of
+// later appends (the tracer deep-copies args at emission time, so no event
+// shares mutable state with the emitting goroutine). This is what lets the
+// telemetry server stream /runs/{id}/trace mid-run without racing the
+// executor.
 func (t *Tracer) Events() []Event {
 	if t == nil {
 		return nil

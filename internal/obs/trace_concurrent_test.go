@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTracerConcurrentReaders exercises the copy-on-read contract under the
+// race detector: emitters append (and keep mutating their own args maps,
+// which the tracer must have copied at emission time) while readers
+// repeatedly snapshot and serialize the event list mid-run — exactly what
+// the telemetry server's /runs/{id}/trace handler does.
+func TestTracerConcurrentReaders(t *testing.T) {
+	tr := NewTracer()
+	const emitters, perEmitter, readers = 4, 200, 3
+
+	var wg sync.WaitGroup
+	for e := 0; e < emitters; e++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			args := map[string]any{"n": 0} // reused and mutated between emissions
+			for i := 0; i < perEmitter; i++ {
+				args["n"] = i
+				if i%2 == 0 {
+					tr.Complete("block", "b", tid, time.Duration(i)*time.Millisecond, time.Millisecond, args)
+				} else {
+					tr.Instant("decision", "d", tid, time.Duration(i)*time.Millisecond, args)
+				}
+			}
+		}(e + 1)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				evs := tr.Events()
+				var buf bytes.Buffer
+				if err := WriteChromeTrace(&buf, evs); err != nil {
+					t.Errorf("mid-run WriteChromeTrace: %v", err)
+					return
+				}
+				if _, err := ReadChromeTrace(&buf); err != nil {
+					t.Errorf("mid-run round-trip: %v", err)
+					return
+				}
+				_ = tr.Len()
+			}
+		}()
+	}
+	wg.Wait()
+
+	evs := tr.Events()
+	if len(evs) != emitters*perEmitter {
+		t.Fatalf("events = %d, want %d", len(evs), emitters*perEmitter)
+	}
+	// The tracer copied each args map at emission time: every event must
+	// carry the n it was emitted with, not the emitter's final value.
+	byTID := map[int]int{}
+	for _, ev := range evs {
+		i := byTID[ev.TID]
+		if got := ev.Args["n"]; got != i {
+			t.Fatalf("track %d event %d has args n=%v, want %d (args not copied at append)", ev.TID, i, got, i)
+		}
+		byTID[ev.TID]++
+	}
+}
+
+// TestTracerSnapshotIndependent checks a mid-run Events slice is unaffected
+// by later appends.
+func TestTracerSnapshotIndependent(t *testing.T) {
+	tr := NewTracer()
+	tr.Instant("decision", "first", 1, 0, map[string]any{"k": "v"})
+	snap := tr.Events()
+	tr.Instant("decision", "second", 1, time.Millisecond, nil)
+	if len(snap) != 1 || snap[0].Name != "first" {
+		t.Fatalf("snapshot changed after append: %+v", snap)
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("len = %d, want 2", tr.Len())
+	}
+}

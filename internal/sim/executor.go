@@ -83,6 +83,22 @@ func (r Result) FPS() float64 {
 	return float64(r.Images) / r.Time.Seconds()
 }
 
+// Headline returns the run's headline metrics as a flat name→value map, the
+// snapshot a run manifest (obs/runlog) records so a stored result can be
+// compared across runs without replaying the simulation.
+func (r Result) Headline() map[string]float64 {
+	return map[string]float64{
+		"images":        float64(r.Images),
+		"time_s":        r.Time.Seconds(),
+		"energy_j":      r.EnergyJ,
+		"ee_img_per_j":  r.EE(),
+		"avg_power_w":   r.AvgPowerW(),
+		"dvfs_switches": float64(r.Switches),
+		"faults_total":  float64(r.Faults.Total()),
+		"throttled_ms":  float64(r.ThrottledTime.Milliseconds()),
+	}
+}
+
 // Task is one inference job: a model processing a number of images.
 type Task struct {
 	Graph  *graph.Graph

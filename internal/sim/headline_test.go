@@ -1,0 +1,45 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"powerlens/internal/hw"
+	"powerlens/internal/models"
+)
+
+// TestResultHeadline checks the manifest snapshot agrees with the result's
+// own accessors for a real run.
+func TestResultHeadline(t *testing.T) {
+	p := hw.TX2()
+	g := models.MustBuild("resnet34")
+	r := NewExecutor(p, &fixedCtl{level: p.NumGPULevels() - 1}).RunTask(g, 5)
+
+	h := r.Headline()
+	if h["images"] != 5 {
+		t.Fatalf("images = %v", h["images"])
+	}
+	if h["energy_j"] != r.EnergyJ || h["ee_img_per_j"] != r.EE() || h["avg_power_w"] != r.AvgPowerW() {
+		t.Fatalf("headline disagrees with accessors: %v vs %+v", h, r)
+	}
+	if h["time_s"] <= 0 || h["dvfs_switches"] != float64(r.Switches) {
+		t.Fatalf("headline = %v", h)
+	}
+}
+
+// TestResultHeadlineZero covers the empty-result edges (no division blowups).
+func TestResultHeadlineZero(t *testing.T) {
+	h := Result{}.Headline()
+	for name, v := range h {
+		if v != 0 {
+			t.Fatalf("zero result headline %s = %v", name, v)
+		}
+	}
+	if _, ok := h["throttled_ms"]; !ok {
+		t.Fatal("headline dropped the thermal field")
+	}
+	r := Result{Images: 3, Time: 2 * time.Second, EnergyJ: 6}
+	if h := r.Headline(); h["ee_img_per_j"] != 0.5 || h["avg_power_w"] != 3 {
+		t.Fatalf("headline = %v", h)
+	}
+}
