@@ -24,6 +24,7 @@ func main() {
 		networks = flag.Int("networks", 2000, "number of random networks")
 		seed     = flag.Int64("seed", 1, "generator seed")
 		out      = flag.String("out", "dataset.json", "output path")
+		workers  = flag.Int("workers", 0, "generation workers (0 = all cores); any value generates identical datasets")
 	)
 	flag.Parse()
 
@@ -40,7 +41,9 @@ func main() {
 
 	fmt.Fprintf(os.Stderr, "generating %d random networks for %s (seed %d)...\n", *networks, p.Name, *seed)
 	start := time.Now()
-	a, b := dataset.Generate(p, dataset.DefaultConfig(*networks, *seed))
+	cfg := dataset.DefaultConfig(*networks, *seed)
+	cfg.Workers = *workers
+	a, b := dataset.Generate(p, cfg)
 	fmt.Fprintf(os.Stderr, "done in %v: %d network samples (dataset A), %d block samples (dataset B)\n",
 		time.Since(start).Round(time.Millisecond), len(a.Samples), len(b.Samples))
 

@@ -11,7 +11,7 @@ import (
 
 // runBench drives the seeded benchmark harness:
 //
-//	experiments bench [-name N] [-seed S] [-smoke] [-repeats R] [-o F]
+//	experiments bench [-name N] [-seed S] [-smoke] [-repeats R] [-filter G] [-o F]
 //	experiments bench compare [-slack X] OLD.json NEW.json
 //	experiments bench validate FILE...
 //
@@ -35,11 +35,12 @@ func runBench(args []string) {
 	seed := fs.Int64("seed", 1, "workload seed")
 	smoke := fs.Bool("smoke", false, "CI-smoke sizes: same metrics, seconds not minutes")
 	repeats := fs.Int("repeats", 0, "timed repetitions per measurement, fastest kept (0 = default)")
+	filter := fs.String("filter", "", `run only sections whose group matches the substring (e.g. "offline")`)
 	out := fs.String("o", "", `output path (default BENCH_<name>.json; "-" = print only)`)
 	fs.Parse(args)
 
 	r, err := experiments.RunBench(experiments.BenchOptions{
-		Name: *name, Seed: *seed, Smoke: *smoke, Repeats: *repeats,
+		Name: *name, Seed: *seed, Smoke: *smoke, Repeats: *repeats, Filter: *filter,
 	})
 	if err != nil {
 		fail(err)

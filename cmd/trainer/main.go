@@ -22,10 +22,11 @@ import (
 
 func main() {
 	var (
-		dsPath = flag.String("dataset", "dataset.json", "dataset file from cmd/datasetgen")
-		out    = flag.String("out", "framework.json", "output path for the trained framework")
-		epochs = flag.Int("epochs", 120, "training epochs for both models")
-		seed   = flag.Int64("seed", 1, "training seed")
+		dsPath  = flag.String("dataset", "dataset.json", "dataset file from cmd/datasetgen")
+		out     = flag.String("out", "framework.json", "output path for the trained framework")
+		epochs  = flag.Int("epochs", 120, "training epochs for both models")
+		seed    = flag.Int64("seed", 1, "training seed")
+		workers = flag.Int("workers", 0, "minibatch gradient workers (0 = all cores); any value trains identically")
 	)
 	flag.Parse()
 
@@ -49,6 +50,8 @@ func main() {
 	cfg.Seed = *seed
 	cfg.HyperTrain.Epochs = *epochs
 	cfg.DecisionTrain.Epochs = *epochs
+	cfg.HyperTrain.Workers = *workers
+	cfg.DecisionTrain.Workers = *workers
 
 	report := &core.DeployReport{}
 	start := time.Now()

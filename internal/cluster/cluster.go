@@ -94,25 +94,36 @@ func BlendedDistance(x *tensor.Matrix, alpha, lambda float64) *tensor.Matrix {
 	d := tensor.MahalanobisAll(x, prec)
 
 	// Normalize the Mahalanobis term so ε is comparable across networks.
+	// MahalanobisAll is exactly symmetric with a zero diagonal, so scanning
+	// the strict upper triangle finds the same maximum at a third of the
+	// reads, and the blend below only needs each (i<j) pair once.
+	n := x.Rows
 	maxD := 0.0
-	for _, v := range d.Data {
-		if v > maxD {
-			maxD = v
+	for i := 0; i < n; i++ {
+		row := d.Row(i)
+		for j := i + 1; j < n; j++ {
+			if v := row[j]; v > maxD {
+				maxD = v
+			}
 		}
 	}
+	invD := 1.0
 	if maxD > 0 {
-		d.Scale(1 / maxD)
+		invD = 1 / maxD
 	}
 
-	n := x.Rows
+	// The spacing term depends only on |i-j|: one exp per offset, not per pair.
+	spacing := make([]float64, n)
+	for k := 1; k < n; k++ {
+		spacing[k] = 1 - math.Exp(-lambda*float64(k))
+	}
+
 	out := tensor.NewMatrix(n, n)
 	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			if i == j {
-				continue
-			}
-			spacing := 1 - math.Exp(-lambda*math.Abs(float64(i-j)))
-			out.Set(i, j, alpha*d.At(i, j)+(1-alpha)*spacing)
+		for j := i + 1; j < n; j++ {
+			v := alpha*(d.At(i, j)*invD) + (1-alpha)*spacing[j-i]
+			out.Set(i, j, v)
+			out.Set(j, i, v)
 		}
 	}
 	return out
@@ -137,13 +148,25 @@ func Cluster(x *tensor.Matrix, hp Hyperparams) ([]Block, error) {
 // ClusterPrecomputed runs the DBSCAN + post-processing stages over an
 // already-blended distance matrix. The dataset generator sweeps many
 // (ε, minPts) cells per network; since α and λ are fixed constants, the
-// distance matrix is shared across the sweep.
+// distance matrix is shared across the sweep. The returned slice is owned
+// by the caller; hot loops that sweep many cells should use
+// ClusterPrecomputedScratch instead.
 func ClusterPrecomputed(d *tensor.Matrix, hp Hyperparams) []Block {
+	var sc Scratch
+	return append([]Block(nil), ClusterPrecomputedScratch(d, hp, &sc)...)
+}
+
+// ClusterPrecomputedScratch is ClusterPrecomputed with caller-provided
+// working buffers: repeated calls with the same Scratch reuse the label,
+// neighbor, queue and run storage instead of reallocating per cell. The
+// returned slice aliases sc and is only valid until sc's next use.
+func ClusterPrecomputedScratch(d *tensor.Matrix, hp Hyperparams, sc *Scratch) []Block {
 	if d.Rows == 1 {
-		return []Block{{0, 0}}
+		sc.blocks = append(sc.blocks[:0], Block{0, 0})
+		return sc.blocks
 	}
-	labels := dbscan(d, hp.Eps, hp.MinPts)
-	return processClusters(labels, d, hp.MinPts, hp.Eps)
+	labels := dbscan(d, hp.Eps, hp.MinPts, sc)
+	return processClusters(labels, d, hp.MinPts, hp.Eps, sc)
 }
 
 // BuildPowerView extracts scaled depthwise features from g, clusters them,

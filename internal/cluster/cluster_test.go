@@ -49,7 +49,7 @@ func twoRegimeFeatures() *tensor.Matrix {
 func TestDBSCANSeparatesRegimes(t *testing.T) {
 	x := twoRegimeFeatures()
 	d := BlendedDistance(x, 1.0, 0) // pure Mahalanobis, no spacing term
-	labels := dbscan(d, 0.15, 3)
+	labels := dbscan(d, 0.15, 3, &Scratch{})
 	if labels[0] == labels[19] {
 		t.Fatal("distinct regimes must get distinct labels")
 	}
@@ -68,7 +68,7 @@ func TestDBSCANSeparatesRegimes(t *testing.T) {
 func TestDBSCANAllNoiseWithTinyEps(t *testing.T) {
 	x := twoRegimeFeatures()
 	d := BlendedDistance(x, 1.0, 0)
-	labels := dbscan(d, 1e-9, 3)
+	labels := dbscan(d, 1e-9, 3, &Scratch{})
 	for _, l := range labels {
 		if l != -1 {
 			t.Fatalf("expected all noise, got %v", labels)
@@ -126,7 +126,7 @@ func TestSpacingRegularizationSeparatesDistantTwins(t *testing.T) {
 
 	// Without spacing term, DBSCAN happily merges rows 0-4 with 15-19.
 	dNo := BlendedDistance(x, 1.0, 0)
-	labelsNo := dbscan(dNo, 0.15, 3)
+	labelsNo := dbscan(dNo, 0.15, 3, &Scratch{})
 	if labelsNo[0] != labelsNo[19] {
 		t.Fatal("sanity: without spacing, twins should share a label")
 	}
@@ -159,7 +159,7 @@ func TestProcessClustersMergesNoise(t *testing.T) {
 		d.Set(4, j, 0.1)
 		d.Set(j, 4, 0.1)
 	}
-	blocks := processClusters(labels, d, 3, 0.05)
+	blocks := processClusters(labels, d, 3, 0.05, &Scratch{})
 	checkPartition(t, blocks, 10)
 	if len(blocks) != 2 {
 		t.Fatalf("blocks = %v, want noise merged into 2 blocks", blocks)
@@ -181,7 +181,7 @@ func TestProcessClustersSplitsNonContiguous(t *testing.T) {
 			}
 		}
 	}
-	blocks := processClusters(labels, d, 3, 0.05)
+	blocks := processClusters(labels, d, 3, 0.05, &Scratch{})
 	checkPartition(t, blocks, 9)
 	if len(blocks) != 3 {
 		t.Fatalf("blocks = %v, want 3 contiguous runs", blocks)

@@ -2,28 +2,53 @@ package cluster
 
 import "powerlens/internal/tensor"
 
+// Scratch holds the reusable working buffers of one clustering sweep. The
+// dataset generator runs DBSCAN + post-processing once per (network, grid
+// cell); without scratch every cell pays fresh label, neighbor-list, queue
+// and run allocations. A zero Scratch is ready to use; buffers grow to the
+// largest network seen and are reused afterwards. The Block slice returned
+// by ClusterPrecomputedScratch aliases the scratch and is only valid until
+// the next call with the same Scratch. Not safe for concurrent use.
+type Scratch struct {
+	labels []int
+	nb     []int // seed-point neighbor buffer
+	qnb    []int // expansion neighbor buffer
+	queue  []int
+	runs   []run
+	blocks []Block
+}
+
+func (sc *Scratch) intBuf(buf *[]int, n int) []int {
+	if cap(*buf) < n {
+		*buf = make([]int, n)
+	}
+	return (*buf)[:n]
+}
+
 // dbscan runs DBSCAN over a precomputed distance matrix. It returns one
 // label per row; -1 marks noise. A point is a core point when at least
-// minPts points (itself included) lie within eps.
-func dbscan(d *tensor.Matrix, eps float64, minPts int) []int {
+// minPts points (itself included) lie within eps. The labels slice aliases
+// sc and is valid until the next use of sc.
+func dbscan(d *tensor.Matrix, eps float64, minPts int, sc *Scratch) []int {
 	n := d.Rows
 	const (
 		unvisited = -2
 		noise     = -1
 	)
-	labels := make([]int, n)
+	labels := sc.intBuf(&sc.labels, n)
 	for i := range labels {
 		labels[i] = unvisited
 	}
 
-	neighbors := func(p int) []int {
-		var out []int
+	neighbors := func(dst []int, p int) []int {
+		dst = dst[:0]
+		row := d.Row(p)
 		for q := 0; q < n; q++ {
-			if d.At(p, q) <= eps {
-				out = append(out, q) // includes p itself (distance 0)
+			if row[q] <= eps {
+				dst = append(dst, q) // includes p itself (distance 0)
 			}
 		}
-		return out
+		return dst
 	}
 
 	cluster := 0
@@ -31,17 +56,17 @@ func dbscan(d *tensor.Matrix, eps float64, minPts int) []int {
 		if labels[p] != unvisited {
 			continue
 		}
-		nb := neighbors(p)
-		if len(nb) < minPts {
+		sc.nb = neighbors(sc.nb, p)
+		if len(sc.nb) < minPts {
 			labels[p] = noise
 			continue
 		}
 		labels[p] = cluster
-		// Expand cluster with a work queue (seed set).
-		queue := append([]int(nil), nb...)
-		for len(queue) > 0 {
-			q := queue[0]
-			queue = queue[1:]
+		// Expand cluster with a work queue (seed set). The queue copies
+		// neighbor values, so both neighbor buffers stay reusable.
+		sc.queue = append(sc.queue[:0], sc.nb...)
+		for head := 0; head < len(sc.queue); head++ {
+			q := sc.queue[head]
 			if labels[q] == noise {
 				labels[q] = cluster // border point
 			}
@@ -49,14 +74,20 @@ func dbscan(d *tensor.Matrix, eps float64, minPts int) []int {
 				continue
 			}
 			labels[q] = cluster
-			qnb := neighbors(q)
-			if len(qnb) >= minPts {
-				queue = append(queue, qnb...)
+			sc.qnb = neighbors(sc.qnb, q)
+			if len(sc.qnb) >= minPts {
+				sc.queue = append(sc.queue, sc.qnb...)
 			}
 		}
 		cluster++
 	}
 	return labels
+}
+
+// run is a contiguous stretch of equal DBSCAN labels.
+type run struct {
+	start, end int
+	label      int
 }
 
 // processClusters is Algorithm 1's post-processing: it converts raw DBSCAN
@@ -70,18 +101,14 @@ func dbscan(d *tensor.Matrix, eps float64, minPts int) []int {
 // many echo clusters that are power-equivalent, and the paper's
 // post-processing explicitly "adjusts size, shape, or membership of
 // clusters" to repair exactly that fragmentation.
-func processClusters(labels []int, d *tensor.Matrix, minPts int, eps float64) []Block {
+func processClusters(labels []int, d *tensor.Matrix, minPts int, eps float64, sc *Scratch) []Block {
 	n := len(labels)
 	if n == 0 {
 		return nil
 	}
 
 	// 1. Split into contiguous runs of equal labels.
-	type run struct {
-		start, end int
-		label      int
-	}
-	var runs []run
+	runs := sc.runs[:0]
 	start := 0
 	for i := 1; i <= n; i++ {
 		if i == n || labels[i] != labels[start] {
@@ -127,13 +154,13 @@ func processClusters(labels []int, d *tensor.Matrix, minPts int, eps float64) []
 				target = worst + 1
 			}
 		}
-		// Merge worst into target.
+		// Merge worst into target (always adjacent) by splicing in place.
 		lo, hi := worst, target
 		if lo > hi {
 			lo, hi = hi, lo
 		}
-		merged := run{runs[lo].start, runs[hi].end, runs[target].label}
-		runs = append(runs[:lo], append([]run{merged}, runs[hi+1:]...)...)
+		runs[lo] = run{runs[lo].start, runs[hi].end, runs[target].label}
+		runs = append(runs[:lo+1], runs[hi+1:]...)
 	}
 
 	// 3. Merge adjacent power-equivalent runs (mean distance within eps),
@@ -149,13 +176,15 @@ func processClusters(labels []int, d *tensor.Matrix, minPts int, eps float64) []
 		if best == -1 {
 			break
 		}
-		merged := run{runs[best].start, runs[best+1].end, runs[best].label}
-		runs = append(runs[:best], append([]run{merged}, runs[best+2:]...)...)
+		runs[best] = run{runs[best].start, runs[best+1].end, runs[best].label}
+		runs = append(runs[:best+1], runs[best+2:]...)
 	}
+	sc.runs = runs
 
-	blocks := make([]Block, 0, len(runs))
+	blocks := sc.blocks[:0]
 	for _, r := range runs {
 		blocks = append(blocks, Block{r.start, r.end})
 	}
+	sc.blocks = blocks
 	return blocks
 }

@@ -46,7 +46,7 @@ func TestDBSCANBorderPointAdoption(t *testing.T) {
 	rows := [][]float64{{0}, {0.1}, {0.2}, {0.9}}
 	x := tensor.FromRows(rows)
 	d := BlendedDistance(x, 1.0, 0)
-	labels := dbscan(d, 0.35, 3)
+	labels := dbscan(d, 0.35, 3, &Scratch{})
 	if labels[0] != labels[1] || labels[1] != labels[2] {
 		t.Fatalf("core cluster split: %v", labels)
 	}

@@ -1,0 +1,102 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"powerlens/internal/features"
+	"powerlens/internal/models"
+	"powerlens/internal/tensor"
+)
+
+// blendedDistanceReference is the pre-optimization implementation: full-matrix
+// max scan (diagonal included), in-place Scale, and one exp per (i, j) pair.
+// The production BlendedDistance must reproduce it bit for bit.
+func blendedDistanceReference(x *tensor.Matrix, alpha, lambda float64) *tensor.Matrix {
+	const shrink = 0.05
+	cov := tensor.ShrunkCovariance(x, shrink)
+	prec := tensor.PseudoInverse(cov)
+	d := tensor.MahalanobisAll(x, prec)
+
+	maxD := 0.0
+	for _, v := range d.Data {
+		if v > maxD {
+			maxD = v
+		}
+	}
+	if maxD > 0 {
+		d.Scale(1 / maxD)
+	}
+
+	n := x.Rows
+	out := tensor.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			spacing := 1 - math.Exp(-lambda*math.Abs(float64(i-j)))
+			out.Set(i, j, alpha*d.At(i, j)+(1-alpha)*spacing)
+		}
+	}
+	return out
+}
+
+func TestBlendedDistanceMatchesReference(t *testing.T) {
+	alpha, lambda := DefaultDistanceParams()
+	check := func(name string, x *tensor.Matrix) {
+		t.Helper()
+		got := BlendedDistance(x, alpha, lambda)
+		want := blendedDistanceReference(x, alpha, lambda)
+		if got.Rows != want.Rows || got.Cols != want.Cols {
+			t.Fatalf("%s: shape (%d,%d) != (%d,%d)", name, got.Rows, got.Cols, want.Rows, want.Cols)
+		}
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("%s: element %d: %v != reference %v", name, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+
+	for _, name := range []string{"resnet18", "vgg16", "densenet201", "vit_base_16"} {
+		x, _ := features.ScaledDepthwise(models.MustBuild(name))
+		check(name, x)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 5; trial++ {
+		rows := 1 + rng.Intn(40)
+		x := tensor.NewMatrix(rows, 6)
+		for i := range x.Data {
+			x.Data[i] = rng.NormFloat64()
+		}
+		check("random", x)
+	}
+}
+
+// A reused Scratch must not change clustering results: sweep the default
+// grid over several models with one Scratch and compare every cell against
+// the allocation-per-call path.
+func TestClusterPrecomputedScratchEquivalence(t *testing.T) {
+	alpha, lambda := DefaultDistanceParams()
+	var sc Scratch
+	for _, name := range []string{"resnet50", "densenet201", "googlenet"} {
+		x, _ := features.ScaledDepthwise(models.MustBuild(name))
+		d := BlendedDistance(x, alpha, lambda)
+		for _, eps := range []float64{0.15, 0.22, 0.30, 0.40} {
+			for _, minPts := range []int{2, 8} {
+				hp := Hyperparams{Eps: eps, MinPts: minPts, Alpha: alpha, Lambda: lambda}
+				want := ClusterPrecomputed(d, hp)
+				got := ClusterPrecomputedScratch(d, hp, &sc)
+				if len(got) != len(want) {
+					t.Fatalf("%s %+v: %d blocks != %d", name, hp, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s %+v: block %d %+v != %+v", name, hp, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}

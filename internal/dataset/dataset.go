@@ -35,6 +35,15 @@ type Config struct {
 	Seed        int64
 	Grid        []cluster.Hyperparams
 	GenCfg      models.GeneratorConfig
+
+	// Workers caps the generation worker pool (0 = GOMAXPROCS). Results are
+	// identical for any worker count.
+	Workers int
+
+	// disableCostCache forces the uncached oracle-sweep path; the
+	// byte-identity regression tests flip it to prove the segment-cost cache
+	// cannot move Dataset A/B outputs.
+	disableCostCache bool
 }
 
 // DefaultGrid returns the candidate (ε, minPts) grid: 4 radii × 2 densities
@@ -87,23 +96,30 @@ func Generate(p *hw.Platform, cfg Config) (*DatasetA, *DatasetB) {
 	}
 	results := make([]netResult, cfg.NumNetworks)
 
-	workers := runtime.GOMAXPROCS(0)
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > cfg.NumNetworks {
 		workers = cfg.NumNetworks
 	}
 	if workers < 1 {
 		workers = 1
 	}
+	// The canonical tie-break order depends only on the shared grid: compute
+	// it once here instead of once per network inside the sweep.
+	order := canonicalOrder(cfg.Grid)
 	var wg sync.WaitGroup
 	idx := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var sc cluster.Scratch
 			for i := range idx {
 				rng := rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(i)))
 				g := models.RandomDNN(rng, cfg.GenCfg, i)
-				bestCell, view, levels := BestClustering(p, g, cfg.Grid)
+				bestCell, view, levels := bestClustering(p, g, cfg.Grid, order, !cfg.disableCostCache, &sc)
 				if bestCell < 0 {
 					continue
 				}
@@ -145,6 +161,16 @@ func Generate(p *hw.Platform, cfg Config) (*DatasetA, *DatasetB) {
 // and the per-block optimal levels. Returns bestCell == -1 when the graph
 // has no operators to cluster.
 func BestClustering(p *hw.Platform, g *graph.Graph, grid []cluster.Hyperparams) (bestCell int, view *cluster.PowerView, levels []int) {
+	var sc cluster.Scratch
+	return bestClustering(p, g, grid, canonicalOrder(grid), true, &sc)
+}
+
+// bestClustering is BestClustering's worker-pool form: the canonical
+// tie-break order is hoisted to the caller (it depends only on the grid),
+// clustering scratch is reused across cells and networks, and the oracle
+// sweep runs over a per-network segment-cost cache unless useCostCache is
+// off (the uncached path exists for the byte-identity regression tests).
+func bestClustering(p *hw.Platform, g *graph.Graph, grid []cluster.Hyperparams, order []int, useCostCache bool, sc *cluster.Scratch) (bestCell int, view *cluster.PowerView, levels []int) {
 	x, ids := features.ScaledDepthwise(g)
 	if x.Rows == 0 {
 		return -1, nil, nil
@@ -152,6 +178,10 @@ func BestClustering(p *hw.Platform, g *graph.Graph, grid []cluster.Hyperparams) 
 	alpha, lambda := grid[0].Alpha, grid[0].Lambda
 	d := cluster.BlendedDistance(x, alpha, lambda)
 
+	var ct *sim.CostTable
+	if useCostCache {
+		ct = sim.NewCostTable(p, g)
+	}
 	type candidate struct {
 		view   *cluster.PowerView
 		levels []int
@@ -160,9 +190,9 @@ func BestClustering(p *hw.Platform, g *graph.Graph, grid []cluster.Hyperparams) 
 	cands := make([]candidate, len(grid))
 	minE := -1.0
 	for cell, hp := range grid {
-		blocks := cluster.ClusterPrecomputed(d, hp)
+		blocks := cluster.ClusterPrecomputedScratch(d, hp, sc)
 		pv := viewFromRowBlocks(g.Name, blocks, ids)
-		lv, energy := OracleLevels(p, g, pv)
+		lv, energy := oracleLevels(p, g, pv, ct)
 		cands[cell] = candidate{pv, lv, energy}
 		if minE < 0 || energy < minE {
 			minE = energy
@@ -177,7 +207,7 @@ func BestClustering(p *hw.Platform, g *graph.Graph, grid []cluster.Hyperparams) 
 	// splitting genuinely pays — exactly the distinction the hyperparameter
 	// model is supposed to learn.
 	bestCell = -1
-	for _, cell := range canonicalOrder(grid) {
+	for _, cell := range order {
 		if cands[cell].energy <= minE*1.01 {
 			bestCell = cell
 			break
@@ -210,9 +240,21 @@ func canonicalOrder(grid []cluster.Hyperparams) []int {
 // returning each block's energy-optimal level and the view's total energy
 // per image including the energy cost of level changes at block boundaries.
 func OracleLevels(p *hw.Platform, g *graph.Graph, pv *cluster.PowerView) (levels []int, totalEnergy float64) {
+	return oracleLevels(p, g, pv, nil)
+}
+
+// oracleLevels runs the sweep through ct when non-nil; the cached and
+// uncached paths are bit-identical (see sim.CostTable).
+func oracleLevels(p *hw.Platform, g *graph.Graph, pv *cluster.PowerView, ct *sim.CostTable) (levels []int, totalEnergy float64) {
 	levels = make([]int, len(pv.Blocks))
 	for i, b := range pv.Blocks {
-		lvl, energies := sim.OptimalSegmentLevel(p, g, b.StartLayer, b.EndLayer)
+		var lvl int
+		var energies []float64
+		if ct != nil {
+			lvl, energies = ct.OptimalSegmentLevel(b.StartLayer, b.EndLayer)
+		} else {
+			lvl, energies = sim.OptimalSegmentLevel(p, g, b.StartLayer, b.EndLayer)
+		}
 		levels[i] = lvl
 		totalEnergy += energies[lvl]
 	}

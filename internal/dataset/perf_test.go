@@ -1,0 +1,61 @@
+package dataset
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"powerlens/internal/hw"
+)
+
+// encodeDatasets runs Generate under cfg and returns the exact bytes the
+// dataset file format would persist — the same path cmd/datasetgen writes
+// and cmd/trainer reads.
+func encodeDatasets(t *testing.T, p *hw.Platform, cfg Config) []byte {
+	t.Helper()
+	a, b := Generate(p, cfg)
+	path := filepath.Join(t.TempDir(), "ds.json")
+	if err := Save(path, p.Name, a, b); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// The segment-cost cache and the worker count are pure performance knobs:
+// the encoded Dataset A/B bytes must be identical with the cache on or off
+// and with one worker or many.
+func TestGenerateByteIdenticalAcrossCacheAndWorkers(t *testing.T) {
+	p := hw.TX2()
+	base := DefaultConfig(14, 3)
+	want := encodeDatasets(t, p, base)
+
+	noCache := base
+	noCache.disableCostCache = true
+	if got := encodeDatasets(t, p, noCache); !bytes.Equal(got, want) {
+		t.Fatal("dataset bytes changed when the cost cache was disabled")
+	}
+
+	serial := base
+	serial.Workers = 1
+	if got := encodeDatasets(t, p, serial); !bytes.Equal(got, want) {
+		t.Fatal("dataset bytes changed with Workers=1")
+	}
+
+	wide := base
+	wide.Workers = 8
+	if got := encodeDatasets(t, p, wide); !bytes.Equal(got, want) {
+		t.Fatal("dataset bytes changed with Workers=8")
+	}
+
+	serialNoCache := base
+	serialNoCache.Workers = 1
+	serialNoCache.disableCostCache = true
+	if got := encodeDatasets(t, p, serialNoCache); !bytes.Equal(got, want) {
+		t.Fatal("dataset bytes changed with Workers=1 and the cost cache disabled")
+	}
+}

@@ -9,13 +9,17 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"powerlens/internal/cluster"
+	"powerlens/internal/dataset"
 	"powerlens/internal/features"
 	"powerlens/internal/governor"
+	"powerlens/internal/graph"
 	"powerlens/internal/hw"
 	"powerlens/internal/models"
+	"powerlens/internal/nn"
 	"powerlens/internal/obs"
 	"powerlens/internal/sim"
 )
@@ -37,6 +41,10 @@ type BenchMetric struct {
 	Name  string  `json:"name"`
 	Value float64 `json:"value"`
 	Unit  string  `json:"unit"`
+	// Group names the harness section the metric belongs to ("sim",
+	// "cluster", "features", "obs", "offline"); BenchOptions.Filter selects
+	// sections by substring.
+	Group string `json:"group,omitempty"`
 	// HigherIsBetter orients regression detection (throughputs: true).
 	HigherIsBetter bool `json:"higherIsBetter"`
 	// Tolerance is the relative worsening allowed before Compare flags a
@@ -128,6 +136,9 @@ type BenchOptions struct {
 	// fastest is kept, standard wall-clock-bench practice (default 3, 1 for
 	// smoke).
 	Repeats int
+	// Filter, when non-empty, runs only the sections whose group name
+	// contains it (e.g. "offline" measures just the offline pipeline).
+	Filter string
 }
 
 func (o BenchOptions) withDefaults() BenchOptions {
@@ -177,125 +188,249 @@ func RunBench(opt BenchOptions) (*BenchReport, error) {
 		HostOS:    runtime.GOOS,
 		HostArch:  runtime.GOARCH,
 	}
-	add := func(name string, value float64, unit string, tol float64) {
+	add := func(group, name string, value float64, unit string, tol float64, higherIsBetter bool) {
 		r.Metrics = append(r.Metrics, BenchMetric{
-			Name: name, Value: value, Unit: unit, HigherIsBetter: true, Tolerance: tol,
+			Name: name, Value: value, Unit: unit, Group: group,
+			HigherIsBetter: higherIsBetter, Tolerance: tol,
 		})
 	}
+	match := func(group string) bool {
+		return opt.Filter == "" || strings.Contains(group, opt.Filter)
+	}
 
-	// Executor stepping: simulated layers advanced per second of host time,
-	// over a seeded random task flow (the runtime hot path).
 	model := "resnet152"
-	images, flowTasks := 8, 6
 	if opt.Smoke {
-		model, images, flowTasks = "resnet18", 2, 2
+		model = "resnet18"
 	}
-	rng := rand.New(rand.NewSource(opt.Seed))
-	names := models.Names()
-	tasks := make([]sim.Task, flowTasks)
-	layers := 0
-	for i := range tasks {
-		g := models.MustBuild(names[rng.Intn(len(names))])
-		tasks[i] = sim.Task{Graph: g, Images: images}
-		layers += len(g.Layers) * images
-	}
-	p := hw.TX2()
-	d := timeBest(opt.Repeats, func() {
-		e := sim.NewExecutor(p, governor.NewOndemand())
-		e.RunTaskFlow(tasks, TaskGap)
-	})
-	add("executor_layer_steps_per_sec", float64(layers)/d.Seconds(), "steps/s", 0.40)
-
-	// Clustering: Algorithm-1 power views built per second.
 	g := models.MustBuild(model)
-	alpha, lambda := cluster.DefaultDistanceParams()
-	hp := cluster.Hyperparams{Eps: 0.3, MinPts: 4, Alpha: alpha, Lambda: lambda}
-	clusterIters := 4
-	if opt.Smoke {
-		clusterIters = 1
+	p := hw.TX2()
+
+	if match("sim") {
+		// Executor stepping: simulated layers advanced per second of host
+		// time, over a seeded random task flow (the runtime hot path).
+		images, flowTasks := 8, 6
+		if opt.Smoke {
+			images, flowTasks = 2, 2
+		}
+		rng := rand.New(rand.NewSource(opt.Seed))
+		names := models.Names()
+		tasks := make([]sim.Task, flowTasks)
+		layers := 0
+		for i := range tasks {
+			tg := models.MustBuild(names[rng.Intn(len(names))])
+			tasks[i] = sim.Task{Graph: tg, Images: images}
+			layers += len(tg.Layers) * images
+		}
+		d := timeBest(opt.Repeats, func() {
+			e := sim.NewExecutor(p, governor.NewOndemand())
+			e.RunTaskFlow(tasks, TaskGap)
+		})
+		add("sim", "executor_layer_steps_per_sec", float64(layers)/d.Seconds(), "steps/s", 0.40, true)
 	}
-	d = timeBest(opt.Repeats, func() {
-		for i := 0; i < clusterIters; i++ {
-			if _, err := cluster.BuildPowerView(g, hp); err != nil {
-				panic(err) // deterministic input; cannot fail once it ever passed
+
+	if match("cluster") {
+		// Clustering: Algorithm-1 power views built per second.
+		alpha, lambda := cluster.DefaultDistanceParams()
+		hp := cluster.Hyperparams{Eps: 0.3, MinPts: 4, Alpha: alpha, Lambda: lambda}
+		clusterIters := 4
+		if opt.Smoke {
+			clusterIters = 1
+		}
+		d := timeBest(opt.Repeats, func() {
+			for i := 0; i < clusterIters; i++ {
+				if _, err := cluster.BuildPowerView(g, hp); err != nil {
+					panic(err) // deterministic input; cannot fail once it ever passed
+				}
+			}
+		})
+		add("cluster", "clustering_views_per_sec", float64(clusterIters)/d.Seconds(), "views/s", 0.40, true)
+	}
+
+	if match("features") {
+		// Feature extraction: depthwise + global extractor passes per second.
+		featIters := 20
+		if opt.Smoke {
+			featIters = 4
+		}
+		d := timeBest(opt.Repeats, func() {
+			for i := 0; i < featIters; i++ {
+				features.ScaledDepthwise(g)
+				features.ExtractGlobal(g)
+			}
+		})
+		add("features", "feature_extracts_per_sec", float64(featIters)/d.Seconds(), "extracts/s", 0.40, true)
+	}
+
+	if match("obs") {
+		// Registry overhead: labelled counter increments per second — the
+		// cost every instrumented window/switch/image pays.
+		incs := 2_000_000
+		if opt.Smoke {
+			incs = 200_000
+		}
+		reg := obs.NewRegistry()
+		ctr := reg.Counter("bench_ops_total", "bench", "controller")
+		d := timeBest(opt.Repeats, func() {
+			for i := 0; i < incs; i++ {
+				ctr.Inc("PowerLens")
+			}
+		})
+		add("obs", "registry_counter_ops_per_sec", float64(incs)/d.Seconds(), "ops/s", 0.50, true)
+
+		// Span overhead: trace emissions per second (lock + args copy + append).
+		spans := 500_000
+		if opt.Smoke {
+			spans = 50_000
+		}
+		d = timeBest(opt.Repeats, func() {
+			tr := obs.NewTracer()
+			for i := 0; i < spans; i++ {
+				tr.Complete("block", "bench", 1, time.Duration(i), 1, nil)
+			}
+		})
+		add("obs", "tracer_span_ops_per_sec", float64(spans)/d.Seconds(), "ops/s", 0.50, true)
+
+		// Scrape path: pooled SnapshotInto + Prometheus render per second
+		// over a populated registry — what /metrics does per scrape.
+		popReg := obs.NewRegistry()
+		for i := 0; i < 12; i++ {
+			c := popReg.Counter(fmt.Sprintf("bench_family_%02d_total", i), "bench", "controller")
+			for _, v := range []string{"PowerLens", "BiM", "Ondemand"} {
+				c.Add(float64(i), v)
 			}
 		}
-	})
-	add("clustering_views_per_sec", float64(clusterIters)/d.Seconds(), "views/s", 0.40)
-
-	// Feature extraction: depthwise + global extractor passes per second.
-	featIters := 20
-	if opt.Smoke {
-		featIters = 4
-	}
-	d = timeBest(opt.Repeats, func() {
-		for i := 0; i < featIters; i++ {
-			features.ScaledDepthwise(g)
-			features.ExtractGlobal(g)
+		hist := popReg.Histogram("bench_power_watts", "bench", []float64{1, 2, 4, 8, 16}, "controller")
+		for i := 0; i < 64; i++ {
+			hist.Observe(float64(i%20), "PowerLens")
 		}
-	})
-	add("feature_extracts_per_sec", float64(featIters)/d.Seconds(), "extracts/s", 0.40)
-
-	// Registry overhead: labelled counter increments per second — the cost
-	// every instrumented window/switch/image pays.
-	incs := 2_000_000
-	if opt.Smoke {
-		incs = 200_000
-	}
-	reg := obs.NewRegistry()
-	ctr := reg.Counter("bench_ops_total", "bench", "controller")
-	d = timeBest(opt.Repeats, func() {
-		for i := 0; i < incs; i++ {
-			ctr.Inc("PowerLens")
+		scrapes := 5_000
+		if opt.Smoke {
+			scrapes = 500
 		}
-	})
-	add("registry_counter_ops_per_sec", float64(incs)/d.Seconds(), "ops/s", 0.50)
-
-	// Span overhead: trace emissions per second (lock + args copy + append).
-	spans := 500_000
-	if opt.Smoke {
-		spans = 50_000
-	}
-	d = timeBest(opt.Repeats, func() {
-		tr := obs.NewTracer()
-		for i := 0; i < spans; i++ {
-			tr.Complete("block", "bench", 1, time.Duration(i), 1, nil)
-		}
-	})
-	add("tracer_span_ops_per_sec", float64(spans)/d.Seconds(), "ops/s", 0.50)
-
-	// Scrape path: pooled SnapshotInto + Prometheus render per second over a
-	// populated registry — what the /metrics handler does per scrape.
-	popReg := obs.NewRegistry()
-	for i := 0; i < 12; i++ {
-		c := popReg.Counter(fmt.Sprintf("bench_family_%02d_total", i), "bench", "controller")
-		for _, v := range []string{"PowerLens", "BiM", "Ondemand"} {
-			c.Add(float64(i), v)
-		}
-	}
-	hist := popReg.Histogram("bench_power_watts", "bench", []float64{1, 2, 4, 8, 16}, "controller")
-	for i := 0; i < 64; i++ {
-		hist.Observe(float64(i%20), "PowerLens")
-	}
-	scrapes := 5_000
-	if opt.Smoke {
-		scrapes = 500
-	}
-	var buf []obs.FamilySnapshot
-	d = timeBest(opt.Repeats, func() {
-		for i := 0; i < scrapes; i++ {
-			buf = popReg.SnapshotInto(buf)
-			if err := obs.WriteSnapshotPrometheus(io.Discard, buf); err != nil {
-				panic(err)
+		var buf []obs.FamilySnapshot
+		d = timeBest(opt.Repeats, func() {
+			for i := 0; i < scrapes; i++ {
+				buf = popReg.SnapshotInto(buf)
+				if err := obs.WriteSnapshotPrometheus(io.Discard, buf); err != nil {
+					panic(err)
+				}
 			}
-		}
-	})
-	add("metrics_scrapes_per_sec", float64(scrapes)/d.Seconds(), "scrapes/s", 0.50)
+		})
+		add("obs", "metrics_scrapes_per_sec", float64(scrapes)/d.Seconds(), "scrapes/s", 0.50, true)
+	}
+
+	if match("offline") {
+		offlineBench(opt, r, g, add)
+	}
 
 	if err := r.Validate(); err != nil {
 		return nil, err
 	}
 	return r, nil
+}
+
+// offlineBench measures the §2.2 offline pipeline: dataset generation
+// throughput end to end (multi-core), the oracle sweep's per-block cost over
+// the production segment-cost-cache path, the grid clustering sweep's
+// allocation behaviour, and prediction-model training. These are the loops
+// the cost table, cluster scratch and data-parallel trainer optimize;
+// BENCH_offline.json pins them against regression.
+func offlineBench(opt BenchOptions, r *BenchReport, g *graph.Graph, add func(group, name string, value float64, unit string, tol float64, higherIsBetter bool)) {
+	p := hw.TX2()
+
+	// End-to-end generation: random DNNs through grid sweep, oracle labeling
+	// and sample assembly, all cores.
+	nets := 16
+	if opt.Smoke {
+		nets = 4
+	}
+	dcfg := dataset.DefaultConfig(nets, opt.Seed)
+	d := timeBest(opt.Repeats, func() {
+		dataset.Generate(p, dcfg)
+	})
+	add("offline", "dataset_gen_nets_per_s", float64(nets)/d.Seconds(), "nets/s", 0.50, true)
+
+	// Oracle sweep: the per-block full-ladder sweep exactly as the generator
+	// runs it — one cost table per network, every grid cell's power view
+	// swept block by block (repeated blocks across cells hit the memo).
+	grid := dataset.DefaultGrid()
+	views := make([]*cluster.PowerView, 0, len(grid))
+	blocks := 0
+	for _, hp := range grid {
+		pv, err := cluster.BuildPowerView(g, hp)
+		if err != nil {
+			panic(err) // deterministic input; cannot fail once it ever passed
+		}
+		views = append(views, pv)
+		blocks += pv.NumBlocks()
+	}
+	sweep := func() {
+		ct := sim.NewCostTable(p, g)
+		for _, pv := range views {
+			for _, b := range pv.Blocks {
+				ct.OptimalSegmentLevel(b.StartLayer, b.EndLayer)
+			}
+		}
+	}
+	d = timeBest(opt.Repeats, sweep)
+	add("offline", "oracle_sweep_ns_per_block", float64(d.Nanoseconds())/float64(blocks), "ns/block", 0.50, false)
+
+	var ms1, ms2 runtime.MemStats
+	runtime.ReadMemStats(&ms1)
+	sweep()
+	runtime.ReadMemStats(&ms2)
+	add("offline", "oracle_sweep_allocs_per_block",
+		float64(ms2.Mallocs-ms1.Mallocs)/float64(blocks), "allocs/block", 0.50, false)
+
+	// Grid clustering sweep allocations: DBSCAN + post-processing over a
+	// shared distance matrix with reused scratch, as the generator runs it.
+	alpha, lambda := cluster.DefaultDistanceParams()
+	x, _ := features.ScaledDepthwise(g)
+	dist := cluster.BlendedDistance(x, alpha, lambda)
+	runtime.ReadMemStats(&ms1)
+	var sc cluster.Scratch
+	for _, hp := range grid {
+		cluster.ClusterPrecomputedScratch(dist, hp, &sc)
+	}
+	runtime.ReadMemStats(&ms2)
+	add("offline", "cluster_sweep_allocs_per_cell",
+		float64(ms2.Mallocs-ms1.Mallocs)/float64(len(grid)), "allocs/cell", 0.50, false)
+
+	// Trainer: data-parallel minibatch epochs over a decision-model-shaped
+	// network and synthetic samples (results are worker-count invariant).
+	trainN, epochs := 768, 4
+	if opt.Smoke {
+		trainN, epochs = 192, 2
+	}
+	samples := synthTrainSamples(trainN, 12, 6, p.NumGPULevels(), opt.Seed)
+	tcfg := nn.TrainConfig{Epochs: epochs, BatchSize: 32, LR: 1e-3, Seed: opt.Seed}
+	d = timeBest(opt.Repeats, func() {
+		net := nn.NewTwoStageNet(12, 6, []int{64, 48}, []int{32}, p.NumGPULevels(), opt.Seed)
+		nn.Train(net, samples, samples[:64], tcfg)
+	})
+	add("offline", "train_epoch_ns", float64(d.Nanoseconds())/float64(epochs), "ns/epoch", 0.50, false)
+}
+
+// synthTrainSamples builds seeded synthetic two-facet samples for the
+// trainer benchmark.
+func synthTrainSamples(n, structDim, statsDim, classes int, seed int64) []nn.Sample {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]nn.Sample, n)
+	for i := range out {
+		s := nn.Sample{
+			Structural: make([]float64, structDim),
+			Stats:      make([]float64, statsDim),
+			Label:      rng.Intn(classes),
+		}
+		for j := range s.Structural {
+			s.Structural[j] = rng.NormFloat64()
+		}
+		for j := range s.Stats {
+			s.Stats[j] = rng.NormFloat64() + float64(s.Label)
+		}
+		out[i] = s
+	}
+	return out
 }
 
 // BenchDelta is one metric's comparison outcome.

@@ -32,24 +32,35 @@ func TestRunBenchSmoke(t *testing.T) {
 	if !r.Smoke || r.Seed != 7 || r.Name != "test" {
 		t.Fatalf("report header wrong: %+v", r)
 	}
-	want := []string{
-		"executor_layer_steps_per_sec",
-		"clustering_views_per_sec",
-		"feature_extracts_per_sec",
-		"registry_counter_ops_per_sec",
-		"tracer_span_ops_per_sec",
-		"metrics_scrapes_per_sec",
+	// name -> group; orientation is pinned separately below.
+	want := []struct{ name, group string }{
+		{"executor_layer_steps_per_sec", "sim"},
+		{"clustering_views_per_sec", "cluster"},
+		{"feature_extracts_per_sec", "features"},
+		{"registry_counter_ops_per_sec", "obs"},
+		{"tracer_span_ops_per_sec", "obs"},
+		{"metrics_scrapes_per_sec", "obs"},
+		{"dataset_gen_nets_per_s", "offline"},
+		{"oracle_sweep_ns_per_block", "offline"},
+		{"oracle_sweep_allocs_per_block", "offline"},
+		{"cluster_sweep_allocs_per_cell", "offline"},
+		{"train_epoch_ns", "offline"},
 	}
 	if len(r.Metrics) != len(want) {
 		t.Fatalf("got %d metrics, want %d: %+v", len(r.Metrics), len(want), r.Metrics)
 	}
-	for i, name := range want {
+	for i, w := range want {
 		m := r.Metrics[i]
-		if m.Name != name {
-			t.Fatalf("metric %d is %q, want %q", i, m.Name, name)
+		if m.Name != w.name || m.Group != w.group {
+			t.Fatalf("metric %d is %q/%q, want %q/%q", i, m.Name, m.Group, w.name, w.group)
 		}
-		if m.Value <= 0 || !m.HigherIsBetter || m.Tolerance <= 0 || m.Unit == "" {
-			t.Fatalf("metric %q not measured sanely: %+v", name, m)
+		wantHigher := m.Unit == "steps/s" || m.Unit == "views/s" || m.Unit == "extracts/s" ||
+			m.Unit == "ops/s" || m.Unit == "scrapes/s" || m.Unit == "nets/s"
+		if m.HigherIsBetter != wantHigher {
+			t.Fatalf("metric %q orientation %v disagrees with unit %q", m.Name, m.HigherIsBetter, m.Unit)
+		}
+		if m.Value <= 0 || m.Tolerance <= 0 || m.Unit == "" {
+			t.Fatalf("metric %q not measured sanely: %+v", w.name, m)
 		}
 	}
 
@@ -61,6 +72,26 @@ func TestRunBenchSmoke(t *testing.T) {
 	for _, d := range ds {
 		if d.Pct != 0 || d.Regressed || d.Missing || d.Added {
 			t.Fatalf("self-compare delta not clean: %+v", d)
+		}
+	}
+}
+
+// TestRunBenchFilter pins the -filter contract: a filtered run measures only
+// the matching section, so BENCH_offline.json stays cheap to regenerate.
+func TestRunBenchFilter(t *testing.T) {
+	r, err := RunBench(BenchOptions{Name: "offline", Seed: 7, Smoke: true, Filter: "offline"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Metrics) != 5 {
+		t.Fatalf("offline filter produced %d metrics, want 5: %+v", len(r.Metrics), r.Metrics)
+	}
+	for _, m := range r.Metrics {
+		if m.Group != "offline" {
+			t.Fatalf("filtered run leaked metric %q from group %q", m.Name, m.Group)
 		}
 	}
 }

@@ -1,0 +1,238 @@
+package nn
+
+import "math"
+
+// This file implements the data-parallel minibatch engine behind Train.
+//
+// Parallelizing SGD usually changes results: summing shard-level partial
+// gradients reassociates floating-point addition, so the parallel run drifts
+// from the serial one. Here determinism is a hard requirement — dataset
+// goldens and trainer histories must not move — so the engine keeps every
+// sample's gradient in its own slot and reduces slots in sample order:
+//
+//  1. Gradient phase: the minibatch is sharded across workers; each worker
+//     runs forward+backward per sample with private activation scratch,
+//     writing the sample's gradients into its slot. Weights are read-only.
+//  2. Reduction phase: the flat parameter space is cut into chunks; workers
+//     claim chunks and, per element, add the per-sample gradients in sample
+//     index order — the exact addition sequence the serial loop performs.
+//
+// Every float operation therefore matches the single-threaded loop bit for
+// bit, for any worker count; only the scheduling differs.
+
+// gradSlot holds one sample's gradients (flat per layer) and its loss.
+type gradSlot struct {
+	dW   [][]float64
+	dB   [][]float64
+	loss float64
+}
+
+func newGradSlot(layers []*DenseLayer) *gradSlot {
+	s := &gradSlot{
+		dW: make([][]float64, len(layers)),
+		dB: make([][]float64, len(layers)),
+	}
+	for li, l := range layers {
+		s.dW[li] = make([]float64, len(l.W.Data))
+		s.dB[li] = make([]float64, len(l.B))
+	}
+	return s
+}
+
+// passScratch holds one worker's forward/backward buffers, sized once per
+// Train call and reused for every sample the worker processes.
+type passScratch struct {
+	preacts [][]float64 // per layer, length = out dim
+	outs    [][]float64 // per layer, length = out dim
+	gradIns [][]float64 // per layer, length = in dim
+	ins     [][]float64 // per-layer input alias, recorded during forward
+	concat  []float64   // mid-network [hidden | stats] injection buffer
+	probs   []float64
+	logitsG []float64
+}
+
+func newPassScratch(n *TwoStageNet, layers []*DenseLayer) *passScratch {
+	ps := &passScratch{
+		preacts: make([][]float64, len(layers)),
+		outs:    make([][]float64, len(layers)),
+		gradIns: make([][]float64, len(layers)),
+		ins:     make([][]float64, len(layers)),
+		probs:   make([]float64, n.NumClasses),
+		logitsG: make([]float64, n.NumClasses),
+	}
+	for li, l := range layers {
+		ps.preacts[li] = make([]float64, l.W.Rows)
+		ps.outs[li] = make([]float64, l.W.Rows)
+		ps.gradIns[li] = make([]float64, l.W.Cols)
+	}
+	ps.concat = make([]float64, layers[len(n.Front)].W.Cols)
+	return ps
+}
+
+// forwardScratch mirrors DenseLayer.Forward without touching layer state:
+// same matvec order, same bias adds, same ReLU, into caller buffers.
+func forwardScratch(l *DenseLayer, x, preact, out []float64) {
+	l.W.MulVecInto(x, preact)
+	for i := range preact {
+		preact[i] += l.B[i]
+	}
+	if !l.ReLU {
+		copy(out, preact)
+		return
+	}
+	for i, v := range preact {
+		if v > 0 {
+			out[i] = v
+		} else {
+			out[i] = 0
+		}
+	}
+}
+
+// softmaxInto mirrors Softmax into a caller buffer.
+func softmaxInto(logits, out []float64) {
+	maxV := math.Inf(-1)
+	for _, v := range logits {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	sum := 0.0
+	for i, v := range logits {
+		out[i] = math.Exp(v - maxV)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+}
+
+// backwardScratch mirrors DenseLayer.Backward writing the sample's
+// gradients into dW/dB (set semantics — the slot's previous contents are
+// fully overwritten) and the input gradient into gradIn. g is mutated in
+// place (ReLU masking), as its buffer is dead after this layer.
+func backwardScratch(l *DenseLayer, g, in, preact, dW, dB, gradIn []float64) []float64 {
+	if l.ReLU {
+		for i := range g {
+			if preact[i] <= 0 {
+				g[i] = 0
+			}
+		}
+	}
+	cols := l.W.Cols
+	for o, gv := range g {
+		dB[o] = gv
+		row := dW[o*cols : (o+1)*cols]
+		if gv == 0 {
+			for i := range row {
+				row[i] = 0
+			}
+			continue
+		}
+		for i, xv := range in {
+			row[i] = gv * xv
+		}
+	}
+	for i := range gradIn {
+		gradIn[i] = 0
+	}
+	for o, gv := range g {
+		if gv == 0 {
+			continue
+		}
+		row := l.W.Row(o)
+		for i, wv := range row {
+			gradIn[i] += gv * wv
+		}
+	}
+	return gradIn
+}
+
+// sampleGrad computes one sample's loss and gradients into slot, using only
+// read access to the network weights. The arithmetic replays
+// TwoStageNet.backward operation for operation.
+func (n *TwoStageNet) sampleGrad(layers []*DenseLayer, s Sample, ps *passScratch, slot *gradSlot) {
+	frontLen := len(n.Front)
+
+	x := s.Structural
+	for li := 0; li < frontLen; li++ {
+		ps.ins[li] = x
+		forwardScratch(layers[li], x, ps.preacts[li], ps.outs[li])
+		x = ps.outs[li]
+	}
+	k := copy(ps.concat, x)
+	copy(ps.concat[k:], s.Stats)
+	x = ps.concat
+	for li := frontLen; li < len(layers); li++ {
+		ps.ins[li] = x
+		forwardScratch(layers[li], x, ps.preacts[li], ps.outs[li])
+		x = ps.outs[li]
+	}
+	logits := x
+
+	softmaxInto(logits, ps.probs)
+	slot.loss = CrossEntropy(ps.probs, s.Label)
+
+	g := ps.logitsG
+	copy(g, ps.probs)
+	g[s.Label] -= 1
+
+	frontWidth := len(ps.concat) - n.StatsDim
+	for li := len(layers) - 1; li >= 0; li-- {
+		g = backwardScratch(layers[li], g, ps.ins[li], ps.preacts[li], slot.dW[li], slot.dB[li], ps.gradIns[li])
+		if li == frontLen {
+			// The stats facet's gradient terminates at the injection point.
+			g = g[:frontWidth]
+		}
+	}
+}
+
+// reduceChunk is one contiguous range of a layer's flat parameters claimed
+// by a reduction worker.
+type reduceChunk struct {
+	layer  int
+	lo, hi int
+	bias   bool
+}
+
+// buildReduceChunks cuts the parameter space into ~fixed-size ranges so the
+// reduction parallelizes even when one layer dominates the parameter count.
+func buildReduceChunks(layers []*DenseLayer) []reduceChunk {
+	const chunkElems = 4096
+	var chunks []reduceChunk
+	for li, l := range layers {
+		for lo := 0; lo < len(l.W.Data); lo += chunkElems {
+			hi := lo + chunkElems
+			if hi > len(l.W.Data) {
+				hi = len(l.W.Data)
+			}
+			chunks = append(chunks, reduceChunk{layer: li, lo: lo, hi: hi})
+		}
+		chunks = append(chunks, reduceChunk{layer: li, lo: 0, hi: len(l.B), bias: true})
+	}
+	return chunks
+}
+
+// applyChunk folds the per-sample gradients of one parameter range into the
+// layer accumulators. Per element the additions run in sample index order —
+// the serial loop's exact addition sequence.
+func applyChunk(layers []*DenseLayer, slots []*gradSlot, c reduceChunk) {
+	l := layers[c.layer]
+	if c.bias {
+		dst := l.dB[c.lo:c.hi]
+		for _, s := range slots {
+			src := s.dB[c.layer][c.lo:c.hi]
+			for k, v := range src {
+				dst[k] += v
+			}
+		}
+		return
+	}
+	dst := l.dW.Data[c.lo:c.hi]
+	for _, s := range slots {
+		src := s.dW[c.layer][c.lo:c.hi]
+		for k, v := range src {
+			dst[k] += v
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// trainReference is the pre-parallelization training loop, kept verbatim as
+// the determinism oracle: Train must reproduce its histories and weight
+// trajectories bit for bit at any worker count.
+func trainReference(n *TwoStageNet, train, val []Sample, cfg TrainConfig) History {
+	if cfg.Optimizer == OptSGD && cfg.Momentum == 0 {
+		cfg.Momentum = 0.9
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	idx := make([]int, len(train))
+	for i := range idx {
+		idx[i] = i
+	}
+	h := History{BestEpoch: -1}
+	bestVal := -1.0
+	stepNum := 0
+	sinceBest := 0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		totalLoss := 0.0
+		for start := 0; start < len(idx); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			for _, i := range idx[start:end] {
+				s := train[i]
+				totalLoss += n.backward(s.Structural, s.Stats, s.Label)
+			}
+			stepNum++
+			n.step(cfg, cfg.lrAt(epoch), end-start, stepNum)
+		}
+		h.TrainLoss = append(h.TrainLoss, totalLoss/float64(len(train)))
+
+		va := Accuracy(n, val)
+		h.ValAcc = append(h.ValAcc, va)
+		if va > bestVal {
+			bestVal = va
+			h.BestEpoch = epoch
+			sinceBest = 0
+		} else {
+			sinceBest++
+			if cfg.Patience > 0 && sinceBest >= cfg.Patience {
+				break
+			}
+		}
+	}
+	return h
+}
+
+func synthFacetSamples(n, structDim, statsDim, classes int, seed int64) []Sample {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Sample, n)
+	for i := range out {
+		s := Sample{
+			Structural: make([]float64, structDim),
+			Stats:      make([]float64, statsDim),
+			Label:      rng.Intn(classes),
+		}
+		for j := range s.Structural {
+			s.Structural[j] = rng.NormFloat64()
+		}
+		for j := range s.Stats {
+			s.Stats[j] = rng.NormFloat64() + float64(s.Label)
+		}
+		out[i] = s
+	}
+	return out
+}
+
+func historiesEqual(t *testing.T, name string, a, b History) {
+	t.Helper()
+	if len(a.TrainLoss) != len(b.TrainLoss) || len(a.ValAcc) != len(b.ValAcc) || a.BestEpoch != b.BestEpoch {
+		t.Fatalf("%s: history shape diverged: %d/%d/%d vs %d/%d/%d",
+			name, len(a.TrainLoss), len(a.ValAcc), a.BestEpoch, len(b.TrainLoss), len(b.ValAcc), b.BestEpoch)
+	}
+	for i := range a.TrainLoss {
+		if a.TrainLoss[i] != b.TrainLoss[i] {
+			t.Fatalf("%s: epoch %d train loss %v != %v", name, i, a.TrainLoss[i], b.TrainLoss[i])
+		}
+	}
+	for i := range a.ValAcc {
+		if a.ValAcc[i] != b.ValAcc[i] {
+			t.Fatalf("%s: epoch %d val acc %v != %v", name, i, a.ValAcc[i], b.ValAcc[i])
+		}
+	}
+}
+
+func weightsEqual(t *testing.T, name string, a, b *TwoStageNet) {
+	t.Helper()
+	la, lb := a.layers(), b.layers()
+	for li := range la {
+		for k := range la[li].W.Data {
+			if la[li].W.Data[k] != lb[li].W.Data[k] {
+				t.Fatalf("%s: layer %d weight %d: %v != %v", name, li, k, la[li].W.Data[k], lb[li].W.Data[k])
+			}
+		}
+		for k := range la[li].B {
+			if la[li].B[k] != lb[li].B[k] {
+				t.Fatalf("%s: layer %d bias %d: %v != %v", name, li, k, la[li].B[k], lb[li].B[k])
+			}
+		}
+	}
+}
+
+func trainCase(t *testing.T, cfg TrainConfig) {
+	t.Helper()
+	const (
+		structDim = 9
+		statsDim  = 4
+		classes   = 5
+	)
+	samples := synthFacetSamples(240, structDim, statsDim, classes, 42)
+	train, val, _ := Split(samples, 7)
+
+	ref := NewTwoStageNet(structDim, statsDim, []int{16, 12}, []int{14}, classes, 3)
+	refH := trainReference(ref, train, val, cfg)
+
+	for _, workers := range []int{0, 1, 2, 3, 8} {
+		c := cfg
+		c.Workers = workers
+		got := NewTwoStageNet(structDim, statsDim, []int{16, 12}, []int{14}, classes, 3)
+		gotH := Train(got, train, val, c)
+		name := trainCaseName(cfg, workers)
+		historiesEqual(t, name, gotH, refH)
+		weightsEqual(t, name, got, ref)
+	}
+}
+
+func trainCaseName(cfg TrainConfig, workers int) string {
+	opt := "adam"
+	if cfg.Optimizer == OptSGD {
+		opt = "sgd"
+	}
+	return opt + "/workers=" + string(rune('0'+workers))
+}
+
+// The parallel trainer must reproduce the serial reference exactly — same
+// losses, same accuracies, same final weights — for every worker count,
+// under both optimizers. Running under -race (CI) also exercises the
+// gradient/reduction phases for data races.
+func TestTrainParallelMatchesSerialReference(t *testing.T) {
+	base := TrainConfig{Epochs: 8, BatchSize: 16, LR: 1e-3, Seed: 5, Patience: 4}
+	trainCase(t, base)
+
+	sgd := base
+	sgd.Optimizer = OptSGD
+	sgd.WeightDecay = 1e-4
+	sgd.Schedule = SchedCosine
+	trainCase(t, sgd)
+}
+
+// Odd-shaped inputs: batch larger than the training set, batch that does not
+// divide the set, more workers than samples per batch.
+func TestTrainParallelEdgeShapes(t *testing.T) {
+	cfg := TrainConfig{Epochs: 3, BatchSize: 50, LR: 1e-3, Seed: 9}
+	trainCase(t, cfg)
+	cfg.BatchSize = 7
+	trainCase(t, cfg)
+}

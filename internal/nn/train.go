@@ -3,6 +3,9 @@ package nn
 import (
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"powerlens/internal/tensor"
 )
@@ -48,6 +51,11 @@ type TrainConfig struct {
 	Momentum    float64 // SGD momentum (default 0.9 when 0 and OptSGD)
 	WeightDecay float64
 	Schedule    Schedule
+
+	// Workers caps the minibatch gradient workers (0 = GOMAXPROCS). The
+	// update sequence is bit-identical for any worker count (see
+	// parallel.go), so this is purely a throughput knob.
+	Workers int
 }
 
 // DefaultTrainConfig matches the scale of the paper's models.
@@ -86,10 +94,41 @@ type History struct {
 
 // Train runs minibatch Adam over train, tracking accuracy on val. It returns
 // the history; the network is left with its final weights.
+//
+// Gradient computation is data-parallel across cfg.Workers (default
+// GOMAXPROCS) with a fixed-order reduction, so the weight trajectory and
+// history are bit-identical to the single-threaded loop for a given seed —
+// see parallel.go for the determinism argument.
 func Train(n *TwoStageNet, train, val []Sample, cfg TrainConfig) History {
 	if cfg.Optimizer == OptSGD && cfg.Momentum == 0 {
 		cfg.Momentum = 0.9
 	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.BatchSize {
+		workers = cfg.BatchSize
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	layers := n.layers()
+	slotCount := cfg.BatchSize
+	if slotCount > len(train) {
+		slotCount = len(train)
+	}
+	slots := make([]*gradSlot, slotCount)
+	for i := range slots {
+		slots[i] = newGradSlot(layers)
+	}
+	scratches := make([]*passScratch, workers)
+	for i := range scratches {
+		scratches[i] = newPassScratch(n, layers)
+	}
+	chunks := buildReduceChunks(layers)
+
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	idx := make([]int, len(train))
 	for i := range idx {
@@ -107,12 +146,63 @@ func Train(n *TwoStageNet, train, val []Sample, cfg TrainConfig) History {
 			if end > len(idx) {
 				end = len(idx)
 			}
-			for _, i := range idx[start:end] {
-				s := train[i]
-				totalLoss += n.backward(s.Structural, s.Stats, s.Label)
+			batch := idx[start:end]
+			live := slots[:len(batch)]
+
+			// Gradient phase: shard the batch across workers; each sample's
+			// gradients land in its own slot.
+			if workers == 1 {
+				for si, ti := range batch {
+					n.sampleGrad(layers, train[ti], scratches[0], live[si])
+				}
+			} else {
+				var wg sync.WaitGroup
+				for w := 0; w < workers; w++ {
+					lo, hi := w*len(batch)/workers, (w+1)*len(batch)/workers
+					if lo == hi {
+						continue
+					}
+					wg.Add(1)
+					go func(w, lo, hi int) {
+						defer wg.Done()
+						for si := lo; si < hi; si++ {
+							n.sampleGrad(layers, train[batch[si]], scratches[w], live[si])
+						}
+					}(w, lo, hi)
+				}
+				wg.Wait()
+			}
+
+			// Reduction phase: fold slots into the layer accumulators in
+			// sample order, parallel across parameter chunks.
+			if workers == 1 {
+				for _, c := range chunks {
+					applyChunk(layers, live, c)
+				}
+			} else {
+				var next atomic.Int64
+				var wg sync.WaitGroup
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for {
+							c := int(next.Add(1)) - 1
+							if c >= len(chunks) {
+								return
+							}
+							applyChunk(layers, live, chunks[c])
+						}
+					}()
+				}
+				wg.Wait()
+			}
+
+			for _, s := range live {
+				totalLoss += s.loss
 			}
 			stepNum++
-			n.step(cfg, cfg.lrAt(epoch), end-start, stepNum)
+			n.step(cfg, cfg.lrAt(epoch), len(batch), stepNum)
 		}
 		h.TrainLoss = append(h.TrainLoss, totalLoss/float64(len(train)))
 

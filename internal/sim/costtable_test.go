@@ -1,0 +1,72 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"powerlens/internal/hw"
+	"powerlens/internal/models"
+)
+
+// The cost table must be indistinguishable from the uncached path: same
+// times, same energies, same optimal levels, bit for bit. The dataset
+// goldens depend on it.
+func TestCostTableMatchesSegmentCost(t *testing.T) {
+	for _, p := range hw.Platforms() {
+		for _, name := range []string{"resnet18", "vgg16", "densenet201"} {
+			g := models.MustBuild(name)
+			ct := NewCostTable(p, g)
+			n := len(g.Layers) - 1
+			rng := rand.New(rand.NewSource(7))
+			segs := [][2]int{{0, n}, {0, 0}, {n, n}}
+			for i := 0; i < 25; i++ {
+				a, b := rng.Intn(n+1), rng.Intn(n+1)
+				if a > b {
+					a, b = b, a
+				}
+				segs = append(segs, [2]int{a, b})
+			}
+			for _, s := range segs {
+				for lvl, f := range p.GPUFreqsHz {
+					wantT, wantE := SegmentCost(p, g, s[0], s[1], f)
+					gotT, gotE := ct.SegmentCost(s[0], s[1], lvl)
+					if gotT != wantT || gotE != wantE {
+						t.Fatalf("%s/%s seg %v lvl %d: cached (%v, %v) != direct (%v, %v)",
+							p.Name, name, s, lvl, gotT, gotE, wantT, wantE)
+					}
+					// Second query must come from the memo and stay identical.
+					hits := ct.Hits
+					gotT2, gotE2 := ct.SegmentCost(s[0], s[1], lvl)
+					if gotT2 != wantT || gotE2 != wantE {
+						t.Fatalf("%s/%s seg %v lvl %d: memo hit changed result", p.Name, name, s, lvl)
+					}
+					if ct.Hits != hits+1 {
+						t.Fatalf("%s/%s seg %v lvl %d: repeat query missed the memo", p.Name, name, s, lvl)
+					}
+				}
+				wantBest, wantEs := OptimalSegmentLevel(p, g, s[0], s[1])
+				gotBest, gotEs := ct.OptimalSegmentLevel(s[0], s[1])
+				if gotBest != wantBest {
+					t.Fatalf("%s/%s seg %v: cached best %d != direct %d", p.Name, name, s, gotBest, wantBest)
+				}
+				for i := range wantEs {
+					if gotEs[i] != wantEs[i] {
+						t.Fatalf("%s/%s seg %v lvl %d: cached energy %v != direct %v",
+							p.Name, name, s, i, gotEs[i], wantEs[i])
+					}
+				}
+			}
+			if ct.Misses == 0 || ct.Hits == 0 {
+				t.Fatalf("%s/%s: expected both hits and misses, got %d/%d", p.Name, name, ct.Hits, ct.Misses)
+			}
+		}
+	}
+}
+
+func TestCostTablePlatform(t *testing.T) {
+	p := hw.TX2()
+	ct := NewCostTable(p, models.MustBuild("resnet18"))
+	if ct.Platform() != p {
+		t.Fatal("Platform() did not return the construction platform")
+	}
+}

@@ -107,6 +107,26 @@ func (m *Matrix) MulVec(v []float64) []float64 {
 	return out
 }
 
+// MulVecInto is MulVec writing into dst (which must have length m.Rows)
+// instead of allocating; the accumulation order is identical to MulVec, so
+// results are bit-equal.
+func (m *Matrix) MulVecInto(v, dst []float64) {
+	if m.Cols != len(v) {
+		panic(fmt.Sprintf("tensor: MulVecInto dimension mismatch %dx%d · %d", m.Rows, m.Cols, len(v)))
+	}
+	if len(dst) != m.Rows {
+		panic(fmt.Sprintf("tensor: MulVecInto dst length %d, want %d", len(dst), m.Rows))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		s := 0.0
+		for j, rv := range row {
+			s += rv * v[j]
+		}
+		dst[i] = s
+	}
+}
+
 // Scale multiplies every element of m by s in place and returns m.
 func (m *Matrix) Scale(s float64) *Matrix {
 	for i := range m.Data {

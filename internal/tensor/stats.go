@@ -1,6 +1,9 @@
 package tensor
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // Mean returns the arithmetic mean of v, or 0 for an empty slice.
 func Mean(v []float64) float64 {
@@ -146,10 +149,16 @@ func (s *ZScoreScaler) TransformRow(row []float64) {
 func MahalanobisAll(x, p *Matrix) *Matrix {
 	n := x.Rows
 	d := NewMatrix(n, n)
+	sp := newSparseQuad(p)
+	diff := make([]float64, x.Cols)
 	for i := 0; i < n; i++ {
+		ri := x.Row(i)
 		for j := i + 1; j < n; j++ {
-			diff := Sub(x.Row(i), x.Row(j))
-			q := Dot(diff, p.MulVec(diff))
+			rj := x.Row(j)
+			for k := range diff {
+				diff[k] = ri[k] - rj[k]
+			}
+			q := sp.quadForm(diff)
 			if q < 0 {
 				q = 0
 			}
@@ -159,6 +168,81 @@ func MahalanobisAll(x, p *Matrix) *Matrix {
 		}
 	}
 	return d
+}
+
+// sparseQuad is a CSR view of a quadratic-form matrix, built once and applied
+// to many vectors. The §2.2 feature precision matrices are ~2/3 exact zeros
+// (structural: constant feature columns zero out covariance rows), and row
+// diffs are ~3/4 zeros, so skipping zero terms removes most of the pairwise
+// Mahalanobis work — the generator's dominant cost.
+type sparseQuad struct {
+	n        int
+	rowStart []int32
+	colIdx   []int32
+	vals     []float64
+}
+
+func newSparseQuad(p *Matrix) *sparseQuad {
+	if p.Rows != p.Cols {
+		panic(fmt.Sprintf("tensor: sparseQuad needs a square matrix, got %dx%d", p.Rows, p.Cols))
+	}
+	sp := &sparseQuad{n: p.Rows, rowStart: make([]int32, p.Rows+1)}
+	for i := 0; i < p.Rows; i++ {
+		for j, v := range p.Row(i) {
+			if v != 0 {
+				sp.colIdx = append(sp.colIdx, int32(j))
+				sp.vals = append(sp.vals, v)
+			}
+		}
+		sp.rowStart[i+1] = int32(len(sp.vals))
+	}
+	return sp
+}
+
+// quadForm returns diff^T p diff, bit-equal to Dot(diff, p.MulVec(diff)) for
+// finite inputs. Skipped terms are exactly those with a zero factor: such a
+// term is ±0.0, and both accumulators start at +0.0 and can never become
+// -0.0 (only (-0)+(-0) yields -0), so IEEE-754 addition of the skipped terms
+// would leave the sums bit-unchanged. Kept terms run in the same ascending
+// row/column order as the dense form. (Non-finite features would already
+// poison the distances, so they are out of contract.)
+func (sp *sparseQuad) quadForm(diff []float64) float64 {
+	if sp.n != len(diff) {
+		panic(fmt.Sprintf("tensor: sparseQuad dimension mismatch %d · %d", sp.n, len(diff)))
+	}
+	q := 0.0
+	for i, dv := range diff {
+		if dv == 0 {
+			continue
+		}
+		s := 0.0
+		for t := sp.rowStart[i]; t < sp.rowStart[i+1]; t++ {
+			s += sp.vals[t] * diff[sp.colIdx[t]]
+		}
+		q += dv * s
+	}
+	return q
+}
+
+// quadForm returns diff^T p diff with the exact operation order of
+// Dot(diff, p.MulVec(diff)) — each row's inner product accumulates in column
+// order, the outer product in row order — so it is bit-equal to the unfused
+// form while allocating nothing. This is the innermost loop of the pairwise
+// distance matrix (n²/2 quadratic forms per network in the §2.2 generator).
+func quadForm(p *Matrix, diff []float64) float64 {
+	if p.Cols != len(diff) || p.Rows != len(diff) {
+		panic(fmt.Sprintf("tensor: quadForm dimension mismatch %dx%d · %d", p.Rows, p.Cols, len(diff)))
+	}
+	q := 0.0
+	for i, dv := range diff {
+		row := p.Data[i*p.Cols : i*p.Cols+len(diff)]
+		s := 0.0
+		for k, rv := range row {
+			s += rv * diff[k]
+		}
+		q += dv * s
+	}
+	return q
 }
 
 // Argmax returns the index of the largest element of v (first on ties),

@@ -222,3 +222,118 @@ func TestShrunkCovarianceDegenerate(t *testing.T) {
 		}
 	}
 }
+
+// TestQuadFormMatchesUnfused pins the fused quadratic form bit-for-bit
+// against Dot(diff, p.MulVec(diff)) — the contract that lets MahalanobisAll
+// (and therefore the clustering goldens) stay byte-identical after fusing.
+func TestQuadFormMatchesUnfused(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		d := 1 + rng.Intn(12)
+		p := NewMatrix(d, d)
+		for i := range p.Data {
+			p.Data[i] = rng.NormFloat64()
+		}
+		diff := make([]float64, d)
+		for i := range diff {
+			switch rng.Intn(4) {
+			case 0:
+				diff[i] = 0
+			default:
+				diff[i] = rng.NormFloat64() * 1e3
+			}
+		}
+		want := Dot(diff, p.MulVec(diff))
+		got := quadForm(p, diff)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("trial %d (d=%d): quadForm %v != unfused %v", trial, d, got, want)
+		}
+	}
+}
+
+func TestQuadFormDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on mismatched dimensions")
+		}
+	}()
+	quadForm(NewMatrix(2, 3), []float64{1, 2, 3})
+}
+
+// TestSparseQuadFormMatchesDense plants exact zeros in both the matrix and
+// the vectors (the structural sparsity the generator's precision matrices
+// have) and requires the CSR path to match the dense unfused form bit for
+// bit — the contract that keeps MahalanobisAll, and with it the clustering
+// goldens and Dataset A/B bytes, unchanged.
+func TestSparseQuadFormMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 80; trial++ {
+		d := 1 + rng.Intn(14)
+		p := NewMatrix(d, d)
+		for i := range p.Data {
+			if rng.Intn(3) > 0 { // ~2/3 exact zeros, like the real precision matrices
+				continue
+			}
+			p.Data[i] = rng.NormFloat64()
+			if rng.Intn(8) == 0 {
+				p.Data[i] = -p.Data[i]
+			}
+		}
+		sp := newSparseQuad(p)
+		for v := 0; v < 6; v++ {
+			diff := make([]float64, d)
+			for i := range diff {
+				if rng.Intn(4) > 0 {
+					continue // ~3/4 zeros, like real row diffs
+				}
+				diff[i] = rng.NormFloat64() * 1e2
+			}
+			want := Dot(diff, p.MulVec(diff))
+			got := sp.quadForm(diff)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("trial %d (d=%d): sparse %v != dense %v", trial, d, got, want)
+			}
+		}
+	}
+}
+
+// TestMahalanobisAllMatchesNaive pins the whole pairwise matrix against the
+// original Sub/MulVec/Dot formulation on realistic inputs: feature matrices
+// with repeated rows and constant columns, whose pseudo-inverse precision
+// matrices carry the structural zeros the sparse path skips.
+func TestMahalanobisAllMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 10; trial++ {
+		n, d := 8+rng.Intn(20), 3+rng.Intn(9)
+		x := NewMatrix(n, d)
+		for i := 0; i < n; i++ {
+			if i > 0 && rng.Intn(4) == 0 {
+				copy(x.Row(i), x.Row(rng.Intn(i))) // duplicate row -> zero diffs
+				continue
+			}
+			for j := 0; j < d; j++ {
+				if j%3 == 0 {
+					x.Set(i, j, 1.5) // constant column -> zero covariance row
+					continue
+				}
+				x.Set(i, j, rng.NormFloat64())
+			}
+		}
+		p := PseudoInverse(Covariance(x))
+		got := MahalanobisAll(x, p)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				diff := Sub(x.Row(i), x.Row(j))
+				q := Dot(diff, p.MulVec(diff))
+				if q < 0 {
+					q = 0
+				}
+				want := math.Sqrt(q)
+				if math.Float64bits(got.At(i, j)) != math.Float64bits(want) ||
+					math.Float64bits(got.At(j, i)) != math.Float64bits(want) {
+					t.Fatalf("trial %d: d(%d,%d) = %v, want %v", trial, i, j, got.At(i, j), want)
+				}
+			}
+		}
+	}
+}
