@@ -2,54 +2,193 @@
 // writes Datasets A and B to a JSON file consumed by cmd/trainer. The paper
 // generates 8000 networks (31,242 blocks); pass -networks 8000 to match.
 //
+// With -checkpoint-dir the run is crash-safe: completed networks are flushed
+// to checksummed shards, SIGINT/SIGTERM drains gracefully (finish in-flight
+// networks, flush, exit 0), and -resume continues an interrupted run to a
+// byte-identical output. A second signal exits immediately.
+//
 // Usage:
 //
 //	datasetgen -platform TX2 -networks 2000 -seed 1 -out tx2_dataset.json
+//	datasetgen ... -checkpoint-dir ck/           # interruptible
+//	datasetgen ... -checkpoint-dir ck/ -resume   # continue after a crash
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
+	"powerlens/internal/checkpoint"
 	"powerlens/internal/dataset"
 	"powerlens/internal/hw"
 )
 
 func main() {
-	var (
-		platform = flag.String("platform", "TX2", "platform: TX2 or AGX")
-		networks = flag.Int("networks", 2000, "number of random networks")
-		seed     = flag.Int64("seed", 1, "generator seed")
-		out      = flag.String("out", "dataset.json", "output path")
-		workers  = flag.Int("workers", 0, "generation workers (0 = all cores); any value generates identical datasets")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stderr))
+}
 
-	var p *hw.Platform
-	switch strings.ToUpper(*platform) {
+type options struct {
+	platform string
+	networks int
+	seed     int64
+	out      string
+	workers  int
+	ckDir    string
+	ckEvery  int
+	resume   bool
+}
+
+func parseFlags(args []string, stderr io.Writer) (*options, error) {
+	fs := flag.NewFlagSet("datasetgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	o := &options{}
+	fs.StringVar(&o.platform, "platform", "TX2", "platform: TX2 or AGX")
+	fs.IntVar(&o.networks, "networks", 2000, "number of random networks")
+	fs.Int64Var(&o.seed, "seed", 1, "generator seed")
+	fs.StringVar(&o.out, "out", "dataset.json", "output path")
+	fs.IntVar(&o.workers, "workers", 0, "generation workers (0 = all cores); any value generates identical datasets")
+	fs.StringVar(&o.ckDir, "checkpoint-dir", "", "checkpoint directory; enables crash-safe generation and graceful SIGINT/SIGTERM drain")
+	fs.IntVar(&o.ckEvery, "checkpoint-every", dataset.DefaultShardSize, "networks per checkpoint shard")
+	fs.BoolVar(&o.resume, "resume", false, "resume from -checkpoint-dir (requires it to be set)")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		return nil, fmt.Errorf("unexpected arguments: %s", strings.Join(fs.Args(), " "))
+	}
+	return o, nil
+}
+
+// validate front-loads every misconfiguration a long run could otherwise hit
+// hours in: bad counts, a resume with nowhere to resume from, an unwritable
+// checkpoint or output location.
+func validate(o *options) error {
+	if o.networks <= 0 {
+		return fmt.Errorf("-networks must be positive, got %d", o.networks)
+	}
+	if o.workers < 0 {
+		return fmt.Errorf("-workers must be >= 0, got %d", o.workers)
+	}
+	if o.ckEvery <= 0 {
+		return fmt.Errorf("-checkpoint-every must be positive, got %d", o.ckEvery)
+	}
+	if o.resume && o.ckDir == "" {
+		return errors.New("-resume requires -checkpoint-dir")
+	}
+	if o.out == "" {
+		return errors.New("-out must not be empty")
+	}
+	if dir := filepath.Dir(o.out); dir != "." {
+		if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+			return fmt.Errorf("output directory %s does not exist", dir)
+		}
+	}
+	return nil
+}
+
+func platformByName(name string) (*hw.Platform, error) {
+	switch strings.ToUpper(name) {
 	case "TX2":
-		p = hw.TX2()
+		return hw.TX2(), nil
 	case "AGX":
-		p = hw.AGX()
+		return hw.AGX(), nil
 	default:
-		fmt.Fprintf(os.Stderr, "datasetgen: unknown platform %q\n", *platform)
-		os.Exit(1)
+		return nil, fmt.Errorf("unknown platform %q (want TX2 or AGX)", name)
+	}
+}
+
+func run(args []string, stderr io.Writer) int {
+	o, err := parseFlags(args, stderr)
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		fmt.Fprintln(stderr, "datasetgen:", err)
+		return 2
+	}
+	if err := validate(o); err != nil {
+		fmt.Fprintln(stderr, "datasetgen:", err)
+		return 2
+	}
+	p, err := platformByName(o.platform)
+	if err != nil {
+		fmt.Fprintln(stderr, "datasetgen:", err)
+		return 2
 	}
 
-	fmt.Fprintf(os.Stderr, "generating %d random networks for %s (seed %d)...\n", *networks, p.Name, *seed)
+	cfg := dataset.DefaultConfig(o.networks, o.seed)
+	cfg.Workers = o.workers
+
+	opt := dataset.CheckpointOptions{
+		ShardSize: o.ckEvery,
+		Logf: func(format string, a ...any) {
+			fmt.Fprintf(stderr, "datasetgen: "+format+"\n", a...)
+		},
+	}
+	var stopSignals chan os.Signal
+	if o.ckDir != "" {
+		dir, err := checkpoint.Open(o.ckDir)
+		if err != nil {
+			fmt.Fprintln(stderr, "datasetgen:", err)
+			return 2
+		}
+		if !o.resume {
+			shards, err := dir.List("*.ckpt")
+			if err == nil && len(shards) > 0 {
+				fmt.Fprintf(stderr, "datasetgen: checkpoint dir %s already holds %d shards; pass -resume to continue that run or use a fresh directory\n",
+					o.ckDir, len(shards))
+				return 2
+			}
+		}
+		opt.Dir = dir
+
+		// First SIGINT/SIGTERM drains gracefully; a second exits immediately.
+		stop := make(chan struct{})
+		opt.Stop = stop
+		stopSignals = make(chan os.Signal, 2)
+		signal.Notify(stopSignals, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-stopSignals
+			fmt.Fprintln(stderr, "datasetgen: signal received; draining (finishing in-flight networks, flushing shards) — signal again to exit immediately")
+			close(stop)
+			<-stopSignals
+			fmt.Fprintln(stderr, "datasetgen: second signal; exiting immediately")
+			os.Exit(130)
+		}()
+		defer signal.Stop(stopSignals)
+	}
+
+	fmt.Fprintf(stderr, "generating %d random networks for %s (seed %d)...\n", o.networks, p.Name, o.seed)
 	start := time.Now()
-	cfg := dataset.DefaultConfig(*networks, *seed)
-	cfg.Workers = *workers
-	a, b := dataset.Generate(p, cfg)
-	fmt.Fprintf(os.Stderr, "done in %v: %d network samples (dataset A), %d block samples (dataset B)\n",
-		time.Since(start).Round(time.Millisecond), len(a.Samples), len(b.Samples))
-
-	if err := dataset.Save(*out, p.Name, a, b); err != nil {
-		fmt.Fprintln(os.Stderr, "datasetgen:", err)
-		os.Exit(1)
+	a, b, st, err := dataset.GenerateCheckpointed(p, cfg, opt)
+	if err != nil {
+		fmt.Fprintln(stderr, "datasetgen:", err)
+		return 1
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	if st.Drained {
+		fmt.Fprintf(stderr, "datasetgen: drained after %v (%d networks restored, %d shards flushed); rerun with -resume to continue\n",
+			time.Since(start).Round(time.Millisecond), st.ResumedNetworks, st.ShardsWritten)
+		return 0
+	}
+	fmt.Fprintf(stderr, "done in %v: %d network samples (dataset A), %d block samples (dataset B)\n",
+		time.Since(start).Round(time.Millisecond), len(a.Samples), len(b.Samples))
+	if st.ResumedNetworks > 0 || st.QuarantinedShards > 0 {
+		fmt.Fprintf(stderr, "resume: %d networks restored from checkpoints, %d corrupt shards quarantined\n",
+			st.ResumedNetworks, st.QuarantinedShards)
+	}
+
+	if err := dataset.Save(o.out, p.Name, a, b); err != nil {
+		fmt.Fprintln(stderr, "datasetgen:", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "wrote %s\n", o.out)
+	return 0
 }

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	var buf bytes.Buffer
+	code := run(args, &buf)
+	return code, buf.String()
+}
+
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"zero networks", []string{"-networks", "0"}, "-networks must be positive"},
+		{"negative networks", []string{"-networks", "-5"}, "-networks must be positive"},
+		{"negative workers", []string{"-workers", "-1"}, "-workers must be >= 0"},
+		{"zero shard size", []string{"-checkpoint-every", "0"}, "-checkpoint-every must be positive"},
+		{"resume without dir", []string{"-resume"}, "-resume requires -checkpoint-dir"},
+		{"empty out", []string{"-out", ""}, "-out must not be empty"},
+		{"missing out dir", []string{"-out", "/no/such/dir/x.json"}, "does not exist"},
+		{"bad platform", []string{"-platform", "H100"}, "unknown platform"},
+		{"positional junk", []string{"extra"}, "unexpected arguments"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, out := runCLI(t, tc.args...)
+			if code != 2 {
+				t.Fatalf("exit = %d, want 2 (output: %s)", code, out)
+			}
+			if !strings.Contains(out, tc.want) {
+				t.Fatalf("output %q does not mention %q", out, tc.want)
+			}
+		})
+	}
+}
+
+func TestUnwritableCheckpointDirRejected(t *testing.T) {
+	if os.Geteuid() == 0 {
+		t.Skip("directory permissions do not bind as root")
+	}
+	parent := t.TempDir()
+	if err := os.Chmod(parent, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	code, out := runCLI(t, "-networks", "4", "-checkpoint-dir", filepath.Join(parent, "ck"))
+	if code != 2 || !strings.Contains(out, "checkpoint") {
+		t.Fatalf("exit = %d, output %q; want rejection of unwritable dir", code, out)
+	}
+}
+
+func TestNonEmptyCheckpointDirNeedsResume(t *testing.T) {
+	dir := t.TempDir()
+	out1 := filepath.Join(dir, "a.json")
+	ck := filepath.Join(dir, "ck")
+	if code, out := runCLI(t, "-networks", "6", "-checkpoint-dir", ck, "-checkpoint-every", "2", "-out", out1); code != 0 {
+		t.Fatalf("first run failed (%d): %s", code, out)
+	}
+	code, out := runCLI(t, "-networks", "6", "-checkpoint-dir", ck, "-out", filepath.Join(dir, "b.json"))
+	if code != 2 || !strings.Contains(out, "-resume") {
+		t.Fatalf("exit = %d, output %q; want refusal without -resume", code, out)
+	}
+}
+
+// End-to-end: an uninterrupted run and a resumed checkpointed run write
+// byte-identical dataset files.
+func TestCheckpointedOutputByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	ref := filepath.Join(dir, "ref.json")
+	if code, out := runCLI(t, "-networks", "8", "-seed", "3", "-out", ref); code != 0 {
+		t.Fatalf("reference run failed (%d): %s", code, out)
+	}
+
+	got := filepath.Join(dir, "got.json")
+	ck := filepath.Join(dir, "ck")
+	if code, out := runCLI(t, "-networks", "8", "-seed", "3", "-out", got,
+		"-checkpoint-dir", ck, "-checkpoint-every", "3"); code != 0 {
+		t.Fatalf("checkpointed run failed (%d): %s", code, out)
+	}
+	refData, err := os.ReadFile(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotData, err := os.ReadFile(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(refData, gotData) {
+		t.Fatal("checkpointed output differs from plain run")
+	}
+
+	// Resume over the completed directory: everything restores, output is
+	// still identical.
+	got2 := filepath.Join(dir, "got2.json")
+	code, out := runCLI(t, "-networks", "8", "-seed", "3", "-out", got2,
+		"-checkpoint-dir", ck, "-checkpoint-every", "3", "-resume")
+	if code != 0 {
+		t.Fatalf("resume run failed (%d): %s", code, out)
+	}
+	if !strings.Contains(out, "restored") {
+		t.Fatalf("resume output does not report restored networks: %s", out)
+	}
+	got2Data, err := os.ReadFile(got2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(refData, got2Data) {
+		t.Fatal("resumed output differs from plain run")
+	}
+}

@@ -1,12 +1,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"powerlens/internal/experiments"
@@ -165,19 +168,34 @@ func finishRun(run *runlog.Run, o *obs.Observer, events []obs.Event, wall time.D
 
 // lingerTelemetry keeps a started server up after the scenario so late
 // scrapers can still read the final state: for d when positive, until the
-// process is interrupted when d is zero.
+// process is interrupted when d is zero. Either way the exit is graceful —
+// in-flight scrapes drain (bounded by a shutdown deadline, so a hung client
+// cannot wedge the exit) and SIGINT/SIGTERM end the linger early.
 func lingerTelemetry(running *serve.Running, d time.Duration) {
 	if running == nil {
 		return
 	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+
 	if d > 0 {
-		fmt.Fprintf(os.Stderr, "telemetry: serving for another %v at %s\n", d, running.URL())
-		time.Sleep(d)
-		running.Close()
-		return
+		fmt.Fprintf(os.Stderr, "telemetry: serving for another %v at %s (ctrl-c to stop sooner)\n", d, running.URL())
+		select {
+		case <-time.After(d):
+		case <-sig:
+			fmt.Fprintln(os.Stderr, "telemetry: interrupted; shutting down")
+		}
+	} else {
+		fmt.Fprintf(os.Stderr, "telemetry: serving at %s until interrupted (ctrl-c to stop)\n", running.URL())
+		<-sig
+		fmt.Fprintln(os.Stderr, "telemetry: interrupted; shutting down")
 	}
-	fmt.Fprintf(os.Stderr, "telemetry: serving at %s until interrupted (ctrl-c to stop)\n", running.URL())
-	select {}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := running.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "telemetry:", err)
+	}
 }
 
 // registryTotals flattens a registry snapshot into headline metrics — one

@@ -9,10 +9,12 @@
 //	powerlens -model resnet152 -platform TX2 [-networks 400] [-seed 1]
 //	          [-load framework.json] [-save framework.json]
 //	powerlens -list
-//	powerlens runs <list | show ID | diff ID1 ID2> [-dir runs]
+//	powerlens runs <list | show ID | diff ID1 ID2 | verify [ID...]> [-dir runs]
 //
 // The runs subcommand browses the run-provenance store written by
-// `experiments observe/resilience -run-dir` (see internal/obs/runlog).
+// `experiments observe/resilience -run-dir` (see internal/obs/runlog);
+// `runs verify` re-hashes recorded artifacts against their manifests and
+// exits nonzero on corruption.
 package main
 
 import (

@@ -17,6 +17,7 @@ import (
 //	powerlens runs list [-dir runs]           # index every recorded run
 //	powerlens runs show [-dir runs] ID        # one run's manifest
 //	powerlens runs diff [-dir runs] ID1 ID2   # headline-metric deltas
+//	powerlens runs verify [-dir runs] [ID...] # re-hash artifacts vs manifests
 func runRuns(args []string) {
 	if len(args) == 0 {
 		runsUsage()
@@ -55,13 +56,17 @@ func runRuns(args []string) {
 			runsUsage()
 		}
 		runsDiff(store, rest[0], rest[1])
+	case "verify":
+		if !runsVerify(store, rest) {
+			os.Exit(1)
+		}
 	default:
 		runsUsage()
 	}
 }
 
 func runsUsage() {
-	fmt.Fprintln(os.Stderr, "usage: powerlens runs <list | show ID | diff ID1 ID2> [-dir runs]")
+	fmt.Fprintln(os.Stderr, "usage: powerlens runs <list | show ID | diff ID1 ID2 | verify [ID...]> [-dir runs]")
 	os.Exit(2)
 }
 
@@ -123,6 +128,49 @@ func runsShow(store *runlog.Store, id string) {
 	}
 }
 
+// runsVerify re-hashes the artifacts of the named runs (all runs when ids is
+// empty) against their manifests, printing one line per artifact. It returns
+// false when any run is broken — a corrupt manifest or a digest mismatch —
+// so the CLI can exit nonzero and scripts can gate on provenance integrity.
+func runsVerify(store *runlog.Store, ids []string) bool {
+	if len(ids) == 0 {
+		all, err := store.IDs()
+		if err != nil {
+			fatal(err)
+		}
+		ids = all
+	}
+	if len(ids) == 0 {
+		fmt.Printf("no runs recorded under %s\n", store.Root())
+		return true
+	}
+	ok := true
+	for _, id := range ids {
+		checks, err := store.VerifyRun(id)
+		if err != nil {
+			fmt.Printf("%s: BROKEN: %v\n", id, err)
+			ok = false
+			continue
+		}
+		if len(checks) == 0 {
+			fmt.Printf("%s: ok (no artifacts)\n", id)
+			continue
+		}
+		for _, c := range checks {
+			switch {
+			case c.OK && c.Unverified:
+				fmt.Printf("%s: %s: unverified (manifest predates artifact digests)\n", id, c.Name)
+			case c.OK:
+				fmt.Printf("%s: %s: ok\n", id, c.Name)
+			default:
+				fmt.Printf("%s: %s: CORRUPT: %s\n", id, c.Name, c.Problem)
+				ok = false
+			}
+		}
+	}
+	return ok
+}
+
 func runsDiff(store *runlog.Store, idA, idB string) {
 	a, err := store.Get(idA)
 	if err != nil {
@@ -131,6 +179,19 @@ func runsDiff(store *runlog.Store, idA, idB string) {
 	b, err := store.Get(idB)
 	if err != nil {
 		fatal(err)
+	}
+	// Refuse to diff runs whose artifacts no longer match their manifests —
+	// a comparison over corrupt provenance is worse than no comparison.
+	for _, id := range []string{idA, idB} {
+		checks, err := store.VerifyRun(id)
+		if err != nil {
+			fatal(err)
+		}
+		for _, c := range checks {
+			if !c.OK {
+				fatal(fmt.Errorf("run %s artifact %s failed verification (%s); run `powerlens runs verify` for details", id, c.Name, c.Problem))
+			}
+		}
 	}
 	fmt.Printf("runs diff %s -> %s\n", a.RunID, b.RunID)
 	if a.ConfigDigest != b.ConfigDigest {

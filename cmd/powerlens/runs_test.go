@@ -1,0 +1,79 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"powerlens/internal/obs/runlog"
+)
+
+func verifyStore(t *testing.T) (*runlog.Store, *runlog.Run) {
+	t.Helper()
+	s, err := runlog.Open(filepath.Join(t.TempDir(), "runs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Begin(runlog.Manifest{Scenario: "observe", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteArtifact("trace.json", func(w io.Writer) error {
+		_, werr := io.WriteString(w, `{"events":[]}`)
+		return werr
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Finish(time.Second, map[string]float64{"m": 1}); err != nil {
+		t.Fatal(err)
+	}
+	return s, r
+}
+
+func TestRunsVerifyCleanStore(t *testing.T) {
+	s, r := verifyStore(t)
+	if !runsVerify(s, nil) {
+		t.Fatal("clean store failed verification")
+	}
+	if !runsVerify(s, []string{r.ID()}) {
+		t.Fatal("clean run failed targeted verification")
+	}
+}
+
+func TestRunsVerifyDetectsBitRot(t *testing.T) {
+	s, r := verifyStore(t)
+	path := filepath.Join(r.Dir(), "trace.json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[0] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if runsVerify(s, nil) {
+		t.Fatal("verification passed over a rotted artifact")
+	}
+}
+
+func TestRunsVerifyDetectsBrokenManifest(t *testing.T) {
+	s, r := verifyStore(t)
+	if err := os.WriteFile(filepath.Join(r.Dir(), runlog.ManifestName), []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if runsVerify(s, nil) {
+		t.Fatal("verification passed over a torn manifest")
+	}
+}
+
+func TestRunsVerifyEmptyStore(t *testing.T) {
+	s, err := runlog.Open(filepath.Join(t.TempDir(), "runs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !runsVerify(s, nil) {
+		t.Fatal("empty store should verify clean")
+	}
+}

@@ -4,35 +4,114 @@
 // model and 94.2% for the decision model at full scale), and saves the
 // trained framework for cmd/powerlens -load.
 //
+// With -checkpoint-dir both models checkpoint their full optimizer state at
+// epoch boundaries: SIGINT/SIGTERM drains gracefully (finish the in-flight
+// epoch, save, exit 0), and -resume continues to bit-identical weights. A
+// second signal exits immediately.
+//
 // Usage:
 //
 //	trainer -dataset tx2_dataset.json -out tx2_framework.json [-epochs 120]
+//	trainer ... -checkpoint-dir ck/           # interruptible
+//	trainer ... -checkpoint-dir ck/ -resume   # continue after a crash
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
 	"time"
 
+	"powerlens/internal/checkpoint"
 	"powerlens/internal/core"
 	"powerlens/internal/dataset"
 	"powerlens/internal/hw"
 )
 
 func main() {
-	var (
-		dsPath  = flag.String("dataset", "dataset.json", "dataset file from cmd/datasetgen")
-		out     = flag.String("out", "framework.json", "output path for the trained framework")
-		epochs  = flag.Int("epochs", 120, "training epochs for both models")
-		seed    = flag.Int64("seed", 1, "training seed")
-		workers = flag.Int("workers", 0, "minibatch gradient workers (0 = all cores); any value trains identically")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	platform, dsA, dsB, err := dataset.Load(*dsPath)
+type options struct {
+	dsPath  string
+	out     string
+	epochs  int
+	seed    int64
+	workers int
+	ckDir   string
+	ckEvery int
+	resume  bool
+}
+
+func parseFlags(args []string, stderr io.Writer) (*options, error) {
+	fs := flag.NewFlagSet("trainer", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	o := &options{}
+	fs.StringVar(&o.dsPath, "dataset", "dataset.json", "dataset file from cmd/datasetgen")
+	fs.StringVar(&o.out, "out", "framework.json", "output path for the trained framework")
+	fs.IntVar(&o.epochs, "epochs", 120, "training epochs for both models")
+	fs.Int64Var(&o.seed, "seed", 1, "training seed")
+	fs.IntVar(&o.workers, "workers", 0, "minibatch gradient workers (0 = all cores); any value trains identically")
+	fs.StringVar(&o.ckDir, "checkpoint-dir", "", "checkpoint directory; enables crash-safe training and graceful SIGINT/SIGTERM drain")
+	fs.IntVar(&o.ckEvery, "checkpoint-every", 1, "checkpoint cadence in epochs")
+	fs.BoolVar(&o.resume, "resume", false, "resume from -checkpoint-dir (requires it to be set)")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		return nil, fmt.Errorf("unexpected arguments: %s", strings.Join(fs.Args(), " "))
+	}
+	return o, nil
+}
+
+func validate(o *options) error {
+	if o.epochs <= 0 {
+		return fmt.Errorf("-epochs must be positive, got %d", o.epochs)
+	}
+	if o.workers < 0 {
+		return fmt.Errorf("-workers must be >= 0, got %d", o.workers)
+	}
+	if o.ckEvery <= 0 {
+		return fmt.Errorf("-checkpoint-every must be positive, got %d", o.ckEvery)
+	}
+	if o.resume && o.ckDir == "" {
+		return errors.New("-resume requires -checkpoint-dir")
+	}
+	if o.out == "" {
+		return errors.New("-out must not be empty")
+	}
+	if dir := filepath.Dir(o.out); dir != "." {
+		if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+			return fmt.Errorf("output directory %s does not exist", dir)
+		}
+	}
+	return nil
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	o, err := parseFlags(args, stderr)
 	if err != nil {
-		fatal(err)
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		fmt.Fprintln(stderr, "trainer:", err)
+		return 2
+	}
+	if err := validate(o); err != nil {
+		fmt.Fprintln(stderr, "trainer:", err)
+		return 2
+	}
+
+	platform, dsA, dsB, err := dataset.Load(o.dsPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "trainer:", err)
+		return 1
 	}
 	var p *hw.Platform
 	switch platform {
@@ -41,43 +120,78 @@ func main() {
 	case "AGX":
 		p = hw.AGX()
 	default:
-		fatal(fmt.Errorf("dataset %s has unknown platform %q", *dsPath, platform))
+		fmt.Fprintf(stderr, "trainer: dataset %s has unknown platform %q\n", o.dsPath, platform)
+		return 1
 	}
-	fmt.Fprintf(os.Stderr, "training on %s: %d network samples, %d block samples\n",
+	fmt.Fprintf(stderr, "training on %s: %d network samples, %d block samples\n",
 		p.Name, len(dsA.Samples), len(dsB.Samples))
 
 	cfg := core.DefaultDeployConfig()
-	cfg.Seed = *seed
-	cfg.HyperTrain.Epochs = *epochs
-	cfg.DecisionTrain.Epochs = *epochs
-	cfg.HyperTrain.Workers = *workers
-	cfg.DecisionTrain.Workers = *workers
+	cfg.Seed = o.seed
+	cfg.HyperTrain.Epochs = o.epochs
+	cfg.DecisionTrain.Epochs = o.epochs
+	cfg.HyperTrain.Workers = o.workers
+	cfg.DecisionTrain.Workers = o.workers
+
+	var ck *core.CheckpointOptions
+	if o.ckDir != "" {
+		dir, err := checkpoint.Open(o.ckDir)
+		if err != nil {
+			fmt.Fprintln(stderr, "trainer:", err)
+			return 2
+		}
+		if !o.resume {
+			shards, err := dir.List("*.ckpt")
+			if err == nil && len(shards) > 0 {
+				fmt.Fprintf(stderr, "trainer: checkpoint dir %s already holds %d checkpoints; pass -resume to continue that run or use a fresh directory\n",
+					o.ckDir, len(shards))
+				return 2
+			}
+		}
+
+		stop := make(chan struct{})
+		signals := make(chan os.Signal, 2)
+		signal.Notify(signals, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-signals
+			fmt.Fprintln(stderr, "trainer: signal received; draining (finishing the in-flight epoch, saving) — signal again to exit immediately")
+			close(stop)
+			<-signals
+			fmt.Fprintln(stderr, "trainer: second signal; exiting immediately")
+			os.Exit(130)
+		}()
+		defer signal.Stop(signals)
+		ck = &core.CheckpointOptions{Dir: dir, Every: o.ckEvery, Stop: stop}
+	}
 
 	report := &core.DeployReport{}
 	start := time.Now()
-	fw, err := core.TrainFramework(p, dsA, dsB, cfg, report)
+	fw, err := core.TrainFrameworkCheckpointed(p, dsA, dsB, cfg, report, ck)
 	if err != nil {
-		fatal(err)
+		if errors.Is(err, core.ErrDrained) {
+			fmt.Fprintf(stderr, "trainer: drained after %v; rerun with -resume to continue\n",
+				time.Since(start).Round(time.Millisecond))
+			return 0
+		}
+		fmt.Fprintln(stderr, "trainer:", err)
+		return 1
 	}
 
-	fmt.Printf("clustering hyperparameter prediction model: accuracy %.1f%% (paper: 92.6%%), trained in %v\n",
+	fmt.Fprintf(stdout, "clustering hyperparameter prediction model: accuracy %.1f%% (paper: 92.6%%), trained in %v\n",
 		report.HyperAccuracy*100, report.HyperTrainTime.Round(time.Millisecond))
-	fmt.Printf("target frequency decision model:            accuracy %.1f%% (paper: 94.2%%), trained in %v\n",
+	fmt.Fprintf(stdout, "target frequency decision model:            accuracy %.1f%% (paper: 94.2%%), trained in %v\n",
 		report.DecisionAccuracy*100, report.DecisionTrainTime.Round(time.Millisecond))
-	fmt.Printf("decision mean level error: %.2f (paper: misses land 1-2 levels from the optimum)\n",
+	fmt.Fprintf(stdout, "decision mean level error: %.2f (paper: misses land 1-2 levels from the optimum)\n",
 		report.DecisionMeanLevelError)
 	if report.DecisionConfusion != nil {
-		fmt.Print(report.DecisionConfusion)
+		fmt.Fprint(stdout, report.DecisionConfusion)
 	}
-	fmt.Printf("total training time: %v\n", time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(stdout, "total training time: %v\n", time.Since(start).Round(time.Millisecond))
 
-	if err := fw.Save(*out); err != nil {
-		fatal(err)
+	if err := fw.Save(o.out); err != nil {
+		fmt.Fprintln(stderr, "trainer:", err)
+		return 1
 	}
-	fmt.Fprintf(os.Stderr, "saved framework to %s\n", *out)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "trainer:", err)
-	os.Exit(1)
+	fmt.Fprintf(stderr, "saved framework to %s\n", o.out)
+	return 0
 }

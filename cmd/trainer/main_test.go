@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"powerlens/internal/dataset"
+	"powerlens/internal/hw"
+)
+
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"zero epochs", []string{"-epochs", "0"}, "-epochs must be positive"},
+		{"negative workers", []string{"-workers", "-2"}, "-workers must be >= 0"},
+		{"zero cadence", []string{"-checkpoint-every", "0"}, "-checkpoint-every must be positive"},
+		{"resume without dir", []string{"-resume"}, "-resume requires -checkpoint-dir"},
+		{"empty out", []string{"-out", ""}, "-out must not be empty"},
+		{"missing out dir", []string{"-out", "/no/such/dir/fw.json"}, "does not exist"},
+		{"positional junk", []string{"x"}, "unexpected arguments"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, stderr := runCLI(t, tc.args...)
+			if code != 2 {
+				t.Fatalf("exit = %d, want 2 (stderr: %s)", code, stderr)
+			}
+			if !strings.Contains(stderr, tc.want) {
+				t.Fatalf("stderr %q does not mention %q", stderr, tc.want)
+			}
+		})
+	}
+}
+
+func TestMissingDatasetFails(t *testing.T) {
+	code, _, stderr := runCLI(t, "-dataset", filepath.Join(t.TempDir(), "none.json"))
+	if code != 1 || !strings.Contains(stderr, "load") {
+		t.Fatalf("exit = %d, stderr %q", code, stderr)
+	}
+}
+
+// End-to-end: train a tiny framework twice — plain and checkpointed with a
+// resume — and require byte-identical framework files.
+func TestCheckpointedTrainingByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	p := hw.TX2()
+	a, b := dataset.Generate(p, dataset.DefaultConfig(30, 3))
+	dsPath := filepath.Join(dir, "ds.json")
+	if err := dataset.Save(dsPath, p.Name, a, b); err != nil {
+		t.Fatal(err)
+	}
+	common := []string{"-dataset", dsPath, "-epochs", "4", "-seed", "3"}
+
+	ref := filepath.Join(dir, "ref.json")
+	if code, _, stderr := runCLI(t, append(common, "-out", ref)...); code != 0 {
+		t.Fatalf("reference run failed: %s", stderr)
+	}
+
+	got := filepath.Join(dir, "got.json")
+	ck := filepath.Join(dir, "ck")
+	if code, _, stderr := runCLI(t, append(common, "-out", got, "-checkpoint-dir", ck)...); code != 0 {
+		t.Fatalf("checkpointed run failed: %s", stderr)
+	}
+	refData, _ := os.ReadFile(ref)
+	gotData, _ := os.ReadFile(got)
+	if !bytes.Equal(refData, gotData) {
+		t.Fatal("checkpointed framework differs from plain run")
+	}
+
+	// Resume over the completed directory restores instantly, identically.
+	got2 := filepath.Join(dir, "got2.json")
+	if code, _, stderr := runCLI(t, append(common, "-out", got2, "-checkpoint-dir", ck, "-resume")...); code != 0 {
+		t.Fatalf("resume run failed: %s", stderr)
+	}
+	got2Data, _ := os.ReadFile(got2)
+	if !bytes.Equal(refData, got2Data) {
+		t.Fatal("resumed framework differs from plain run")
+	}
+
+	// Without -resume, a populated checkpoint dir is refused.
+	code, _, stderr := runCLI(t, append(common, "-out", got2, "-checkpoint-dir", ck)...)
+	if code != 2 || !strings.Contains(stderr, "-resume") {
+		t.Fatalf("exit = %d, stderr %q; want refusal without -resume", code, stderr)
+	}
+}

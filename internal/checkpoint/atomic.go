@@ -1,0 +1,192 @@
+package checkpoint
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+const tmpSuffix = ".tmp"
+
+// ErrKilled is returned when an injected kill point fires during a write.
+// Production writes (nil Hooks) never return it; the crash-consistency
+// harnesses treat it as the moment the process died.
+var ErrKilled = errors.New("checkpoint: killed at injected kill point")
+
+// KillMode selects which crash shape an injected kill point produces.
+type KillMode int
+
+const (
+	// KillBeforeWrite dies before any bytes reach disk: no temp file, no
+	// final file change. The benign crash.
+	KillBeforeWrite KillMode = iota
+	// KillTornWrite publishes a truncated file to the final path: the
+	// payload was cut mid-write but still became visible (non-atomic
+	// filesystem, reordered metadata on power loss). The dangerous crash —
+	// readers must detect it via the CRC/length footer.
+	KillTornWrite
+	// KillElideRename leaves a complete temp file but never publishes it:
+	// the crash landed between flush and rename. The final path keeps its
+	// previous content (or stays absent).
+	KillElideRename
+)
+
+func (m KillMode) String() string {
+	switch m {
+	case KillBeforeWrite:
+		return "before-write"
+	case KillTornWrite:
+		return "torn-write"
+	case KillElideRename:
+		return "elide-rename"
+	default:
+		return fmt.Sprintf("KillMode(%d)", int(m))
+	}
+}
+
+// Hooks is the test-only kill-point injector: it lets the first writes
+// succeed, then fails exactly one write in the configured mode. After the
+// kill fires, later writes succeed again — in a real crash the process is
+// dead by then, and the harnesses abort the run on ErrKilled.
+type Hooks struct {
+	mu        sync.Mutex
+	remaining int
+	mode      KillMode
+	fired     bool
+}
+
+// NewHooks returns an injector that lets successfulWrites atomic writes
+// complete, then kills the next one in the given mode.
+func NewHooks(successfulWrites int, mode KillMode) *Hooks {
+	return &Hooks{remaining: successfulWrites, mode: mode}
+}
+
+// Fired reports whether the kill point has fired.
+func (h *Hooks) Fired() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.fired
+}
+
+// arm consumes one write slot, returning (mode, true) when this write is the
+// one to kill.
+func (h *Hooks) arm() (KillMode, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.fired {
+		return 0, false
+	}
+	if h.remaining > 0 {
+		h.remaining--
+		return 0, false
+	}
+	h.fired = true
+	return h.mode, true
+}
+
+// AtomicWrite writes data to path crash-consistently: temp file in the same
+// directory, fsync, rename, directory sync. It returns the CRC32C and byte
+// count of what was written (for artifact digests). When hooks is non-nil
+// and its kill point fires, the write fails with ErrKilled after producing
+// the configured crash shape on disk.
+func AtomicWrite(path string, data []byte, hooks *Hooks) (crc uint32, size int64, err error) {
+	mode := KillMode(-1)
+	if hooks != nil {
+		if m, kill := hooks.arm(); kill {
+			mode = m
+		}
+	}
+	if mode == KillBeforeWrite {
+		return 0, 0, fmt.Errorf("write %s: %w", path, ErrKilled)
+	}
+	if mode == KillTornWrite {
+		// Publish a truncated copy straight to the final path.
+		torn := data[:len(data)/2]
+		if werr := os.WriteFile(path, torn, 0o644); werr != nil {
+			return 0, 0, werr
+		}
+		return 0, 0, fmt.Errorf("torn write %s: %w", path, ErrKilled)
+	}
+
+	tmp := path + tmpSuffix
+	f, err := os.Create(tmp)
+	if err != nil {
+		return 0, 0, fmt.Errorf("checkpoint: create %s: %w", tmp, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, 0, fmt.Errorf("checkpoint: write %s: %w", tmp, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, 0, fmt.Errorf("checkpoint: sync %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return 0, 0, fmt.Errorf("checkpoint: close %s: %w", tmp, err)
+	}
+	if mode == KillElideRename {
+		return 0, 0, fmt.Errorf("rename elided for %s: %w", path, ErrKilled)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return 0, 0, fmt.Errorf("checkpoint: publish %s: %w", path, err)
+	}
+	syncDir(filepath.Dir(path))
+	return crc32.Checksum(data, castagnoli), int64(len(data)), nil
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives power loss;
+// best-effort (some filesystems reject directory fsync).
+func syncDir(dir string) {
+	if df, err := os.Open(dir); err == nil {
+		df.Sync()
+		df.Close()
+	}
+}
+
+// CRC32C returns the Castagnoli CRC of data — the digest recorded for run
+// artifacts and verified by `powerlens runs verify`.
+func CRC32C(data []byte) uint32 { return crc32.Checksum(data, castagnoli) }
+
+// DigestJSON fingerprints a JSON-encodable configuration value as the
+// CRC32C of its canonical encoding, rendered as fixed-width hex. Checkpoint
+// metadata records it so a resume against a different configuration is
+// rejected instead of silently mixing runs.
+func DigestJSON(v any) (string, error) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return "", fmt.Errorf("checkpoint: digest: %w", err)
+	}
+	return fmt.Sprintf("%08x-%016x", crc32.Checksum(data, castagnoli), fnv64a(data)), nil
+}
+
+// MustDigestJSON is DigestJSON for values known to encode (option structs).
+func MustDigestJSON(v any) string {
+	d, err := DigestJSON(v)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// fnv64a is inlined (rather than importing hash/fnv) to keep the digest a
+// pure function of the bytes with no hasher state allocation.
+func fnv64a(data []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range data {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h
+}

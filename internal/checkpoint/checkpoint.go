@@ -1,0 +1,273 @@
+// Package checkpoint is the crash-consistent artifact layer under the
+// offline pipeline: every checkpoint shard is written atomically (temp file +
+// rename), framed with a schema-versioned header and a CRC32C + length
+// footer, and verified on read. A torn, truncated, or bit-rotted shard is
+// *detected* and quarantined — never silently consumed — so a resumed run
+// either restores exactly what an uninterrupted run would have computed or
+// recomputes it from scratch.
+//
+// File layout (little-endian):
+//
+//	offset size  field
+//	0      4     magic "PLCK"
+//	4      2     schema version (currently 1)
+//	6      2     flags (reserved, 0)
+//	8      n     payload
+//	8+n    4     CRC32C (Castagnoli) over bytes [0, 8+n)
+//	12+n   8     n, the payload length
+//
+// The trailing length makes truncation detectable without trusting the
+// header, and the checksum covers the header so a flipped schema or magic
+// byte is also caught. Decoding never allocates based on untrusted lengths,
+// so a hostile footer cannot OOM the reader (see FuzzDecodeShard).
+//
+// The same package provides the kill-point injector (Hooks) used by the
+// crash-consistency harnesses in internal/dataset, internal/nn and
+// internal/obs/runlog: a hook can abort before any bytes land, tear the
+// write (truncated content reaches the final path), or elide the rename
+// (complete temp file, no publish) — the three distinct failure shapes of a
+// real crash.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// SchemaVersion is the current shard-container schema. Readers reject
+// containers from a future schema instead of misinterpreting them.
+const SchemaVersion = 1
+
+const (
+	magic      = "PLCK"
+	headerSize = 8
+	footerSize = 12
+	// QuarantineDir is the subdirectory of a checkpoint Dir that receives
+	// corrupt shards.
+	QuarantineDir = "quarantine"
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Sentinel errors for the distinct shard-verification failures; all are
+// returned wrapped with context, match with errors.Is.
+var (
+	// ErrTruncated marks a shard whose byte count disagrees with its
+	// recorded payload length (torn or cut-short write).
+	ErrTruncated = errors.New("checkpoint: truncated shard")
+	// ErrCorrupt marks a shard whose checksum or framing is wrong
+	// (bit rot, foreign file, torn write that kept the length).
+	ErrCorrupt = errors.New("checkpoint: corrupt shard")
+	// ErrSchema marks a shard written by a future schema version.
+	ErrSchema = errors.New("checkpoint: unsupported shard schema")
+)
+
+// EncodeShard frames a payload in the checksummed container format.
+func EncodeShard(payload []byte) []byte {
+	out := make([]byte, headerSize+len(payload)+footerSize)
+	copy(out, magic)
+	binary.LittleEndian.PutUint16(out[4:], SchemaVersion)
+	binary.LittleEndian.PutUint16(out[6:], 0)
+	copy(out[headerSize:], payload)
+	body := out[:headerSize+len(payload)]
+	binary.LittleEndian.PutUint32(out[headerSize+len(payload):], crc32.Checksum(body, castagnoli))
+	binary.LittleEndian.PutUint64(out[headerSize+len(payload)+4:], uint64(len(payload)))
+	return out
+}
+
+// DecodeShard verifies a container and returns its payload (aliasing data).
+// It returns ErrTruncated, ErrCorrupt, or ErrSchema (wrapped) on any
+// integrity failure and never panics or allocates from untrusted lengths.
+func DecodeShard(data []byte) ([]byte, error) {
+	if len(data) < headerSize+footerSize {
+		return nil, fmt.Errorf("%w: %d bytes, need at least %d",
+			ErrTruncated, len(data), headerSize+footerSize)
+	}
+	if string(data[:4]) != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, data[:4])
+	}
+	schema := binary.LittleEndian.Uint16(data[4:])
+	if schema == 0 || schema > SchemaVersion {
+		return nil, fmt.Errorf("%w: shard schema %d, this build reads <= %d",
+			ErrSchema, schema, SchemaVersion)
+	}
+	if flags := binary.LittleEndian.Uint16(data[6:]); flags != 0 {
+		return nil, fmt.Errorf("%w: reserved flags %#04x set", ErrCorrupt, flags)
+	}
+	payloadLen := binary.LittleEndian.Uint64(data[len(data)-8:])
+	avail := uint64(len(data) - headerSize - footerSize)
+	if payloadLen != avail {
+		if payloadLen > avail {
+			return nil, fmt.Errorf("%w: footer claims %d payload bytes, only %d present",
+				ErrTruncated, payloadLen, avail)
+		}
+		return nil, fmt.Errorf("%w: footer claims %d payload bytes, %d present",
+			ErrCorrupt, payloadLen, avail)
+	}
+	body := data[:len(data)-footerSize]
+	wantCRC := binary.LittleEndian.Uint32(data[len(data)-footerSize:])
+	if got := crc32.Checksum(body, castagnoli); got != wantCRC {
+		return nil, fmt.Errorf("%w: CRC32C %08x, footer records %08x", ErrCorrupt, got, wantCRC)
+	}
+	return data[headerSize : len(data)-footerSize], nil
+}
+
+// Dir is a checkpoint directory: named, checksummed shards written
+// atomically, with corrupt shards moved to a quarantine subdirectory on
+// read. The zero value is not usable; construct with Open.
+type Dir struct {
+	root  string
+	hooks *Hooks
+}
+
+// Open creates (if needed) and write-probes a checkpoint directory, so an
+// unwritable location fails here with a clear error instead of deep inside a
+// multi-hour run.
+func Open(root string) (*Dir, error) {
+	if root == "" {
+		return nil, errors.New("checkpoint: empty directory path")
+	}
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: open %s: %w", root, err)
+	}
+	probe := filepath.Join(root, fmt.Sprintf(".probe-%d", os.Getpid()))
+	if err := os.WriteFile(probe, []byte("probe"), 0o644); err != nil {
+		return nil, fmt.Errorf("checkpoint: directory %s is not writable: %w", root, err)
+	}
+	os.Remove(probe)
+	return &Dir{root: root}, nil
+}
+
+// Root returns the directory path.
+func (d *Dir) Root() string { return d.root }
+
+// SetHooks installs (or clears, with nil) the kill-point injector consulted
+// by every subsequent Write. Production code never calls this.
+func (d *Dir) SetHooks(h *Hooks) { d.hooks = h }
+
+func (d *Dir) checkName(name string) error {
+	if name == "" || name != filepath.Base(name) || strings.HasPrefix(name, ".") {
+		return fmt.Errorf("checkpoint: invalid shard name %q", name)
+	}
+	return nil
+}
+
+// Write frames payload and writes it atomically as name inside the
+// directory. An existing shard is replaced atomically.
+func (d *Dir) Write(name string, payload []byte) error {
+	if err := d.checkName(name); err != nil {
+		return err
+	}
+	_, _, err := AtomicWrite(filepath.Join(d.root, name), EncodeShard(payload), d.hooks)
+	return err
+}
+
+// Read loads and verifies shard name. A shard that fails verification is
+// moved into the quarantine subdirectory and the verification error is
+// returned (matching ErrCorrupt / ErrTruncated / ErrSchema); a missing shard
+// returns an error matching os.ErrNotExist.
+func (d *Dir) Read(name string) ([]byte, error) {
+	if err := d.checkName(name); err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(filepath.Join(d.root, name))
+	if err != nil {
+		return nil, err
+	}
+	payload, err := DecodeShard(data)
+	if err != nil {
+		if qpath, qerr := d.Quarantine(name, reasonOf(err)); qerr == nil {
+			return nil, fmt.Errorf("shard %s quarantined to %s: %w", name, qpath, err)
+		}
+		return nil, fmt.Errorf("shard %s: %w", name, err)
+	}
+	return payload, nil
+}
+
+func reasonOf(err error) string {
+	switch {
+	case errors.Is(err, ErrTruncated):
+		return "truncated"
+	case errors.Is(err, ErrSchema):
+		return "schema"
+	default:
+		return "corrupt"
+	}
+}
+
+// Quarantine moves shard name out of the live directory into
+// quarantine/<name>.<reason>[.N], returning the destination path. Callers
+// use it directly when a shard passes the container checks but fails
+// semantic validation (bad JSON, wrong range).
+func (d *Dir) Quarantine(name, reason string) (string, error) {
+	if err := d.checkName(name); err != nil {
+		return "", err
+	}
+	qdir := filepath.Join(d.root, QuarantineDir)
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		return "", fmt.Errorf("checkpoint: quarantine dir: %w", err)
+	}
+	base := filepath.Join(qdir, name+"."+reason)
+	dst := base
+	for n := 1; ; n++ {
+		if _, err := os.Stat(dst); os.IsNotExist(err) {
+			break
+		}
+		dst = fmt.Sprintf("%s.%d", base, n)
+	}
+	if err := os.Rename(filepath.Join(d.root, name), dst); err != nil {
+		return "", fmt.Errorf("checkpoint: quarantine %s: %w", name, err)
+	}
+	return dst, nil
+}
+
+// QuarantinedCount returns how many files sit in the quarantine
+// subdirectory (0 when it does not exist).
+func (d *Dir) QuarantinedCount() int {
+	entries, err := os.ReadDir(filepath.Join(d.root, QuarantineDir))
+	if err != nil {
+		return 0
+	}
+	return len(entries)
+}
+
+// List returns the shard names matching a glob pattern (e.g. "shard-*.ckpt"),
+// sorted; temp files and the quarantine directory never match a sensible
+// shard pattern and are additionally filtered out.
+func (d *Dir) List(pattern string) ([]string, error) {
+	matches, err := filepath.Glob(filepath.Join(d.root, pattern))
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: list %q: %w", pattern, err)
+	}
+	var out []string
+	for _, m := range matches {
+		base := filepath.Base(m)
+		if strings.HasSuffix(base, tmpSuffix) || base == QuarantineDir {
+			continue
+		}
+		if fi, err := os.Stat(m); err != nil || fi.IsDir() {
+			continue
+		}
+		out = append(out, base)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Remove deletes shard name (missing is not an error).
+func (d *Dir) Remove(name string) error {
+	if err := d.checkName(name); err != nil {
+		return err
+	}
+	err := os.Remove(filepath.Join(d.root, name))
+	if err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}

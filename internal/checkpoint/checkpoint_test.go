@@ -1,0 +1,223 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, payload := range [][]byte{nil, {}, []byte("x"), []byte(`{"a":[1,2,3]}`), bytes.Repeat([]byte{0xAB}, 4096)} {
+		enc := EncodeShard(payload)
+		got, err := DecodeShard(enc)
+		if err != nil {
+			t.Fatalf("decode(%d bytes): %v", len(payload), err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("round trip changed payload: %q -> %q", payload, got)
+		}
+	}
+}
+
+func TestDecodeDetectsTruncation(t *testing.T) {
+	enc := EncodeShard([]byte("the payload that will be cut short"))
+	for cut := 0; cut < len(enc); cut++ {
+		_, err := DecodeShard(enc[:cut])
+		if err == nil {
+			t.Fatalf("truncation to %d bytes accepted", cut)
+		}
+		if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrSchema) {
+			t.Fatalf("truncation to %d: unexpected error class %v", cut, err)
+		}
+	}
+}
+
+func TestDecodeDetectsBitFlips(t *testing.T) {
+	enc := EncodeShard([]byte("bit flips anywhere must fail the checksum"))
+	for i := range enc {
+		for bit := 0; bit < 8; bit++ {
+			flipped := append([]byte(nil), enc...)
+			flipped[i] ^= 1 << bit
+			if _, err := DecodeShard(flipped); err == nil {
+				t.Fatalf("bit flip at byte %d bit %d accepted", i, bit)
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsFutureSchema(t *testing.T) {
+	enc := EncodeShard([]byte("payload"))
+	enc[4] = 0xFF // bump schema; CRC covers the header so recompute a valid container
+	body := enc[:len(enc)-12]
+	crc := CRC32C(body)
+	enc[len(enc)-12] = byte(crc)
+	enc[len(enc)-11] = byte(crc >> 8)
+	enc[len(enc)-10] = byte(crc >> 16)
+	enc[len(enc)-9] = byte(crc >> 24)
+	if _, err := DecodeShard(enc); !errors.Is(err, ErrSchema) {
+		t.Fatalf("future schema: got %v, want ErrSchema", err)
+	}
+}
+
+func TestDirWriteReadQuarantine(t *testing.T) {
+	d, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Write("shard-00001.ckpt", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Read("shard-00001.ckpt")
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("read = %q, %v", got, err)
+	}
+
+	// Bit-rot the shard on disk: Read must detect, quarantine, and error.
+	path := filepath.Join(d.Root(), "shard-00001.ckpt")
+	data, _ := os.ReadFile(path)
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = d.Read("shard-00001.ckpt")
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bit-rotted shard: got %v, want ErrCorrupt", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("corrupt shard still present in live dir")
+	}
+	if n := d.QuarantinedCount(); n != 1 {
+		t.Fatalf("quarantined count = %d, want 1", n)
+	}
+	// A second read sees a missing shard, not the corrupt bytes.
+	if _, err := d.Read("shard-00001.ckpt"); !os.IsNotExist(err) {
+		t.Fatalf("after quarantine: got %v, want not-exist", err)
+	}
+}
+
+func TestDirList(t *testing.T) {
+	d, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []string{"shard-00002.ckpt", "shard-00000.ckpt", "meta.ckpt"} {
+		if err := d.Write(n, []byte(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A leftover temp file (rename-elided crash) must not be listed.
+	if err := os.WriteFile(filepath.Join(d.Root(), "shard-00003.ckpt.tmp"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.List("shard-*.ckpt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"shard-00000.ckpt", "shard-00002.ckpt"}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("List = %v, want %v", got, want)
+	}
+}
+
+func TestOpenRejectsUnwritableDir(t *testing.T) {
+	if os.Geteuid() == 0 {
+		t.Skip("root ignores permission bits")
+	}
+	root := t.TempDir()
+	if err := os.Chmod(root, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(root, 0o755)
+	if _, err := Open(root); err == nil {
+		t.Fatal("Open accepted an unwritable directory")
+	}
+}
+
+func TestAtomicWriteKillPoints(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.ckpt")
+	good := EncodeShard([]byte("generation one"))
+	if _, _, err := AtomicWrite(path, good, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	next := EncodeShard([]byte("generation two, longer than the first payload"))
+
+	t.Run("before-write leaves the old file intact", func(t *testing.T) {
+		_, _, err := AtomicWrite(path, next, NewHooks(0, KillBeforeWrite))
+		if !errors.Is(err, ErrKilled) {
+			t.Fatalf("got %v, want ErrKilled", err)
+		}
+		data, _ := os.ReadFile(path)
+		if p, err := DecodeShard(data); err != nil || string(p) != "generation one" {
+			t.Fatalf("old file damaged: %q, %v", p, err)
+		}
+	})
+
+	t.Run("elide-rename keeps old file, leaves temp", func(t *testing.T) {
+		_, _, err := AtomicWrite(path, next, NewHooks(0, KillElideRename))
+		if !errors.Is(err, ErrKilled) {
+			t.Fatalf("got %v, want ErrKilled", err)
+		}
+		data, _ := os.ReadFile(path)
+		if p, err := DecodeShard(data); err != nil || string(p) != "generation one" {
+			t.Fatalf("old file damaged: %q, %v", p, err)
+		}
+		if _, err := os.Stat(path + ".tmp"); err != nil {
+			t.Fatalf("expected leftover temp file: %v", err)
+		}
+		os.Remove(path + ".tmp")
+	})
+
+	t.Run("torn write is detected by the decoder", func(t *testing.T) {
+		_, _, err := AtomicWrite(path, next, NewHooks(0, KillTornWrite))
+		if !errors.Is(err, ErrKilled) {
+			t.Fatalf("got %v, want ErrKilled", err)
+		}
+		data, _ := os.ReadFile(path)
+		if _, err := DecodeShard(data); err == nil {
+			t.Fatal("torn shard decoded cleanly — corruption consumed silently")
+		}
+	})
+
+	t.Run("hooks budget counts successful writes", func(t *testing.T) {
+		p2 := filepath.Join(dir, "counted.ckpt")
+		h := NewHooks(2, KillBeforeWrite)
+		for i := 0; i < 2; i++ {
+			if _, _, err := AtomicWrite(p2, good, h); err != nil {
+				t.Fatalf("write %d: %v", i, err)
+			}
+		}
+		if h.Fired() {
+			t.Fatal("kill fired early")
+		}
+		if _, _, err := AtomicWrite(p2, good, h); !errors.Is(err, ErrKilled) {
+			t.Fatalf("third write: got %v, want ErrKilled", err)
+		}
+		if !h.Fired() {
+			t.Fatal("Fired() false after kill")
+		}
+		// One-shot: after the kill the (dead) process's hooks are done.
+		if _, _, err := AtomicWrite(p2, good, h); err != nil {
+			t.Fatalf("post-kill write: %v", err)
+		}
+	})
+}
+
+func TestDigestJSONDeterministic(t *testing.T) {
+	type cfg struct {
+		A int
+		B []float64
+	}
+	d1 := MustDigestJSON(cfg{A: 1, B: []float64{0.25, -0.5}})
+	d2 := MustDigestJSON(cfg{A: 1, B: []float64{0.25, -0.5}})
+	d3 := MustDigestJSON(cfg{A: 2, B: []float64{0.25, -0.5}})
+	if d1 != d2 {
+		t.Fatalf("same value digests differ: %s vs %s", d1, d2)
+	}
+	if d1 == d3 {
+		t.Fatalf("different values share digest %s", d1)
+	}
+}

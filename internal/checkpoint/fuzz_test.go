@@ -1,0 +1,48 @@
+package checkpoint
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeShard guards the shard decoder the way internal/dataset's
+// FuzzLoad guards the dataset parser: arbitrary bytes must produce a clean
+// error or the original payload — never a panic, and never an allocation
+// driven by an untrusted length field (the decoder only slices the input).
+func FuzzDecodeShard(f *testing.F) {
+	// Valid containers.
+	f.Add(EncodeShard(nil))
+	f.Add(EncodeShard([]byte("payload")))
+	f.Add(EncodeShard(bytes.Repeat([]byte{0x5A}, 300)))
+	// Truncations at interesting boundaries.
+	full := EncodeShard([]byte(`{"shard":3,"nets":[{"i":1,"ok":true}]}`))
+	f.Add(full[:4])
+	f.Add(full[:8])
+	f.Add(full[:len(full)-12])
+	f.Add(full[:len(full)-1])
+	// Bit flips in header, payload, CRC, and length fields.
+	for _, i := range []int{0, 5, 10, len(full) - 10, len(full) - 4} {
+		flipped := append([]byte(nil), full...)
+		flipped[i] ^= 0x01
+		f.Add(flipped)
+	}
+	// A footer claiming a huge payload must not drive any allocation.
+	huge := append([]byte(nil), full...)
+	for i := len(huge) - 8; i < len(huge); i++ {
+		huge[i] = 0xFF
+	}
+	f.Add(huge)
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, err := DecodeShard(data)
+		if err != nil {
+			return
+		}
+		// An accepted container must re-encode to exactly the input bytes:
+		// the format has a single canonical encoding per payload.
+		if !bytes.Equal(EncodeShard(payload), data) {
+			t.Fatalf("accepted container is not canonical (%d bytes)", len(data))
+		}
+	})
+}

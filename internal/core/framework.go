@@ -6,10 +6,12 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"time"
 
+	"powerlens/internal/checkpoint"
 	"powerlens/internal/cluster"
 	"powerlens/internal/dataset"
 	"powerlens/internal/features"
@@ -97,12 +99,48 @@ func Deploy(p *hw.Platform, cfg DeployConfig) (*Framework, *DeployReport, error)
 // (the cmd/datasetgen → cmd/trainer path) and fills the training fields of
 // report (which may be zero-valued).
 func TrainFramework(p *hw.Platform, dsA *dataset.DatasetA, dsB *dataset.DatasetB, cfg DeployConfig, report *DeployReport) (*Framework, error) {
+	fw, err := TrainFrameworkCheckpointed(p, dsA, dsB, cfg, report, nil)
+	if err != nil {
+		return nil, err
+	}
+	return fw, nil
+}
+
+// ErrDrained is returned (wrapped) by TrainFrameworkCheckpointed when a
+// graceful stop interrupted training; the checkpoint directory holds the
+// state needed to resume exactly.
+var ErrDrained = errors.New("core: training drained on stop request")
+
+// CheckpointOptions threads crash safety through the framework trainer.
+type CheckpointOptions struct {
+	// Dir receives one state shard per model ("hyper.ckpt", "decision.ckpt").
+	Dir *checkpoint.Dir
+	// Every is the checkpoint cadence in epochs (default 1).
+	Every int
+	// Stop, when closed, requests a graceful drain; the call returns an
+	// error wrapping ErrDrained.
+	Stop <-chan struct{}
+}
+
+// TrainFrameworkCheckpointed is TrainFramework with optional crash safety:
+// each model trains under nn.TrainResumable against ck.Dir, so a killed or
+// drained run resumes bit-identically (the hyper model restores instantly
+// once done, then the decision model continues). With a nil ck it is exactly
+// TrainFramework.
+func TrainFrameworkCheckpointed(p *hw.Platform, dsA *dataset.DatasetA, dsB *dataset.DatasetB, cfg DeployConfig, report *DeployReport, ck *CheckpointOptions) (*Framework, error) {
 	if len(dsA.Samples) < 10 || len(dsB.Samples) < 10 {
 		return nil, fmt.Errorf("core: datasets too small (%d network, %d block samples)",
 			len(dsA.Samples), len(dsB.Samples))
 	}
 	report.NumBlocks = len(dsB.Samples)
 	fw := &Framework{Platform: p, Grid: dsA.Grid}
+
+	trainCk := func(name string) *nn.TrainCheckpoint {
+		if ck == nil || ck.Dir == nil {
+			return nil
+		}
+		return &nn.TrainCheckpoint{Dir: ck.Dir, Name: name, Every: ck.Every, Stop: ck.Stop}
+	}
 
 	// Hyperparameter prediction model (Fig. 3).
 	t0 := time.Now()
@@ -112,7 +150,14 @@ func TrainFramework(p *hw.Platform, dsA *dataset.DatasetA, dsB *dataset.DatasetB
 	fw.HyperModel = nn.NewTwoStageNet(
 		features.StructuralDim, features.StatsDim,
 		[]int{48, 32}, []int{48, 24}, len(dsA.Grid), cfg.Seed+2)
-	nn.Train(fw.HyperModel, fw.HyperScaler.Apply(trainA), fw.HyperScaler.Apply(valA), cfg.HyperTrain)
+	_, st, err := nn.TrainResumable(fw.HyperModel,
+		fw.HyperScaler.Apply(trainA), fw.HyperScaler.Apply(valA), cfg.HyperTrain, trainCk("hyper"))
+	if err != nil {
+		return nil, fmt.Errorf("core: hyper model: %w", err)
+	}
+	if st.Drained {
+		return nil, fmt.Errorf("core: hyper model: %w", ErrDrained)
+	}
 	report.HyperTrainTime = time.Since(t0)
 	report.HyperAccuracy = nn.Accuracy(fw.HyperModel, fw.HyperScaler.Apply(testA))
 
@@ -124,7 +169,14 @@ func TrainFramework(p *hw.Platform, dsA *dataset.DatasetA, dsB *dataset.DatasetB
 	fw.DecisionModel = nn.NewTwoStageNet(
 		features.StructuralDim, features.StatsDim,
 		[]int{64, 32}, []int{32}, dsB.NumLevels, cfg.Seed+4)
-	nn.Train(fw.DecisionModel, fw.DecisionScaler.Apply(trainB), fw.DecisionScaler.Apply(valB), cfg.DecisionTrain)
+	_, st, err = nn.TrainResumable(fw.DecisionModel,
+		fw.DecisionScaler.Apply(trainB), fw.DecisionScaler.Apply(valB), cfg.DecisionTrain, trainCk("decision"))
+	if err != nil {
+		return nil, fmt.Errorf("core: decision model: %w", err)
+	}
+	if st.Drained {
+		return nil, fmt.Errorf("core: decision model: %w", ErrDrained)
+	}
 	report.DecisionTrainTime = time.Since(t0)
 	scaledTestB := fw.DecisionScaler.Apply(testB)
 	report.DecisionAccuracy = nn.Accuracy(fw.DecisionModel, scaledTestB)

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"powerlens/internal/checkpoint"
+	"powerlens/internal/dataset"
+	"powerlens/internal/hw"
+	"powerlens/internal/nn"
+)
+
+// modelBytes serializes a model's weights (the exported fields: W, B, ReLU)
+// for bit-exact comparison across training runs.
+func modelBytes(t *testing.T, n *nn.TwoStageNet) []byte {
+	t.Helper()
+	data, err := json.Marshal(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// The framework trainer must survive drain and kill mid-training and, on
+// resume, produce exactly the models an uninterrupted run would have.
+func TestTrainFrameworkCheckpointedResume(t *testing.T) {
+	p := hw.TX2()
+	cfg := DefaultDeployConfig()
+	cfg.NumNetworks = 30
+	cfg.HyperTrain.Epochs = 6
+	cfg.DecisionTrain.Epochs = 6
+	dsA, dsB := dataset.Generate(p, dataset.DefaultConfig(cfg.NumNetworks, cfg.Seed))
+
+	refReport := &DeployReport{}
+	ref, err := TrainFramework(p, dsA, dsB, cfg, refReport)
+	if err != nil {
+		t.Fatalf("reference: %v", err)
+	}
+
+	dir, err := checkpoint.Open(filepath.Join(t.TempDir(), "ck"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A pre-closed Stop drains immediately with ErrDrained.
+	stop := make(chan struct{})
+	close(stop)
+	if _, err := TrainFrameworkCheckpointed(p, dsA, dsB, cfg, &DeployReport{},
+		&CheckpointOptions{Dir: dir, Stop: stop}); !errors.Is(err, ErrDrained) {
+		t.Fatalf("drain: err = %v, want ErrDrained", err)
+	}
+
+	// Kill partway into training (a few epoch checkpoints land first).
+	dir.SetHooks(checkpoint.NewHooks(3, checkpoint.KillElideRename))
+	if _, err := TrainFrameworkCheckpointed(p, dsA, dsB, cfg, &DeployReport{},
+		&CheckpointOptions{Dir: dir, Every: 1}); !errors.Is(err, checkpoint.ErrKilled) {
+		t.Fatalf("kill: err = %v, want ErrKilled", err)
+	}
+	dir.SetHooks(nil)
+
+	// Resume to completion and compare against the uninterrupted reference.
+	gotReport := &DeployReport{}
+	got, err := TrainFrameworkCheckpointed(p, dsA, dsB, cfg, gotReport,
+		&CheckpointOptions{Dir: dir, Every: 1})
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if !bytes.Equal(modelBytes(t, got.HyperModel), modelBytes(t, ref.HyperModel)) {
+		t.Error("hyper model weights diverged from uninterrupted run")
+	}
+	if !bytes.Equal(modelBytes(t, got.DecisionModel), modelBytes(t, ref.DecisionModel)) {
+		t.Error("decision model weights diverged from uninterrupted run")
+	}
+	if gotReport.HyperAccuracy != refReport.HyperAccuracy ||
+		gotReport.DecisionAccuracy != refReport.DecisionAccuracy {
+		t.Errorf("accuracies diverged: %v/%v vs %v/%v",
+			gotReport.HyperAccuracy, gotReport.DecisionAccuracy,
+			refReport.HyperAccuracy, refReport.DecisionAccuracy)
+	}
+}

@@ -1,0 +1,395 @@
+package dataset
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"powerlens/internal/checkpoint"
+	"powerlens/internal/cluster"
+	"powerlens/internal/hw"
+	"powerlens/internal/nn"
+)
+
+// Checkpoint file names inside the directory: one meta shard pinning the
+// run's configuration, plus one shard per ShardSize networks.
+const (
+	metaShardName   = "meta.ckpt"
+	shardNameFormat = "shard-%05d.ckpt"
+	shardGlob       = "shard-*.ckpt"
+
+	// DefaultShardSize is the networks-per-shard granularity: small enough
+	// that a crash loses at most a few minutes of the full-scale run, large
+	// enough that shard I/O is noise against the oracle sweeps.
+	DefaultShardSize = 64
+)
+
+// genMetaSchema versions the checkpoint metadata payload (inside the
+// container, which has its own schema for the framing).
+const genMetaSchema = 1
+
+// genMeta pins the configuration a checkpoint directory belongs to. Resume
+// refuses to mix checkpoints across configurations: a shard's CRC proves
+// integrity, the meta digest proves provenance.
+type genMeta struct {
+	Schema      int    `json:"schema"`
+	Platform    string `json:"platform"`
+	Seed        int64  `json:"seed"`
+	NumNetworks int    `json:"numNetworks"`
+	ShardSize   int    `json:"shardSize"`
+	// ConfigDigest fingerprints the grid and generator config, the two
+	// remaining inputs that shape every sample.
+	ConfigDigest string `json:"configDigest"`
+}
+
+// shardNet is one network's serialized result. Index is absolute, so a
+// shard can hold any subset of its range (a drain flushes partially
+// complete shards; resume fills in the rest).
+type shardNet struct {
+	Index int         `json:"i"`
+	OK    bool        `json:"ok"`
+	A     nn.Sample   `json:"a,omitempty"`
+	B     []nn.Sample `json:"b,omitempty"`
+}
+
+// shardPayload is the JSON payload inside one checkpoint shard container.
+type shardPayload struct {
+	Shard int        `json:"shard"`
+	Nets  []shardNet `json:"nets"`
+}
+
+// CheckpointOptions controls crash-safe generation.
+type CheckpointOptions struct {
+	// Dir receives the checkpoint shards; nil disables checkpointing (the
+	// call degrades to Generate).
+	Dir *checkpoint.Dir
+	// ShardSize is the networks-per-shard granularity (default
+	// DefaultShardSize). Resume requires the same value the directory was
+	// created with.
+	ShardSize int
+	// Stop, when closed, drains the run: in-flight networks finish, every
+	// shard with new results is flushed, and GenerateCheckpointed returns
+	// with Drained set instead of datasets.
+	Stop <-chan struct{}
+	// Logf receives progress and quarantine notices (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+// GenStatus reports how a checkpointed generation run ended.
+type GenStatus struct {
+	// Drained is true when Stop fired before all networks were generated;
+	// the datasets are nil and a later call resumes from the flushed shards.
+	Drained bool
+	// ResumedNetworks counts results restored from verified shards.
+	ResumedNetworks int
+	// QuarantinedShards counts shards that failed verification (container
+	// or semantic) and were moved to quarantine; their networks recompute.
+	QuarantinedShards int
+	// ShardsWritten counts shard flushes performed by this call.
+	ShardsWritten int
+}
+
+func (o CheckpointOptions) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+func shardName(s int) string { return fmt.Sprintf(shardNameFormat, s) }
+
+func genConfigDigest(cfg Config) string {
+	return checkpoint.MustDigestJSON(struct {
+		Grid   []cluster.Hyperparams
+		GenCfg any
+	}{cfg.Grid, cfg.GenCfg})
+}
+
+// GenerateCheckpointed is Generate with crash safety: completed networks are
+// checkpointed in shards as they finish, a restart skips every shard that
+// verifies, and the final datasets are byte-identical to an uninterrupted
+// Generate for any worker count and any kill/resume history. Corrupt or
+// truncated shards are detected via their CRC32C/length footer and
+// quarantined, never consumed.
+func GenerateCheckpointed(p *hw.Platform, cfg Config, opt CheckpointOptions) (*DatasetA, *DatasetB, *GenStatus, error) {
+	st := &GenStatus{}
+	if opt.Dir == nil {
+		a, b := Generate(p, cfg)
+		return a, b, st, nil
+	}
+	shardSize := opt.ShardSize
+	if shardSize <= 0 {
+		shardSize = DefaultShardSize
+	}
+	if cfg.NumNetworks < 0 {
+		return nil, nil, st, fmt.Errorf("dataset: negative network count %d", cfg.NumNetworks)
+	}
+	numShards := (cfg.NumNetworks + shardSize - 1) / shardSize
+
+	meta := genMeta{
+		Schema:       genMetaSchema,
+		Platform:     p.Name,
+		Seed:         cfg.Seed,
+		NumNetworks:  cfg.NumNetworks,
+		ShardSize:    shardSize,
+		ConfigDigest: genConfigDigest(cfg),
+	}
+	if err := reconcileMeta(opt.Dir, meta, st, opt.logf); err != nil {
+		return nil, nil, st, err
+	}
+
+	results := make([]netResult, cfg.NumNetworks)
+	done := make([]bool, cfg.NumNetworks)
+	savedCount := make([]int, numShards)
+	doneCount := make([]int, numShards)
+	restoreShards(opt.Dir, meta, results, done, savedCount, st, opt.logf)
+	for i, d := range done {
+		if d {
+			doneCount[i/shardSize]++
+		}
+	}
+
+	var pending []int
+	for i := range done {
+		if !done[i] {
+			pending = append(pending, i)
+		}
+	}
+
+	writeShard := func(s int) error {
+		lo, hi := s*shardSize, (s+1)*shardSize
+		if hi > cfg.NumNetworks {
+			hi = cfg.NumNetworks
+		}
+		sp := shardPayload{Shard: s}
+		for i := lo; i < hi; i++ {
+			if !done[i] {
+				continue
+			}
+			r := results[i]
+			net := shardNet{Index: i, OK: r.ok}
+			if r.ok {
+				net.A, net.B = r.aSample, r.bSamples
+			}
+			sp.Nets = append(sp.Nets, net)
+		}
+		payload, err := json.Marshal(sp)
+		if err != nil {
+			return fmt.Errorf("dataset: encode shard %d: %w", s, err)
+		}
+		if err := opt.Dir.Write(shardName(s), payload); err != nil {
+			return fmt.Errorf("dataset: checkpoint shard %d: %w", s, err)
+		}
+		savedCount[s] = len(sp.Nets)
+		st.ShardsWritten++
+		return nil
+	}
+
+	drained := false
+	var writeErr error
+	if len(pending) > 0 {
+		workers := clampWorkers(cfg.Workers, len(pending))
+		order := canonicalOrder(cfg.Grid)
+
+		type indexed struct {
+			i   int
+			res netResult
+		}
+		idx := make(chan int)
+		out := make(chan indexed, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var sc cluster.Scratch
+				for i := range idx {
+					out <- indexed{i, computeNet(p, cfg, order, &sc, i)}
+				}
+			}()
+		}
+		// The dispatcher stops feeding when Stop fires; workers then drain
+		// their in-flight network and exit. drained is read only after the
+		// out channel closes, which the close(idx)->wg.Wait chain orders.
+		go func() {
+			defer close(idx)
+			for _, i := range pending {
+				select {
+				case <-opt.Stop:
+					drained = true
+					return
+				case idx <- i:
+				}
+			}
+		}()
+		go func() {
+			wg.Wait()
+			close(out)
+		}()
+		for ir := range out {
+			results[ir.i] = ir.res
+			done[ir.i] = true
+			s := ir.i / shardSize
+			doneCount[s]++
+			if writeErr == nil && doneCount[s] == shardLen(s, shardSize, cfg.NumNetworks) {
+				writeErr = writeShard(s)
+			}
+		}
+	}
+	if writeErr != nil {
+		return nil, nil, st, writeErr
+	}
+	if drained {
+		// Flush every shard holding results the directory does not have yet,
+		// so the drain loses nothing that finished.
+		for s := 0; s < numShards; s++ {
+			if doneCount[s] > savedCount[s] {
+				if err := writeShard(s); err != nil {
+					return nil, nil, st, err
+				}
+			}
+		}
+		st.Drained = true
+		opt.logf("dataset: drained with %d/%d networks checkpointed", completed(done), cfg.NumNetworks)
+		return nil, nil, st, nil
+	}
+	a, b := assemble(p, cfg, results)
+	return a, b, st, nil
+}
+
+func shardLen(s, shardSize, total int) int {
+	lo, hi := s*shardSize, (s+1)*shardSize
+	if hi > total {
+		hi = total
+	}
+	return hi - lo
+}
+
+func completed(done []bool) int {
+	n := 0
+	for _, d := range done {
+		if d {
+			n++
+		}
+	}
+	return n
+}
+
+// reconcileMeta verifies the directory belongs to this configuration. A
+// missing or corrupt meta with shards present means the shards' provenance
+// is unknowable: they are quarantined wholesale and the run starts fresh. A
+// readable meta that disagrees with the configuration is a hard error — the
+// caller pointed resume at the wrong directory.
+func reconcileMeta(dir *checkpoint.Dir, want genMeta, st *GenStatus, logf func(string, ...any)) error {
+	payload, err := dir.Read(metaShardName)
+	switch {
+	case err == nil:
+		var have genMeta
+		if jerr := json.Unmarshal(payload, &have); jerr == nil && have.Schema == genMetaSchema {
+			if have != want {
+				return fmt.Errorf("dataset: checkpoint dir %s belongs to a different run "+
+					"(have platform=%s seed=%d networks=%d shard=%d digest=%s, "+
+					"want platform=%s seed=%d networks=%d shard=%d digest=%s); use a fresh directory",
+					dir.Root(),
+					have.Platform, have.Seed, have.NumNetworks, have.ShardSize, have.ConfigDigest,
+					want.Platform, want.Seed, want.NumNetworks, want.ShardSize, want.ConfigDigest)
+			}
+			return nil
+		}
+		// Container verified but payload is not ours: quarantine it and fall
+		// through to the fresh-directory path.
+		if _, qerr := dir.Quarantine(metaShardName, "semantic"); qerr == nil {
+			st.QuarantinedShards++
+			logf("dataset: quarantined unreadable checkpoint meta")
+		}
+	case os.IsNotExist(err):
+		// Fresh directory (or meta lost): handled below.
+	default:
+		// Corrupt meta was quarantined by Read.
+		st.QuarantinedShards++
+		logf("dataset: quarantined corrupt checkpoint meta: %v", err)
+	}
+
+	// No trustworthy meta. Any existing shards have unknown provenance —
+	// quarantine them rather than risk mixing configurations.
+	shards, lerr := dir.List(shardGlob)
+	if lerr != nil {
+		return lerr
+	}
+	for _, name := range shards {
+		if _, qerr := dir.Quarantine(name, "no-meta"); qerr == nil {
+			st.QuarantinedShards++
+			logf("dataset: quarantined %s (no checkpoint meta to vouch for it)", name)
+		}
+	}
+	payloadOut, merr := json.Marshal(want)
+	if merr != nil {
+		return fmt.Errorf("dataset: encode checkpoint meta: %w", merr)
+	}
+	if werr := dir.Write(metaShardName, payloadOut); werr != nil {
+		return fmt.Errorf("dataset: write checkpoint meta: %w", werr)
+	}
+	return nil
+}
+
+// restoreShards loads every verifiable shard, marking its networks done.
+// Shards that fail container verification are quarantined by Dir.Read;
+// shards that verify but carry out-of-range or duplicate indices are
+// quarantined here. Either way their networks recompute — detection over
+// silent consumption.
+func restoreShards(dir *checkpoint.Dir, meta genMeta, results []netResult, done []bool,
+	savedCount []int, st *GenStatus, logf func(string, ...any)) {
+	numShards := len(savedCount)
+	for s := 0; s < numShards; s++ {
+		name := shardName(s)
+		payload, err := dir.Read(name)
+		if os.IsNotExist(err) {
+			continue
+		}
+		if err != nil {
+			st.QuarantinedShards++
+			logf("dataset: %v", err)
+			continue
+		}
+		var sp shardPayload
+		if jerr := json.Unmarshal(payload, &sp); jerr != nil || !shardValid(sp, s, meta) {
+			if _, qerr := dir.Quarantine(name, "semantic"); qerr == nil {
+				st.QuarantinedShards++
+				logf("dataset: quarantined %s (invalid shard payload)", name)
+			}
+			continue
+		}
+		for _, net := range sp.Nets {
+			r := netResult{ok: net.OK}
+			if net.OK {
+				r.aSample, r.bSamples = net.A, net.B
+			}
+			results[net.Index] = r
+			done[net.Index] = true
+			st.ResumedNetworks++
+		}
+		savedCount[s] = len(sp.Nets)
+	}
+}
+
+// shardValid checks a decoded shard's semantic invariants against the meta.
+func shardValid(sp shardPayload, s int, meta genMeta) bool {
+	if sp.Shard != s {
+		return false
+	}
+	lo, hi := s*meta.ShardSize, (s+1)*meta.ShardSize
+	if hi > meta.NumNetworks {
+		hi = meta.NumNetworks
+	}
+	seen := make(map[int]bool, len(sp.Nets))
+	for _, net := range sp.Nets {
+		if net.Index < lo || net.Index >= hi || seen[net.Index] {
+			return false
+		}
+		if net.OK && len(net.A.Structural) == 0 {
+			return false
+		}
+		seen[net.Index] = true
+	}
+	return true
+}

@@ -1,0 +1,312 @@
+package dataset
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"powerlens/internal/checkpoint"
+	"powerlens/internal/hw"
+)
+
+// savedBytes runs the datasets through Save — the real output path — and
+// returns the file bytes, the unit of the byte-identity guarantee.
+func savedBytes(t *testing.T, platform string, a *DatasetA, b *DatasetB) []byte {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "ds.json")
+	if err := Save(path, platform, a, b); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// refCache memoizes uninterrupted reference outputs across the crash tests
+// (several share a configuration; regenerating under -race is expensive).
+var refCache = map[string][]byte{}
+
+func referenceBytes(t *testing.T, p *hw.Platform, cfg Config) []byte {
+	t.Helper()
+	key := fmt.Sprintf("%s-%d-%d", p.Name, cfg.NumNetworks, cfg.Seed)
+	if data, ok := refCache[key]; ok {
+		return data
+	}
+	a, b := Generate(p, cfg)
+	data := savedBytes(t, p.Name, a, b)
+	refCache[key] = data
+	return data
+}
+
+// resumeUntilComplete re-invokes GenerateCheckpointed against dir until a
+// call completes, cycling worker counts so resume correctness cannot depend
+// on scheduling. kill installs the next run's hooks (nil = run clean).
+func resumeUntilComplete(t *testing.T, p *hw.Platform, cfg Config, dir *checkpoint.Dir,
+	kill func(attempt int) *checkpoint.Hooks) (*DatasetA, *DatasetB, GenStatus, int) {
+	t.Helper()
+	total := GenStatus{}
+	for attempt := 0; attempt < 50; attempt++ {
+		cfg.Workers = 1 + attempt%3
+		dir.SetHooks(kill(attempt))
+		a, b, st, err := GenerateCheckpointed(p, cfg, CheckpointOptions{Dir: dir, ShardSize: 4})
+		total.ResumedNetworks += st.ResumedNetworks
+		total.QuarantinedShards += st.QuarantinedShards
+		total.ShardsWritten += st.ShardsWritten
+		if err != nil {
+			if !errors.Is(err, checkpoint.ErrKilled) {
+				t.Fatalf("attempt %d: unexpected error: %v", attempt, err)
+			}
+			continue // "crashed"; next attempt resumes
+		}
+		if st.Drained {
+			t.Fatalf("attempt %d: drained without a Stop channel", attempt)
+		}
+		return a, b, total, attempt + 1
+	}
+	t.Fatal("never completed within 50 attempts")
+	return nil, nil, total, 0
+}
+
+// TestGenerateCheckpointedMatchesGenerate pins the zero-interruption
+// contract: with checkpointing on, any worker count and shard size produces
+// a dataset file byte-identical to plain Generate.
+func TestGenerateCheckpointedMatchesGenerate(t *testing.T) {
+	p := hw.TX2()
+	cfg := DefaultConfig(12, 5)
+	want := referenceBytes(t, p, cfg)
+	for _, workers := range []int{1, 3} {
+		for _, shard := range []int{1, 5} {
+			dir, err := checkpoint.Open(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Workers = workers
+			a, b, st, err := GenerateCheckpointed(p, cfg, CheckpointOptions{Dir: dir, ShardSize: shard})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.ResumedNetworks != 0 || st.Drained {
+				t.Fatalf("fresh run status = %+v", st)
+			}
+			if got := savedBytes(t, p.Name, a, b); !bytes.Equal(got, want) {
+				t.Fatalf("workers=%d shard=%d: output differs from Generate", workers, shard)
+			}
+			// A second call over the complete directory restores everything.
+			a, b, st, err = GenerateCheckpointed(p, cfg, CheckpointOptions{Dir: dir, ShardSize: shard})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.ResumedNetworks != cfg.NumNetworks {
+				t.Fatalf("full resume restored %d/%d networks", st.ResumedNetworks, cfg.NumNetworks)
+			}
+			if got := savedBytes(t, p.Name, a, b); !bytes.Equal(got, want) {
+				t.Fatal("fully resumed output differs")
+			}
+		}
+	}
+}
+
+// TestGenerateKillResumeByteIdentical sweeps every kill mode over a range of
+// kill points: each killed run is resumed until completion and the final
+// file must match the uninterrupted reference byte for byte. Torn shards
+// must be counted as quarantined — detected, never consumed.
+func TestGenerateKillResumeByteIdentical(t *testing.T) {
+	p := hw.TX2()
+	cfg := DefaultConfig(12, 5)
+	want := referenceBytes(t, p, cfg)
+	for _, mode := range []checkpoint.KillMode{
+		checkpoint.KillBeforeWrite, checkpoint.KillTornWrite, checkpoint.KillElideRename,
+	} {
+		for failAfter := 0; failAfter <= 2; failAfter++ {
+			dir, err := checkpoint.Open(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			killed := false
+			a, b, st, attempts := resumeUntilComplete(t, p, cfg, dir, func(attempt int) *checkpoint.Hooks {
+				if attempt == 0 {
+					killed = true
+					return checkpoint.NewHooks(failAfter, mode)
+				}
+				return nil
+			})
+			if got := savedBytes(t, p.Name, a, b); !bytes.Equal(got, want) {
+				t.Fatalf("mode=%v failAfter=%d: resumed output differs", mode, failAfter)
+			}
+			if killed && mode == checkpoint.KillTornWrite && st.QuarantinedShards == 0 {
+				t.Fatalf("mode=%v failAfter=%d: torn shard was not quarantined (attempts=%d)",
+					mode, failAfter, attempts)
+			}
+			if st.QuarantinedShards != dir.QuarantinedCount() {
+				t.Fatalf("quarantine accounting: status says %d, directory holds %d",
+					st.QuarantinedShards, dir.QuarantinedCount())
+			}
+		}
+	}
+}
+
+// TestGenerateCrashResumeRandomized is the randomized kill/resume loop of
+// the acceptance criteria: seeded-random kill points and modes, resumes
+// under rotating worker counts, always converging to the reference bytes.
+func TestGenerateCrashResumeRandomized(t *testing.T) {
+	p := hw.TX2()
+	cfg := DefaultConfig(12, 11)
+	want := referenceBytes(t, p, cfg)
+	modes := []checkpoint.KillMode{
+		checkpoint.KillBeforeWrite, checkpoint.KillTornWrite, checkpoint.KillElideRename,
+	}
+	rounds := 3
+	if testing.Short() {
+		rounds = 1
+	}
+	for round := 0; round < rounds; round++ {
+		rng := rand.New(rand.NewSource(int64(1000 + round)))
+		dir, err := checkpoint.Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b, _, _ := resumeUntilComplete(t, p, cfg, dir, func(attempt int) *checkpoint.Hooks {
+			if rng.Intn(3) == 0 {
+				return nil // let this attempt run clean
+			}
+			return checkpoint.NewHooks(rng.Intn(4), modes[rng.Intn(len(modes))])
+		})
+		if got := savedBytes(t, p.Name, a, b); !bytes.Equal(got, want) {
+			t.Fatalf("round %d: resumed output differs from reference", round)
+		}
+	}
+}
+
+// TestGenerateBitRotDetected flips one byte of a completed shard on disk:
+// the resume must quarantine it, recompute its networks, and still emit the
+// reference bytes.
+func TestGenerateBitRotDetected(t *testing.T) {
+	p := hw.TX2()
+	cfg := DefaultConfig(12, 9)
+	want := referenceBytes(t, p, cfg)
+	dir, err := checkpoint.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := GenerateCheckpointed(p, cfg, CheckpointOptions{Dir: dir, ShardSize: 4}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir.Root(), shardName(1))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/3] ^= 0x10
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	a, b, st, err := GenerateCheckpointed(p, cfg, CheckpointOptions{Dir: dir, ShardSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.QuarantinedShards != 1 {
+		t.Fatalf("quarantined %d shards, want 1", st.QuarantinedShards)
+	}
+	if st.ResumedNetworks != cfg.NumNetworks-4 {
+		t.Fatalf("resumed %d networks, want %d", st.ResumedNetworks, cfg.NumNetworks-4)
+	}
+	if got := savedBytes(t, p.Name, a, b); !bytes.Equal(got, want) {
+		t.Fatal("output after bit-rot recovery differs")
+	}
+}
+
+// TestGenerateDrainAndResume exercises the graceful-shutdown path: a closed
+// Stop channel drains the run (in-flight networks finish, shards flush),
+// and a later call completes to the reference bytes.
+func TestGenerateDrainAndResume(t *testing.T) {
+	p := hw.TX2()
+	cfg := DefaultConfig(12, 7)
+	cfg.Workers = 2
+	want := referenceBytes(t, p, cfg)
+	dir, err := checkpoint.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	close(stop)
+	a, b, st, err := GenerateCheckpointed(p, cfg, CheckpointOptions{Dir: dir, ShardSize: 4, Stop: stop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Drained {
+		if a != nil || b != nil {
+			t.Fatal("drained run returned datasets")
+		}
+	} else {
+		// The dispatcher raced past the closed channel every time (possible
+		// but vanishingly rare) — the run simply completed.
+		t.Logf("drain race: run completed despite closed Stop")
+	}
+	a, b, st, err = GenerateCheckpointed(p, cfg, CheckpointOptions{Dir: dir, ShardSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Drained {
+		t.Fatal("resume without Stop drained")
+	}
+	if got := savedBytes(t, p.Name, a, b); !bytes.Equal(got, want) {
+		t.Fatal("post-drain resume output differs")
+	}
+}
+
+// TestGenerateCheckpointMetaMismatch pins the provenance guard: resuming
+// with a different seed against the same directory must fail loudly.
+func TestGenerateCheckpointMetaMismatch(t *testing.T) {
+	p := hw.TX2()
+	dir, err := checkpoint.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := GenerateCheckpointed(p, DefaultConfig(8, 1), CheckpointOptions{Dir: dir, ShardSize: 4}); err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, err = GenerateCheckpointed(p, DefaultConfig(8, 2), CheckpointOptions{Dir: dir, ShardSize: 4})
+	if err == nil || !strings.Contains(err.Error(), "different run") {
+		t.Fatalf("seed mismatch not rejected: %v", err)
+	}
+	// Same seed, different shard size is a different layout — also rejected.
+	_, _, _, err = GenerateCheckpointed(p, DefaultConfig(8, 1), CheckpointOptions{Dir: dir, ShardSize: 2})
+	if err == nil || !strings.Contains(err.Error(), "different run") {
+		t.Fatalf("shard-size mismatch not rejected: %v", err)
+	}
+}
+
+// TestGenerateShardsWithoutMetaQuarantined: shards whose meta vanished have
+// unknown provenance; resume must quarantine them all and recompute.
+func TestGenerateShardsWithoutMetaQuarantined(t *testing.T) {
+	p := hw.TX2()
+	cfg := DefaultConfig(8, 3)
+	want := referenceBytes(t, p, cfg)
+	dir, err := checkpoint.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := GenerateCheckpointed(p, cfg, CheckpointOptions{Dir: dir, ShardSize: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir.Root(), metaShardName)); err != nil {
+		t.Fatal(err)
+	}
+	a, b, st, err := GenerateCheckpointed(p, cfg, CheckpointOptions{Dir: dir, ShardSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ResumedNetworks != 0 || st.QuarantinedShards != 2 {
+		t.Fatalf("status = %+v, want 0 resumed / 2 quarantined", st)
+	}
+	if got := savedBytes(t, p.Name, a, b); !bytes.Equal(got, want) {
+		t.Fatal("output after meta loss differs")
+	}
+}

@@ -84,28 +84,74 @@ type DatasetB struct {
 	NumLevels int
 }
 
+// netResult is one network's contribution to the datasets. Checkpoint
+// shards serialize it (see checkpoint.go), so restored results must equal
+// freshly computed ones bit-for-bit — which they do, because computeNet is a
+// pure function of (cfg, i).
+type netResult struct {
+	aSample  nn.Sample
+	bSamples []nn.Sample
+	ok       bool
+}
+
+// computeNet generates and sweeps network i: the per-network seed derives
+// from cfg.Seed alone, so the result is deterministic and independent of
+// scheduling, worker count, and resume history.
+func computeNet(p *hw.Platform, cfg Config, order []int, sc *cluster.Scratch, i int) netResult {
+	rng := rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(i)))
+	g := models.RandomDNN(rng, cfg.GenCfg, i)
+	bestCell, view, levels := bestClustering(p, g, cfg.Grid, order, !cfg.disableCostCache, sc)
+	if bestCell < 0 {
+		return netResult{}
+	}
+	gl := features.ExtractGlobal(g)
+	r := netResult{ok: true, aSample: nn.Sample{
+		Structural: gl.Structural, Stats: gl.Stats, Label: bestCell,
+	}}
+	for bi, b := range view.Blocks {
+		bg := features.ExtractBlockGlobal(g, b.StartLayer, b.EndLayer)
+		r.bSamples = append(r.bSamples, nn.Sample{
+			Structural: bg.Structural, Stats: bg.Stats, Label: levels[bi],
+		})
+	}
+	return r
+}
+
+// clampWorkers resolves a worker-count knob against the job size.
+func clampWorkers(workers, jobs int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > jobs {
+		workers = jobs
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// assemble folds per-network results (index order) into the two datasets.
+func assemble(p *hw.Platform, cfg Config, results []netResult) (*DatasetA, *DatasetB) {
+	dsA := &DatasetA{Grid: cfg.Grid}
+	dsB := &DatasetB{NumLevels: p.NumGPULevels()}
+	for _, r := range results {
+		if !r.ok {
+			continue
+		}
+		dsA.Samples = append(dsA.Samples, r.aSample)
+		dsB.Samples = append(dsB.Samples, r.bSamples...)
+	}
+	return dsA, dsB
+}
+
 // Generate produces both datasets for one platform. Networks are processed
 // by a worker pool (the grid sweep per network is independent), with
 // per-network seeds derived from cfg.Seed so results are deterministic and
 // independent of scheduling.
 func Generate(p *hw.Platform, cfg Config) (*DatasetA, *DatasetB) {
-	type netResult struct {
-		aSample  nn.Sample
-		bSamples []nn.Sample
-		ok       bool
-	}
 	results := make([]netResult, cfg.NumNetworks)
-
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > cfg.NumNetworks {
-		workers = cfg.NumNetworks
-	}
-	if workers < 1 {
-		workers = 1
-	}
+	workers := clampWorkers(cfg.Workers, cfg.NumNetworks)
 	// The canonical tie-break order depends only on the shared grid: compute
 	// it once here instead of once per network inside the sweep.
 	order := canonicalOrder(cfg.Grid)
@@ -117,23 +163,7 @@ func Generate(p *hw.Platform, cfg Config) (*DatasetA, *DatasetB) {
 			defer wg.Done()
 			var sc cluster.Scratch
 			for i := range idx {
-				rng := rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(i)))
-				g := models.RandomDNN(rng, cfg.GenCfg, i)
-				bestCell, view, levels := bestClustering(p, g, cfg.Grid, order, !cfg.disableCostCache, &sc)
-				if bestCell < 0 {
-					continue
-				}
-				gl := features.ExtractGlobal(g)
-				r := netResult{ok: true, aSample: nn.Sample{
-					Structural: gl.Structural, Stats: gl.Stats, Label: bestCell,
-				}}
-				for bi, b := range view.Blocks {
-					bg := features.ExtractBlockGlobal(g, b.StartLayer, b.EndLayer)
-					r.bSamples = append(r.bSamples, nn.Sample{
-						Structural: bg.Structural, Stats: bg.Stats, Label: levels[bi],
-					})
-				}
-				results[i] = r
+				results[i] = computeNet(p, cfg, order, &sc, i)
 			}
 		}()
 	}
@@ -143,16 +173,7 @@ func Generate(p *hw.Platform, cfg Config) (*DatasetA, *DatasetB) {
 	close(idx)
 	wg.Wait()
 
-	dsA := &DatasetA{Grid: cfg.Grid}
-	dsB := &DatasetB{NumLevels: p.NumGPULevels()}
-	for _, r := range results {
-		if !r.ok {
-			continue
-		}
-		dsA.Samples = append(dsA.Samples, r.aSample)
-		dsB.Samples = append(dsB.Samples, r.bSamples...)
-	}
-	return dsA, dsB
+	return assemble(p, cfg, results)
 }
 
 // BestClustering sweeps the hyperparameter grid over g, evaluating each

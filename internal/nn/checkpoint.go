@@ -1,0 +1,311 @@
+package nn
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+
+	"powerlens/internal/checkpoint"
+)
+
+// trainStateSchema versions the training-checkpoint payload inside the
+// generic shard container (which has its own schema for the framing).
+const trainStateSchema = 1
+
+// ErrCheckpointMismatch marks a structurally valid checkpoint written by a
+// different training run (other config, network shape, or data). Resuming it
+// would splice two unrelated trajectories, so it is a hard error rather than
+// a silent restart.
+var ErrCheckpointMismatch = errors.New("nn: checkpoint belongs to a different training run")
+
+// TrainCheckpoint configures crash safety for TrainResumable.
+type TrainCheckpoint struct {
+	// Dir receives the state shard; required.
+	Dir *checkpoint.Dir
+	// Name distinguishes multiple models sharing one directory (the state
+	// file is <Name>.ckpt); required, no path separators.
+	Name string
+	// Every is the checkpoint cadence in epochs (default 1).
+	Every int
+	// Stop, when closed, requests a graceful drain: the in-flight epoch
+	// finishes, state is saved, and TrainResumable returns with
+	// TrainStatus.Drained set.
+	Stop <-chan struct{}
+}
+
+// TrainStatus reports how a TrainResumable call interacted with its
+// checkpoint.
+type TrainStatus struct {
+	// ResumedEpochs is how many completed epochs were restored from the
+	// checkpoint (0 on a fresh start).
+	ResumedEpochs int
+	// Drained is true when training stopped early on Stop; the returned
+	// history covers only the completed epochs and the checkpoint allows an
+	// exact resume.
+	Drained bool
+	// Quarantined is true when an existing checkpoint failed verification
+	// and was quarantined; training restarted from scratch.
+	Quarantined bool
+}
+
+func (ck *TrainCheckpoint) validate() error {
+	if ck.Dir == nil {
+		return errors.New("nn: TrainCheckpoint.Dir is nil")
+	}
+	if ck.Name == "" {
+		return errors.New("nn: TrainCheckpoint.Name is empty")
+	}
+	return nil
+}
+
+func (ck *TrainCheckpoint) file() string { return ck.Name + ".ckpt" }
+
+func (ck *TrainCheckpoint) every() int {
+	if ck.Every <= 0 {
+		return 1
+	}
+	return ck.Every
+}
+
+// trainState is the serialized optimizer state. All float64 slices are
+// packed as raw IEEE-754 bits (packFloats) so the round trip is bit-exact
+// regardless of JSON float formatting; scalar floats survive Go's JSON
+// shortest-representation encoding exactly as well.
+type trainState struct {
+	Schema    int          `json:"schema"`
+	Digest    string       `json:"digest"`
+	Epoch     int          `json:"epoch"` // completed epochs
+	StepNum   int          `json:"stepNum"`
+	BestVal   float64      `json:"bestVal"`
+	SinceBest int          `json:"sinceBest"`
+	BestEpoch int          `json:"bestEpoch"`
+	Done      bool         `json:"done"`
+	TrainLoss []byte       `json:"trainLoss,omitempty"`
+	ValAcc    []byte       `json:"valAcc,omitempty"`
+	Layers    []layerState `json:"layers"`
+}
+
+// layerState holds one layer's weights and optimizer moments. Gradient
+// accumulators are always zero at epoch boundaries (every step zeroes them),
+// so they are not saved.
+type layerState struct {
+	W  []byte `json:"w"`
+	B  []byte `json:"b"`
+	MW []byte `json:"mw"`
+	VW []byte `json:"vw"`
+	MB []byte `json:"mb"`
+	VB []byte `json:"vb"`
+}
+
+// packFloats encodes floats as little-endian IEEE-754 bits, bit-exact for
+// every value including NaNs and signed zeros.
+func packFloats(v []float64) []byte {
+	out := make([]byte, 8*len(v))
+	for i, f := range v {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(f))
+	}
+	return out
+}
+
+func unpackFloats(b []byte) ([]float64, error) {
+	if len(b)%8 != 0 {
+		return nil, fmt.Errorf("nn: packed float block of %d bytes", len(b))
+	}
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out, nil
+}
+
+// trainDigest fingerprints everything that determines the training
+// trajectory: the config (minus Workers, which is a pure throughput knob),
+// the network architecture, and the exact bits of both sample sets. A resume
+// whose digest differs is rejected with ErrCheckpointMismatch.
+func trainDigest(n *TwoStageNet, train, val []Sample, cfg TrainConfig) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	wu := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	wf := func(f float64) { wu(math.Float64bits(f)) }
+	wu(uint64(cfg.Epochs))
+	wu(uint64(cfg.BatchSize))
+	wf(cfg.LR)
+	wu(uint64(cfg.Seed))
+	wu(uint64(cfg.Patience))
+	wu(uint64(cfg.Optimizer))
+	wf(cfg.Momentum)
+	wf(cfg.WeightDecay)
+	wu(uint64(cfg.Schedule))
+	wu(uint64(n.StructDim))
+	wu(uint64(n.StatsDim))
+	wu(uint64(n.NumClasses))
+	for _, l := range n.layers() {
+		wu(uint64(l.W.Rows))
+		wu(uint64(l.W.Cols))
+		if l.ReLU {
+			wu(1)
+		} else {
+			wu(0)
+		}
+	}
+	for _, set := range [][]Sample{train, val} {
+		wu(uint64(len(set)))
+		for _, s := range set {
+			wu(uint64(s.Label))
+			wu(uint64(len(s.Structural)))
+			for _, v := range s.Structural {
+				wf(v)
+			}
+			wu(uint64(len(s.Stats)))
+			for _, v := range s.Stats {
+				wf(v)
+			}
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// load reads and verifies the state shard. A missing shard returns (nil,
+// nil); a corrupt one is quarantined (by Dir.Read or explicitly for semantic
+// failures) and reported as a fresh start via status.Quarantined; a valid
+// shard from a different run is ErrCheckpointMismatch.
+func (ck *TrainCheckpoint) load(digest string, status *TrainStatus) (*trainState, error) {
+	data, err := ck.Dir.Read(ck.file())
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		if errors.Is(err, checkpoint.ErrCorrupt) || errors.Is(err, checkpoint.ErrTruncated) ||
+			errors.Is(err, checkpoint.ErrSchema) {
+			status.Quarantined = true
+			return nil, nil
+		}
+		return nil, err
+	}
+	var st trainState
+	if uerr := json.Unmarshal(data, &st); uerr != nil || st.Schema != trainStateSchema {
+		ck.Dir.Quarantine(ck.file(), "semantic")
+		status.Quarantined = true
+		return nil, nil
+	}
+	if st.Digest != digest {
+		return nil, fmt.Errorf("%w: checkpoint %s records digest %s, this run is %s; use a fresh directory or name",
+			ErrCheckpointMismatch, ck.file(), st.Digest, digest)
+	}
+	return &st, nil
+}
+
+func (ck *TrainCheckpoint) save(st *trainState) error {
+	data, err := json.Marshal(st)
+	if err != nil {
+		return fmt.Errorf("nn: encode checkpoint: %w", err)
+	}
+	return ck.Dir.Write(ck.file(), data)
+}
+
+// captureTrainState snapshots the live training state for serialization.
+func captureTrainState(layers []*DenseLayer, digest string, epochsDone, stepNum int, bestVal float64, sinceBest int, done bool, h History) *trainState {
+	st := &trainState{
+		Schema:    trainStateSchema,
+		Digest:    digest,
+		Epoch:     epochsDone,
+		StepNum:   stepNum,
+		BestVal:   bestVal,
+		SinceBest: sinceBest,
+		BestEpoch: h.BestEpoch,
+		Done:      done,
+		TrainLoss: packFloats(h.TrainLoss),
+		ValAcc:    packFloats(h.ValAcc),
+	}
+	for _, l := range layers {
+		st.Layers = append(st.Layers, layerState{
+			W:  packFloats(l.W.Data),
+			B:  packFloats(l.B),
+			MW: packFloats(l.mW.Data),
+			VW: packFloats(l.vW.Data),
+			MB: packFloats(l.mB),
+			VB: packFloats(l.vB),
+		})
+	}
+	return st
+}
+
+// restoreTrainState writes a verified state back into the network and loop
+// variables. Shape mismatches cannot happen for a digest-matched state short
+// of a CRC collision, but are still rejected explicitly.
+func restoreTrainState(n *TwoStageNet, layers []*DenseLayer, st *trainState, h *History, bestVal *float64, stepNum, sinceBest *int) error {
+	if len(st.Layers) != len(layers) {
+		return fmt.Errorf("%w: %d layers in checkpoint, network has %d",
+			ErrCheckpointMismatch, len(st.Layers), len(layers))
+	}
+	fill := func(dst []float64, src []byte, what string, li int) error {
+		v, err := unpackFloats(src)
+		if err != nil {
+			return fmt.Errorf("nn: layer %d %s: %w", li, what, err)
+		}
+		if len(v) != len(dst) {
+			return fmt.Errorf("%w: layer %d %s has %d values, want %d",
+				ErrCheckpointMismatch, li, what, len(v), len(dst))
+		}
+		copy(dst, v)
+		return nil
+	}
+	for li, l := range layers {
+		ls := st.Layers[li]
+		if err := fill(l.W.Data, ls.W, "weights", li); err != nil {
+			return err
+		}
+		if err := fill(l.B, ls.B, "bias", li); err != nil {
+			return err
+		}
+		if err := fill(l.mW.Data, ls.MW, "mW", li); err != nil {
+			return err
+		}
+		if err := fill(l.vW.Data, ls.VW, "vW", li); err != nil {
+			return err
+		}
+		if err := fill(l.mB, ls.MB, "mB", li); err != nil {
+			return err
+		}
+		if err := fill(l.vB, ls.VB, "vB", li); err != nil {
+			return err
+		}
+	}
+	tl, err := unpackFloats(st.TrainLoss)
+	if err != nil {
+		return fmt.Errorf("nn: history trainLoss: %w", err)
+	}
+	va, err := unpackFloats(st.ValAcc)
+	if err != nil {
+		return fmt.Errorf("nn: history valAcc: %w", err)
+	}
+	if len(tl) != st.Epoch || len(va) != st.Epoch {
+		return fmt.Errorf("%w: history lengths %d/%d, %d epochs recorded",
+			ErrCheckpointMismatch, len(tl), len(va), st.Epoch)
+	}
+	h.TrainLoss, h.ValAcc, h.BestEpoch = tl, va, st.BestEpoch
+	*bestVal = st.BestVal
+	*stepNum = st.StepNum
+	*sinceBest = st.SinceBest
+	return nil
+}
+
+// drainRequested reports whether the stop channel is closed (non-blocking).
+func drainRequested(stop <-chan struct{}) bool {
+	if stop == nil {
+		return false
+	}
+	select {
+	case <-stop:
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,243 @@
+package nn
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"powerlens/internal/checkpoint"
+)
+
+const (
+	ckStructDim = 9
+	ckStatsDim  = 4
+	ckClasses   = 5
+)
+
+func ckSamples(t *testing.T) (train, val []Sample) {
+	t.Helper()
+	samples := synthFacetSamples(240, ckStructDim, ckStatsDim, ckClasses, 42)
+	train, val, _ = Split(samples, 7)
+	return train, val
+}
+
+func ckNet() *TwoStageNet {
+	return NewTwoStageNet(ckStructDim, ckStatsDim, []int{16, 12}, []int{14}, ckClasses, 3)
+}
+
+func ckConfig() TrainConfig {
+	return TrainConfig{Epochs: 8, BatchSize: 16, LR: 1e-3, Seed: 5, Patience: 4, Workers: 2}
+}
+
+func openCkDir(t *testing.T) *checkpoint.Dir {
+	t.Helper()
+	dir, err := checkpoint.Open(filepath.Join(t.TempDir(), "ck"))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return dir
+}
+
+func TestTrainResumableFreshMatchesTrain(t *testing.T) {
+	train, val := ckSamples(t)
+	cfg := ckConfig()
+
+	ref := ckNet()
+	refH := Train(ref, train, val, cfg)
+
+	dir := openCkDir(t)
+	got := ckNet()
+	ck := &TrainCheckpoint{Dir: dir, Name: "model", Every: 2}
+	gotH, st, err := TrainResumable(got, train, val, cfg, ck)
+	if err != nil {
+		t.Fatalf("TrainResumable: %v", err)
+	}
+	if st.ResumedEpochs != 0 || st.Drained || st.Quarantined {
+		t.Fatalf("fresh run status = %+v", st)
+	}
+	historiesEqual(t, "fresh", gotH, refH)
+	weightsEqual(t, "fresh", got, ref)
+
+	// Resume of a completed run restores instantly and identically.
+	again := ckNet()
+	againH, st2, err := TrainResumable(again, train, val, cfg, ck)
+	if err != nil {
+		t.Fatalf("resume of done: %v", err)
+	}
+	if st2.ResumedEpochs != len(refH.TrainLoss) {
+		t.Fatalf("resume of done restored %d epochs, want %d", st2.ResumedEpochs, len(refH.TrainLoss))
+	}
+	historiesEqual(t, "resume-done", againH, refH)
+	weightsEqual(t, "resume-done", again, ref)
+}
+
+func TestTrainKillResumeByteIdentical(t *testing.T) {
+	train, val := ckSamples(t)
+	cfg := ckConfig()
+	ref := ckNet()
+	refH := Train(ref, train, val, cfg)
+
+	modes := []checkpoint.KillMode{checkpoint.KillBeforeWrite, checkpoint.KillTornWrite, checkpoint.KillElideRename}
+	for _, mode := range modes {
+		for failAfter := 0; failAfter <= 2; failAfter++ {
+			t.Run(mode.String(), func(t *testing.T) {
+				dir := openCkDir(t)
+				var final *TwoStageNet
+				var finalH History
+				done := false
+				for attempt := 0; attempt < 60 && !done; attempt++ {
+					if attempt == 0 {
+						dir.SetHooks(checkpoint.NewHooks(failAfter, mode))
+					} else {
+						dir.SetHooks(nil)
+					}
+					n := ckNet()
+					ck := &TrainCheckpoint{Dir: dir, Name: "model", Every: 1}
+					h, _, err := TrainResumable(n, train, val, cfg, ck)
+					if err != nil {
+						if errors.Is(err, checkpoint.ErrKilled) {
+							continue // process "died"; next attempt resumes
+						}
+						t.Fatalf("attempt %d: %v", attempt, err)
+					}
+					final, finalH, done = n, h, true
+				}
+				if !done {
+					t.Fatal("never completed")
+				}
+				historiesEqual(t, mode.String(), finalH, refH)
+				weightsEqual(t, mode.String(), final, ref)
+			})
+		}
+	}
+}
+
+func TestTrainDrainAndResume(t *testing.T) {
+	train, val := ckSamples(t)
+	cfg := ckConfig()
+	ref := ckNet()
+	refH := Train(ref, train, val, cfg)
+
+	dir := openCkDir(t)
+
+	// Partial run: kill after two successful epoch checkpoints.
+	dir.SetHooks(checkpoint.NewHooks(2, checkpoint.KillBeforeWrite))
+	n := ckNet()
+	ck := &TrainCheckpoint{Dir: dir, Name: "model", Every: 1}
+	if _, _, err := TrainResumable(n, train, val, cfg, ck); !errors.Is(err, checkpoint.ErrKilled) {
+		t.Fatalf("partial run: err = %v, want ErrKilled", err)
+	}
+	dir.SetHooks(nil)
+
+	// Drain: a pre-closed Stop channel must save and return immediately.
+	stop := make(chan struct{})
+	close(stop)
+	n2 := ckNet()
+	h2, st2, err := TrainResumable(n2, train, val, cfg, &TrainCheckpoint{Dir: dir, Name: "model", Every: 1, Stop: stop})
+	if err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if !st2.Drained {
+		t.Fatalf("drain status = %+v, want Drained", st2)
+	}
+	if st2.ResumedEpochs != 2 || len(h2.TrainLoss) != 2 {
+		t.Fatalf("drain resumed %d epochs, history %d, want 2", st2.ResumedEpochs, len(h2.TrainLoss))
+	}
+
+	// Full resume reproduces the uninterrupted run bit for bit.
+	n3 := ckNet()
+	h3, st3, err := TrainResumable(n3, train, val, cfg, &TrainCheckpoint{Dir: dir, Name: "model", Every: 1})
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if st3.ResumedEpochs != 2 {
+		t.Fatalf("resume restored %d epochs, want 2", st3.ResumedEpochs)
+	}
+	historiesEqual(t, "drain-resume", h3, refH)
+	weightsEqual(t, "drain-resume", n3, ref)
+}
+
+func TestTrainEarlyStopResume(t *testing.T) {
+	train, val := ckSamples(t)
+	cfg := ckConfig()
+	cfg.Epochs = 30
+	cfg.Patience = 2
+	ref := ckNet()
+	refH := Train(ref, train, val, cfg)
+	if len(refH.TrainLoss) >= cfg.Epochs {
+		t.Skip("reference did not early-stop; config needs retuning")
+	}
+
+	dir := openCkDir(t)
+	dir.SetHooks(checkpoint.NewHooks(3, checkpoint.KillElideRename))
+	n := ckNet()
+	ck := &TrainCheckpoint{Dir: dir, Name: "model", Every: 1}
+	if _, _, err := TrainResumable(n, train, val, cfg, ck); !errors.Is(err, checkpoint.ErrKilled) {
+		t.Fatalf("partial run: err = %v, want ErrKilled", err)
+	}
+	dir.SetHooks(nil)
+	n2 := ckNet()
+	h2, _, err := TrainResumable(n2, train, val, cfg, ck)
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	historiesEqual(t, "early-stop", h2, refH)
+	weightsEqual(t, "early-stop", n2, ref)
+}
+
+func TestTrainCheckpointMismatchRejected(t *testing.T) {
+	train, val := ckSamples(t)
+	cfg := ckConfig()
+	dir := openCkDir(t)
+	ck := &TrainCheckpoint{Dir: dir, Name: "model"}
+	if _, _, err := TrainResumable(ckNet(), train, val, cfg, ck); err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+
+	other := cfg
+	other.Seed = 99
+	_, _, err := TrainResumable(ckNet(), train, val, other, ck)
+	if !errors.Is(err, ErrCheckpointMismatch) {
+		t.Fatalf("mismatched resume: err = %v, want ErrCheckpointMismatch", err)
+	}
+}
+
+func TestTrainCorruptCheckpointQuarantined(t *testing.T) {
+	train, val := ckSamples(t)
+	cfg := ckConfig()
+	ref := ckNet()
+	refH := Train(ref, train, val, cfg)
+
+	dir := openCkDir(t)
+	ck := &TrainCheckpoint{Dir: dir, Name: "model"}
+	if _, _, err := TrainResumable(ckNet(), train, val, cfg, ck); err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+
+	// Flip a byte mid-file: the next run must quarantine, restart from
+	// scratch, and still land on the reference trajectory.
+	path := filepath.Join(dir.Root(), "model.ckpt")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	n := ckNet()
+	h, st, err := TrainResumable(n, train, val, cfg, ck)
+	if err != nil {
+		t.Fatalf("post-corruption run: %v", err)
+	}
+	if !st.Quarantined || st.ResumedEpochs != 0 {
+		t.Fatalf("post-corruption status = %+v, want Quarantined fresh start", st)
+	}
+	if dir.QuarantinedCount() != 1 {
+		t.Fatalf("quarantined files = %d, want 1", dir.QuarantinedCount())
+	}
+	historiesEqual(t, "bit-rot", h, refH)
+	weightsEqual(t, "bit-rot", n, ref)
+}

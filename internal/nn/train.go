@@ -100,6 +100,23 @@ type History struct {
 // history are bit-identical to the single-threaded loop for a given seed —
 // see parallel.go for the determinism argument.
 func Train(n *TwoStageNet, train, val []Sample, cfg TrainConfig) History {
+	h, _, err := TrainResumable(n, train, val, cfg, nil)
+	if err != nil {
+		// Unreachable: without a checkpoint there are no I/O paths.
+		panic(err)
+	}
+	return h
+}
+
+// TrainResumable is Train with optional crash safety: with a non-nil ck the
+// full optimizer state (weights, Adam/SGD moments, RNG cursor, history,
+// early-stop counters) is checkpointed at epoch boundaries and restored on
+// the next call, so a resumed run reproduces the uninterrupted loss history
+// and final weights bit for bit. The RNG "cursor" is the completed-epoch
+// count: the epoch permutation stream is replayed from the seed, which is
+// exact because each epoch consumes exactly one Shuffle.
+func TrainResumable(n *TwoStageNet, train, val []Sample, cfg TrainConfig, ck *TrainCheckpoint) (History, TrainStatus, error) {
+	status := TrainStatus{}
 	if cfg.Optimizer == OptSGD && cfg.Momentum == 0 {
 		cfg.Momentum = 0.9
 	}
@@ -115,6 +132,33 @@ func Train(n *TwoStageNet, train, val []Sample, cfg TrainConfig) History {
 	}
 
 	layers := n.layers()
+	h := History{BestEpoch: -1}
+	bestVal := -1.0
+	stepNum := 0
+	sinceBest := 0
+	startEpoch := 0
+	var digest string
+	if ck != nil {
+		if err := ck.validate(); err != nil {
+			return h, status, err
+		}
+		digest = trainDigest(n, train, val, cfg)
+		st, err := ck.load(digest, &status)
+		if err != nil {
+			return h, status, err
+		}
+		if st != nil {
+			if err := restoreTrainState(n, layers, st, &h, &bestVal, &stepNum, &sinceBest); err != nil {
+				return h, status, err
+			}
+			status.ResumedEpochs = st.Epoch
+			if st.Done {
+				return h, status, nil
+			}
+			startEpoch = st.Epoch
+		}
+	}
+
 	slotCount := cfg.BatchSize
 	if slotCount > len(train) {
 		slotCount = len(train)
@@ -134,11 +178,26 @@ func Train(n *TwoStageNet, train, val []Sample, cfg TrainConfig) History {
 	for i := range idx {
 		idx[i] = i
 	}
-	h := History{BestEpoch: -1}
-	bestVal := -1.0
-	stepNum := 0
-	sinceBest := 0
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+	// Fast-forward the permutation stream over the completed epochs.
+	for e := 0; e < startEpoch; e++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+	}
+
+	save := func(epochsDone int, done bool) error {
+		if ck == nil {
+			return nil
+		}
+		return ck.save(captureTrainState(layers, digest, epochsDone, stepNum, bestVal, sinceBest, done, h))
+	}
+
+	for epoch := startEpoch; epoch < cfg.Epochs; epoch++ {
+		if ck != nil && drainRequested(ck.Stop) {
+			if err := save(epoch, false); err != nil {
+				return h, status, err
+			}
+			status.Drained = true
+			return h, status, nil
+		}
 		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
 		totalLoss := 0.0
 		for start := 0; start < len(idx); start += cfg.BatchSize {
@@ -218,8 +277,18 @@ func Train(n *TwoStageNet, train, val []Sample, cfg TrainConfig) History {
 				break
 			}
 		}
+		if ck != nil && (epoch+1)%ck.every() == 0 && epoch+1 < cfg.Epochs {
+			if err := save(epoch+1, false); err != nil {
+				return h, status, err
+			}
+		}
 	}
-	return h
+	// Completed (or early-stopped): persist the final state with Done set so
+	// a later resume restores weights and history instantly.
+	if err := save(len(h.TrainLoss), true); err != nil {
+		return h, status, err
+	}
+	return h, status, nil
 }
 
 // Accuracy returns the top-1 accuracy of n on samples (0 for empty input).

@@ -1,0 +1,248 @@
+package runlog
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"powerlens/internal/checkpoint"
+)
+
+func openStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(filepath.Join(t.TempDir(), "runs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func writeBody(body string) func(io.Writer) error {
+	return func(w io.Writer) error {
+		_, err := io.WriteString(w, body)
+		return err
+	}
+}
+
+// A manifest torn mid-rewrite must never become visible: the store keeps the
+// previous manifest, the index stays consistent, and the next Begin picks
+// the next sequence number.
+func TestManifestTornWriteInvisible(t *testing.T) {
+	s := openStore(t)
+	r, err := s.Begin(Manifest{Scenario: "observe", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteArtifact("trace.json", writeBody(`{"events":[]}`)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the Finish rewrite in elide-rename mode: the temp file is
+	// complete but never published.
+	s.SetHooks(checkpoint.NewHooks(0, checkpoint.KillElideRename))
+	if err := r.Finish(time.Second, map[string]float64{"x": 1}); !errors.Is(err, checkpoint.ErrKilled) {
+		t.Fatalf("Finish: err = %v, want ErrKilled", err)
+	}
+	s.SetHooks(nil)
+
+	m, err := s.Get(r.ID())
+	if err != nil {
+		t.Fatalf("Get after torn Finish: %v", err)
+	}
+	if m.WallMS != 0 || len(m.Metrics) != 0 {
+		t.Fatalf("torn Finish became visible: %+v", m)
+	}
+	if _, ok := m.Artifacts["trace.json"]; !ok {
+		t.Fatal("previous manifest lost the recorded artifact")
+	}
+
+	// The store remains usable: listing sees the run, Begin advances.
+	runs, err := s.List()
+	if err != nil || len(runs) != 1 {
+		t.Fatalf("List = %d runs, err %v", len(runs), err)
+	}
+	r2, err := s.Begin(Manifest{Scenario: "observe", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.ID() == r.ID() {
+		t.Fatalf("sequence did not advance: %s", r2.ID())
+	}
+}
+
+// A manifest that was torn straight onto the final path (non-atomic crash
+// shape) must fail Get loudly and be skipped by List, while VerifyRun's IDs
+// walk still surfaces the run.
+func TestManifestTornOnDiskDetected(t *testing.T) {
+	s := openStore(t)
+	r, err := s.Begin(Manifest{Scenario: "bench", Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s.SetHooks(checkpoint.NewHooks(0, checkpoint.KillTornWrite))
+	if err := r.Finish(time.Second, nil); !errors.Is(err, checkpoint.ErrKilled) {
+		t.Fatalf("Finish: err = %v, want ErrKilled", err)
+	}
+	s.SetHooks(nil)
+
+	if _, err := s.Get(r.ID()); err == nil {
+		t.Fatal("Get consumed a torn manifest")
+	}
+	runs, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 0 {
+		t.Fatalf("List returned %d runs over a torn manifest", len(runs))
+	}
+	ids, err := s.IDs()
+	if err != nil || len(ids) != 1 {
+		t.Fatalf("IDs = %v, err %v; want the torn run visible", ids, err)
+	}
+	if _, err := s.VerifyRun(ids[0]); err == nil {
+		t.Fatal("VerifyRun accepted a torn manifest")
+	}
+}
+
+// Artifact bit rot must be caught by both ArtifactPath and VerifyRun.
+func TestArtifactBitRotDetected(t *testing.T) {
+	s := openStore(t)
+	r, err := s.Begin(Manifest{Scenario: "observe", Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteArtifact("metrics.prom", writeBody("a 1\nb 2\n")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pristine: both paths verify clean.
+	if _, err := s.ArtifactPath(r.ID(), "metrics.prom"); err != nil {
+		t.Fatalf("ArtifactPath pristine: %v", err)
+	}
+	checks, err := s.VerifyRun(r.ID())
+	if err != nil || len(checks) != 1 || !checks[0].OK || checks[0].Unverified {
+		t.Fatalf("VerifyRun pristine = %+v, err %v", checks, err)
+	}
+
+	// Flip one byte.
+	path := filepath.Join(r.Dir(), "metrics.prom")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[0] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := s.ArtifactPath(r.ID(), "metrics.prom"); !errors.Is(err, ErrArtifactCorrupt) {
+		t.Fatalf("ArtifactPath on rotted artifact: err = %v, want ErrArtifactCorrupt", err)
+	}
+	checks, err = s.VerifyRun(r.ID())
+	if err != nil || len(checks) != 1 {
+		t.Fatalf("VerifyRun = %+v, err %v", checks, err)
+	}
+	if checks[0].OK || checks[0].Problem == "" {
+		t.Fatalf("VerifyRun missed the corruption: %+v", checks[0])
+	}
+}
+
+// Schema-1 manifests (no digests) still load; their artifacts report
+// Unverified rather than corrupt.
+func TestSchema1ManifestUnverified(t *testing.T) {
+	s := openStore(t)
+	dir := filepath.Join(s.Root(), "legacy-s1-001")
+	if err := os.Mkdir(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	manifest := `{"schema":1,"runId":"legacy-s1-001","scenario":"legacy","seed":1,` +
+		`"goVersion":"go1.0","hostOs":"linux","hostArch":"amd64","start":"2026-01-01T00:00:00Z",` +
+		`"wallMs":1,"artifacts":{"trace.json":"trace.json"}}`
+	if err := os.WriteFile(filepath.Join(dir, ManifestName), []byte(manifest), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "trace.json"), []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := s.Get("legacy-s1-001"); err != nil {
+		t.Fatalf("schema-1 manifest rejected: %v", err)
+	}
+	checks, err := s.VerifyRun("legacy-s1-001")
+	if err != nil || len(checks) != 1 {
+		t.Fatalf("VerifyRun = %+v, err %v", checks, err)
+	}
+	if !checks[0].OK || !checks[0].Unverified {
+		t.Fatalf("legacy artifact should be OK+Unverified: %+v", checks[0])
+	}
+}
+
+// Randomized kill/resume: at every possible kill point across the
+// Begin → artifacts → Finish sequence, the store is left either consistent
+// (previous state intact) or detectably broken (Get fails; never a silently
+// wrong manifest).
+func TestRunLifecycleKillResumeRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	modes := []checkpoint.KillMode{checkpoint.KillBeforeWrite, checkpoint.KillTornWrite, checkpoint.KillElideRename}
+	// The lifecycle issues 4 atomic writes: Begin manifest, artifact,
+	// manifest update, Finish manifest.
+	for failAfter := 0; failAfter < 4; failAfter++ {
+		for round := 0; round < 6; round++ {
+			mode := modes[rng.Intn(len(modes))]
+			t.Run(fmt.Sprintf("kill%d-%s", failAfter, mode), func(t *testing.T) {
+				s := openStore(t)
+				s.SetHooks(checkpoint.NewHooks(failAfter, mode))
+				killed := false
+				lifecycle := func() error {
+					r, err := s.Begin(Manifest{Scenario: "fuzz", Seed: 9})
+					if err != nil {
+						return err
+					}
+					if err := r.WriteArtifact("a.txt", writeBody("payload")); err != nil {
+						return err
+					}
+					return r.Finish(time.Millisecond, map[string]float64{"m": 1})
+				}
+				if err := lifecycle(); err != nil {
+					if !errors.Is(err, checkpoint.ErrKilled) {
+						t.Fatalf("lifecycle: %v", err)
+					}
+					killed = true
+				}
+				s.SetHooks(nil)
+
+				// Post-crash invariant: every run Get either loads a valid
+				// manifest whose digested artifacts verify, or fails loudly.
+				ids, err := s.IDs()
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, id := range ids {
+					m, err := s.Get(id)
+					if err != nil {
+						continue // detected breakage is acceptable
+					}
+					for name := range m.ArtifactDigests {
+						if _, err := s.ArtifactPath(id, name); err != nil {
+							t.Fatalf("recorded artifact %s/%s unreadable: %v", id, name, err)
+						}
+					}
+				}
+
+				// Resume: a fresh lifecycle must always succeed.
+				if err := lifecycle(); err != nil {
+					t.Fatalf("post-crash lifecycle: %v", err)
+				}
+				if !killed && failAfter < 4 {
+					_ = killed // all four writes succeeded; nothing to assert
+				}
+			})
+		}
+	}
+}

@@ -13,6 +13,7 @@
 package runlog
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -24,11 +25,15 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"powerlens/internal/checkpoint"
 )
 
 // ManifestSchemaVersion is bumped whenever the manifest layout changes
-// incompatibly; readers reject manifests from a future schema.
-const ManifestSchemaVersion = 1
+// incompatibly; readers reject manifests from a future schema. Schema 2
+// added per-artifact digests; schema-1 manifests (no digests) still load,
+// their artifacts just verify as "unverified".
+const ManifestSchemaVersion = 2
 
 // ManifestName is the manifest file inside each run directory.
 const ManifestName = "manifest.json"
@@ -59,6 +64,18 @@ type Manifest struct {
 	// Artifacts maps logical artifact names ("trace.json", "metrics.prom")
 	// to file names inside the run directory.
 	Artifacts map[string]string `json:"artifacts,omitempty"`
+
+	// ArtifactDigests records each artifact's CRC32C and size at write time
+	// (schema >= 2). ArtifactPath and VerifyRun re-hash the on-disk file
+	// against it, so silent artifact corruption or substitution is detected
+	// instead of flowing into a diff or a report.
+	ArtifactDigests map[string]ArtifactDigest `json:"artifactDigests,omitempty"`
+}
+
+// ArtifactDigest pins an artifact's content at the moment it was written.
+type ArtifactDigest struct {
+	CRC32C uint32 `json:"crc32c"`
+	Bytes  int64  `json:"bytes"`
 }
 
 // Validate checks the invariants readers rely on.
@@ -78,8 +95,13 @@ func (m *Manifest) Validate() error {
 
 // Store is a directory of run directories.
 type Store struct {
-	root string
+	root  string
+	hooks *checkpoint.Hooks
 }
+
+// SetHooks installs (or clears) the kill-point injector consulted by every
+// subsequent manifest and artifact write. Test-only.
+func (s *Store) SetHooks(h *checkpoint.Hooks) { s.hooks = h }
 
 // Open opens (creating if needed) a store rooted at dir.
 func Open(dir string) (*Store, error) {
@@ -154,27 +176,31 @@ func (r *Run) ID() string { return r.Manifest.RunID }
 // Dir returns the run's directory.
 func (r *Run) Dir() string { return r.dir }
 
-// WriteArtifact streams an artifact into the run directory and records it in
-// the manifest. The name must be a bare file name (no path separators).
+// WriteArtifact renders an artifact, writes it atomically into the run
+// directory, and records its name and content digest in the manifest. The
+// name must be a bare file name (no path separators). A crash between the
+// artifact landing and the manifest update leaves an unrecorded file — safe,
+// because only manifest-recorded artifacts are ever read back.
 func (r *Run) WriteArtifact(name string, write func(io.Writer) error) error {
 	if name == "" || name != filepath.Base(name) || name == ManifestName {
 		return fmt.Errorf("runlog: invalid artifact name %q", name)
 	}
-	f, err := os.Create(filepath.Join(r.dir, name))
-	if err != nil {
-		return fmt.Errorf("runlog: create artifact: %w", err)
-	}
-	if err := write(f); err != nil {
-		f.Close()
+	var buf bytes.Buffer
+	if err := write(&buf); err != nil {
 		return fmt.Errorf("runlog: write artifact %s: %w", name, err)
 	}
-	if err := f.Close(); err != nil {
-		return err
+	crc, size, err := checkpoint.AtomicWrite(filepath.Join(r.dir, name), buf.Bytes(), r.store.hooks)
+	if err != nil {
+		return fmt.Errorf("runlog: write artifact %s: %w", name, err)
 	}
 	if r.Manifest.Artifacts == nil {
 		r.Manifest.Artifacts = map[string]string{}
 	}
 	r.Manifest.Artifacts[name] = name
+	if r.Manifest.ArtifactDigests == nil {
+		r.Manifest.ArtifactDigests = map[string]ArtifactDigest{}
+	}
+	r.Manifest.ArtifactDigests[name] = ArtifactDigest{CRC32C: crc, Bytes: size}
 	return r.writeManifest()
 }
 
@@ -187,22 +213,16 @@ func (r *Run) Finish(wall time.Duration, metrics map[string]float64) error {
 }
 
 func (r *Run) writeManifest() error {
-	tmp := filepath.Join(r.dir, ManifestName+".tmp")
-	f, err := os.Create(tmp)
+	data, err := json.MarshalIndent(r.Manifest, "", "  ")
 	if err != nil {
+		return fmt.Errorf("runlog: encode manifest: %w", err)
+	}
+	// Atomic temp+rename+fsync: a crash mid-write leaves the previous
+	// manifest (or none) rather than a torn one.
+	if _, _, err := checkpoint.AtomicWrite(filepath.Join(r.dir, ManifestName), append(data, '\n'), r.store.hooks); err != nil {
 		return fmt.Errorf("runlog: write manifest: %w", err)
 	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(r.Manifest); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	// Rename so a concurrent index read never sees a half-written manifest.
-	return os.Rename(tmp, filepath.Join(r.dir, ManifestName))
+	return nil
 }
 
 // List returns every readable manifest under the root, sorted by run id. Run
@@ -247,7 +267,14 @@ func (s *Store) Get(id string) (Manifest, error) {
 	return m, nil
 }
 
-// ArtifactPath resolves a recorded artifact to its on-disk path.
+// ErrArtifactCorrupt marks an artifact whose on-disk bytes no longer match
+// the digest recorded in its manifest.
+var ErrArtifactCorrupt = errors.New("runlog: artifact does not match recorded digest")
+
+// ArtifactPath resolves a recorded artifact to its on-disk path, verifying
+// the file against the manifest's recorded digest first (when one exists —
+// schema-1 manifests predate digests). A mismatch returns ErrArtifactCorrupt
+// rather than handing back a path to corrupt data.
 func (s *Store) ArtifactPath(id, name string) (string, error) {
 	m, err := s.Get(id)
 	if err != nil {
@@ -260,7 +287,94 @@ func (s *Store) ArtifactPath(id, name string) (string, error) {
 	if file != filepath.Base(file) {
 		return "", fmt.Errorf("runlog: run %q artifact %q escapes the run dir", id, name)
 	}
-	return filepath.Join(s.root, id, file), nil
+	path := filepath.Join(s.root, id, file)
+	if want, ok := m.ArtifactDigests[name]; ok {
+		if err := verifyArtifact(path, want); err != nil {
+			return "", fmt.Errorf("runlog: run %q artifact %q: %w", id, name, err)
+		}
+	}
+	return path, nil
+}
+
+func verifyArtifact(path string, want ArtifactDigest) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if int64(len(data)) != want.Bytes || checkpoint.CRC32C(data) != want.CRC32C {
+		return fmt.Errorf("%w: %d bytes CRC32C %08x on disk, manifest records %d bytes CRC32C %08x",
+			ErrArtifactCorrupt, len(data), checkpoint.CRC32C(data), want.Bytes, want.CRC32C)
+	}
+	return nil
+}
+
+// ArtifactCheck is one artifact's verification result.
+type ArtifactCheck struct {
+	Name string
+	// OK means the on-disk file matches its recorded digest.
+	OK bool
+	// Unverified means the manifest records no digest for this artifact
+	// (written before schema 2); absence of evidence, not corruption.
+	Unverified bool
+	// Problem describes the failure when OK is false.
+	Problem string
+}
+
+// VerifyRun re-hashes every artifact of a run against its manifest, sorted
+// by artifact name. The error covers manifest-level failures only; per-
+// artifact problems land in the checks.
+func (s *Store) VerifyRun(id string) ([]ArtifactCheck, error) {
+	m, err := s.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(m.Artifacts))
+	for n := range m.Artifacts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]ArtifactCheck, 0, len(names))
+	for _, n := range names {
+		c := ArtifactCheck{Name: n}
+		file := m.Artifacts[n]
+		if file != filepath.Base(file) {
+			c.Problem = "artifact path escapes the run dir"
+			out = append(out, c)
+			continue
+		}
+		want, has := m.ArtifactDigests[n]
+		if !has {
+			c.OK, c.Unverified = true, true
+			out = append(out, c)
+			continue
+		}
+		if err := verifyArtifact(filepath.Join(s.root, id, file), want); err != nil {
+			c.Problem = err.Error()
+		} else {
+			c.OK = true
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// IDs returns the name of every run directory under the root, sorted,
+// whether or not its manifest is readable — unlike List, which skips broken
+// runs so the index stays usable. Verification walks IDs so a corrupt
+// manifest is surfaced instead of silently dropped.
+func (s *Store) IDs() ([]string, error) {
+	entries, err := os.ReadDir(s.root)
+	if err != nil {
+		return nil, fmt.Errorf("runlog: list store: %w", err)
+	}
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() {
+			out = append(out, e.Name())
+		}
+	}
+	sort.Strings(out)
+	return out, nil
 }
 
 // checkID rejects ids that could escape the store root.

@@ -24,7 +24,9 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -57,6 +59,15 @@ type Server struct {
 	liveRun atomic.Pointer[string]
 	runs    *runlog.Store
 	started time.Time
+
+	// Connection timeouts applied by Start (zero = the package defaults
+	// below). Without them a client that opens a socket and never finishes
+	// its request pins a connection forever — and, before graceful shutdown
+	// existed here, wedged process exit.
+	ReadHeaderTimeout time.Duration
+	ReadTimeout       time.Duration
+	WriteTimeout      time.Duration
+	IdleTimeout       time.Duration
 
 	// The scrape path reuses one snapshot buffer and one render buffer so a
 	// high-frequency scraper does not churn allocations; scrapeMu serializes
@@ -222,14 +233,36 @@ type Running struct {
 	addr net.Addr
 }
 
+// Default connection timeouts. Scrapes and trace downloads are small and
+// local; anything slower than these is a hung or hostile peer.
+const (
+	DefaultReadHeaderTimeout = 5 * time.Second
+	DefaultReadTimeout       = time.Minute
+	DefaultWriteTimeout      = time.Minute
+	DefaultIdleTimeout       = 2 * time.Minute
+)
+
+func orDefault(d, def time.Duration) time.Duration {
+	if d <= 0 {
+		return def
+	}
+	return d
+}
+
 // Start listens on addr (":0" picks a free port) and serves the telemetry
-// mux in a background goroutine.
+// mux in a background goroutine with the server's connection timeouts.
 func (s *Server) Start(addr string) (*Running, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("serve: listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: s.Handler()}
+	srv := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: orDefault(s.ReadHeaderTimeout, DefaultReadHeaderTimeout),
+		ReadTimeout:       orDefault(s.ReadTimeout, DefaultReadTimeout),
+		WriteTimeout:      orDefault(s.WriteTimeout, DefaultWriteTimeout),
+		IdleTimeout:       orDefault(s.IdleTimeout, DefaultIdleTimeout),
+	}
 	go srv.Serve(ln)
 	return &Running{srv: srv, addr: ln.Addr()}, nil
 }
@@ -243,3 +276,17 @@ func (r *Running) URL() string { return "http://" + r.addr.String() }
 // Close stops the server immediately (in-flight scrapes are abandoned —
 // telemetry readers retry, they do not need draining).
 func (r *Running) Close() error { return r.srv.Close() }
+
+// Shutdown stops accepting new connections and waits for in-flight requests
+// to finish, up to ctx's deadline; on expiry it falls back to Close so a
+// hung client (half-sent request, stalled read) cannot wedge process exit.
+func (r *Running) Shutdown(ctx context.Context) error {
+	if err := r.srv.Shutdown(ctx); err != nil {
+		cerr := r.srv.Close()
+		if cerr != nil && !errors.Is(cerr, http.ErrServerClosed) {
+			return fmt.Errorf("serve: shutdown: %w (close: %v)", err, cerr)
+		}
+		return fmt.Errorf("serve: forced close after shutdown timeout: %w", err)
+	}
+	return nil
+}

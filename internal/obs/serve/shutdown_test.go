@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"powerlens/internal/obs"
+)
+
+// A client that opens a connection and never completes its request headers
+// must not block graceful shutdown: ReadHeaderTimeout reaps it, and
+// Shutdown returns well within its context budget.
+func TestShutdownNotWedgedByHungClient(t *testing.T) {
+	s := New(obs.New(), nil)
+	s.ReadHeaderTimeout = 100 * time.Millisecond
+	running, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Hung client: partial request head, then silence with the socket open.
+	conn, err := net.Dial("tcp", running.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("GET /metrics HTTP/1.1\r\nHost: x\r\n")); err != nil {
+		t.Fatal(err)
+	}
+
+	// A well-behaved request still works while the hung one idles.
+	resp, err := http.Get(running.URL() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	start := time.Now()
+	if err := running.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("Shutdown took %v; hung client wedged the drain", elapsed)
+	}
+}
+
+// Shutdown past its deadline must fall back to Close instead of hanging.
+func TestShutdownDeadlineForcesClose(t *testing.T) {
+	s := New(obs.New(), nil)
+	// Generous header timeout so the hung connection outlives the shutdown
+	// context and forces the fallback path.
+	s.ReadHeaderTimeout = time.Minute
+	running, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", running.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("GET /metrics HTTP/1.1\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	// Give the server a beat to accept the connection so Shutdown has
+	// something to wait on.
+	time.Sleep(50 * time.Millisecond)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err = running.Shutdown(ctx)
+	if err == nil {
+		t.Fatal("Shutdown returned nil despite an open hung connection")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("Shutdown fallback took %v", elapsed)
+	}
+}
