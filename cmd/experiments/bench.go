@@ -4,6 +4,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"powerlens/internal/experiments"
@@ -30,6 +31,15 @@ func runBench(args []string) {
 			return
 		}
 	}
+	if err := benchRun(args, os.Stdout, os.Stderr); err != nil {
+		fail(err)
+	}
+}
+
+// benchRun is the measuring branch of `experiments bench`, returning errors
+// (a zero-match -filter, an unwritable output path) instead of exiting so
+// tests can drive the CLI surface directly.
+func benchRun(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	name := fs.String("name", "local", "report name (also names the default output file)")
 	seed := fs.Int64("seed", 1, "workload seed")
@@ -43,29 +53,30 @@ func runBench(args []string) {
 		Name: *name, Seed: *seed, Smoke: *smoke, Repeats: *repeats, Filter: *filter,
 	})
 	if err != nil {
-		fail(err)
+		return err
 	}
-	fmt.Print(experiments.RenderBenchReport(r))
+	fmt.Fprint(stdout, experiments.RenderBenchReport(r))
 
 	path := *out
 	if path == "" {
 		path = "BENCH_" + r.Name + ".json"
 	}
 	if path == "-" {
-		return
+		return nil
 	}
 	f, err := os.Create(path)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	if err := experiments.WriteBenchReport(f, r); err != nil {
 		f.Close()
-		fail(err)
+		return err
 	}
 	if err := f.Close(); err != nil {
-		fail(err)
+		return err
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	fmt.Fprintf(stderr, "wrote %s\n", path)
+	return nil
 }
 
 func runBenchCompare(args []string) {

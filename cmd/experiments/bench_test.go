@@ -1,0 +1,38 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestBenchRunFilterNoMatch pins the CLI contract for the -filter bugfix: a
+// pattern matching no bench section must surface an error naming the valid
+// sections rather than silently writing an empty report.
+func TestBenchRunFilterNoMatch(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := benchRun([]string{"-smoke", "-filter", "nosuchsection", "-o", "-"}, &stdout, &stderr)
+	if err == nil {
+		t.Fatal("zero-match -filter must fail")
+	}
+	if msg := err.Error(); !strings.Contains(msg, "matches no section") || !strings.Contains(msg, "online") {
+		t.Fatalf("error must explain the failure and list sections: %q", msg)
+	}
+	if stdout.Len() != 0 {
+		t.Fatalf("failed run still printed a report: %q", stdout.String())
+	}
+}
+
+// TestBenchRunPrintOnly pins that -o - renders without writing a file.
+func TestBenchRunPrintOnly(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := benchRun([]string{"-smoke", "-filter", "obs", "-o", "-"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "registry_counter_ops_per_sec") {
+		t.Fatalf("report not rendered: %q", stdout.String())
+	}
+	if strings.Contains(stderr.String(), "wrote ") {
+		t.Fatalf("-o - must not write a file: %q", stderr.String())
+	}
+}

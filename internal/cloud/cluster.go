@@ -56,6 +56,20 @@ type Config struct {
 	// track, so the trace is deterministic for a fixed seed despite nodes
 	// simulating concurrently.
 	Obs *obs.Observer
+
+	// Shards > 1 enables the sharded work-stealing dispatcher (dispatch.go):
+	// nodes are partitioned round-robin into shards, jobs are admitted in
+	// arrival-ordered batches, each shard dispatches to its own nodes
+	// concurrently, and a seeded, deterministic steal phase rebalances queues
+	// between rounds. 0 or 1 keeps the single-queue dispatcher bit-for-bit.
+	// Shards above Nodes is clamped to Nodes.
+	Shards int
+	// AdmitBatch is the number of jobs admitted per sharded dispatch round
+	// (default 32; ignored by the single-queue dispatcher).
+	AdmitBatch int
+	// StealSeed seeds each shard's victim order for work stealing
+	// (default 1; ignored by the single-queue dispatcher).
+	StealSeed int64
 }
 
 // Trace track-ID scheme: job lifecycle events for node n go on track
@@ -131,6 +145,15 @@ type queuedJob struct {
 	orig time.Duration // original arrival (Job.Arrival moves on requeue)
 }
 
+// nodeState tracks one node's accumulated dispatch decisions before its
+// task flow is simulated.
+type nodeState struct {
+	free  time.Duration
+	tasks []sim.Task
+	gaps  []time.Duration
+	jobs  int
+}
+
 // Run dispatches jobs (sorted by arrival) to the earliest-available node
 // and simulates every node's task flow. Job service times are measured with
 // a per-job dry run at the node's policy, so dispatch decisions see the
@@ -141,6 +164,11 @@ type queuedJob struct {
 // to the earliest surviving node; a crashed node takes no further work. If
 // every node is lost, remaining jobs are dropped and counted, never
 // panicking the run.
+//
+// With Config.Shards > 1, dispatch runs on the sharded work-stealing path
+// (dispatch.go) instead; results are deterministic for a fixed config at any
+// shard count, and Shards <= 1 is bit-identical to the single-queue
+// dispatcher.
 func Run(cfg Config, jobs []Job) (Result, error) {
 	if cfg.Nodes < 1 {
 		return Result{}, fmt.Errorf("cloud: need at least one node, got %d", cfg.Nodes)
@@ -148,6 +176,20 @@ func Run(cfg Config, jobs []Job) (Result, error) {
 	if cfg.Platform == nil || cfg.NewCtl == nil {
 		return Result{}, fmt.Errorf("cloud: platform and controller factory required")
 	}
+	if shards := cfg.Shards; shards > 1 {
+		if shards > cfg.Nodes {
+			shards = cfg.Nodes
+		}
+		if shards > 1 {
+			return runSharded(cfg, shards, jobs)
+		}
+	}
+	return runSingle(cfg, jobs)
+}
+
+// runSingle is the single-queue FCFS dispatcher (the pre-sharding code path,
+// kept verbatim so Shards <= 1 stays bit-identical).
+func runSingle(cfg Config, jobs []Job) (Result, error) {
 	queue := make([]queuedJob, len(jobs))
 	for i, j := range jobs {
 		queue[i] = queuedJob{Job: j, orig: j.Arrival}
@@ -182,12 +224,6 @@ func Run(cfg Config, jobs []Job) (Result, error) {
 			"Energy burned on work destroyed by node crashes.")
 	}
 
-	type nodeState struct {
-		free  time.Duration
-		tasks []sim.Task
-		gaps  []time.Duration
-		jobs  int
-	}
 	nodes := make([]nodeState, cfg.Nodes)
 	res := Result{}
 	var turnaround time.Duration
@@ -261,6 +297,12 @@ func Run(cfg Config, jobs []Job) (Result, error) {
 		}
 	}
 
+	return finishRun(cfg, nodes, crashAt, res, turnaround, completed, mNodesLost)
+}
+
+// finishRun simulates every loaded node and aggregates the cluster result;
+// both dispatchers end here with identical float summation order.
+func finishRun(cfg Config, nodes []nodeState, crashAt []time.Duration, res Result, turnaround time.Duration, completed int, mNodesLost obs.Counter) (Result, error) {
 	// Simulate every loaded node concurrently — nodes are independent
 	// boards, and per-node fault streams are seeded per node index, so the
 	// outcome is deterministic regardless of goroutine scheduling. Each node
@@ -268,7 +310,7 @@ func Run(cfg Config, jobs []Job) (Result, error) {
 	// folding into the shared registry directly would make float sums depend
 	// on how the nodes' writes interleaved. (The shared tracer needs no such
 	// treatment — Events() sorts by track/timestamp/sequence.)
-	nodeResults := make([]*NodeResult, cfg.Nodes)
+	nodeResults := make([]*NodeResult, len(nodes))
 	nodeObs := make([]*obs.Observer, cfg.Nodes)
 	var wg sync.WaitGroup
 	for n := range nodes {

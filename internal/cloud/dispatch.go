@@ -1,0 +1,445 @@
+// The sharded work-stealing dispatcher: the single-queue FCFS loop in
+// cluster.go walks every node per job, which serializes dispatch for large
+// fleets. Here the nodes are partitioned round-robin into shards, jobs are
+// admitted in arrival-ordered batches, and each round runs four phases:
+//
+//  1. fill — service times for the batch's uncached model/images keys are
+//     dry-run in parallel, then written to the shared cache in admission
+//     order (a service time depends only on its key, so which worker
+//     computes it cannot change the value);
+//  2. steal — a sequential, seeded rebalance: the least-loaded shard steals
+//     the tail job from the first profitable victim in its seeded victim
+//     order, repeating until no steal is profitable (or a bound is hit);
+//  3. dispatch — shards place their queues onto their own nodes
+//     concurrently (earliest-available FCFS within the shard, with the same
+//     mid-job crash failover as the single-queue path);
+//  4. orphans — jobs no surviving node of their shard could take are
+//     reassigned sequentially across the whole fleet, or dropped.
+//
+// Determinism at any shard count: every cross-shard decision (admission,
+// home assignment, stealing, orphan reassignment, counter flushes) happens
+// in a sequential phase over deterministic state; the concurrent phases
+// (fill, dispatch, node simulation) only touch disjoint state — a shard
+// owns its nodes and its obs tracks — so goroutine scheduling cannot leak
+// into the result or the exported telemetry.
+
+package cloud
+
+import (
+	"math/rand"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"powerlens/internal/obs"
+	"powerlens/internal/sim"
+)
+
+// shardTrackBase hosts per-shard dispatcher events (steals, drops) on trace
+// track shardTrackBase+shard, clear of the job (10+) and node (100+) ranges.
+const shardTrackBase = 1000
+
+// defaultAdmitBatch is the per-round admission batch when Config.AdmitBatch
+// is unset.
+const defaultAdmitBatch = 32
+
+// shardState is one dispatcher shard: its owned nodes, its current-round
+// queue, and run-total accumulators flushed to shared obs counters in shard
+// order (float adds in goroutine order would be nondeterministic).
+type shardState struct {
+	id      int
+	nodes   []int       // owned node indices
+	victims []int       // seeded steal order over the other shards
+	queue   []queuedJob // current round, sorted by arrival
+
+	completed   int
+	failovers   int
+	steals      int
+	lostEnergyJ float64
+	lostImages  int
+	turnaround  time.Duration
+	orphans     []queuedJob // this round's infeasible jobs
+}
+
+// survivors counts the shard's nodes that are still alive given their
+// accumulated load (a node whose scheduled crash precedes its free time can
+// never take another job).
+func (sh *shardState) survivors(nodes []nodeState, crashAt []time.Duration) int {
+	alive := 0
+	for _, n := range sh.nodes {
+		if nodes[n].free < crashAt[n] {
+			alive++
+		}
+	}
+	return alive
+}
+
+// load estimates when the shard would drain its current queue: earliest free
+// time among surviving nodes plus queued service time spread across them.
+// Infinite when no owned node survives — such a shard never steals and is
+// always worth stealing from.
+func (sh *shardState) load(nodes []nodeState, crashAt []time.Duration, svc func(Job) sim.Result) float64 {
+	alive := sh.survivors(nodes, crashAt)
+	if alive == 0 {
+		return inf
+	}
+	base := time.Duration(1<<63 - 1)
+	for _, n := range sh.nodes {
+		if nodes[n].free < crashAt[n] && nodes[n].free < base {
+			base = nodes[n].free
+		}
+	}
+	queued := 0.0
+	for _, j := range sh.queue {
+		queued += svc(j.Job).Time.Seconds()
+	}
+	return base.Seconds() + queued/float64(alive)
+}
+
+const inf = 1e308
+
+// runSharded is the Shards > 1 dispatch path; see the package comment above
+// for the phase structure and the determinism argument.
+func runSharded(cfg Config, numShards int, jobs []Job) (Result, error) {
+	pending := make([]queuedJob, len(jobs))
+	for i, j := range jobs {
+		pending[i] = queuedJob{Job: j, orig: j.Arrival}
+	}
+	sort.SliceStable(pending, func(i, j int) bool { return pending[i].Arrival < pending[j].Arrival })
+
+	admit := cfg.AdmitBatch
+	if admit <= 0 {
+		admit = defaultAdmitBatch
+	}
+	stealSeed := cfg.StealSeed
+	if stealSeed == 0 {
+		stealSeed = 1
+	}
+
+	shards := make([]*shardState, numShards)
+	for s := range shards {
+		shards[s] = &shardState{id: s}
+		rng := rand.New(rand.NewSource(stealSeed + int64(s)))
+		for _, v := range rng.Perm(numShards) {
+			if v != s {
+				shards[s].victims = append(shards[s].victims, v)
+			}
+		}
+	}
+	nodes := make([]nodeState, cfg.Nodes)
+	for n := 0; n < cfg.Nodes; n++ {
+		sh := shards[n%numShards]
+		sh.nodes = append(sh.nodes, n)
+	}
+	crashAt := cfg.Faults.CrashTimes(cfg.Nodes)
+
+	// Shared service cache. Written only during the sequential part of the
+	// fill phase; the concurrent dispatch phase reads it for keys the fill
+	// phase guaranteed are present (failovers and steals reuse a batch
+	// job's own key).
+	serviceCache := map[string]sim.Result{}
+	svcKey := func(j Job) string { return j.Graph.Name + "/" + strconv.Itoa(j.Images) }
+	svc := func(j Job) sim.Result { return serviceCache[svcKey(j)] }
+
+	var mJobs, mNodesLost, mLostEnergy, mShardJobs, mSteals obs.Counter
+	if cfg.Obs != nil {
+		m := cfg.Obs.Metrics
+		mJobs = m.Counter("cloud_jobs_total",
+			"Dispatched jobs by outcome (completed, failover, dropped).", "outcome")
+		mNodesLost = m.Counter("cloud_nodes_lost_total",
+			"Nodes whose scheduled crash fell inside the trace.")
+		mLostEnergy = m.Counter("cloud_lost_energy_joules_total",
+			"Energy burned on work destroyed by node crashes.")
+		mShardJobs = m.Counter("cloud_shard_jobs_total",
+			"Jobs completed per dispatcher shard.", "shard")
+		mSteals = m.Counter("cloud_steals_total",
+			"Jobs moved between shard queues by work stealing.", "shard")
+	}
+
+	res := Result{}
+	var turnaround time.Duration
+	completed := 0
+	admitted := 0
+
+	for len(pending) > 0 {
+		n := admit
+		if n > len(pending) {
+			n = len(pending)
+		}
+		batch := pending[:n]
+		pending = pending[n:]
+
+		fillServiceCache(cfg, serviceCache, svcKey, batch)
+
+		// Home assignment: global admission counter round-robin, so the
+		// partition depends only on arrival order. Each shard's queue stays
+		// arrival-sorted (a round-robin subsequence of a sorted batch).
+		for i := range batch {
+			shards[admitted%numShards].queue = append(shards[admitted%numShards].queue, batch[i])
+			admitted++
+		}
+
+		stealPhase(cfg, shards, nodes, crashAt, svc, n)
+
+		// Concurrent per-shard dispatch: disjoint nodes, disjoint trace
+		// tracks, per-shard accumulators — nothing shared is written.
+		var wg sync.WaitGroup
+		for _, sh := range shards {
+			wg.Add(1)
+			go func(sh *shardState) {
+				defer wg.Done()
+				dispatchShard(cfg, sh, nodes, crashAt, svc)
+			}(sh)
+		}
+		wg.Wait()
+
+		// Orphan reassignment (sequential, shard order): jobs whose home
+		// shard had no surviving feasible node get the whole fleet.
+		var orphans []queuedJob
+		for _, sh := range shards {
+			orphans = append(orphans, sh.orphans...)
+			sh.orphans = sh.orphans[:0]
+		}
+		sort.SliceStable(orphans, func(i, j int) bool { return orphans[i].Arrival < orphans[j].Arrival })
+		placeOrphans(cfg, &res, nodes, crashAt, orphans, svc, &turnaround, &completed, mJobs, mLostEnergy)
+	}
+
+	// Flush per-shard accumulators in shard order so counter values (the
+	// float ones especially) never depend on dispatch goroutine timing.
+	for _, sh := range shards {
+		res.Failovers += sh.failovers
+		res.LostEnergyJ += sh.lostEnergyJ
+		res.LostImages += sh.lostImages
+		turnaround += sh.turnaround
+		completed += sh.completed
+		if cfg.Obs != nil {
+			label := strconv.Itoa(sh.id)
+			mShardJobs.Add(float64(sh.completed), label)
+			mSteals.Add(float64(sh.steals), label)
+			mJobs.Add(float64(sh.completed), "completed")
+			mJobs.Add(float64(sh.failovers), "failover")
+			mLostEnergy.Add(sh.lostEnergyJ)
+		}
+	}
+
+	return finishRun(cfg, nodes, crashAt, res, turnaround, completed, mNodesLost)
+}
+
+// fillServiceCache dry-runs the batch's uncached model/images keys in
+// parallel and commits the results in admission order. A dry run uses a
+// fresh executor and controller, so its result is a pure function of the
+// key — worker assignment cannot change what gets cached.
+func fillServiceCache(cfg Config, cache map[string]sim.Result, key func(Job) string, batch []queuedJob) {
+	var missing []Job
+	seen := map[string]bool{}
+	for _, j := range batch {
+		k := key(j.Job)
+		if _, ok := cache[k]; !ok && !seen[k] {
+			seen[k] = true
+			missing = append(missing, j.Job)
+		}
+	}
+	results := make([]sim.Result, len(missing))
+	var wg sync.WaitGroup
+	for i := range missing {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e := sim.NewExecutor(cfg.Platform, cfg.NewCtl())
+			e.Batch = cfg.Batch
+			results[i] = e.RunTask(missing[i].Graph, missing[i].Images)
+		}(i)
+	}
+	wg.Wait()
+	for i, j := range missing {
+		cache[key(j)] = results[i]
+	}
+}
+
+// stealPhase rebalances the round's queues: the least-loaded shard steals
+// the tail job from the first victim in its seeded order for which the move
+// is profitable (victim stays at least as loaded as the thief afterwards, so
+// a steal is never immediately reversed). Sequential and bounded, hence
+// deterministic.
+func stealPhase(cfg Config, shards []*shardState, nodes []nodeState, crashAt []time.Duration, svc func(Job) sim.Result, batchSize int) {
+	est := make([]float64, len(shards))
+	alive := make([]int, len(shards))
+	for s, sh := range shards {
+		est[s] = sh.load(nodes, crashAt, svc)
+		alive[s] = sh.survivors(nodes, crashAt)
+	}
+	for budget := 2 * batchSize; budget > 0; budget-- {
+		thief := -1
+		for s := range shards {
+			if alive[s] == 0 {
+				continue
+			}
+			if thief < 0 || est[s] < est[thief] {
+				thief = s
+			}
+		}
+		if thief < 0 {
+			return
+		}
+		stole := false
+		for _, v := range shards[thief].victims {
+			vq := shards[v].queue
+			if len(vq) == 0 {
+				continue
+			}
+			j := vq[len(vq)-1]
+			jt := svc(j.Job).Time.Seconds()
+			newThief := est[thief] + jt/float64(alive[thief])
+			newVictim := est[v]
+			if alive[v] > 0 {
+				newVictim = est[v] - jt/float64(alive[v])
+			}
+			if newVictim < newThief {
+				continue // not profitable: would just flip the imbalance
+			}
+			shards[v].queue = vq[:len(vq)-1]
+			requeue(&shards[thief].queue, j)
+			est[thief], est[v] = newThief, newVictim
+			shards[thief].steals++
+			if cfg.Obs != nil {
+				cfg.Obs.Tracer.Instant("steal", "steal", shardTrackBase+thief, j.Arrival,
+					map[string]any{"from_shard": v, "to_shard": thief, "model": j.Graph.Name})
+			}
+			stole = true
+			break
+		}
+		if !stole {
+			return
+		}
+	}
+}
+
+// dispatchShard drains one shard's round queue onto its own nodes with the
+// single-queue dispatcher's FCFS rule, including mid-job crash failover
+// (requeued within the shard at the crash instant). Jobs no surviving owned
+// node can take become orphans for the sequential reassignment phase. Runs
+// concurrently with the other shards; everything it writes — its nodes, its
+// accumulators, trace tracks jobTrackBase+{owned nodes} and
+// shardTrackBase+id — is shard-private.
+func dispatchShard(cfg Config, sh *shardState, nodes []nodeState, crashAt []time.Duration, svc func(Job) sim.Result) {
+	for len(sh.queue) > 0 {
+		j := sh.queue[0]
+		sh.queue = sh.queue[1:]
+
+		best, bestStart := -1, time.Duration(0)
+		for _, n := range sh.nodes {
+			s := maxDur(j.Arrival, nodes[n].free)
+			if s >= crashAt[n] {
+				continue
+			}
+			if best < 0 || s < bestStart {
+				best, bestStart = n, s
+			}
+		}
+		if best < 0 {
+			sh.orphans = append(sh.orphans, j)
+			continue
+		}
+		ns := &nodes[best]
+		dry := svc(j.Job)
+		end := bestStart + dry.Time
+		if end > crashAt[best] {
+			ran := crashAt[best] - bestStart
+			frac := ran.Seconds() / dry.Time.Seconds()
+			sh.lostEnergyJ += dry.EnergyJ * frac
+			sh.lostImages += int(float64(j.Images)*frac + 0.5)
+			sh.failovers++
+			if cfg.Obs != nil {
+				cfg.Obs.Tracer.Complete("job", j.Graph.Name+" (lost)", jobTrackBase+best,
+					bestStart, ran, map[string]any{"node": best, "aborted": true})
+				cfg.Obs.Tracer.Instant("job", "failover", jobTrackBase+best, crashAt[best],
+					map[string]any{"model": j.Graph.Name, "node": best})
+			}
+			ns.free = crashAt[best]
+			j.Arrival = crashAt[best]
+			requeue(&sh.queue, j)
+			continue
+		}
+		if len(ns.tasks) > 0 {
+			ns.gaps = append(ns.gaps, bestStart-ns.free)
+		}
+		ns.tasks = append(ns.tasks, sim.Task{Graph: j.Graph, Images: j.Images})
+		ns.free = end
+		ns.jobs++
+		sh.completed++
+		sh.turnaround += end - j.orig
+		if cfg.Obs != nil {
+			cfg.Obs.Tracer.Complete("job", j.Graph.Name, jobTrackBase+best, bestStart, dry.Time,
+				map[string]any{"node": best, "images": j.Images,
+					"queued_ms": float64((bestStart - j.orig).Milliseconds())})
+		}
+	}
+}
+
+// placeOrphans reassigns jobs whose home shard could not take them across
+// the whole fleet (earliest-available surviving node, crash failover,
+// dropped when nobody can ever run them). Sequential — free to touch shared
+// accounting and obs directly.
+func placeOrphans(cfg Config, res *Result, nodes []nodeState, crashAt []time.Duration, orphans []queuedJob, svc func(Job) sim.Result, turnaround *time.Duration, completed *int, mJobs, mLostEnergy obs.Counter) {
+	for len(orphans) > 0 {
+		j := orphans[0]
+		orphans = orphans[1:]
+
+		best, bestStart := -1, time.Duration(0)
+		for n := range nodes {
+			s := maxDur(j.Arrival, nodes[n].free)
+			if s >= crashAt[n] {
+				continue
+			}
+			if best < 0 || s < bestStart {
+				best, bestStart = n, s
+			}
+		}
+		if best < 0 {
+			res.DroppedJobs++
+			if cfg.Obs != nil {
+				mJobs.Inc("dropped")
+				cfg.Obs.Tracer.Instant("job", "dropped", 0, j.Arrival,
+					map[string]any{"model": j.Graph.Name, "images": j.Images})
+			}
+			continue
+		}
+		ns := &nodes[best]
+		dry := svc(j.Job)
+		end := bestStart + dry.Time
+		if end > crashAt[best] {
+			ran := crashAt[best] - bestStart
+			frac := ran.Seconds() / dry.Time.Seconds()
+			res.LostEnergyJ += dry.EnergyJ * frac
+			res.LostImages += int(float64(j.Images)*frac + 0.5)
+			res.Failovers++
+			if cfg.Obs != nil {
+				mJobs.Inc("failover")
+				mLostEnergy.Add(dry.EnergyJ * frac)
+				cfg.Obs.Tracer.Complete("job", j.Graph.Name+" (lost)", jobTrackBase+best,
+					bestStart, ran, map[string]any{"node": best, "aborted": true})
+				cfg.Obs.Tracer.Instant("job", "failover", jobTrackBase+best, crashAt[best],
+					map[string]any{"model": j.Graph.Name, "node": best})
+			}
+			ns.free = crashAt[best]
+			j.Arrival = crashAt[best]
+			requeue(&orphans, j)
+			continue
+		}
+		if len(ns.tasks) > 0 {
+			ns.gaps = append(ns.gaps, bestStart-ns.free)
+		}
+		ns.tasks = append(ns.tasks, sim.Task{Graph: j.Graph, Images: j.Images})
+		ns.free = end
+		ns.jobs++
+		*completed++
+		*turnaround += end - j.orig
+		if cfg.Obs != nil {
+			mJobs.Inc("completed")
+			cfg.Obs.Tracer.Complete("job", j.Graph.Name, jobTrackBase+best, bestStart, dry.Time,
+				map[string]any{"node": best, "images": j.Images,
+					"queued_ms": float64((bestStart - j.orig).Milliseconds())})
+		}
+	}
+}

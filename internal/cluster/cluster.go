@@ -172,10 +172,32 @@ func ClusterPrecomputedScratch(d *tensor.Matrix, hp Hyperparams, sc *Scratch) []
 // BuildPowerView extracts scaled depthwise features from g, clusters them,
 // and maps the blocks back to layer-ID ranges.
 func BuildPowerView(g *graph.Graph, hp Hyperparams) (*PowerView, error) {
+	var sc Scratch
+	return BuildPowerViewScratch(g, hp, &sc)
+}
+
+// BuildPowerViewScratch is BuildPowerView with caller-provided clustering
+// scratch: repeated calls with the same Scratch reuse the DBSCAN label,
+// neighbor, queue and run buffers instead of reallocating per call — the
+// online analysis hot path (core.Framework.Analyze) clusters one network per
+// call and was paying those allocations on every request. The returned view
+// is owned by the caller (nothing in it aliases sc); results are identical
+// to BuildPowerView.
+func BuildPowerViewScratch(g *graph.Graph, hp Hyperparams, sc *Scratch) (*PowerView, error) {
 	x, ids := features.ScaledDepthwise(g)
-	blocks, err := Cluster(x, hp)
-	if err != nil {
+	if err := hp.Validate(); err != nil {
 		return nil, err
+	}
+	if x.Rows == 0 {
+		return nil, fmt.Errorf("cluster: empty feature matrix")
+	}
+	var blocks []Block
+	if x.Rows == 1 {
+		sc.blocks = append(sc.blocks[:0], Block{0, 0})
+		blocks = sc.blocks
+	} else {
+		d := BlendedDistance(x, hp.Alpha, hp.Lambda)
+		blocks = ClusterPrecomputedScratch(d, hp, sc)
 	}
 	return viewFromBlocks(g.Name, blocks, ids), nil
 }

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"powerlens/internal/checkpoint"
@@ -32,6 +33,16 @@ type Framework struct {
 
 	DecisionModel  *nn.TwoStageNet
 	DecisionScaler *nn.FacetScaler
+
+	// mu serializes uncached analysis: the nn forward pass caches activations
+	// in layer state and the clustering scratch below is shared, so the
+	// pipeline itself is single-writer. Concurrent serving goes through the
+	// plan cache, which only takes mu on a miss.
+	mu      sync.Mutex
+	scratch cluster.Scratch // reusable clustering buffers, guarded by mu
+
+	cacheMu sync.Mutex
+	cache   *planCache // nil until EnablePlanCache
 }
 
 // DeployConfig controls the offline deployment workflow.
@@ -236,8 +247,22 @@ type Analysis struct {
 // Analyze runs the full per-model workflow of §2.1.1: ① global feature
 // extraction, ② hyperparameter prediction, ③ power behavior similarity
 // clustering into a power view, ④ per-block global features through the
-// decision model, ⑤ the preset frequency plan.
+// decision model, ⑤ the preset frequency plan. With a plan cache attached
+// (EnablePlanCache), repeat graphs return the memoized *Analysis — callers
+// must treat a cached result as immutable. Analyze is safe for concurrent
+// use either way.
 func (f *Framework) Analyze(g *graph.Graph) (*Analysis, error) {
+	if c := f.planCacheHandle(); c != nil {
+		return c.analyze(f, g)
+	}
+	return f.analyzeUncached(g)
+}
+
+// analyzeUncached is the full pipeline; f.mu makes it single-writer (the nn
+// forward pass and the clustering scratch both carry per-call state on f).
+func (f *Framework) analyzeUncached(g *graph.Graph) (*Analysis, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	a := &Analysis{}
 
 	t0 := time.Now()
@@ -252,7 +277,7 @@ func (f *Framework) Analyze(g *graph.Graph) (*Analysis, error) {
 	a.Timings.HyperPrediction = time.Since(t0)
 
 	t0 = time.Now()
-	view, err := cluster.BuildPowerView(g, a.Hyper)
+	view, err := cluster.BuildPowerViewScratch(g, a.Hyper, &f.scratch)
 	if err != nil {
 		return nil, fmt.Errorf("core: clustering %s: %w", g.Name, err)
 	}

@@ -1,0 +1,210 @@
+// The plan cache is the online serving fast path of the framework: all DVFS
+// decisions are preset before inference, so a repeat network should not pay
+// the full Analyze pipeline (feature extraction → hyperparameter prediction →
+// clustering → per-block decisions) on every request. A bounded,
+// concurrency-safe LRU keyed by the canonical graph digest plus the
+// framework's configuration digest memoizes Analyze results; repeat analyses
+// reduce to one graph hash and a map hit. Misses are single-flighted: N
+// concurrent requests for the same new network run the pipeline once and
+// share the result.
+package core
+
+import (
+	"container/list"
+	"encoding/json"
+	"sync"
+
+	"powerlens/internal/graph"
+	"powerlens/internal/obs"
+)
+
+// planKey identifies one memoized analysis: which network (canonical graph
+// digest) under which deployment (config digest — platform, grid, scalers
+// and model weights). The config half guards against a cache populated by
+// one framework ever being consulted with keys from another (e.g. plans
+// serialized alongside provenance digests).
+type planKey struct {
+	Graph  uint64
+	Config uint64
+}
+
+// planEntry is one cache slot. ready is closed once a/err are final; hits on
+// an in-flight entry wait on it instead of duplicating the pipeline.
+type planEntry struct {
+	key   planKey
+	ready chan struct{}
+	done  bool // set under planCache.mu when a/err are final
+	a     *Analysis
+	err   error
+}
+
+// planCache is the bounded LRU. All state is guarded by mu; the Analyze
+// pipeline itself runs outside the lock so concurrent misses on distinct
+// graphs never serialize behind each other's map bookkeeping.
+type planCache struct {
+	mu        sync.Mutex
+	capacity  int
+	cfgDigest uint64
+	entries   map[planKey]*list.Element
+	lru       *list.List // front = most recently used
+
+	hits, misses, evictions uint64
+
+	mHits, mMisses, mEvictions obs.Counter
+}
+
+// DefaultPlanCacheCapacity bounds the cache when EnablePlanCache is called
+// with a non-positive capacity: enough for a large mixed serving fleet's
+// model set while keeping worst-case memory trivial (an Analysis is a few
+// KB).
+const DefaultPlanCacheCapacity = 128
+
+// EnablePlanCache attaches a bounded plan cache to the framework; subsequent
+// Analyze calls are memoized by (graph digest, config digest). capacity <= 0
+// uses DefaultPlanCacheCapacity. reg, when non-nil, receives hit/miss/evict
+// counters (core_plan_cache_{hits,misses,evictions}_total); a nil registry
+// disables metrics, never the cache. Enabling replaces any previous cache
+// (and drops its contents).
+func (f *Framework) EnablePlanCache(capacity int, reg *obs.Registry) {
+	if capacity <= 0 {
+		capacity = DefaultPlanCacheCapacity
+	}
+	c := &planCache{
+		capacity:   capacity,
+		cfgDigest:  f.ConfigDigest(),
+		entries:    make(map[planKey]*list.Element, capacity),
+		lru:        list.New(),
+		mHits:      reg.Counter("core_plan_cache_hits_total", "Plan-cache lookups served from a memoized analysis."),
+		mMisses:    reg.Counter("core_plan_cache_misses_total", "Plan-cache lookups that ran the full Analyze pipeline."),
+		mEvictions: reg.Counter("core_plan_cache_evictions_total", "Memoized analyses evicted by the LRU bound."),
+	}
+	f.cacheMu.Lock()
+	f.cache = c
+	f.cacheMu.Unlock()
+}
+
+// DisablePlanCache detaches the plan cache (dropping its contents);
+// subsequent Analyze calls run the full pipeline again.
+func (f *Framework) DisablePlanCache() {
+	f.cacheMu.Lock()
+	f.cache = nil
+	f.cacheMu.Unlock()
+}
+
+// planCacheHandle returns the attached cache (nil when disabled).
+func (f *Framework) planCacheHandle() *planCache {
+	f.cacheMu.Lock()
+	defer f.cacheMu.Unlock()
+	return f.cache
+}
+
+// PlanCacheStats is a point-in-time snapshot of the plan cache.
+type PlanCacheStats struct {
+	Hits, Misses, Evictions uint64
+	Size, Capacity          int
+}
+
+// PlanCacheStats returns the cache counters (zero value when no cache is
+// attached).
+func (f *Framework) PlanCacheStats() PlanCacheStats {
+	c := f.planCacheHandle()
+	if c == nil {
+		return PlanCacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return PlanCacheStats{
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+		Size: len(c.entries), Capacity: c.capacity,
+	}
+}
+
+// ConfigDigest returns the FNV-1a/64 digest of the framework's analysis
+// configuration: platform, hyperparameter grid, both scalers and both model
+// weight sets — everything Analyze's output depends on besides the graph.
+// It hashes the canonical JSON serialization (the same bytes Save persists),
+// so a retrained or reloaded framework gets a different digest and never
+// shares cache keys with stale plans.
+func (f *Framework) ConfigDigest() uint64 {
+	b, err := json.Marshal(frameworkFile{
+		Platform:       f.Platform.Name,
+		Grid:           f.Grid,
+		HyperModel:     f.HyperModel,
+		HyperScaler:    f.HyperScaler,
+		DecisionModel:  f.DecisionModel,
+		DecisionScaler: f.DecisionScaler,
+	})
+	if err != nil {
+		// frameworkFile round-trips through Save/LoadFramework; it cannot
+		// contain unmarshalable values.
+		panic("core: config digest: " + err.Error())
+	}
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h = (h ^ uint64(c)) * 1099511628211
+	}
+	return h
+}
+
+// analyze serves one Analyze call through the cache: digest, hit-or-insert
+// under the lock, pipeline outside it, single-flight for concurrent misses
+// on the same key.
+func (c *planCache) analyze(f *Framework, g *graph.Graph) (*Analysis, error) {
+	key := planKey{Graph: graph.Digest(g), Config: c.cfgDigest}
+
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		e := el.Value.(*planEntry)
+		c.hits++
+		c.mu.Unlock()
+		c.mHits.Inc()
+		<-e.ready
+		return e.a, e.err
+	}
+	e := &planEntry{key: key, ready: make(chan struct{})}
+	el := c.lru.PushFront(e)
+	c.entries[key] = el
+	c.misses++
+	c.evictLocked()
+	c.mu.Unlock()
+	c.mMisses.Inc()
+
+	a, err := f.analyzeUncached(g)
+
+	c.mu.Lock()
+	e.a, e.err, e.done = a, err, true
+	if err != nil {
+		// Failed analyses are not cached: remove the slot (if the LRU still
+		// holds it) so a later call can retry.
+		if cur, ok := c.entries[key]; ok && cur == el {
+			c.lru.Remove(el)
+			delete(c.entries, key)
+		}
+	}
+	close(e.ready) // waiters observe a/err via the close happens-before
+	c.mu.Unlock()
+	return a, err
+}
+
+// evictLocked trims completed entries from the LRU tail until the cache fits
+// its capacity. In-flight entries are skipped — evicting one would let a
+// concurrent duplicate pipeline start; the bound is restored as soon as they
+// complete and age out.
+func (c *planCache) evictLocked() {
+	evicted := 0
+	for el := c.lru.Back(); el != nil && len(c.entries) > c.capacity; {
+		prev := el.Prev()
+		e := el.Value.(*planEntry)
+		if e.done {
+			c.lru.Remove(el)
+			delete(c.entries, e.key)
+			c.evictions++
+			evicted++
+		}
+		el = prev
+	}
+	for i := 0; i < evicted; i++ {
+		c.mEvictions.Inc()
+	}
+}

@@ -1,0 +1,303 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"powerlens/internal/cluster"
+	"powerlens/internal/dataset"
+	"powerlens/internal/features"
+	"powerlens/internal/hw"
+	"powerlens/internal/models"
+	"powerlens/internal/nn"
+	"powerlens/internal/obs"
+)
+
+// lightFramework builds a deployment-free framework (seeded untrained models
+// of the production shapes): Analyze outputs are arbitrary but deterministic,
+// which is all the cache-layer tests need, without minutes of training.
+func lightFramework(p *hw.Platform, seed int64) *Framework {
+	grid := dataset.DefaultGrid()
+	return &Framework{
+		Platform: p,
+		Grid:     grid,
+		HyperModel: nn.NewTwoStageNet(features.StructuralDim, features.StatsDim,
+			[]int{48, 32}, []int{48, 24}, len(grid), seed),
+		HyperScaler: nn.FitFacetScaler(synthSamples(64, len(grid), seed+1)),
+		DecisionModel: nn.NewTwoStageNet(features.StructuralDim, features.StatsDim,
+			[]int{64, 32}, []int{32}, p.NumGPULevels(), seed+2),
+		DecisionScaler: nn.FitFacetScaler(synthSamples(64, p.NumGPULevels(), seed+3)),
+	}
+}
+
+func synthSamples(n, classes int, seed int64) []nn.Sample {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]nn.Sample, n)
+	for i := range out {
+		s := nn.Sample{
+			Structural: make([]float64, features.StructuralDim),
+			Stats:      make([]float64, features.StatsDim),
+			Label:      rng.Intn(classes),
+		}
+		for j := range s.Structural {
+			s.Structural[j] = rng.NormFloat64()
+		}
+		for j := range s.Stats {
+			s.Stats[j] = rng.NormFloat64()
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// stripTimings zeroes the wall-clock stage timings, the only legitimately
+// run-dependent field of an Analysis.
+func stripTimings(a *Analysis) Analysis {
+	c := *a
+	c.Timings = WorkflowTimings{}
+	return c
+}
+
+func TestCachedAnalyzeBitIdentical(t *testing.T) {
+	p := hw.TX2()
+	plain := lightFramework(p, 7)
+	cached := lightFramework(p, 7)
+	cached.EnablePlanCache(0, nil)
+
+	for _, name := range []string{"alexnet", "resnet34", "vit_base_32"} {
+		g := models.MustBuild(name)
+		want, err := plain.Analyze(g)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		miss, err := cached.Analyze(g)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		hit, err := cached.Analyze(g)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if hit != miss {
+			t.Fatalf("%s: cache hit returned a different object than the miss", name)
+		}
+		if !reflect.DeepEqual(stripTimings(want), stripTimings(hit)) {
+			t.Fatalf("%s: cached analysis differs from uncached:\nuncached %+v\ncached   %+v",
+				name, stripTimings(want), stripTimings(hit))
+		}
+	}
+	st := cached.PlanCacheStats()
+	if st.Misses != 3 || st.Hits != 3 {
+		t.Fatalf("stats = %+v, want 3 misses / 3 hits", st)
+	}
+}
+
+func TestPlanCacheSpeedupAndCounters(t *testing.T) {
+	p := hw.TX2()
+	fw := lightFramework(p, 7)
+	g := models.MustBuild("resnet34")
+
+	// Uncached latency: best of several full pipeline runs.
+	uncached := time.Duration(1<<63 - 1)
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		if _, err := fw.Analyze(g); err != nil {
+			t.Fatal(err)
+		}
+		if d := time.Since(start); d < uncached {
+			uncached = d
+		}
+	}
+
+	reg := obs.NewRegistry()
+	fw.EnablePlanCache(8, reg)
+	if _, err := fw.Analyze(g); err != nil {
+		t.Fatal(err)
+	}
+	const hits = 2000
+	cached := time.Duration(1<<63 - 1)
+	for rep := 0; rep < 3; rep++ {
+		start := time.Now()
+		for i := 0; i < hits; i++ {
+			if _, err := fw.Analyze(g); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if d := time.Since(start) / hits; d < cached {
+			cached = d
+		}
+	}
+	if cached*20 > uncached {
+		t.Fatalf("cached Analyze %v not >= 20x faster than uncached %v", cached, uncached)
+	}
+
+	st := fw.PlanCacheStats()
+	if st.Misses != 1 || st.Hits != 3*hits {
+		t.Fatalf("stats = %+v, want 1 miss / %d hits", st, 3*hits)
+	}
+	counts := map[string]float64{}
+	for _, fam := range reg.Snapshot() {
+		for _, s := range fam.Series {
+			counts[fam.Name] += s.Value
+		}
+	}
+	if counts["core_plan_cache_hits_total"] != float64(st.Hits) ||
+		counts["core_plan_cache_misses_total"] != float64(st.Misses) {
+		t.Fatalf("obs counters %v disagree with stats %+v", counts, st)
+	}
+}
+
+func TestPlanCacheSingleFlight(t *testing.T) {
+	p := hw.TX2()
+	fw := lightFramework(p, 7)
+	fw.EnablePlanCache(8, nil)
+	g := models.MustBuild("resnet34")
+
+	const callers = 16
+	results := make([]*Analysis, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			a, err := fw.Analyze(g)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = a
+		}(i)
+	}
+	wg.Wait()
+	st := fw.PlanCacheStats()
+	if st.Misses != 1 {
+		t.Fatalf("%d concurrent identical Analyze calls ran the pipeline %d times, want 1 (single-flight)",
+			callers, st.Misses)
+	}
+	if st.Hits != callers-1 {
+		t.Fatalf("hits = %d, want %d", st.Hits, callers-1)
+	}
+	for i := 1; i < callers; i++ {
+		if results[i] != results[0] {
+			t.Fatal("concurrent callers received different result objects")
+		}
+	}
+}
+
+func TestPlanCacheConcurrentDistinctGraphs(t *testing.T) {
+	p := hw.TX2()
+	fw := lightFramework(p, 7)
+	fw.EnablePlanCache(32, nil)
+
+	names := models.Names()
+	var wg sync.WaitGroup
+	for round := 0; round < 2; round++ {
+		for _, name := range names {
+			wg.Add(1)
+			go func(name string) {
+				defer wg.Done()
+				if _, err := fw.Analyze(models.MustBuild(name)); err != nil {
+					t.Errorf("%s: %v", name, err)
+				}
+			}(name)
+		}
+	}
+	wg.Wait()
+	st := fw.PlanCacheStats()
+	// Round two rebuilds every graph; the digest must land on round one's
+	// entries, so misses stay at one per distinct model.
+	if st.Misses != uint64(len(names)) {
+		t.Fatalf("misses = %d, want %d (one per distinct model)", st.Misses, len(names))
+	}
+	if st.Size != len(names) {
+		t.Fatalf("cache size = %d, want %d", st.Size, len(names))
+	}
+}
+
+func TestPlanCacheBoundedEviction(t *testing.T) {
+	p := hw.TX2()
+	fw := lightFramework(p, 7)
+	fw.EnablePlanCache(2, nil)
+
+	names := []string{"alexnet", "resnet34", "vit_base_32", "googlenet"}
+	for _, name := range names {
+		if _, err := fw.Analyze(models.MustBuild(name)); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	st := fw.PlanCacheStats()
+	if st.Size > 2 {
+		t.Fatalf("cache size %d exceeds capacity 2", st.Size)
+	}
+	if st.Evictions != uint64(len(names)-2) {
+		t.Fatalf("evictions = %d, want %d", st.Evictions, len(names)-2)
+	}
+	// LRU: the most recent two survive; the oldest was evicted and misses.
+	if _, err := fw.Analyze(models.MustBuild("googlenet")); err != nil {
+		t.Fatal(err)
+	}
+	if got := fw.PlanCacheStats(); got.Hits != st.Hits+1 {
+		t.Fatalf("most-recent entry missed: %+v", got)
+	}
+	if _, err := fw.Analyze(models.MustBuild("alexnet")); err != nil {
+		t.Fatal(err)
+	}
+	if got := fw.PlanCacheStats(); got.Misses != st.Misses+1 {
+		t.Fatalf("evicted entry unexpectedly hit: %+v", got)
+	}
+}
+
+func TestConfigDigestDistinguishesDeployments(t *testing.T) {
+	p := hw.TX2()
+	a := lightFramework(p, 7)
+	b := lightFramework(p, 7)
+	if a.ConfigDigest() != b.ConfigDigest() {
+		t.Fatal("identically-built frameworks must share a config digest")
+	}
+	c := lightFramework(p, 8)
+	if a.ConfigDigest() == c.ConfigDigest() {
+		t.Fatal("differently-seeded frameworks must not share a config digest")
+	}
+}
+
+// TestAnalyzeScratchReuse pins the cluster.Scratch fix: repeat uncached
+// Analyze calls must reuse the framework's clustering scratch instead of
+// reallocating DBSCAN working storage per call.
+func TestAnalyzeScratchReuse(t *testing.T) {
+	p := hw.TX2()
+	fw := lightFramework(p, 7)
+	g := models.MustBuild("resnet34")
+
+	warm := func() {
+		if _, err := fw.Analyze(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	warm()
+
+	perCall := testing.AllocsPerRun(20, warm)
+
+	// The same clustering through a cold scratch every call.
+	a, err := fw.Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perCold := testing.AllocsPerRun(20, func() {
+		if _, err := cluster.BuildPowerView(g, a.Hyper); err != nil {
+			t.Fatal(err)
+		}
+	})
+	perWarm := testing.AllocsPerRun(20, func() {
+		if _, err := cluster.BuildPowerViewScratch(g, a.Hyper, &fw.scratch); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if perWarm >= perCold {
+		t.Fatalf("scratch reuse saves nothing: warm %v allocs vs cold %v", perWarm, perCold)
+	}
+	t.Logf("allocs/call: warm Analyze %.0f, cold clustering %.0f, warm clustering %.0f",
+		perCall, perCold, perWarm)
+}

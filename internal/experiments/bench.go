@@ -42,8 +42,8 @@ type BenchMetric struct {
 	Value float64 `json:"value"`
 	Unit  string  `json:"unit"`
 	// Group names the harness section the metric belongs to ("sim",
-	// "cluster", "features", "obs", "offline"); BenchOptions.Filter selects
-	// sections by substring.
+	// "cluster", "features", "obs", "offline", "online");
+	// BenchOptions.Filter selects sections by substring.
 	Group string `json:"group,omitempty"`
 	// HigherIsBetter orients regression detection (throughputs: true).
 	HigherIsBetter bool `json:"higherIsBetter"`
@@ -194,8 +194,13 @@ func RunBench(opt BenchOptions) (*BenchReport, error) {
 			HigherIsBetter: higherIsBetter, Tolerance: tol,
 		})
 	}
+	matched := false
 	match := func(group string) bool {
-		return opt.Filter == "" || strings.Contains(group, opt.Filter)
+		ok := opt.Filter == "" || strings.Contains(group, opt.Filter)
+		if ok {
+			matched = true
+		}
+		return ok
 	}
 
 	model := "resnet152"
@@ -323,11 +328,25 @@ func RunBench(opt BenchOptions) (*BenchReport, error) {
 		offlineBench(opt, r, g, add)
 	}
 
+	if match("online") {
+		onlineBench(opt, add)
+	}
+
+	// A filter that selects nothing would silently emit an empty (and
+	// invalid) report; name the sections instead so typos fail loudly.
+	if !matched {
+		return nil, fmt.Errorf("bench: filter %q matches no section (sections: %s)",
+			opt.Filter, strings.Join(benchSections, ", "))
+	}
+
 	if err := r.Validate(); err != nil {
 		return nil, err
 	}
 	return r, nil
 }
+
+// benchSections lists every harness section a BenchOptions.Filter can match.
+var benchSections = []string{"sim", "cluster", "features", "obs", "offline", "online"}
 
 // offlineBench measures the §2.2 offline pipeline: dataset generation
 // throughput end to end (multi-core), the oracle sweep's per-block cost over

@@ -45,6 +45,10 @@ func TestRunBenchSmoke(t *testing.T) {
 		{"oracle_sweep_allocs_per_block", "offline"},
 		{"cluster_sweep_allocs_per_cell", "offline"},
 		{"train_epoch_ns", "offline"},
+		{"analyze_ns_uncached", "online"},
+		{"analyze_ns_cached", "online"},
+		{"executor_step_allocs", "online"},
+		{"dispatch_jobs_per_s", "online"},
 	}
 	if len(r.Metrics) != len(want) {
 		t.Fatalf("got %d metrics, want %d: %+v", len(r.Metrics), len(want), r.Metrics)
@@ -55,11 +59,14 @@ func TestRunBenchSmoke(t *testing.T) {
 			t.Fatalf("metric %d is %q/%q, want %q/%q", i, m.Name, m.Group, w.name, w.group)
 		}
 		wantHigher := m.Unit == "steps/s" || m.Unit == "views/s" || m.Unit == "extracts/s" ||
-			m.Unit == "ops/s" || m.Unit == "scrapes/s" || m.Unit == "nets/s"
+			m.Unit == "ops/s" || m.Unit == "scrapes/s" || m.Unit == "nets/s" || m.Unit == "jobs/s"
 		if m.HigherIsBetter != wantHigher {
 			t.Fatalf("metric %q orientation %v disagrees with unit %q", m.Name, m.HigherIsBetter, m.Unit)
 		}
-		if m.Value <= 0 || m.Tolerance <= 0 || m.Unit == "" {
+		// executor_step_allocs is the one metric whose healthy value IS zero —
+		// the fast path's whole claim.
+		if m.Value < 0 || (m.Value == 0 && m.Name != "executor_step_allocs") ||
+			m.Tolerance <= 0 || m.Unit == "" {
 			t.Fatalf("metric %q not measured sanely: %+v", w.name, m)
 		}
 	}
@@ -93,6 +100,62 @@ func TestRunBenchFilter(t *testing.T) {
 		if m.Group != "offline" {
 			t.Fatalf("filtered run leaked metric %q from group %q", m.Name, m.Group)
 		}
+	}
+}
+
+// TestRunBenchFilterNoMatch pins the zero-match contract: a filter that
+// selects no section must error and name the valid sections, instead of
+// silently writing an empty report a CI gate would then wave through.
+func TestRunBenchFilterNoMatch(t *testing.T) {
+	_, err := RunBench(BenchOptions{Name: "x", Seed: 7, Smoke: true, Filter: "nosuchsection"})
+	if err == nil {
+		t.Fatal("zero-match filter must error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "nosuchsection") || !strings.Contains(msg, "matches no section") {
+		t.Fatalf("error must name the filter and the failure: %q", msg)
+	}
+	for _, section := range []string{"sim", "cluster", "features", "obs", "offline", "online"} {
+		if !strings.Contains(msg, section) {
+			t.Fatalf("error must list section %q: %q", section, msg)
+		}
+	}
+}
+
+// TestRunBenchOnlineSection pins the online fast-path section in isolation:
+// the serving metrics BENCH_online.json gates on.
+func TestRunBenchOnlineSection(t *testing.T) {
+	r, err := RunBench(BenchOptions{Name: "online", Seed: 7, Smoke: true, Filter: "online"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]BenchMetric{}
+	for _, m := range r.Metrics {
+		if m.Group != "online" {
+			t.Fatalf("online filter leaked metric %q from group %q", m.Name, m.Group)
+		}
+		byName[m.Name] = m
+	}
+	if len(byName) != 4 {
+		t.Fatalf("online section produced %d metrics, want 4: %+v", len(byName), r.Metrics)
+	}
+	uncached, cached := byName["analyze_ns_uncached"], byName["analyze_ns_cached"]
+	if uncached.Value <= 0 || cached.Value <= 0 {
+		t.Fatalf("analysis latencies not measured: %+v / %+v", uncached, cached)
+	}
+	// The tentpole claim, measured end to end: a plan-cache hit is >= 20x
+	// cheaper than the full analysis pipeline.
+	if cached.Value*20 > uncached.Value {
+		t.Fatalf("cached analyze %v ns not >= 20x faster than uncached %v ns", cached.Value, uncached.Value)
+	}
+	if allocs := byName["executor_step_allocs"]; allocs.Value != 0 {
+		t.Fatalf("steady-state executor stepping allocates: %v allocs/step", allocs.Value)
+	}
+	if tput := byName["dispatch_jobs_per_s"]; tput.Value <= 0 || !tput.HigherIsBetter {
+		t.Fatalf("dispatch throughput not measured sanely: %+v", tput)
 	}
 }
 

@@ -17,6 +17,27 @@ type FrequencyPlan struct {
 // NumPoints returns the number of instrumentation points.
 func (fp *FrequencyPlan) NumPoints() int { return len(fp.Points) }
 
+// compileSchedule flattens a plan onto a graph: sched[layerID] holds the
+// pre-clamped target level at that instrumentation point, or -1 where the
+// plan sets nothing. The per-layer hook then costs one slice index instead of
+// a map probe — the executor calls it for every op of every image, so this
+// is the single hottest lookup of the online path. buf is reused when it has
+// capacity. Points outside [0, len(layers)) are unreachable through the
+// executor (it only passes real layer IDs) and are dropped.
+func compileSchedule(plan *FrequencyPlan, g *graph.Graph, p *hw.Platform, buf []int) []int {
+	n := len(g.Layers)
+	sched := buf[:0]
+	for i := 0; i < n; i++ {
+		sched = append(sched, -1)
+	}
+	for id, lvl := range plan.Points {
+		if id >= 0 && id < n {
+			sched[id] = p.ClampGPULevel(lvl)
+		}
+	}
+	return sched
+}
+
 // PowerLens applies a FrequencyPlan at its preset instrumentation points.
 // It needs no runtime feedback: frequencies are decided offline per power
 // block, which is what eliminates the reactive baselines' ping-pong and lag.
@@ -25,6 +46,13 @@ type PowerLens struct {
 
 	platform *hw.Platform
 	level    int
+
+	// Compiled block→level schedule for (Plan, graph, platform); rebuilt
+	// lazily whenever any of the three changes.
+	schedPlan     *FrequencyPlan
+	schedGraph    *graph.Graph
+	schedPlatform *hw.Platform
+	sched         []int
 }
 
 // NewPowerLens returns a controller executing the given plan.
@@ -49,14 +77,21 @@ func (pl *PowerLens) CPULevel() int { return len(pl.platform.CPUFreqsHz) - 1 }
 
 // BeforeLayer implements sim.Controller: at an instrumentation point, preset
 // the block's target frequency. Plans for other models are ignored, so one
-// controller instance can serve a mixed task flow given per-model plans via
-// SetPlan.
+// controller instance can serve a mixed task flow given per-model plans. The
+// steady-state cost is one slice index per layer (the plan is compiled to a
+// flat schedule on first use per graph).
 func (pl *PowerLens) BeforeLayer(g *graph.Graph, layerID int) {
 	if pl.Plan == nil || pl.Plan.Model != g.Name {
 		return
 	}
-	if lvl, ok := pl.Plan.Points[layerID]; ok {
-		pl.level = pl.platform.ClampGPULevel(lvl)
+	if pl.schedPlan != pl.Plan || pl.schedGraph != g || pl.schedPlatform != pl.platform {
+		pl.sched = compileSchedule(pl.Plan, g, pl.platform, pl.sched)
+		pl.schedPlan, pl.schedGraph, pl.schedPlatform = pl.Plan, g, pl.platform
+	}
+	if layerID >= 0 && layerID < len(pl.sched) {
+		if lvl := pl.sched[layerID]; lvl >= 0 {
+			pl.level = lvl
+		}
 	}
 }
 
@@ -72,7 +107,26 @@ type MultiPlan struct {
 
 	platform *hw.Platform
 	level    int
+
+	// Compiled schedules, one per graph served (bounded; see BeforeLayer),
+	// with a last-graph memo so the per-layer hook skips the map on the
+	// common same-graph-as-last-layer case.
+	compiled  map[*graph.Graph]*mpSchedule
+	lastGraph *graph.Graph
+	lastSched *mpSchedule
 }
+
+// mpSchedule is one graph's compiled schedule plus the inputs it was
+// compiled from (for staleness checks).
+type mpSchedule struct {
+	plan     *FrequencyPlan
+	platform *hw.Platform
+	sched    []int
+}
+
+// maxCompiledSchedules bounds MultiPlan's schedule cache; serving loops that
+// rebuild graph objects per request cannot grow it without bound.
+const maxCompiledSchedules = 64
 
 // NewMultiPlan returns a PowerLens controller holding one plan per model.
 func NewMultiPlan(plans map[string]*FrequencyPlan) *MultiPlan {
@@ -99,8 +153,29 @@ func (m *MultiPlan) BeforeLayer(g *graph.Graph, layerID int) {
 	if !ok {
 		return
 	}
-	if lvl, ok := plan.Points[layerID]; ok {
-		m.level = m.platform.ClampGPULevel(lvl)
+	e := m.lastSched
+	if m.lastGraph != g {
+		if m.compiled == nil {
+			m.compiled = make(map[*graph.Graph]*mpSchedule)
+		}
+		e = m.compiled[g]
+		if e == nil {
+			if len(m.compiled) >= maxCompiledSchedules {
+				m.compiled = make(map[*graph.Graph]*mpSchedule)
+			}
+			e = &mpSchedule{}
+			m.compiled[g] = e
+		}
+		m.lastGraph, m.lastSched = g, e
+	}
+	if e.plan != plan || e.platform != m.platform {
+		e.sched = compileSchedule(plan, g, m.platform, e.sched)
+		e.plan, e.platform = plan, m.platform
+	}
+	if layerID >= 0 && layerID < len(e.sched) {
+		if lvl := e.sched[layerID]; lvl >= 0 {
+			m.level = lvl
+		}
 	}
 }
 

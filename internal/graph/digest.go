@@ -1,0 +1,104 @@
+package graph
+
+import "fmt"
+
+// Canonical graph digests. The online serving fast path memoizes per-model
+// Analyze results (internal/core's plan cache), so it needs a stable identity
+// for "the same network": a digest covering everything the offline workflow
+// consumes — operator kinds, structural attributes, inferred shapes, the
+// input topology, fusion residue, and the model name (frequency plans are
+// dispatched by name at runtime, so two structurally identical graphs with
+// different names must not share a plan). Cosmetic state (Layer.Name display
+// strings) is deliberately excluded.
+//
+// The digest is FNV-1a/64 over a fixed little-endian byte serialization. Its
+// value for a given graph is pinned by golden tests: any change to the
+// serialization (or to what it covers) must bump digestVersion so cache keys
+// shift loudly, never silently.
+
+// digestVersion tags the digest serialization; bump on any layout change.
+const digestVersion = "powerlens-graph-digest-v1"
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// digest64 is an incremental FNV-1a/64 hasher (allocation-free; hashing a
+// graph must stay cheap enough that a plan-cache hit is effectively free).
+type digest64 uint64
+
+func (h *digest64) byte(b byte) {
+	*h = (*h ^ digest64(b)) * fnvPrime64
+}
+
+// u64 hashes v as 8 little-endian bytes.
+func (h *digest64) u64(v uint64) {
+	for i := 0; i < 8; i++ {
+		h.byte(byte(v))
+		v >>= 8
+	}
+}
+
+func (h *digest64) int(v int) { h.u64(uint64(int64(v))) }
+
+func (h *digest64) i64(v int64) { h.u64(uint64(v)) }
+
+// str hashes the bytes of s followed by its length (length-suffixing keeps
+// adjacent fields from sliding into each other).
+func (h *digest64) str(s string) {
+	for i := 0; i < len(s); i++ {
+		h.byte(s[i])
+	}
+	h.int(len(s))
+}
+
+func (h *digest64) shape(s Shape) {
+	h.int(s.C)
+	h.int(s.H)
+	h.int(s.W)
+}
+
+// Digest returns the canonical FNV-1a/64 digest of g. Two graphs digest
+// equal iff they have the same name and layer-for-layer identical operator
+// kinds, input wiring, shapes, structural attributes and fusion residue —
+// exactly the inputs the PowerLens analysis workflow reads. Rebuilding a
+// model from its builder yields the same digest; changing any op, shape,
+// attribute or edge changes it.
+func Digest(g *Graph) uint64 {
+	h := digest64(fnvOffset64)
+	h.str(digestVersion)
+	h.str(g.Name)
+	h.int(len(g.Layers))
+	for _, l := range g.Layers {
+		h.int(int(l.Kind))
+		h.int(len(l.Inputs))
+		for _, in := range l.Inputs {
+			h.int(in)
+		}
+		h.shape(l.InShape)
+		h.shape(l.OutShape)
+		a := l.Attrs
+		h.int(a.KernelH)
+		h.int(a.KernelW)
+		h.int(a.StrideH)
+		h.int(a.StrideW)
+		h.int(a.PadH)
+		h.int(a.PadW)
+		h.int(a.Groups)
+		h.int(a.OutChannels)
+		h.int(a.InFeatures)
+		h.int(a.OutFeatures)
+		h.int(a.Heads)
+		h.int(a.EmbedDim)
+		h.int(a.NormDim)
+		h.int(a.TargetH)
+		h.int(a.TargetW)
+		h.i64(l.fusedFLOPs)
+		h.i64(l.fusedParams)
+	}
+	return uint64(h)
+}
+
+// DigestString renders a digest as fixed-width hex (cache-key and log form).
+func DigestString(d uint64) string { return fmt.Sprintf("%016x", d) }

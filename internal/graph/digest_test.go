@@ -1,0 +1,90 @@
+package graph_test
+
+import (
+	"testing"
+
+	"powerlens/internal/graph"
+	"powerlens/internal/models"
+)
+
+// goldenDigests pins the canonical digest of every evaluation model. These
+// are cache keys: if a digest here changes, plan caches keyed on the old
+// value silently miss (or worse, a serialization bug makes distinct graphs
+// collide). Any intentional change to the digest serialization must bump
+// digestVersion and update these values in the same commit.
+var goldenDigests = map[string]string{
+	"alexnet":        "6d6b907a22f2949c",
+	"googlenet":      "8fd971b3542352f7",
+	"vgg19":          "b884362254aa0ebb",
+	"mobilenet_v3":   "e6f864fd7895129a",
+	"densenet201":    "0fb803894abc0d4a",
+	"resnext101":     "86fecfa4e69b8c4c",
+	"resnet34":       "45728b2f7733d3da",
+	"resnet152":      "42fcd540e2b30dbc",
+	"regnet_x_32gf":  "271434b6d98ad732",
+	"regnet_y_128gf": "702434fd0d972b96",
+	"vit_base_16":    "e93d65cd4c7b72ed",
+	"vit_base_32":    "cd10a19d8ad23e97",
+}
+
+func TestDigestGoldenValues(t *testing.T) {
+	names := models.Names()
+	if len(names) != len(goldenDigests) {
+		t.Fatalf("golden table has %d models, Names() has %d", len(goldenDigests), len(names))
+	}
+	for _, name := range names {
+		got := graph.DigestString(graph.Digest(models.MustBuild(name)))
+		if want := goldenDigests[name]; got != want {
+			t.Errorf("%s: digest %s, golden %s (serialization changed? bump digestVersion and repin)",
+				name, got, want)
+		}
+	}
+}
+
+func TestDigestStableAcrossRebuild(t *testing.T) {
+	for _, name := range models.Names() {
+		a := graph.Digest(models.MustBuild(name))
+		b := graph.Digest(models.MustBuild(name))
+		if a != b {
+			t.Errorf("%s: rebuild changed digest: %016x vs %016x", name, a, b)
+		}
+	}
+}
+
+func TestDigestDistinctAcrossModels(t *testing.T) {
+	seen := map[uint64]string{}
+	for _, name := range models.Names() {
+		d := graph.Digest(models.MustBuild(name))
+		if prev, ok := seen[d]; ok {
+			t.Errorf("digest collision: %s and %s both hash to %016x", prev, name, d)
+		}
+		seen[d] = name
+	}
+}
+
+func TestDigestSensitivity(t *testing.T) {
+	build := func(name string, hidden int) *graph.Graph {
+		g := graph.New(name)
+		in := g.Input(3, 8, 8)
+		g.Linear(g.Flatten(in), hidden)
+		return g
+	}
+	base := graph.Digest(build("net", 10))
+	if graph.Digest(build("net", 10)) != base {
+		t.Fatal("identical builds must digest equal")
+	}
+	if graph.Digest(build("net", 11)) == base {
+		t.Fatal("changing a layer attribute must change the digest")
+	}
+	// Same structure under a different model name: plans dispatch by name at
+	// runtime, so these must not share a cache entry.
+	if graph.Digest(build("net2", 10)) == base {
+		t.Fatal("changing the model name must change the digest")
+	}
+}
+
+func TestDigestStringWidth(t *testing.T) {
+	if s := graph.DigestString(0xab); s != "00000000000000ab" {
+		t.Fatalf("DigestString(0xab) = %q", s)
+	}
+}

@@ -28,8 +28,24 @@ type PowerSensor struct {
 
 // NewPowerSensor returns a sensor sampling at the given period (tegrastats
 // defaults to 1 s; the experiments use a finer 10 ms period for traces).
+// A non-positive period disables the sample trace; energy integration is
+// unaffected.
 func NewPowerSensor(period time.Duration) *PowerSensor {
 	return &PowerSensor{Period: period, nextTick: period}
+}
+
+// Reset returns the sensor to its initial state at a (possibly new) sampling
+// period, retaining the sample buffer's capacity. The serving fast path
+// resets one sensor per run instead of allocating; callers that hand out
+// Samples() must not Reset while those slices are still referenced.
+func (s *PowerSensor) Reset(period time.Duration) {
+	s.Period = period
+	s.now = 0
+	s.energyJ = 0
+	s.samples = s.samples[:0]
+	s.lastPower = 0
+	s.lastFreq = 0
+	s.nextTick = period
 }
 
 // Advance accounts for an interval of length d during which the rail drew
@@ -40,9 +56,11 @@ func (s *PowerSensor) Advance(d time.Duration, powerW, freqHz float64) {
 	}
 	end := s.now + d
 	s.energyJ += powerW * d.Seconds()
-	for s.nextTick <= end {
-		s.samples = append(s.samples, PowerSample{At: s.nextTick, PowerW: powerW, FreqHz: freqHz})
-		s.nextTick += s.Period
+	if s.Period > 0 {
+		for s.nextTick <= end {
+			s.samples = append(s.samples, PowerSample{At: s.nextTick, PowerW: powerW, FreqHz: freqHz})
+			s.nextTick += s.Period
+		}
 	}
 	s.now = end
 	s.lastPower = powerW

@@ -114,7 +114,10 @@ type Executor struct {
 	// a typical devfreq polling interval).
 	WindowPeriod time.Duration
 	// SensorPeriod is the tegrastats-style trace sampling period (default
-	// 10 ms). Traces are optional; energy integration is always exact.
+	// 10 ms). A non-positive period turns the trace off — Result.Samples is
+	// empty, energy integration stays exact, and the serving fast path
+	// applies: the executor reuses its sensor and per-run scratch so
+	// steady-state stepping performs no heap allocation.
 	SensorPeriod time.Duration
 	// Batch is the inference batch size (default 1). Batching multiplies
 	// arithmetic and activation traffic per pass while weight traffic
@@ -146,6 +149,13 @@ type Executor struct {
 	thermal *hw.ThermalState
 
 	sensor *hw.PowerSensor
+
+	// Per-pass op cost scratch: layer FLOPs/bytes at the current batch size
+	// are batch-invariant across passes, so they are computed once per
+	// (graph, batch) instead of per image.
+	costGraph *graph.Graph
+	costBatch int
+	costs     []opWork
 
 	// Window accumulation state.
 	winElapsed time.Duration
@@ -182,9 +192,15 @@ func NewExecutor(p *hw.Platform, ctl Controller) *Executor {
 	}
 }
 
-// reset prepares run state.
+// reset prepares run state. With tracing on, each run gets a fresh sensor so
+// previously returned Result.Samples slices stay valid; with tracing off no
+// samples escape, so the sensor is reset in place (zero-alloc path).
 func (e *Executor) reset() {
-	e.sensor = hw.NewPowerSensor(e.SensorPeriod)
+	if e.sensor != nil && e.SensorPeriod <= 0 {
+		e.sensor.Reset(e.SensorPeriod)
+	} else {
+		e.sensor = hw.NewPowerSensor(e.SensorPeriod)
+	}
 	e.Ctl.Reset(e.Platform)
 	e.gpuLevel = e.Platform.ClampGPULevel(e.Ctl.GPULevel())
 	e.switches = 0
@@ -454,15 +470,16 @@ func (e *Executor) runImage(g *graph.Graph) {
 
 	// GPU pass, layer by layer, with the host rail active for the first
 	// cpuRemaining of it.
-	for _, l := range g.Layers {
-		e.Ctl.BeforeLayer(g, l.ID)
+	costs := e.opCosts(g, batch)
+	for i := range costs {
+		w := &costs[i]
+		e.Ctl.BeforeLayer(g, w.id)
 		e.applyLevel()
-		if l.Kind == graph.OpInput {
+		if w.skip {
 			continue
 		}
 		f := p.GPUFreqsHz[e.gpuLevel]
-		flops, bytes := l.BatchCost(batch)
-		c := p.GPUOpCost(flops, bytes, f)
+		c := p.GPUOpCost(w.flops, w.bytes, f)
 		overlap := c.Time
 		if overlap > cpuRemaining {
 			overlap = cpuRemaining
@@ -481,6 +498,33 @@ func (e *Executor) runImage(g *graph.Graph) {
 		e.advance(cpuRemaining, gpuIdleW+cpuPower, false, true, 0)
 	}
 	e.images += batch
+}
+
+// opWork is one layer's precomputed pass cost: batched FLOPs and memory
+// traffic, plus the ID handed to the controller hook.
+type opWork struct {
+	id           int
+	flops, bytes int64
+	skip         bool // OpInput — hook fires, no GPU work
+}
+
+// opCosts returns the per-layer cost buffer for (g, batch), rebuilding it
+// only when either changes. BatchCost is pure, so the precomputed values are
+// exactly what the per-layer loop used to recompute every pass.
+func (e *Executor) opCosts(g *graph.Graph, batch int) []opWork {
+	if e.costGraph == g && e.costBatch == batch {
+		return e.costs
+	}
+	costs := e.costs[:0]
+	for _, l := range g.Layers {
+		w := opWork{id: l.ID, skip: l.Kind == graph.OpInput}
+		if !w.skip {
+			w.flops, w.bytes = l.BatchCost(batch)
+		}
+		costs = append(costs, w)
+	}
+	e.costs, e.costGraph, e.costBatch = costs, g, batch
+	return costs
 }
 
 func clampCPU(p *hw.Platform, level int) int {
