@@ -21,6 +21,11 @@
 //	                    [-serve :8080] [-serve-for D] [-run-dir runs]
 //	                                              # instrumented run: Chrome trace + Prometheus metrics,
 //	                                              # live HTTP telemetry, run-provenance recording
+//	experiments slo    [-networks N] [-seed S] [-tasks T] [-target F] [-budget W]
+//	                   [-slo-out slo_status.json] [-ledger-out slo_ledger.json]
+//	                   [-metrics-out slo_metrics.prom] [-serve :8080] [-serve-for D] [-run-dir runs]
+//	                                              # energy-attribution ledger + SLO burn-rate tracking,
+//	                                              # served live on GET /slo with -serve
 //	experiments bench  [-name N] [-seed S] [-smoke] [-repeats R] [-o F]  # perf baseline -> BENCH_<name>.json
 //	experiments bench compare [-slack X] OLD.json NEW.json  # exit nonzero on regression
 //	experiments bench validate FILE...            # schema-check bench reports
@@ -63,6 +68,8 @@ func main() {
 		runResilience(args)
 	case "observe":
 		runObserve(args)
+	case "slo":
+		runSLO(args)
 	case "bench":
 		runBench(args)
 	case "switch":
@@ -80,5 +87,5 @@ func main() {
 }
 
 func usage() {
-	fmt.Println("usage: experiments <all|report|table1|table2|table3|fig1|fig5|ext|thermal|resilience|observe|bench|switch|calibrate|dispersion> [-networks N] [-seed S]")
+	fmt.Println("usage: experiments <all|report|table1|table2|table3|fig1|fig5|ext|thermal|resilience|observe|slo|bench|switch|calibrate|dispersion> [-networks N] [-seed S]")
 }

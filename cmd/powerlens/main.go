@@ -10,11 +10,14 @@
 //	          [-load framework.json] [-save framework.json]
 //	powerlens -list
 //	powerlens runs <list | show ID | diff ID1 ID2 | verify [ID...]> [-dir runs]
+//	powerlens promcheck <file|-> ...
 //
 // The runs subcommand browses the run-provenance store written by
 // `experiments observe/resilience -run-dir` (see internal/obs/runlog);
 // `runs verify` re-hashes recorded artifacts against their manifests and
-// exits nonzero on corruption.
+// exits nonzero on corruption. The promcheck subcommand validates Prometheus
+// text-exposition files (exported pages or /metrics scrapes) and exits
+// nonzero on format drift.
 package main
 
 import (
@@ -37,6 +40,10 @@ func main() {
 	// classic single-model workflow driven by flags alone.
 	if len(os.Args) > 1 && os.Args[1] == "runs" {
 		runRuns(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "promcheck" {
+		runPromcheck(os.Args[2:])
 		return
 	}
 	var (

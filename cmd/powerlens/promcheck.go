@@ -1,0 +1,37 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"powerlens/internal/obs"
+)
+
+// runPromcheck validates Prometheus text-exposition files ("-" = stdin) with
+// the same checker the exporter's golden tests use, so CI can assert that
+// exported pages stay in the format scrapers accept. Exits nonzero on the
+// first malformed file.
+func runPromcheck(args []string) {
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: powerlens promcheck <file|-> ...")
+		os.Exit(2)
+	}
+	for _, path := range args {
+		var r io.Reader = os.Stdin
+		name := "stdin"
+		if path != "-" {
+			f, err := os.Open(path)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			r, name = f, path
+		}
+		families, err := obs.CheckPrometheusText(r)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		fmt.Printf("%s: ok (%d families)\n", name, families)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"powerlens/internal/graph"
 	"powerlens/internal/hw"
 	"powerlens/internal/obs"
+	"powerlens/internal/obs/ledger"
 	"powerlens/internal/sim"
 )
 
@@ -56,6 +57,12 @@ type Config struct {
 	// track, so the trace is deterministic for a fixed seed despite nodes
 	// simulating concurrently.
 	Obs *obs.Observer
+	// Ledger, when non-nil, receives the fleet's merged energy/latency
+	// attribution: each node's executor records into a private per-node
+	// ledger, and the pieces are merged here in node order after the
+	// simulation. The ledger's integral cell state makes the merged result
+	// byte-identical at any shard count.
+	Ledger *ledger.Ledger
 
 	// Shards > 1 enables the sharded work-stealing dispatcher (dispatch.go):
 	// nodes are partitioned round-robin into shards, jobs are admitted in
@@ -109,6 +116,10 @@ type Result struct {
 	LostEnergyJ float64       // energy burned on work destroyed by crashes
 	LostImages  int           // images whose processing was destroyed by crashes
 	Faults      hw.FaultStats // executor-level fault counters, summed over nodes
+
+	// QoS accounting, summed over nodes (see sim.Result).
+	Passes        int
+	QoSViolations int
 }
 
 // EE returns cluster-level images per joule. Energy spent on lost work
@@ -124,18 +135,26 @@ func (r Result) EE() float64 {
 // map, the snapshot a run manifest (obs/runlog) records alongside the
 // single-node flow's sim.Result.Headline.
 func (r Result) Headline() map[string]float64 {
-	return map[string]float64{
-		"nodes":         float64(len(r.Nodes)),
-		"images":        float64(r.TotalImages),
-		"energy_j":      r.TotalEnergyJ,
-		"ee_img_per_j":  r.EE(),
-		"makespan_s":    r.Makespan.Seconds(),
-		"turnaround_s":  r.MeanTurnaround.Seconds(),
-		"nodes_lost":    float64(r.NodesLost),
-		"failovers":     float64(r.Failovers),
-		"dropped_jobs":  float64(r.DroppedJobs),
-		"lost_energy_j": r.LostEnergyJ,
+	h := map[string]float64{
+		"nodes":          float64(len(r.Nodes)),
+		"images":         float64(r.TotalImages),
+		"energy_j":       r.TotalEnergyJ,
+		"ee_img_per_j":   r.EE(),
+		"makespan_s":     r.Makespan.Seconds(),
+		"turnaround_s":   r.MeanTurnaround.Seconds(),
+		"nodes_lost":     float64(r.NodesLost),
+		"failovers":      float64(r.Failovers),
+		"dropped_jobs":   float64(r.DroppedJobs),
+		"lost_energy_j":  r.LostEnergyJ,
+		"passes":         float64(r.Passes),
+		"qos_violations": float64(r.QoSViolations),
 	}
+	if r.Passes > 0 {
+		h["qos_violation_rate"] = float64(r.QoSViolations) / float64(r.Passes)
+	} else {
+		h["qos_violation_rate"] = 0
+	}
+	return h
 }
 
 // queuedJob tracks a job through dispatch, preserving its original arrival
@@ -312,6 +331,7 @@ func finishRun(cfg Config, nodes []nodeState, crashAt []time.Duration, res Resul
 	// treatment — Events() sorts by track/timestamp/sequence.)
 	nodeResults := make([]*NodeResult, len(nodes))
 	nodeObs := make([]*obs.Observer, cfg.Nodes)
+	nodeLedgers := make([]*ledger.Ledger, cfg.Nodes)
 	var wg sync.WaitGroup
 	for n := range nodes {
 		if nodes[n].jobs == 0 {
@@ -328,6 +348,10 @@ func finishRun(cfg Config, nodes []nodeState, crashAt []time.Duration, res Resul
 				nodeObs[n] = no
 				e.Obs = no
 			}
+			if cfg.Ledger != nil {
+				nodeLedgers[n] = ledger.New()
+				e.Ledger = nodeLedgers[n]
+			}
 			r := e.RunTaskFlowArrivals(nodes[n].tasks, nodes[n].gaps)
 			nodeResults[n] = &NodeResult{Node: n, Jobs: nodes[n].jobs, Result: r, BusyEnd: nodes[n].free}
 		}(n)
@@ -337,6 +361,13 @@ func finishRun(cfg Config, nodes []nodeState, crashAt []time.Duration, res Resul
 		for _, no := range nodeObs {
 			if no != nil {
 				cfg.Obs.Metrics.Merge(no.Metrics)
+			}
+		}
+	}
+	if cfg.Ledger != nil {
+		for _, nl := range nodeLedgers {
+			if nl != nil {
+				cfg.Ledger.Merge(nl)
 			}
 		}
 	}
@@ -353,6 +384,8 @@ func finishRun(cfg Config, nodes []nodeState, crashAt []time.Duration, res Resul
 		res.TotalEnergyJ += nr.Result.EnergyJ
 		res.TotalImages += nr.Result.Images
 		res.Faults.Add(nr.Result.Faults)
+		res.Passes += nr.Result.Passes
+		res.QoSViolations += nr.Result.QoSViolations
 		if nr.BusyEnd > res.Makespan {
 			res.Makespan = nr.BusyEnd
 		}

@@ -18,12 +18,15 @@ func TestClusterHeadline(t *testing.T) {
 		Failovers:      2,
 		DroppedJobs:    1,
 		LostEnergyJ:    1.5,
+		Passes:         8,
+		QoSViolations:  2,
 	}
 	h := r.Headline()
 	want := map[string]float64{
 		"nodes": 3, "images": 40, "energy_j": 20, "ee_img_per_j": 2,
 		"makespan_s": 4, "turnaround_s": 0.5,
 		"nodes_lost": 1, "failovers": 2, "dropped_jobs": 1, "lost_energy_j": 1.5,
+		"passes": 8, "qos_violations": 2, "qos_violation_rate": 0.25,
 	}
 	for name, v := range want {
 		if h[name] != v {

@@ -21,6 +21,8 @@ import (
 	"powerlens/internal/models"
 	"powerlens/internal/nn"
 	"powerlens/internal/obs"
+	"powerlens/internal/obs/ledger"
+	"powerlens/internal/obs/sketch"
 	"powerlens/internal/sim"
 )
 
@@ -322,6 +324,62 @@ func RunBench(opt BenchOptions) (*BenchReport, error) {
 			}
 		})
 		add("obs", "metrics_scrapes_per_sec", float64(scrapes)/d.Seconds(), "scrapes/s", 0.50, true)
+
+		// Sketch hot paths: Observe is on every recorded pass (ledger + SLO
+		// tracker), Merge is on every cross-shard ledger/registry merge.
+		skInserts := 2_000_000
+		if opt.Smoke {
+			skInserts = 200_000
+		}
+		d = timeBest(opt.Repeats, func() {
+			sk := sketch.New()
+			for i := 0; i < skInserts; i++ {
+				sk.Observe(float64(i%977)/100 + 1e-3)
+			}
+		})
+		add("obs", "sketch_insert_ns", d.Seconds()*1e9/float64(skInserts), "ns/op", 0.50, false)
+
+		merges := 50_000
+		if opt.Smoke {
+			merges = 5_000
+		}
+		src := sketch.New()
+		for i := 0; i < 4096; i++ {
+			src.Observe(float64(i%257)/10 + 1e-3)
+		}
+		dst := sketch.New()
+		d = timeBest(opt.Repeats, func() {
+			for i := 0; i < merges; i++ {
+				dst.Merge(src)
+			}
+		})
+		add("obs", "sketch_merge_ns", d.Seconds()*1e9/float64(merges), "ns/op", 0.50, false)
+
+		// Ledger record path: steady-state allocations per attribution event.
+		// Like executor_step_allocs, the healthy value is exactly zero — once
+		// the (model, block, level) cells exist, recording only touches them.
+		l := ledger.New()
+		records := 500_000
+		if opt.Smoke {
+			records = 50_000
+		}
+		record := func(n int) {
+			for i := 0; i < n; i++ {
+				k := ledger.Key{Model: 42, Block: int32(i % 4), Level: int32(i % 8)}
+				l.RecordSegment(k, "bench", time.Microsecond, 1e-6)
+				if i%16 == 0 {
+					l.RecordPass(42, "bench", time.Millisecond, 1e-3, i%32 == 0)
+				}
+			}
+		}
+		record(1024) // warm: create every cell, the model entry, sketch buckets
+		runtime.GC()
+		var ms1, ms2 runtime.MemStats
+		runtime.ReadMemStats(&ms1)
+		record(records)
+		runtime.ReadMemStats(&ms2)
+		add("obs", "ledger_record_allocs",
+			float64(ms2.Mallocs-ms1.Mallocs)/float64(records), "allocs/op", 0.50, false)
 	}
 
 	if match("offline") {

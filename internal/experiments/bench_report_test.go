@@ -40,6 +40,9 @@ func TestRunBenchSmoke(t *testing.T) {
 		{"registry_counter_ops_per_sec", "obs"},
 		{"tracer_span_ops_per_sec", "obs"},
 		{"metrics_scrapes_per_sec", "obs"},
+		{"sketch_insert_ns", "obs"},
+		{"sketch_merge_ns", "obs"},
+		{"ledger_record_allocs", "obs"},
 		{"dataset_gen_nets_per_s", "offline"},
 		{"oracle_sweep_ns_per_block", "offline"},
 		{"oracle_sweep_allocs_per_block", "offline"},
@@ -63,9 +66,10 @@ func TestRunBenchSmoke(t *testing.T) {
 		if m.HigherIsBetter != wantHigher {
 			t.Fatalf("metric %q orientation %v disagrees with unit %q", m.Name, m.HigherIsBetter, m.Unit)
 		}
-		// executor_step_allocs is the one metric whose healthy value IS zero —
-		// the fast path's whole claim.
-		if m.Value < 0 || (m.Value == 0 && m.Name != "executor_step_allocs") ||
+		// The two alloc counters are the only metrics whose healthy value IS
+		// zero — the fast paths' whole claim.
+		zeroOK := m.Name == "executor_step_allocs" || m.Name == "ledger_record_allocs"
+		if m.Value < 0 || (m.Value == 0 && !zeroOK) ||
 			m.Tolerance <= 0 || m.Unit == "" {
 			t.Fatalf("metric %q not measured sanely: %+v", w.name, m)
 		}

@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"powerlens/internal/governor"
+	"powerlens/internal/hw"
+	"powerlens/internal/obs"
+	"powerlens/internal/obs/ledger"
+	"powerlens/internal/obs/slo"
+	"powerlens/internal/sim"
+)
+
+// SLO scenario: a guarded MultiPlan deployment runs a task flow with the
+// energy-attribution ledger and the SLO burn-rate tracker attached, answering
+// the two operations questions the paper's evaluation leaves open — "where
+// did the joules go" at (model, power block, DVFS level) granularity, and
+// "is the deployment inside its latency/energy objectives" with multi-window
+// burn-rate alerting. The collected snapshot is what `cmd/experiments slo`
+// exports and what /slo serves live.
+
+// SLOOptions sizes the scenario; zero fields take defaults.
+type SLOOptions struct {
+	Tasks int   // task-flow length (default 24)
+	Seed  int64 // master seed (default 1)
+	// ViolationTarget is the allowed QoS-violation fraction (default 0.1).
+	ViolationTarget float64
+	// PowerBudgetW is the energy objective's power budget (default 10 W,
+	// board-scale for the simulated Jetsons; negative disables the energy
+	// objective).
+	PowerBudgetW float64
+	// Obs, when non-nil, is the observer the scenario streams into (see
+	// ObserveOptions.Obs). Nil gets a fresh private observer.
+	Obs *obs.Observer
+	// Tracker, when non-nil, is the SLO tracker the scenario feeds — callers
+	// that mount /slo on a live telemetry server pass theirs so the endpoint
+	// sees the run as it happens. Nil gets a private tracker built from
+	// ViolationTarget/PowerBudgetW.
+	Tracker *slo.Tracker
+}
+
+func (o SLOOptions) withDefaults() SLOOptions {
+	if o.Tasks <= 0 {
+		o.Tasks = 24
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.ViolationTarget <= 0 {
+		o.ViolationTarget = 0.1
+	}
+	if o.PowerBudgetW == 0 {
+		o.PowerBudgetW = 10
+	} else if o.PowerBudgetW < 0 {
+		o.PowerBudgetW = 0
+	}
+	return o
+}
+
+// TrackerConfig is the slo.Config the scenario's options describe; exported
+// so callers that pre-build the tracker (to mount on a server) configure it
+// identically.
+func (o SLOOptions) TrackerConfig() slo.Config {
+	o = o.withDefaults()
+	return slo.Config{ViolationTarget: o.ViolationTarget, PowerBudgetW: o.PowerBudgetW}
+}
+
+// SLOData is the scenario outcome: the flow result plus the attribution and
+// SLO snapshots.
+type SLOData struct {
+	Platform string
+	Opt      SLOOptions
+
+	Flow   sim.Result          // the guarded flow, with per-level decomposition
+	Guard  governor.GuardStats // the guard's interventions
+	Ledger ledger.Snapshot     // attribution cells + per-model latency sketches
+	Status slo.Status          // objectives, burn rates, alert state
+
+	Obs     *obs.Observer // the live sinks, for callers that export directly
+	Metrics []obs.FamilySnapshot
+	Events  []obs.Event
+}
+
+// SLO runs the attributed scenario for one platform.
+func SLO(env *Env, p *hw.Platform, opt SLOOptions) (*SLOData, error) {
+	opt = opt.withDefaults()
+	o := opt.Obs
+	if o == nil {
+		o = obs.New()
+	}
+	tracker := opt.Tracker
+	if tracker == nil {
+		tracker = slo.New(opt.TrackerConfig())
+	}
+
+	tasks := RandomTasks(opt.Tasks, opt.Seed)
+	plans, err := taskPlans(env, p, tasks)
+	if err != nil {
+		return nil, err
+	}
+
+	guard := governor.NewGuard(governor.NewMultiPlan(plans))
+	guard.Obs = o
+	led := ledger.New()
+	e := sim.NewExecutor(p, guard)
+	e.Obs = o
+	e.Ledger = led
+	e.SLO = tracker
+	e.TrackLevels = true
+	flow := e.RunTaskFlow(tasks, TaskGap)
+
+	// Publish the attribution into the metrics registry (new families:
+	// ledger_* counters plus the per-model latency summary sketch) and the
+	// SLO headline as gauges, so Prometheus exports and /metrics carry them.
+	led.ExportTo(o.Metrics)
+	head := tracker.HeadlineMetrics()
+	names := make([]string, 0, len(head))
+	for k := range head {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		o.Metrics.Gauge(k, "SLO tracker headline: "+k+".").Set(head[k])
+	}
+
+	return &SLOData{
+		Platform: p.Name,
+		Opt:      opt,
+		Flow:     flow,
+		Guard:    guard.Stats,
+		Ledger:   led.Snapshot(),
+		Status:   tracker.Snapshot(),
+		Obs:      o,
+		Metrics:  o.Metrics.Snapshot(),
+		Events:   o.Tracer.Events(),
+	}, nil
+}
+
+// RenderSLO formats the scenario outcome: flow summary, per-model SLO table
+// with burn rates, the per-level energy breakdown, and the ledger's shape.
+func RenderSLO(d *SLOData) string {
+	var sb strings.Builder
+	o := d.Opt
+	budget := "off"
+	if o.PowerBudgetW > 0 {
+		budget = fmt.Sprintf("%.0f W", o.PowerBudgetW)
+	}
+	fmt.Fprintf(&sb, "SLO: guarded %d-task flow on %s (seed %d) — violation target %.0f%%, power budget %s\n",
+		o.Tasks, d.Platform, o.Seed, o.ViolationTarget*100, budget)
+	fmt.Fprintf(&sb, "  flow: EE %.4f img/J, energy %.1f J, time %v, passes %d, QoS violations %d (%.1f%%)\n",
+		d.Flow.EE(), d.Flow.EnergyJ, d.Flow.Time.Round(time.Millisecond),
+		d.Flow.Passes, d.Flow.QoSViolations, d.Flow.QoSViolationRate()*100)
+	alert := "within objectives"
+	if d.Status.Alerting {
+		alert = "ALERTING"
+	}
+	fmt.Fprintf(&sb, "  slo:  %d models tracked, %s\n\n", len(d.Status.Models), alert)
+
+	fmt.Fprintf(&sb, "  %-15s %7s %7s %9s %9s %12s %7s\n",
+		"model", "passes", "viol%", "p50 ms", "p99 ms", "max burn L/S", "alert")
+	for _, m := range d.Status.Models {
+		var maxLong, maxShort float64
+		alerting := false
+		for _, ob := range m.Objectives {
+			for _, w := range ob.Windows {
+				if w.LongBurn > maxLong {
+					maxLong = w.LongBurn
+				}
+				if w.ShortBurn > maxShort {
+					maxShort = w.ShortBurn
+				}
+				alerting = alerting || w.Alerting
+			}
+		}
+		fmt.Fprintf(&sb, "  %-15s %7d %6.1f%% %9.2f %9.2f %6.2f/%-5.2f %7v\n",
+			m.Model, m.Passes, m.ViolationRate*100,
+			m.LatencyP50S*1e3, m.LatencyP99S*1e3, maxLong, maxShort, alerting)
+	}
+
+	sb.WriteString("\n  energy by DVFS level:\n")
+	for lvl, ej := range d.Flow.LevelEnergyJ {
+		if ej <= 0 {
+			continue
+		}
+		share := 0.0
+		if d.Flow.EnergyJ > 0 {
+			share = ej / d.Flow.EnergyJ
+		}
+		fmt.Fprintf(&sb, "    L%02d: %7.1f J  (%5.1f%%)  busy %v\n",
+			lvl, ej, share*100, d.Flow.LevelTime[lvl].Round(time.Millisecond))
+	}
+	fmt.Fprintf(&sb, "\n  ledger: %d cells across %d models\n", len(d.Ledger.Cells), len(d.Ledger.Models))
+	return sb.String()
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"powerlens/internal/hw"
+)
+
+func TestSLOScenario(t *testing.T) {
+	env := testEnv(t)
+	d, err := SLO(env, hw.TX2(), SLOOptions{Tasks: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Flow.Passes <= 0 || d.Flow.Images <= 0 {
+		t.Fatalf("empty flow: %+v", d.Flow)
+	}
+	if len(d.Status.Models) == 0 {
+		t.Fatal("SLO tracker saw no models")
+	}
+	var passes uint64
+	for _, m := range d.Status.Models {
+		passes += m.Passes
+	}
+	if int(passes) != d.Flow.Passes {
+		t.Fatalf("SLO passes %d, flow passes %d", passes, d.Flow.Passes)
+	}
+	if len(d.Ledger.Cells) == 0 || len(d.Ledger.Models) != len(d.Status.Models) {
+		t.Fatalf("ledger shape: %d cells, %d models (slo %d)",
+			len(d.Ledger.Cells), len(d.Ledger.Models), len(d.Status.Models))
+	}
+	if len(d.Flow.LevelEnergyJ) == 0 {
+		t.Fatal("level decomposition missing")
+	}
+
+	// The scenario must publish the attribution families and SLO headline
+	// gauges into its metrics registry.
+	want := map[string]bool{
+		"ledger_block_energy_joules_total": false,
+		"ledger_passes_total":              false,
+		"ledger_pass_latency_seconds":      false,
+		"slo_violation_rate":               false,
+		"slo_models":                       false,
+	}
+	for _, f := range d.Metrics {
+		if _, ok := want[f.Name]; ok {
+			want[f.Name] = true
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("metric family %q not exported by scenario", name)
+		}
+	}
+
+	out := RenderSLO(d)
+	for _, frag := range []string{"SLO: guarded", "energy by DVFS level", "ledger:"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("render missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+// TestSLOScenarioDeterministic reruns the scenario and requires byte-equal
+// ledger and SLO snapshots — the property the run artifacts and /slo pin on.
+func TestSLOScenarioDeterministic(t *testing.T) {
+	env := testEnv(t)
+	enc := func() (string, string) {
+		d, err := SLO(env, hw.TX2(), SLOOptions{Tasks: 5, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb, err := json.Marshal(d.Ledger)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb, err := json.Marshal(d.Status)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(lb), string(sb)
+	}
+	l1, s1 := enc()
+	l2, s2 := enc()
+	if l1 != l2 {
+		t.Fatal("ledger snapshots differ across identical scenario runs")
+	}
+	if s1 != s2 {
+		t.Fatal("SLO snapshots differ across identical scenario runs")
+	}
+}

@@ -195,6 +195,16 @@ func (g *Guard) BeforeLayer(gr *graph.Graph, layerID int) {
 	g.Fallback.BeforeLayer(gr, layerID)
 }
 
+// BlockIndex implements sim.BlockResolver by delegating to the wrapped policy
+// when it carries a block structure: attribution follows the plan even while
+// the guard is serving levels from the fallback.
+func (g *Guard) BlockIndex(gr *graph.Graph, layerID int) int {
+	if br, ok := g.Inner.(sim.BlockResolver); ok {
+		return br.BlockIndex(gr, layerID)
+	}
+	return 0
+}
+
 // OnWindow implements sim.Controller: sanitize the observation, feed both
 // policies (the fallback stays warm for takeover), then judge the wrapped
 // policy's decision.

@@ -1,6 +1,8 @@
 package governor
 
 import (
+	"sort"
+
 	"powerlens/internal/graph"
 	"powerlens/internal/hw"
 	"powerlens/internal/sim"
@@ -38,6 +40,37 @@ func compileSchedule(plan *FrequencyPlan, g *graph.Graph, p *hw.Platform, buf []
 	return sched
 }
 
+// compileBlocks flattens a plan's instrumentation points into a per-layer
+// power-block index: block b covers the layers from its start point (points
+// in sorted layer order) up to the next one. Layers before the first point
+// belong to block 0, matching the offline pipeline's convention that the
+// first block starts at the graph's first layer. buf is reused when it has
+// capacity. This is what keys the attribution ledger's cells, so it must be a
+// pure function of (plan, graph).
+func compileBlocks(plan *FrequencyPlan, g *graph.Graph, buf []int) []int {
+	n := len(g.Layers)
+	starts := make([]int, 0, len(plan.Points))
+	for id := range plan.Points {
+		if id >= 0 && id < n {
+			starts = append(starts, id)
+		}
+	}
+	sort.Ints(starts)
+	blocks := buf[:0]
+	b := 0
+	for i := 0; i < n; i++ {
+		for b < len(starts) && starts[b] <= i {
+			b++
+		}
+		blk := b - 1
+		if blk < 0 {
+			blk = 0
+		}
+		blocks = append(blocks, blk)
+	}
+	return blocks
+}
+
 // PowerLens applies a FrequencyPlan at its preset instrumentation points.
 // It needs no runtime feedback: frequencies are decided offline per power
 // block, which is what eliminates the reactive baselines' ping-pong and lag.
@@ -47,12 +80,14 @@ type PowerLens struct {
 	platform *hw.Platform
 	level    int
 
-	// Compiled block→level schedule for (Plan, graph, platform); rebuilt
-	// lazily whenever any of the three changes.
+	// Compiled block→level schedule and layer→block index for
+	// (Plan, graph, platform); rebuilt lazily whenever any of the three
+	// changes.
 	schedPlan     *FrequencyPlan
 	schedGraph    *graph.Graph
 	schedPlatform *hw.Platform
 	sched         []int
+	blocks        []int
 }
 
 // NewPowerLens returns a controller executing the given plan.
@@ -84,10 +119,7 @@ func (pl *PowerLens) BeforeLayer(g *graph.Graph, layerID int) {
 	if pl.Plan == nil || pl.Plan.Model != g.Name {
 		return
 	}
-	if pl.schedPlan != pl.Plan || pl.schedGraph != g || pl.schedPlatform != pl.platform {
-		pl.sched = compileSchedule(pl.Plan, g, pl.platform, pl.sched)
-		pl.schedPlan, pl.schedGraph, pl.schedPlatform = pl.Plan, g, pl.platform
-	}
+	pl.ensureSched(g)
 	if layerID >= 0 && layerID < len(pl.sched) {
 		if lvl := pl.sched[layerID]; lvl >= 0 {
 			pl.level = lvl
@@ -95,10 +127,37 @@ func (pl *PowerLens) BeforeLayer(g *graph.Graph, layerID int) {
 	}
 }
 
+// ensureSched rebuilds the compiled schedules when (Plan, graph, platform)
+// changed since the last compile.
+func (pl *PowerLens) ensureSched(g *graph.Graph) {
+	if pl.schedPlan != pl.Plan || pl.schedGraph != g || pl.schedPlatform != pl.platform {
+		pl.sched = compileSchedule(pl.Plan, g, pl.platform, pl.sched)
+		pl.blocks = compileBlocks(pl.Plan, g, pl.blocks)
+		pl.schedPlan, pl.schedGraph, pl.schedPlatform = pl.Plan, g, pl.platform
+	}
+}
+
+// BlockIndex implements sim.BlockResolver: the power block the layer belongs
+// to under the active plan, or 0 when the plan does not apply to this graph.
+// Steady-state cost is one slice index, same as BeforeLayer.
+func (pl *PowerLens) BlockIndex(g *graph.Graph, layerID int) int {
+	if pl.Plan == nil || pl.Plan.Model != g.Name || pl.platform == nil {
+		return 0
+	}
+	pl.ensureSched(g)
+	if layerID >= 0 && layerID < len(pl.blocks) {
+		return pl.blocks[layerID]
+	}
+	return 0
+}
+
 // OnWindow implements sim.Controller (no reactive behaviour).
 func (pl *PowerLens) OnWindow(sim.WindowStats) {}
 
-var _ sim.Controller = (*PowerLens)(nil)
+var (
+	_ sim.Controller    = (*PowerLens)(nil)
+	_ sim.BlockResolver = (*PowerLens)(nil)
+)
 
 // MultiPlan serves a task flow of different models: it dispatches
 // BeforeLayer to the plan matching the running graph.
@@ -116,12 +175,13 @@ type MultiPlan struct {
 	lastSched *mpSchedule
 }
 
-// mpSchedule is one graph's compiled schedule plus the inputs it was
-// compiled from (for staleness checks).
+// mpSchedule is one graph's compiled schedule and block index plus the
+// inputs they were compiled from (for staleness checks).
 type mpSchedule struct {
 	plan     *FrequencyPlan
 	platform *hw.Platform
 	sched    []int
+	blocks   []int
 }
 
 // maxCompiledSchedules bounds MultiPlan's schedule cache; serving loops that
@@ -153,6 +213,17 @@ func (m *MultiPlan) BeforeLayer(g *graph.Graph, layerID int) {
 	if !ok {
 		return
 	}
+	e := m.scheduleFor(g, plan)
+	if layerID >= 0 && layerID < len(e.sched) {
+		if lvl := e.sched[layerID]; lvl >= 0 {
+			m.level = lvl
+		}
+	}
+}
+
+// scheduleFor returns g's compiled schedule, building or refreshing it if the
+// cache entry is missing or stale.
+func (m *MultiPlan) scheduleFor(g *graph.Graph, plan *FrequencyPlan) *mpSchedule {
 	e := m.lastSched
 	if m.lastGraph != g {
 		if m.compiled == nil {
@@ -170,16 +241,30 @@ func (m *MultiPlan) BeforeLayer(g *graph.Graph, layerID int) {
 	}
 	if e.plan != plan || e.platform != m.platform {
 		e.sched = compileSchedule(plan, g, m.platform, e.sched)
+		e.blocks = compileBlocks(plan, g, e.blocks)
 		e.plan, e.platform = plan, m.platform
 	}
-	if layerID >= 0 && layerID < len(e.sched) {
-		if lvl := e.sched[layerID]; lvl >= 0 {
-			m.level = lvl
-		}
+	return e
+}
+
+// BlockIndex implements sim.BlockResolver: the power block under the plan
+// matching the running graph, or 0 when no plan applies.
+func (m *MultiPlan) BlockIndex(g *graph.Graph, layerID int) int {
+	plan, ok := m.Plans[g.Name]
+	if !ok || m.platform == nil {
+		return 0
 	}
+	e := m.scheduleFor(g, plan)
+	if layerID >= 0 && layerID < len(e.blocks) {
+		return e.blocks[layerID]
+	}
+	return 0
 }
 
 // OnWindow implements sim.Controller.
 func (m *MultiPlan) OnWindow(sim.WindowStats) {}
 
-var _ sim.Controller = (*MultiPlan)(nil)
+var (
+	_ sim.Controller    = (*MultiPlan)(nil)
+	_ sim.BlockResolver = (*MultiPlan)(nil)
+)

@@ -1,0 +1,170 @@
+package ledger
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"powerlens/internal/obs"
+)
+
+// feed replays a deterministic event stream into l, as if from one executor.
+func feed(l *Ledger, n int) {
+	for i := 0; i < n; i++ {
+		feedOne(l, i)
+	}
+}
+
+func encode(t *testing.T, l *Ledger) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := l.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestSnapshotSortedAndComplete(t *testing.T) {
+	l := New()
+	feed(l, 1000)
+	snap := l.Snapshot()
+	if snap.Schema != SnapshotSchema {
+		t.Fatalf("schema = %d", snap.Schema)
+	}
+	if len(snap.Cells) == 0 || len(snap.Models) != 3 {
+		t.Fatalf("snapshot empty: %d cells, %d models", len(snap.Cells), len(snap.Models))
+	}
+	for i := 1; i < len(snap.Cells); i++ {
+		a, b := snap.Cells[i-1], snap.Cells[i]
+		if a.Digest > b.Digest ||
+			(a.Digest == b.Digest && (a.Block > b.Block ||
+				(a.Block == b.Block && a.Level >= b.Level))) {
+			t.Fatalf("cells not strictly sorted at %d: %+v then %+v", i, a, b)
+		}
+	}
+	var ops uint64
+	for _, c := range snap.Cells {
+		ops += c.Ops
+		if c.BusyS <= 0 || c.EnergyJ <= 0 {
+			t.Fatalf("cell missing data: %+v", c)
+		}
+	}
+	if ops != 1000 {
+		t.Fatalf("total ops = %d, want 1000", ops)
+	}
+	for _, m := range snap.Models {
+		if m.Passes == 0 || m.LatencyP50S <= 0 || len(m.LatencySketch) == 0 {
+			t.Fatalf("model missing data: %+v", m)
+		}
+	}
+}
+
+// TestMergePartitionByteIdentical pins the shard-determinism contract: the
+// same event stream split across any number of per-node ledgers and merged in
+// node order must export byte-identical JSON.
+func TestMergePartitionByteIdentical(t *testing.T) {
+	want := func() []byte {
+		l := New()
+		feed(l, 2000)
+		return encode(t, l)
+	}()
+	for _, nodes := range []int{2, 3, 4, 8} {
+		parts := make([]*Ledger, nodes)
+		for i := range parts {
+			parts[i] = New()
+		}
+		for i := 0; i < 2000; i++ {
+			feedOne(parts[i%nodes], i)
+		}
+		// Merge forward and in reverse: both must match the single-stream
+		// ledger byte for byte.
+		fwd, rev := New(), New()
+		for i := range parts {
+			fwd.Merge(parts[i])
+			rev.Merge(parts[len(parts)-1-i])
+		}
+		if !bytes.Equal(encode(t, fwd), want) {
+			t.Fatalf("%d-way partition merge is not byte-identical", nodes)
+		}
+		if !bytes.Equal(encode(t, rev), want) {
+			t.Fatalf("%d-way reverse-order merge is not byte-identical", nodes)
+		}
+	}
+}
+
+// feedOne replays just event i of the canonical stream.
+func feedOne(l *Ledger, i int) {
+	digest := uint64(1 + i%3)
+	k := Key{Model: digest, Block: int32(i % 2), Level: int32(3 + i%4)}
+	l.RecordSegment(k, "m", time.Duration(i%7+1)*time.Millisecond, 0.01*float64(i%5+1))
+	if i%10 == 9 {
+		l.RecordPass(digest, "m", time.Duration(i%50+10)*time.Millisecond, 0.3, i%30 == 9)
+	}
+}
+
+func TestRecordSegmentZeroAllocSteadyState(t *testing.T) {
+	l := New()
+	k := Key{Model: 42, Block: 1, Level: 3}
+	l.RecordSegment(k, "alexnet", time.Millisecond, 0.5) // create the cell
+	allocs := testing.AllocsPerRun(100, func() {
+		l.RecordSegment(k, "alexnet", time.Millisecond, 0.5)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state RecordSegment allocated %.0f times, want 0", allocs)
+	}
+}
+
+func TestNilLedger(t *testing.T) {
+	var l *Ledger
+	l.RecordSegment(Key{}, "x", time.Second, 1)
+	l.RecordPass(1, "x", time.Second, 1, true)
+	l.Merge(New())
+	New().Merge(l)
+	l.ExportTo(obs.NewRegistry())
+	snap := l.Snapshot()
+	if len(snap.Cells) != 0 || len(snap.Models) != 0 {
+		t.Fatal("nil ledger snapshot not empty")
+	}
+	if err := l.WriteJSON(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExportTo(t *testing.T) {
+	l := New()
+	feed(l, 500)
+	r := obs.NewRegistry()
+	l.ExportTo(r)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if fams, err := obs.CheckPrometheusText(strings.NewReader(out)); err != nil || fams != 6 {
+		t.Fatalf("export invalid (families=%d): %v\n%s", fams, err, out)
+	}
+	for _, want := range []string{
+		`ledger_block_energy_joules_total{model="m",block="0",level="3"} `,
+		`ledger_pass_latency_seconds{model="m",quantile="0.9"} `,
+		"# TYPE ledger_passes_total counter",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("export missing %q:\n%s", want, out)
+		}
+	}
+
+	// Export totals must match the snapshot exactly.
+	snap := l.Snapshot()
+	var wantEnergy float64
+	for _, c := range snap.Cells {
+		wantEnergy += c.EnergyJ
+	}
+	for _, f := range r.Snapshot() {
+		if f.Name == "ledger_block_energy_joules_total" {
+			if got := f.Total(); got != wantEnergy {
+				t.Fatalf("exported energy %v != snapshot %v", got, wantEnergy)
+			}
+		}
+	}
+}

@@ -1,12 +1,13 @@
 // Package obs is the runtime observability layer: a concurrency-safe metrics
-// registry (counters, gauges, fixed-bucket histograms with labels) exportable
-// in Prometheus text format and JSON, span-based decision tracing exportable
-// as Chrome trace_event JSON (loadable in Perfetto / chrome://tracing), and
-// lightweight wall-time/allocation profiling hooks.
+// registry (counters, gauges, fixed-bucket histograms and mergeable quantile
+// sketches, all with labels) exportable in Prometheus text format and JSON,
+// span-based decision tracing exportable as Chrome trace_event JSON (loadable
+// in Perfetto / chrome://tracing), and lightweight wall-time/allocation
+// profiling hooks.
 //
-// The package is stdlib-only and imports nothing from the rest of the module,
-// so every layer (hw, sim, governor, cloud, experiments) can emit into it
-// without cycles. Everything is nil-safe: a nil *Registry, *Tracer, *Profiler
+// The package is stdlib-only (plus its own obs/sketch subpackage) and imports
+// nothing from the rest of the module, so every layer (hw, sim, governor,
+// cloud, experiments) can emit into it without cycles. Everything is nil-safe: a nil *Registry, *Tracer, *Profiler
 // or *Observer accepts the full API and does nothing, so instrumented code
 // pays only a nil check when observability is disabled.
 package obs
@@ -21,6 +22,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"powerlens/internal/obs/sketch"
 )
 
 // Kind distinguishes the metric families a Registry holds.
@@ -30,6 +33,9 @@ const (
 	KindCounter Kind = iota
 	KindGauge
 	KindHistogram
+	// KindSketch is a mergeable log-bucketed quantile sketch
+	// (internal/obs/sketch), exported as a Prometheus summary.
+	KindSketch
 )
 
 // String returns the Prometheus TYPE keyword.
@@ -41,9 +47,15 @@ func (k Kind) String() string {
 		return "gauge"
 	case KindHistogram:
 		return "histogram"
+	case KindSketch:
+		return "summary"
 	}
 	return "untyped"
 }
+
+// SketchQuantiles are the probe points exported for every sketch family,
+// mirroring sketch.Quantiles.
+var SketchQuantiles = sketch.Quantiles[:]
 
 // DefBuckets are the default histogram bucket upper bounds (seconds-flavored,
 // matching the Prometheus client default).
@@ -88,10 +100,11 @@ type series struct {
 
 	bits uint64 // atomic float64 for counters and gauges
 
-	hmu    sync.Mutex // histogram state
+	hmu    sync.Mutex // histogram / sketch state
 	counts []uint64
 	sum    float64
 	n      uint64
+	sk     *sketch.Sketch
 }
 
 func (s *series) add(v float64) {
@@ -143,8 +156,11 @@ func (r *Registry) register(name, help string, kind Kind, buckets []float64, lab
 
 func (f *family) newSeries(key string, values []string) *series {
 	s := &series{key: key, values: append([]string(nil), values...)}
-	if f.kind == KindHistogram {
+	switch f.kind {
+	case KindHistogram:
 		s.counts = make([]uint64, len(f.buckets)+1) // +1 for the +Inf bucket
+	case KindSketch:
+		s.sk = sketch.New()
 	}
 	return s
 }
@@ -264,6 +280,41 @@ func (h Histogram) Observe(v float64, labelValues ...string) {
 	s.hmu.Unlock()
 }
 
+// Sketch is a handle to a mergeable quantile-sketch family (exported as a
+// Prometheus summary with the fixed SketchQuantiles probe points).
+type Sketch struct{ f *family }
+
+// Sketch registers (or looks up) a sketch family.
+func (r *Registry) Sketch(name, help string, labels ...string) Sketch {
+	if r == nil {
+		return Sketch{}
+	}
+	return Sketch{r.register(name, help, KindSketch, nil, labels)}
+}
+
+// Observe records one non-negative value.
+func (s Sketch) Observe(v float64, labelValues ...string) {
+	if s.f == nil {
+		return
+	}
+	ser := s.f.get(labelValues)
+	ser.hmu.Lock()
+	ser.sk.Observe(v)
+	ser.hmu.Unlock()
+}
+
+// MergeFrom folds an externally-built sketch (e.g. a ledger's latency sketch)
+// into the series selected by the label values.
+func (s Sketch) MergeFrom(src *sketch.Sketch, labelValues ...string) {
+	if s.f == nil || src == nil {
+		return
+	}
+	ser := s.f.get(labelValues)
+	ser.hmu.Lock()
+	ser.sk.Merge(src)
+	ser.hmu.Unlock()
+}
+
 // SeriesSnapshot is one label combination's state at snapshot time.
 type SeriesSnapshot struct {
 	LabelValues []string `json:"labels,omitempty"`
@@ -273,23 +324,33 @@ type SeriesSnapshot struct {
 	// BucketCounts are per-bucket (non-cumulative) counts parallel to the
 	// family's Buckets, with one extra trailing +Inf bucket.
 	BucketCounts []uint64 `json:"bucketCounts,omitempty"`
+	// Quantiles are sketch quantile values parallel to the family's
+	// Quantiles probe points.
+	Quantiles []float64 `json:"quantiles,omitempty"`
+	// Encoded is the sketch's byte-stable binary encoding (base64 in JSON).
+	// Filled by Snapshot only; SnapshotInto leaves it empty to keep the
+	// scrape path allocation-free.
+	Encoded []byte `json:"encoded,omitempty"`
 }
 
 // FamilySnapshot is one metric family's state at snapshot time.
 type FamilySnapshot struct {
-	Name       string           `json:"name"`
-	Help       string           `json:"help,omitempty"`
-	Kind       string           `json:"kind"`
-	LabelNames []string         `json:"labelNames,omitempty"`
-	Buckets    []float64        `json:"buckets,omitempty"`
-	Series     []SeriesSnapshot `json:"series"`
+	Name       string    `json:"name"`
+	Help       string    `json:"help,omitempty"`
+	Kind       string    `json:"kind"`
+	LabelNames []string  `json:"labelNames,omitempty"`
+	Buckets    []float64 `json:"buckets,omitempty"`
+	// Quantiles are the probe points of a sketch family (SketchQuantiles).
+	Quantiles []float64        `json:"quantilePoints,omitempty"`
+	Series    []SeriesSnapshot `json:"series"`
 }
 
-// Total sums the snapshot's series values (histograms sum their counts).
+// Total sums the snapshot's series values (histograms and sketches sum their
+// observation counts).
 func (f FamilySnapshot) Total() float64 {
 	t := 0.0
 	for _, s := range f.Series {
-		if f.Kind == KindHistogram.String() {
+		if f.Kind == KindHistogram.String() || f.Kind == KindSketch.String() {
 			t += float64(s.Count)
 		} else {
 			t += s.Value
@@ -320,18 +381,31 @@ func (r *Registry) Snapshot() []FamilySnapshot {
 			LabelNames: append([]string(nil), f.labels...),
 			Buckets:    append([]float64(nil), f.buckets...),
 		}
+		if f.kind == KindSketch {
+			fs.Quantiles = append([]float64(nil), SketchQuantiles...)
+		}
 		f.mu.Lock()
 		sers := append([]*series(nil), f.ordered...)
 		f.mu.Unlock()
 		for _, s := range sers {
 			ss := SeriesSnapshot{LabelValues: append([]string(nil), s.values...)}
-			if f.kind == KindHistogram {
+			switch f.kind {
+			case KindHistogram:
 				s.hmu.Lock()
 				ss.Sum = s.sum
 				ss.Count = s.n
 				ss.BucketCounts = append([]uint64(nil), s.counts...)
 				s.hmu.Unlock()
-			} else {
+			case KindSketch:
+				s.hmu.Lock()
+				ss.Sum = s.sk.Sum()
+				ss.Count = s.sk.Count()
+				for _, p := range SketchQuantiles {
+					ss.Quantiles = append(ss.Quantiles, s.sk.Quantile(p))
+				}
+				ss.Encoded = s.sk.EncodeBinary()
+				s.hmu.Unlock()
+			default:
 				ss.Value = s.load()
 			}
 			fs.Series = append(fs.Series, ss)
@@ -368,6 +442,10 @@ func (r *Registry) SnapshotInto(buf []FamilySnapshot) []FamilySnapshot {
 		fs := &out[len(out)-1]
 		fs.Name, fs.Help, fs.Kind = f.name, f.help, f.kind.String()
 		fs.LabelNames, fs.Buckets = f.labels, f.buckets
+		fs.Quantiles = nil
+		if f.kind == KindSketch {
+			fs.Quantiles = SketchQuantiles
+		}
 		series := fs.Series[:0]
 		f.mu.Lock()
 		for _, s := range f.ordered {
@@ -378,15 +456,29 @@ func (r *Registry) SnapshotInto(buf []FamilySnapshot) []FamilySnapshot {
 			}
 			ss := &series[len(series)-1]
 			ss.LabelValues = s.values
-			if f.kind == KindHistogram {
+			ss.Encoded = nil // Snapshot-only; see SeriesSnapshot.Encoded
+			switch f.kind {
+			case KindHistogram:
 				ss.Value = 0
+				ss.Quantiles = ss.Quantiles[:0]
 				s.hmu.Lock()
 				ss.Sum, ss.Count = s.sum, s.n
 				ss.BucketCounts = append(ss.BucketCounts[:0], s.counts...)
 				s.hmu.Unlock()
-			} else {
+			case KindSketch:
+				ss.Value = 0
+				ss.BucketCounts = ss.BucketCounts[:0]
+				ss.Quantiles = ss.Quantiles[:0]
+				s.hmu.Lock()
+				ss.Sum, ss.Count = s.sk.Sum(), s.sk.Count()
+				for _, p := range SketchQuantiles {
+					ss.Quantiles = append(ss.Quantiles, s.sk.Quantile(p))
+				}
+				s.hmu.Unlock()
+			default:
 				ss.Value = s.load()
-				ss.Sum, ss.Count, ss.BucketCounts = 0, 0, ss.BucketCounts[:0]
+				ss.Sum, ss.Count = 0, 0
+				ss.BucketCounts, ss.Quantiles = ss.BucketCounts[:0], ss.Quantiles[:0]
 			}
 		}
 		f.mu.Unlock()
@@ -438,6 +530,17 @@ func (r *Registry) Merge(src *Registry) {
 				ds.sum += sum
 				ds.n += n
 				ds.hmu.Unlock()
+			case KindSketch:
+				// Clone under the source lock, fold under the destination
+				// lock: never hold both at once (same discipline as the
+				// histogram case above).
+				tmp := sketch.New()
+				ss.hmu.Lock()
+				tmp.Merge(ss.sk)
+				ss.hmu.Unlock()
+				ds.hmu.Lock()
+				ds.sk.Merge(tmp)
+				ds.hmu.Unlock()
 			}
 		}
 	}
@@ -475,6 +578,26 @@ func WriteSnapshotPrometheus(w io.Writer, fams []FamilySnapshot) error {
 }
 
 func writeSeries(w io.Writer, f FamilySnapshot, s SeriesSnapshot) error {
+	if f.Kind == KindSketch.String() {
+		for i, p := range f.Quantiles {
+			v := 0.0
+			if i < len(s.Quantiles) {
+				v = s.Quantiles[i]
+			}
+			if _, err := fmt.Fprintf(w, "%s%s %s\n",
+				f.Name, labelString(f.LabelNames, s.LabelValues, "quantile", formatValue(p)),
+				formatValue(v)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n",
+			f.Name, labelString(f.LabelNames, s.LabelValues, "", ""), formatValue(s.Sum)); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n",
+			f.Name, labelString(f.LabelNames, s.LabelValues, "", ""), s.Count)
+		return err
+	}
 	if f.Kind != KindHistogram.String() {
 		_, err := fmt.Fprintf(w, "%s%s %s\n",
 			f.Name, labelString(f.LabelNames, s.LabelValues, "", ""), formatValue(s.Value))

@@ -10,6 +10,7 @@
 //
 //	GET /metrics          Prometheus text exposition (version 0.0.4)
 //	GET /metrics.json     registry snapshot as JSON family array
+//	GET /slo              SLO tracker status: objectives, burn rates, alerts
 //	GET /healthz          liveness + coarse telemetry counts
 //	GET /runs             run-manifest index (runlog store)
 //	GET /runs/{id}        one run's manifest
@@ -37,6 +38,7 @@ import (
 
 	"powerlens/internal/obs"
 	"powerlens/internal/obs/runlog"
+	"powerlens/internal/obs/slo"
 )
 
 // ContentTypePrometheus is the scrape content type for /metrics.
@@ -57,6 +59,7 @@ type Health struct {
 type Server struct {
 	src     atomic.Pointer[obs.Observer]
 	liveRun atomic.Pointer[string]
+	slo     atomic.Pointer[slo.Tracker]
 	runs    *runlog.Store
 	started time.Time
 
@@ -93,6 +96,10 @@ func (s *Server) SetObserver(o *obs.Observer) { s.src.Store(o) }
 // is recorded.
 func (s *Server) SetLiveRun(id string) { s.liveRun.Store(&id) }
 
+// SetSLO atomically swaps the SLO tracker /slo reads; nil detaches it
+// (/slo then answers 404).
+func (s *Server) SetSLO(t *slo.Tracker) { s.slo.Store(t) }
+
 func (s *Server) observer() *obs.Observer { return s.src.Load() }
 
 func (s *Server) liveRunID() string {
@@ -107,6 +114,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /metrics.json", s.handleMetricsJSON)
+	mux.HandleFunc("GET /slo", s.handleSLO)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /runs", s.handleRuns)
 	mux.HandleFunc("GET /runs/{id}", s.handleRun)
@@ -146,7 +154,29 @@ func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
 	if o := s.observer(); o != nil {
 		reg = o.Metrics
 	}
+	// Live telemetry: a cached snapshot is a stale snapshot.
+	w.Header().Set("Cache-Control", "no-store")
 	writeJSON(w, reg.Snapshot())
+}
+
+// handleSLO serves the SLO tracker's status: per-model objectives with
+// multi-window burn rates and alert state. Rendered to a buffer first so an
+// encoding failure yields a clean 500 instead of a half-written body.
+func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
+	t := s.slo.Load()
+	if t == nil {
+		http.Error(w, "no SLO tracker configured", http.StatusNotFound)
+		return
+	}
+	var buf bytes.Buffer
+	if err := t.WriteJSON(&buf); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Cache-Control", "no-store")
+	w.Header().Set("Content-Length", fmt.Sprint(buf.Len()))
+	w.Write(buf.Bytes())
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

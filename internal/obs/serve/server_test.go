@@ -17,6 +17,7 @@ import (
 
 	"powerlens/internal/obs"
 	"powerlens/internal/obs/runlog"
+	"powerlens/internal/obs/slo"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -88,6 +89,103 @@ func TestMetricsHTTPGolden(t *testing.T) {
 	}
 	if fams, err := obs.CheckPrometheusText(strings.NewReader(string(body))); err != nil || fams != 4 {
 		t.Fatalf("served body fails the format checker: %d families, %v", fams, err)
+	}
+}
+
+// fixedTracker builds a deterministic SLO tracker: healthy traffic, then a
+// violation burst that trips the latency objective's burn windows.
+func fixedTracker() *slo.Tracker {
+	tr := slo.New(slo.Config{
+		ViolationTarget: 0.1,
+		PowerBudgetW:    5,
+		Resolution:      100 * time.Millisecond,
+		Windows:         []slo.BurnWindow{{Long: 2 * time.Second, Short: 500 * time.Millisecond, Threshold: 5}},
+	})
+	for at := time.Duration(0); at < 2*time.Second; at += 10 * time.Millisecond {
+		tr.RecordPass("alexnet", at, 5*time.Millisecond, 0.01, 0.02, false)
+	}
+	for at := 2 * time.Second; at < 3*time.Second; at += 10 * time.Millisecond {
+		tr.RecordPass("alexnet", at, 20*time.Millisecond, 0.5, 0.02, true)
+	}
+	return tr
+}
+
+// TestSLOHTTPGolden pins the exact HTTP response bytes of /slo for a fixed
+// tracker, the same contract as the /metrics golden: a diff means the SLO
+// surface drifted. Update deliberately with
+// `go test -update ./internal/obs/serve`.
+func TestSLOHTTPGolden(t *testing.T) {
+	s := New(fixedObserver(), nil)
+	s.SetSLO(fixedTracker())
+	rec := get(t, s.Handler(), "/slo")
+
+	var sb strings.Builder
+	res := rec.Result()
+	fmt.Fprintf(&sb, "%s %s\n", res.Proto, res.Status)
+	keys := make([]string, 0, len(res.Header))
+	for k := range res.Header {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "%s: %s\n", k, strings.Join(res.Header[k], ", "))
+	}
+	sb.WriteString("\n")
+	body, _ := io.ReadAll(res.Body)
+	sb.Write(body)
+	got := sb.String()
+
+	path := filepath.Join("testdata", "slo_http.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden: %v (run `go test -update ./internal/obs/serve` to create it)", err)
+	}
+	if got != string(want) {
+		t.Fatalf("/slo HTTP response drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	var st slo.Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("/slo body is not a Status: %v", err)
+	}
+	if len(st.Models) != 1 || st.Models[0].Model != "alexnet" || !st.Alerting {
+		t.Fatalf("/slo status wrong: %+v", st)
+	}
+}
+
+// TestSLOAndMetricsJSONHeaders pins the cacheability contract of the live
+// JSON endpoints, and that /slo answers 404 until a tracker is attached.
+func TestSLOAndMetricsJSONHeaders(t *testing.T) {
+	s := New(fixedObserver(), nil)
+	h := s.Handler()
+
+	if rec := get(t, h, "/slo"); rec.Code != http.StatusNotFound {
+		t.Fatalf("/slo without a tracker = %d, want 404", rec.Code)
+	}
+	s.SetSLO(fixedTracker())
+	for _, path := range []string{"/metrics.json", "/slo"} {
+		rec := get(t, h, path)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("GET %s = %d", path, rec.Code)
+		}
+		if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("%s Content-Type = %q", path, ct)
+		}
+		if cc := rec.Header().Get("Cache-Control"); cc != "no-store" {
+			t.Fatalf("%s Cache-Control = %q, want no-store", path, cc)
+		}
+	}
+	s.SetSLO(nil)
+	if rec := get(t, h, "/slo"); rec.Code != http.StatusNotFound {
+		t.Fatalf("/slo after detach = %d, want 404", rec.Code)
 	}
 }
 

@@ -1,0 +1,331 @@
+// Package sketch implements a deterministic, mergeable streaming quantile
+// sketch over non-negative float64 observations.
+//
+// The sketch is log-bucketed: each positive value is assigned to a bucket
+// derived purely from its IEEE-754 bit pattern (binary exponent plus the top
+// subBits mantissa bits), so bucketing involves no transcendental math and is
+// exactly reproducible across machines, runs, and merge orders. With
+// subBits = 5 every binary octave is split into 32 sub-buckets, bounding the
+// relative quantile error at ~2.2% (one bucket width).
+//
+// Determinism is the design center, not an afterthought:
+//
+//   - All mergeable state is integer bucket counts plus commutative min/max,
+//     so Merge is associative and commutative: splitting a stream across any
+//     number of workers or dispatch shards and merging the pieces in any
+//     order yields the same sketch, bit for bit.
+//   - Sum() is *derived* from the bucket counts (count x bucket midpoint,
+//     accumulated in ascending bucket order) rather than accumulated from raw
+//     values, so it cannot depend on observation partitioning either.
+//   - AppendBinary emits buckets in ascending index order with fixed-width
+//     big-endian fields, making the encoding byte-stable: equal sketches
+//     always encode to equal bytes.
+//
+// The zero value is not ready for use; call New. A nil *Sketch is a valid
+// no-op sink: Observe does nothing and every query returns zero.
+package sketch
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// subBits is the number of mantissa bits used to subdivide each binary
+// octave. 5 bits = 32 sub-buckets per octave.
+const subBits = 5
+
+// Encoding constants. The magic/version prefix lets Decode reject foreign or
+// stale payloads instead of misreading them.
+const (
+	magic   = "PLQS" // PowerLens Quantile Sketch
+	version = 1
+
+	headerLen = len(magic) + 1 + 8 + 8 + 8 + 8 + 4 // magic ver n zeros minBits maxBits nbuckets
+	bucketLen = 4 + 8                              // index, count
+)
+
+// Quantiles is the fixed probe set used by exporters (Prometheus summaries,
+// ledger snapshots). Keeping it package-level ensures every export surface
+// agrees on the same points.
+var Quantiles = [3]float64{0.5, 0.9, 0.99}
+
+// Sketch accumulates non-negative observations. Not safe for concurrent use;
+// callers own synchronization (the obs Registry and the attribution ledger
+// both guard sketches with their own locks).
+type Sketch struct {
+	counts map[uint32]uint64
+	n      uint64 // total observations, including zeros
+	zeros  uint64 // observations of exactly 0 (no log bucket exists for them)
+	min    float64
+	max    float64
+
+	// sorted caches the ascending bucket indexes; rebuilt lazily so that
+	// steady-state Quantile/encode calls on an unchanged sketch do not
+	// allocate or sort.
+	sorted []uint32
+	dirty  bool
+}
+
+// New returns an empty sketch.
+func New() *Sketch {
+	return &Sketch{counts: make(map[uint32]uint64)}
+}
+
+// bucketIndex maps a positive, finite float64 to its bucket. The index packs
+// the raw IEEE exponent above the top subBits mantissa bits, so index order
+// equals value order.
+func bucketIndex(v float64) uint32 {
+	bits := math.Float64bits(v)
+	exp := uint32(bits >> 52 & 0x7ff)
+	sub := uint32(bits >> (52 - subBits) & (1<<subBits - 1))
+	return exp<<subBits | sub
+}
+
+// bucketLow returns the inclusive lower bound of a bucket.
+func bucketLow(idx uint32) float64 {
+	exp := uint64(idx >> subBits)
+	sub := uint64(idx & (1<<subBits - 1))
+	return math.Float64frombits(exp<<52 | sub<<(52-subBits))
+}
+
+// bucketMid returns the bucket's representative value: the arithmetic
+// midpoint of its bounds. Pure float arithmetic on reconstructed bounds, so
+// it is a deterministic function of the index alone.
+func bucketMid(idx uint32) float64 {
+	lo := bucketLow(idx)
+	hi := bucketLow(idx + 1)
+	return lo + (hi-lo)/2
+}
+
+// Observe records one value. Negative, NaN and +Inf values are clamped to 0
+// (the sketch tracks physical quantities — latencies, joules — where those
+// can only arise from upstream bugs; counting them at zero keeps n honest
+// without poisoning the buckets).
+func (s *Sketch) Observe(v float64) {
+	if s == nil {
+		return
+	}
+	if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+		v = 0
+	}
+	if s.n == 0 || v < s.min {
+		s.min = v
+	}
+	if s.n == 0 || v > s.max {
+		s.max = v
+	}
+	s.n++
+	if v == 0 {
+		s.zeros++
+		return
+	}
+	idx := bucketIndex(v)
+	if _, ok := s.counts[idx]; !ok {
+		s.dirty = true
+	}
+	s.counts[idx]++
+}
+
+// Merge folds src into s. Merge is associative and commutative; src is left
+// untouched. Merging a nil or empty src is a no-op.
+func (s *Sketch) Merge(src *Sketch) {
+	if s == nil || src == nil || src.n == 0 {
+		return
+	}
+	if s.n == 0 || src.min < s.min {
+		s.min = src.min
+	}
+	if s.n == 0 || src.max > s.max {
+		s.max = src.max
+	}
+	s.n += src.n
+	s.zeros += src.zeros
+	for idx, c := range src.counts {
+		if _, ok := s.counts[idx]; !ok {
+			s.dirty = true
+		}
+		s.counts[idx] += c
+	}
+}
+
+// Reset returns the sketch to empty while keeping its allocations.
+func (s *Sketch) Reset() {
+	if s == nil {
+		return
+	}
+	clear(s.counts)
+	s.n, s.zeros = 0, 0
+	s.min, s.max = 0, 0
+	s.sorted = s.sorted[:0]
+	s.dirty = false
+}
+
+// Count reports the number of observations.
+func (s *Sketch) Count() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.n
+}
+
+// Min reports the smallest observation (exact, not bucketed); 0 when empty.
+func (s *Sketch) Min() float64 {
+	if s == nil {
+		return 0
+	}
+	return s.min
+}
+
+// Max reports the largest observation (exact, not bucketed); 0 when empty.
+func (s *Sketch) Max() float64 {
+	if s == nil {
+		return 0
+	}
+	return s.max
+}
+
+// Sum reports the approximate sum of all observations, derived from bucket
+// counts in ascending bucket order. Because it never touches raw values it is
+// independent of how observations were partitioned before merging.
+func (s *Sketch) Sum() float64 {
+	if s == nil || s.n == 0 {
+		return 0
+	}
+	var sum float64
+	for _, idx := range s.sortedIndexes() {
+		sum += float64(s.counts[idx]) * bucketMid(idx)
+	}
+	return sum
+}
+
+// Quantile returns an estimate of the p-quantile (p in [0, 1]) using the
+// nearest-rank rule over bucket midpoints. The extremes are exact: p <= 0
+// returns Min and p >= 1 returns Max. Returns 0 on an empty sketch.
+func (s *Sketch) Quantile(p float64) float64 {
+	if s == nil || s.n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return s.min
+	}
+	if p >= 1 {
+		return s.max
+	}
+	// Nearest-rank: the smallest value whose cumulative count reaches
+	// ceil(p*n), with rank at least 1.
+	rank := uint64(math.Ceil(p * float64(s.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank <= s.zeros {
+		return 0
+	}
+	cum := s.zeros
+	for _, idx := range s.sortedIndexes() {
+		cum += s.counts[idx]
+		if cum >= rank {
+			return bucketMid(idx)
+		}
+	}
+	return s.max
+}
+
+// sortedIndexes returns the bucket indexes in ascending order, rebuilding the
+// cache only after inserts introduced a new bucket.
+func (s *Sketch) sortedIndexes() []uint32 {
+	if s.dirty || len(s.sorted) != len(s.counts) {
+		s.sorted = s.sorted[:0]
+		for idx := range s.counts {
+			s.sorted = append(s.sorted, idx)
+		}
+		sort.Slice(s.sorted, func(i, j int) bool { return s.sorted[i] < s.sorted[j] })
+		s.dirty = false
+	}
+	return s.sorted
+}
+
+// AppendBinary appends the byte-stable encoding of s to b and returns the
+// extended slice. Equal sketches encode to equal bytes regardless of the
+// order observations or merges happened in.
+func (s *Sketch) AppendBinary(b []byte) []byte {
+	var n, zeros uint64
+	var minBits, maxBits uint64
+	var idxs []uint32
+	if s != nil {
+		n, zeros = s.n, s.zeros
+		minBits = math.Float64bits(s.min)
+		maxBits = math.Float64bits(s.max)
+		idxs = s.sortedIndexes()
+	}
+	b = append(b, magic...)
+	b = append(b, version)
+	b = binary.BigEndian.AppendUint64(b, n)
+	b = binary.BigEndian.AppendUint64(b, zeros)
+	b = binary.BigEndian.AppendUint64(b, minBits)
+	b = binary.BigEndian.AppendUint64(b, maxBits)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(idxs)))
+	for _, idx := range idxs {
+		b = binary.BigEndian.AppendUint32(b, idx)
+		b = binary.BigEndian.AppendUint64(b, s.counts[idx])
+	}
+	return b
+}
+
+// EncodeBinary returns the byte-stable encoding of s.
+func (s *Sketch) EncodeBinary() []byte {
+	size := headerLen
+	if s != nil {
+		size += len(s.counts) * bucketLen
+	}
+	return s.AppendBinary(make([]byte, 0, size))
+}
+
+// Decode parses an encoding produced by AppendBinary/EncodeBinary. It
+// validates the magic, version, framing, bucket ordering and counts, so a
+// truncated or corrupted payload returns an error rather than a bogus sketch.
+func Decode(b []byte) (*Sketch, error) {
+	if len(b) < headerLen {
+		return nil, fmt.Errorf("sketch: payload too short: %d bytes", len(b))
+	}
+	if string(b[:len(magic)]) != magic {
+		return nil, fmt.Errorf("sketch: bad magic %q", b[:len(magic)])
+	}
+	if v := b[len(magic)]; v != version {
+		return nil, fmt.Errorf("sketch: unsupported version %d", v)
+	}
+	p := b[len(magic)+1:]
+	n := binary.BigEndian.Uint64(p[0:])
+	zeros := binary.BigEndian.Uint64(p[8:])
+	min := math.Float64frombits(binary.BigEndian.Uint64(p[16:]))
+	max := math.Float64frombits(binary.BigEndian.Uint64(p[24:]))
+	nb := binary.BigEndian.Uint32(p[32:])
+	p = p[36:]
+	if uint64(len(p)) != uint64(nb)*bucketLen {
+		return nil, fmt.Errorf("sketch: want %d bucket bytes, have %d", uint64(nb)*bucketLen, len(p))
+	}
+	s := New()
+	s.n, s.zeros, s.min, s.max = n, zeros, min, max
+	var total uint64 = zeros
+	var prev uint32
+	for i := uint32(0); i < nb; i++ {
+		idx := binary.BigEndian.Uint32(p[0:])
+		c := binary.BigEndian.Uint64(p[4:])
+		p = p[bucketLen:]
+		if i > 0 && idx <= prev {
+			return nil, fmt.Errorf("sketch: bucket indexes not strictly ascending at %d", idx)
+		}
+		if c == 0 {
+			return nil, fmt.Errorf("sketch: zero count for bucket %d", idx)
+		}
+		prev = idx
+		s.counts[idx] = c
+		total += c
+	}
+	if total != n {
+		return nil, fmt.Errorf("sketch: bucket counts sum to %d, header says %d", total, n)
+	}
+	s.dirty = true
+	return s, nil
+}

@@ -1,0 +1,310 @@
+package sketch
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// stream produces a deterministic mixed-scale workload: latencies around
+// milliseconds, energies around joules, plus zeros and a few outliers.
+func stream(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	vs := make([]float64, n)
+	for i := range vs {
+		switch rng.Intn(10) {
+		case 0:
+			vs[i] = 0
+		case 1:
+			vs[i] = rng.Float64() * 1e4 // outlier
+		default:
+			vs[i] = 1e-3 * (0.5 + rng.Float64())
+		}
+	}
+	return vs
+}
+
+func TestQuantileAccuracy(t *testing.T) {
+	vs := stream(20000, 1)
+	s := New()
+	for _, v := range vs {
+		s.Observe(v)
+	}
+	sorted := append([]float64(nil), vs...)
+	sortFloats(sorted)
+
+	for _, p := range []float64{0.1, 0.5, 0.9, 0.99} {
+		got := s.Quantile(p)
+		exact := sorted[int(math.Ceil(p*float64(len(sorted))))-1]
+		if exact == 0 {
+			if got != 0 {
+				t.Fatalf("p=%v: got %v, exact 0", p, got)
+			}
+			continue
+		}
+		if rel := math.Abs(got-exact) / exact; rel > 0.03 {
+			t.Fatalf("p=%v: got %v, exact %v (rel err %.4f > 3%%)", p, got, exact, rel)
+		}
+	}
+	if s.Quantile(0) != s.Min() || s.Quantile(1) != s.Max() {
+		t.Fatalf("extreme quantiles must be exact: q0=%v min=%v q1=%v max=%v",
+			s.Quantile(0), s.Min(), s.Quantile(1), s.Max())
+	}
+	if s.Count() != uint64(len(vs)) {
+		t.Fatalf("count = %d, want %d", s.Count(), len(vs))
+	}
+	relSum := math.Abs(s.Sum()-sumFloats(vs)) / sumFloats(vs)
+	if relSum > 0.03 {
+		t.Fatalf("sum = %v, exact %v (rel err %.4f)", s.Sum(), sumFloats(vs), relSum)
+	}
+}
+
+func sortFloats(vs []float64) { sort.Float64s(vs) }
+
+func sumFloats(vs []float64) float64 {
+	var s float64
+	for _, v := range vs {
+		s += v
+	}
+	return s
+}
+
+// TestMergePartitionIndependence is the determinism core: splitting one
+// stream across any number of concurrent workers and merging in worker order
+// must yield byte-identical encodings. Run with -race.
+func TestMergePartitionIndependence(t *testing.T) {
+	vs := stream(8000, 2)
+	var want []byte
+	for _, workers := range []int{1, 2, 3, 4, 8, 16} {
+		parts := make([]*Sketch, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			parts[w] = New()
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(vs); i += workers {
+					parts[w].Observe(vs[i])
+				}
+			}(w)
+		}
+		wg.Wait()
+		merged := New()
+		for _, p := range parts {
+			merged.Merge(p)
+		}
+		enc := merged.EncodeBinary()
+		if want == nil {
+			want = enc
+			continue
+		}
+		if !bytes.Equal(enc, want) {
+			t.Fatalf("%d workers: encoding differs from 1 worker", workers)
+		}
+	}
+}
+
+// TestMergeOrderIndependence pins commutativity: merging shards in reverse
+// order produces the same bytes.
+func TestMergeOrderIndependence(t *testing.T) {
+	vs := stream(4000, 3)
+	shards := make([]*Sketch, 5)
+	for i := range shards {
+		shards[i] = New()
+	}
+	for i, v := range vs {
+		shards[i%len(shards)].Observe(v)
+	}
+	fwd, rev := New(), New()
+	for i := range shards {
+		fwd.Merge(shards[i])
+		rev.Merge(shards[len(shards)-1-i])
+	}
+	if !bytes.Equal(fwd.EncodeBinary(), rev.EncodeBinary()) {
+		t.Fatal("merge order changed the encoding")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	s := New()
+	for _, v := range stream(3000, 4) {
+		s.Observe(v)
+	}
+	enc := s.EncodeBinary()
+	d, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(d.EncodeBinary(), enc) {
+		t.Fatal("decode->encode is not the identity")
+	}
+	if d.Count() != s.Count() || d.Min() != s.Min() || d.Max() != s.Max() {
+		t.Fatalf("decoded aggregates differ: %d/%v/%v vs %d/%v/%v",
+			d.Count(), d.Min(), d.Max(), s.Count(), s.Min(), s.Max())
+	}
+	for _, p := range Quantiles {
+		if d.Quantile(p) != s.Quantile(p) {
+			t.Fatalf("q%v differs after round trip", p)
+		}
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	s := New()
+	for _, v := range stream(100, 5) {
+		s.Observe(v)
+	}
+	good := s.EncodeBinary()
+
+	cases := map[string][]byte{
+		"empty":     {},
+		"short":     good[:headerLen-1],
+		"truncated": good[:len(good)-3],
+		"magic":     append([]byte("XXXX"), good[4:]...),
+		"version":   append(append([]byte(magic), 99), good[5:]...),
+	}
+	// Corrupt a bucket count so the total disagrees with the header.
+	bad := append([]byte(nil), good...)
+	bad[len(bad)-1] ^= 0xff
+	cases["count-mismatch"] = bad
+
+	for name, b := range cases {
+		if _, err := Decode(b); err == nil {
+			t.Fatalf("%s: Decode accepted corrupt payload", name)
+		}
+	}
+	if _, err := Decode(good); err != nil {
+		t.Fatalf("control: Decode rejected valid payload: %v", err)
+	}
+}
+
+func TestEmptyAndNil(t *testing.T) {
+	var nilS *Sketch
+	nilS.Observe(1)
+	nilS.Merge(New())
+	nilS.Reset()
+	if nilS.Count() != 0 || nilS.Sum() != 0 || nilS.Quantile(0.5) != 0 ||
+		nilS.Min() != 0 || nilS.Max() != 0 {
+		t.Fatal("nil sketch queries must all be zero")
+	}
+
+	empty := New()
+	if empty.Quantile(0.5) != 0 || empty.Sum() != 0 {
+		t.Fatal("empty sketch queries must be zero")
+	}
+	d, err := Decode(empty.EncodeBinary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Count() != 0 {
+		t.Fatal("decoded empty sketch not empty")
+	}
+	if !bytes.Equal(nilS.EncodeBinary(), empty.EncodeBinary()) {
+		t.Fatal("nil and empty sketches must encode identically")
+	}
+}
+
+func TestZerosAndClamping(t *testing.T) {
+	s := New()
+	s.Observe(0)
+	s.Observe(-5)
+	s.Observe(math.NaN())
+	s.Observe(math.Inf(1))
+	s.Observe(2)
+	if s.Count() != 5 {
+		t.Fatalf("count = %d, want 5", s.Count())
+	}
+	if q := s.Quantile(0.5); q != 0 {
+		t.Fatalf("median of {0,0,0,0,2} = %v, want 0", q)
+	}
+	if s.Max() != 2 || s.Min() != 0 {
+		t.Fatalf("min/max = %v/%v, want 0/2", s.Min(), s.Max())
+	}
+}
+
+func TestResetReuses(t *testing.T) {
+	s := New()
+	for _, v := range stream(500, 6) {
+		s.Observe(v)
+	}
+	s.Reset()
+	if s.Count() != 0 || s.Sum() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Fatal("reset left state behind")
+	}
+	for _, v := range stream(500, 7) {
+		s.Observe(v)
+	}
+	fresh := New()
+	for _, v := range stream(500, 7) {
+		fresh.Observe(v)
+	}
+	if !bytes.Equal(s.EncodeBinary(), fresh.EncodeBinary()) {
+		t.Fatal("reused sketch differs from fresh sketch")
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	s := New()
+	for _, v := range stream(2000, 8) {
+		s.Observe(v)
+	}
+	prev := math.Inf(-1)
+	for p := 0.0; p <= 1.0; p += 0.01 {
+		q := s.Quantile(p)
+		if q < prev {
+			t.Fatalf("quantile not monotone at p=%v: %v < %v", p, q, prev)
+		}
+		prev = q
+	}
+}
+
+func TestBucketOrderMatchesValueOrder(t *testing.T) {
+	vs := []float64{1e-9, 3e-4, 0.001, 0.0011, 0.5, 1, 1.03, 2, 1000, 1e12}
+	for i := 0; i+1 < len(vs); i++ {
+		if bucketIndex(vs[i]) > bucketIndex(vs[i+1]) {
+			t.Fatalf("bucket order broken: %v -> %d, %v -> %d",
+				vs[i], bucketIndex(vs[i]), vs[i+1], bucketIndex(vs[i+1]))
+		}
+	}
+	for _, v := range vs {
+		idx := bucketIndex(v)
+		lo, hi := bucketLow(idx), bucketLow(idx+1)
+		if v < lo || v >= hi {
+			t.Fatalf("%v outside its bucket [%v, %v)", v, lo, hi)
+		}
+		if mid := bucketMid(idx); mid <= lo || mid >= hi {
+			t.Fatalf("midpoint %v outside bucket (%v, %v)", mid, lo, hi)
+		}
+	}
+}
+
+func BenchmarkObserve(b *testing.B) {
+	s := New()
+	vs := stream(1024, 9)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Observe(vs[i&1023])
+	}
+}
+
+func BenchmarkMerge(b *testing.B) {
+	shards := make([]*Sketch, 16)
+	for i := range shards {
+		shards[i] = New()
+		for _, v := range stream(2000, int64(i)) {
+			shards[i].Observe(v)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := New()
+		for _, s := range shards {
+			m.Merge(s)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"powerlens/internal/obs/sketch"
+)
+
+func sketchRegistry() *Registry {
+	r := NewRegistry()
+	lat := r.Sketch("pass_latency_seconds", "Per-pass latency.", "model")
+	for i := 0; i < 1000; i++ {
+		lat.Observe(0.001+float64(i)*1e-5, "alexnet")
+		lat.Observe(0.004+float64(i)*2e-5, "resnet152")
+	}
+	r.Counter("passes_total", "Passes.").Add(2000)
+	return r
+}
+
+func TestSketchFamilyPrometheus(t *testing.T) {
+	r := sketchRegistry()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if fams, err := CheckPrometheusText(strings.NewReader(out)); err != nil || fams != 2 {
+		t.Fatalf("export does not parse (families=%d): %v\n%s", fams, err, out)
+	}
+	for _, want := range []string{
+		"# TYPE pass_latency_seconds summary\n",
+		`pass_latency_seconds{model="alexnet",quantile="0.5"} `,
+		`pass_latency_seconds{model="resnet152",quantile="0.99"} `,
+		`pass_latency_seconds_sum{model="alexnet"} `,
+		`pass_latency_seconds_count{model="alexnet"} 1000`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("export missing %q:\n%s", want, out)
+		}
+	}
+
+	// The pooled scrape path must render byte-identical text.
+	var buf2 bytes.Buffer
+	if err := WriteSnapshotPrometheus(&buf2, r.SnapshotInto(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Fatal("Snapshot and SnapshotInto render different Prometheus text")
+	}
+}
+
+func TestSketchSnapshotFields(t *testing.T) {
+	r := sketchRegistry()
+	snap := r.Snapshot()
+	var fam *FamilySnapshot
+	for i := range snap {
+		if snap[i].Name == "pass_latency_seconds" {
+			fam = &snap[i]
+		}
+	}
+	if fam == nil {
+		t.Fatal("sketch family missing from snapshot")
+	}
+	if fam.Kind != "summary" || !reflect.DeepEqual(fam.Quantiles, []float64{0.5, 0.9, 0.99}) {
+		t.Fatalf("family schema wrong: kind=%q quantiles=%v", fam.Kind, fam.Quantiles)
+	}
+	if fam.Total() != 2000 {
+		t.Fatalf("Total() = %v, want 2000", fam.Total())
+	}
+	for _, s := range fam.Series {
+		if s.Count != 1000 || len(s.Quantiles) != 3 || s.Sum <= 0 {
+			t.Fatalf("series %v incomplete: %+v", s.LabelValues, s)
+		}
+		if s.Quantiles[0] > s.Quantiles[1] || s.Quantiles[1] > s.Quantiles[2] {
+			t.Fatalf("series %v quantiles not monotone: %v", s.LabelValues, s.Quantiles)
+		}
+		dec, err := sketch.Decode(s.Encoded)
+		if err != nil {
+			t.Fatalf("series %v Encoded does not decode: %v", s.LabelValues, err)
+		}
+		if dec.Count() != s.Count {
+			t.Fatalf("series %v decoded count %d != %d", s.LabelValues, dec.Count(), s.Count)
+		}
+	}
+}
+
+// TestSketchRegistryMerge pins that merging per-worker registries in a fixed
+// order yields the same bytes regardless of how observations were split.
+func TestSketchRegistryMerge(t *testing.T) {
+	observe := func(workers int) []byte {
+		parts := make([]*Registry, workers)
+		for w := range parts {
+			parts[w] = NewRegistry()
+		}
+		for i := 0; i < 5000; i++ {
+			parts[i%workers].Sketch("lat", "h", "model").Observe(1e-3+float64(i)*1e-6, "m0")
+		}
+		merged := NewRegistry()
+		for _, p := range parts {
+			merged.Merge(p)
+		}
+		var buf bytes.Buffer
+		if err := merged.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		// Include the byte-stable sketch encoding too, not just the text.
+		snap := merged.Snapshot()
+		for _, f := range snap {
+			for _, s := range f.Series {
+				buf.Write(s.Encoded)
+			}
+		}
+		return buf.Bytes()
+	}
+	want := observe(1)
+	for _, w := range []int{2, 3, 8} {
+		if !bytes.Equal(observe(w), want) {
+			t.Fatalf("merge of %d worker registries is not byte-identical", w)
+		}
+	}
+}
+
+func TestSketchMergeFrom(t *testing.T) {
+	ext := sketch.New()
+	for i := 0; i < 100; i++ {
+		ext.Observe(float64(i + 1))
+	}
+	r := NewRegistry()
+	h := r.Sketch("lat", "h", "model")
+	h.MergeFrom(ext, "m0")
+	h.Observe(1000, "m0")
+	snap := r.Snapshot()
+	if got := snap[0].Series[0].Count; got != 101 {
+		t.Fatalf("count after MergeFrom = %d, want 101", got)
+	}
+
+	// Nil handles and nil sources are no-ops.
+	var none Sketch
+	none.Observe(1, "x")
+	none.MergeFrom(ext, "x")
+	h.MergeFrom(nil, "m0")
+	var nilReg *Registry
+	nilReg.Sketch("lat", "h").Observe(1)
+}

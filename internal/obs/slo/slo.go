@@ -1,0 +1,402 @@
+// Package slo implements a rolling-window SLO tracker with multi-window
+// burn-rate alerting over the *simulated* clock.
+//
+// Two objectives are tracked per model:
+//
+//   - latency-degradation: the fraction of passes whose GPU time exceeded the
+//     max-frequency reference by more than the executor's degradation budget
+//     must stay below ViolationTarget (the error budget). The executor
+//     decides per-pass violation; the tracker owns the budget math.
+//   - energy-budget: average power draw must stay below PowerBudgetW
+//     (objective disabled when PowerBudgetW <= 0).
+//
+// Burn rate is the SRE notion: consumption of the error budget relative to
+// the allowed rate, so burn 1.0 means "exactly on budget" and burn 14 means
+// "the whole budget gone in 1/14 of the window". Each BurnWindow pairs a long
+// and a short window; the pair alerts only when BOTH exceed the threshold —
+// the long window proves the problem is sustained, the short one proves it is
+// still happening (Google SRE Workbook, ch. 5).
+//
+// Determinism: events arrive in simulated-time order from a single executor,
+// state is per-model bucketed rings plus counts and one quantile sketch, and
+// Snapshot walks models in sorted name order — so a deterministic simulation
+// produces a byte-identical Status via WriteJSON every run. A nil *Tracker
+// accepts all calls and does nothing.
+package slo
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"powerlens/internal/obs/sketch"
+)
+
+// BurnWindow is one long/short multi-window alerting pair.
+type BurnWindow struct {
+	Long      time.Duration `json:"long"`
+	Short     time.Duration `json:"short"`
+	Threshold float64       `json:"threshold"`
+}
+
+// DefaultBurnWindows mirrors the classic SRE page/ticket ladder, scaled to
+// simulation timescales (seconds, not hours): a fast pair that pages on
+// budget exhaustion within ~20 windows, and a slow pair for sustained burn.
+var DefaultBurnWindows = []BurnWindow{
+	{Long: 5 * time.Second, Short: 1 * time.Second, Threshold: 10},
+	{Long: 30 * time.Second, Short: 5 * time.Second, Threshold: 2},
+}
+
+// Config parameterizes a Tracker. Zero fields take defaults.
+type Config struct {
+	// ViolationTarget is the allowed fraction of QoS-violating passes
+	// (the latency error budget). Default 0.1.
+	ViolationTarget float64
+	// PowerBudgetW is the per-model average power objective in watts;
+	// <= 0 disables the energy objective.
+	PowerBudgetW float64
+	// Windows are the burn-rate alerting pairs. Default DefaultBurnWindows.
+	Windows []BurnWindow
+	// Resolution is the ring bucket width. Default 250ms.
+	Resolution time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.ViolationTarget <= 0 {
+		c.ViolationTarget = 0.1
+	}
+	if len(c.Windows) == 0 {
+		c.Windows = DefaultBurnWindows
+	}
+	if c.Resolution <= 0 {
+		c.Resolution = 250 * time.Millisecond
+	}
+	return c
+}
+
+// bucket is one resolution slot of a model's ring.
+type bucket struct {
+	passes  uint64
+	bad     uint64
+	energyJ float64
+}
+
+// modelState is the rolling state for one model.
+type modelState struct {
+	name    string
+	ring    []bucket
+	head    int   // ring index of the bucket holding `slot`
+	slot    int64 // absolute bucket number at head, -1 before first event
+	passes  uint64
+	bad     uint64
+	energyJ float64
+	degSum  float64 // sum of (gpu/ref - 1) degradations
+	lat     *sketch.Sketch
+}
+
+// Tracker accumulates SLO events. Safe for concurrent use, though the
+// executor feeds it sequentially in simulated-time order.
+type Tracker struct {
+	mu     sync.Mutex
+	cfg    Config
+	models map[string]*modelState
+	now    time.Duration // latest event time seen
+}
+
+// New returns a Tracker with cfg (zero fields defaulted).
+func New(cfg Config) *Tracker {
+	return &Tracker{cfg: cfg.withDefaults(), models: map[string]*modelState{}}
+}
+
+// ConfigView returns the effective (defaulted) configuration.
+func (t *Tracker) ConfigView() Config {
+	if t == nil {
+		return Config{}
+	}
+	return t.cfg
+}
+
+// RecordPass records one completed pass for a model at simulated time `at`
+// (end of pass): wall latency, degradation vs the max-frequency reference
+// (gpu/ref - 1), energy spent, and whether the pass violated the QoS budget.
+// Events must arrive in non-decreasing `at` order per tracker.
+func (t *Tracker) RecordPass(modelName string, at time.Duration, wall time.Duration, degradation float64, energyJ float64, violated bool) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	m, ok := t.models[modelName]
+	if !ok {
+		n := 1
+		for _, w := range t.cfg.Windows {
+			if b := int(w.Long / t.cfg.Resolution); b+1 > n {
+				n = b + 1
+			}
+		}
+		m = &modelState{name: modelName, ring: make([]bucket, n), slot: -1, lat: sketch.New()}
+		t.models[modelName] = m
+	}
+	if at > t.now {
+		t.now = at
+	}
+	slot := int64(at / t.cfg.Resolution)
+	if m.slot < 0 {
+		m.slot = slot
+	}
+	if gap := slot - m.slot; gap >= int64(len(m.ring)) {
+		// The whole ring has aged out; clear it and jump.
+		for i := range m.ring {
+			m.ring[i] = bucket{}
+		}
+		m.head, m.slot = 0, slot
+	} else {
+		for m.slot < slot {
+			m.slot++
+			m.head = (m.head + 1) % len(m.ring)
+			m.ring[m.head] = bucket{}
+		}
+	}
+	b := &m.ring[m.head]
+	b.passes++
+	m.passes++
+	if violated {
+		b.bad++
+		m.bad++
+	}
+	b.energyJ += energyJ
+	m.energyJ += energyJ
+	m.degSum += degradation
+	m.lat.Observe(wall.Seconds())
+	t.mu.Unlock()
+}
+
+// windowSums returns passes/bad/energy over the trailing window w ending at
+// the tracker's current time.
+func (t *Tracker) windowSums(m *modelState, w time.Duration) (passes, bad uint64, energyJ float64) {
+	if m.slot < 0 {
+		return 0, 0, 0
+	}
+	nowSlot := int64(t.now / t.cfg.Resolution)
+	nb := int64(w / t.cfg.Resolution)
+	if nb < 1 {
+		nb = 1
+	}
+	if int(nb) > len(m.ring) {
+		nb = int64(len(m.ring))
+	}
+	for i := int64(0); i < nb; i++ {
+		slot := nowSlot - i
+		if slot < 0 || slot > m.slot || m.slot-slot >= int64(len(m.ring)) {
+			continue
+		}
+		idx := (m.head - int(m.slot-slot)%len(m.ring) + len(m.ring)) % len(m.ring)
+		b := m.ring[idx]
+		passes += b.passes
+		bad += b.bad
+		energyJ += b.energyJ
+	}
+	return passes, bad, energyJ
+}
+
+// WindowBurn is the burn state of one long/short pair for one objective.
+type WindowBurn struct {
+	LongS     float64 `json:"longS"`
+	ShortS    float64 `json:"shortS"`
+	Threshold float64 `json:"threshold"`
+	LongBurn  float64 `json:"longBurn"`
+	ShortBurn float64 `json:"shortBurn"`
+	Alerting  bool    `json:"alerting"`
+}
+
+// ObjectiveStatus is one objective's burn state for one model.
+type ObjectiveStatus struct {
+	Name     string       `json:"name"`   // "latency-degradation" | "energy-budget"
+	Target   float64      `json:"target"` // violation fraction or watts
+	Windows  []WindowBurn `json:"windows"`
+	Alerting bool         `json:"alerting"`
+}
+
+// ModelStatus is the full SLO state of one model.
+type ModelStatus struct {
+	Model           string            `json:"model"`
+	Passes          uint64            `json:"passes"`
+	Violations      uint64            `json:"violations"`
+	ViolationRate   float64           `json:"violationRate"`
+	MeanDegradation float64           `json:"meanDegradation"`
+	LatencyP50S     float64           `json:"latencyP50S"`
+	LatencyP90S     float64           `json:"latencyP90S"`
+	LatencyP99S     float64           `json:"latencyP99S"`
+	EnergyJ         float64           `json:"energyJ"`
+	AvgPowerW       float64           `json:"avgPowerW"`
+	Objectives      []ObjectiveStatus `json:"objectives"`
+	Alerting        bool              `json:"alerting"`
+}
+
+// Status is a deterministic point-in-time view of the tracker.
+type Status struct {
+	Schema          int           `json:"schema"`
+	NowS            float64       `json:"nowS"` // simulated seconds
+	ViolationTarget float64       `json:"violationTarget"`
+	PowerBudgetW    float64       `json:"powerBudgetW,omitempty"`
+	Windows         []BurnWindow  `json:"burnWindows"`
+	Models          []ModelStatus `json:"models"`
+	Alerting        bool          `json:"alerting"`
+}
+
+// StatusSchema identifies the Status JSON layout.
+const StatusSchema = 1
+
+// Snapshot computes burn rates for every model at the tracker's current
+// simulated time. Models are sorted by name; equal trackers produce equal
+// Status values.
+func (t *Tracker) Snapshot() Status {
+	st := Status{Schema: StatusSchema, Models: []ModelStatus{}}
+	if t == nil {
+		return st
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st.NowS = t.now.Seconds()
+	st.ViolationTarget = t.cfg.ViolationTarget
+	st.PowerBudgetW = t.cfg.PowerBudgetW
+	st.Windows = append([]BurnWindow(nil), t.cfg.Windows...)
+
+	names := make([]string, 0, len(t.models))
+	for n := range t.models {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	for _, n := range names {
+		m := t.models[n]
+		ms := ModelStatus{
+			Model:       m.name,
+			Passes:      m.passes,
+			Violations:  m.bad,
+			EnergyJ:     m.energyJ,
+			LatencyP50S: m.lat.Quantile(0.5),
+			LatencyP90S: m.lat.Quantile(0.9),
+			LatencyP99S: m.lat.Quantile(0.99),
+		}
+		if m.passes > 0 {
+			ms.ViolationRate = float64(m.bad) / float64(m.passes)
+			ms.MeanDegradation = m.degSum / float64(m.passes)
+		}
+		if t.now > 0 {
+			ms.AvgPowerW = m.energyJ / t.now.Seconds()
+		}
+
+		latObj := ObjectiveStatus{Name: "latency-degradation", Target: t.cfg.ViolationTarget}
+		for _, w := range t.cfg.Windows {
+			wb := WindowBurn{LongS: w.Long.Seconds(), ShortS: w.Short.Seconds(), Threshold: w.Threshold}
+			wb.LongBurn = t.latencyBurn(m, w.Long)
+			wb.ShortBurn = t.latencyBurn(m, w.Short)
+			wb.Alerting = wb.LongBurn >= w.Threshold && wb.ShortBurn >= w.Threshold
+			latObj.Alerting = latObj.Alerting || wb.Alerting
+			latObj.Windows = append(latObj.Windows, wb)
+		}
+		ms.Objectives = append(ms.Objectives, latObj)
+
+		if t.cfg.PowerBudgetW > 0 {
+			enObj := ObjectiveStatus{Name: "energy-budget", Target: t.cfg.PowerBudgetW}
+			for _, w := range t.cfg.Windows {
+				wb := WindowBurn{LongS: w.Long.Seconds(), ShortS: w.Short.Seconds(), Threshold: w.Threshold}
+				wb.LongBurn = t.energyBurn(m, w.Long)
+				wb.ShortBurn = t.energyBurn(m, w.Short)
+				wb.Alerting = wb.LongBurn >= w.Threshold && wb.ShortBurn >= w.Threshold
+				enObj.Alerting = enObj.Alerting || wb.Alerting
+				enObj.Windows = append(enObj.Windows, wb)
+			}
+			ms.Objectives = append(ms.Objectives, enObj)
+			ms.Alerting = ms.Alerting || enObj.Alerting
+		}
+		ms.Alerting = ms.Alerting || latObj.Alerting
+		st.Alerting = st.Alerting || ms.Alerting
+		st.Models = append(st.Models, ms)
+	}
+	return st
+}
+
+// latencyBurn is badFraction(window) / ViolationTarget: 1.0 = burning the
+// error budget exactly at the allowed rate.
+func (t *Tracker) latencyBurn(m *modelState, w time.Duration) float64 {
+	passes, bad, _ := t.windowSums(m, w)
+	if passes == 0 {
+		return 0
+	}
+	return float64(bad) / float64(passes) / t.cfg.ViolationTarget
+}
+
+// energyBurn is actual joules over the window divided by the budgeted joules
+// (PowerBudgetW x observed window span).
+func (t *Tracker) energyBurn(m *modelState, w time.Duration) float64 {
+	_, _, energy := t.windowSums(m, w)
+	span := w
+	if t.now < span {
+		span = t.now
+	}
+	if span <= 0 {
+		return 0
+	}
+	return energy / (t.cfg.PowerBudgetW * span.Seconds())
+}
+
+// WriteJSON writes the Status as indented JSON; equal trackers write equal
+// bytes. The /slo endpoint and the slo.json run artifact both use this.
+func (t *Tracker) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t.Snapshot())
+}
+
+// HeadlineMetrics flattens the Status into runlog-manifest metrics.
+func (t *Tracker) HeadlineMetrics() map[string]float64 {
+	if t == nil {
+		return nil
+	}
+	st := t.Snapshot()
+	var passes, viol uint64
+	maxBurn := 0.0
+	alerting := 0.0
+	for _, m := range st.Models {
+		passes += m.Passes
+		viol += m.Violations
+		for _, o := range m.Objectives {
+			for _, w := range o.Windows {
+				if w.LongBurn > maxBurn {
+					maxBurn = w.LongBurn
+				}
+			}
+		}
+		if m.Alerting {
+			alerting++
+		}
+	}
+	h := map[string]float64{
+		"slo_models":          float64(len(st.Models)),
+		"slo_passes":          float64(passes),
+		"slo_violations":      float64(viol),
+		"slo_max_long_burn":   maxBurn,
+		"slo_models_alerting": alerting,
+	}
+	if passes > 0 {
+		h["slo_violation_rate"] = float64(viol) / float64(passes)
+	} else {
+		h["slo_violation_rate"] = 0
+	}
+	return h
+}
+
+// String renders a compact one-line summary, for logs.
+func (s Status) String() string {
+	alerting := 0
+	for _, m := range s.Models {
+		if m.Alerting {
+			alerting++
+		}
+	}
+	return fmt.Sprintf("slo: %d models, %d alerting, t=%.2fs", len(s.Models), alerting, s.NowS)
+}

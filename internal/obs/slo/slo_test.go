@@ -1,0 +1,207 @@
+package slo
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func cfg() Config {
+	return Config{
+		ViolationTarget: 0.1,
+		PowerBudgetW:    5,
+		Resolution:      100 * time.Millisecond,
+		Windows: []BurnWindow{
+			{Long: 2 * time.Second, Short: 500 * time.Millisecond, Threshold: 5},
+		},
+	}
+}
+
+// healthy pumps compliant traffic: 1 pass per 10ms, no violations, 0.02 J
+// per pass (2 W average, under the 5 W budget).
+func healthy(t *Tracker, from, to time.Duration) {
+	for at := from; at < to; at += 10 * time.Millisecond {
+		t.RecordPass("m0", at, 5*time.Millisecond, 0.01, 0.02, false)
+	}
+}
+
+func TestHealthyTrafficDoesNotAlert(t *testing.T) {
+	tr := New(cfg())
+	healthy(tr, 0, 4*time.Second)
+	st := tr.Snapshot()
+	if st.Alerting {
+		t.Fatalf("healthy traffic alerting: %+v", st)
+	}
+	if len(st.Models) != 1 {
+		t.Fatalf("want 1 model, got %d", len(st.Models))
+	}
+	m := st.Models[0]
+	if m.Model != "m0" || m.Violations != 0 || m.ViolationRate != 0 {
+		t.Fatalf("model state wrong: %+v", m)
+	}
+	if m.LatencyP50S <= 0 || m.AvgPowerW <= 0 {
+		t.Fatalf("derived stats missing: %+v", m)
+	}
+	// Latency objective burn should be exactly 0; energy burn 2W/5W = 0.4.
+	lat, en := m.Objectives[0], m.Objectives[1]
+	if lat.Name != "latency-degradation" || lat.Windows[0].LongBurn != 0 {
+		t.Fatalf("latency objective wrong: %+v", lat)
+	}
+	if en.Name != "energy-budget" || en.Windows[0].LongBurn < 0.3 || en.Windows[0].LongBurn > 0.5 {
+		t.Fatalf("energy burn should be ~0.4: %+v", en)
+	}
+}
+
+// TestViolationBurstAlerts pins the multi-window AND: a burst of violations
+// must push both the short and long windows over the threshold.
+func TestViolationBurstAlerts(t *testing.T) {
+	tr := New(cfg())
+	healthy(tr, 0, 2*time.Second)
+	// 100% violations for the last 2s: burn = 1.0/0.1 = 10 > 5 on both
+	// windows.
+	for at := 2 * time.Second; at < 4*time.Second; at += 10 * time.Millisecond {
+		tr.RecordPass("m0", at, 20*time.Millisecond, 0.5, 0.02, true)
+	}
+	st := tr.Snapshot()
+	m := st.Models[0]
+	lat := m.Objectives[0]
+	if !lat.Windows[0].Alerting || !lat.Alerting || !m.Alerting || !st.Alerting {
+		t.Fatalf("violation burst did not alert: %+v", lat)
+	}
+	if lat.Windows[0].ShortBurn < 5 || lat.Windows[0].LongBurn < 5 {
+		t.Fatalf("burns too low: %+v", lat.Windows[0])
+	}
+}
+
+// TestRecoveredBurstStopsAlerting pins the short-window recovery property:
+// after the burst ends and healthy traffic resumes, the short window clears
+// even while the long window still remembers the burst.
+func TestRecoveredBurstStopsAlerting(t *testing.T) {
+	tr := New(cfg())
+	for at := time.Duration(0); at < 1500*time.Millisecond; at += 10 * time.Millisecond {
+		tr.RecordPass("m0", at, 20*time.Millisecond, 0.5, 0.02, true)
+	}
+	healthy(tr, 1500*time.Millisecond, 2500*time.Millisecond)
+	st := tr.Snapshot()
+	w := st.Models[0].Objectives[0].Windows[0]
+	if w.LongBurn < 5 {
+		t.Fatalf("long window should still see the burst: %+v", w)
+	}
+	if w.ShortBurn != 0 {
+		t.Fatalf("short window should have recovered: %+v", w)
+	}
+	if w.Alerting || st.Alerting {
+		t.Fatalf("recovered traffic must not alert (multi-window AND): %+v", w)
+	}
+}
+
+// TestRingAgesOut pins that events older than the long window stop counting.
+func TestRingAgesOut(t *testing.T) {
+	tr := New(cfg())
+	for at := time.Duration(0); at < 500*time.Millisecond; at += 10 * time.Millisecond {
+		tr.RecordPass("m0", at, 20*time.Millisecond, 0.5, 0.02, true)
+	}
+	// Jump far past the long window with one healthy pass.
+	tr.RecordPass("m0", 10*time.Second, 5*time.Millisecond, 0, 0.02, false)
+	st := tr.Snapshot()
+	w := st.Models[0].Objectives[0].Windows[0]
+	if w.LongBurn != 0 || w.ShortBurn != 0 {
+		t.Fatalf("ancient burst still burning: %+v", w)
+	}
+	if st.Models[0].Violations == 0 {
+		t.Fatal("lifetime totals must survive ring aging")
+	}
+}
+
+func TestEnergyBudgetAlerts(t *testing.T) {
+	c := cfg()
+	c.PowerBudgetW = 0.001 // absurdly tight: everything over-burns
+	tr := New(c)
+	healthy(tr, 0, 3*time.Second)
+	st := tr.Snapshot()
+	en := st.Models[0].Objectives[1]
+	if !en.Alerting || !st.Alerting {
+		t.Fatalf("energy objective should alert: %+v", en)
+	}
+}
+
+func TestNoEnergyObjectiveWithoutBudget(t *testing.T) {
+	c := cfg()
+	c.PowerBudgetW = 0
+	tr := New(c)
+	healthy(tr, 0, time.Second)
+	m := tr.Snapshot().Models[0]
+	if len(m.Objectives) != 1 || m.Objectives[0].Name != "latency-degradation" {
+		t.Fatalf("want only the latency objective: %+v", m.Objectives)
+	}
+}
+
+func TestDeterministicJSON(t *testing.T) {
+	run := func() []byte {
+		tr := New(cfg())
+		for i := 0; i < 500; i++ {
+			at := time.Duration(i) * 7 * time.Millisecond
+			tr.RecordPass("m1", at, time.Duration(i%20+1)*time.Millisecond,
+				float64(i%10)/100, 0.01, i%13 == 0)
+			tr.RecordPass("m0", at, time.Duration(i%30+2)*time.Millisecond,
+				float64(i%5)/100, 0.02, i%7 == 0)
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatal("identical event streams produced different JSON")
+	}
+	if !bytes.Contains(a, []byte(`"model": "m0"`)) || !bytes.Contains(a, []byte(`"model": "m1"`)) {
+		t.Fatalf("models missing from JSON: %s", a)
+	}
+	// Sorted by model name: m0 before m1.
+	if bytes.Index(a, []byte(`"m0"`)) > bytes.Index(a, []byte(`"m1"`)) {
+		t.Fatal("models not sorted by name")
+	}
+}
+
+func TestHeadlineMetrics(t *testing.T) {
+	tr := New(cfg())
+	healthy(tr, 0, time.Second)
+	tr.RecordPass("m0", time.Second, 20*time.Millisecond, 0.5, 0.02, true)
+	h := tr.HeadlineMetrics()
+	for _, k := range []string{"slo_models", "slo_passes", "slo_violations",
+		"slo_violation_rate", "slo_max_long_burn", "slo_models_alerting"} {
+		if _, ok := h[k]; !ok {
+			t.Fatalf("headline missing %q: %v", k, h)
+		}
+	}
+	if h["slo_models"] != 1 || h["slo_violations"] != 1 {
+		t.Fatalf("headline values wrong: %v", h)
+	}
+}
+
+func TestNilTracker(t *testing.T) {
+	var tr *Tracker
+	tr.RecordPass("x", 0, time.Millisecond, 0, 1, true)
+	if st := tr.Snapshot(); len(st.Models) != 0 {
+		t.Fatal("nil tracker snapshot not empty")
+	}
+	if h := tr.HeadlineMetrics(); h != nil {
+		t.Fatal("nil tracker headline must be nil")
+	}
+	if err := tr.WriteJSON(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if c := tr.ConfigView(); c.ViolationTarget != 0 {
+		t.Fatal("nil tracker config must be zero")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	tr := New(Config{})
+	c := tr.ConfigView()
+	if c.ViolationTarget != 0.1 || c.Resolution != 250*time.Millisecond || len(c.Windows) != 2 {
+		t.Fatalf("defaults not applied: %+v", c)
+	}
+}

@@ -27,6 +27,10 @@ type Data struct {
 	// Observe is the instrumented-run snapshot behind the report's
 	// observability section (metrics summary + span timeline).
 	Observe *experiments.ObserveData
+
+	// SLO is the attributed-run snapshot behind the energy-breakdown and
+	// burn-rate section.
+	SLO *experiments.SLOData
 }
 
 // ResilienceTasks is the task-flow length of the report's resilience
@@ -99,6 +103,11 @@ func Collect(env *experiments.Env, numTasks int) (*Data, error) {
 		return nil, err
 	}
 	d.Observe = ob
+	sd, err := experiments.SLO(env, hw.TX2(), experiments.SLOOptions{Seed: 42})
+	if err != nil {
+		return nil, err
+	}
+	d.SLO = sd
 	return d, nil
 }
 
@@ -178,6 +187,12 @@ func WriteHTML(w io.Writer, d *Data) error {
 		b.WriteString(TimelineSVG(ob.Events))
 		b.WriteString(ObsMetricsTable(ob.Metrics))
 		fmt.Fprintf(&b, "<pre>%s</pre>\n", escape(experiments.RenderObserve(ob)))
+	}
+	if s := d.SLO; s != nil {
+		fmt.Fprintf(&b, "<h2>Energy attribution &amp; SLO burn rates — %s</h2>\n", s.Platform)
+		fmt.Fprintf(&b, "<p class=\"meta\">Guarded %d-task flow (seed %d) with the energy-attribution ledger and the multi-window burn-rate tracker attached: per-model latency objectives, per-DVFS-level energy breakdown, and (model, block, level) attribution cells. Regenerate with <code>experiments slo</code>; serve live with <code>experiments slo -serve :8080</code> and <code>GET /slo</code>.</p>\n",
+			s.Opt.Tasks, s.Opt.Seed)
+		fmt.Fprintf(&b, "<pre>%s</pre>\n", escape(experiments.RenderSLO(s)))
 	}
 	fmt.Fprintf(&b, "<p class=\"meta\">Generated by cmd/experiments report. Runtime substrate: analytic Jetson simulator (DESIGN.md §3).</p>\n")
 	b.WriteString("</body></html>\n")

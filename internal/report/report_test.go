@@ -94,6 +94,7 @@ func TestWriteHTML(t *testing.T) {
 		Fig5: map[string][]experiments.Fig5Result{
 			"TX2": {{Method: "PowerLens", EnergyJ: 1, Time: time.Second, EE: 1}},
 		},
+		SLO: &experiments.SLOData{Platform: "TX2", Opt: experiments.SLOOptions{Tasks: 5, Seed: 42}},
 	}
 	var sb strings.Builder
 	if err := WriteHTML(&sb, d); err != nil {
@@ -101,7 +102,8 @@ func TestWriteHTML(t *testing.T) {
 	}
 	out := sb.String()
 	for _, want := range []string{"<!DOCTYPE html>", "PowerLens reproduction report",
-		"Table 1 — TX2", "resnet152", "Figure 1", "svg", "42 random networks"} {
+		"Table 1 — TX2", "resnet152", "Figure 1", "svg", "42 random networks",
+		"Energy attribution &amp; SLO burn rates — TX2", "experiments slo"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("HTML missing %q", want)
 		}

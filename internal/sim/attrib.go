@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"time"
+
+	"powerlens/internal/graph"
+	"powerlens/internal/obs/ledger"
+)
+
+// DefaultQoSBudget is the allowed per-pass GPU-time degradation versus the
+// max-frequency reference before a pass counts as a QoS violation (§4.2's
+// latency-constraint framing): a pass violates when its GPU busy time exceeds
+// ref × (1 + budget). The reference excludes host time so a host-bound tail
+// never charges the DVFS policy with a violation it did not cause.
+const DefaultQoSBudget = 0.05
+
+// BlockResolver is implemented by controllers that carry a power-block
+// structure (PowerLens frequency plans): it maps a layer to the 0-based block
+// it belongs to, so attribution cells can be keyed on the plan's blocks. The
+// executor treats controllers without it as a single block 0.
+type BlockResolver interface {
+	BlockIndex(g *graph.Graph, layerID int) int
+}
+
+// attribReset prepares the per-run attribution scratch.
+func (e *Executor) attribReset() {
+	e.passes, e.qosViolations = 0, 0
+	e.attrib = e.TrackLevels || e.Ledger != nil || e.SLO != nil
+	e.blocks = nil
+	if e.Ledger != nil {
+		e.blocks, _ = e.Ctl.(BlockResolver)
+	}
+	if !e.attrib {
+		return
+	}
+	n := e.Platform.NumGPULevels()
+	if cap(e.levelEnergy) >= n {
+		e.levelEnergy = e.levelEnergy[:n]
+		e.levelTime = e.levelTime[:n]
+		clear(e.levelEnergy)
+		clear(e.levelTime)
+	} else {
+		e.levelEnergy = make([]float64, n)
+		e.levelTime = make([]time.Duration, n)
+	}
+}
+
+// recordSegment attributes one executed layer to its (model, block, level)
+// ledger cell. Only called when a ledger is attached.
+func (e *Executor) recordSegment(g *graph.Graph, layerID int, busy time.Duration, energyJ float64) {
+	block := 0
+	if e.blocks != nil {
+		block = e.blocks.BlockIndex(g, layerID)
+	}
+	k := ledger.Key{Model: e.costDigest, Block: int32(block), Level: int32(e.gpuLevel)}
+	e.Ledger.RecordSegment(k, g.Name, busy, energyJ)
+}
+
+// finishPass judges and records one completed inference pass. The violation
+// verdict compares the pass's GPU busy time against the max-frequency
+// reference (costRef, computed alongside the op-cost cache); wall latency —
+// including host tails — is what the ledger's latency sketch and the SLO
+// tracker record.
+func (e *Executor) finishPass(g *graph.Graph, passStart time.Duration, passEnergyJ float64, gpuBusy time.Duration) {
+	e.passes++
+	violated := false
+	if ref := e.costRef; ref > 0 {
+		budget := e.QoSBudget
+		if budget <= 0 {
+			budget = DefaultQoSBudget
+		}
+		violated = gpuBusy > ref+time.Duration(float64(ref)*budget)
+	}
+	if violated {
+		e.qosViolations++
+	}
+	if e.Ledger == nil && e.SLO == nil {
+		return
+	}
+	now := e.sensor.Now()
+	wall := now - passStart
+	energy := e.sensor.EnergyJ() - passEnergyJ
+	e.Ledger.RecordPass(e.costDigest, g.Name, wall, energy, violated)
+	if e.SLO != nil {
+		deg := 0.0
+		if e.costRef > 0 {
+			deg = float64(gpuBusy)/float64(e.costRef) - 1
+		}
+		e.SLO.RecordPass(g.Name, now, wall, deg, energy, violated)
+	}
+}

@@ -1,0 +1,166 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"powerlens/internal/graph"
+	"powerlens/internal/hw"
+	"powerlens/internal/models"
+	"powerlens/internal/obs/ledger"
+	"powerlens/internal/obs/slo"
+)
+
+// planCtl is a fixed-level controller that also carries a block structure
+// (every blockLen layers start a new power block), standing in for a
+// PowerLens plan without importing the governor package.
+type planCtl struct {
+	fixedCtl
+	blockLen int
+}
+
+func (c *planCtl) BlockIndex(_ *graph.Graph, layerID int) int {
+	if c.blockLen <= 0 || layerID < 0 {
+		return 0
+	}
+	return layerID / c.blockLen
+}
+
+var _ BlockResolver = (*planCtl)(nil)
+
+// TestAttributionInertResults pins the nil-sink contract from the other
+// observability hooks: attaching a ledger, an SLO tracker and level tracking
+// must leave the simulated outcome bit-identical.
+func TestAttributionInertResults(t *testing.T) {
+	p := hw.TX2()
+	g := models.AlexNet()
+	run := func(instrument bool) Result {
+		e := NewExecutor(p, &planCtl{fixedCtl: fixedCtl{level: 4}, blockLen: 3})
+		if instrument {
+			e.Ledger = ledger.New()
+			e.SLO = slo.New(slo.Config{})
+			e.TrackLevels = true
+		}
+		return e.RunTask(g, 6)
+	}
+	plain, inst := run(false), run(true)
+	if plain.Time != inst.Time || plain.EnergyJ != inst.EnergyJ ||
+		plain.Images != inst.Images || plain.Switches != inst.Switches {
+		t.Fatalf("attribution perturbed the run:\nplain %+v\ninst  %+v", plain, inst)
+	}
+	if plain.Passes != inst.Passes || plain.QoSViolations != inst.QoSViolations {
+		t.Fatalf("pass accounting differs: %d/%d vs %d/%d",
+			plain.Passes, plain.QoSViolations, inst.Passes, inst.QoSViolations)
+	}
+	if plain.LevelEnergyJ != nil || inst.LevelEnergyJ == nil {
+		t.Fatal("level decomposition gating wrong")
+	}
+}
+
+// TestExecutorLedgerFeed checks the step loop's attribution events land in
+// the ledger with the documented key structure, and that identical runs
+// export identical bytes.
+func TestExecutorLedgerFeed(t *testing.T) {
+	p := hw.TX2()
+	g := models.AlexNet()
+	run := func() (*ledger.Ledger, Result) {
+		e := NewExecutor(p, &planCtl{fixedCtl: fixedCtl{level: 4}, blockLen: 3})
+		e.Ledger = ledger.New()
+		r := e.RunTask(g, 4)
+		return e.Ledger, r
+	}
+	l, r := run()
+	snap := l.Snapshot()
+	if len(snap.Models) != 1 {
+		t.Fatalf("want 1 model, got %d", len(snap.Models))
+	}
+	m := snap.Models[0]
+	if m.Digest != graph.DigestString(graph.Digest(g)) || m.Model != g.Name {
+		t.Fatalf("model identity wrong: %+v", m)
+	}
+	if int(m.Passes) != r.Passes || r.Passes != 4 {
+		t.Fatalf("ledger passes %d, result %d", m.Passes, r.Passes)
+	}
+	if m.LatencyP50S <= 0 {
+		t.Fatalf("latency sketch empty: %+v", m)
+	}
+	nonInput := 0
+	for _, ly := range g.Layers {
+		if ly.Kind != graph.OpInput {
+			nonInput++
+		}
+	}
+	var ops uint64
+	blocks := map[int]bool{}
+	for _, c := range snap.Cells {
+		ops += c.Ops
+		blocks[c.Block] = true
+		if c.Level != 4 {
+			t.Fatalf("fixed run attributed to level %d: %+v", c.Level, c)
+		}
+	}
+	if int(ops) != nonInput*r.Passes {
+		t.Fatalf("attributed ops %d, want %d layers × %d passes", ops, nonInput, r.Passes)
+	}
+	if len(blocks) < 2 {
+		t.Fatalf("block structure missing: %v", blocks)
+	}
+	var cellEnergy float64
+	for _, c := range snap.Cells {
+		cellEnergy += c.EnergyJ
+	}
+	if cellEnergy <= 0 || cellEnergy > r.EnergyJ {
+		t.Fatalf("cell energy %v outside (0, run energy %v]", cellEnergy, r.EnergyJ)
+	}
+
+	l2, _ := run()
+	var a, b bytes.Buffer
+	if err := l.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("identical runs exported different ledger bytes")
+	}
+}
+
+// TestQoSJudgement pins the violation semantics: a run pinned at the lowest
+// frequency degrades every pass past the budget; a run at the top frequency
+// matches the reference and never violates.
+func TestQoSJudgement(t *testing.T) {
+	p := hw.TX2()
+	g := models.VGG19() // compute-bound: frequency dominates pass time
+	slow := NewExecutor(p, &fixedCtl{level: 0}).RunTask(g, 3)
+	if slow.QoSViolations != slow.Passes || slow.Passes != 3 {
+		t.Fatalf("fmin run should violate every pass: %d/%d", slow.QoSViolations, slow.Passes)
+	}
+	fast := NewExecutor(p, &fixedCtl{level: p.NumGPULevels() - 1}).RunTask(g, 3)
+	if fast.QoSViolations != 0 {
+		t.Fatalf("fmax run violated %d passes", fast.QoSViolations)
+	}
+	if slow.QoSViolationRate() != 1 || fast.QoSViolationRate() != 0 {
+		t.Fatalf("rates: %v / %v", slow.QoSViolationRate(), fast.QoSViolationRate())
+	}
+}
+
+// TestSLOFeedFromExecutor checks pass events reach the SLO tracker on the
+// simulated clock.
+func TestSLOFeedFromExecutor(t *testing.T) {
+	p := hw.TX2()
+	g := models.AlexNet()
+	e := NewExecutor(p, &fixedCtl{level: 0})
+	e.SLO = slo.New(slo.Config{ViolationTarget: 0.1})
+	r := e.RunTask(g, 5)
+	st := e.SLO.Snapshot()
+	if len(st.Models) != 1 || st.Models[0].Model != g.Name {
+		t.Fatalf("SLO models: %+v", st.Models)
+	}
+	if int(st.Models[0].Passes) != r.Passes {
+		t.Fatalf("SLO passes %d, result %d", st.Models[0].Passes, r.Passes)
+	}
+	if st.Models[0].LatencyP50S <= 0 {
+		t.Fatalf("SLO latency missing: %+v", st.Models[0])
+	}
+}

@@ -7,11 +7,14 @@
 package sim
 
 import (
+	"fmt"
 	"time"
 
 	"powerlens/internal/graph"
 	"powerlens/internal/hw"
 	"powerlens/internal/obs"
+	"powerlens/internal/obs/ledger"
+	"powerlens/internal/obs/slo"
 )
 
 // WindowStats summarizes one governor sampling window — the hardware state /
@@ -57,6 +60,20 @@ type Result struct {
 	// Faults counts injected faults and recovery actions (all zero unless
 	// Executor.Faults was set).
 	Faults hw.FaultStats
+
+	// Passes counts completed inference passes (batched: one pass covers
+	// Batch images); QoSViolations counts passes whose GPU busy time exceeded
+	// the max-frequency reference by more than the QoS budget. Both are
+	// tracked on every run — they never feed back into the simulation.
+	Passes        int
+	QoSViolations int
+
+	// LevelEnergyJ / LevelTime decompose the run's energy and wall time by
+	// the GPU DVFS level active while they accrued, indexed by ladder level.
+	// Populated only when attribution is on (Executor.TrackLevels, Ledger or
+	// SLO set); nil otherwise.
+	LevelEnergyJ []float64
+	LevelTime    []time.Duration
 }
 
 // AvgPowerW returns the run's mean power P̄.
@@ -83,20 +100,42 @@ func (r Result) FPS() float64 {
 	return float64(r.Images) / r.Time.Seconds()
 }
 
+// QoSViolationRate returns the fraction of passes that violated the QoS
+// budget.
+func (r Result) QoSViolationRate() float64 {
+	if r.Passes <= 0 {
+		return 0
+	}
+	return float64(r.QoSViolations) / float64(r.Passes)
+}
+
 // Headline returns the run's headline metrics as a flat name→value map, the
 // snapshot a run manifest (obs/runlog) records so a stored result can be
 // compared across runs without replaying the simulation.
 func (r Result) Headline() map[string]float64 {
-	return map[string]float64{
-		"images":        float64(r.Images),
-		"time_s":        r.Time.Seconds(),
-		"energy_j":      r.EnergyJ,
-		"ee_img_per_j":  r.EE(),
-		"avg_power_w":   r.AvgPowerW(),
-		"dvfs_switches": float64(r.Switches),
-		"faults_total":  float64(r.Faults.Total()),
-		"throttled_ms":  float64(r.ThrottledTime.Milliseconds()),
+	h := map[string]float64{
+		"images":             float64(r.Images),
+		"time_s":             r.Time.Seconds(),
+		"energy_j":           r.EnergyJ,
+		"ee_img_per_j":       r.EE(),
+		"avg_power_w":        r.AvgPowerW(),
+		"dvfs_switches":      float64(r.Switches),
+		"faults_total":       float64(r.Faults.Total()),
+		"throttled_ms":       float64(r.ThrottledTime.Milliseconds()),
+		"passes":             float64(r.Passes),
+		"qos_violations":     float64(r.QoSViolations),
+		"qos_violation_rate": r.QoSViolationRate(),
 	}
+	// Per-level energy shares, only for levels that actually burned energy,
+	// so plain runs don't bloat manifests with zeros.
+	if r.EnergyJ > 0 {
+		for lvl, ej := range r.LevelEnergyJ {
+			if ej > 0 {
+				h[fmt.Sprintf("energy_share_l%02d", lvl)] = ej / r.EnergyJ
+			}
+		}
+	}
+	return h
 }
 
 // Task is one inference job: a model processing a number of images.
@@ -145,6 +184,22 @@ type Executor struct {
 	// keeps the exact uninstrumented code path; observation never feeds back
 	// into the simulation, so results are identical either way.
 	Obs *obs.Observer
+	// Ledger, when non-nil, receives energy/latency attribution events from
+	// the step loop: one segment per executed layer keyed on (model digest,
+	// power block, DVFS level) and one pass record per inference pass. Like
+	// Obs, it never feeds back into the simulation (see attrib.go).
+	Ledger *ledger.Ledger
+	// SLO, when non-nil, receives per-pass SLO events (latency degradation
+	// vs the max-frequency reference, energy, violations) on the simulated
+	// clock.
+	SLO *slo.Tracker
+	// QoSBudget is the allowed per-pass GPU-time degradation before a pass
+	// counts as a QoS violation (default DefaultQoSBudget).
+	QoSBudget float64
+	// TrackLevels opts into the per-level energy/time decomposition
+	// (Result.LevelEnergyJ / LevelTime) without attaching a ledger or SLO
+	// sink.
+	TrackLevels bool
 
 	thermal *hw.ThermalState
 
@@ -152,10 +207,23 @@ type Executor struct {
 
 	// Per-pass op cost scratch: layer FLOPs/bytes at the current batch size
 	// are batch-invariant across passes, so they are computed once per
-	// (graph, batch) instead of per image.
-	costGraph *graph.Graph
-	costBatch int
-	costs     []opWork
+	// (graph, batch) instead of per image. The rebuild also derives the
+	// attribution constants for the graph: its canonical digest and the
+	// max-frequency GPU reference time one pass takes (the QoS baseline).
+	costGraph  *graph.Graph
+	costBatch  int
+	costs      []opWork
+	costRef    time.Duration
+	costDigest uint64
+
+	// Attribution state (see attrib.go). passes/qosViolations are tracked on
+	// every run; the level slices only when attrib is set.
+	attrib        bool
+	blocks        BlockResolver
+	levelEnergy   []float64
+	levelTime     []time.Duration
+	passes        int
+	qosViolations int
 
 	// Window accumulation state.
 	winElapsed time.Duration
@@ -216,6 +284,7 @@ func (e *Executor) reset() {
 	e.faultStats = hw.FaultStats{}
 	e.lastStats = WindowStats{}
 	e.haveStats = false
+	e.attribReset()
 	e.obsReset()
 }
 
@@ -242,6 +311,10 @@ func (e *Executor) advance(d time.Duration, powerW float64, gpuBusy, cpuBusy boo
 			e.winCPUBusy += step
 		}
 		e.winEnergy += powerW * step.Seconds()
+		if e.attrib {
+			e.levelEnergy[e.gpuLevel] += powerW * step.Seconds()
+			e.levelTime[e.gpuLevel] += step
+		}
 		d -= step
 		if e.winElapsed >= e.WindowPeriod {
 			e.tickWindow()
@@ -471,6 +544,9 @@ func (e *Executor) runImage(g *graph.Graph) {
 	// GPU pass, layer by layer, with the host rail active for the first
 	// cpuRemaining of it.
 	costs := e.opCosts(g, batch)
+	passStart := e.sensor.Now()
+	passEnergy := e.sensor.EnergyJ()
+	var gpuBusy time.Duration
 	for i := range costs {
 		w := &costs[i]
 		e.Ctl.BeforeLayer(g, w.id)
@@ -480,6 +556,10 @@ func (e *Executor) runImage(g *graph.Graph) {
 		}
 		f := p.GPUFreqsHz[e.gpuLevel]
 		c := p.GPUOpCost(w.flops, w.bytes, f)
+		gpuBusy += c.Time
+		if e.Ledger != nil {
+			e.recordSegment(g, w.id, c.Time, c.PowerW*c.Time.Seconds())
+		}
 		overlap := c.Time
 		if overlap > cpuRemaining {
 			overlap = cpuRemaining
@@ -498,6 +578,7 @@ func (e *Executor) runImage(g *graph.Graph) {
 		e.advance(cpuRemaining, gpuIdleW+cpuPower, false, true, 0)
 	}
 	e.images += batch
+	e.finishPass(g, passStart, passEnergy, gpuBusy)
 }
 
 // opWork is one layer's precomputed pass cost: batched FLOPs and memory
@@ -510,20 +591,28 @@ type opWork struct {
 
 // opCosts returns the per-layer cost buffer for (g, batch), rebuilding it
 // only when either changes. BatchCost is pure, so the precomputed values are
-// exactly what the per-layer loop used to recompute every pass.
+// exactly what the per-layer loop used to recompute every pass. The rebuild
+// also derives the graph's canonical digest (the attribution key) and the
+// max-frequency GPU reference pass time (the QoS violation baseline) — both
+// pure functions of (graph, batch, platform), so caching them alongside the
+// costs keeps the warm path allocation-free.
 func (e *Executor) opCosts(g *graph.Graph, batch int) []opWork {
 	if e.costGraph == g && e.costBatch == batch {
 		return e.costs
 	}
+	fmax := e.Platform.MaxGPUFreq()
+	ref := time.Duration(0)
 	costs := e.costs[:0]
 	for _, l := range g.Layers {
 		w := opWork{id: l.ID, skip: l.Kind == graph.OpInput}
 		if !w.skip {
 			w.flops, w.bytes = l.BatchCost(batch)
+			ref += e.Platform.GPUOpCost(w.flops, w.bytes, fmax).Time
 		}
 		costs = append(costs, w)
 	}
 	e.costs, e.costGraph, e.costBatch = costs, g, batch
+	e.costRef, e.costDigest = ref, graph.Digest(g)
 	return costs
 }
 
@@ -599,6 +688,12 @@ func (e *Executor) result() Result {
 		r.ThrottledTime = e.thermal.ThrottledTime
 	}
 	r.Faults = e.faultStats
+	r.Passes = e.passes
+	r.QoSViolations = e.qosViolations
+	if e.attrib {
+		r.LevelEnergyJ = append([]float64(nil), e.levelEnergy...)
+		r.LevelTime = append([]time.Duration(nil), e.levelTime...)
+	}
 	e.obsResult(r)
 	return r
 }

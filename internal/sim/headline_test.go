@@ -25,6 +25,57 @@ func TestResultHeadline(t *testing.T) {
 	if h["time_s"] <= 0 || h["dvfs_switches"] != float64(r.Switches) {
 		t.Fatalf("headline = %v", h)
 	}
+	if h["passes"] != float64(r.Passes) || h["passes"] != 5 {
+		t.Fatalf("passes = %v, result %d", h["passes"], r.Passes)
+	}
+	if h["qos_violation_rate"] != r.QoSViolationRate() {
+		t.Fatalf("qos_violation_rate = %v", h["qos_violation_rate"])
+	}
+}
+
+// TestHeadlineEnergyShares covers the per-level energy-share keys: present
+// only for levels that burned energy, summing to ~1 over the run.
+func TestHeadlineEnergyShares(t *testing.T) {
+	p := hw.TX2()
+	g := models.MustBuild("resnet34")
+	e := NewExecutor(p, &fixedCtl{level: 2})
+	e.TrackLevels = true
+	r := e.RunTask(g, 5)
+
+	if len(r.LevelEnergyJ) != p.NumGPULevels() || len(r.LevelTime) != p.NumGPULevels() {
+		t.Fatalf("level slices not sized to the ladder: %d/%d", len(r.LevelEnergyJ), len(r.LevelTime))
+	}
+	var levels, total float64
+	for _, ej := range r.LevelEnergyJ {
+		total += ej
+	}
+	if diff := total - r.EnergyJ; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("level energies sum to %v, run burned %v", total, r.EnergyJ)
+	}
+	h := r.Headline()
+	for name, v := range h {
+		if len(name) == len("energy_share_l00") && name[:len("energy_share_l")] == "energy_share_l" {
+			levels += v
+			if v <= 0 {
+				t.Fatalf("zero-valued share key %s should be absent", name)
+			}
+		}
+	}
+	if levels < 0.999 || levels > 1.001 {
+		t.Fatalf("energy shares sum to %v, want ~1", levels)
+	}
+
+	// Without TrackLevels (or sinks) the decomposition stays nil and no
+	// share keys appear.
+	r2 := NewExecutor(p, &fixedCtl{level: 2}).RunTask(g, 5)
+	if r2.LevelEnergyJ != nil || r2.LevelTime != nil {
+		t.Fatal("level slices must stay nil when attribution is off")
+	}
+	for name := range r2.Headline() {
+		if len(name) >= len("energy_share_l") && name[:len("energy_share_l")] == "energy_share_l" {
+			t.Fatalf("unexpected share key %s without attribution", name)
+		}
+	}
 }
 
 // TestResultHeadlineZero covers the empty-result edges (no division blowups).
