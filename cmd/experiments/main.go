@@ -26,6 +26,13 @@
 //	                   [-metrics-out slo_metrics.prom] [-serve :8080] [-serve-for D] [-run-dir runs]
 //	                                              # energy-attribution ledger + SLO burn-rate tracking,
 //	                                              # served live on GET /slo with -serve
+//	experiments drift  [-networks N] [-seed S] [-traffic T] [-audited A] [-threshold F]
+//	                   [-audit-out drift_audit.json] [-drift-out drift_status.json]
+//	                   [-baseline-out baseline.plqs] [-metrics-out drift_metrics.prom]
+//	                   [-serve :8080] [-serve-for D] [-run-dir runs]
+//	                                              # decision provenance + model-drift detection: two-phase
+//	                                              # live traffic (in-distribution, then injected shift),
+//	                                              # served live on GET /audit and GET /drift with -serve
 //	experiments bench  [-name N] [-seed S] [-smoke] [-repeats R] [-o F]  # perf baseline -> BENCH_<name>.json
 //	experiments bench compare [-slack X] OLD.json NEW.json  # exit nonzero on regression
 //	experiments bench validate FILE...            # schema-check bench reports
@@ -70,6 +77,8 @@ func main() {
 		runObserve(args)
 	case "slo":
 		runSLO(args)
+	case "drift":
+		runDrift(args)
 	case "bench":
 		runBench(args)
 	case "switch":
@@ -87,5 +96,5 @@ func main() {
 }
 
 func usage() {
-	fmt.Println("usage: experiments <all|report|table1|table2|table3|fig1|fig5|ext|thermal|resilience|observe|slo|bench|switch|calibrate|dispersion> [-networks N] [-seed S]")
+	fmt.Println("usage: experiments <all|report|table1|table2|table3|fig1|fig5|ext|thermal|resilience|observe|slo|drift|bench|switch|calibrate|dispersion> [-networks N] [-seed S]")
 }

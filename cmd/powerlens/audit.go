@@ -1,0 +1,225 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"powerlens/internal/core"
+	"powerlens/internal/dataset"
+	"powerlens/internal/hw"
+	"powerlens/internal/obs/audit"
+)
+
+// runAudit inspects decision-audit artifacts:
+//
+//	audit show FILE        render a PLAU recorder dump or PLAB drift baseline
+//	                       (or an already-JSON audit export) as JSON
+//	audit diff A B         compare two PLAU dumps' aggregates; exit 1 on drift
+//	audit baseline ...     regenerate a training-distribution drift baseline
+func runAudit(args []string) {
+	os.Exit(auditCmd(args, os.Stdout, os.Stderr))
+}
+
+const auditUsage = `usage: powerlens audit <show FILE | diff A B | baseline [-platform TX2] [-networks N] [-seed S] -o FILE>`
+
+// auditCmd is the testable core of the audit subcommand; it returns the
+// process exit code.
+func auditCmd(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		fmt.Fprintln(stderr, auditUsage)
+		return 2
+	}
+	switch args[0] {
+	case "show":
+		if len(args) != 2 {
+			fmt.Fprintln(stderr, "usage: powerlens audit show FILE")
+			return 2
+		}
+		return auditShow(args[1], stdout, stderr)
+	case "diff":
+		if len(args) != 3 {
+			fmt.Fprintln(stderr, "usage: powerlens audit diff A B")
+			return 2
+		}
+		return auditDiff(args[1], args[2], stdout, stderr)
+	case "baseline":
+		return auditBaseline(args[1:], stdout, stderr)
+	default:
+		fmt.Fprintln(stderr, auditUsage)
+		return 2
+	}
+}
+
+// auditShow renders one audit artifact as indented JSON, sniffing the format
+// from the payload: PLAU recorder dumps and PLAB baselines decode, JSON
+// exports pass through.
+func auditShow(path string, stdout, stderr io.Writer) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(stderr, "powerlens:", err)
+		return 1
+	}
+	switch {
+	case audit.IsPLAU(data):
+		rec, err := audit.Decode(data)
+		if err != nil {
+			fmt.Fprintf(stderr, "powerlens: %s: %v\n", path, err)
+			return 1
+		}
+		if err := rec.WriteJSON(stdout); err != nil {
+			fmt.Fprintln(stderr, "powerlens:", err)
+			return 1
+		}
+	case audit.IsBaseline(data):
+		base, err := audit.DecodeBaseline(data)
+		if err != nil {
+			fmt.Fprintf(stderr, "powerlens: %s: %v\n", path, err)
+			return 1
+		}
+		writeBaselineSummary(stdout, base)
+	case len(data) > 0 && (data[0] == '{' || data[0] == '['):
+		// Already a JSON export (e.g. a saved /audit response).
+		stdout.Write(data)
+	default:
+		fmt.Fprintf(stderr, "powerlens: %s: not a PLAU dump, PLAB baseline or JSON export\n", path)
+		return 1
+	}
+	return 0
+}
+
+// writeBaselineSummary prints a drift baseline's per-dimension quantiles.
+func writeBaselineSummary(w io.Writer, base *audit.Baseline) {
+	fmt.Fprintf(w, "{\n  \"format\": \"PLAB\",\n  \"count\": %d,\n  \"dims\": [\n", base.Count())
+	for i := 0; i < base.NumDims(); i++ {
+		s := base.Dim(i)
+		comma := ","
+		if i == base.NumDims()-1 {
+			comma = ""
+		}
+		fmt.Fprintf(w, "    {\"dim\": %d, \"p50\": %g, \"p90\": %g, \"max\": %g}%s\n",
+			i, s.Quantile(0.5), s.Quantile(0.9), s.Quantile(1), comma)
+	}
+	fmt.Fprint(w, "  ]\n}\n")
+}
+
+// auditDiff compares the aggregate sections of two PLAU dumps (the rings are
+// placement-sensitive detail and are ignored). Exit 0 means the aggregates
+// match; 1 means drift, with one line per differing cell.
+func auditDiff(pathA, pathB string, stdout, stderr io.Writer) int {
+	load := func(path string) (audit.Snapshot, bool) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(stderr, "powerlens:", err)
+			return audit.Snapshot{}, false
+		}
+		rec, err := audit.Decode(data)
+		if err != nil {
+			fmt.Fprintf(stderr, "powerlens: %s: %v\n", path, err)
+			return audit.Snapshot{}, false
+		}
+		return rec.Snapshot(), true
+	}
+	a, ok := load(pathA)
+	if !ok {
+		return 1
+	}
+	b, ok := load(pathB)
+	if !ok {
+		return 1
+	}
+
+	diffs := 0
+	report := func(format string, args ...any) {
+		fmt.Fprintf(stdout, format+"\n", args...)
+		diffs++
+	}
+	lines := func(snap audit.Snapshot) map[string]string {
+		out := map[string]string{}
+		for _, ap := range snap.Applies {
+			out[fmt.Sprintf("apply %s %s block=%d layer=%d level=%d",
+				ap.Model, ap.Digest, ap.Block, ap.Layer, ap.Level)] = fmt.Sprint(ap.Count)
+		}
+		for _, ge := range snap.GuardEvents {
+			out[fmt.Sprintf("guard %s reason=%q", ge.Event, ge.Reason)] = fmt.Sprint(ge.Count)
+		}
+		for _, m := range snap.Models {
+			out[fmt.Sprintf("model %s %s", m.Model, m.Digest)] = fmt.Sprintf(
+				"decisions=%d probes=%d agreements=%d agreement=%.4f regretP99=%.6f",
+				m.Decisions, m.Probes, m.Agreements, m.AgreementRatio, m.RegretP99)
+		}
+		return out
+	}
+	la, lb := lines(a), lines(b)
+	keys := make([]string, 0, len(la)+len(lb))
+	for k := range la {
+		keys = append(keys, k)
+	}
+	for k := range lb {
+		if _, dup := la[k]; !dup {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		va, inA := la[k]
+		vb, inB := lb[k]
+		switch {
+		case !inB:
+			report("- %s: %s", k, va)
+		case !inA:
+			report("+ %s: %s", k, vb)
+		case va != vb:
+			report("~ %s: %s -> %s", k, va, vb)
+		}
+	}
+	if a.Records != b.Records {
+		report("~ records: %d -> %d", a.Records, b.Records)
+	}
+	if diffs > 0 {
+		fmt.Fprintf(stdout, "%d differing entries\n", diffs)
+		return 1
+	}
+	fmt.Fprintln(stdout, "audit aggregates identical")
+	return 0
+}
+
+// auditBaseline regenerates the training-distribution drift baseline the
+// deployed framework embeds: Dataset A's raw global feature vectors folded
+// into per-dimension quantile sketches, written as a PLAB artifact.
+func auditBaseline(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("audit baseline", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	platform := fs.String("platform", "TX2", "platform: TX2 or AGX")
+	networks := fs.Int("networks", 400, "random networks, matching the deployment's -networks")
+	seed := fs.Int64("seed", 1, "master seed, matching the deployment's -seed")
+	out := fs.String("o", "", "output path for the PLAB baseline (required)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *out == "" {
+		fmt.Fprintln(stderr, "powerlens: audit baseline: -o is required")
+		return 2
+	}
+	var p *hw.Platform
+	switch strings.ToUpper(*platform) {
+	case "TX2":
+		p = hw.TX2()
+	case "AGX":
+		p = hw.AGX()
+	default:
+		fmt.Fprintf(stderr, "powerlens: unknown platform %q (want TX2 or AGX)\n", *platform)
+		return 1
+	}
+	dsA, _ := dataset.Generate(p, dataset.DefaultConfig(*networks, *seed))
+	base := core.DatasetBaseline(dsA)
+	if err := os.WriteFile(*out, base.EncodeBinary(), 0o644); err != nil {
+		fmt.Fprintln(stderr, "powerlens:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "wrote baseline to %s (%d dims, %d samples)\n", *out, base.NumDims(), base.Count())
+	return 0
+}

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"powerlens/internal/obs/audit"
+)
+
+func writeRecorderDump(t *testing.T, path string, extraApplies int) {
+	t.Helper()
+	rec := audit.New(audit.Config{RingSize: 8})
+	rec.RecordDecision(1, "alexnet", 0xbeef, 0, 3, 5, 0.4, []float64{1, 2})
+	rec.RecordApply(1, "powerlens", "alexnet", 0xbeef, 0, 0, 3)
+	for i := 0; i < extraApplies; i++ {
+		rec.RecordApply(1, "powerlens", "alexnet", 0xbeef, 1, 4, 7)
+	}
+	rec.RecordGuard(2, "strike", "broken", 3, "invalid-level")
+	if err := os.WriteFile(path, rec.EncodeBinary(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAuditShowPLAUAndBaseline(t *testing.T) {
+	dir := t.TempDir()
+	dump := filepath.Join(dir, "audit.plau")
+	writeRecorderDump(t, dump, 0)
+
+	var stdout, stderr bytes.Buffer
+	if code := auditCmd([]string{"show", dump}, &stdout, &stderr); code != 0 {
+		t.Fatalf("show = %d, stderr %s", code, stderr.String())
+	}
+	var snap audit.Snapshot
+	if err := json.Unmarshal(stdout.Bytes(), &snap); err != nil {
+		t.Fatalf("show output is not a Snapshot: %v", err)
+	}
+	if len(snap.Applies) != 1 || len(snap.GuardEvents) != 1 {
+		t.Fatalf("show snapshot wrong: %+v", snap)
+	}
+
+	base := audit.NewBaseline(3)
+	for i := 0; i < 10; i++ {
+		base.Observe([]float64{1, 2, float64(i)})
+	}
+	bpath := filepath.Join(dir, "baseline.plqs")
+	if err := os.WriteFile(bpath, base.EncodeBinary(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	if code := auditCmd([]string{"show", bpath}, &stdout, &stderr); code != 0 {
+		t.Fatalf("show baseline = %d, stderr %s", code, stderr.String())
+	}
+	var summary struct {
+		Format string `json:"format"`
+		Count  uint64 `json:"count"`
+		Dims   []struct {
+			Dim int     `json:"dim"`
+			P50 float64 `json:"p50"`
+		} `json:"dims"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &summary); err != nil {
+		t.Fatalf("baseline summary is not JSON: %v\n%s", err, stdout.String())
+	}
+	if summary.Format != "PLAB" || summary.Count != 10 || len(summary.Dims) != 3 {
+		t.Fatalf("baseline summary wrong: %+v", summary)
+	}
+
+	// Garbage is rejected with exit 1.
+	junk := filepath.Join(dir, "junk.bin")
+	os.WriteFile(junk, []byte("\x00\x01\x02"), 0o644)
+	if code := auditCmd([]string{"show", junk}, &stdout, &stderr); code != 1 {
+		t.Fatalf("show junk = %d, want 1", code)
+	}
+}
+
+func TestAuditDiffExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.plau")
+	b := filepath.Join(dir, "b.plau")
+	c := filepath.Join(dir, "c.plau")
+	writeRecorderDump(t, a, 0)
+	writeRecorderDump(t, b, 0)
+	writeRecorderDump(t, c, 2)
+
+	var stdout, stderr bytes.Buffer
+	if code := auditCmd([]string{"diff", a, b}, &stdout, &stderr); code != 0 {
+		t.Fatalf("identical dumps diff = %d, stdout %s", code, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "identical") {
+		t.Fatalf("diff output %q lacks identical verdict", stdout.String())
+	}
+	stdout.Reset()
+	if code := auditCmd([]string{"diff", a, c}, &stdout, &stderr); code != 1 {
+		t.Fatalf("differing dumps diff = %d, want 1", code)
+	}
+	if !strings.Contains(stdout.String(), "+ apply") {
+		t.Fatalf("diff output %q lacks the added apply cell", stdout.String())
+	}
+}
+
+func TestAuditUsageErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	for _, args := range [][]string{nil, {"bogus"}, {"show"}, {"diff", "one"}, {"baseline"}} {
+		if code := auditCmd(args, &stdout, &stderr); code != 2 {
+			t.Fatalf("auditCmd(%v) = %d, want 2", args, code)
+		}
+	}
+}
+
+func TestAuditBaselineGeneration(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "baseline.plqs")
+	var stdout, stderr bytes.Buffer
+	code := auditCmd([]string{"baseline", "-networks", "6", "-seed", "3", "-o", out}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("baseline = %d, stderr %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := audit.DecodeBaseline(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Count() == 0 || base.NumDims() == 0 {
+		t.Fatalf("generated baseline empty: %d dims, %d samples", base.NumDims(), base.Count())
+	}
+}

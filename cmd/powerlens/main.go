@@ -10,14 +10,18 @@
 //	          [-load framework.json] [-save framework.json]
 //	powerlens -list
 //	powerlens runs <list | show ID | diff ID1 ID2 | verify [ID...]> [-dir runs]
-//	powerlens promcheck <file|-> ...
+//	powerlens promcheck [file|-] ...
+//	powerlens audit <show FILE | diff A B | baseline -o FILE>
 //
 // The runs subcommand browses the run-provenance store written by
 // `experiments observe/resilience -run-dir` (see internal/obs/runlog);
 // `runs verify` re-hashes recorded artifacts against their manifests and
 // exits nonzero on corruption. The promcheck subcommand validates Prometheus
-// text-exposition files (exported pages or /metrics scrapes) and exits
-// nonzero on format drift.
+// text-exposition files (exported pages or /metrics scrapes; no argument
+// reads stdin) and exits nonzero on format drift. The audit subcommand
+// inspects decision-audit artifacts: `show` renders PLAU recorder dumps and
+// PLAB drift baselines as JSON, `diff` compares two dumps' aggregates, and
+// `baseline` regenerates the training-distribution drift baseline.
 package main
 
 import (
@@ -44,6 +48,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "promcheck" {
 		runPromcheck(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "audit" {
+		runAudit(os.Args[2:])
 		return
 	}
 	var (

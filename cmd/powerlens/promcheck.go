@@ -8,30 +8,40 @@ import (
 	"powerlens/internal/obs"
 )
 
-// runPromcheck validates Prometheus text-exposition files ("-" = stdin) with
-// the same checker the exporter's golden tests use, so CI can assert that
-// exported pages stay in the format scrapers accept. Exits nonzero on the
-// first malformed file.
+// runPromcheck validates Prometheus text-exposition files ("-" = stdin; no
+// arguments also reads stdin, so scrapes pipe straight in) with the same
+// checker the exporter's golden tests use, so CI can assert that exported
+// pages stay in the format scrapers accept. Exits nonzero on the first
+// malformed file.
 func runPromcheck(args []string) {
+	os.Exit(promcheck(args, os.Stdin, os.Stdout, os.Stderr))
+}
+
+// promcheck is the testable core: it validates each named file (or stdin)
+// and returns the process exit code — 0 on success, 1 on the first malformed
+// or unreadable input.
+func promcheck(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: powerlens promcheck <file|-> ...")
-		os.Exit(2)
+		args = []string{"-"}
 	}
 	for _, path := range args {
-		var r io.Reader = os.Stdin
+		var r io.Reader = stdin
 		name := "stdin"
 		if path != "-" {
 			f, err := os.Open(path)
 			if err != nil {
-				fatal(err)
+				fmt.Fprintln(stderr, "powerlens:", err)
+				return 1
 			}
-			defer f.Close()
 			r, name = f, path
+			defer f.Close()
 		}
 		families, err := obs.CheckPrometheusText(r)
 		if err != nil {
-			fatal(fmt.Errorf("%s: %w", name, err))
+			fmt.Fprintf(stderr, "powerlens: %s: %v\n", name, err)
+			return 1
 		}
-		fmt.Printf("%s: ok (%d families)\n", name, families)
+		fmt.Fprintf(stdout, "%s: ok (%d families)\n", name, families)
 	}
+	return 0
 }

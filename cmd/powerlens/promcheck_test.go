@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const validPage = `# HELP sim_energy_joules_total Exactly-integrated rail energy.
+# TYPE sim_energy_joules_total counter
+sim_energy_joules_total 123.456
+`
+
+// TestPromcheckExitCodes pins the subcommand's exit-code contract across its
+// input modes: files, explicit stdin ("-"), and the no-argument stdin
+// default.
+func TestPromcheckExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.prom")
+	if err := os.WriteFile(good, []byte(validPage), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(dir, "bad.prom")
+	if err := os.WriteFile(bad, []byte("sim_energy_joules_total 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name  string
+		args  []string
+		stdin string
+		code  int
+		out   string // substring expected on stdout (exit 0 only)
+	}{
+		{name: "valid file", args: []string{good}, code: 0, out: "ok (1 families)"},
+		{name: "two valid files", args: []string{good, good}, code: 0, out: "ok (1 families)"},
+		{name: "malformed file", args: []string{bad}, code: 1},
+		{name: "missing file", args: []string{filepath.Join(dir, "nope.prom")}, code: 1},
+		{name: "explicit stdin", args: []string{"-"}, stdin: validPage, code: 0, out: "stdin: ok"},
+		{name: "no args reads stdin", args: nil, stdin: validPage, code: 0, out: "stdin: ok"},
+		{name: "no args malformed stdin", args: nil, stdin: "not prometheus {", code: 1},
+		{name: "empty stdin", args: nil, stdin: "", code: 0, out: "ok (0 families)"},
+		{name: "bad after good still fails", args: []string{good, bad}, code: 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			code := promcheck(tc.args, strings.NewReader(tc.stdin), &stdout, &stderr)
+			if code != tc.code {
+				t.Fatalf("exit code = %d, want %d (stderr: %s)", code, tc.code, stderr.String())
+			}
+			if tc.out != "" && !strings.Contains(stdout.String(), tc.out) {
+				t.Fatalf("stdout %q does not contain %q", stdout.String(), tc.out)
+			}
+			if tc.code != 0 && stderr.Len() == 0 {
+				t.Fatal("failure produced no stderr diagnostic")
+			}
+		})
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"powerlens/internal/graph"
 	"powerlens/internal/hw"
 	"powerlens/internal/obs"
+	"powerlens/internal/obs/audit"
 	"powerlens/internal/obs/ledger"
 	"powerlens/internal/sim"
 )
@@ -63,6 +64,15 @@ type Config struct {
 	// simulation. The ledger's integral cell state makes the merged result
 	// byte-identical at any shard count.
 	Ledger *ledger.Ledger
+	// Audit, when non-nil, receives the fleet's merged decision-audit trail:
+	// each node's executor records into a private recorder (same Config, one
+	// track per node at nodeTrackBase+n), merged here in node order after the
+	// simulation. Aggregate families (applies, guard events, calibration) are
+	// integral and node-agnostic, so they are byte-identical at any shard
+	// count; per-track rings follow job placement, which the sharded
+	// dispatcher varies with Shards — run the recorder in aggregate-only mode
+	// (Config.RingSize < 0) when comparing exports across shard counts.
+	Audit *audit.Recorder
 
 	// Shards > 1 enables the sharded work-stealing dispatcher (dispatch.go):
 	// nodes are partitioned round-robin into shards, jobs are admitted in
@@ -332,6 +342,7 @@ func finishRun(cfg Config, nodes []nodeState, crashAt []time.Duration, res Resul
 	nodeResults := make([]*NodeResult, len(nodes))
 	nodeObs := make([]*obs.Observer, cfg.Nodes)
 	nodeLedgers := make([]*ledger.Ledger, cfg.Nodes)
+	nodeAudits := make([]*audit.Recorder, cfg.Nodes)
 	var wg sync.WaitGroup
 	for n := range nodes {
 		if nodes[n].jobs == 0 {
@@ -352,6 +363,11 @@ func finishRun(cfg Config, nodes []nodeState, crashAt []time.Duration, res Resul
 				nodeLedgers[n] = ledger.New()
 				e.Ledger = nodeLedgers[n]
 			}
+			if cfg.Audit != nil {
+				nodeAudits[n] = audit.New(cfg.Audit.ConfigView())
+				e.Audit = nodeAudits[n]
+				e.AuditTrack = nodeTrackBase + n
+			}
 			r := e.RunTaskFlowArrivals(nodes[n].tasks, nodes[n].gaps)
 			nodeResults[n] = &NodeResult{Node: n, Jobs: nodes[n].jobs, Result: r, BusyEnd: nodes[n].free}
 		}(n)
@@ -368,6 +384,13 @@ func finishRun(cfg Config, nodes []nodeState, crashAt []time.Duration, res Resul
 		for _, nl := range nodeLedgers {
 			if nl != nil {
 				cfg.Ledger.Merge(nl)
+			}
+		}
+	}
+	if cfg.Audit != nil {
+		for _, na := range nodeAudits {
+			if na != nil {
+				cfg.Audit.Merge(na)
 			}
 		}
 	}

@@ -20,6 +20,7 @@ import (
 	"powerlens/internal/graph"
 	"powerlens/internal/hw"
 	"powerlens/internal/nn"
+	"powerlens/internal/obs/audit"
 	"powerlens/internal/sim"
 )
 
@@ -43,6 +44,19 @@ type Framework struct {
 
 	cacheMu sync.Mutex
 	cache   *planCache // nil until EnablePlanCache
+
+	// Audit, when set, receives a decision-provenance record (and sampled
+	// calibration probes) for every block decision Analyze ships, on track
+	// AuditTrack; the attached drift monitor sees each analyzed network's
+	// global feature vector. Nil keeps analysis bit-identical to a recorder-
+	// free build. See internal/obs/audit and audit.go in this package.
+	Audit      *audit.Recorder
+	AuditTrack int
+
+	// Baseline is the training-time distribution of Dataset A's raw global
+	// feature vectors, filled by TrainFrameworkCheckpointed. It seeds drift
+	// monitors and is persisted as the baseline.plqs run artifact.
+	Baseline *audit.Baseline
 }
 
 // DeployConfig controls the offline deployment workflow.
@@ -145,6 +159,7 @@ func TrainFrameworkCheckpointed(p *hw.Platform, dsA *dataset.DatasetA, dsB *data
 	}
 	report.NumBlocks = len(dsB.Samples)
 	fw := &Framework{Platform: p, Grid: dsA.Grid}
+	fw.Baseline = DatasetBaseline(dsA)
 
 	trainCk := func(name string) *nn.TrainCheckpoint {
 		if ck == nil || ck.Dir == nil {
@@ -288,6 +303,8 @@ func (f *Framework) analyzeUncached(g *graph.Graph) (*Analysis, error) {
 	f.decide(g, a)
 	f.guardPlan(g, a)
 	a.Timings.Decision = time.Since(t0)
+
+	f.auditAnalysis(g, gl, a)
 	return a, nil
 }
 

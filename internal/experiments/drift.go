@@ -1,0 +1,236 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"powerlens/internal/features"
+	"powerlens/internal/governor"
+	"powerlens/internal/hw"
+	"powerlens/internal/models"
+	"powerlens/internal/obs"
+	"powerlens/internal/obs/audit"
+	"powerlens/internal/obs/slo"
+	"powerlens/internal/sim"
+)
+
+// Drift scenario: the deployed framework serves two phases of live traffic
+// with the decision-audit recorder and the feature-drift monitor attached.
+// Phase 1 draws networks from the same generator distribution the hyper
+// model was trained on — the drift monitor must stay quiet. Phase 2 injects
+// a distribution shift (much deeper, wider-segmented networks than any
+// training sample) — the monitor must raise a PSI alert on the shifted
+// feature dimensions. Each analyzed network also executes its plan under an
+// audited executor, so the /audit surface carries decision, probe, apply
+// and calibration state alongside the drift verdicts.
+
+// DriftOptions sizes the scenario; zero fields take defaults.
+type DriftOptions struct {
+	// Traffic is the number of live networks per phase whose feature
+	// vectors reach the drift monitor (default 128). PSI needs sample mass
+	// to converge, and feature extraction is cheap, so this is much larger
+	// than Networks.
+	Traffic int
+	// Networks is how many of those networks additionally go through the
+	// full audited pipeline — Analyze (decisions, probes) plus an audited
+	// plan execution (default 6).
+	Networks int
+	Seed     int64 // master seed (default 1)
+	// Threshold is the PSI alert threshold (default
+	// audit.DefaultDriftThreshold).
+	Threshold float64
+	// Shift bounds the phase-2 generator; the zero value takes a
+	// configuration far outside the training envelope (segments 10–16,
+	// depth 40).
+	Shift models.GeneratorConfig
+	// Images per plan execution (default 4; 0 < keeps the scenario fast).
+	Images int
+	// Obs, when non-nil, is the observer the scenario streams into; nil gets
+	// a fresh private observer.
+	Obs *obs.Observer
+	// Recorder, when non-nil, is the audit recorder the scenario feeds —
+	// callers that mount /audit on a live telemetry server pass theirs so
+	// the endpoint sees the run as it happens. Nil gets a private recorder.
+	Recorder *audit.Recorder
+	// Tracker, when non-nil, receives the phase-2 drift alerts
+	// (slo.Tracker.SetDrift), folding model-drift health into /slo.
+	Tracker *slo.Tracker
+}
+
+func (o DriftOptions) withDefaults() DriftOptions {
+	if o.Traffic <= 0 {
+		o.Traffic = 128
+	}
+	if o.Networks <= 0 {
+		o.Networks = 6
+	}
+	if o.Traffic < o.Networks {
+		o.Traffic = o.Networks
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Threshold <= 0 {
+		o.Threshold = audit.DefaultDriftThreshold
+	}
+	if o.Shift == (models.GeneratorConfig{}) {
+		o.Shift = models.GeneratorConfig{MinSegments: 10, MaxSegments: 16, MaxDepthPer: 40}
+	}
+	if o.Images <= 0 {
+		o.Images = 4
+	}
+	return o
+}
+
+// DriftData is the scenario outcome: the drift verdict of each phase plus
+// the full audit snapshot.
+type DriftData struct {
+	Platform string
+	Opt      DriftOptions
+
+	InDistribution audit.DriftStatus // after phase 1: must not alert
+	Shifted        audit.DriftStatus // after phase 2: must alert
+	Audit          audit.Snapshot    // recorder state after both phases
+
+	Obs     *obs.Observer
+	Metrics []obs.FamilySnapshot
+	Events  []obs.Event
+}
+
+// Drift runs the model-drift scenario for one platform.
+func Drift(env *Env, p *hw.Platform, opt DriftOptions) (*DriftData, error) {
+	opt = opt.withDefaults()
+	o := opt.Obs
+	if o == nil {
+		o = obs.New()
+	}
+	fw := env.Frameworks[p.Name]
+	if fw == nil {
+		return nil, fmt.Errorf("experiments: no framework deployed for %s", p.Name)
+	}
+	if fw.Baseline == nil {
+		return nil, fmt.Errorf("experiments: %s framework carries no drift baseline", p.Name)
+	}
+	rec := opt.Recorder
+	if rec == nil {
+		rec = audit.New(audit.Config{})
+	}
+	mon := audit.NewDrift(fw.Baseline, opt.Threshold)
+	mon.SetDimNames(features.GlobalDimNames())
+	rec.AttachDrift(mon)
+	fw.Audit = rec
+	fw.AuditTrack = 1
+	defer func() { fw.Audit, fw.AuditTrack = nil, 0 }()
+
+	// serve pushes one phase of generated traffic through the deployment.
+	// Every network's global feature vector reaches the drift monitor; the
+	// first opt.Networks of them additionally run the full audited pipeline —
+	// Analyze (whose audit hook emits the decision records and calibration
+	// probes, and itself observes the monitor) plus an audited plan execution
+	// feeding apply records through the governor.
+	serve := func(cfg models.GeneratorConfig, seed int64) error {
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < opt.Traffic; i++ {
+			g := models.RandomDNN(rng, cfg, i)
+			if i >= opt.Networks {
+				mon.Observe(features.ExtractGlobal(g).Vector())
+				continue
+			}
+			a, err := fw.Analyze(g)
+			if err != nil {
+				return fmt.Errorf("experiments: drift analyze %s: %w", g.Name, err)
+			}
+			e := sim.NewExecutor(p, governor.NewPowerLens(a.Plan))
+			e.Audit = rec
+			e.AuditTrack = 1
+			e.RunTask(g, opt.Images)
+		}
+		return nil
+	}
+
+	// Phase 1: traffic from the training distribution (fresh seed, same
+	// generator bounds the deployment's Dataset A used).
+	if err := serve(models.DefaultGeneratorConfig(), opt.Seed+1000); err != nil {
+		return nil, err
+	}
+	inDist := mon.Status()
+
+	// Phase 2: the injected shift — restart the live window so the verdict
+	// reflects only shifted traffic.
+	mon.ResetLive()
+	if err := serve(opt.Shift, opt.Seed+2000); err != nil {
+		return nil, err
+	}
+	shifted := mon.Status()
+
+	if opt.Tracker != nil {
+		var alerts []slo.DriftAlert
+		for _, dim := range shifted.Dims {
+			if dim.Alerting {
+				alerts = append(alerts, slo.DriftAlert{
+					Dim: dim.Dim, Name: dim.Name, Score: dim.Score, Threshold: shifted.Threshold,
+				})
+			}
+		}
+		opt.Tracker.SetDrift(alerts)
+	}
+
+	// Publish the audit aggregates as audit_*/drift metric families so
+	// Prometheus exports carry them alongside the run's sim_* counters.
+	rec.ExportTo(o.Metrics)
+
+	return &DriftData{
+		Platform:       p.Name,
+		Opt:            opt,
+		InDistribution: inDist,
+		Shifted:        shifted,
+		Audit:          rec.Snapshot(),
+		Obs:            o,
+		Metrics:        o.Metrics.Snapshot(),
+		Events:         o.Tracer.Events(),
+	}, nil
+}
+
+// RenderDrift formats the scenario outcome: the per-phase drift verdicts
+// with the top shifted dimensions, and the calibration state of the audited
+// decisions.
+func RenderDrift(d *DriftData) string {
+	var sb strings.Builder
+	o := d.Opt
+	fmt.Fprintf(&sb, "drift: 2 phases x %d live networks (%d fully audited) on %s (seed %d) — PSI threshold %.2f\n",
+		o.Traffic, o.Networks, d.Platform, o.Seed, d.Shifted.Threshold)
+	phase := func(name string, st audit.DriftStatus) {
+		verdict := "quiet"
+		if st.Alerting {
+			verdict = fmt.Sprintf("ALERTING (%d dims)", st.AlertingDims)
+		}
+		fmt.Fprintf(&sb, "  %-16s %s — max PSI %.3f, live %d vectors\n",
+			name+":", verdict, st.MaxScore, st.LiveCount)
+		dims := append([]audit.DimDrift(nil), st.Dims...)
+		sort.Slice(dims, func(i, j int) bool { return dims[i].Score > dims[j].Score })
+		for i, dim := range dims {
+			if i >= 3 || dim.Score <= 0 {
+				break
+			}
+			fmt.Fprintf(&sb, "    %-18s PSI %.3f  alerting=%v\n", dim.Name, dim.Score, dim.Alerting)
+		}
+	}
+	phase("in-distribution", d.InDistribution)
+	phase("shifted", d.Shifted)
+
+	fmt.Fprintf(&sb, "\n  audit: %d records (%d dropped)", d.Audit.Records, d.Audit.Dropped)
+	for _, k := range d.Audit.Kinds {
+		fmt.Fprintf(&sb, ", %s %d", k.Kind, k.Count)
+	}
+	sb.WriteString("\n")
+	for _, m := range d.Audit.Models {
+		if m.Probes == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, "  calibration %-14s probes %3d  agreement %.2f  regret p50/p99 %.4f/%.4f\n",
+			m.Model, m.Probes, m.AgreementRatio, m.RegretP50, m.RegretP99)
+	}
+	return sb.String()
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"powerlens/internal/hw"
+	"powerlens/internal/obs/audit"
+	"powerlens/internal/obs/slo"
+)
+
+// driftOpts keeps the scenario fast: few networks, tiny tasks.
+func driftOpts() DriftOptions {
+	return DriftOptions{Networks: 6, Seed: 1, Images: 2}
+}
+
+// TestDriftScenarioAlertsOnShiftOnly is the scenario's core contract: the
+// in-distribution phase stays quiet and the injected shift raises a PSI
+// alert.
+func TestDriftScenarioAlertsOnShiftOnly(t *testing.T) {
+	env := testEnv(t)
+	tracker := slo.New(slo.Config{})
+	opt := driftOpts()
+	opt.Tracker = tracker
+	d, err := Drift(env, hw.TX2(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if d.InDistribution.Alerting {
+		t.Fatalf("in-distribution phase alerting: %+v", d.InDistribution)
+	}
+	if !d.Shifted.Alerting {
+		t.Fatalf("shifted phase not alerting: max PSI %.3f over %d dims",
+			d.Shifted.MaxScore, len(d.Shifted.Dims))
+	}
+	if d.Shifted.MaxScore <= d.InDistribution.MaxScore {
+		t.Fatalf("shift did not raise PSI: %.3f -> %.3f",
+			d.InDistribution.MaxScore, d.Shifted.MaxScore)
+	}
+
+	// The audited run carries decisions, probes and governor applies.
+	counts := map[string]uint64{}
+	for _, k := range d.Audit.Kinds {
+		counts[k.Kind] = k.Count
+	}
+	for _, kind := range []string{"decision", "probe", "apply"} {
+		if counts[kind] == 0 {
+			t.Fatalf("audit carries no %s records: %+v", kind, d.Audit.Kinds)
+		}
+	}
+	if d.Audit.Drift == nil || !d.Audit.Drift.Alerting {
+		t.Fatalf("audit snapshot drift status not alerting: %+v", d.Audit.Drift)
+	}
+
+	// The tracker received the alerting dimensions.
+	st := tracker.Snapshot()
+	if len(st.Drift) == 0 || len(st.Drift) != d.Shifted.AlertingDims {
+		t.Fatalf("tracker drift alerts = %d, want %d", len(st.Drift), d.Shifted.AlertingDims)
+	}
+
+	// The run left no recorder attached to the shared framework.
+	if fw := env.Frameworks[hw.TX2().Name]; fw.Audit != nil {
+		t.Fatal("scenario leaked its audit recorder into the shared framework")
+	}
+
+	out := RenderDrift(d)
+	for _, want := range []string{"ALERTING", "quiet", "calibration"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("RenderDrift output lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestDriftScenarioDeterministic pins rerun determinism: two runs with the
+// same options produce byte-identical audit dumps and drift statuses.
+func TestDriftScenarioDeterministic(t *testing.T) {
+	env := testEnv(t)
+	run := func() (*DriftData, []byte) {
+		rec := audit.New(audit.Config{RingSize: 512})
+		opt := driftOpts()
+		opt.Recorder = rec
+		d, err := Drift(env, hw.AGX(), opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d, rec.EncodeBinary()
+	}
+	d1, b1 := run()
+	d2, b2 := run()
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("audit dumps differ across reruns: %d vs %d bytes", len(b1), len(b2))
+	}
+	if d1.Shifted.MaxScore != d2.Shifted.MaxScore || d1.Shifted.AlertingDims != d2.Shifted.AlertingDims {
+		t.Fatalf("drift statuses differ across reruns: %+v vs %+v", d1.Shifted, d2.Shifted)
+	}
+}

@@ -1,0 +1,20 @@
+package features
+
+import "powerlens/internal/graph"
+
+// GlobalDimNames returns human-readable names for the GlobalDim dimensions of
+// the concatenated [structural | stats] feature vector, in Vector() order.
+// The drift monitor labels its per-dimension divergence scores with these.
+func GlobalDimNames() []string {
+	names := make([]string, 0, GlobalDim)
+	names = append(names, "layers", "depth", "residual", "branches")
+	for k := 0; k < graph.NumOpKinds; k++ {
+		names = append(names, "opmix_"+graph.OpKind(k).String())
+	}
+	names = append(names,
+		"flops", "params", "mem_bytes", "mean_ai", "weighted_ai",
+		"frac_conv_flops", "frac_linear_flops", "frac_attn_flops",
+		"frac_mem_heavy", "max_layer_share", "mean_layer_flops",
+		"std_layer_flops", "tail_mem_frac", "tail_ai")
+	return names
+}

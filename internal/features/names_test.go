@@ -1,0 +1,20 @@
+package features
+
+import "testing"
+
+func TestGlobalDimNames(t *testing.T) {
+	names := GlobalDimNames()
+	if len(names) != GlobalDim {
+		t.Fatalf("GlobalDimNames has %d entries, GlobalDim is %d", len(names), GlobalDim)
+	}
+	seen := map[string]bool{}
+	for i, n := range names {
+		if n == "" {
+			t.Fatalf("dimension %d has empty name", i)
+		}
+		if seen[n] {
+			t.Fatalf("duplicate dimension name %q", n)
+		}
+		seen[n] = true
+	}
+}

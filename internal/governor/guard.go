@@ -7,6 +7,7 @@ import (
 	"powerlens/internal/graph"
 	"powerlens/internal/hw"
 	"powerlens/internal/obs"
+	"powerlens/internal/obs/audit"
 	"powerlens/internal/sim"
 )
 
@@ -61,6 +62,11 @@ type Guard struct {
 	mFallbacks  obs.Counter
 	mRecoveries obs.Counter
 	innerName   string
+
+	// Decision-audit sink (installed by the executor via SetAudit; nil keeps
+	// every emission site a single nil-safe method call).
+	audit      *audit.Recorder
+	auditTrack int
 }
 
 // GuardStats counts the guard's observations and interventions.
@@ -123,6 +129,21 @@ func (g *Guard) Reset(p *hw.Platform) {
 // OnFallback reports whether the guard is currently serving decisions from
 // the fallback governor.
 func (g *Guard) OnFallback() bool { return g.fallback }
+
+// SetAudit implements sim.AuditSink: guard interventions (strikes, failovers,
+// recoveries) land in the decision-audit trail. The recorder is forwarded to
+// the wrapped policy and the fallback so plan applications stay audited
+// through a fallback episode; a nil recorder disables emission everywhere.
+func (g *Guard) SetAudit(rec *audit.Recorder, track int) {
+	g.audit = rec
+	g.auditTrack = track
+	if s, ok := g.Inner.(sim.AuditSink); ok {
+		s.SetAudit(rec, track)
+	}
+	if s, ok := g.Fallback.(sim.AuditSink); ok {
+		s.SetAudit(rec, track)
+	}
+}
 
 func (g *Guard) maxStrikes() int {
 	if g.MaxStrikes > 0 {
@@ -249,6 +270,7 @@ func (g *Guard) OnWindow(s sim.WindowStats) {
 					g.mRecoveries.Inc(g.innerName)
 					g.Obs.MarkNow("guard", "recovery", map[string]any{"level": lvl})
 				}
+				g.audit.RecordGuard(g.auditTrack, "recovery", g.Inner.Name(), lvl, "")
 			} else {
 				g.recoverIn = g.recoveryWindows()
 			}
@@ -288,6 +310,7 @@ func (g *Guard) strike(reason string) {
 		g.Obs.MarkNow("guard", "violation", map[string]any{
 			"reason": reason, "strikes": g.strikes})
 	}
+	g.audit.RecordGuard(g.auditTrack, "strike", g.Inner.Name(), g.lastGood, reason)
 	if !g.fallback && g.strikes >= g.maxStrikes() {
 		g.fallback = true
 		g.recoverIn = g.recoveryWindows()
@@ -297,6 +320,7 @@ func (g *Guard) strike(reason string) {
 			g.Obs.MarkNow("guard", "fallback", map[string]any{
 				"strikes": g.strikes, "fallback": g.Fallback.Name()})
 		}
+		g.audit.RecordGuard(g.auditTrack, "failover", g.Inner.Name(), g.lastGood, reason)
 	}
 }
 
@@ -340,4 +364,7 @@ func abs(v int) int {
 	return v
 }
 
-var _ sim.Controller = (*Guard)(nil)
+var (
+	_ sim.Controller = (*Guard)(nil)
+	_ sim.AuditSink  = (*Guard)(nil)
+)

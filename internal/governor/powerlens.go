@@ -5,6 +5,7 @@ import (
 
 	"powerlens/internal/graph"
 	"powerlens/internal/hw"
+	"powerlens/internal/obs/audit"
 	"powerlens/internal/sim"
 )
 
@@ -82,12 +83,19 @@ type PowerLens struct {
 
 	// Compiled block→level schedule and layer→block index for
 	// (Plan, graph, platform); rebuilt lazily whenever any of the three
-	// changes.
+	// changes. The graph digest is cached alongside so audited plan
+	// applications pay zero per-layer digest cost.
 	schedPlan     *FrequencyPlan
 	schedGraph    *graph.Graph
 	schedPlatform *hw.Platform
 	sched         []int
 	blocks        []int
+	schedDigest   uint64
+
+	// Decision-audit sink (installed by the executor via SetAudit; nil — the
+	// default — keeps BeforeLayer on the exact unaudited path).
+	audit      *audit.Recorder
+	auditTrack int
 }
 
 // NewPowerLens returns a controller executing the given plan.
@@ -96,6 +104,14 @@ func NewPowerLens(plan *FrequencyPlan) *PowerLens {
 }
 
 func (pl *PowerLens) Name() string { return "PowerLens" }
+
+// SetAudit implements sim.AuditSink: with a recorder attached, every plan
+// application (an instrumentation point presetting a block's frequency) is
+// recorded with the graph's digest, the power block, and the applied level.
+func (pl *PowerLens) SetAudit(rec *audit.Recorder, track int) {
+	pl.audit = rec
+	pl.auditTrack = track
+}
 
 // Reset implements sim.Controller.
 func (pl *PowerLens) Reset(p *hw.Platform) {
@@ -123,6 +139,10 @@ func (pl *PowerLens) BeforeLayer(g *graph.Graph, layerID int) {
 	if layerID >= 0 && layerID < len(pl.sched) {
 		if lvl := pl.sched[layerID]; lvl >= 0 {
 			pl.level = lvl
+			if pl.audit != nil {
+				pl.audit.RecordApply(pl.auditTrack, "powerlens", pl.Plan.Model,
+					pl.schedDigest, pl.blocks[layerID], layerID, lvl)
+			}
 		}
 	}
 }
@@ -133,6 +153,7 @@ func (pl *PowerLens) ensureSched(g *graph.Graph) {
 	if pl.schedPlan != pl.Plan || pl.schedGraph != g || pl.schedPlatform != pl.platform {
 		pl.sched = compileSchedule(pl.Plan, g, pl.platform, pl.sched)
 		pl.blocks = compileBlocks(pl.Plan, g, pl.blocks)
+		pl.schedDigest = graph.Digest(g)
 		pl.schedPlan, pl.schedGraph, pl.schedPlatform = pl.Plan, g, pl.platform
 	}
 }
@@ -157,6 +178,7 @@ func (pl *PowerLens) OnWindow(sim.WindowStats) {}
 var (
 	_ sim.Controller    = (*PowerLens)(nil)
 	_ sim.BlockResolver = (*PowerLens)(nil)
+	_ sim.AuditSink     = (*PowerLens)(nil)
 )
 
 // MultiPlan serves a task flow of different models: it dispatches
@@ -173,15 +195,21 @@ type MultiPlan struct {
 	compiled  map[*graph.Graph]*mpSchedule
 	lastGraph *graph.Graph
 	lastSched *mpSchedule
+
+	// Decision-audit sink (installed by the executor via SetAudit).
+	audit      *audit.Recorder
+	auditTrack int
 }
 
 // mpSchedule is one graph's compiled schedule and block index plus the
-// inputs they were compiled from (for staleness checks).
+// inputs they were compiled from (for staleness checks). The graph digest is
+// computed once per entry so audited applications stay digest-free per layer.
 type mpSchedule struct {
 	plan     *FrequencyPlan
 	platform *hw.Platform
 	sched    []int
 	blocks   []int
+	digest   uint64
 }
 
 // maxCompiledSchedules bounds MultiPlan's schedule cache; serving loops that
@@ -194,6 +222,12 @@ func NewMultiPlan(plans map[string]*FrequencyPlan) *MultiPlan {
 }
 
 func (m *MultiPlan) Name() string { return "PowerLens" }
+
+// SetAudit implements sim.AuditSink.
+func (m *MultiPlan) SetAudit(rec *audit.Recorder, track int) {
+	m.audit = rec
+	m.auditTrack = track
+}
 
 // Reset implements sim.Controller.
 func (m *MultiPlan) Reset(p *hw.Platform) {
@@ -217,6 +251,10 @@ func (m *MultiPlan) BeforeLayer(g *graph.Graph, layerID int) {
 	if layerID >= 0 && layerID < len(e.sched) {
 		if lvl := e.sched[layerID]; lvl >= 0 {
 			m.level = lvl
+			if m.audit != nil {
+				m.audit.RecordApply(m.auditTrack, "powerlens", plan.Model,
+					e.digest, e.blocks[layerID], layerID, lvl)
+			}
 		}
 	}
 }
@@ -234,7 +272,7 @@ func (m *MultiPlan) scheduleFor(g *graph.Graph, plan *FrequencyPlan) *mpSchedule
 			if len(m.compiled) >= maxCompiledSchedules {
 				m.compiled = make(map[*graph.Graph]*mpSchedule)
 			}
-			e = &mpSchedule{}
+			e = &mpSchedule{digest: graph.Digest(g)}
 			m.compiled[g] = e
 		}
 		m.lastGraph, m.lastSched = g, e
@@ -267,4 +305,5 @@ func (m *MultiPlan) OnWindow(sim.WindowStats) {}
 var (
 	_ sim.Controller    = (*MultiPlan)(nil)
 	_ sim.BlockResolver = (*MultiPlan)(nil)
+	_ sim.AuditSink     = (*MultiPlan)(nil)
 )

@@ -76,6 +76,33 @@ func (n *TwoStageNet) Predict(structF, statsF []float64) int {
 	return best
 }
 
+// PredictTop2 returns the argmax class, the runner-up class, and the softmax
+// probability margin between them. The argmax tie-break (first max wins) is
+// identical to Predict's, so PredictTop2(...) and Predict(...) always agree
+// on the chosen class; the margin is the decision audit's confidence signal.
+func (n *TwoStageNet) PredictTop2(structF, statsF []float64) (best, runner int, margin float64) {
+	probs := n.Forward(structF, statsF)
+	best = 0
+	for i, p := range probs {
+		if p > probs[best] {
+			best = i
+		}
+	}
+	runner = -1
+	for i, p := range probs {
+		if i == best {
+			continue
+		}
+		if runner < 0 || p > probs[runner] {
+			runner = i
+		}
+	}
+	if runner < 0 { // single-class net; NewTwoStageNet forbids this, but stay safe
+		return best, best, 0
+	}
+	return best, runner, probs[best] - probs[runner]
+}
+
 // backward accumulates gradients for one sample given its label, returning
 // the sample loss. Must follow a Forward-equivalent pass (it redoes the
 // forward internally to populate caches).

@@ -278,3 +278,34 @@ func TestAccuracyEmpty(t *testing.T) {
 		t.Fatal("zero-stats forward broken")
 	}
 }
+
+func TestPredictTop2AgreesWithPredict(t *testing.T) {
+	n := NewTwoStageNet(4, 3, []int{8}, []int{8}, 5, 42)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 50; i++ {
+		structF := make([]float64, 4)
+		statsF := make([]float64, 3)
+		for j := range structF {
+			structF[j] = rng.NormFloat64()
+		}
+		for j := range statsF {
+			statsF[j] = rng.NormFloat64()
+		}
+		best, runner, margin := n.PredictTop2(structF, statsF)
+		if best != n.Predict(structF, statsF) {
+			t.Fatalf("sample %d: PredictTop2 best %d disagrees with Predict", i, best)
+		}
+		if runner == best {
+			t.Fatalf("sample %d: runner-up equals best", i)
+		}
+		if margin < 0 || margin > 1 {
+			t.Fatalf("sample %d: margin %v outside [0,1]", i, margin)
+		}
+		probs := n.Forward(structF, statsF)
+		for c, p := range probs {
+			if c != best && p > probs[runner] {
+				t.Fatalf("sample %d: class %d beats reported runner-up %d", i, c, runner)
+			}
+		}
+	}
+}

@@ -1,0 +1,835 @@
+// Package audit implements the decision-provenance plane: it answers "why did
+// the governor pick level L for this block" with bounded, deterministic state
+// fed by the offline decision pipeline (core.Framework.Analyze), the online
+// plan governors (PowerLens/MultiPlan), and the Guard fallback wrapper.
+//
+// The recorder keeps two classes of state:
+//
+//   - Aggregates — per-kind record counts, plan-application cells keyed
+//     (graph digest, block, layer, level), guard event counts keyed
+//     (event, reason), and per-model-digest calibration statistics (decision
+//     counts, probe agreement counts, margin/regret sketches, reservoir
+//     exemplars). All of it is integral or mergeable sketch state, so Merge
+//     is order-robust the same way the attribution ledger's cells are: the
+//     same multiset of events yields the same aggregates no matter how the
+//     events were partitioned across nodes or dispatch shards.
+//   - Record rings — a bounded per-track ring of recent Records (drop-oldest)
+//     for human inspection. Ring content is deterministic for a fixed run but
+//     follows job placement, which the sharded dispatcher varies with the
+//     shard count; fleets wanting exports byte-identical across shard counts
+//     run with RingSize < 0 (aggregate-only auditing).
+//
+// Design constraints, inherited from the obs layer: a nil *Recorder accepts
+// every call and does nothing (one pointer check when auditing is off);
+// snapshots walk every map in sorted key order so equal recorders export
+// equal bytes, both as indented JSON and as the byte-stable "PLAU" binary
+// encoding (encode.go).
+package audit
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"powerlens/internal/obs"
+	"powerlens/internal/obs/sketch"
+)
+
+// Config parameterizes a Recorder. Zero fields take defaults; negative
+// RingSize/Exemplars/ProbeEvery disable the respective feature.
+type Config struct {
+	// RingSize bounds each per-track record ring. 0 → 256; < 0 disables
+	// rings entirely (aggregate-only auditing, shard-count-invariant).
+	RingSize int
+	// Exemplars bounds the per-model reservoir of sampled feature vectors.
+	// 0 → 4; < 0 disables exemplar sampling.
+	Exemplars int
+	// ProbeEvery is the calibration-probe cadence: every Nth decision per
+	// model re-runs the oracle sweep. 0 → 8; < 0 disables probing.
+	ProbeEvery int
+	// Seed drives the deterministic reservoir replacement. 0 → 1.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.RingSize == 0 {
+		c.RingSize = 256
+	}
+	if c.Exemplars == 0 {
+		c.Exemplars = 4
+	}
+	if c.ProbeEvery == 0 {
+		c.ProbeEvery = 8
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Kind classifies an audit record.
+type Kind uint8
+
+const (
+	// KindDecision is one decision-model inference: a per-block level choice
+	// made by core.Framework.Analyze.
+	KindDecision Kind = 1
+	// KindApply is one plan application at an instrumentation point by a
+	// PowerLens/MultiPlan governor.
+	KindApply Kind = 2
+	// KindGuard is a Guard lifecycle event (strike, failover, recovery).
+	KindGuard Kind = 3
+	// KindProbe is one calibration probe: the oracle sweep re-run on a
+	// sampled decision.
+	KindProbe Kind = 4
+
+	numKinds = 5 // array size for per-kind counters (index 0 unused)
+)
+
+// String returns the kind's snapshot label.
+func (k Kind) String() string {
+	switch k {
+	case KindDecision:
+		return "decision"
+	case KindApply:
+		return "apply"
+	case KindGuard:
+		return "guard"
+	case KindProbe:
+		return "probe"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Record is one audit event. Field use varies by kind:
+//
+//   - decision: Level is the chosen level, Runner the runner-up, Margin the
+//     softmax probability gap between them, Feat the feature-vector hash.
+//   - apply: Level is the plan's preset level at instrumentation point
+//     (Block, Layer).
+//   - guard: Source is the event (strike/failover/recovery), Reason the
+//     fallback reason string, Level the last good level.
+//   - probe: Level is the chosen level, Runner the oracle's optimal level,
+//     Margin the relative energy regret (chosen/optimal - 1).
+type Record struct {
+	Seq    uint64
+	At     time.Duration
+	Kind   Kind
+	Source string
+	Model  string
+	Digest uint64
+	Block  int32
+	Layer  int32
+	Level  int32
+	Runner int32
+	Margin float64
+	Feat   uint64
+	Reason string
+}
+
+// applyKey addresses one plan-application aggregate cell.
+type applyKey struct {
+	Digest uint64
+	Block  int32
+	Layer  int32
+	Level  int32
+}
+
+func (k applyKey) less(o applyKey) bool {
+	if k.Digest != o.Digest {
+		return k.Digest < o.Digest
+	}
+	if k.Block != o.Block {
+		return k.Block < o.Block
+	}
+	if k.Layer != o.Layer {
+		return k.Layer < o.Layer
+	}
+	return k.Level < o.Level
+}
+
+// applyCell is the aggregate behind one applyKey.
+type applyCell struct {
+	name  string
+	count uint64
+}
+
+// guardKey addresses one guard-event aggregate.
+type guardKey struct {
+	Event  string
+	Reason string
+}
+
+func (k guardKey) less(o guardKey) bool {
+	if k.Event != o.Event {
+		return k.Event < o.Event
+	}
+	return k.Reason < o.Reason
+}
+
+// Exemplar is one reservoir-sampled decision input.
+type Exemplar struct {
+	Block int32
+	Level int32
+	Vec   []float64
+}
+
+// modelAudit is the per-model-digest calibration state.
+type modelAudit struct {
+	name      string
+	decisions uint64
+	probes    uint64
+	agrees    uint64
+	seen      uint64 // decisions offered to the exemplar reservoir
+	margin    *sketch.Sketch
+	regret    *sketch.Sketch
+	exemplars []Exemplar
+}
+
+// ring is a bounded drop-oldest record buffer.
+type ring struct {
+	recs  []Record
+	start int
+	n     int
+}
+
+func (r *ring) push(rec Record, cap_ int) (dropped bool) {
+	if cap_ <= 0 {
+		return false
+	}
+	if r.recs == nil {
+		r.recs = make([]Record, cap_)
+	}
+	if r.n < len(r.recs) {
+		r.recs[(r.start+r.n)%len(r.recs)] = rec
+		r.n++
+		return false
+	}
+	r.recs[r.start] = rec
+	r.start = (r.start + 1) % len(r.recs)
+	return true
+}
+
+// ordered returns the ring's records oldest → newest.
+func (r *ring) ordered() []Record {
+	out := make([]Record, 0, r.n)
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.recs[(r.start+i)%len(r.recs)])
+	}
+	return out
+}
+
+// Recorder accumulates audit state. Safe for concurrent use; the intended
+// high-throughput path is one private recorder per node merged in node order
+// at the end, with the mutex only there to make stray concurrent use safe.
+type Recorder struct {
+	mu      sync.Mutex
+	cfg     Config
+	clock   func() time.Duration
+	seq     uint64
+	dropped uint64
+	kinds   [numKinds]uint64
+	tracks  map[int]*ring
+	applies map[applyKey]*applyCell
+	guards  map[guardKey]uint64
+	models  map[uint64]*modelAudit
+	drift   *Drift
+}
+
+// New returns an empty recorder with cfg (zero fields defaulted).
+func New(cfg Config) *Recorder {
+	return &Recorder{
+		cfg:     cfg.withDefaults(),
+		tracks:  map[int]*ring{},
+		applies: map[applyKey]*applyCell{},
+		guards:  map[guardKey]uint64{},
+		models:  map[uint64]*modelAudit{},
+	}
+}
+
+// ConfigView returns the effective (defaulted) configuration, so fleet
+// owners can construct per-node recorders with identical settings.
+func (r *Recorder) ConfigView() Config {
+	if r == nil {
+		return Config{}
+	}
+	return r.cfg
+}
+
+// SetClock installs the timestamp source for ring records (the executor
+// installs its simulated clock at reset). A nil clock stamps zero.
+func (r *Recorder) SetClock(clock func() time.Duration) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.clock = clock
+	r.mu.Unlock()
+}
+
+// AttachDrift wires a drift monitor into the recorder so /drift and ExportTo
+// can surface divergence state alongside decision provenance.
+func (r *Recorder) AttachDrift(d *Drift) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.drift = d
+	r.mu.Unlock()
+}
+
+// DriftMonitor returns the attached drift monitor, or nil.
+func (r *Recorder) DriftMonitor() *Drift {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.drift
+}
+
+// splitmix64 is the deterministic mixer behind reservoir replacement: a pure
+// function of (seed, counter), so sampling never consults a shared RNG stream
+// and merges stay reproducible.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// HashVector is the FNV-1a/64 hash of a feature vector's IEEE-754 bits, used
+// as the compact input fingerprint in decision records.
+func HashVector(vec []float64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, v := range vec {
+		bits := math.Float64bits(v)
+		for s := 0; s < 64; s += 8 {
+			h ^= bits >> s & 0xff
+			h *= prime64
+		}
+	}
+	return h
+}
+
+func (r *Recorder) model(digest uint64, name string) *modelAudit {
+	m, ok := r.models[digest]
+	if !ok {
+		m = &modelAudit{name: name, margin: sketch.New(), regret: sketch.New()}
+		r.models[digest] = m
+	}
+	return m
+}
+
+func (r *Recorder) emit(track int, rec Record) {
+	r.kinds[rec.Kind]++
+	if r.cfg.RingSize <= 0 {
+		return
+	}
+	rec.Seq = r.seq
+	r.seq++
+	if r.clock != nil {
+		rec.At = r.clock()
+	}
+	rg, ok := r.tracks[track]
+	if !ok {
+		rg = &ring{}
+		r.tracks[track] = rg
+	}
+	if rg.push(rec, r.cfg.RingSize) {
+		r.dropped++
+	}
+}
+
+// RecordDecision records one decision-model inference for block `block` of
+// the model with the given graph digest: the chosen level, the runner-up and
+// the softmax margin between them, plus the raw global-feature vector the
+// decision saw (hashed into the record; reservoir-sampled as an exemplar).
+// The return value reports whether this decision is selected for a
+// calibration probe (every cfg.ProbeEvery-th decision per model).
+func (r *Recorder) RecordDecision(track int, model string, digest uint64, block, level, runner int, margin float64, vec []float64) (probe bool) {
+	if r == nil {
+		return false
+	}
+	r.mu.Lock()
+	m := r.model(digest, model)
+	m.decisions++
+	m.margin.Observe(margin)
+	probe = r.cfg.ProbeEvery > 0 && (m.decisions-1)%uint64(r.cfg.ProbeEvery) == 0
+	if r.cfg.Exemplars > 0 {
+		m.seen++
+		if len(m.exemplars) < r.cfg.Exemplars {
+			m.exemplars = append(m.exemplars, Exemplar{
+				Block: int32(block), Level: int32(level), Vec: append([]float64(nil), vec...),
+			})
+		} else if j := splitmix64(r.cfg.Seed^m.seen) % m.seen; j < uint64(r.cfg.Exemplars) {
+			m.exemplars[j] = Exemplar{
+				Block: int32(block), Level: int32(level), Vec: append([]float64(nil), vec...),
+			}
+		}
+	}
+	r.emit(track, Record{
+		Kind: KindDecision, Source: "decide", Model: model, Digest: digest,
+		Block: int32(block), Layer: -1, Level: int32(level), Runner: int32(runner),
+		Margin: margin, Feat: HashVector(vec),
+	})
+	r.mu.Unlock()
+	return probe
+}
+
+// RecordProbe records one calibration probe: the oracle sweep's optimal level
+// for the block against the level the decision model chose, with the relative
+// energy regret (chosenEnergy/optimalEnergy - 1, 0 when they agree).
+func (r *Recorder) RecordProbe(track int, model string, digest uint64, block, chosen, oracle int, regret float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	m := r.model(digest, model)
+	m.probes++
+	if chosen == oracle {
+		m.agrees++
+	}
+	m.regret.Observe(regret)
+	r.emit(track, Record{
+		Kind: KindProbe, Source: "probe", Model: model, Digest: digest,
+		Block: int32(block), Layer: -1, Level: int32(chosen), Runner: int32(oracle),
+		Margin: regret,
+	})
+	r.mu.Unlock()
+}
+
+// RecordApply records one plan application: governor `source` preset `level`
+// at instrumentation point (block, layer) of the digested graph. Content is a
+// pure function of (plan, graph), so the aggregate cells are invariant to how
+// passes were placed across nodes or shards.
+func (r *Recorder) RecordApply(track int, source, model string, digest uint64, block, layer, level int) {
+	if r == nil {
+		return
+	}
+	k := applyKey{Digest: digest, Block: int32(block), Layer: int32(layer), Level: int32(level)}
+	r.mu.Lock()
+	c, ok := r.applies[k]
+	if !ok {
+		c = &applyCell{name: model}
+		r.applies[k] = c
+	}
+	c.count++
+	r.emit(track, Record{
+		Kind: KindApply, Source: source, Model: model, Digest: digest,
+		Block: int32(block), Layer: int32(layer), Level: int32(level), Runner: -1,
+	})
+	r.mu.Unlock()
+}
+
+// RecordGuard records one Guard lifecycle event ("strike", "failover",
+// "recovery") with the exact fallback reason and the inner controller name.
+func (r *Recorder) RecordGuard(track int, event, inner string, level int, reason string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.guards[guardKey{Event: event, Reason: reason}]++
+	r.emit(track, Record{
+		Kind: KindGuard, Source: event, Model: inner,
+		Block: -1, Layer: -1, Level: int32(level), Runner: -1, Reason: reason,
+	})
+	r.mu.Unlock()
+}
+
+// Merge folds src into r: aggregates fold by key (order-robust, like the
+// ledger), ring records append into r's rings in src track order with fresh
+// sequence numbers. Fleets merge per-node recorders in node order, which
+// makes merged ring content deterministic too. src is left untouched; the
+// two locks are never held at once.
+func (r *Recorder) Merge(src *Recorder) {
+	if r == nil || src == nil {
+		return
+	}
+	type trackRecs struct {
+		track int
+		recs  []Record
+	}
+	type kapply struct {
+		k applyKey
+		c applyCell
+	}
+	type kguard struct {
+		k guardKey
+		n uint64
+	}
+	type dmodel struct {
+		d              uint64
+		m              modelAudit
+		margin, regret *sketch.Sketch
+		ex             []Exemplar
+	}
+	src.mu.Lock()
+	var kinds [numKinds]uint64 = src.kinds
+	dropped := src.dropped
+	tracks := make([]trackRecs, 0, len(src.tracks))
+	for _, t := range sortedTracks(src.tracks) {
+		tracks = append(tracks, trackRecs{t, src.tracks[t].ordered()})
+	}
+	applies := make([]kapply, 0, len(src.applies))
+	for _, k := range sortedApplyKeys(src.applies) {
+		applies = append(applies, kapply{k, *src.applies[k]})
+	}
+	guards := make([]kguard, 0, len(src.guards))
+	for _, k := range sortedGuardKeys(src.guards) {
+		guards = append(guards, kguard{k, src.guards[k]})
+	}
+	models := make([]dmodel, 0, len(src.models))
+	for _, d := range sortedModelDigests(src.models) {
+		m := src.models[d]
+		margin, regret := sketch.New(), sketch.New()
+		margin.Merge(m.margin)
+		regret.Merge(m.regret)
+		ex := make([]Exemplar, 0, len(m.exemplars))
+		for _, e := range m.exemplars {
+			ex = append(ex, Exemplar{Block: e.Block, Level: e.Level, Vec: append([]float64(nil), e.Vec...)})
+		}
+		models = append(models, dmodel{d, *m, margin, regret, ex})
+	}
+	src.mu.Unlock()
+
+	r.mu.Lock()
+	for k, n := range kinds {
+		r.kinds[k] += n
+	}
+	r.dropped += dropped
+	for _, tr := range tracks {
+		rg, ok := r.tracks[tr.track]
+		if !ok {
+			rg = &ring{}
+			r.tracks[tr.track] = rg
+		}
+		for _, rec := range tr.recs {
+			rec.Seq = r.seq
+			r.seq++
+			if rg.push(rec, r.cfg.RingSize) {
+				r.dropped++
+			}
+		}
+	}
+	for _, ka := range applies {
+		c, ok := r.applies[ka.k]
+		if !ok {
+			c = &applyCell{name: ka.c.name}
+			r.applies[ka.k] = c
+		}
+		c.count += ka.c.count
+	}
+	for _, kg := range guards {
+		r.guards[kg.k] += kg.n
+	}
+	for _, dm := range models {
+		m := r.model(dm.d, dm.m.name)
+		m.decisions += dm.m.decisions
+		m.probes += dm.m.probes
+		m.agrees += dm.m.agrees
+		m.margin.Merge(dm.margin)
+		m.regret.Merge(dm.regret)
+		for _, e := range dm.ex {
+			if r.cfg.Exemplars <= 0 {
+				break
+			}
+			m.seen++
+			if len(m.exemplars) < r.cfg.Exemplars {
+				m.exemplars = append(m.exemplars, e)
+			} else if j := splitmix64(r.cfg.Seed^m.seen) % m.seen; j < uint64(r.cfg.Exemplars) {
+				m.exemplars[j] = e
+			}
+		}
+	}
+	r.mu.Unlock()
+}
+
+func sortedTracks(m map[int]*ring) []int {
+	ts := make([]int, 0, len(m))
+	for t := range m {
+		ts = append(ts, t)
+	}
+	sort.Ints(ts)
+	return ts
+}
+
+func sortedApplyKeys(m map[applyKey]*applyCell) []applyKey {
+	ks := make([]applyKey, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i].less(ks[j]) })
+	return ks
+}
+
+func sortedGuardKeys(m map[guardKey]uint64) []guardKey {
+	ks := make([]guardKey, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i].less(ks[j]) })
+	return ks
+}
+
+func sortedModelDigests(m map[uint64]*modelAudit) []uint64 {
+	ds := make([]uint64, 0, len(m))
+	for d := range m {
+		ds = append(ds, d)
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	return ds
+}
+
+// KindCount is one record kind's total in a snapshot.
+type KindCount struct {
+	Kind  string `json:"kind"`
+	Count uint64 `json:"count"`
+}
+
+// RecordSnapshot is one ring record in a snapshot.
+type RecordSnapshot struct {
+	Seq    uint64  `json:"seq"`
+	AtS    float64 `json:"atS"`
+	Kind   string  `json:"kind"`
+	Source string  `json:"source"`
+	Model  string  `json:"model"`
+	Digest string  `json:"digest,omitempty"`
+	Block  int     `json:"block"`
+	Layer  int     `json:"layer"`
+	Level  int     `json:"level"`
+	Runner int     `json:"runner"`
+	Margin float64 `json:"margin"`
+	Feat   string  `json:"feat,omitempty"`
+	Reason string  `json:"reason,omitempty"`
+}
+
+// TrackSnapshot is one track's ring, oldest record first.
+type TrackSnapshot struct {
+	Track   int              `json:"track"`
+	Records []RecordSnapshot `json:"records"`
+}
+
+// ApplySnapshot is one plan-application aggregate cell.
+type ApplySnapshot struct {
+	Model  string `json:"model"`
+	Digest string `json:"digest"`
+	Block  int    `json:"block"`
+	Layer  int    `json:"layer"`
+	Level  int    `json:"level"`
+	Count  uint64 `json:"count"`
+}
+
+// GuardEventSnapshot is one guard (event, reason) aggregate.
+type GuardEventSnapshot struct {
+	Event  string `json:"event"`
+	Reason string `json:"reason,omitempty"`
+	Count  uint64 `json:"count"`
+}
+
+// ExemplarSnapshot is one reservoir-sampled decision input.
+type ExemplarSnapshot struct {
+	Block int       `json:"block"`
+	Level int       `json:"level"`
+	Vec   []float64 `json:"vec"`
+}
+
+// ModelSnapshot is one model digest's calibration state.
+type ModelSnapshot struct {
+	Model          string             `json:"model"`
+	Digest         string             `json:"digest"`
+	Decisions      uint64             `json:"decisions"`
+	Probes         uint64             `json:"probes"`
+	Agreements     uint64             `json:"agreements"`
+	AgreementRatio float64            `json:"agreementRatio"`
+	MarginP50      float64            `json:"marginP50"`
+	RegretP50      float64            `json:"regretP50"`
+	RegretP90      float64            `json:"regretP90"`
+	RegretP99      float64            `json:"regretP99"`
+	RegretMax      float64            `json:"regretMax"`
+	MarginSketch   []byte             `json:"marginSketch,omitempty"`
+	RegretSketch   []byte             `json:"regretSketch,omitempty"`
+	Exemplars      []ExemplarSnapshot `json:"exemplars,omitempty"`
+}
+
+// Snapshot is a deterministic point-in-time copy of a recorder.
+type Snapshot struct {
+	Schema      int                  `json:"schema"`
+	Records     uint64               `json:"records"`
+	Dropped     uint64               `json:"dropped"`
+	Kinds       []KindCount          `json:"kinds"`
+	Tracks      []TrackSnapshot      `json:"tracks"`
+	Applies     []ApplySnapshot      `json:"applies"`
+	GuardEvents []GuardEventSnapshot `json:"guardEvents"`
+	Models      []ModelSnapshot      `json:"models"`
+	Drift       *DriftStatus         `json:"drift,omitempty"`
+}
+
+// SnapshotSchema identifies the audit snapshot layout.
+const SnapshotSchema = 1
+
+// Snapshot returns the recorder's state with every map walked in sorted key
+// order. Equal recorders produce equal snapshots (and, through WriteJSON and
+// EncodeBinary, equal bytes).
+func (r *Recorder) Snapshot() Snapshot {
+	snap := Snapshot{
+		Schema: SnapshotSchema,
+		Kinds:  []KindCount{}, Tracks: []TrackSnapshot{},
+		Applies: []ApplySnapshot{}, GuardEvents: []GuardEventSnapshot{},
+		Models: []ModelSnapshot{},
+	}
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for k := Kind(1); k < numKinds; k++ {
+		snap.Records += r.kinds[k]
+		if r.kinds[k] > 0 {
+			snap.Kinds = append(snap.Kinds, KindCount{Kind: k.String(), Count: r.kinds[k]})
+		}
+	}
+	snap.Dropped = r.dropped
+	for _, t := range sortedTracks(r.tracks) {
+		ts := TrackSnapshot{Track: t, Records: []RecordSnapshot{}}
+		for _, rec := range r.tracks[t].ordered() {
+			rs := RecordSnapshot{
+				Seq: rec.Seq, AtS: rec.At.Seconds(), Kind: rec.Kind.String(),
+				Source: rec.Source, Model: rec.Model,
+				Block: int(rec.Block), Layer: int(rec.Layer),
+				Level: int(rec.Level), Runner: int(rec.Runner),
+				Margin: rec.Margin, Reason: rec.Reason,
+			}
+			if rec.Digest != 0 {
+				rs.Digest = fmt.Sprintf("%016x", rec.Digest)
+			}
+			if rec.Feat != 0 {
+				rs.Feat = fmt.Sprintf("%016x", rec.Feat)
+			}
+			ts.Records = append(ts.Records, rs)
+		}
+		snap.Tracks = append(snap.Tracks, ts)
+	}
+	for _, k := range sortedApplyKeys(r.applies) {
+		c := r.applies[k]
+		snap.Applies = append(snap.Applies, ApplySnapshot{
+			Model: c.name, Digest: fmt.Sprintf("%016x", k.Digest),
+			Block: int(k.Block), Layer: int(k.Layer), Level: int(k.Level),
+			Count: c.count,
+		})
+	}
+	for _, k := range sortedGuardKeys(r.guards) {
+		snap.GuardEvents = append(snap.GuardEvents, GuardEventSnapshot{
+			Event: k.Event, Reason: k.Reason, Count: r.guards[k],
+		})
+	}
+	for _, d := range sortedModelDigests(r.models) {
+		m := r.models[d]
+		ms := ModelSnapshot{
+			Model: m.name, Digest: fmt.Sprintf("%016x", d),
+			Decisions: m.decisions, Probes: m.probes, Agreements: m.agrees,
+			MarginP50: m.margin.Quantile(0.5),
+			RegretP50: m.regret.Quantile(0.5), RegretP90: m.regret.Quantile(0.9),
+			RegretP99: m.regret.Quantile(0.99), RegretMax: m.regret.Max(),
+			MarginSketch: m.margin.EncodeBinary(),
+			RegretSketch: m.regret.EncodeBinary(),
+		}
+		if m.probes > 0 {
+			ms.AgreementRatio = float64(m.agrees) / float64(m.probes)
+		}
+		for _, e := range m.exemplars {
+			ms.Exemplars = append(ms.Exemplars, ExemplarSnapshot{
+				Block: int(e.Block), Level: int(e.Level),
+				Vec: append([]float64(nil), e.Vec...),
+			})
+		}
+		snap.Models = append(snap.Models, ms)
+	}
+	drift := r.drift
+	if drift != nil {
+		st := drift.Status()
+		snap.Drift = &st
+	}
+	return snap
+}
+
+// WriteJSON writes the snapshot as indented JSON. Deterministic: equal
+// recorders write equal bytes.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// ExportTo publishes the recorder into an obs Registry as audit_* families.
+// Intended to be called once after a run completes (it accumulates, so
+// calling it twice double-counts).
+func (r *Recorder) ExportTo(reg *obs.Registry) {
+	if r == nil || reg == nil {
+		return
+	}
+	snap := r.Snapshot()
+	records := reg.Counter("audit_records_total", "Audit records emitted, by kind.", "kind")
+	dropped := reg.Counter("audit_records_dropped_total", "Audit ring records evicted (drop-oldest).")
+	applies := reg.Counter("audit_plan_applies_total",
+		"Plan applications at instrumentation points, per (model, block, level).",
+		"model", "block", "level")
+	guards := reg.Counter("audit_guard_events_total", "Guard lifecycle events, by (event, reason).", "event", "reason")
+	decisions := reg.Counter("audit_decisions_total", "Decision-model inferences audited, per model.", "model")
+	probes := reg.Counter("audit_probes_total", "Calibration probes run, per model.", "model")
+	agrees := reg.Counter("audit_probe_agreements_total",
+		"Calibration probes where the decision model matched the oracle, per model.", "model")
+	ratio := reg.Gauge("audit_decision_agreement_ratio",
+		"Fraction of calibration probes agreeing with the oracle, per model.", "model")
+	regret := reg.Sketch("audit_probe_regret", "Relative energy regret vs the oracle on probed decisions, per model.", "model")
+	margin := reg.Sketch("audit_decision_margin", "Softmax margin between chosen and runner-up level, per model.", "model")
+
+	for _, k := range snap.Kinds {
+		records.Add(float64(k.Count), k.Kind)
+	}
+	dropped.Add(float64(snap.Dropped))
+	for _, a := range snap.Applies {
+		applies.Add(float64(a.Count), a.Model, fmt.Sprintf("%d", a.Block), fmt.Sprintf("%d", a.Level))
+	}
+	for _, g := range snap.GuardEvents {
+		guards.Add(float64(g.Count), g.Event, g.Reason)
+	}
+	for _, m := range snap.Models {
+		decisions.Add(float64(m.Decisions), m.Model)
+		probes.Add(float64(m.Probes), m.Model)
+		agrees.Add(float64(m.Agreements), m.Model)
+		if m.Probes > 0 {
+			ratio.Set(m.AgreementRatio, m.Model)
+		}
+		if sk, err := sketch.Decode(m.RegretSketch); err == nil {
+			regret.MergeFrom(sk, m.Model)
+		}
+		if sk, err := sketch.Decode(m.MarginSketch); err == nil {
+			margin.MergeFrom(sk, m.Model)
+		}
+	}
+	if snap.Drift != nil {
+		score := reg.Gauge("audit_drift_score", "PSI divergence of the live feature distribution vs the training baseline, per dimension.", "dim")
+		alerting := reg.Gauge("audit_drift_alerting", "1 when any feature dimension's PSI divergence exceeds the threshold.")
+		for _, d := range snap.Drift.Dims {
+			name := d.Name
+			if name == "" {
+				name = fmt.Sprintf("%d", d.Dim)
+			}
+			score.Set(d.Score, name)
+		}
+		v := 0.0
+		if snap.Drift.Alerting {
+			v = 1
+		}
+		alerting.Set(v)
+	}
+}

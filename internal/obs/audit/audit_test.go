@@ -1,0 +1,328 @@
+package audit
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"powerlens/internal/obs"
+)
+
+// feed emits a deterministic mixed event stream into r, optionally skipping
+// every other event (phase selects which half), so tests can split one
+// logical stream across recorders and compare the merge to the whole.
+func feed(r *Recorder, phase, step int) {
+	for i := 0; i < 40; i++ {
+		if step > 1 && i%step != phase {
+			continue
+		}
+		digest := uint64(0xabc0 + i%2)
+		model := []string{"alexnet", "vgg16"}[i%2]
+		vec := []float64{float64(i), float64(i % 5), 0.25}
+		probe := r.RecordDecision(3, model, digest, i%4, i%6, (i+1)%6, 0.1+float64(i%3)*0.2, vec)
+		if probe {
+			r.RecordProbe(3, model, digest, i%4, i%6, i%5, float64(i%3)*0.01)
+		}
+		r.RecordApply(7, "powerlens", model, digest, i%4, i%9, i%6)
+		if i%10 == 0 {
+			r.RecordGuard(7, "strike", "PowerLens", i%6, "invalid-level")
+		}
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	mk := func() []byte {
+		r := New(Config{})
+		feed(r, 0, 1)
+		var buf bytes.Buffer
+		if err := r.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := mk(), mk()
+	if !bytes.Equal(a, b) {
+		t.Fatal("identical event streams produced different JSON")
+	}
+	r := New(Config{})
+	feed(r, 0, 1)
+	if !bytes.Equal(r.EncodeBinary(), r.EncodeBinary()) {
+		t.Fatal("repeated EncodeBinary on one recorder differs")
+	}
+}
+
+func TestNilRecorderIsNoOp(t *testing.T) {
+	var r *Recorder
+	if r.RecordDecision(0, "m", 1, 0, 1, 2, 0.5, []float64{1}) {
+		t.Fatal("nil recorder selected a probe")
+	}
+	r.RecordProbe(0, "m", 1, 0, 1, 2, 0)
+	r.RecordApply(0, "s", "m", 1, 0, 0, 1)
+	r.RecordGuard(0, "strike", "m", 1, "oscillation")
+	r.SetClock(func() time.Duration { return 0 })
+	r.Merge(New(Config{}))
+	New(Config{}).Merge(r)
+	snap := r.Snapshot()
+	if snap.Records != 0 || len(snap.Tracks) != 0 {
+		t.Fatalf("nil recorder snapshot not empty: %+v", snap)
+	}
+	if r.EncodeBinary() == nil {
+		t.Fatal("nil recorder must still encode a valid empty payload")
+	}
+}
+
+func TestRingDropOldest(t *testing.T) {
+	r := New(Config{RingSize: 4})
+	for i := 0; i < 10; i++ {
+		r.RecordApply(1, "powerlens", "m", 1, 0, i, 2)
+	}
+	snap := r.Snapshot()
+	if snap.Dropped != 6 {
+		t.Fatalf("dropped = %d, want 6", snap.Dropped)
+	}
+	if len(snap.Tracks) != 1 || len(snap.Tracks[0].Records) != 4 {
+		t.Fatalf("ring shape wrong: %+v", snap.Tracks)
+	}
+	for i, rec := range snap.Tracks[0].Records {
+		if rec.Layer != 6+i {
+			t.Fatalf("record %d has layer %d, want %d (oldest-first, drop-oldest)", i, rec.Layer, 6+i)
+		}
+	}
+	if snap.Records != 10 {
+		t.Fatalf("aggregate record count = %d, want 10 (drops must not erase totals)", snap.Records)
+	}
+}
+
+func TestAggregateOnlyMode(t *testing.T) {
+	r := New(Config{RingSize: -1})
+	feed(r, 0, 1)
+	snap := r.Snapshot()
+	if len(snap.Tracks) != 0 {
+		t.Fatalf("aggregate-only recorder kept rings: %+v", snap.Tracks)
+	}
+	if snap.Records == 0 || len(snap.Applies) == 0 || len(snap.Models) == 0 {
+		t.Fatalf("aggregate-only recorder lost aggregates: %+v", snap)
+	}
+}
+
+func TestProbeCadence(t *testing.T) {
+	r := New(Config{ProbeEvery: 4})
+	var probes []int
+	for i := 0; i < 10; i++ {
+		if r.RecordDecision(0, "m", 1, 0, 1, 2, 0.5, nil) {
+			probes = append(probes, i)
+		}
+	}
+	if want := []int{0, 4, 8}; !reflect.DeepEqual(probes, want) {
+		t.Fatalf("probe cadence %v, want %v", probes, want)
+	}
+	// Cadence is per model digest.
+	r2 := New(Config{ProbeEvery: 2})
+	if !r2.RecordDecision(0, "a", 1, 0, 0, 0, 0, nil) {
+		t.Fatal("first decision of digest 1 must probe")
+	}
+	if !r2.RecordDecision(0, "b", 2, 0, 0, 0, 0, nil) {
+		t.Fatal("first decision of digest 2 must probe")
+	}
+	r3 := New(Config{ProbeEvery: -1})
+	for i := 0; i < 5; i++ {
+		if r3.RecordDecision(0, "m", 1, 0, 0, 0, 0, nil) {
+			t.Fatal("ProbeEvery < 0 must disable probing")
+		}
+	}
+}
+
+func TestReservoirDeterministicAndBounded(t *testing.T) {
+	mk := func() Snapshot {
+		r := New(Config{Exemplars: 3})
+		for i := 0; i < 50; i++ {
+			r.RecordDecision(0, "m", 9, i, i%5, 0, 0.5, []float64{float64(i)})
+		}
+		return r.Snapshot()
+	}
+	a, b := mk(), mk()
+	if !reflect.DeepEqual(a.Models[0].Exemplars, b.Models[0].Exemplars) {
+		t.Fatal("reservoir not deterministic across reruns")
+	}
+	ex := a.Models[0].Exemplars
+	if len(ex) != 3 {
+		t.Fatalf("reservoir kept %d exemplars, want 3", len(ex))
+	}
+	// The reservoir must not be the trivial first-3 prefix: replacement has
+	// to fire across 50 offers.
+	if ex[0].Block == 0 && ex[1].Block == 1 && ex[2].Block == 2 {
+		t.Fatalf("reservoir never replaced: %+v", ex)
+	}
+}
+
+func TestMergeMatchesSingleStream(t *testing.T) {
+	whole := New(Config{RingSize: -1})
+	feed(whole, 0, 1)
+
+	a, b := New(Config{RingSize: -1}), New(Config{RingSize: -1})
+	feed(a, 0, 2)
+	feed(b, 1, 2)
+	mergedAB := New(Config{RingSize: -1})
+	mergedAB.Merge(a)
+	mergedAB.Merge(b)
+	mergedBA := New(Config{RingSize: -1})
+	mergedBA.Merge(b)
+	mergedBA.Merge(a)
+
+	// Aggregates (applies, guard events, per-kind counts) are order-robust:
+	// any partitioning and merge order yields the same cells. Per-model
+	// probe/margin state follows the decision order within each model's
+	// stream, which interleaved splitting changes, so compare the
+	// placement-invariant parts.
+	ws, ab, ba := whole.Snapshot(), mergedAB.Snapshot(), mergedBA.Snapshot()
+	if !reflect.DeepEqual(ws.Applies, ab.Applies) || !reflect.DeepEqual(ws.Applies, ba.Applies) {
+		t.Fatalf("apply cells diverge:\nwhole: %+v\nab: %+v\nba: %+v", ws.Applies, ab.Applies, ba.Applies)
+	}
+	if !reflect.DeepEqual(ws.GuardEvents, ab.GuardEvents) || !reflect.DeepEqual(ws.GuardEvents, ba.GuardEvents) {
+		t.Fatalf("guard events diverge")
+	}
+	if !reflect.DeepEqual(ab.Applies, ba.Applies) || !reflect.DeepEqual(ab.Models, ba.Models) {
+		t.Fatalf("merge order changed the merged aggregates")
+	}
+	var wd, ad uint64
+	for _, m := range ws.Models {
+		wd += m.Decisions
+	}
+	for _, m := range ab.Models {
+		ad += m.Decisions
+	}
+	if wd != ad {
+		t.Fatalf("decision totals diverge: whole %d, merged %d", wd, ad)
+	}
+}
+
+func TestMergeRingsInTrackOrder(t *testing.T) {
+	a, b := New(Config{}), New(Config{})
+	a.RecordApply(1, "powerlens", "m", 1, 0, 0, 3)
+	a.RecordApply(5, "powerlens", "m", 1, 0, 1, 4)
+	b.RecordApply(1, "powerlens", "m", 1, 0, 2, 5)
+	dst := New(Config{})
+	dst.Merge(a)
+	dst.Merge(b)
+	snap := dst.Snapshot()
+	if len(snap.Tracks) != 2 || snap.Tracks[0].Track != 1 || snap.Tracks[1].Track != 5 {
+		t.Fatalf("track layout wrong: %+v", snap.Tracks)
+	}
+	t1 := snap.Tracks[0].Records
+	if len(t1) != 2 || t1[0].Layer != 0 || t1[1].Layer != 2 {
+		t.Fatalf("track 1 records wrong: %+v", t1)
+	}
+	// Sequence numbers are re-stamped contiguously in merge order.
+	seqs := []uint64{t1[0].Seq, snap.Tracks[1].Records[0].Seq, t1[1].Seq}
+	if seqs[0] != 0 || seqs[1] != 1 || seqs[2] != 2 {
+		t.Fatalf("merged seqs %v, want re-stamped 0,1,2", seqs)
+	}
+}
+
+func TestClockStampsRecords(t *testing.T) {
+	r := New(Config{})
+	now := 3 * time.Second
+	r.SetClock(func() time.Duration { return now })
+	r.RecordApply(0, "powerlens", "m", 1, 0, 0, 2)
+	now = 5 * time.Second
+	r.RecordApply(0, "powerlens", "m", 1, 0, 1, 2)
+	recs := r.Snapshot().Tracks[0].Records
+	if recs[0].AtS != 3 || recs[1].AtS != 5 {
+		t.Fatalf("timestamps %v/%v, want 3/5", recs[0].AtS, recs[1].AtS)
+	}
+}
+
+func TestPLAURoundTrip(t *testing.T) {
+	r := New(Config{RingSize: 8})
+	feed(r, 0, 1)
+	enc := r.EncodeBinary()
+	dec, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r.Snapshot(), dec.Snapshot()) {
+		t.Fatal("decoded snapshot differs from original")
+	}
+	if !bytes.Equal(enc, dec.EncodeBinary()) {
+		t.Fatal("re-encoding a decoded recorder changed the bytes")
+	}
+	// Empty recorder round trip.
+	empty := New(Config{})
+	dec2, err := Decode(empty.EncodeBinary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(empty.Snapshot(), dec2.Snapshot()) {
+		t.Fatal("empty round trip differs")
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	r := New(Config{RingSize: 8})
+	feed(r, 0, 1)
+	enc := r.EncodeBinary()
+
+	if _, err := Decode(nil); err == nil {
+		t.Fatal("nil payload accepted")
+	}
+	if _, err := Decode([]byte("PLQS")); err == nil {
+		t.Fatal("foreign magic accepted")
+	}
+	bad := append([]byte(nil), enc...)
+	bad[4] = 99
+	if _, err := Decode(bad); err == nil {
+		t.Fatal("bad version accepted")
+	}
+	for _, cut := range []int{5, len(enc) / 2, len(enc) - 1} {
+		if _, err := Decode(enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	if _, err := Decode(append(append([]byte(nil), enc...), 0)); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+}
+
+func TestExportTo(t *testing.T) {
+	r := New(Config{ProbeEvery: 2})
+	feed(r, 0, 1)
+	reg := obs.NewRegistry()
+	r.ExportTo(reg)
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	page := buf.String()
+	for _, want := range []string{
+		"# TYPE audit_records_total counter",
+		"# TYPE audit_plan_applies_total counter",
+		"# TYPE audit_guard_events_total counter",
+		"# TYPE audit_decisions_total counter",
+		"# TYPE audit_probes_total counter",
+		"# TYPE audit_probe_agreements_total counter",
+		"# TYPE audit_decision_agreement_ratio gauge",
+		"# TYPE audit_probe_regret summary",
+		"# TYPE audit_decision_margin summary",
+		`audit_records_total{kind="decision"}`,
+		`audit_guard_events_total{event="strike",reason="invalid-level"}`,
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("export page missing %q", want)
+		}
+	}
+	if _, err := obs.CheckPrometheusText(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("exported page fails promcheck: %v", err)
+	}
+}
+
+func TestHashVectorDiscriminates(t *testing.T) {
+	a := HashVector([]float64{1, 2, 3})
+	if a != HashVector([]float64{1, 2, 3}) {
+		t.Fatal("hash not stable")
+	}
+	if a == HashVector([]float64{1, 2, 4}) || a == HashVector([]float64{1, 2}) {
+		t.Fatal("hash does not discriminate")
+	}
+}

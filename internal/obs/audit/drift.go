@@ -1,0 +1,350 @@
+package audit
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+
+	"powerlens/internal/obs/sketch"
+)
+
+// Baseline is the per-dimension distribution of a feature-vector stream:
+// one log-bucket sketch per dimension plus a vector count. The offline
+// pipeline folds the training dataset's raw global-feature vectors into a
+// baseline and persists it as the run's baseline.plqs artifact; the drift
+// monitor compares live traffic against it.
+//
+// Baseline is not synchronized; the training fold is single-threaded and the
+// live side is owned by Drift, which holds its own lock.
+type Baseline struct {
+	dims []*sketch.Sketch
+	n    uint64 // vectors observed
+}
+
+// NewBaseline returns an empty baseline over ndims feature dimensions.
+func NewBaseline(ndims int) *Baseline {
+	b := &Baseline{dims: make([]*sketch.Sketch, ndims)}
+	for i := range b.dims {
+		b.dims[i] = sketch.New()
+	}
+	return b
+}
+
+// NumDims reports the number of feature dimensions.
+func (b *Baseline) NumDims() int {
+	if b == nil {
+		return 0
+	}
+	return len(b.dims)
+}
+
+// Count reports the number of vectors observed.
+func (b *Baseline) Count() uint64 {
+	if b == nil {
+		return 0
+	}
+	return b.n
+}
+
+// Observe folds one feature vector. Vectors shorter than NumDims leave the
+// tail dimensions untouched; extra elements are ignored. Feature values are
+// expected non-negative (the global feature facets are log1p magnitudes and
+// fractions); negatives clamp to the sketch's zero bucket.
+func (b *Baseline) Observe(vec []float64) {
+	if b == nil {
+		return
+	}
+	b.n++
+	for i, s := range b.dims {
+		if i >= len(vec) {
+			break
+		}
+		s.Observe(vec[i])
+	}
+}
+
+// Dim returns the quantile sketch of one feature dimension, or nil when the
+// index is out of range. The returned sketch is live state, not a copy; use
+// it read-only.
+func (b *Baseline) Dim(i int) *sketch.Sketch {
+	if b == nil || i < 0 || i >= len(b.dims) {
+		return nil
+	}
+	return b.dims[i]
+}
+
+// IsBaseline sniffs whether b starts with the "PLAB" baseline magic.
+func IsBaseline(b []byte) bool {
+	return len(b) >= len(plabMagic) && string(b[:len(plabMagic)]) == plabMagic
+}
+
+// Reset empties the baseline while keeping its dimensions.
+func (b *Baseline) Reset() {
+	if b == nil {
+		return
+	}
+	b.n = 0
+	for _, s := range b.dims {
+		s.Reset()
+	}
+}
+
+// Baseline encoding: a "PLAB" container holding one length-prefixed PLQS
+// sketch per dimension. Same conventions as PLQS/PLAU: magic + version,
+// big-endian fixed-width fields, byte-stable.
+const (
+	plabMagic   = "PLAB" // PowerLens Audit Baseline
+	plabVersion = 1
+
+	maxBaselineDims = 1 << 16
+)
+
+// AppendBinary appends the byte-stable "PLAB" encoding of b to dst.
+func (b *Baseline) AppendBinary(dst []byte) []byte {
+	dst = append(dst, plabMagic...)
+	dst = append(dst, plabVersion)
+	if b == nil {
+		dst = binary.BigEndian.AppendUint32(dst, 0)
+		dst = binary.BigEndian.AppendUint64(dst, 0)
+		return dst
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(b.dims)))
+	dst = binary.BigEndian.AppendUint64(dst, b.n)
+	for _, s := range b.dims {
+		enc := s.EncodeBinary()
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(enc)))
+		dst = append(dst, enc...)
+	}
+	return dst
+}
+
+// EncodeBinary returns the byte-stable "PLAB" encoding of b.
+func (b *Baseline) EncodeBinary() []byte {
+	return b.AppendBinary(make([]byte, 0, 256))
+}
+
+// DecodeBaseline parses an encoding produced by Baseline.AppendBinary,
+// validating magic, version and framing.
+func DecodeBaseline(b []byte) (*Baseline, error) {
+	if len(b) < len(plabMagic)+1+4+8 {
+		return nil, fmt.Errorf("audit: baseline payload too short: %d bytes", len(b))
+	}
+	if string(b[:len(plabMagic)]) != plabMagic {
+		return nil, fmt.Errorf("audit: bad baseline magic %q", b[:len(plabMagic)])
+	}
+	if v := b[len(plabMagic)]; v != plabVersion {
+		return nil, fmt.Errorf("audit: unsupported baseline version %d", v)
+	}
+	p := &plauReader{b: b[len(plabMagic)+1:]}
+	ndims := int(p.u32())
+	if ndims > maxBaselineDims {
+		return nil, fmt.Errorf("audit: baseline dimension count %d exceeds cap", ndims)
+	}
+	out := &Baseline{dims: make([]*sketch.Sketch, 0, ndims)}
+	out.n = p.u64()
+	for i := 0; i < ndims && p.err == nil; i++ {
+		out.dims = append(out.dims, p.sketch())
+	}
+	if p.err != nil {
+		return nil, p.err
+	}
+	if len(p.b) != 0 {
+		return nil, fmt.Errorf("audit: %d trailing bytes after baseline", len(p.b))
+	}
+	return out, nil
+}
+
+// DefaultDriftThreshold is the PSI score above which a dimension counts as
+// drifted. The classic credit-scoring rule of thumb calls PSI < 0.1 stable
+// and > 0.25 a significant shift.
+const DefaultDriftThreshold = 0.25
+
+// psiEps is the Laplace smoothing mass added to every bin so empty bins
+// contribute finite divergence.
+const psiEps = 0.5
+
+// psiBins is the number of baseline-quantile bins PSI is computed over — the
+// classic decile binning. Binning at baseline quantiles (rather than over the
+// sketches' raw log buckets) keeps the bin count small and fixed, so the
+// score converges with modest sample counts instead of being dominated by
+// smoothing mass spread across dozens of sparse buckets.
+const psiBins = 10
+
+// psi computes the Population Stability Index between two sketches of the
+// same dimension: live traffic is re-binned at the baseline's quantile edges
+// and the score is sum over bins of (p - q) * ln(p / q) with Laplace-smoothed
+// bin probabilities. Everything derives from integral bucket counts walked in
+// ascending order, so equal sketches produce equal scores regardless of how
+// observations were partitioned before merging. Returns 0 when either side
+// is empty.
+func psi(base, live *sketch.Sketch) float64 {
+	nb, nl := base.Count(), live.Count()
+	if nb == 0 || nl == 0 {
+		return 0
+	}
+	// Bin edges at the baseline's quantiles, deduplicated (a concentrated
+	// distribution collapses neighbouring deciles onto one bucket midpoint).
+	// Bin i covers (edge[i-1], edge[i]]; the last bin is open-ended.
+	edges := make([]float64, 0, psiBins-1)
+	for i := 1; i < psiBins; i++ {
+		e := base.Quantile(float64(i) / psiBins)
+		if len(edges) == 0 || e > edges[len(edges)-1] {
+			edges = append(edges, e)
+		}
+	}
+	cb := psiBinCounts(base, edges)
+	cl := psiBinCounts(live, edges)
+	k := len(edges) + 1
+	denomB := float64(nb) + psiEps*float64(k)
+	denomL := float64(nl) + psiEps*float64(k)
+	var sum float64
+	for i := 0; i < k; i++ {
+		p := (float64(cb[i]) + psiEps) / denomB
+		q := (float64(cl[i]) + psiEps) / denomL
+		sum += (p - q) * math.Log(p/q)
+	}
+	return sum
+}
+
+// psiBinCounts assigns a sketch's mass to the quantile bins: zeros land in
+// the first bin and each occupied log bucket lands in the first bin whose
+// edge is >= its representative value (edges are bucket midpoints themselves,
+// so baseline buckets sitting on an edge map inclusively).
+func psiBinCounts(s *sketch.Sketch, edges []float64) []uint64 {
+	counts := make([]uint64, len(edges)+1)
+	counts[0] = s.Zeros()
+	bin := 0
+	for _, b := range s.Buckets() {
+		v := sketch.BucketValue(b.Index)
+		for bin < len(edges) && v > edges[bin] {
+			bin++
+		}
+		counts[bin] += b.Count
+	}
+	return counts
+}
+
+// Drift compares the live feature distribution against a training-time
+// baseline with a per-dimension PSI score. Safe for concurrent use. A nil
+// *Drift accepts every call and does nothing.
+type Drift struct {
+	mu        sync.Mutex
+	base      *Baseline
+	live      *Baseline
+	threshold float64
+	names     []string
+}
+
+// NewDrift returns a monitor comparing live traffic against base.
+// threshold <= 0 takes DefaultDriftThreshold.
+func NewDrift(base *Baseline, threshold float64) *Drift {
+	if threshold <= 0 {
+		threshold = DefaultDriftThreshold
+	}
+	return &Drift{base: base, live: NewBaseline(base.NumDims()), threshold: threshold}
+}
+
+// SetDimNames attaches human-readable dimension names (features.GlobalDimNames)
+// for status output. The slice is copied.
+func (d *Drift) SetDimNames(names []string) {
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	d.names = append([]string(nil), names...)
+	d.mu.Unlock()
+}
+
+// Observe folds one live feature vector.
+func (d *Drift) Observe(vec []float64) {
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	d.live.Observe(vec)
+	d.mu.Unlock()
+}
+
+// ResetLive empties the live side (e.g. between traffic phases) while
+// keeping the baseline.
+func (d *Drift) ResetLive() {
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	d.live.Reset()
+	d.mu.Unlock()
+}
+
+// Threshold reports the alerting threshold.
+func (d *Drift) Threshold() float64 {
+	if d == nil {
+		return 0
+	}
+	return d.threshold
+}
+
+// DimDrift is one feature dimension's divergence state.
+type DimDrift struct {
+	Dim      int     `json:"dim"`
+	Name     string  `json:"name,omitempty"`
+	Score    float64 `json:"score"`
+	Alerting bool    `json:"alerting"`
+}
+
+// DriftStatus is a deterministic point-in-time view of a drift monitor.
+type DriftStatus struct {
+	Schema        int        `json:"schema"`
+	Threshold     float64    `json:"threshold"`
+	BaselineCount uint64     `json:"baselineCount"`
+	LiveCount     uint64     `json:"liveCount"`
+	MaxScore      float64    `json:"maxScore"`
+	MaxDim        int        `json:"maxDim"`
+	AlertingDims  int        `json:"alertingDims"`
+	Alerting      bool       `json:"alerting"`
+	Dims          []DimDrift `json:"dims"`
+}
+
+// DriftStatusSchema identifies the DriftStatus JSON layout.
+const DriftStatusSchema = 1
+
+// Status scores every dimension. Deterministic: dimensions ascending, PSI
+// accumulation order fixed; equal monitors produce equal statuses.
+func (d *Drift) Status() DriftStatus {
+	st := DriftStatus{Schema: DriftStatusSchema, Dims: []DimDrift{}}
+	if d == nil {
+		return st
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st.Threshold = d.threshold
+	st.BaselineCount = d.base.Count()
+	st.LiveCount = d.live.Count()
+	for i := 0; i < d.base.NumDims(); i++ {
+		dd := DimDrift{Dim: i, Score: psi(d.base.dims[i], d.live.dims[i])}
+		if i < len(d.names) {
+			dd.Name = d.names[i]
+		}
+		dd.Alerting = dd.Score > d.threshold
+		if dd.Alerting {
+			st.AlertingDims++
+			st.Alerting = true
+		}
+		if dd.Score > st.MaxScore {
+			st.MaxScore, st.MaxDim = dd.Score, i
+		}
+		st.Dims = append(st.Dims, dd)
+	}
+	return st
+}
+
+// WriteJSON writes the status as indented JSON; equal monitors write equal
+// bytes. The /drift endpoint and the drift scenario artifact both use this.
+func (d *Drift) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d.Status())
+}

@@ -1,0 +1,177 @@
+package audit
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// fill folds n pseudo-vectors drawn around the given scale into b. The rand
+// source makes the two distributions realistic without being adversarial;
+// seeds are fixed so the test is deterministic.
+func fill(b *Baseline, n int, scale float64, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	vec := make([]float64, b.NumDims())
+	for i := 0; i < n; i++ {
+		for d := range vec {
+			vec[d] = scale * (1 + rng.Float64()) * float64(d+1)
+		}
+		b.Observe(vec)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	b := NewBaseline(5)
+	fill(b, 200, 1.0, 7)
+	enc := b.EncodeBinary()
+	if !bytes.Equal(enc, b.EncodeBinary()) {
+		t.Fatal("encoding not stable")
+	}
+	dec, err := DecodeBaseline(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.NumDims() != 5 || dec.Count() != 200 {
+		t.Fatalf("decoded shape %d dims / %d vecs", dec.NumDims(), dec.Count())
+	}
+	if !bytes.Equal(enc, dec.EncodeBinary()) {
+		t.Fatal("re-encoding a decoded baseline changed the bytes")
+	}
+	// Nil and empty baselines encode and decode too.
+	var nilB *Baseline
+	if _, err := DecodeBaseline(nilB.EncodeBinary()); err != nil {
+		t.Fatalf("nil baseline round trip: %v", err)
+	}
+}
+
+func TestDecodeBaselineRejectsCorruption(t *testing.T) {
+	b := NewBaseline(3)
+	fill(b, 50, 1.0, 1)
+	enc := b.EncodeBinary()
+	if _, err := DecodeBaseline(enc[:8]); err == nil {
+		t.Fatal("truncated baseline accepted")
+	}
+	if _, err := DecodeBaseline([]byte("PLAUxxxxxxxxxxxxxxxx")); err == nil {
+		t.Fatal("foreign magic accepted")
+	}
+	bad := append([]byte(nil), enc...)
+	bad[4] = 9
+	if _, err := DecodeBaseline(bad); err == nil {
+		t.Fatal("bad version accepted")
+	}
+	if _, err := DecodeBaseline(append(append([]byte(nil), enc...), 1)); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+}
+
+func TestPSIQuietOnSameDistribution(t *testing.T) {
+	base := NewBaseline(4)
+	live := NewBaseline(4)
+	fill(base, 400, 1.0, 11)
+	fill(live, 400, 1.0, 22) // same distribution, different draw
+	d := &Drift{base: base, live: live, threshold: DefaultDriftThreshold}
+	st := d.Status()
+	if st.Alerting {
+		t.Fatalf("same-distribution traffic alerted: %+v", st)
+	}
+	if st.MaxScore >= DefaultDriftThreshold {
+		t.Fatalf("max PSI %.3f too close to threshold on same distribution", st.MaxScore)
+	}
+}
+
+func TestPSIDetectsShift(t *testing.T) {
+	base := NewBaseline(4)
+	live := NewBaseline(4)
+	fill(base, 400, 1.0, 11)
+	fill(live, 400, 8.0, 22) // 8x scale shift
+	d := &Drift{base: base, live: live, threshold: DefaultDriftThreshold}
+	st := d.Status()
+	if !st.Alerting || st.AlertingDims != 4 {
+		t.Fatalf("8x shift not detected: %+v", st)
+	}
+	if st.MaxScore <= DefaultDriftThreshold {
+		t.Fatalf("max PSI %.3f under threshold after 8x shift", st.MaxScore)
+	}
+}
+
+func TestPSIEmptySidesQuiet(t *testing.T) {
+	base := NewBaseline(2)
+	fill(base, 100, 1.0, 3)
+	d := NewDrift(base, 0)
+	if st := d.Status(); st.Alerting || st.MaxScore != 0 {
+		t.Fatalf("empty live side must score 0: %+v", st)
+	}
+	if d.Threshold() != DefaultDriftThreshold {
+		t.Fatalf("threshold default wrong: %v", d.Threshold())
+	}
+}
+
+func TestDriftObserveResetAndDeterminism(t *testing.T) {
+	base := NewBaseline(3)
+	fill(base, 300, 1.0, 5)
+	mk := func() []byte {
+		d := NewDrift(base, 0.3)
+		d.SetDimNames([]string{"a", "b", "c"})
+		vec := []float64{10, 20, 30}
+		for i := 0; i < 50; i++ {
+			d.Observe(vec)
+		}
+		var buf bytes.Buffer
+		if err := d.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(mk(), mk()) {
+		t.Fatal("drift status JSON not deterministic")
+	}
+
+	d := NewDrift(base, 0.3)
+	for i := 0; i < 50; i++ {
+		d.Observe([]float64{100, 200, 300})
+	}
+	if st := d.Status(); !st.Alerting {
+		t.Fatalf("shifted live traffic must alert: %+v", st)
+	}
+	d.ResetLive()
+	st := d.Status()
+	if st.LiveCount != 0 || st.Alerting || st.MaxScore != 0 {
+		t.Fatalf("ResetLive left state behind: %+v", st)
+	}
+	if st.BaselineCount != 300 {
+		t.Fatalf("ResetLive touched the baseline: %+v", st)
+	}
+}
+
+func TestNilDriftIsNoOp(t *testing.T) {
+	var d *Drift
+	d.Observe([]float64{1})
+	d.ResetLive()
+	d.SetDimNames([]string{"x"})
+	if st := d.Status(); st.Alerting || len(st.Dims) != 0 {
+		t.Fatalf("nil drift status not empty: %+v", st)
+	}
+}
+
+func TestDriftInSnapshotAndExport(t *testing.T) {
+	base := NewBaseline(2)
+	fill(base, 200, 1.0, 9)
+	d := NewDrift(base, 0.25)
+	d.SetDimNames([]string{"flops", "params"})
+	for i := 0; i < 100; i++ {
+		d.Observe([]float64{50, 60})
+	}
+	r := New(Config{})
+	r.AttachDrift(d)
+	if r.DriftMonitor() != d {
+		t.Fatal("DriftMonitor lost the attachment")
+	}
+	snap := r.Snapshot()
+	if snap.Drift == nil || !snap.Drift.Alerting {
+		t.Fatalf("snapshot missing drift state: %+v", snap.Drift)
+	}
+	if !reflect.DeepEqual(*snap.Drift, d.Status()) {
+		t.Fatal("snapshot drift differs from monitor status")
+	}
+}

@@ -1,0 +1,367 @@
+package audit
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+
+	"powerlens/internal/obs/sketch"
+)
+
+// Encoding constants. The "PLAU" container follows the PLQS conventions:
+// magic + version prefix, fixed-width big-endian fields, every map walked in
+// sorted key order, so equal recorders always encode to equal bytes and
+// Decode rejects foreign or stale payloads.
+const (
+	plauMagic   = "PLAU" // PowerLens AUdit
+	plauVersion = 1
+
+	maxPlauStr = 1 << 10 // defensive cap on decoded string lengths
+)
+
+func appendStr(b []byte, s string) []byte {
+	if len(s) > maxPlauStr {
+		s = s[:maxPlauStr]
+	}
+	b = binary.BigEndian.AppendUint16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+func appendRecord(b []byte, rec Record) []byte {
+	b = binary.BigEndian.AppendUint64(b, rec.Seq)
+	b = binary.BigEndian.AppendUint64(b, uint64(rec.At))
+	b = append(b, byte(rec.Kind))
+	b = appendStr(b, rec.Source)
+	b = appendStr(b, rec.Model)
+	b = binary.BigEndian.AppendUint64(b, rec.Digest)
+	b = binary.BigEndian.AppendUint32(b, uint32(rec.Block))
+	b = binary.BigEndian.AppendUint32(b, uint32(rec.Layer))
+	b = binary.BigEndian.AppendUint32(b, uint32(rec.Level))
+	b = binary.BigEndian.AppendUint32(b, uint32(rec.Runner))
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(rec.Margin))
+	b = binary.BigEndian.AppendUint64(b, rec.Feat)
+	b = appendStr(b, rec.Reason)
+	return b
+}
+
+// AppendBinary appends the byte-stable "PLAU" encoding of r to b and returns
+// the extended slice. Equal recorders encode to equal bytes regardless of the
+// order events or merges happened in. The attached drift monitor is not part
+// of the encoding (baselines have their own "PLAB" container; see Baseline).
+func (r *Recorder) AppendBinary(b []byte) []byte {
+	snap := struct {
+		kinds   [numKinds]uint64
+		dropped uint64
+		tracks  []int
+		rings   [][]Record
+		applies []applyKey
+		cells   []applyCell
+		guards  []guardKey
+		gcounts []uint64
+		digests []uint64
+		models  []*modelAudit
+	}{}
+	if r != nil {
+		r.mu.Lock()
+		snap.kinds = r.kinds
+		snap.dropped = r.dropped
+		snap.tracks = sortedTracks(r.tracks)
+		for _, t := range snap.tracks {
+			snap.rings = append(snap.rings, r.tracks[t].ordered())
+		}
+		snap.applies = sortedApplyKeys(r.applies)
+		for _, k := range snap.applies {
+			snap.cells = append(snap.cells, *r.applies[k])
+		}
+		snap.guards = sortedGuardKeys(r.guards)
+		for _, k := range snap.guards {
+			snap.gcounts = append(snap.gcounts, r.guards[k])
+		}
+		snap.digests = sortedModelDigests(r.models)
+		for _, d := range snap.digests {
+			snap.models = append(snap.models, r.models[d])
+		}
+		defer r.mu.Unlock()
+	}
+
+	b = append(b, plauMagic...)
+	b = append(b, plauVersion)
+	for k := Kind(1); k < numKinds; k++ {
+		b = binary.BigEndian.AppendUint64(b, snap.kinds[k])
+	}
+	b = binary.BigEndian.AppendUint64(b, snap.dropped)
+
+	b = binary.BigEndian.AppendUint32(b, uint32(len(snap.tracks)))
+	for i, t := range snap.tracks {
+		b = binary.BigEndian.AppendUint32(b, uint32(t))
+		b = binary.BigEndian.AppendUint32(b, uint32(len(snap.rings[i])))
+		for _, rec := range snap.rings[i] {
+			b = appendRecord(b, rec)
+		}
+	}
+
+	b = binary.BigEndian.AppendUint32(b, uint32(len(snap.applies)))
+	for i, k := range snap.applies {
+		b = binary.BigEndian.AppendUint64(b, k.Digest)
+		b = binary.BigEndian.AppendUint32(b, uint32(k.Block))
+		b = binary.BigEndian.AppendUint32(b, uint32(k.Layer))
+		b = binary.BigEndian.AppendUint32(b, uint32(k.Level))
+		b = appendStr(b, snap.cells[i].name)
+		b = binary.BigEndian.AppendUint64(b, snap.cells[i].count)
+	}
+
+	b = binary.BigEndian.AppendUint32(b, uint32(len(snap.guards)))
+	for i, k := range snap.guards {
+		b = appendStr(b, k.Event)
+		b = appendStr(b, k.Reason)
+		b = binary.BigEndian.AppendUint64(b, snap.gcounts[i])
+	}
+
+	b = binary.BigEndian.AppendUint32(b, uint32(len(snap.digests)))
+	for i, d := range snap.digests {
+		m := snap.models[i]
+		b = binary.BigEndian.AppendUint64(b, d)
+		b = appendStr(b, m.name)
+		b = binary.BigEndian.AppendUint64(b, m.decisions)
+		b = binary.BigEndian.AppendUint64(b, m.probes)
+		b = binary.BigEndian.AppendUint64(b, m.agrees)
+		b = binary.BigEndian.AppendUint64(b, m.seen)
+		b = appendSketch(b, m.margin)
+		b = appendSketch(b, m.regret)
+		b = binary.BigEndian.AppendUint32(b, uint32(len(m.exemplars)))
+		for _, e := range m.exemplars {
+			b = binary.BigEndian.AppendUint32(b, uint32(e.Block))
+			b = binary.BigEndian.AppendUint32(b, uint32(e.Level))
+			b = binary.BigEndian.AppendUint32(b, uint32(len(e.Vec)))
+			for _, v := range e.Vec {
+				b = binary.BigEndian.AppendUint64(b, math.Float64bits(v))
+			}
+		}
+	}
+	return b
+}
+
+func appendSketch(b []byte, s *sketch.Sketch) []byte {
+	enc := s.EncodeBinary()
+	b = binary.BigEndian.AppendUint32(b, uint32(len(enc)))
+	return append(b, enc...)
+}
+
+// EncodeBinary returns the byte-stable "PLAU" encoding of r.
+func (r *Recorder) EncodeBinary() []byte {
+	return r.AppendBinary(make([]byte, 0, 1024))
+}
+
+// plauReader is a cursor over a PLAU payload whose reads validate remaining
+// length before every access, so truncated or corrupted payloads error out
+// instead of panicking or fabricating state.
+type plauReader struct {
+	b   []byte
+	err error
+}
+
+func (p *plauReader) fail(format string, args ...any) {
+	if p.err == nil {
+		p.err = fmt.Errorf("audit: "+format, args...)
+	}
+}
+
+func (p *plauReader) take(n int) []byte {
+	if p.err != nil {
+		return nil
+	}
+	if len(p.b) < n {
+		p.fail("payload truncated: want %d bytes, have %d", n, len(p.b))
+		return nil
+	}
+	out := p.b[:n]
+	p.b = p.b[n:]
+	return out
+}
+
+func (p *plauReader) u8() uint8 {
+	b := p.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (p *plauReader) u16() uint16 {
+	b := p.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+func (p *plauReader) u32() uint32 {
+	b := p.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (p *plauReader) u64() uint64 {
+	b := p.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (p *plauReader) str() string {
+	n := int(p.u16())
+	if n > maxPlauStr {
+		p.fail("string length %d exceeds cap", n)
+		return ""
+	}
+	b := p.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+func (p *plauReader) f64() float64 { return math.Float64frombits(p.u64()) }
+func (p *plauReader) i32() int32   { return int32(p.u32()) }
+
+func (p *plauReader) sketch() *sketch.Sketch {
+	n := int(p.u32())
+	b := p.take(n)
+	if b == nil {
+		return sketch.New()
+	}
+	s, err := sketch.Decode(b)
+	if err != nil {
+		p.fail("embedded sketch: %v", err)
+		return sketch.New()
+	}
+	return s
+}
+
+func (p *plauReader) record() Record {
+	rec := Record{
+		Seq: p.u64(), At: time.Duration(p.u64()), Kind: Kind(p.u8()),
+	}
+	rec.Source = p.str()
+	rec.Model = p.str()
+	rec.Digest = p.u64()
+	rec.Block = p.i32()
+	rec.Layer = p.i32()
+	rec.Level = p.i32()
+	rec.Runner = p.i32()
+	rec.Margin = p.f64()
+	rec.Feat = p.u64()
+	rec.Reason = p.str()
+	if p.err == nil && (rec.Kind == 0 || rec.Kind >= numKinds) {
+		p.fail("invalid record kind %d", rec.Kind)
+	}
+	return rec
+}
+
+// IsPLAU reports whether b starts with the PLAU magic, for format sniffing
+// (the audit CLI accepts both PLAU and snapshot-JSON files).
+func IsPLAU(b []byte) bool {
+	return len(b) >= len(plauMagic) && string(b[:len(plauMagic)]) == plauMagic
+}
+
+// Decode parses an encoding produced by AppendBinary/EncodeBinary into a
+// recorder with default configuration. Every length is validated before use;
+// truncated, trailing-garbage or internally-inconsistent payloads return an
+// error rather than a bogus recorder.
+func Decode(b []byte) (*Recorder, error) {
+	if !IsPLAU(b) {
+		return nil, fmt.Errorf("audit: bad magic in %d-byte payload", len(b))
+	}
+	p := &plauReader{b: b[len(plauMagic):]}
+	if v := p.u8(); p.err == nil && v != plauVersion {
+		return nil, fmt.Errorf("audit: unsupported version %d", v)
+	}
+	r := New(Config{})
+	for k := Kind(1); k < numKinds; k++ {
+		r.kinds[k] = p.u64()
+	}
+	r.dropped = p.u64()
+
+	ntracks := int(p.u32())
+	var prevTrack int
+	for i := 0; i < ntracks && p.err == nil; i++ {
+		track := int(int32(p.u32()))
+		if i > 0 && track <= prevTrack {
+			p.fail("tracks not strictly ascending at %d", track)
+			break
+		}
+		prevTrack = track
+		nrecs := int(p.u32())
+		rg := &ring{}
+		for j := 0; j < nrecs && p.err == nil; j++ {
+			rec := p.record()
+			// Decoded rings keep every record: caps grow to payload size
+			// so a decode → snapshot round trip is lossless.
+			rg.push(rec, max(nrecs, r.cfg.RingSize))
+			if rec.Seq >= r.seq {
+				r.seq = rec.Seq + 1
+			}
+		}
+		r.tracks[track] = rg
+	}
+
+	napplies := int(p.u32())
+	for i := 0; i < napplies && p.err == nil; i++ {
+		k := applyKey{Digest: p.u64(), Block: p.i32(), Layer: p.i32(), Level: p.i32()}
+		name := p.str()
+		count := p.u64()
+		if p.err == nil && count == 0 {
+			p.fail("zero-count apply cell")
+			break
+		}
+		r.applies[k] = &applyCell{name: name, count: count}
+	}
+
+	nguards := int(p.u32())
+	for i := 0; i < nguards && p.err == nil; i++ {
+		k := guardKey{Event: p.str(), Reason: p.str()}
+		r.guards[k] = p.u64()
+	}
+
+	nmodels := int(p.u32())
+	for i := 0; i < nmodels && p.err == nil; i++ {
+		d := p.u64()
+		m := &modelAudit{name: p.str()}
+		m.decisions = p.u64()
+		m.probes = p.u64()
+		m.agrees = p.u64()
+		m.seen = p.u64()
+		m.margin = p.sketch()
+		m.regret = p.sketch()
+		nex := int(p.u32())
+		for j := 0; j < nex && p.err == nil; j++ {
+			e := Exemplar{Block: p.i32(), Level: p.i32()}
+			dim := int(p.u32())
+			if dim > 1<<16 {
+				p.fail("exemplar dimension %d exceeds cap", dim)
+				break
+			}
+			e.Vec = make([]float64, 0, dim)
+			for v := 0; v < dim && p.err == nil; v++ {
+				e.Vec = append(e.Vec, p.f64())
+			}
+			m.exemplars = append(m.exemplars, e)
+		}
+		if p.err == nil && m.agrees > m.probes {
+			p.fail("model %016x: %d agreements exceed %d probes", d, m.agrees, m.probes)
+			break
+		}
+		r.models[d] = m
+	}
+	if p.err != nil {
+		return nil, p.err
+	}
+	if len(p.b) != 0 {
+		return nil, fmt.Errorf("audit: %d trailing bytes after payload", len(p.b))
+	}
+	return r, nil
+}

@@ -1,0 +1,183 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"powerlens/internal/obs/audit"
+)
+
+// fixedRecorder builds a deterministic audit recorder covering every snapshot
+// section: ring records on two tracks, apply and guard aggregates, a probed
+// model with exemplars, and an attached drift monitor with one shifted
+// dimension.
+func fixedRecorder() *audit.Recorder {
+	rec := audit.New(audit.Config{RingSize: 8, Exemplars: 2, ProbeEvery: 2, Seed: 1})
+	var at time.Duration
+	rec.SetClock(func() time.Duration { at += time.Millisecond; return at })
+
+	base := audit.NewBaseline(2)
+	live := [][]float64{{1, 10}, {2, 11}, {1.5, 10.5}, {2.5, 9.5}}
+	for i := 0; i < 64; i++ {
+		base.Observe([]float64{1 + float64(i%4)*0.5, 9 + float64(i%3)})
+	}
+	d := audit.NewDrift(base, 0.25)
+	d.SetDimNames([]string{"flops", "depth"})
+	rec.AttachDrift(d)
+	for i := 0; i < 16; i++ {
+		d.Observe([]float64{live[i%4][0], 100 + live[i%4][1]}) // dim 1 shifted far out
+	}
+
+	for i := 0; i < 4; i++ {
+		if rec.RecordDecision(1, "alexnet", 0xabcd, i, 3, 5, 0.25+float64(i)*0.1, []float64{1, 2}) {
+			rec.RecordProbe(1, "alexnet", 0xabcd, i, 3, 3, 0.05)
+		}
+	}
+	rec.RecordApply(1, "powerlens", "alexnet", 0xabcd, 0, 0, 3)
+	rec.RecordApply(1, "powerlens", "alexnet", 0xabcd, 1, 4, 7)
+	rec.RecordGuard(2, "strike", "broken", 3, "invalid-level")
+	rec.RecordGuard(2, "failover", "broken", 3, "invalid-level")
+	rec.RecordGuard(2, "recovery", "broken", 5, "")
+	return rec
+}
+
+// responseText renders status line, sorted headers and body — the golden
+// format shared with the /metrics and /slo pins.
+func responseText(t *testing.T, h http.Handler, path string) (string, []byte) {
+	t.Helper()
+	rec := get(t, h, path)
+	var sb strings.Builder
+	res := rec.Result()
+	fmt.Fprintf(&sb, "%s %s\n", res.Proto, res.Status)
+	keys := make([]string, 0, len(res.Header))
+	for k := range res.Header {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "%s: %s\n", k, strings.Join(res.Header[k], ", "))
+	}
+	sb.WriteString("\n")
+	body, _ := io.ReadAll(res.Body)
+	sb.Write(body)
+	return sb.String(), body
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden: %v (run `go test -update ./internal/obs/serve` to create it)", err)
+	}
+	if got != string(want) {
+		t.Fatalf("response drifted from golden %s:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestAuditHTTPGolden pins the exact HTTP response bytes of /audit for a
+// fixed recorder. A diff means the audit surface drifted — update
+// deliberately with `go test -update ./internal/obs/serve`.
+func TestAuditHTTPGolden(t *testing.T) {
+	s := New(fixedObserver(), nil)
+	s.SetAudit(fixedRecorder())
+	got, body := responseText(t, s.Handler(), "/audit")
+	checkGolden(t, "audit_http.golden", got)
+
+	var snap audit.Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("/audit body is not a Snapshot: %v", err)
+	}
+	if snap.Records == 0 || len(snap.Applies) != 2 || len(snap.GuardEvents) != 3 ||
+		len(snap.Models) != 1 || snap.Drift == nil {
+		t.Fatalf("/audit snapshot incomplete: %+v", snap)
+	}
+}
+
+// TestDriftHTTPGolden pins /drift: the standalone drift status with the
+// shifted dimension alerting.
+func TestDriftHTTPGolden(t *testing.T) {
+	s := New(fixedObserver(), nil)
+	s.SetAudit(fixedRecorder())
+	got, body := responseText(t, s.Handler(), "/drift")
+	checkGolden(t, "drift_http.golden", got)
+
+	var st audit.DriftStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("/drift body is not a DriftStatus: %v", err)
+	}
+	if !st.Alerting || st.MaxDim != 1 || len(st.Dims) != 2 {
+		t.Fatalf("/drift status wrong: %+v", st)
+	}
+}
+
+// TestHealthzGolden pins the /healthz schema: the volatile fields (uptime,
+// toolchain version) are normalized to zero values, the rest must match the
+// golden byte for byte — including the always-rendered "status": "ok" that
+// liveness greps key on.
+func TestHealthzGolden(t *testing.T) {
+	s := New(fixedObserver(), nil)
+	s.SetAudit(fixedRecorder())
+	rec := get(t, s.Handler(), "/healthz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/healthz = %d", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), `"status": "ok"`) {
+		t.Fatalf("/healthz lost the literal status rendering:\n%s", rec.Body.String())
+	}
+	var h Health
+	if err := json.Unmarshal(rec.Body.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Schema != HealthSchema || h.GoVersion == "" || h.UptimeSeconds < 0 {
+		t.Fatalf("healthz build info wrong: %+v", h)
+	}
+	h.UptimeSeconds = 0
+	h.GoVersion = ""
+	norm, err := json.MarshalIndent(h, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "healthz.golden", string(norm)+"\n")
+}
+
+// TestAuditEndpointsDetach pins the 404 contract: both endpoints refuse until
+// a recorder is attached, /drift additionally until a monitor is, and
+// detaching restores the 404s.
+func TestAuditEndpointsDetach(t *testing.T) {
+	s := New(nil, nil)
+	h := s.Handler()
+	for _, path := range []string{"/audit", "/drift"} {
+		if rec := get(t, h, path); rec.Code != http.StatusNotFound {
+			t.Fatalf("%s without a recorder = %d, want 404", path, rec.Code)
+		}
+	}
+	bare := audit.New(audit.Config{})
+	s.SetAudit(bare)
+	if rec := get(t, h, "/audit"); rec.Code != http.StatusOK {
+		t.Fatalf("/audit with recorder = %d", rec.Code)
+	}
+	if rec := get(t, h, "/drift"); rec.Code != http.StatusNotFound {
+		t.Fatalf("/drift without a monitor = %d, want 404", rec.Code)
+	}
+	s.SetAudit(nil)
+	if rec := get(t, h, "/audit"); rec.Code != http.StatusNotFound {
+		t.Fatalf("/audit after detach = %d, want 404", rec.Code)
+	}
+}

@@ -11,7 +11,11 @@
 //	GET /metrics          Prometheus text exposition (version 0.0.4)
 //	GET /metrics.json     registry snapshot as JSON family array
 //	GET /slo              SLO tracker status: objectives, burn rates, alerts
-//	GET /healthz          liveness + coarse telemetry counts
+//	GET /audit            decision-audit snapshot: records, applies, guard
+//	                      events, per-model calibration (agreement/regret)
+//	GET /drift            feature-drift status: per-dimension PSI scores vs
+//	                      the training baseline, alert state
+//	GET /healthz          liveness + schema/build info + coarse telemetry counts
 //	GET /runs             run-manifest index (runlog store)
 //	GET /runs/{id}        one run's manifest
 //	GET /runs/{id}/trace  Chrome trace_event JSON; the live tracer when the
@@ -32,11 +36,13 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"powerlens/internal/obs"
+	"powerlens/internal/obs/audit"
 	"powerlens/internal/obs/runlog"
 	"powerlens/internal/obs/slo"
 )
@@ -44,12 +50,20 @@ import (
 // ContentTypePrometheus is the scrape content type for /metrics.
 const ContentTypePrometheus = "text/plain; version=0.0.4; charset=utf-8"
 
-// Health is the /healthz payload.
+// HealthSchema identifies the /healthz payload layout; bump it when fields
+// change meaning so probes can gate on what they are parsing.
+const HealthSchema = 1
+
+// Health is the /healthz payload. Status stays the first field and always
+// renders ("status": "ok"), so cheap liveness greps keep working.
 type Health struct {
 	Status         string  `json:"status"`
+	Schema         int     `json:"schema"`
+	GoVersion      string  `json:"goVersion"`
 	UptimeSeconds  float64 `json:"uptimeSeconds"`
 	MetricFamilies int     `json:"metricFamilies"`
 	TraceEvents    int     `json:"traceEvents"`
+	AuditRecords   uint64  `json:"auditRecords,omitempty"`
 	Runs           int     `json:"runs,omitempty"`
 	LiveRun        string  `json:"liveRun,omitempty"`
 }
@@ -60,6 +74,7 @@ type Server struct {
 	src     atomic.Pointer[obs.Observer]
 	liveRun atomic.Pointer[string]
 	slo     atomic.Pointer[slo.Tracker]
+	audit   atomic.Pointer[audit.Recorder]
 	runs    *runlog.Store
 	started time.Time
 
@@ -100,6 +115,10 @@ func (s *Server) SetLiveRun(id string) { s.liveRun.Store(&id) }
 // (/slo then answers 404).
 func (s *Server) SetSLO(t *slo.Tracker) { s.slo.Store(t) }
 
+// SetAudit atomically swaps the audit recorder /audit and /drift read; nil
+// detaches it (both then answer 404).
+func (s *Server) SetAudit(rec *audit.Recorder) { s.audit.Store(rec) }
+
 func (s *Server) observer() *obs.Observer { return s.src.Load() }
 
 func (s *Server) liveRunID() string {
@@ -115,6 +134,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /metrics.json", s.handleMetricsJSON)
 	mux.HandleFunc("GET /slo", s.handleSLO)
+	mux.HandleFunc("GET /audit", s.handleAudit)
+	mux.HandleFunc("GET /drift", s.handleDrift)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /runs", s.handleRuns)
 	mux.HandleFunc("GET /runs/{id}", s.handleRun)
@@ -179,11 +200,61 @@ func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
 	w.Write(buf.Bytes())
 }
 
+// handleAudit serves the decision-audit recorder's deterministic snapshot:
+// ring records per track, plan-apply and guard aggregates, per-model
+// calibration (agreement ratio, regret quantiles) and, when a drift monitor
+// is attached, the drift status inline.
+func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
+	rec := s.audit.Load()
+	if rec == nil {
+		http.Error(w, "no audit recorder configured", http.StatusNotFound)
+		return
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteJSON(&buf); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Cache-Control", "no-store")
+	w.Header().Set("Content-Length", fmt.Sprint(buf.Len()))
+	w.Write(buf.Bytes())
+}
+
+// handleDrift serves the attached drift monitor's status on its own: the
+// per-dimension PSI scores against the training baseline and the alert
+// state, without the rest of the audit snapshot.
+func (s *Server) handleDrift(w http.ResponseWriter, r *http.Request) {
+	rec := s.audit.Load()
+	if rec == nil || rec.DriftMonitor() == nil {
+		http.Error(w, "no drift monitor configured", http.StatusNotFound)
+		return
+	}
+	var buf bytes.Buffer
+	if err := rec.DriftMonitor().WriteJSON(&buf); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Cache-Control", "no-store")
+	w.Header().Set("Content-Length", fmt.Sprint(buf.Len()))
+	w.Write(buf.Bytes())
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	h := Health{Status: "ok", UptimeSeconds: time.Since(s.started).Seconds(), LiveRun: s.liveRunID()}
+	h := Health{
+		Status:        "ok",
+		Schema:        HealthSchema,
+		GoVersion:     runtime.Version(),
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		LiveRun:       s.liveRunID(),
+	}
 	if o := s.observer(); o != nil {
 		h.MetricFamilies = len(o.Metrics.Snapshot())
 		h.TraceEvents = o.Tracer.Len()
+	}
+	if rec := s.audit.Load(); rec != nil {
+		h.AuditRecords = rec.Snapshot().Records
 	}
 	if s.runs != nil {
 		if ms, err := s.runs.List(); err == nil {

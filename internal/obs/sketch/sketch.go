@@ -232,6 +232,42 @@ func (s *Sketch) Quantile(p float64) float64 {
 	return s.max
 }
 
+// BucketCount is one occupied log bucket and its observation count, as
+// returned by Buckets.
+type BucketCount struct {
+	Index uint32
+	Count uint64
+}
+
+// BucketValue returns the representative (midpoint) value of a bucket index —
+// the same value Quantile reports for observations landing in that bucket.
+// It is a pure function of the index, so derived statistics (histogram
+// re-binning, divergence scores) are deterministic across runs and merges.
+func BucketValue(index uint32) float64 { return bucketMid(index) }
+
+// Buckets returns the occupied log buckets in ascending index order. Zero
+// observations are not bucketed (see Zeros). The slice is freshly allocated;
+// callers may keep it.
+func (s *Sketch) Buckets() []BucketCount {
+	if s == nil || len(s.counts) == 0 {
+		return nil
+	}
+	out := make([]BucketCount, 0, len(s.counts))
+	for _, idx := range s.sortedIndexes() {
+		out = append(out, BucketCount{Index: idx, Count: s.counts[idx]})
+	}
+	return out
+}
+
+// Zeros reports the number of observations of exactly zero (including
+// clamped negative/NaN/Inf inputs), which occupy no log bucket.
+func (s *Sketch) Zeros() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.zeros
+}
+
 // sortedIndexes returns the bucket indexes in ascending order, rebuilding the
 // cache only after inserts introduced a new bucket.
 func (s *Sketch) sortedIndexes() []uint32 {

@@ -308,3 +308,98 @@ func BenchmarkMerge(b *testing.B) {
 		}
 	}
 }
+
+func TestQuantileEmptySketch(t *testing.T) {
+	s := New()
+	for _, p := range []float64{-1, 0, 0.5, 1, 2} {
+		if q := s.Quantile(p); q != 0 {
+			t.Fatalf("empty sketch Quantile(%v) = %v, want 0", p, q)
+		}
+	}
+	var nilS *Sketch
+	if q := nilS.Quantile(0.5); q != 0 {
+		t.Fatalf("nil sketch Quantile = %v, want 0", q)
+	}
+}
+
+func TestQuantileSingleSample(t *testing.T) {
+	s := New()
+	s.Observe(3.5)
+	if got := s.Quantile(0); got != 3.5 {
+		t.Fatalf("Quantile(0) = %v, want exact min 3.5", got)
+	}
+	if got := s.Quantile(1); got != 3.5 {
+		t.Fatalf("Quantile(1) = %v, want exact max 3.5", got)
+	}
+	for _, p := range []float64{0.01, 0.5, 0.99} {
+		got := s.Quantile(p)
+		if rel := math.Abs(got-3.5) / 3.5; rel > 0.025 {
+			t.Fatalf("Quantile(%v) = %v, want within one bucket of 3.5", p, got)
+		}
+	}
+}
+
+func TestQuantileClamping(t *testing.T) {
+	s := New()
+	for i := 1; i <= 100; i++ {
+		s.Observe(float64(i))
+	}
+	// p outside [0, 1] clamps to the exact extremes.
+	if got := s.Quantile(-0.5); got != 1 {
+		t.Fatalf("Quantile(-0.5) = %v, want exact min 1", got)
+	}
+	if got := s.Quantile(0); got != 1 {
+		t.Fatalf("Quantile(0) = %v, want exact min 1", got)
+	}
+	if got := s.Quantile(1); got != 100 {
+		t.Fatalf("Quantile(1) = %v, want exact max 100", got)
+	}
+	if got := s.Quantile(1.5); got != 100 {
+		t.Fatalf("Quantile(1.5) = %v, want exact max 100", got)
+	}
+	// Interior quantiles stay within the bucketed error bound and ordered.
+	prev := 0.0
+	for _, p := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		got := s.Quantile(p)
+		if got < prev {
+			t.Fatalf("Quantile(%v) = %v below previous %v", p, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestBucketsAndZeros(t *testing.T) {
+	var nilS *Sketch
+	if nilS.Buckets() != nil || nilS.Zeros() != 0 {
+		t.Fatal("nil sketch must report no buckets and no zeros")
+	}
+	s := New()
+	if s.Buckets() != nil {
+		t.Fatal("empty sketch must report no buckets")
+	}
+	s.Observe(0)
+	s.Observe(-4) // clamps to zero
+	s.Observe(2)
+	s.Observe(2)
+	s.Observe(8)
+	if got := s.Zeros(); got != 2 {
+		t.Fatalf("Zeros = %d, want 2", got)
+	}
+	bs := s.Buckets()
+	if len(bs) != 2 {
+		t.Fatalf("Buckets = %+v, want 2 entries", bs)
+	}
+	if bs[0].Index >= bs[1].Index {
+		t.Fatalf("buckets not ascending: %+v", bs)
+	}
+	if bs[0].Count != 2 || bs[1].Count != 1 {
+		t.Fatalf("bucket counts %+v, want 2 then 1", bs)
+	}
+	var total uint64
+	for _, b := range bs {
+		total += b.Count
+	}
+	if total+s.Zeros() != s.Count() {
+		t.Fatalf("bucket counts %d + zeros %d != n %d", total, s.Zeros(), s.Count())
+	}
+}

@@ -97,6 +97,15 @@ type modelState struct {
 	lat     *sketch.Sketch
 }
 
+// DriftAlert is one feature dimension whose live distribution diverged past
+// the drift threshold (see obs/audit's PSI monitor).
+type DriftAlert struct {
+	Dim       int     `json:"dim"`
+	Name      string  `json:"name,omitempty"`
+	Score     float64 `json:"score"`
+	Threshold float64 `json:"threshold"`
+}
+
 // Tracker accumulates SLO events. Safe for concurrent use, though the
 // executor feeds it sequentially in simulated-time order.
 type Tracker struct {
@@ -104,6 +113,7 @@ type Tracker struct {
 	cfg    Config
 	models map[string]*modelState
 	now    time.Duration // latest event time seen
+	drift  []DriftAlert
 }
 
 // New returns a Tracker with cfg (zero fields defaulted).
@@ -117,6 +127,19 @@ func (t *Tracker) ConfigView() Config {
 		return Config{}
 	}
 	return t.cfg
+}
+
+// SetDrift installs the current model-drift alerts (dimensions whose PSI
+// divergence exceeded the threshold). The slice is copied; passing nil or an
+// empty slice clears the alerts. Any active drift alert makes the overall
+// Status alerting.
+func (t *Tracker) SetDrift(alerts []DriftAlert) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.drift = append(t.drift[:0], alerts...)
+	t.mu.Unlock()
 }
 
 // RecordPass records one completed pass for a model at simulated time `at`
@@ -243,7 +266,11 @@ type Status struct {
 	PowerBudgetW    float64       `json:"powerBudgetW,omitempty"`
 	Windows         []BurnWindow  `json:"burnWindows"`
 	Models          []ModelStatus `json:"models"`
-	Alerting        bool          `json:"alerting"`
+	// Drift lists feature dimensions currently past the drift threshold;
+	// omitted when no drift monitor is wired in or nothing is alerting, so
+	// pre-drift Status bytes are unchanged.
+	Drift    []DriftAlert `json:"drift,omitempty"`
+	Alerting bool         `json:"alerting"`
 }
 
 // StatusSchema identifies the Status JSON layout.
@@ -317,6 +344,10 @@ func (t *Tracker) Snapshot() Status {
 		st.Alerting = st.Alerting || ms.Alerting
 		st.Models = append(st.Models, ms)
 	}
+	if len(t.drift) > 0 {
+		st.Drift = append([]DriftAlert(nil), t.drift...)
+		st.Alerting = true
+	}
 	return st
 }
 
@@ -381,6 +412,7 @@ func (t *Tracker) HeadlineMetrics() map[string]float64 {
 		"slo_violations":      float64(viol),
 		"slo_max_long_burn":   maxBurn,
 		"slo_models_alerting": alerting,
+		"slo_drift_alerts":    float64(len(st.Drift)),
 	}
 	if passes > 0 {
 		h["slo_violation_rate"] = float64(viol) / float64(passes)

@@ -31,6 +31,11 @@ type Data struct {
 	// SLO is the attributed-run snapshot behind the energy-breakdown and
 	// burn-rate section.
 	SLO *experiments.SLOData
+
+	// Drift is the decision-provenance snapshot behind the audit/drift
+	// section: two-phase live traffic with the audit recorder and the PSI
+	// drift monitor attached.
+	Drift *experiments.DriftData
 }
 
 // ResilienceTasks is the task-flow length of the report's resilience
@@ -108,6 +113,11 @@ func Collect(env *experiments.Env, numTasks int) (*Data, error) {
 		return nil, err
 	}
 	d.SLO = sd
+	dr, err := experiments.Drift(env, hw.TX2(), experiments.DriftOptions{Seed: 42})
+	if err != nil {
+		return nil, err
+	}
+	d.Drift = dr
 	return d, nil
 }
 
@@ -193,6 +203,12 @@ func WriteHTML(w io.Writer, d *Data) error {
 		fmt.Fprintf(&b, "<p class=\"meta\">Guarded %d-task flow (seed %d) with the energy-attribution ledger and the multi-window burn-rate tracker attached: per-model latency objectives, per-DVFS-level energy breakdown, and (model, block, level) attribution cells. Regenerate with <code>experiments slo</code>; serve live with <code>experiments slo -serve :8080</code> and <code>GET /slo</code>.</p>\n",
 			s.Opt.Tasks, s.Opt.Seed)
 		fmt.Fprintf(&b, "<pre>%s</pre>\n", escape(experiments.RenderSLO(s)))
+	}
+	if dr := d.Drift; dr != nil {
+		fmt.Fprintf(&b, "<h2>Decision provenance &amp; model drift — %s</h2>\n", dr.Platform)
+		fmt.Fprintf(&b, "<p class=\"meta\">Two-phase live traffic (%d networks per phase, %d fully audited, seed %d) against the deployed framework with the decision-audit recorder and the PSI drift monitor attached. Phase one draws from the training distribution and must stay quiet; phase two injects a generator shift and must alert. Calibration probes re-run the oracle sweep on sampled decisions. Regenerate with <code>experiments drift</code>; serve live with <code>experiments drift -serve :8080</code> and <code>GET /audit</code>, <code>GET /drift</code>.</p>\n",
+			dr.Opt.Traffic, dr.Opt.Networks, dr.Opt.Seed)
+		fmt.Fprintf(&b, "<pre>%s</pre>\n", escape(experiments.RenderDrift(dr)))
 	}
 	fmt.Fprintf(&b, "<p class=\"meta\">Generated by cmd/experiments report. Runtime substrate: analytic Jetson simulator (DESIGN.md §3).</p>\n")
 	b.WriteString("</body></html>\n")

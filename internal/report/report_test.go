@@ -95,6 +95,8 @@ func TestWriteHTML(t *testing.T) {
 			"TX2": {{Method: "PowerLens", EnergyJ: 1, Time: time.Second, EE: 1}},
 		},
 		SLO: &experiments.SLOData{Platform: "TX2", Opt: experiments.SLOOptions{Tasks: 5, Seed: 42}},
+		Drift: &experiments.DriftData{Platform: "TX2",
+			Opt: experiments.DriftOptions{Traffic: 16, Networks: 2, Seed: 42}},
 	}
 	var sb strings.Builder
 	if err := WriteHTML(&sb, d); err != nil {
@@ -103,7 +105,8 @@ func TestWriteHTML(t *testing.T) {
 	out := sb.String()
 	for _, want := range []string{"<!DOCTYPE html>", "PowerLens reproduction report",
 		"Table 1 — TX2", "resnet152", "Figure 1", "svg", "42 random networks",
-		"Energy attribution &amp; SLO burn rates — TX2", "experiments slo"} {
+		"Energy attribution &amp; SLO burn rates — TX2", "experiments slo",
+		"Decision provenance &amp; model drift — TX2", "experiments drift"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("HTML missing %q", want)
 		}

@@ -1,0 +1,32 @@
+package sim
+
+import (
+	"time"
+
+	"powerlens/internal/obs/audit"
+)
+
+// AuditSink is implemented by controllers that emit decision-provenance
+// records (see internal/obs/audit): the PowerLens plan governors record every
+// plan application, the Guard records strikes, failovers and recoveries. The
+// executor wires its recorder into the controller at every reset — including
+// a nil recorder, so a controller instance reused across runs never keeps
+// emitting into a stale recorder from a previous configuration.
+type AuditSink interface {
+	SetAudit(rec *audit.Recorder, track int)
+}
+
+// auditReset installs the run's audit state: the simulated-time clock on the
+// recorder (audit records are timestamped on the same clock as spans and SLO
+// events) and the recorder itself on the controller when it can emit. Like
+// Obs and Ledger, the recorder never feeds back into the simulation — with
+// Audit nil the controller's emission sites are single nil checks and the
+// hot step loop is untouched.
+func (e *Executor) auditReset() {
+	if e.Audit != nil {
+		e.Audit.SetClock(func() time.Duration { return e.sensor.Now() })
+	}
+	if s, ok := e.Ctl.(AuditSink); ok {
+		s.SetAudit(e.Audit, e.AuditTrack)
+	}
+}

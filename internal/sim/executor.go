@@ -13,6 +13,7 @@ import (
 	"powerlens/internal/graph"
 	"powerlens/internal/hw"
 	"powerlens/internal/obs"
+	"powerlens/internal/obs/audit"
 	"powerlens/internal/obs/ledger"
 	"powerlens/internal/obs/slo"
 )
@@ -193,6 +194,15 @@ type Executor struct {
 	// vs the max-frequency reference, energy, violations) on the simulated
 	// clock.
 	SLO *slo.Tracker
+	// Audit, when non-nil, is wired into the controller at reset (when the
+	// controller implements AuditSink) so plan applications and guard
+	// interventions land in the decision-audit trail on the simulated clock.
+	// Records flow under track AuditTrack. Nil keeps the exact unaudited
+	// code path (see audit.go).
+	Audit *audit.Recorder
+	// AuditTrack keys this executor's records in the shared recorder; cloud
+	// runs give each node its own track.
+	AuditTrack int
 	// QoSBudget is the allowed per-pass GPU-time degradation before a pass
 	// counts as a QoS violation (default DefaultQoSBudget).
 	QoSBudget float64
@@ -270,6 +280,9 @@ func (e *Executor) reset() {
 		e.sensor = hw.NewPowerSensor(e.SensorPeriod)
 	}
 	e.Ctl.Reset(e.Platform)
+	// Wire the audit sink before the first GPULevel consultation below: a
+	// guard may already strike on it, and that intervention must be recorded.
+	e.auditReset()
 	e.gpuLevel = e.Platform.ClampGPULevel(e.Ctl.GPULevel())
 	e.switches = 0
 	e.images = 0
