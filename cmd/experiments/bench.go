@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"powerlens/internal/experiments"
 )
@@ -13,6 +15,7 @@ import (
 // runBench drives the seeded benchmark harness:
 //
 //	experiments bench [-name N] [-seed S] [-smoke] [-repeats R] [-filter G] [-o F]
+//	                  [-cpuprofile F] [-memprofile F]
 //	experiments bench compare [-slack X] OLD.json NEW.json
 //	experiments bench validate FILE...
 //
@@ -47,13 +50,42 @@ func benchRun(args []string, stdout, stderr io.Writer) error {
 	repeats := fs.Int("repeats", 0, "timed repetitions per measurement, fastest kept (0 = default)")
 	filter := fs.String("filter", "", `run only sections whose group matches the substring (e.g. "offline")`)
 	out := fs.String("o", "", `output path (default BENCH_<name>.json; "-" = print only)`)
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the bench run to the given file")
+	memprofile := fs.String("memprofile", "", "write a heap profile taken after the bench run to the given file")
 	fs.Parse(args)
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	r, err := experiments.RunBench(experiments.BenchOptions{
 		Name: *name, Seed: *seed, Smoke: *smoke, Repeats: *repeats, Filter: *filter,
 	})
 	if err != nil {
 		return err
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return err
+		}
+		runtime.GC() // settle the heap so the profile shows live state, not garbage
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
 	}
 	fmt.Fprint(stdout, experiments.RenderBenchReport(r))
 

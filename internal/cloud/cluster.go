@@ -74,6 +74,21 @@ type Config struct {
 	// (Config.RingSize < 0) when comparing exports across shard counts.
 	Audit *audit.Recorder
 
+	// Macro, when non-nil, is the shared flow-summary cache threaded through
+	// every executor the run creates — the dry-run service probes and the
+	// per-node task-flow simulations, on both dispatchers — enabling the
+	// analytic fast-forward of sim (macro.go) with single-flight fill across
+	// nodes. Macro runs force SensorPeriod=0 on those executors (the
+	// per-node power-sample trace is incompatible with fast-forward), so set
+	// TraceOff on a reference run when byte-comparing macro against micro.
+	// Executors that demote (fault injection, obs, audit) micro-step
+	// automatically; results are bit-identical either way.
+	Macro *sim.SummaryCache
+	// TraceOff disables the per-node power-sample trace without enabling
+	// macro-stepping: the micro-stepped reference configuration for
+	// macro-vs-micro identity checks.
+	TraceOff bool
+
 	// Shards > 1 enables the sharded work-stealing dispatcher (dispatch.go):
 	// nodes are partitioned round-robin into shards, jobs are admitted in
 	// arrival-ordered batches, each shard dispatches to its own nodes
@@ -167,6 +182,49 @@ func (r Result) Headline() map[string]float64 {
 	return h
 }
 
+// svcKey identifies a dry-run service time: the graph's canonical digest plus
+// the image count. The digest — not the model name — is the identity: two
+// registered configurations can share a name while differing in structure, and
+// keying on the name alone would serve one config's latency and energy to the
+// other's dispatch decisions.
+type svcKey struct {
+	digest uint64
+	images int
+}
+
+// svcKeys memoizes graph digests by pointer for one run. Writes happen only in
+// sequential phases (runSingle's dispatch loop; runSharded's fill-phase scan,
+// which keys every batch job before the concurrent phases start), so the
+// concurrent dispatch phase only ever reads the memo.
+type svcKeys struct {
+	digests map[*graph.Graph]uint64
+}
+
+func newSvcKeys() *svcKeys { return &svcKeys{digests: map[*graph.Graph]uint64{}} }
+
+func (s *svcKeys) key(j Job) svcKey {
+	d, ok := s.digests[j.Graph]
+	if !ok {
+		d = graph.Digest(j.Graph)
+		s.digests[j.Graph] = d
+	}
+	return svcKey{digest: d, images: j.Images}
+}
+
+// newDryRunExecutor builds the executor for a dispatch-plan service probe: a
+// fresh fault-free controller at the cluster's batch setting, sharing the
+// run's macro cache when one is configured (probe and node simulations hit
+// the same flow summaries).
+func newDryRunExecutor(cfg Config) *sim.Executor {
+	e := sim.NewExecutor(cfg.Platform, cfg.NewCtl())
+	e.Batch = cfg.Batch
+	if cfg.Macro != nil || cfg.TraceOff {
+		e.SensorPeriod = 0
+		e.Summaries = cfg.Macro
+	}
+	return e
+}
+
 // queuedJob tracks a job through dispatch, preserving its original arrival
 // for turnaround accounting across failovers.
 type queuedJob struct {
@@ -227,14 +285,14 @@ func runSingle(cfg Config, jobs []Job) (Result, error) {
 
 	// Per-model service cache (dry run on a fresh, fault-free controller:
 	// dispatch plans with nominal latencies; faults hit the real run).
-	serviceCache := map[string]sim.Result{}
+	serviceCache := map[svcKey]sim.Result{}
+	keys := newSvcKeys()
 	service := func(j Job) sim.Result {
-		key := fmt.Sprintf("%s/%d", j.Graph.Name, j.Images)
+		key := keys.key(j)
 		if r, ok := serviceCache[key]; ok {
 			return r
 		}
-		e := sim.NewExecutor(cfg.Platform, cfg.NewCtl())
-		e.Batch = cfg.Batch
+		e := newDryRunExecutor(cfg)
 		r := e.RunTask(j.Graph, j.Images)
 		serviceCache[key] = r
 		return r
@@ -353,6 +411,15 @@ func finishRun(cfg Config, nodes []nodeState, crashAt []time.Duration, res Resul
 			defer wg.Done()
 			e := sim.NewExecutor(cfg.Platform, cfg.NewCtl())
 			e.Batch = cfg.Batch
+			if cfg.Macro != nil || cfg.TraceOff {
+				// Macro nodes share the run's summary cache (single-flight
+				// fill across node goroutines). Executors with demoting
+				// attachments below — a live injector, obs, audit — fall back
+				// to micro-stepping on their own; either way the node result
+				// is bit-identical to the micro reference.
+				e.SensorPeriod = 0
+				e.Summaries = cfg.Macro
+			}
 			e.Faults = hw.NewInjector(cfg.Faults.ForNode(n))
 			if no := cfg.Obs.ForTrack(nodeTrackBase + n); no != nil {
 				no.Metrics = obs.NewRegistry()

@@ -135,12 +135,12 @@ func runSharded(cfg Config, numShards int, jobs []Job) (Result, error) {
 	crashAt := cfg.Faults.CrashTimes(cfg.Nodes)
 
 	// Shared service cache. Written only during the sequential part of the
-	// fill phase; the concurrent dispatch phase reads it for keys the fill
-	// phase guaranteed are present (failovers and steals reuse a batch
-	// job's own key).
-	serviceCache := map[string]sim.Result{}
-	svcKey := func(j Job) string { return j.Graph.Name + "/" + strconv.Itoa(j.Images) }
-	svc := func(j Job) sim.Result { return serviceCache[svcKey(j)] }
+	// fill phase (which also memoizes every batch job's graph digest); the
+	// concurrent dispatch phase reads it for keys the fill phase guaranteed
+	// are present (failovers and steals reuse a batch job's own key).
+	serviceCache := map[svcKey]sim.Result{}
+	keys := newSvcKeys()
+	svc := func(j Job) sim.Result { return serviceCache[keys.key(j)] }
 
 	var mJobs, mNodesLost, mLostEnergy, mShardJobs, mSteals obs.Counter
 	if cfg.Obs != nil {
@@ -170,7 +170,7 @@ func runSharded(cfg Config, numShards int, jobs []Job) (Result, error) {
 		batch := pending[:n]
 		pending = pending[n:]
 
-		fillServiceCache(cfg, serviceCache, svcKey, batch)
+		fillServiceCache(cfg, serviceCache, keys, batch)
 
 		// Home assignment: global admission counter round-robin, so the
 		// partition depends only on arrival order. Each shard's queue stays
@@ -230,11 +230,11 @@ func runSharded(cfg Config, numShards int, jobs []Job) (Result, error) {
 // parallel and commits the results in admission order. A dry run uses a
 // fresh executor and controller, so its result is a pure function of the
 // key — worker assignment cannot change what gets cached.
-func fillServiceCache(cfg Config, cache map[string]sim.Result, key func(Job) string, batch []queuedJob) {
+func fillServiceCache(cfg Config, cache map[svcKey]sim.Result, keys *svcKeys, batch []queuedJob) {
 	var missing []Job
-	seen := map[string]bool{}
+	seen := map[svcKey]bool{}
 	for _, j := range batch {
-		k := key(j.Job)
+		k := keys.key(j.Job)
 		if _, ok := cache[k]; !ok && !seen[k] {
 			seen[k] = true
 			missing = append(missing, j.Job)
@@ -246,14 +246,13 @@ func fillServiceCache(cfg Config, cache map[string]sim.Result, key func(Job) str
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			e := sim.NewExecutor(cfg.Platform, cfg.NewCtl())
-			e.Batch = cfg.Batch
+			e := newDryRunExecutor(cfg)
 			results[i] = e.RunTask(missing[i].Graph, missing[i].Images)
 		}(i)
 	}
 	wg.Wait()
 	for i, j := range missing {
-		cache[key(j)] = results[i]
+		cache[keys.key(j)] = results[i]
 	}
 }
 

@@ -555,7 +555,19 @@ func CompareBench(old, cur *BenchReport, slack float64) ([]BenchDelta, bool) {
 		case om.Value == nm.Value:
 			d.Pct = 0
 		case om.Value == 0:
+			// Zero baseline: no relative scale exists, so the verdict rides on
+			// the absolute movement. ±100 is a display sentinel (negative
+			// means worse, matching the signed convention below), and any
+			// worse-direction movement off zero regresses regardless of
+			// tolerance or slack — a percentage of a zero base excuses
+			// nothing.
 			d.Pct = 100
+			if (nm.Value < 0) == om.HigherIsBetter {
+				d.Pct = -100
+				d.Regressed, regressed = true, true
+			}
+			out = append(out, d)
+			continue
 		default:
 			d.Pct = (nm.Value - om.Value) / om.Value * 100
 		}

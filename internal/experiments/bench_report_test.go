@@ -51,6 +51,7 @@ func TestRunBenchSmoke(t *testing.T) {
 		{"analyze_ns_uncached", "online"},
 		{"analyze_ns_cached", "online"},
 		{"executor_step_allocs", "online"},
+		{"dispatch_jobs_per_s_micro", "online"},
 		{"dispatch_jobs_per_s", "online"},
 	}
 	if len(r.Metrics) != len(want) {
@@ -143,8 +144,8 @@ func TestRunBenchOnlineSection(t *testing.T) {
 		}
 		byName[m.Name] = m
 	}
-	if len(byName) != 4 {
-		t.Fatalf("online section produced %d metrics, want 4: %+v", len(byName), r.Metrics)
+	if len(byName) != 5 {
+		t.Fatalf("online section produced %d metrics, want 5: %+v", len(byName), r.Metrics)
 	}
 	uncached, cached := byName["analyze_ns_uncached"], byName["analyze_ns_cached"]
 	if uncached.Value <= 0 || cached.Value <= 0 {
@@ -158,8 +159,15 @@ func TestRunBenchOnlineSection(t *testing.T) {
 	if allocs := byName["executor_step_allocs"]; allocs.Value != 0 {
 		t.Fatalf("steady-state executor stepping allocates: %v allocs/step", allocs.Value)
 	}
-	if tput := byName["dispatch_jobs_per_s"]; tput.Value <= 0 || !tput.HigherIsBetter {
-		t.Fatalf("dispatch throughput not measured sanely: %+v", tput)
+	tput, micro := byName["dispatch_jobs_per_s"], byName["dispatch_jobs_per_s_micro"]
+	if tput.Value <= 0 || !tput.HigherIsBetter || micro.Value <= 0 || !micro.HigherIsBetter {
+		t.Fatalf("dispatch throughput not measured sanely: %+v / %+v", tput, micro)
+	}
+	// The macro-stepped fleet path must beat its micro-stepped oracle — the
+	// whole point of the warm summary cache (typically by >10x; >1x keeps the
+	// bound robust to CI noise).
+	if tput.Value <= micro.Value {
+		t.Fatalf("macro dispatch %v jobs/s not faster than micro %v jobs/s", tput.Value, micro.Value)
 	}
 }
 
@@ -276,6 +284,50 @@ func TestCompareBench(t *testing.T) {
 		Metrics: []BenchMetric{{Name: "m", Value: 4, Unit: "u", HigherIsBetter: true, Tolerance: 0.1}}}
 	if ds, reg := CompareBench(zero, some, 1); reg || ds[0].Pct != 100 {
 		t.Fatalf("zero-base delta: %+v", ds)
+	}
+}
+
+// TestCompareBenchZeroBaseline pins the absolute-movement semantics for
+// metrics whose committed baseline is exactly zero: relative deltas are
+// undefined there, so any movement in the worse direction regresses
+// unconditionally (no tolerance or slack applies), movement in the better
+// direction passes, and the displayed Pct collapses to a ±100 sentinel.
+func TestCompareBenchZeroBaseline(t *testing.T) {
+	cases := []struct {
+		name           string
+		higherIsBetter bool
+		old, new       float64
+		wantPct        float64
+		wantRegressed  bool
+	}{
+		{"higher-is-better improves", true, 0, 4, 100, false},
+		{"higher-is-better goes negative", true, 0, -0.5, -100, true},
+		{"lower-is-better worsens", false, 0, 0.01, -100, true},
+		{"lower-is-better improves", false, 0, -2, 100, false},
+		{"stays zero", true, 0, 0, 0, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			metric := func(v float64) []BenchMetric {
+				return []BenchMetric{{
+					Name: "m", Value: v, Unit: "u",
+					HigherIsBetter: tc.higherIsBetter, Tolerance: 0.5,
+				}}
+			}
+			old := &BenchReport{Schema: 1, Name: "old", Metrics: metric(tc.old)}
+			cur := &BenchReport{Schema: 1, Name: "new", Metrics: metric(tc.new)}
+			// Slack 1000 would forgive any relative delta; off a zero
+			// baseline it must be irrelevant in both directions.
+			ds, regressed := CompareBench(old, cur, 1000)
+			if len(ds) != 1 {
+				t.Fatalf("deltas = %+v", ds)
+			}
+			d := ds[0]
+			if d.Pct != tc.wantPct || d.Regressed != tc.wantRegressed || regressed != tc.wantRegressed {
+				t.Fatalf("got Pct=%v Regressed=%v (report %v), want Pct=%v Regressed=%v",
+					d.Pct, d.Regressed, regressed, tc.wantPct, tc.wantRegressed)
+			}
+		})
 	}
 }
 

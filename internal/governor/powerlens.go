@@ -72,6 +72,43 @@ func compileBlocks(plan *FrequencyPlan, g *graph.Graph, buf []int) []int {
 	return blocks
 }
 
+// macroNoPlanDigest keys passes during which a plan controller applies no
+// level changes at all (it holds no plan for the running graph). Any two
+// such passes are behaviourally identical regardless of which plan the
+// controller carries, so they deliberately share one digest.
+const macroNoPlanDigest = 1
+
+// hashSchedule digests a compiled flat schedule and block index (FNV-1a over
+// the slice values and lengths). Equal digests mean identical per-layer
+// level sequences and block attribution — exactly what the executor's
+// flow-summary cache keys on (sim.MacroSteppable.MacroPlanDigest).
+func hashSchedule(sched, blocks []int) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	mix(uint64(len(sched)))
+	for _, v := range sched {
+		mix(uint64(int64(v)))
+	}
+	mix(uint64(len(blocks)))
+	for _, v := range blocks {
+		mix(uint64(int64(v)))
+	}
+	if h == macroNoPlanDigest {
+		h++ // keep the no-plan sentinel unambiguous
+	}
+	return h
+}
+
 // PowerLens applies a FrequencyPlan at its preset instrumentation points.
 // It needs no runtime feedback: frequencies are decided offline per power
 // block, which is what eliminates the reactive baselines' ping-pong and lag.
@@ -91,6 +128,7 @@ type PowerLens struct {
 	sched         []int
 	blocks        []int
 	schedDigest   uint64
+	planDigest    uint64 // hashSchedule of (sched, blocks), for macro keys
 
 	// Decision-audit sink (installed by the executor via SetAudit; nil — the
 	// default — keeps BeforeLayer on the exact unaudited path).
@@ -154,8 +192,37 @@ func (pl *PowerLens) ensureSched(g *graph.Graph) {
 		pl.sched = compileSchedule(pl.Plan, g, pl.platform, pl.sched)
 		pl.blocks = compileBlocks(pl.Plan, g, pl.blocks)
 		pl.schedDigest = graph.Digest(g)
+		pl.planDigest = hashSchedule(pl.sched, pl.blocks)
 		pl.schedPlan, pl.schedGraph, pl.schedPlatform = pl.Plan, g, pl.platform
 	}
+}
+
+// MacroPlanDigest implements sim.MacroSteppable: the digest of the compiled
+// schedule the controller applies to g (a pure function of plan, graph and
+// platform, reusing the flat schedules BeforeLayer compiles). Graphs the
+// plan does not cover share the no-plan sentinel — such passes apply no
+// level changes whatever the plan.
+func (pl *PowerLens) MacroPlanDigest(g *graph.Graph) (uint64, bool) {
+	if pl.Plan == nil || pl.Plan.Model != g.Name {
+		return macroNoPlanDigest, true
+	}
+	pl.ensureSched(g)
+	return pl.planDigest, true
+}
+
+// MacroWindowInert implements sim.MacroSteppable: OnWindow is a pure no-op
+// and levels change only at instrumentation points.
+func (pl *PowerLens) MacroWindowInert() bool { return true }
+
+// MacroAdvancePass implements sim.MacroSteppable: after a replayed pass the
+// plan position is warm and the level sits at the pass's exit level —
+// exactly where micro-stepping the pass would have left it.
+func (pl *PowerLens) MacroAdvancePass(g *graph.Graph, exitGPULevel int) {
+	if pl.Plan == nil || pl.Plan.Model != g.Name {
+		return // no instrumentation point fired; nothing changed
+	}
+	pl.ensureSched(g)
+	pl.level = exitGPULevel
 }
 
 // BlockIndex implements sim.BlockResolver: the power block the layer belongs
@@ -176,9 +243,10 @@ func (pl *PowerLens) BlockIndex(g *graph.Graph, layerID int) int {
 func (pl *PowerLens) OnWindow(sim.WindowStats) {}
 
 var (
-	_ sim.Controller    = (*PowerLens)(nil)
-	_ sim.BlockResolver = (*PowerLens)(nil)
-	_ sim.AuditSink     = (*PowerLens)(nil)
+	_ sim.Controller     = (*PowerLens)(nil)
+	_ sim.BlockResolver  = (*PowerLens)(nil)
+	_ sim.AuditSink      = (*PowerLens)(nil)
+	_ sim.MacroSteppable = (*PowerLens)(nil)
 )
 
 // MultiPlan serves a task flow of different models: it dispatches
@@ -205,11 +273,12 @@ type MultiPlan struct {
 // inputs they were compiled from (for staleness checks). The graph digest is
 // computed once per entry so audited applications stay digest-free per layer.
 type mpSchedule struct {
-	plan     *FrequencyPlan
-	platform *hw.Platform
-	sched    []int
-	blocks   []int
-	digest   uint64
+	plan       *FrequencyPlan
+	platform   *hw.Platform
+	sched      []int
+	blocks     []int
+	digest     uint64
+	planDigest uint64 // hashSchedule of (sched, blocks), for macro keys
 }
 
 // maxCompiledSchedules bounds MultiPlan's schedule cache; serving loops that
@@ -280,9 +349,32 @@ func (m *MultiPlan) scheduleFor(g *graph.Graph, plan *FrequencyPlan) *mpSchedule
 	if e.plan != plan || e.platform != m.platform {
 		e.sched = compileSchedule(plan, g, m.platform, e.sched)
 		e.blocks = compileBlocks(plan, g, e.blocks)
+		e.planDigest = hashSchedule(e.sched, e.blocks)
 		e.plan, e.platform = plan, m.platform
 	}
 	return e
+}
+
+// MacroPlanDigest implements sim.MacroSteppable (see PowerLens).
+func (m *MultiPlan) MacroPlanDigest(g *graph.Graph) (uint64, bool) {
+	plan, ok := m.Plans[g.Name]
+	if !ok {
+		return macroNoPlanDigest, true
+	}
+	return m.scheduleFor(g, plan).planDigest, true
+}
+
+// MacroWindowInert implements sim.MacroSteppable.
+func (m *MultiPlan) MacroWindowInert() bool { return true }
+
+// MacroAdvancePass implements sim.MacroSteppable.
+func (m *MultiPlan) MacroAdvancePass(g *graph.Graph, exitGPULevel int) {
+	plan, ok := m.Plans[g.Name]
+	if !ok {
+		return
+	}
+	m.scheduleFor(g, plan)
+	m.level = exitGPULevel
 }
 
 // BlockIndex implements sim.BlockResolver: the power block under the plan
@@ -303,7 +395,8 @@ func (m *MultiPlan) BlockIndex(g *graph.Graph, layerID int) int {
 func (m *MultiPlan) OnWindow(sim.WindowStats) {}
 
 var (
-	_ sim.Controller    = (*MultiPlan)(nil)
-	_ sim.BlockResolver = (*MultiPlan)(nil)
-	_ sim.AuditSink     = (*MultiPlan)(nil)
+	_ sim.Controller     = (*MultiPlan)(nil)
+	_ sim.BlockResolver  = (*MultiPlan)(nil)
+	_ sim.AuditSink      = (*MultiPlan)(nil)
+	_ sim.MacroSteppable = (*MultiPlan)(nil)
 )

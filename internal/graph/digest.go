@@ -65,7 +65,14 @@ func (h *digest64) shape(s Shape) {
 // exactly the inputs the PowerLens analysis workflow reads. Rebuilding a
 // model from its builder yields the same digest; changing any op, shape,
 // attribute or edge changes it.
+//
+// The value is memoized on the graph (builder appends invalidate it), so
+// repeated digests of a finished graph — every task the fleet fast-forwards
+// keys its flow summary by digest — cost one atomic load.
 func Digest(g *Graph) uint64 {
+	if d := g.digestMemo.Load(); d != 0 {
+		return d
+	}
 	h := digest64(fnvOffset64)
 	h.str(digestVersion)
 	h.str(g.Name)
@@ -97,6 +104,9 @@ func Digest(g *Graph) uint64 {
 		h.i64(l.fusedFLOPs)
 		h.i64(l.fusedParams)
 	}
+	// A true digest of 0 (1-in-2^64) is indistinguishable from "not cached"
+	// and simply recomputes every call — correct either way.
+	g.digestMemo.Store(uint64(h))
 	return uint64(h)
 }
 

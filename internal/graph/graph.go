@@ -1,6 +1,9 @@
 package graph
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Graph is a DAG of layers in topological order (builder methods only ever
 // reference already-added layers, so construction order is a valid
@@ -8,6 +11,11 @@ import "fmt"
 type Graph struct {
 	Name   string
 	Layers []*Layer
+
+	// digestMemo caches Digest's value (0 = not computed yet); builder
+	// appends clear it. Atomic because fleet node goroutines digest shared
+	// graphs concurrently.
+	digestMemo atomic.Uint64
 }
 
 // New returns an empty graph with the given name.
@@ -17,6 +25,7 @@ func New(name string) *Graph { return &Graph{Name: name} }
 func (g *Graph) add(l *Layer) *Layer {
 	l.ID = len(g.Layers)
 	g.Layers = append(g.Layers, l)
+	g.digestMemo.Store(0)
 	return l
 }
 

@@ -67,6 +67,22 @@ func (s *PowerSensor) Advance(d time.Duration, powerW, freqHz float64) {
 	s.lastFreq = freqHz
 }
 
+// FastForward advances the sensor across a precomputed span: the clock moves
+// by d and the integrated energy is set to energyJ — the caller replays the
+// span's per-event accumulation itself so the value is bit-identical to
+// stepping through the span. lastPowerW/lastFreqHz restore the
+// piecewise-constant carry at the span's end. Only valid with the sample
+// trace off (Period <= 0): fast-forwarded spans emit no samples.
+func (s *PowerSensor) FastForward(d time.Duration, energyJ, lastPowerW, lastFreqHz float64) {
+	if d < 0 {
+		panic("hw: PowerSensor.FastForward with negative duration")
+	}
+	s.now += d
+	s.energyJ = energyJ
+	s.lastPower = lastPowerW
+	s.lastFreq = lastFreqHz
+}
+
 // Now returns the current simulation time.
 func (s *PowerSensor) Now() time.Duration { return s.now }
 

@@ -101,6 +101,34 @@ func (l *Ledger) RecordSegment(k Key, name string, busy time.Duration, energyJ f
 	l.mu.Unlock()
 }
 
+// Quantize converts joules to the ledger's native nanojoule unit, exactly as
+// RecordSegment does per event. Exported for callers that aggregate segment
+// events outside the ledger (the executor's flow summaries) and later apply
+// them through AddSegments: quantizing per event before summing keeps the
+// aggregate equal to what the per-event calls would have accumulated.
+func Quantize(energyJ float64) uint64 { return toNJ(energyJ) }
+
+// AddSegments attributes an aggregated batch of layer executions to a cell
+// in one call: ops executions totalling busy GPU time and energyNJ
+// nanojoules (per-event quantized; see Quantize). Because cell state is
+// integral, this is exactly equivalent to ops individual RecordSegment
+// calls — the macro-stepping executor applies whole-pass deltas through it.
+func (l *Ledger) AddSegments(k Key, name string, ops uint64, busy time.Duration, energyNJ uint64) {
+	if l == nil || ops == 0 {
+		return
+	}
+	l.mu.Lock()
+	c, ok := l.cells[k]
+	if !ok {
+		c = &cell{name: name}
+		l.cells[k] = c
+	}
+	c.ops += ops
+	c.busy += busy
+	c.energyNJ += energyNJ
+	l.mu.Unlock()
+}
+
 // RecordPass records one completed inference pass for a model: its wall
 // latency, energy, and whether it violated the QoS budget.
 func (l *Ledger) RecordPass(digest uint64, name string, wall time.Duration, energyJ float64, violated bool) {

@@ -210,6 +210,13 @@ type Executor struct {
 	// (Result.LevelEnergyJ / LevelTime) without attaching a ledger or SLO
 	// sink.
 	TrackLevels bool
+	// Summaries, when non-nil, enables macro-stepping (macro.go): passes of
+	// a MacroSteppable controller are fast-forwarded from cached
+	// FlowSummaries, bit-identical to micro-stepping them. The cache may be
+	// shared across executors (cluster nodes); fills are single-flight.
+	// Incompatible sinks (faults, obs, audit, thermal, the sample trace)
+	// demote the run to micro-stepping automatically.
+	Summaries *SummaryCache
 
 	thermal *hw.ThermalState
 
@@ -258,6 +265,12 @@ type Executor struct {
 	ctlName  string
 	segStart time.Duration // start of the current frequency-residency block
 	segLevel int           // level of the current residency block
+
+	// Macro-stepping state (see macro.go).
+	macroCtl    MacroSteppable // e.Ctl when it implements MacroSteppable
+	windowInert bool           // window segmentation skipped this run
+	macroOK     bool           // fast-forward eligible this run
+	rec         *macroRecorder // non-nil while recording a representative pass
 }
 
 // NewExecutor returns an executor with default periods.
@@ -299,11 +312,26 @@ func (e *Executor) reset() {
 	e.haveStats = false
 	e.attribReset()
 	e.obsReset()
+	e.macroReset()
 }
 
 // advance accounts an interval with given power, busy flags, and compute
-// utilization, ticking governor windows as they fill.
+// utilization, ticking governor windows as they fill. In window-inert mode
+// (macro.go) the window bookkeeping is skipped entirely: nothing consumes it
+// — OnWindow no-ops, ticks never change the applied level — and skipping it
+// makes the advance sequence of a pass independent of its window offset.
 func (e *Executor) advance(d time.Duration, powerW float64, gpuBusy, cpuBusy bool, computeUt float64) {
+	if e.rec != nil {
+		e.rec.note(d, powerW, computeUt, e.gpuLevel, gpuBusy, cpuBusy)
+	}
+	if e.windowInert {
+		e.sensor.Advance(d, powerW, e.Platform.GPUFreqsHz[e.gpuLevel])
+		if e.attrib {
+			e.levelEnergy[e.gpuLevel] += powerW * d.Seconds()
+			e.levelTime[e.gpuLevel] += d
+		}
+		return
+	}
 	for d > 0 {
 		room := e.WindowPeriod - e.winElapsed
 		step := d
@@ -338,6 +366,11 @@ func (e *Executor) advance(d time.Duration, powerW float64, gpuBusy, cpuBusy boo
 // tickWindow delivers a completed window to the controller and applies any
 // requested frequency change.
 func (e *Executor) tickWindow() {
+	if e.rec != nil {
+		// A window boundary split the pass being recorded: its advance
+		// sequence depends on the window offset, so it cannot be a summary.
+		e.abortRecording()
+	}
 	period := e.winElapsed
 	stats := WindowStats{
 		Period:   period,
@@ -573,6 +606,11 @@ func (e *Executor) runImage(g *graph.Graph) {
 		if e.Ledger != nil {
 			e.recordSegment(g, w.id, c.Time, c.PowerW*c.Time.Seconds())
 		}
+		if e.rec != nil {
+			// Cell deltas are recorded whether or not this executor carries a
+			// ledger — the summary may later replay on one that does.
+			e.rec.noteSeg(g, w.id, c.Time, c.PowerW*c.Time.Seconds(), e.gpuLevel)
+		}
 		overlap := c.Time
 		if overlap > cpuRemaining {
 			overlap = cpuRemaining
@@ -592,6 +630,9 @@ func (e *Executor) runImage(g *graph.Graph) {
 	}
 	e.images += batch
 	e.finishPass(g, passStart, passEnergy, gpuBusy)
+	if e.rec != nil {
+		e.finishRecording(batch, gpuBusy)
+	}
 }
 
 // opWork is one layer's precomputed pass cost: batched FLOPs and memory
@@ -649,12 +690,18 @@ func (e *Executor) RunTask(g *graph.Graph, images int) Result {
 }
 
 // runImages processes at least the given number of images in batched passes.
+// With macro-stepping eligible (macro.go), each pass first tries the
+// analytic fast-forward; misses micro-step (recording a representative pass)
+// and boundary/demotion cases micro-step for exactness.
 func (e *Executor) runImages(g *graph.Graph, images int) {
 	batch := e.Batch
 	if batch < 1 {
 		batch = 1
 	}
 	for done := 0; done < images; done += batch {
+		if e.macroOK && e.fastForward(g, batch) {
+			continue
+		}
 		e.runImage(g)
 	}
 }
@@ -673,8 +720,14 @@ func (e *Executor) RunTaskFlow(tasks []Task, gap time.Duration) Result {
 	return e.result()
 }
 
-// idle advances time with no work queued.
+// idle advances time with no work queued. In window-inert mode the whole gap
+// is one advance — no window ticks can change anything.
 func (e *Executor) idle(d time.Duration) {
+	if e.windowInert {
+		w := e.Platform.GPUIdlePower(e.Platform.GPUFreqsHz[e.gpuLevel])
+		e.advance(d, w, false, false, 0)
+		return
+	}
 	for d > 0 {
 		step := e.WindowPeriod - e.winElapsed
 		if step > d {
